@@ -1,0 +1,76 @@
+//! End-to-end benchmarks: whole-cluster put/get rounds on both systems —
+//! scaled-down versions of the paper's Figure 4/5 points, runnable via
+//! `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nice_kv::{ClientOp, ClusterCfg, NiceCluster, Value};
+use nice_noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
+use nice_sim::Time;
+
+fn ops(size: u32, n: usize) -> Vec<ClientOp> {
+    let mut v = Vec::new();
+    for i in 0..n {
+        v.push(ClientOp::Put {
+            key: format!("k{i}"),
+            value: Value::synthetic(size),
+        });
+        v.push(ClientOp::Get { key: format!("k{i}") });
+    }
+    v
+}
+
+fn bench_nice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e/nice");
+    g.sample_size(10);
+    for size in [1u32 << 10, 64 << 10] {
+        g.bench_function(format!("put_get_10x_{}k", size >> 10), |b| {
+            b.iter_batched(
+                || NiceCluster::build(ClusterCfg::new(8, 3, vec![ops(size, 10)])),
+                |mut cl| {
+                    assert!(cl.run_until_done(Time::from_secs(60)));
+                    black_box(cl.sim.events_processed())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_noob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e/noob_rac_primary");
+    g.sample_size(10);
+    for size in [1u32 << 10, 64 << 10] {
+        g.bench_function(format!("put_get_10x_{}k", size >> 10), |b| {
+            b.iter_batched(
+                || {
+                    NoobCluster::build(NoobClusterCfg::new(
+                        8,
+                        3,
+                        Access::Rac,
+                        NoobMode::PrimaryOnly,
+                        vec![ops(size, 10)],
+                    ))
+                },
+                |mut cl| {
+                    assert!(cl.run_until_done(Time::from_secs(60)));
+                    black_box(cl.sim.events_processed())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_build(c: &mut Criterion) {
+    // How long does standing up the full 15-node deployment take?
+    c.bench_function("e2e/build_15_node_cluster", |b| {
+        b.iter(|| black_box(NiceCluster::build(ClusterCfg::new(15, 3, vec![]))));
+    });
+}
+
+criterion_group!(benches, bench_nice, bench_noob, bench_cluster_build);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! **Ablation: the in-network load balancer** (§4.5) and its interaction
+//! with skew.
+//!
+//! Same NICE system, LB rules on vs off, under increasing client counts
+//! reading a zipf-hot keyspace. Shows where the source-prefix divisions
+//! pay off and what they cost in flow-table entries.
+
+use nice_bench::harness::{par_map, ArgSpec, CsvOut, Stats};
+use nice_bench::{RunSpec, System};
+use nice_kv::{ClientOp, Value};
+use nice_sim::Time;
+use nice_workload::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RECORDS: u64 = 200;
+
+fn main() {
+    let args = ArgSpec::parse(500, 25);
+    let mut out = CsvOut::new(
+        "ablation_lb",
+        "Ablation: NICE load balancing off / static divisions / adaptive (future work) — get throughput under zipf skew",
+    );
+    out.header(&["lb", "clients", "throughput_ops_s", "mean_us", "flow_entries"]);
+
+    // mode: 0 = off, 1 = static divisions (the paper), 2 = adaptive LPT
+    let mut jobs = Vec::new();
+    for mode in [0u8, 1, 2] {
+        for clients in [2usize, 6, 10] {
+            jobs.push((mode, clients));
+        }
+    }
+    let results = par_map(jobs, |(mode, clients)| {
+        // preload from client 0, then all clients read zipf-hot keys
+        let mut per_client: Vec<Vec<ClientOp>> = vec![Vec::new(); clients];
+        for i in 0..RECORDS {
+            per_client[(i % clients as u64) as usize].push(ClientOp::Put {
+                key: format!("z{i}"),
+                value: Value::synthetic(1000),
+            });
+        }
+        let loads: Vec<usize> = per_client.iter().map(|v| v.len()).collect();
+        let z = Zipf::ycsb(RECORDS);
+        for (j, ops) in per_client.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(args.seed ^ (j as u64 + 1));
+            for _ in 0..args.ops {
+                ops.push(ClientOp::Get {
+                    key: format!("z{}", z.sample(&mut rng)),
+                });
+            }
+        }
+        let mut spec = RunSpec::new(System::Nice { lb: mode > 0 }, 3, per_client);
+        spec.skip = *loads.iter().max().unwrap();
+        spec.seed = args.seed;
+        spec.retry_not_found = true;
+        let mut c = {
+            let mut cfg = nice_kv::ClusterCfg::new(spec.storage_nodes, spec.replication, spec.client_ops.clone());
+            cfg.seed = spec.seed;
+            cfg.retry_not_found = true;
+            cfg.kv.load_balancing = mode > 0;
+            cfg.kv.adaptive_lb = mode == 2;
+            nice_kv::NiceCluster::build(cfg)
+        };
+        let done = c.run_until_done(Time::from_secs(3600));
+        assert!(done, "mode={mode} clients={clients}");
+        let mut lats = Vec::new();
+        let mut start = Time::MAX;
+        let mut finish = Time::ZERO;
+        for i in 0..c.clients.len() {
+            for r in c.client(i).records.iter().skip(spec.skip) {
+                if r.ok && !r.is_put {
+                    lats.push(r.end - r.start);
+                    start = start.min(r.start);
+                    finish = finish.max(r.end);
+                }
+            }
+        }
+        let tput = lats.len() as f64 / (finish.saturating_sub(start)).as_secs_f64();
+        let entries = c.meta_app().table_occupancy(c.sim.now()).0;
+        (mode, clients, tput, Stats::of(&lats), entries)
+    });
+    for (mode, clients, tput, st, entries) in results {
+        let label = ["off", "static", "adaptive"][mode as usize];
+        out.row(&[
+            label.to_string(),
+            clients.to_string(),
+            format!("{tput:.0}"),
+            format!("{:.1}", st.mean_us),
+            entries.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,67 @@
+//! **Figure 4 — Request Routing Performance.**
+//!
+//! "We compare the request routing performance of the NICEKV prototype,
+//! and three NOOB storage configurations: ROG, RAG, and RAC. We measure
+//! the performance of get requests issued from a single client. The
+//! evaluation shows the average of 1000 get operations while varying the
+//! object's size from 4 bytes to 1 MB."
+//!
+//! Expected shape: NICE ≈ NOOB+RAC (both single-hop); ~2x faster than
+//! NOOB+ROG and ~1.5x faster than NOOB+RAG for small objects; converging
+//! as transfer time dominates.
+
+use nice_bench::harness::{par_map, size_label, ArgSpec, CsvOut, Stats};
+use nice_bench::{run, RunSpec, System};
+use nice_kv::{ClientOp, Value};
+use nice_noob::{Access, NoobMode};
+
+const SIZES: [u32; 6] = [4, 1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+
+fn systems() -> Vec<System> {
+    vec![
+        System::Nice { lb: false },
+        System::Noob { access: Access::Rog, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob { access: Access::Rag, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+    ]
+}
+
+fn main() {
+    let args = ArgSpec::parse(1000, 20);
+    let mut out = CsvOut::new(
+        "fig04_routing",
+        "Figure 4: mean get latency (us) vs object size, one client",
+    );
+    out.header(&["system", "size", "mean_us", "std_us", "n"]);
+
+    let mut jobs = Vec::new();
+    for sys in systems() {
+        for size in SIZES {
+            jobs.push((sys, size));
+        }
+    }
+    let results = par_map(jobs, |(sys, size)| {
+        // one put to seed, then N gets of the same object
+        let key = format!("routing-{size}");
+        let mut ops = vec![ClientOp::Put {
+            key: key.clone(),
+            value: Value::synthetic(size),
+        }];
+        ops.extend((0..args.ops).map(|_| ClientOp::Get { key: key.clone() }));
+        let mut spec = RunSpec::new(sys, 3, vec![ops]);
+        spec.skip = 1;
+        spec.seed = args.seed;
+        let r = run(&spec);
+        assert!(r.done, "{} size {size} did not finish", sys.label());
+        (sys, size, Stats::of(&r.get_lat))
+    });
+    for (sys, size, st) in results {
+        out.row(&[
+            sys.label(),
+            size_label(size),
+            format!("{:.1}", st.mean_us),
+            format!("{:.1}", st.std_us),
+            st.n.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,67 @@
+//! **Figure 9 — Consistency Mechanism Performance.**
+//!
+//! "We compare NICE storage to two NOOB storage configurations:
+//! primary-only and 2PC. … This experiment evaluates the efficiency of
+//! the put operation while varying the replication level. NOOB storage
+//! use RAC request routing. We show the results for … small 4-byte
+//! objects and large 1MB objects."
+//!
+//! Expected shape: (a) 4 B — NICE ≈ primary-only, up to ~1.3x faster than
+//! NOOB-2PC, all degrading with R; (b) 1 MB — NOOB degrades ~7x from R=1
+//! to R=9 while NICE degrades only ~17%, up to ~5.5x better.
+
+use nice_bench::harness::{par_map, size_label, ArgSpec, CsvOut, Stats};
+use nice_bench::{run, RunSpec, System};
+use nice_kv::{ClientOp, Value};
+use nice_noob::{Access, NoobMode};
+
+const LEVELS: [usize; 5] = [1, 3, 5, 7, 9];
+const SIZES: [u32; 2] = [4, 1 << 20];
+
+fn systems() -> Vec<System> {
+    vec![
+        System::Nice { lb: false },
+        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: false },
+    ]
+}
+
+fn main() {
+    let args = ArgSpec::parse(500, 25);
+    let mut out = CsvOut::new(
+        "fig09_consistency",
+        "Figure 9: mean put latency (us) vs replication level, 4B and 1MB objects",
+    );
+    out.header(&["system", "size", "replication", "mean_us", "std_us"]);
+
+    let mut jobs = Vec::new();
+    for sys in systems() {
+        for size in SIZES {
+            for r in LEVELS {
+                jobs.push((sys, size, r));
+            }
+        }
+    }
+    let results = par_map(jobs, |(sys, size, r)| {
+        let ops: Vec<ClientOp> = (0..args.ops)
+            .map(|i| ClientOp::Put {
+                key: format!("cons-{size}-{r}-{i}"),
+                value: Value::synthetic(size),
+            })
+            .collect();
+        let mut spec = RunSpec::new(sys, r, vec![ops]);
+        spec.seed = args.seed;
+        let res = run(&spec);
+        assert!(res.done, "{} size={size} r={r} did not finish", sys.label());
+        (sys, size, r, Stats::of(&res.put_lat))
+    });
+    for (sys, size, r, st) in results {
+        out.row(&[
+            sys.label(),
+            size_label(size),
+            r.to_string(),
+            format!("{:.1}", st.mean_us),
+            format!("{:.1}", st.std_us),
+        ]);
+    }
+}

@@ -1,0 +1,118 @@
+//! **Figure 10 — Load Balancing Evaluation.**
+//!
+//! "This experiment measures the performance of NICE storage and two NOOB
+//! storage configurations (primary-only and 2PC) when serving
+//! highly-popular frequently-updated objects. We design a weak scaling
+//! experiment: we increase the number of clients proportional to the
+//! replication level. In each configuration 1 client puts the same object
+//! 1000 times, while R-1 clients get the same object 1000 times. … The
+//! line markers on the bars show the performance of the workload without
+//! updating the shared key."
+//!
+//! Expected shape: NICE up to ~7.5x better than primary-only and ~5.5x
+//! better than 2PC; NOOB degrades badly with R (not weakly scalable),
+//! NICE degrades only slightly.
+
+use nice_bench::harness::{par_map, size_label, ArgSpec, CsvOut, Stats};
+use nice_bench::{run, RunSpec, System};
+use nice_kv::{ClientOp, Value};
+use nice_noob::{Access, NoobMode};
+use nice_sim::Time;
+
+const LEVELS: [usize; 5] = [1, 3, 5, 7, 9];
+const SIZES: [u32; 2] = [4, 1 << 20];
+const KEY: &str = "hot-object";
+
+fn systems() -> Vec<System> {
+    vec![
+        System::Nice { lb: true },
+        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        // 2PC with client-side get balancing, as the paper's 2PC config
+        // load balances gets across replicas.
+        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: true },
+    ]
+}
+
+/// Build the weak-scaling client op lists: client 0 puts, clients 1..R
+/// get. With `with_put = false` the putter only seeds the object (the
+/// get-only marker series).
+fn client_ops(r: usize, size: u32, n: usize, with_put: bool) -> Vec<Vec<ClientOp>> {
+    let mut all = Vec::new();
+    let putter_n = if with_put { n } else { 1 };
+    all.push(
+        (0..putter_n)
+            .map(|_| ClientOp::Put {
+                key: KEY.into(),
+                value: Value::synthetic(size),
+            })
+            .collect(),
+    );
+    for _ in 1..r {
+        all.push((0..n).map(|_| ClientOp::Get { key: KEY.into() }).collect());
+    }
+    all
+}
+
+fn main() {
+    let args = ArgSpec::parse(300, 15);
+    let mut out = CsvOut::new(
+        "fig10_load_balancing",
+        "Figure 10: weak scaling on a hot key — mean op latency (us); marker = get-only",
+    );
+    out.header(&[
+        "system",
+        "size",
+        "replication",
+        "clients",
+        "makespan_ms",
+        "getonly_makespan_ms",
+        "mean_op_us",
+        "failures",
+    ]);
+
+    let mut jobs = Vec::new();
+    for sys in systems() {
+        for size in SIZES {
+            for r in LEVELS {
+                jobs.push((sys, size, r));
+            }
+        }
+    }
+    let results = par_map(jobs, |(sys, size, r)| {
+        // Mixed run: 1 putter + (R-1) getters; the bar is the makespan —
+        // weak scaling means it should stay flat as R (and the client
+        // count) grows.
+        let mut spec = RunSpec::new(sys, r, client_ops(r, size, args.ops, true));
+        spec.seed = args.seed;
+        spec.deadline = Time::from_secs(3600);
+        spec.retry_not_found = true;
+        let mixed = run(&spec);
+        assert!(mixed.done, "{} size={size} r={r} mixed did not finish", sys.label());
+        let mixed_span = mixed.finish.saturating_sub(mixed.start);
+        let mut lats = mixed.put_lat.clone();
+        lats.extend(mixed.get_lat.iter().copied());
+        let mixed_stats = Stats::of(&lats);
+
+        // Get-only marker run (the putter just seeds once).
+        let mut spec = RunSpec::new(sys, r, client_ops(r, size, args.ops, false));
+        spec.seed = args.seed;
+        spec.skip = 0;
+        spec.deadline = Time::from_secs(3600);
+        spec.retry_not_found = true;
+        let getonly = run(&spec);
+        let get_span = getonly.finish.saturating_sub(getonly.start);
+        (sys, size, r, mixed_span, get_span, mixed_stats, mixed.failures)
+    });
+    for (sys, size, r, span, get_span, mixed, failures) in results {
+        out.row(&[
+            sys.label(),
+            size_label(size),
+            r.to_string(),
+            r.to_string(),
+            format!("{:.1}", span.as_ns() as f64 / 1e6),
+            format!("{:.1}", get_span.as_ns() as f64 / 1e6),
+            format!("{:.1}", mixed.mean_us),
+            failures.to_string(),
+        ]);
+    }
+}

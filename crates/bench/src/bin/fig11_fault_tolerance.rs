@@ -1,0 +1,110 @@
+//! **Figure 11 — Fault Tolerance Evaluation.**
+//!
+//! "Three clients access the system with 20/80 put/get ratio and key size
+//! of 1KB. All objects are in the same partition. Figure 11 shows the
+//! number of put and get requests served per second. At the 30s mark, the
+//! secondary node 2 fails. … This process makes the partition unavailable
+//! for put for less than 2 seconds. … At 90s mark, the failed node joins
+//! back, and starts retrieving the objects it missed."
+//!
+//! Output: one row per second — puts/sec, gets/sec, gets forwarded by the
+//! handoff so far, and the recovered node's object count.
+
+use nice_bench::harness::{ArgSpec, CsvOut};
+use nice_bench::systems::nice_cluster;
+use nice_bench::{RunSpec, System};
+use nice_kv::{ClientApp, ClientOp, Value};
+use nice_ring::PartitionId;
+use nice_sim::Time;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DURATION_S: u64 = 120;
+const FAIL_AT_S: u64 = 30;
+const REJOIN_AT_S: u64 = 90;
+const OBJ: u32 = 1024;
+
+fn main() {
+    let args = ArgSpec::parse(200_000, 20);
+    let mut out = CsvOut::new(
+        "fig11_fault_tolerance",
+        "Figure 11: ops served per second; secondary fails at 30s, rejoins at 90s",
+    );
+    out.header(&["second", "puts_per_sec", "gets_per_sec", "handoff_forwarded", "victim_objects"]);
+
+    // Pin everything to one partition; identify the victim secondary.
+    let probe = nice_cluster(&RunSpec::new(System::Nice { lb: true }, 3, vec![]));
+    let p = PartitionId(0);
+    let keys = probe.keys_in_partition(p, 100);
+    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let victim = replicas[1];
+    drop(probe);
+
+    // 20/80 put/get streams over the pinned keys for three clients.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mk_ops = |rng: &mut StdRng, n: usize| -> Vec<ClientOp> {
+        (0..n)
+            .map(|_| {
+                let key = keys[rng.random_range(0..keys.len())].clone();
+                if rng.random::<f64>() < 0.2 {
+                    ClientOp::Put {
+                        key,
+                        value: Value::synthetic(OBJ),
+                    }
+                } else {
+                    ClientOp::Get { key }
+                }
+            })
+            .collect()
+    };
+    let client_ops = vec![
+        mk_ops(&mut rng, args.ops),
+        mk_ops(&mut rng, args.ops),
+        mk_ops(&mut rng, args.ops),
+    ];
+
+    let spec = RunSpec::new(System::Nice { lb: true }, 3, client_ops);
+    let mut c = nice_cluster(&spec);
+    c.sim.schedule_crash(Time::from_secs(FAIL_AT_S), c.servers[victim]);
+    c.sim.schedule_restart(Time::from_secs(REJOIN_AT_S), c.servers[victim]);
+
+    let mut prev_puts = 0usize;
+    let mut prev_gets = 0usize;
+    for sec in 1..=DURATION_S {
+        c.sim.run_until(Time::from_secs(sec));
+        let (mut puts, mut gets) = (0, 0);
+        for &cl in &c.clients {
+            let recs = &c.sim.app::<ClientApp>(cl).records;
+            for r in recs {
+                if r.is_put {
+                    // a put only counts when it committed
+                    if r.ok {
+                        puts += 1;
+                    }
+                } else {
+                    // a get counts when it got a response (NotFound for a
+                    // never-written key is still a served request)
+                    gets += 1;
+                }
+            }
+        }
+        let handoff_fwd: u64 = (0..c.servers.len()).map(|i| c.server(i).counters().gets_forwarded).sum();
+        let victim_objects = c.server(victim).store().len();
+        out.row(&[
+            sec.to_string(),
+            (puts - prev_puts).to_string(),
+            (gets - prev_gets).to_string(),
+            handoff_fwd.to_string(),
+            victim_objects.to_string(),
+        ]);
+        prev_puts = puts;
+        prev_gets = gets;
+    }
+
+    // Summary: the unavailability window (seconds with zero puts).
+    eprintln!(
+        "note: rows where puts_per_sec drops to ~0 around t={FAIL_AT_S}s show the \
+         put-unavailability window (paper: <2s); the victim_objects column \
+         jumps at recovery (t={REJOIN_AT_S}s) as the handoff is drained."
+    );
+}

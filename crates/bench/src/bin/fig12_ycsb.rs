@@ -1,0 +1,110 @@
+//! **Figure 12 — Yahoo Benchmark (YCSB) Evaluation.**
+//!
+//! "We use two workloads: C, the read-only workload, and F, the
+//! read-modify-write workload … The system is accessed by 10 clients,
+//! each issuing 20K operations. We use the default YCSB configuration
+//! with 1KB objects [and a zipf popularity distribution]."
+//!
+//! Expected shape: NICE ~1.6x (C) / ~2.3x (F) better than primary-only,
+//! and ~1.25x (C) / ~1.5x (F) better than 2PC.
+
+use nice_bench::harness::{par_map, ArgSpec, CsvOut, Stats};
+use nice_bench::{run, RunSpec, System};
+use nice_kv::{ClientOp, Value};
+use nice_noob::{Access, NoobMode};
+use nice_sim::Time;
+use nice_workload::{OpKind, Workload, WorkloadRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLIENTS: usize = 10;
+const RECORDS: u64 = 1000;
+
+fn systems() -> Vec<System> {
+    vec![
+        System::Nice { lb: true },
+        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: true },
+    ]
+}
+
+/// Build per-client op lists: a striped load phase (each record put once)
+/// followed by the run phase. Returns `(ops, load_len per client)`.
+fn build_ops(wl: &Workload, ops_per_client: usize, seed: u64) -> (Vec<Vec<ClientOp>>, Vec<usize>) {
+    let mut per_client: Vec<Vec<ClientOp>> = vec![Vec::new(); CLIENTS];
+    // Load phase: stripe the records.
+    for i in 0..wl.records {
+        per_client[(i % CLIENTS as u64) as usize].push(ClientOp::Put {
+            key: wl.key(i),
+            value: Value::synthetic(wl.object_size),
+        });
+    }
+    let load_len: Vec<usize> = per_client.iter().map(|v| v.len()).collect();
+    // Run phase.
+    for (j, ops) in per_client.iter_mut().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (j as u64 + 1));
+        let mut gen = WorkloadRun::new(wl.clone());
+        while ops.len() - load_len[j] < ops_per_client {
+            for op in gen.next_ops(&mut rng) {
+                ops.push(match op.kind {
+                    OpKind::Get => ClientOp::Get { key: op.key },
+                    OpKind::Put => ClientOp::Put {
+                        key: op.key,
+                        value: Value::synthetic(op.size),
+                    },
+                });
+            }
+        }
+    }
+    (per_client, load_len)
+}
+
+fn main() {
+    let args = ArgSpec::parse(20_000, 20);
+    let mut out = CsvOut::new(
+        "fig12_ycsb",
+        "Figure 12: YCSB workloads C (read-only) and F (read-modify-write); 10 clients, 1KB objects, zipf",
+    );
+    out.header(&[
+        "system",
+        "workload",
+        "throughput_ops_s",
+        "mean_us",
+        "std_us",
+        "ops_measured",
+    ]);
+
+    let mut jobs = Vec::new();
+    for sys in systems() {
+        for wl_name in ["C", "F"] {
+            jobs.push((sys, wl_name));
+        }
+    }
+    let results = par_map(jobs, |(sys, wl_name)| {
+        let wl = match wl_name {
+            "C" => Workload::c(RECORDS),
+            _ => Workload::f(RECORDS),
+        };
+        let (ops, load_len) = build_ops(&wl, args.ops, args.seed);
+        let skip = *load_len.iter().max().expect("clients");
+        let mut spec = RunSpec::new(sys, 3, ops);
+        spec.skip = skip;
+        spec.seed = args.seed;
+        spec.deadline = Time::from_secs(36_000);
+        let r = run(&spec);
+        assert!(r.done, "{} {wl_name} did not finish", sys.label());
+        let mut lats = r.put_lat.clone();
+        lats.extend(r.get_lat.iter().copied());
+        (sys, wl_name, r.throughput(), Stats::of(&lats))
+    });
+    for (sys, wl, tput, st) in results {
+        out.row(&[
+            sys.label(),
+            wl.to_string(),
+            format!("{tput:.0}"),
+            format!("{:.1}", st.mean_us),
+            format!("{:.1}", st.std_us),
+            st.n.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,248 @@
+//! **Reproduction report**: reads the CSVs under `bench_results/` and
+//! prints a one-screen paper-vs-measured scorecard — the key factor from
+//! each figure next to the value the paper reports.
+//!
+//! Run after `./run_all_figures.sh`:
+//! `cargo run --release -p nice-bench --bin report`
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+/// A parsed CSV: header names → column index, plus rows of strings.
+struct Csv {
+    cols: HashMap<String, usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    fn load(path: &Path) -> Option<Csv> {
+        let text = fs::read_to_string(path).ok()?;
+        let mut lines = text.lines().filter(|l| !l.starts_with('#') && !l.trim().is_empty());
+        let header = lines.next()?;
+        let cols = header
+            .split(',')
+            .enumerate()
+            .map(|(i, c)| (c.trim().to_string(), i))
+            .collect();
+        let rows = lines
+            .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+            .collect();
+        Some(Csv { cols, rows })
+    }
+
+    /// The value of `col` in the first row where every `(key, value)`
+    /// selector matches.
+    fn lookup(&self, selectors: &[(&str, &str)], col: &str) -> Option<f64> {
+        let ci = *self.cols.get(col)?;
+        'rows: for row in &self.rows {
+            for &(k, v) in selectors {
+                let ki = *self.cols.get(k)?;
+                if row.get(ki).map(String::as_str) != Some(v) {
+                    continue 'rows;
+                }
+            }
+            return row.get(ci)?.parse().ok();
+        }
+        None
+    }
+}
+
+/// One scorecard line: measured ratio vs the paper's.
+struct Line {
+    figure: &'static str,
+    what: &'static str,
+    paper: &'static str,
+    measured: Option<f64>,
+}
+
+fn ratio(csv: Option<&Csv>, num: &[(&str, &str)], den: &[(&str, &str)], col: &str) -> Option<f64> {
+    let csv = csv?;
+    Some(csv.lookup(num, col)? / csv.lookup(den, col)?)
+}
+
+fn main() {
+    let dir = Path::new("bench_results");
+    let load = |name: &str| Csv::load(&dir.join(format!("{name}.csv")));
+    let f4 = load("fig04_routing");
+    let f5 = load("fig05_replication");
+    let f6 = load("fig06_network_load");
+    let f7 = load("fig07_load_ratio_rsweep");
+    let f8 = load("fig08_quorum");
+    let f9 = load("fig09_consistency");
+    let f10 = load("fig10_load_balancing");
+    let f12 = load("fig12_ycsb");
+
+    let lines = vec![
+        Line {
+            figure: "Fig 4",
+            what: "ROG/NICE get latency, 4B",
+            paper: "~2x",
+            measured: ratio(
+                f4.as_ref(),
+                &[("system", "NOOB+ROG-primary"), ("size", "4B")],
+                &[("system", "NICE"), ("size", "4B")],
+                "mean_us",
+            ),
+        },
+        Line {
+            figure: "Fig 4",
+            what: "RAG/NICE get latency, 4B",
+            paper: "~1.5x",
+            measured: ratio(
+                f4.as_ref(),
+                &[("system", "NOOB+RAG-primary"), ("size", "4B")],
+                &[("system", "NICE"), ("size", "4B")],
+                "mean_us",
+            ),
+        },
+        Line {
+            figure: "Fig 5",
+            what: "ROG/NICE put latency, 1MB",
+            paper: "up to 4.3x",
+            measured: ratio(
+                f5.as_ref(),
+                &[("system", "NOOB+ROG-primary"), ("size", "1MB")],
+                &[("system", "NICE"), ("size", "1MB")],
+                "mean_us",
+            ),
+        },
+        Line {
+            figure: "Fig 6",
+            what: "ROG/NICE network load, 1MB",
+            paper: "1.7-3.5x",
+            measured: ratio(
+                f6.as_ref(),
+                &[("system", "NOOB+ROG-primary"), ("size", "1MB")],
+                &[("system", "NICE"), ("size", "1MB")],
+                "kb_per_put",
+            ),
+        },
+        Line {
+            figure: "Fig 7",
+            what: "NOOB primary/secondary load, R=9",
+            paper: "9x",
+            measured: f7
+                .as_ref()
+                .and_then(|c| c.lookup(&[("system", "NOOB+RAC-primary"), ("replication", "9")], "ratio")),
+        },
+        Line {
+            figure: "Fig 8",
+            what: "NOOB/NICE quorum put, k=1",
+            paper: "up to 5.6x",
+            measured: ratio(
+                f8.as_ref(),
+                &[("system", "NOOB+RAC-quorum"), ("quorum_k", "1")],
+                &[("system", "NICE-quorum"), ("quorum_k", "1")],
+                "put_ms",
+            ),
+        },
+        Line {
+            figure: "Fig 9b",
+            what: "NOOB put degradation R=1→9, 1MB",
+            paper: "7x",
+            measured: ratio(
+                f9.as_ref(),
+                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "9")],
+                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "1")],
+                "mean_us",
+            ),
+        },
+        Line {
+            figure: "Fig 9b",
+            what: "NOOB-2PC/NICE put, R=9, 1MB",
+            paper: "up to 5.5x",
+            measured: ratio(
+                f9.as_ref(),
+                &[("system", "NOOB+RAC-2pc"), ("size", "1MB"), ("replication", "9")],
+                &[("system", "NICE"), ("size", "1MB"), ("replication", "9")],
+                "mean_us",
+            ),
+        },
+        Line {
+            figure: "Fig 10",
+            what: "primary-only/NICE makespan, R=9, 1MB",
+            paper: "up to 7.5x",
+            measured: ratio(
+                f10.as_ref(),
+                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "9")],
+                &[("system", "NICE"), ("size", "1MB"), ("replication", "9")],
+                "makespan_ms",
+            ),
+        },
+        Line {
+            figure: "Fig 12",
+            what: "NICE/primary-only throughput, C",
+            paper: "1.6x",
+            measured: ratio(
+                f12.as_ref(),
+                &[("system", "NICE"), ("workload", "C")],
+                &[("system", "NOOB+RAC-primary"), ("workload", "C")],
+                "throughput_ops_s",
+            ),
+        },
+    ];
+
+    println!("NICE (HPDC '17) reproduction scorecard — bench_results/ vs the paper");
+    println!("{:-<78}", "");
+    println!("{:<8} {:<38} {:>12} {:>10}", "figure", "metric", "paper", "measured");
+    println!("{:-<78}", "");
+    let mut missing = 0;
+    for l in &lines {
+        match l.measured {
+            Some(m) => println!("{:<8} {:<38} {:>12} {:>9.2}x", l.figure, l.what, l.paper, m),
+            None => {
+                missing += 1;
+                println!("{:<8} {:<38} {:>12} {:>10}", l.figure, l.what, l.paper, "(no data)");
+            }
+        }
+    }
+    println!("{:-<78}", "");
+    if missing > 0 {
+        println!("{missing} metric(s) missing — run ./run_all_figures.sh first.");
+    } else {
+        println!("Full narrative: EXPERIMENTS.md. Raw series: bench_results/*.csv.");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csv {
+        let mut cols = HashMap::new();
+        for (i, c) in ["system", "size", "mean_us"].iter().enumerate() {
+            cols.insert(c.to_string(), i);
+        }
+        Csv {
+            cols,
+            rows: vec![
+                vec!["NICE".into(), "4B".into(), "100.0".into()],
+                vec!["NOOB".into(), "4B".into(), "250.0".into()],
+                vec!["NOOB".into(), "1MB".into(), "9000".into()],
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_selects_the_right_row() {
+        let c = sample();
+        assert_eq!(c.lookup(&[("system", "NOOB"), ("size", "1MB")], "mean_us"), Some(9000.0));
+        assert_eq!(c.lookup(&[("system", "NICE"), ("size", "4B")], "mean_us"), Some(100.0));
+        assert_eq!(c.lookup(&[("system", "NICE"), ("size", "1MB")], "mean_us"), None);
+        assert_eq!(c.lookup(&[("system", "NICE")], "nosuchcol"), None);
+    }
+
+    #[test]
+    fn ratio_math() {
+        let c = sample();
+        let r = ratio(
+            Some(&c),
+            &[("system", "NOOB"), ("size", "4B")],
+            &[("system", "NICE"), ("size", "4B")],
+            "mean_us",
+        );
+        assert_eq!(r, Some(2.5));
+        assert_eq!(ratio(None, &[], &[], "x"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Statistics, CSV output, and CLI-argument plumbing shared by the
+//! figure binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use nice_sim::Time;
+
+/// Latency statistics over a set of operation records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Sample count.
+    pub n: usize,
+    /// Mean, in microseconds.
+    pub mean_us: f64,
+    /// Standard deviation, in microseconds.
+    pub std_us: f64,
+    /// Minimum, in microseconds.
+    pub min_us: f64,
+    /// Maximum, in microseconds.
+    pub max_us: f64,
+}
+
+impl Stats {
+    /// Compute stats from latencies.
+    pub fn of(latencies: &[Time]) -> Stats {
+        if latencies.is_empty() {
+            return Stats::default();
+        }
+        let us: Vec<f64> = latencies.iter().map(|t| t.as_ns() as f64 / 1e3).collect();
+        let n = us.len();
+        let mean = us.iter().sum::<f64>() / n as f64;
+        let var = us.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Stats {
+            n,
+            mean_us: mean,
+            std_us: var.sqrt(),
+            min_us: us.iter().copied().fold(f64::INFINITY, f64::min),
+            max_us: us.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The `p`-th percentile (0..=100) of latencies.
+pub fn percentile(latencies: &[Time], p: f64) -> Time {
+    if latencies.is_empty() {
+        return Time::ZERO;
+    }
+    let mut v: Vec<Time> = latencies.to_vec();
+    v.sort();
+    let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+/// Writes a CSV both to stdout and to `bench_results/<name>.csv`.
+pub struct CsvOut {
+    file: Option<fs::File>,
+}
+
+impl CsvOut {
+    /// Open `bench_results/<name>.csv` (best effort) and announce the
+    /// experiment on stdout.
+    pub fn new(name: &str, title: &str) -> CsvOut {
+        println!("# {title}");
+        let dir = PathBuf::from("bench_results");
+        let file = fs::create_dir_all(&dir)
+            .ok()
+            .and_then(|()| fs::File::create(dir.join(format!("{name}.csv"))).ok());
+        CsvOut { file }
+    }
+
+    /// Emit one CSV row.
+    pub fn row(&mut self, cols: &[String]) {
+        let line = cols.join(",");
+        println!("{line}");
+        if let Some(f) = self.file.as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Emit a header row.
+    pub fn header(&mut self, cols: &[&str]) {
+        self.row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+}
+
+/// Tiny CLI parsing: `--quick` shrinks op counts for smoke runs,
+/// `--ops N` overrides the op count, `--seed N` the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Operations per data point (paper default differs per figure).
+    pub ops: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Quick mode active?
+    pub quick: bool,
+}
+
+impl ArgSpec {
+    /// Parse `std::env::args`, defaulting to `default_ops` operations.
+    /// `--quick` divides the default by `quick_div` (min 10).
+    pub fn parse(default_ops: usize, quick_div: usize) -> ArgSpec {
+        let args: Vec<String> = std::env::args().collect();
+        let mut spec = ArgSpec {
+            ops: default_ops,
+            seed: 42,
+            quick: false,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    spec.quick = true;
+                    spec.ops = (default_ops / quick_div).max(10);
+                }
+                "--ops" => {
+                    i += 1;
+                    spec.ops = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(spec.ops);
+                }
+                "--seed" => {
+                    i += 1;
+                    spec.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(spec.seed);
+                }
+                other => {
+                    eprintln!("ignoring unknown argument {other}");
+                }
+            }
+            i += 1;
+        }
+        spec
+    }
+}
+
+/// Run one simulation per input on its own OS thread (each config builds
+/// an independent world, so this is embarrassingly parallel) and return
+/// results in input order.
+pub fn par_map<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs.into_iter().map(|i| s.spawn(move || f(i))).collect();
+        handles.into_iter().map(|h| h.join().expect("bench worker panicked")).collect()
+    })
+}
+
+/// Human-readable object-size label (the paper's x-axis ticks).
+pub fn size_label(bytes: u32) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let lats = vec![Time::from_us(10), Time::from_us(20), Time::from_us(30)];
+        let s = Stats::of(&lats);
+        assert_eq!(s.n, 3);
+        assert!((s.mean_us - 20.0).abs() < 1e-9);
+        assert!((s.min_us - 10.0).abs() < 1e-9);
+        assert!((s.max_us - 30.0).abs() < 1e-9);
+        assert!(s.std_us > 8.0 && s.std_us < 9.0);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let lats: Vec<Time> = (1..=100).map(Time::from_us).collect();
+        assert_eq!(percentile(&lats, 0.0), Time::from_us(1));
+        assert_eq!(percentile(&lats, 100.0), Time::from_us(100));
+        let p50 = percentile(&lats, 50.0);
+        assert!(p50 >= Time::from_us(49) && p50 <= Time::from_us(52));
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(4), "4B");
+        assert_eq!(size_label(1024), "1KB");
+        assert_eq!(size_label(1 << 20), "1MB");
+    }
+}

@@ -1,0 +1,288 @@
+//! Flow-rule primitives: match fields and action lists.
+//!
+//! This mirrors the OpenFlow 1.3 subset the paper relies on (§2.2, §5):
+//! matching on header fields with IP-prefix wildcards, and actions that
+//! rewrite destination IP/MAC, output to a port, fan out through a group
+//! (network-level multicast), punt to the controller, or drop.
+
+use nice_sim::{Ipv4, Mac, Packet, Port, Proto};
+
+/// A match over packet headers plus ingress port. `None` fields are
+/// wildcards. IP fields match a prefix `(network, len)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<Port>,
+    /// Exact destination MAC.
+    pub eth_dst: Option<Mac>,
+    /// Source IPv4 prefix.
+    pub ip_src: Option<(Ipv4, u8)>,
+    /// Destination IPv4 prefix.
+    pub ip_dst: Option<(Ipv4, u8)>,
+    /// IP protocol.
+    pub proto: Option<Proto>,
+    /// Exact source transport port.
+    pub src_port: Option<u16>,
+    /// Exact destination transport port.
+    pub dst_port: Option<u16>,
+}
+
+impl FlowMatch {
+    /// Match everything (the table-miss rule).
+    pub fn any() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// Restrict to a destination prefix.
+    pub fn dst_prefix(mut self, net: Ipv4, len: u8) -> FlowMatch {
+        assert!(len <= 32);
+        self.ip_dst = Some((net.network(len), len));
+        self
+    }
+
+    /// Restrict to an exact destination IP.
+    pub fn dst_ip(self, ip: Ipv4) -> FlowMatch {
+        self.dst_prefix(ip, 32)
+    }
+
+    /// Restrict to a source prefix.
+    pub fn src_prefix(mut self, net: Ipv4, len: u8) -> FlowMatch {
+        assert!(len <= 32);
+        self.ip_src = Some((net.network(len), len));
+        self
+    }
+
+    /// Restrict to an IP protocol.
+    pub fn proto(mut self, p: Proto) -> FlowMatch {
+        self.proto = Some(p);
+        self
+    }
+
+    /// Restrict to an exact transport destination port.
+    pub fn dst_port(mut self, p: u16) -> FlowMatch {
+        self.dst_port = Some(p);
+        self
+    }
+
+    /// Restrict to an exact transport source port.
+    pub fn src_port(mut self, p: u16) -> FlowMatch {
+        self.src_port = Some(p);
+        self
+    }
+
+    /// Restrict to an ingress port.
+    pub fn in_port(mut self, p: Port) -> FlowMatch {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Restrict to an exact destination MAC.
+    pub fn eth_dst(mut self, m: Mac) -> FlowMatch {
+        self.eth_dst = Some(m);
+        self
+    }
+
+    /// Does this match cover `pkt` arriving on `in_port`?
+    pub fn matches(&self, in_port: Port, pkt: &Packet) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_dst {
+            if m != pkt.dst_mac {
+                return false;
+            }
+        }
+        if let Some((net, len)) = self.ip_src {
+            if !pkt.src.in_prefix(net, len) {
+                return false;
+            }
+        }
+        if let Some((net, len)) = self.ip_dst {
+            if !pkt.dst.in_prefix(net, len) {
+                return false;
+            }
+        }
+        if let Some(p) = self.proto {
+            if p != pkt.proto {
+                return false;
+            }
+        }
+        if let Some(p) = self.src_port {
+            if p != pkt.src_port {
+                return false;
+            }
+        }
+        if let Some(p) = self.dst_port {
+            if p != pkt.dst_port {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A specificity score used to break ties among equal-priority rules:
+    /// longer prefixes and more specified fields win. This keeps table
+    /// behavior deterministic where OpenFlow leaves it undefined.
+    pub fn specificity(&self) -> u32 {
+        let mut s = 0u32;
+        if self.in_port.is_some() {
+            s += 8;
+        }
+        if self.eth_dst.is_some() {
+            s += 48;
+        }
+        if let Some((_, len)) = self.ip_src {
+            s += len as u32;
+        }
+        if let Some((_, len)) = self.ip_dst {
+            s += len as u32;
+        }
+        if self.proto.is_some() {
+            s += 8;
+        }
+        if self.src_port.is_some() {
+            s += 16;
+        }
+        if self.dst_port.is_some() {
+            s += 16;
+        }
+        s
+    }
+}
+
+/// Identifies a group-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// One OpenFlow action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Rewrite the destination IPv4 address (virtual→physical mapping).
+    SetIpDst(Ipv4),
+    /// Rewrite the destination MAC address.
+    SetMacDst(Mac),
+    /// Rewrite the source IPv4 address.
+    SetIpSrc(Ipv4),
+    /// Transmit out of a port.
+    Output(Port),
+    /// Fan out through a group-table entry (multicast replication).
+    Group(GroupId),
+    /// Punt to the controller (packet-in).
+    Controller,
+    /// Explicitly drop.
+    Drop,
+}
+
+/// A flow rule: priority + match + action list + timeouts.
+#[derive(Debug, Clone)]
+pub struct FlowRule {
+    /// Higher priority rules are consulted first.
+    pub priority: u16,
+    /// The match.
+    pub m: FlowMatch,
+    /// Actions applied in order to matching packets.
+    pub actions: Vec<Action>,
+    /// Expire if unmatched for this long (`None` = no idle expiry).
+    pub idle_timeout: Option<nice_sim::Time>,
+    /// Expire this long after installation (`None` = permanent).
+    pub hard_timeout: Option<nice_sim::Time>,
+    /// Controller-chosen tag for bulk deletion.
+    pub cookie: u64,
+}
+
+impl FlowRule {
+    /// A permanent rule with the given priority, match, and actions.
+    pub fn new(priority: u16, m: FlowMatch, actions: Vec<Action>) -> FlowRule {
+        FlowRule {
+            priority,
+            m,
+            actions,
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+        }
+    }
+
+    /// Tag with a cookie.
+    pub fn cookie(mut self, c: u64) -> FlowRule {
+        self.cookie = c;
+        self
+    }
+
+    /// Set an idle timeout.
+    pub fn idle(mut self, t: nice_sim::Time) -> FlowRule {
+        self.idle_timeout = Some(t);
+        self
+    }
+
+    /// Set a hard timeout.
+    pub fn hard(mut self, t: nice_sim::Time) -> FlowRule {
+        self.hard_timeout = Some(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn pkt(src: Ipv4, dst: Ipv4, proto: Proto, sport: u16, dport: u16) -> Packet {
+        match proto {
+            Proto::Udp => Packet::udp(src, Mac(1), dst, sport, dport, 10, Rc::new(())),
+            Proto::Tcp => Packet::tcp(src, Mac(1), dst, sport, dport, 10, Rc::new(())),
+            Proto::Arp => Packet::arp_request(src, Mac(1), dst),
+        }
+    }
+
+    #[test]
+    fn wildcard_matches_all() {
+        let m = FlowMatch::any();
+        let p = pkt(Ipv4::new(1, 2, 3, 4), Ipv4::new(5, 6, 7, 8), Proto::Udp, 1, 2);
+        assert!(m.matches(Port(0), &p));
+    }
+
+    #[test]
+    fn dst_prefix_matching() {
+        let m = FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24);
+        assert!(m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 10, 1, 99), Proto::Udp, 1, 2)));
+        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 10, 2, 99), Proto::Udp, 1, 2)));
+    }
+
+    #[test]
+    fn src_and_dst_combined() {
+        // The load-balancing rules of §4.5 match both src and dst.
+        let m = FlowMatch::any()
+            .src_prefix(Ipv4::new(10, 0, 0, 0), 30)
+            .dst_prefix(Ipv4::new(10, 10, 1, 0), 24);
+        assert!(m.matches(Port(0), &pkt(Ipv4::new(10, 0, 0, 2), Ipv4::new(10, 10, 1, 5), Proto::Udp, 1, 2)));
+        assert!(!m.matches(Port(0), &pkt(Ipv4::new(10, 0, 0, 7), Ipv4::new(10, 10, 1, 5), Proto::Udp, 1, 2)));
+    }
+
+    #[test]
+    fn proto_and_ports() {
+        let m = FlowMatch::any().proto(Proto::Udp).dst_port(9000);
+        assert!(m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 5, 9000)));
+        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Tcp, 5, 9000)));
+        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 5, 9001)));
+    }
+
+    #[test]
+    fn in_port_matching() {
+        let m = FlowMatch::any().in_port(Port(3));
+        let p = pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 1, 2);
+        assert!(m.matches(Port(3), &p));
+        assert!(!m.matches(Port(4), &p));
+    }
+
+    #[test]
+    fn specificity_orders_prefix_lengths() {
+        let a = FlowMatch::any().dst_prefix(Ipv4::new(10, 0, 0, 0), 8);
+        let b = FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 0, 0), 16);
+        let c = FlowMatch::any().dst_ip(Ipv4::new(10, 10, 0, 1));
+        assert!(a.specificity() < b.specificity());
+        assert!(b.specificity() < c.specificity());
+    }
+}

@@ -1,0 +1,357 @@
+//! The NICEKV client library.
+//!
+//! Clients know the virtual rings and the replication level — never the
+//! physical placement (§3.2). A put is a reliable-UDP multicast to the
+//! key's *multicast* vnode address; a get is a reliable-UDP message to the
+//! key's *unicast* vnode address; replies arrive on the client's TCP side
+//! (§5). Operations run closed-loop with a retry timer ("the client will
+//! retry after waiting for 2 seconds", §6.6).
+
+use std::collections::VecDeque;
+
+use nice_ring::hash_str;
+use nice_ring::PartitionId;
+use nice_sim::{App, Ctx, Packet, Time};
+use nice_transport::{Msg, MsgToken, Transport, TransportEvent, TRANSPORT_TICK};
+
+use crate::config::{KvConfig, PutMode};
+use crate::msg::{KvMsg, OpId, Value};
+
+const TOK_START: u64 = 1;
+/// Idle poll period: a drained client re-checks its queue at this rate so
+/// harnesses can push more work mid-run.
+const IDLE_POLL: Time = Time::from_ms(10);
+/// Retry timers carry the op sequence in the low bits.
+const TOK_RETRY_BASE: u64 = 1 << 32;
+/// Backoff before re-asking for a key that was not found (only with
+/// [`ClientApp::retry_not_found`]).
+const NOT_FOUND_BACKOFF: Time = Time::from_ms(5);
+
+/// One client operation.
+#[derive(Debug, Clone)]
+pub enum ClientOp {
+    /// Write `value` under `key`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+    },
+    /// Read `key`.
+    Get {
+        /// The key.
+        key: String,
+    },
+}
+
+impl ClientOp {
+    /// The key this op touches.
+    pub fn key(&self) -> &str {
+        match self {
+            ClientOp::Put { key, .. } | ClientOp::Get { key } => key,
+        }
+    }
+}
+
+/// The completion record of one operation.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Was it a put?
+    pub is_put: bool,
+    /// The key.
+    pub key: String,
+    /// When the first attempt was issued.
+    pub start: Time,
+    /// When the final reply arrived.
+    pub end: Time,
+    /// Success?
+    pub ok: bool,
+    /// Attempts used (1 = no retries).
+    pub attempts: u32,
+    /// Value size moved (put: sent; get: received).
+    pub size: u32,
+    /// For gets: the returned bytes (tests assert on these).
+    pub bytes: Option<Vec<u8>>,
+}
+
+struct InFlight {
+    op: ClientOp,
+    id: OpId,
+    start: Time,
+    attempts: u32,
+    /// Outstanding quorum-mode transport token (completion = Sent).
+    quorum_token: Option<MsgToken>,
+}
+
+/// The client application: issues a queue of operations closed-loop.
+pub struct ClientApp {
+    cfg: KvConfig,
+    tp: Transport,
+    ops: VecDeque<ClientOp>,
+    start_at: Time,
+    inflight: Option<InFlight>,
+    next_seq: u64,
+    max_attempts: u32,
+    /// Treat a NotFound get as transient and retry with a short backoff
+    /// (hot-object workloads where the reader races the first writer).
+    pub retry_not_found: bool,
+    /// Completed operations, in completion order.
+    pub records: Vec<OpRecord>,
+    /// Set once the queue drains.
+    pub done_at: Option<Time>,
+}
+
+impl ClientApp {
+    /// A client that runs `ops` once, starting at `start_at`.
+    pub fn new(cfg: KvConfig, ops: Vec<ClientOp>, start_at: Time) -> ClientApp {
+        ClientApp {
+            tp: Transport::new(cfg.port),
+            cfg,
+            ops: ops.into(),
+            start_at,
+            inflight: None,
+            next_seq: 1,
+            max_attempts: 25,
+            retry_not_found: false,
+            records: Vec::new(),
+            done_at: None,
+        }
+    }
+
+    /// Queue more operations (the driver may extend work mid-run); the
+    /// idle poll picks them up within [`IDLE_POLL`].
+    pub fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>) {
+        self.ops.extend(ops);
+        if !self.ops.is_empty() {
+            self.done_at = None;
+        }
+    }
+
+    /// Operations finished so far.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean latency of successful ops of one kind.
+    pub fn mean_latency(&self, puts: bool) -> Option<Time> {
+        let lats: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_put == puts && r.ok)
+            .map(|r| (r.end - r.start).as_ns())
+            .collect();
+        if lats.is_empty() {
+            None
+        } else {
+            Some(Time(lats.iter().sum::<u64>() / lats.len() as u64))
+        }
+    }
+
+    fn partition_of(&self, key: &str) -> PartitionId {
+        PartitionId((hash_str(key) >> (64 - self.cfg.partitions.trailing_zeros())) as u32)
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx) {
+        if self.inflight.is_some() {
+            return;
+        }
+        let Some(op) = self.ops.pop_front() else {
+            if self.done_at.is_none() {
+                self.done_at = Some(ctx.now());
+            }
+            // Idle: poll for work pushed by the harness.
+            ctx.set_timer(IDLE_POLL, TOK_START);
+            return;
+        };
+        let id = OpId {
+            client: ctx.ip(),
+            client_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.inflight = Some(InFlight {
+            op,
+            id,
+            start: ctx.now(),
+            attempts: 0,
+            quorum_token: None,
+        });
+        self.attempt(ctx);
+    }
+
+    fn attempt(&mut self, ctx: &mut Ctx) {
+        let Some(inf) = self.inflight.as_mut() else {
+            return;
+        };
+        inf.attempts += 1;
+        let id = inf.id;
+        let seq = id.client_seq;
+        let (op, quorum_mode) = (inf.op.clone(), self.cfg.put_mode);
+        match &op {
+            ClientOp::Put { key, value } => {
+                let p = self.partition_of(key);
+                let group = self.cfg.multicast.vnode_for_key(p, key.as_bytes());
+                let msg = KvMsg::PutRequest {
+                    key: key.clone(),
+                    value: value.clone(),
+                    op: id,
+                };
+                let size = value.size() + key.len() as u32 + 64;
+                let r = self.cfg.replication;
+                match quorum_mode {
+                    PutMode::Quorum { k } => {
+                        let tok = self.tp.anyk_send(ctx, group, self.cfg.port, Msg::new(msg, size), r, k.min(r));
+                        self.inflight.as_mut().expect("inflight").quorum_token = Some(tok);
+                    }
+                    PutMode::TwoPc => {
+                        self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, size), r);
+                    }
+                }
+            }
+            ClientOp::Get { key } => {
+                let p = self.partition_of(key);
+                let vnode = self.cfg.unicast.vnode_for_key(p, key.as_bytes());
+                let msg = KvMsg::GetRequest { key: key.clone(), op: id };
+                let size = key.len() as u32 + 64;
+                self.tp.rudp_send(ctx, vnode, self.cfg.port, Msg::new(msg, size));
+            }
+        }
+        ctx.set_timer(self.cfg.client_retry, TOK_RETRY_BASE | seq);
+    }
+
+    fn complete(&mut self, ok: bool, size: u32, bytes: Option<Vec<u8>>, ctx: &mut Ctx) {
+        let Some(inf) = self.inflight.take() else {
+            return;
+        };
+        self.records.push(OpRecord {
+            is_put: matches!(inf.op, ClientOp::Put { .. }),
+            key: inf.op.key().to_owned(),
+            start: inf.start,
+            end: ctx.now(),
+            ok,
+            attempts: inf.attempts,
+            size,
+            bytes,
+        });
+        self.issue_next(ctx);
+    }
+
+    fn on_retry_timer(&mut self, seq: u64, ctx: &mut Ctx) {
+        let Some(inf) = self.inflight.as_ref() else {
+            return;
+        };
+        if inf.id.client_seq != seq {
+            return; // stale timer for a completed op
+        }
+        if inf.attempts >= self.max_attempts {
+            // Give up (keeps benchmarks bounded; the paper's clients retry
+            // until the partition becomes available again).
+            let size = match &inf.op {
+                ClientOp::Put { value, .. } => value.size(),
+                ClientOp::Get { .. } => 0,
+            };
+            self.complete(false, size, None, ctx);
+            return;
+        }
+        self.attempt(ctx);
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            match ev {
+                TransportEvent::Delivered { msg, .. } => {
+                    let Some(kv) = msg.downcast::<KvMsg>() else {
+                        continue;
+                    };
+                    match kv {
+                        KvMsg::PutReply { op, ok } => {
+                            let ok = *ok;
+                            let op = *op;
+                            if let Some(inf) = self.inflight.as_ref() {
+                                if inf.id == op {
+                                    if !ok && inf.attempts < self.max_attempts {
+                                        // failed put: wait for the retry
+                                        // timer (the partition is healing)
+                                        continue;
+                                    }
+                                    let size = match &inf.op {
+                                        ClientOp::Put { value, .. } => value.size(),
+                                        _ => 0,
+                                    };
+                                    self.complete(ok, size, None, ctx);
+                                }
+                            }
+                        }
+                        KvMsg::GetReply { op, value, .. } => {
+                            let op = *op;
+                            let (ok, size, bytes) = match value {
+                                Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
+                                None => (false, 0, None),
+                            };
+                            if let Some(inf) = self.inflight.as_ref() {
+                                if inf.id == op {
+                                    if !ok && self.retry_not_found && inf.attempts < self.max_attempts {
+                                        ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
+                                        continue;
+                                    }
+                                    self.complete(ok, size, bytes, ctx);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                TransportEvent::Sent { token, .. } => {
+                    // Quorum-mode puts complete at transport level.
+                    if let Some(inf) = self.inflight.as_ref() {
+                        if inf.quorum_token == Some(token) {
+                            let size = match &inf.op {
+                                ClientOp::Put { value, .. } => value.size(),
+                                _ => 0,
+                            };
+                            self.complete(true, size, None, ctx);
+                        }
+                    }
+                }
+                TransportEvent::Failed { token } => {
+                    if let Some(inf) = self.inflight.as_ref() {
+                        if inf.quorum_token == Some(token) {
+                            // let the retry timer drive the re-attempt
+                            let _ = token;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl App for ClientApp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.start_at.saturating_sub(ctx.now()), TOK_START);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        if token == TOK_START {
+            self.issue_next(ctx);
+            return;
+        }
+        if token >= TOK_RETRY_BASE {
+            self.on_retry_timer(token & 0xFFFF_FFFF, ctx);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.tp.on_crash();
+        self.inflight = None;
+    }
+}

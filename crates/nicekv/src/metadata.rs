@@ -1,0 +1,986 @@
+//! The metadata service: the membership module and the SDN controller
+//! (§4.1), in one application (the paper's mapping node).
+//!
+//! The membership module monitors heartbeats and failure reports, selects
+//! handoff nodes, and drives node recovery. The SDN controller owns the
+//! switch flow tables: it maps the virtual rings onto physical nodes
+//! (unicast and multicast), installs the load-balancing rules of §4.5,
+//! and hides failed or inconsistent nodes by removing them from the
+//! mappings (§3.3 consistency-aware fault tolerance).
+//!
+//! Rule-update cost is O(S) switch operations and O(R) node
+//! notifications per membership change, independent of cluster size
+//! (§4.1 "This membership maintenance design is scalable").
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowTable, GroupBucket, GroupId, L3Learner};
+use nice_ring::{ClientDivisions, NodeIdx, PartitionId, PhysicalRing};
+use nice_sim::{App, Ctx, Ipv4, Mac, Packet, Port, SwitchId, Time};
+use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+
+use crate::config::KvConfig;
+use crate::msg::{HandoffRecord, KvMsg, LoadStats, PartitionView};
+
+const TOK_HBCHECK: u64 = 1;
+/// Rebalance the adaptive load balancer every this many heartbeat ticks.
+const REBALANCE_EVERY: u32 = 4;
+const CTRL_MSG_BYTES: u32 = 64;
+
+/// Cookie namespace for unicast vring rules.
+const COOKIE_UNICAST: u64 = 0x1000_0000;
+/// Cookie namespace for load-balancing rules.
+const COOKIE_LB: u64 = 0x2000_0000;
+
+/// A switch under this controller's management.
+pub struct SwitchHandle {
+    /// The switch.
+    pub id: SwitchId,
+    /// Its (shared) flow table.
+    pub table: Rc<RefCell<FlowTable>>,
+    /// Control-channel latency: mutations activate this far in the future.
+    pub ctrl_latency: Time,
+    /// Which port each known endpoint hangs off.
+    pub ports: HashMap<Ipv4, Port>,
+}
+
+pub use crate::msg::NodeState;
+
+/// Role of a metadata-service instance (§4.1's hot-standby design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaRole {
+    /// The acting metadata service.
+    Active,
+    /// A hot standby replicating the active's state; takes over after
+    /// three missed sync messages.
+    Standby {
+        /// The active instance being shadowed.
+        active: Ipv4,
+    },
+}
+
+/// Events the metadata service logs (drives tests and Figure 11 analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaEvent {
+    /// A node was declared failed.
+    NodeFailed(NodeIdx),
+    /// This (standby) instance promoted itself to active (§4.1).
+    Promoted,
+    /// `handoff` now stands in for `failed` on `partition`.
+    HandoffAssigned {
+        /// The partition.
+        partition: PartitionId,
+        /// The dead node.
+        failed: NodeIdx,
+        /// Its stand-in.
+        handoff: NodeIdx,
+    },
+    /// A node re-entered the put ring.
+    NodeRejoining(NodeIdx),
+    /// A node finished recovery and re-entered the get ring.
+    NodeRecovered(NodeIdx),
+    /// The primary of `partition` changed.
+    PrimaryChanged {
+        /// The partition.
+        partition: PartitionId,
+        /// The promoted node.
+        new_primary: NodeIdx,
+    },
+}
+
+struct NodeInfo {
+    ip: Ipv4,
+    mac: Mac,
+    state: NodeState,
+    last_hb: Time,
+}
+
+/// The metadata service + SDN controller application.
+pub struct MetadataApp {
+    cfg: KvConfig,
+    ring: PhysicalRing,
+    nodes: Vec<NodeInfo>,
+    switches: Vec<SwitchHandle>,
+    learner: L3Learner,
+    tp: Transport,
+    views: HashMap<PartitionId, PartitionView>,
+    /// Per partition: `(failed original, its stand-in, chain complete)`.
+    /// `complete` means the stand-in saw every write since the original
+    /// failed; a replacement for a dead stand-in is incomplete, so the
+    /// original's rejoin drains from the primary instead.
+    handoffs: HashMap<PartitionId, Vec<HandoffRecord>>,
+    /// Aggregated per-node load statistics from heartbeats (§4.5).
+    pub load: HashMap<NodeIdx, LoadStats>,
+    /// Event log.
+    pub events: Vec<(Time, MetaEvent)>,
+    /// Administrator commands queued by the harness; processed at the
+    /// next heartbeat tick (§4.4 "Ring Re-Configuration").
+    pending_admin: Vec<AdminOp>,
+    /// Observed get load per (partition, client /26 bucket), decayed on
+    /// every rebalance.
+    range_load: HashMap<(PartitionId, Ipv4), u64>,
+    /// Adaptive division→replica assignments (indices into the partition's
+    /// current get-eligible target list), when adaptive LB is active.
+    lb_overrides: HashMap<PartitionId, Vec<usize>>,
+    /// Heartbeat ticks until the next rebalance.
+    rebalance_in: u32,
+    /// Role of this instance (active, or hot standby of another).
+    role: MetaRole,
+    /// Address of our standby, if we run one (active side).
+    standby: Option<Ipv4>,
+    /// Sync messages missed (standby side).
+    missed_syncs: u32,
+}
+
+/// A queued administrator command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Permanently add a node to the ring.
+    AddNode(NodeIdx),
+    /// Permanently remove a node from the ring.
+    RemoveNode(NodeIdx),
+}
+
+impl MetadataApp {
+    /// Build the service over `ring`, with per-node addresses and the
+    /// switches it controls. `node_addrs[i]` is node `i`'s `(ip, mac)`.
+    pub fn new(
+        cfg: KvConfig,
+        ring: PhysicalRing,
+        node_addrs: Vec<(Ipv4, Mac)>,
+        mut switches: Vec<SwitchHandle>,
+        mut learner: L3Learner,
+    ) -> MetadataApp {
+        // node_addrs may include provisioned spares beyond the ring.
+        assert!(node_addrs.len() >= ring.nodes().len());
+        for sw in &mut switches {
+            // Ensure the learner knows about our switches too.
+            learner.add_switch(sw.id, Rc::clone(&sw.table), sw.ctrl_latency);
+        }
+        let nodes = node_addrs
+            .into_iter()
+            .map(|(ip, mac)| NodeInfo {
+                ip,
+                mac,
+                state: NodeState::Up,
+                last_hb: Time::ZERO,
+            })
+            .collect();
+        MetadataApp {
+            tp: Transport::new(cfg.port),
+            cfg,
+            ring,
+            nodes,
+            switches,
+            learner,
+            views: HashMap::new(),
+            handoffs: HashMap::new(),
+            load: HashMap::new(),
+            events: Vec::new(),
+            pending_admin: Vec::new(),
+            range_load: HashMap::new(),
+            lb_overrides: HashMap::new(),
+            rebalance_in: REBALANCE_EVERY,
+            role: MetaRole::Active,
+            standby: None,
+            missed_syncs: 0,
+        }
+    }
+
+    /// Make this instance a hot standby shadowing `active` (§4.1).
+    pub fn into_standby(mut self, active: Ipv4) -> MetadataApp {
+        self.role = MetaRole::Standby { active };
+        self
+    }
+
+    /// Tell this (active) instance to replicate its state to a standby.
+    pub fn with_standby(mut self, standby: Ipv4) -> MetadataApp {
+        self.standby = Some(standby);
+        self
+    }
+
+    /// This instance's current role.
+    pub fn role(&self) -> MetaRole {
+        self.role
+    }
+
+    /// Queue an administrator command (applied at the next heartbeat
+    /// tick). The harness calls this between simulation steps.
+    pub fn queue_admin(&mut self, op: AdminOp) {
+        self.pending_admin.push(op);
+    }
+
+    /// Current view of a partition.
+    pub fn view(&self, p: PartitionId) -> Option<&PartitionView> {
+        self.views.get(&p)
+    }
+
+    /// Liveness state of a node.
+    pub fn node_state(&self, n: NodeIdx) -> NodeState {
+        self.nodes[n.0 as usize].state
+    }
+
+    /// Live flow-table entries on the first switch (the §4.6 occupancy).
+    pub fn table_occupancy(&self, now: Time) -> (usize, usize) {
+        let sw = &self.switches[0];
+        let t = sw.table.borrow();
+        (t.live_entries(now), t.live_groups(now))
+    }
+
+    fn addr(&self, n: NodeIdx) -> Ipv4 {
+        self.nodes[n.0 as usize].ip
+    }
+
+    fn is_get_eligible(&self, n: NodeIdx) -> bool {
+        self.nodes[n.0 as usize].state == NodeState::Up
+    }
+
+    // -----------------------------------------------------------------
+    // Rule management
+    // -----------------------------------------------------------------
+
+    /// (Re-)install all rules for one partition across every switch.
+    fn install_partition(&mut self, p: PartitionId, now: Time) {
+        let view = self.views.get(&p).expect("view exists").clone();
+        // Get-eligible targets: live members only (failure hiding +
+        // rejoining nodes stay invisible to gets).
+        let get_targets: Vec<(NodeIdx, Ipv4)> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|&(n, _)| self.is_get_eligible(n) && !view.syncing.contains(&n))
+            .collect();
+        // Primary target for the base unicast rule (fall back to any
+        // get-eligible member if the primary is not eligible).
+        let base_target = get_targets
+            .iter()
+            .find(|&&(n, _)| n == view.primary)
+            .or_else(|| get_targets.first())
+            .copied();
+        let (u_net, u_len) = self.cfg.unicast.subgroup_prefix(p);
+        let (m_net, m_len) = self.cfg.multicast.subgroup_prefix(p);
+        let lb = if self.cfg.load_balancing && get_targets.len() > 1 {
+            Some(ClientDivisions::new(
+                self.cfg.client_space.0,
+                self.cfg.client_space.1,
+                get_targets.len() as u32,
+            ))
+        } else {
+            None
+        };
+        for sw in &self.switches {
+            let at = now + sw.ctrl_latency;
+            let mut t = sw.table.borrow_mut();
+            // Multicast group: one bucket per member (the put path).
+            let buckets: Vec<GroupBucket> = view
+                .members
+                .iter()
+                .filter_map(|&(n, ip)| {
+                    let mac = self.nodes[n.0 as usize].mac;
+                    sw.ports.get(&ip).map(|&port| GroupBucket::rewrite_to(ip, mac, port))
+                })
+                .collect();
+            t.set_group(GroupId(p.0), buckets, at);
+            t.install(
+                FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(m_net, m_len), vec![Action::Group(GroupId(p.0))])
+                    .cookie(COOKIE_UNICAST | p.0 as u64),
+                at,
+            );
+            // Unicast base rule → primary (or stand-in).
+            t.remove_by_cookie(COOKIE_LB | p.0 as u64, at);
+            match base_target {
+                Some((n, ip)) => {
+                    let mac = self.nodes[n.0 as usize].mac;
+                    if let Some(&port) = sw.ports.get(&ip) {
+                        t.install(
+                            FlowRule::new(
+                                prio::VRING,
+                                FlowMatch::any().dst_prefix(u_net, u_len),
+                                vec![Action::SetIpDst(ip), Action::SetMacDst(mac), Action::Output(port)],
+                            )
+                            .cookie(COOKIE_UNICAST | p.0 as u64),
+                            at,
+                        );
+                    }
+                }
+                None => {
+                    // No get-eligible member: hide the partition entirely.
+                    t.install(
+                        FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(u_net, u_len), vec![Action::Drop])
+                            .cookie(COOKIE_UNICAST | p.0 as u64),
+                        at,
+                    );
+                }
+            }
+            // Load-balancing rules: (src division, dst subgroup) → replica.
+            if let Some(lb) = &lb {
+                let overrides = self.lb_overrides.get(&p);
+                for (d, ((src_net, src_len), idx)) in lb.assignments().enumerate() {
+                    let idx = overrides
+                        .and_then(|o| o.get(d).copied())
+                        .unwrap_or(idx);
+                    let (n, ip) = get_targets[idx % get_targets.len()];
+                    let mac = self.nodes[n.0 as usize].mac;
+                    if let Some(&port) = sw.ports.get(&ip) {
+                        t.install(
+                            FlowRule::new(
+                                prio::LB,
+                                FlowMatch::any().src_prefix(src_net, src_len).dst_prefix(u_net, u_len),
+                                vec![Action::SetIpDst(ip), Action::SetMacDst(mac), Action::Output(port)],
+                            )
+                            .cookie(COOKIE_LB | p.0 as u64),
+                            at,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Membership transitions
+    // -----------------------------------------------------------------
+
+    fn push_view(&mut self, p: PartitionId, extra: &[NodeIdx], ctx: &mut Ctx) {
+        let view = self.views.get(&p).expect("view").clone();
+        let mut recipients: Vec<NodeIdx> = view.members.iter().map(|&(n, _)| n).collect();
+        for &e in extra {
+            if !recipients.contains(&e) {
+                recipients.push(e);
+            }
+        }
+        for n in recipients {
+            if self.nodes[n.0 as usize].state == NodeState::Down {
+                continue;
+            }
+            let dst = self.addr(n);
+            let msg = KvMsg::Membership { views: vec![view.clone()] };
+            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+        }
+    }
+
+    /// Declare `n` failed: hide it from both rings, select handoffs, and
+    /// notify affected replicas (§4.4).
+    pub fn fail_node(&mut self, n: NodeIdx, ctx: &mut Ctx) {
+        if self.nodes[n.0 as usize].state == NodeState::Down {
+            return;
+        }
+        self.nodes[n.0 as usize].state = NodeState::Down;
+        self.events.push((ctx.now(), MetaEvent::NodeFailed(n)));
+        let affected: Vec<PartitionId> = self
+            .views
+            .iter()
+            .filter(|(_, v)| v.members.iter().any(|&(m, _)| m == n))
+            .map(|(&p, _)| p)
+            .collect();
+        for p in affected {
+            let mut view = self.views.get(&p).expect("view").clone();
+            view.members.retain(|&(m, _)| m != n);
+            let mut new_primary = None;
+            if view.primary == n {
+                // Promote the first surviving original (non-handoff) member.
+                let hoffs: Vec<NodeIdx> = self.handoffs.get(&p).map(|v| v.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+                let promoted = view
+                    .members
+                    .iter()
+                    .map(|&(m, _)| m)
+                    .find(|m| !hoffs.contains(m))
+                    .or_else(|| view.members.first().map(|&(m, _)| m));
+                if let Some(np) = promoted {
+                    view.primary = np;
+                    new_primary = Some(np);
+                    self.events.push((
+                        ctx.now(),
+                        MetaEvent::PrimaryChanged {
+                            partition: p,
+                            new_primary: np,
+                        },
+                    ));
+                }
+            }
+            // Was n itself a handoff? The originals it stood in for lose
+            // their drain source; remember them so the replacement handoff
+            // selected below is keyed to THEM, not to n.
+            let orphaned: Vec<NodeIdx> = self
+                .handoffs
+                .get(&p)
+                .map(|hs| hs.iter().filter(|&&(_, h, _)| h == n).map(|&(f, _, _)| f).collect())
+                .unwrap_or_default();
+            if let Some(hs) = self.handoffs.get_mut(&p) {
+                hs.retain(|&(_, h, _)| h != n);
+            }
+            view.handoffs = self.handoffs.get(&p).map(|hs| hs.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+            // Select a handoff for the failed ORIGINAL member (not for a
+            // failed handoff of someone else — that original gets a new
+            // stand-in below either way).
+            let members_now: Vec<NodeIdx> = view.members.iter().map(|&(m, _)| m).collect();
+            let mut exclude: Vec<NodeIdx> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, info)| info.state == NodeState::Down)
+                .map(|(i, _)| NodeIdx(i as u32))
+                .collect();
+            exclude.extend(members_now.iter().copied());
+            if let Some(h) = self.ring.handoff_for(p, &exclude) {
+                let h_ip = self.addr(h);
+                view.members.push((h, h_ip));
+                if !view.handoffs.contains(&h) {
+                    view.handoffs.push(h);
+                }
+                let hs = self.handoffs.entry(p).or_default();
+                hs.push((n, h, true));
+                // The replacement also stands in for any original whose
+                // stand-in just died — but it missed the writes the dead
+                // stand-in held, so the chain is marked incomplete and the
+                // original's rejoin will drain from the primary.
+                for f in &orphaned {
+                    if *f != n {
+                        hs.push((*f, h, false));
+                    }
+                }
+                self.events.push((
+                    ctx.now(),
+                    MetaEvent::HandoffAssigned {
+                        partition: p,
+                        failed: n,
+                        handoff: h,
+                    },
+                ));
+            }
+            self.views.insert(p, view);
+            let now = ctx.now();
+            self.install_partition(p, now);
+            self.push_view(p, &[], ctx);
+            if let Some(np) = new_primary {
+                let dst = self.addr(np);
+                let msg = KvMsg::BecomePrimary { partition: p };
+                self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            }
+        }
+    }
+
+    /// Restore the invariant that a non-empty view's primary is one of its
+    /// members (it can break when an entire replica set failed and nodes
+    /// rejoin one by one). Prefers the ring's original primary. Returns
+    /// the promoted node if a change was needed.
+    fn fix_primary(&mut self, p: PartitionId, view: &mut PartitionView, now: Time) -> Option<NodeIdx> {
+        if view.members.is_empty() || view.members.iter().any(|&(m, _)| m == view.primary) {
+            return None;
+        }
+        let preferred = self.ring.primary(p);
+        let new_primary = if view.members.iter().any(|&(m, _)| m == preferred) {
+            preferred
+        } else {
+            view.members[0].0
+        };
+        view.primary = new_primary;
+        self.events.push((
+            now,
+            MetaEvent::PrimaryChanged {
+                partition: p,
+                new_primary,
+            },
+        ));
+        Some(new_primary)
+    }
+
+    /// A failed node asks to rejoin: phase 1 of §4.4 recovery — put ring
+    /// only, plus a plan of handoff nodes to drain.
+    fn rejoin(&mut self, n: NodeIdx, ctx: &mut Ctx) {
+        if self.nodes[n.0 as usize].state == NodeState::Rejoining {
+            return;
+        }
+        self.nodes[n.0 as usize].state = NodeState::Rejoining;
+        self.nodes[n.0 as usize].last_hb = ctx.now();
+        self.events.push((ctx.now(), MetaEvent::NodeRejoining(n)));
+        let mut sources: Vec<(PartitionId, Option<Ipv4>)> = Vec::new();
+        let parts = self.ring.partitions_of(n);
+        for p in parts {
+            let mut view = self.views.get(&p).expect("view").clone();
+            if !view.members.iter().any(|&(m, _)| m == n) {
+                view.members.push((n, self.addr(n)));
+            }
+            // If the whole replica set had failed, the stored primary may
+            // be dead: restore the invariant now that a member exists.
+            let promoted = self.fix_primary(p, &mut view, ctx.now());
+            self.views.insert(p, view);
+            let handoff_ip = self
+                .handoffs
+                .get(&p)
+                .and_then(|hs| hs.iter().find(|&&(f, _, _)| f == n))
+                .filter(|&&(_, h, complete)| complete && self.nodes[h.0 as usize].state != NodeState::Down)
+                .map(|&(_, h, _)| self.addr(h));
+            // No live *complete* handoff? Anything may have been written
+            // while we were gone — drain the full range from the primary
+            // (correct even when the handoff chain was broken).
+            let source_ip = handoff_ip.or_else(|| {
+                let view = self.views.get(&p).expect("view");
+                let pr = view.primary;
+                (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down).then(|| self.addr(pr))
+            });
+            sources.push((p, source_ip));
+            let now = ctx.now();
+            self.install_partition(p, now); // updates the multicast group
+            self.push_view(p, &[], ctx);
+            if let Some(np) = promoted {
+                let dst = self.addr(np);
+                let msg = KvMsg::BecomePrimary { partition: p };
+                self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            }
+        }
+        let dst = self.addr(n);
+        let msg = KvMsg::RejoinPlan { sources };
+        self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+    }
+
+    /// Admin reconfiguration: apply a queued add/remove (§4.4 "Ring
+    /// Re-Configuration"). New replica-set members are added to the put
+    /// ring immediately, marked `syncing`, and told to retrieve their hash
+    /// range from the partition primary; they become get-visible when they
+    /// report `RecoveryDone`.
+    fn apply_admin(&mut self, op: AdminOp, ctx: &mut Ctx) {
+        let changed = match op {
+            AdminOp::AddNode(n) => {
+                if self.ring.nodes().contains(&n) || self.nodes[n.0 as usize].state != NodeState::Up {
+                    return;
+                }
+                self.ring.add_node(n)
+            }
+            AdminOp::RemoveNode(n) => {
+                if !self.ring.nodes().contains(&n) || self.ring.nodes().len() <= self.cfg.replication {
+                    return;
+                }
+                self.ring.remove_node(n)
+            }
+        };
+        // Per-node sync plans accumulated across affected partitions.
+        let mut plans: HashMap<NodeIdx, Vec<(PartitionId, Option<Ipv4>)>> = HashMap::new();
+        for p in changed {
+            let old = self.views.get(&p).expect("view").clone();
+            let new_set = self.ring.replica_set(p).to_vec();
+            let mut view = PartitionView {
+                partition: p,
+                primary: self.ring.primary(p),
+                members: new_set.iter().map(|&m| (m, self.addr(m))).collect(),
+                handoffs: Vec::new(),
+                syncing: Vec::new(),
+            };
+            // Fresh members must drain their hash range before becoming
+            // get-visible. They fetch from a *surviving* old member
+            // (preferring the old primary) — a node leaving the ring may
+            // garbage-collect its partitions at any moment.
+            let survives = |m: NodeIdx| new_set.contains(&m);
+            let source = if survives(old.primary) {
+                old.primary
+            } else {
+                old.members
+                    .iter()
+                    .map(|&(m, _)| m)
+                    .find(|&m| survives(m))
+                    .unwrap_or(old.primary)
+            };
+            let source_ip = self.addr(source);
+            for &m in &new_set {
+                let was_member = old.members.iter().any(|&(o, _)| o == m);
+                if !was_member {
+                    view.syncing.push(m);
+                    plans.entry(m).or_default().push((p, Some(source_ip)));
+                }
+            }
+            if view.primary != old.primary {
+                self.events.push((
+                    ctx.now(),
+                    MetaEvent::PrimaryChanged {
+                        partition: p,
+                        new_primary: view.primary,
+                    },
+                ));
+            }
+            self.views.insert(p, view);
+            let now = ctx.now();
+            self.install_partition(p, now);
+            // inform current and former members
+            let formers: Vec<NodeIdx> = old.members.iter().map(|&(m, _)| m).collect();
+            self.push_view(p, &formers, ctx);
+        }
+        for (n, sources) in plans {
+            let dst = self.addr(n);
+            let msg = KvMsg::RejoinPlan { sources };
+            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+        }
+    }
+
+    /// Phase 2: the node holds consistent data — open the get path and
+    /// retire its handoffs.
+    fn recovered(&mut self, n: NodeIdx, ctx: &mut Ctx) {
+        if self.nodes[n.0 as usize].state == NodeState::Up {
+            // An admin-added replica finished draining its hash ranges:
+            // make it get-visible everywhere it was syncing.
+            let parts: Vec<PartitionId> = self
+                .views
+                .iter()
+                .filter(|(_, v)| v.syncing.contains(&n))
+                .map(|(&p, _)| p)
+                .collect();
+            for p in parts {
+                let mut view = self.views.get(&p).expect("view").clone();
+                view.syncing.retain(|&m| m != n);
+                self.views.insert(p, view);
+                let now = ctx.now();
+                self.install_partition(p, now);
+                self.push_view(p, &[], ctx);
+            }
+            self.events.push((ctx.now(), MetaEvent::NodeRecovered(n)));
+            return;
+        }
+        if self.nodes[n.0 as usize].state != NodeState::Rejoining {
+            return;
+        }
+        self.nodes[n.0 as usize].state = NodeState::Up;
+        self.events.push((ctx.now(), MetaEvent::NodeRecovered(n)));
+        for p in self.ring.partitions_of(n) {
+            let mut retired: Vec<NodeIdx> = Vec::new();
+            if let Some(hs) = self.handoffs.get_mut(&p) {
+                let mine: Vec<NodeIdx> = hs.iter().filter(|&&(f, _, _)| f == n).map(|&(_, h, _)| h).collect();
+                hs.retain(|&(f, _, _)| f != n);
+                let still_needed: Vec<NodeIdx> = hs.iter().map(|&(_, h, _)| h).collect();
+                for h in mine {
+                    if !still_needed.contains(&h) {
+                        retired.push(h);
+                    }
+                }
+            }
+            let mut view = self.views.get(&p).expect("view").clone();
+            view.members.retain(|&(m, _)| !retired.contains(&m));
+            view.handoffs = self.handoffs.get(&p).map(|hs| hs.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+            self.views.insert(p, view);
+            let now = ctx.now();
+            self.install_partition(p, now);
+            self.push_view(p, &retired, ctx);
+        }
+    }
+
+    fn check_heartbeats(&mut self, ctx: &mut Ctx) {
+        if let MetaRole::Standby { .. } = self.role {
+            // Count the active's sync messages instead of node heartbeats;
+            // three misses and we take over (§4.1).
+            self.missed_syncs += 1;
+            if self.missed_syncs > 3 {
+                self.promote(ctx);
+            }
+            ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
+            return;
+        }
+        for op in std::mem::take(&mut self.pending_admin) {
+            self.apply_admin(op, ctx);
+        }
+        let now = ctx.now();
+        let dead: Vec<NodeIdx> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.state != NodeState::Down && now.saturating_sub(info.last_hb) > self.cfg.hb_interval * 3)
+            .map(|(i, _)| NodeIdx(i as u32))
+            .collect();
+        for n in dead {
+            self.fail_node(n, ctx);
+        }
+        if self.cfg.adaptive_lb && self.cfg.load_balancing {
+            self.rebalance_in = self.rebalance_in.saturating_sub(1);
+            if self.rebalance_in == 0 {
+                self.rebalance_in = REBALANCE_EVERY;
+                self.rebalance(ctx);
+            }
+        }
+        // Replicate state to the hot standby (the metadata is small and
+        // changes infrequently, §4.1).
+        if let Some(standby) = self.standby {
+            let msg = KvMsg::MetaSync {
+                views: self.views.values().cloned().collect(),
+                handoffs: self.handoffs.iter().map(|(&p, v)| (p, v.clone())).collect(),
+                states: self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, info)| (NodeIdx(i as u32), info.state))
+                    .collect(),
+            };
+            let size = CTRL_MSG_BYTES + 48 * self.views.len() as u32;
+            self.tp.tcp_send(ctx, standby, self.cfg.port, Msg::new(msg, size));
+        }
+        ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
+    }
+
+    /// Standby → active takeover: adopt the replicated state, reinstall
+    /// every rule (idempotent), and redirect node reporting to us.
+    fn promote(&mut self, ctx: &mut Ctx) {
+        self.role = MetaRole::Active;
+        self.events.push((ctx.now(), MetaEvent::Promoted));
+        let now = ctx.now();
+        // Avoid a mass false-failure storm: the replicated last_hb values
+        // are stale by design.
+        for info in &mut self.nodes {
+            info.last_hb = now;
+        }
+        let parts: Vec<PartitionId> = self.views.keys().copied().collect();
+        for p in parts {
+            self.install_partition(p, now);
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].state == NodeState::Down {
+                continue;
+            }
+            let dst = self.nodes[i].ip;
+            let msg = KvMsg::MetaFailover { new_meta: ctx.ip() };
+            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+        }
+    }
+
+    /// Workload-informed rebalancing (the paper's §4.5 future work):
+    /// assign client divisions to replicas with an LPT greedy so the
+    /// heaviest observed source ranges spread across replicas, instead of
+    /// static round-robin. Loads decay by half each round so the balancer
+    /// tracks shifting workloads.
+    fn rebalance(&mut self, ctx: &mut Ctx) {
+        let parts: Vec<PartitionId> = self.views.keys().copied().collect();
+        for p in parts {
+            let view = self.views.get(&p).expect("view");
+            let targets: Vec<NodeIdx> = view
+                .members
+                .iter()
+                .map(|&(n, _)| n)
+                .filter(|&n| self.is_get_eligible(n) && !view.syncing.contains(&n))
+                .collect();
+            if targets.len() < 2 {
+                continue;
+            }
+            let div = ClientDivisions::new(self.cfg.client_space.0, self.cfg.client_space.1, targets.len() as u32);
+            // Per-division observed load: sum the /26 buckets inside each
+            // division prefix.
+            let loads: Vec<u64> = div
+                .assignments()
+                .map(|((net, len), _)| {
+                    self.range_load
+                        .iter()
+                        .filter(|(&(pp, bucket), _)| pp == p && bucket.in_prefix(net, len))
+                        .map(|(_, &n)| n)
+                        .sum()
+                })
+                .collect();
+            if loads.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            let assignment = assign_divisions_lpt(&loads, targets.len());
+            if self.lb_overrides.get(&p).map(|o| o.as_slice()) != Some(assignment.as_slice()) {
+                self.lb_overrides.insert(p, assignment);
+                let now = ctx.now();
+                self.install_partition(p, now);
+            }
+        }
+        for v in self.range_load.values_mut() {
+            *v /= 2;
+        }
+        self.range_load.retain(|_, &mut v| v > 0);
+    }
+
+    fn on_kv(&mut self, msg: &KvMsg, _src: Ipv4, ctx: &mut Ctx) {
+        if let KvMsg::MetaSync { views, handoffs, states } = msg {
+            // Standby side: adopt the active's state wholesale.
+            self.missed_syncs = 0;
+            self.views = views.iter().map(|v| (v.partition, v.clone())).collect();
+            self.handoffs = handoffs.iter().cloned().collect();
+            for &(n, st) in states {
+                if let Some(info) = self.nodes.get_mut(n.0 as usize) {
+                    info.state = st;
+                }
+            }
+            return;
+        }
+        if let MetaRole::Standby { .. } = self.role {
+            return; // passive: the active instance handles the cluster
+        }
+        match msg {
+            KvMsg::Heartbeat { node, stats } => {
+                let info = &mut self.nodes[node.0 as usize];
+                info.last_hb = ctx.now();
+                let agg = self.load.entry(*node).or_default();
+                agg.gets += stats.gets;
+                agg.puts += stats.puts;
+                agg.bytes_out += stats.bytes_out;
+                for &(p, bucket, n) in &stats.gets_by_range {
+                    *self.range_load.entry((p, bucket)).or_insert(0) += n;
+                }
+            }
+            KvMsg::FailureReport { suspect, .. } => self.fail_node(*suspect, ctx),
+            KvMsg::RejoinRequest { node } => self.rejoin(*node, ctx),
+            KvMsg::RecoveryDone { node } => self.recovered(*node, ctx),
+            _ => {}
+        }
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            if let TransportEvent::Delivered { from, msg, .. } = ev {
+                if let Some(kv) = msg.downcast::<KvMsg>() {
+                    let kv = kv.clone();
+                    self.on_kv(&kv, from.0, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl App for MetadataApp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        for info in &mut self.nodes {
+            info.last_hb = now;
+        }
+        if let MetaRole::Standby { .. } = self.role {
+            // Passive: just build the same initial views locally and wait
+            // for syncs; the active instance owns the switch.
+            for p in 0..self.ring.num_partitions() {
+                let p = PartitionId(p);
+                let members: Vec<(NodeIdx, Ipv4)> = self
+                    .ring
+                    .replica_set(p)
+                    .iter()
+                    .map(|&n| (n, self.nodes[n.0 as usize].ip))
+                    .collect();
+                self.views.insert(
+                    p,
+                    PartitionView {
+                        partition: p,
+                        primary: self.ring.primary(p),
+                        members,
+                        handoffs: Vec::new(),
+                        syncing: Vec::new(),
+                    },
+                );
+            }
+            ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
+            return;
+        }
+        // Build initial views from the static ring and install everything.
+        for p in 0..self.ring.num_partitions() {
+            let p = PartitionId(p);
+            let members: Vec<(NodeIdx, Ipv4)> = self
+                .ring
+                .replica_set(p)
+                .iter()
+                .map(|&n| (n, self.nodes[n.0 as usize].ip))
+                .collect();
+            let view = PartitionView {
+                partition: p,
+                primary: self.ring.primary(p),
+                members,
+                handoffs: Vec::new(),
+                syncing: Vec::new(),
+            };
+            self.views.insert(p, view);
+            self.install_partition(p, now);
+        }
+        // Initial membership push: each node gets the views it serves.
+        let mut per_node: HashMap<NodeIdx, Vec<PartitionView>> = HashMap::new();
+        for view in self.views.values() {
+            for &(n, _) in &view.members {
+                per_node.entry(n).or_default().push(view.clone());
+            }
+        }
+        for (n, views) in per_node {
+            let dst = self.addr(n);
+            let size = CTRL_MSG_BYTES + 64 * views.len() as u32;
+            let msg = KvMsg::Membership { views };
+            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
+        }
+        ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        if token == TOK_HBCHECK {
+            self.check_heartbeats(ctx);
+        }
+    }
+
+    fn on_packet_in(&mut self, sw: SwitchId, in_port: Port, pkt: Packet, ctx: &mut Ctx) {
+        let _ = self.learner.on_packet_in(sw, in_port, pkt, ctx);
+    }
+}
+
+
+/// Longest-processing-time greedy: assign each division (heaviest first)
+/// to the replica with the least accumulated load. Returns, per division
+/// index, the chosen replica index in `0..targets`.
+pub fn assign_divisions_lpt(loads: &[u64], targets: usize) -> Vec<usize> {
+    assert!(targets > 0);
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by_key(|&d| std::cmp::Reverse(loads[d]));
+    let mut acc = vec![0u64; targets];
+    let mut out = vec![0usize; loads.len()];
+    for d in order {
+        let t = (0..targets).min_by_key(|&t| (acc[t], t)).expect("targets > 0");
+        out[d] = t;
+        acc[t] += loads[d];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_spreads_uniform_load_round_robin_like() {
+        let a = assign_divisions_lpt(&[10, 10, 10, 10], 4);
+        let mut targets = a.clone();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 1, 2, 3], "each replica gets one division");
+    }
+
+    #[test]
+    fn lpt_isolates_the_heavy_division() {
+        // one division carries almost everything: it must get a replica
+        // to itself while the light ones share.
+        let a = assign_divisions_lpt(&[1000, 10, 10, 10], 3);
+        let heavy = a[0];
+        assert!(a[1..].iter().all(|&t| t != heavy), "{a:?}");
+    }
+
+    #[test]
+    fn lpt_minimizes_makespan_on_known_case() {
+        // classic LPT instance: loads 7,6,5,4 on 2 targets -> 11 vs 11.
+        let a = assign_divisions_lpt(&[7, 6, 5, 4], 2);
+        let mut acc = [0u64; 2];
+        for (d, &t) in a.iter().enumerate() {
+            acc[t] += [7u64, 6, 5, 4][d];
+        }
+        assert_eq!(acc[0].max(acc[1]), 11);
+    }
+
+    #[test]
+    fn lpt_handles_more_targets_than_divisions() {
+        let a = assign_divisions_lpt(&[5, 3], 8);
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn lpt_zero_loads_are_stable() {
+        let a = assign_divisions_lpt(&[0, 0, 0], 2);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|&t| t < 2));
+    }
+}

@@ -1,0 +1,406 @@
+//! The NICEKV wire protocol: values, the ordering timestamp of §4.3, and
+//! every message exchanged between clients, storage nodes, and the
+//! metadata service.
+
+use std::rc::Rc;
+
+use nice_ring::{NodeIdx, PartitionId};
+use nice_sim::Ipv4;
+
+/// A stored value. Benchmarks move multi-megabyte objects, so the value
+/// carries real bytes *plus* a logical padding size: tests use real bytes
+/// (`pad = 0`), benchmarks use empty bytes with `pad = object size`. All
+/// transfer-time accounting uses [`Value::size`].
+#[derive(Debug, Clone)]
+pub struct Value {
+    /// Actual bytes (asserted on in tests).
+    pub bytes: Rc<Vec<u8>>,
+    /// Additional logical bytes (benchmark payload padding).
+    pub pad: u32,
+}
+
+impl Value {
+    /// A value from real bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Value {
+        Value {
+            bytes: Rc::new(bytes),
+            pad: 0,
+        }
+    }
+
+    /// A synthetic value of `size` logical bytes.
+    pub fn synthetic(size: u32) -> Value {
+        Value {
+            bytes: Rc::new(Vec::new()),
+            pad: size,
+        }
+    }
+
+    /// Logical size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32 + self.pad
+    }
+}
+
+/// The put-ordering timestamp of §4.3: "The timestamp contains the
+/// following quadruplet: primary address, primary timestamp, client
+/// address, and client timestamp. The timestamp creates an order between
+/// put operations to the same object, even between retrials of the put
+/// operation by the same client."
+///
+/// Ordering is lexicographic on `(primary_seq, primary, client_seq,
+/// client)`: a primary's sequence number advances per commit, so commits
+/// by one primary are totally ordered; across primary failovers the new
+/// primary continues from a higher sequence (it learns the floor during
+/// lock resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// The committing primary's sequence number.
+    pub primary_seq: u64,
+    /// The committing primary's address.
+    pub primary: Ipv4,
+    /// The client's per-operation sequence number.
+    pub client_seq: u64,
+    /// The client's address.
+    pub client: Ipv4,
+}
+
+/// Identifies one client put attempt (used to dedupe retries and to pair
+/// acks with pending operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId {
+    /// Client address.
+    pub client: Ipv4,
+    /// Client sequence number.
+    pub client_seq: u64,
+}
+
+/// Per-node load statistics shipped in heartbeats (§4.5: "the metadata
+/// service collects, through heartbeats, periodic workload statistics,
+/// including the range of client IP addresses accessing each partition").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Gets served since the last heartbeat.
+    pub gets: u64,
+    /// Puts served since the last heartbeat.
+    pub puts: u64,
+    /// Bytes sent to clients since the last heartbeat.
+    pub bytes_out: u64,
+    /// Gets per (partition, client source-range base): the raw material
+    /// for workload-informed load balancing. Source ranges are /26
+    /// buckets of the client space.
+    pub gets_by_range: Vec<(PartitionId, Ipv4, u64)>,
+}
+
+/// Everything that travels between NICEKV processes.
+#[derive(Debug, Clone)]
+pub enum KvMsg {
+    // ------------------------- client data path -------------------------
+    /// Client put, sent to the *multicast* vring address of the key's
+    /// partition; the switch replicates it to every replica (§4.2).
+    PutRequest {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+        /// Identifies the attempt (stable across client retries).
+        op: OpId,
+    },
+    /// Client get, sent to the *unicast* vring address (rewritten by the
+    /// switch to the primary, or to a per-client-division replica when
+    /// load balancing is on).
+    GetRequest {
+        /// The key.
+        key: String,
+        /// Identifies the attempt.
+        op: OpId,
+    },
+    /// Server → client put acknowledgment (over TCP, §5).
+    PutReply {
+        /// The attempt this answers.
+        op: OpId,
+        /// Whether the put committed.
+        ok: bool,
+    },
+    /// Server → client get response.
+    GetReply {
+        /// The attempt this answers.
+        op: OpId,
+        /// The committed value, if present.
+        value: Option<Value>,
+        /// Its commit timestamp.
+        ts: Option<Timestamp>,
+    },
+
+    // ------------------------- 2PC (Figure 3) ---------------------------
+    /// Secondary → primary: object locked, logged, and written.
+    PutAck1 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// Reporting node.
+        from: NodeIdx,
+    },
+    /// Primary → replicas (via the multicast vring): commit with this
+    /// timestamp — the "timestamp message" of Figure 3.
+    Commit {
+        /// The key.
+        key: String,
+        /// The attempt being committed.
+        op: OpId,
+        /// The commit timestamp.
+        ts: Timestamp,
+    },
+    /// Secondary → primary: commit applied, lock released.
+    PutAck2 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// Reporting node.
+        from: NodeIdx,
+    },
+    /// Primary → replicas: abandon a pending put (failure handling).
+    Abort {
+        /// The key.
+        key: String,
+        /// The attempt being aborted.
+        op: OpId,
+    },
+
+    // -------------------- membership & fault tolerance ------------------
+    /// Storage node → metadata service, periodic (UDP).
+    Heartbeat {
+        /// Reporting node.
+        node: NodeIdx,
+        /// Load since last heartbeat.
+        stats: LoadStats,
+    },
+    /// Storage node → metadata service: peer looks dead ("a node reports
+    /// to the metadata service that another node is irresponsive").
+    FailureReport {
+        /// The suspect.
+        suspect: NodeIdx,
+        /// The reporter.
+        from: NodeIdx,
+    },
+    /// Metadata service → storage node: your authoritative view of the
+    /// partitions you participate in.
+    Membership {
+        /// One entry per partition the node serves.
+        views: Vec<PartitionView>,
+    },
+    /// Restarted node → metadata service: let me rejoin.
+    RejoinRequest {
+        /// The node rejoining.
+        node: NodeIdx,
+    },
+    /// Metadata → rejoining node: fetch missed objects from these handoff
+    /// nodes, then report consistency.
+    RejoinPlan {
+        /// `(partition, handoff ip)` pairs to sync from (handoff may be
+        /// absent if nothing was written during the outage).
+        sources: Vec<(PartitionId, Option<Ipv4>)>,
+    },
+    /// Rejoining node → handoff node: send me what I missed.
+    HandoffFetch {
+        /// Partition to drain.
+        partition: PartitionId,
+        /// Requesting node.
+        from: NodeIdx,
+    },
+    /// Handoff node → rejoining node: the missed objects.
+    HandoffData {
+        /// Partition these belong to.
+        partition: PartitionId,
+        /// `(key, value, timestamp)` triples.
+        objects: Vec<(String, Value, Timestamp)>,
+    },
+    /// Rejoining node → metadata: I hold consistent data; open the get
+    /// path (§4.4 "Node Recovery", step 3).
+    RecoveryDone {
+        /// The recovered node.
+        node: NodeIdx,
+    },
+
+    // ------------------------ handoff get path --------------------------
+    /// Handoff node → primary: a get for an object the handoff does not
+    /// have ("the handoff node will forward the request to the primary").
+    GetForward {
+        /// The key.
+        key: String,
+        /// The original attempt (reply goes straight to the client).
+        op: OpId,
+    },
+
+    // ------------------ metadata high availability (§4.1) ---------------
+    /// Active metadata service → hot standby: full replicated state.
+    /// "the stored metadata is small and changes infrequently … These two
+    /// characteristics make maintaining a hot standby server feasible."
+    MetaSync {
+        /// Every partition view.
+        views: Vec<PartitionView>,
+        /// Handoff bookkeeping, per partition (see [`HandoffRecord`]).
+        handoffs: Vec<(PartitionId, Vec<HandoffRecord>)>,
+        /// Node liveness.
+        states: Vec<(NodeIdx, NodeState)>,
+    },
+    /// Promoted standby → everyone: report to me from now on.
+    MetaFailover {
+        /// The standby's address.
+        new_meta: Ipv4,
+    },
+
+    // ---------------------- primary failover (§4.4) ---------------------
+    /// Metadata → promoted secondary: you are now the primary of this
+    /// partition; run lock resolution.
+    BecomePrimary {
+        /// Partition being taken over.
+        partition: PartitionId,
+    },
+    /// New primary → secondaries: report your locked objects.
+    LockQuery {
+        /// Partition being resolved.
+        partition: PartitionId,
+    },
+    /// Secondary → new primary: lock table for the partition.
+    LockReport {
+        /// Partition reported.
+        partition: PartitionId,
+        /// Reporting node.
+        from: NodeIdx,
+        /// `(key, op, committed_ts)`: committed_ts is set if this node
+        /// already committed that attempt.
+        locked: Vec<(String, OpId, Option<Timestamp>)>,
+        /// Highest primary_seq this node has ever applied (the new
+        /// primary's sequence floor).
+        max_seq: u64,
+    },
+}
+
+/// One handoff bookkeeping record: `(failed original, stand-in, chain
+/// complete)`. `complete` is false when a previous stand-in died, so the
+/// original's rejoin must drain from the primary instead.
+pub type HandoffRecord = (NodeIdx, NodeIdx, bool);
+
+/// Liveness state of a storage node, as tracked (and replicated to the
+/// hot standby) by the metadata service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Serving both rings.
+    Up,
+    /// Hidden from both rings (§4.4 failure hiding).
+    Down,
+    /// In the multicast (put) ring only — receiving writes but not yet
+    /// consistent (§4.4 node recovery, phase 1).
+    Rejoining,
+}
+
+/// A node's role in one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Primary replica.
+    Primary,
+    /// Secondary replica.
+    Secondary,
+    /// Temporary handoff replica (§4.4).
+    Handoff,
+}
+
+/// The authoritative description of one partition, as distributed by the
+/// metadata service. Nodes only ever receive views for partitions they
+/// participate in — the O(R) membership knowledge of §4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionView {
+    /// The partition.
+    pub partition: PartitionId,
+    /// Current primary.
+    pub primary: NodeIdx,
+    /// All *currently active* members (primary, live secondaries, and any
+    /// handoff), with their addresses. This is the multicast group.
+    pub members: Vec<(NodeIdx, Ipv4)>,
+    /// Handoff members currently standing in for failed originals (§4.4).
+    pub handoffs: Vec<NodeIdx>,
+    /// Members still retrieving data (admin ring reconfiguration, §4.4):
+    /// they participate in puts but are not yet get-visible.
+    pub syncing: Vec<NodeIdx>,
+}
+
+impl PartitionView {
+    /// The address of `node` within this view.
+    pub fn addr_of(&self, node: NodeIdx) -> Option<Ipv4> {
+        self.members.iter().find(|&&(n, _)| n == node).map(|&(_, ip)| ip)
+    }
+
+    /// The primary's address.
+    pub fn primary_addr(&self) -> Ipv4 {
+        self.addr_of(self.primary).expect("primary is a member")
+    }
+
+    /// Number of active members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the view has no members (never happens in a live system).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(Value::from_bytes(vec![1, 2, 3]).size(), 3);
+        assert_eq!(Value::synthetic(1 << 20).size(), 1 << 20);
+        let v = Value {
+            bytes: Rc::new(vec![0; 10]),
+            pad: 5,
+        };
+        assert_eq!(v.size(), 15);
+    }
+
+    #[test]
+    fn timestamp_total_order() {
+        let a = Timestamp {
+            primary_seq: 1,
+            primary: Ipv4::new(10, 0, 0, 1),
+            client_seq: 5,
+            client: Ipv4::new(10, 0, 1, 1),
+        };
+        let mut b = a;
+        b.primary_seq = 2;
+        assert!(b > a, "later primary seq wins");
+        let mut c = a;
+        c.client_seq = 6;
+        assert!(c > a, "same primary seq: later client attempt wins");
+        // retry of the same client op through a different primary
+        let mut d = a;
+        d.primary = Ipv4::new(10, 0, 0, 2);
+        assert_ne!(d, a);
+        assert!(d != a, "total order");
+    }
+
+    #[test]
+    fn partition_view_lookup() {
+        let v = PartitionView {
+            partition: PartitionId(3),
+            primary: NodeIdx(1),
+            members: vec![
+                (NodeIdx(1), Ipv4::new(10, 0, 0, 11)),
+                (NodeIdx(2), Ipv4::new(10, 0, 0, 12)),
+            ],
+            handoffs: Vec::new(),
+            syncing: Vec::new(),
+        };
+        assert_eq!(v.primary_addr(), Ipv4::new(10, 0, 0, 11));
+        assert_eq!(v.addr_of(NodeIdx(2)), Some(Ipv4::new(10, 0, 0, 12)));
+        assert_eq!(v.addr_of(NodeIdx(9)), None);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+}

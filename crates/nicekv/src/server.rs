@@ -1,0 +1,946 @@
+//! The NICEKV storage node.
+//!
+//! A state machine implementing the paper's network-centric mechanisms
+//! from the server side:
+//!
+//! * the NICE-2PC put protocol of §4.3 / Figure 3 (multicast data, lock,
+//!   forced log write, object write, timestamp round, client reply),
+//! * get serving, including the handoff get-forwarding of §4.4,
+//! * failure detection (2PC ack timeouts → failure reports; stale locks →
+//!   primary-suspect reports) and heartbeats,
+//! * node recovery (rejoin plan, handoff drain, recovery-done),
+//! * primary failover lock resolution (commit-if-committed-anywhere,
+//!   abort-if-locked-everywhere).
+//!
+//! Storage nodes hold O(R) membership knowledge only: the
+//! [`PartitionView`]s the metadata service pushes for the partitions they
+//! participate in (§4.1).
+
+use std::collections::{HashMap, HashSet};
+
+use nice_ring::{hash_str, NodeIdx, PartitionId};
+use nice_sim::{App, Ctx, Ipv4, Packet, Time};
+use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+
+use crate::config::{KvConfig, PutMode};
+use crate::msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
+use crate::storage::{ObjectStore, StorageCfg};
+
+const TOK_HEARTBEAT: u64 = 1;
+const TOK_SWEEP: u64 = 2;
+const TOK_CONT_BASE: u64 = 1000;
+
+/// Approximate wire size of small protocol messages (acks, queries).
+const CTRL_MSG_BYTES: u32 = 64;
+/// App-level CPU cost of serving one client request (parse, hash, index,
+/// buffer management, reply serialization). Calibrated to a Swift-class
+/// 2017 storage stack (§6: "NOOB-RAG performance was equivalent or
+/// slightly better than Swift storage").
+const REQ_COST: Time = Time::from_us(300);
+/// App-level CPU cost of handling one small protocol/control message
+/// (acks, timestamps, membership).
+const CTRL_COST: Time = Time::from_us(15);
+/// App-level CPU cost of *sending* one value-carrying message (socket
+/// write, stack traversal, segmentation). This is what makes a NOOB
+/// primary that fans out R-1 object copies a CPU hotspot as well as a
+/// network one (Figures 7 and 12).
+const DATA_SEND_COST: Time = Time::from_us(100);
+/// Messages larger than this pay [`DATA_SEND_COST`] on send.
+const DATA_SEND_THRESHOLD: u32 = 512;
+
+/// Deferred work resumed by a timer (storage-write completions and
+/// coordination deadlines).
+enum Cont {
+    /// The local object write (W) finished.
+    Written { key: String, op: OpId },
+    /// A 2PC coordination round deadline.
+    CoordDeadline { key: String, op: OpId },
+    /// A received message cleared the CPU queue: process it now. This is
+    /// how request processing time becomes part of response latency.
+    Process { msg: Box<KvMsg>, src: Ipv4 },
+}
+
+/// Primary-side state of one in-flight put.
+struct Coord {
+    partition: PartitionId,
+    client: Ipv4,
+    acks1: HashSet<NodeIdx>,
+    acks2: HashSet<NodeIdx>,
+    self_written: bool,
+    committed: bool,
+    timeouts: u32,
+}
+
+/// Lock-resolution state on a freshly promoted primary.
+struct Resolve {
+    waiting: HashSet<NodeIdx>,
+    /// key -> (op, committed_ts anywhere?, lock count)
+    locked: HashMap<String, (OpId, Option<Timestamp>, usize)>,
+    max_seq: u64,
+}
+
+/// The storage-node application.
+pub struct ServerApp {
+    cfg: KvConfig,
+    node: NodeIdx,
+    meta: Ipv4,
+    tp: Transport,
+    store: ObjectStore,
+    views: HashMap<PartitionId, PartitionView>,
+    coords: HashMap<(String, OpId), Coord>,
+    waiting: HashMap<String, Vec<(OpId, Value)>>,
+    conts: HashMap<u64, Cont>,
+    next_cont: u64,
+    primary_seq: u64,
+    resolves: HashMap<PartitionId, Resolve>,
+    /// Outstanding rejoin syncs: partitions we still owe a handoff fetch.
+    rejoin_pending: HashSet<PartitionId>,
+    rejoining: bool,
+    stats: LoadStats,
+    reported_down: HashSet<NodeIdx>,
+    /// Totals for tests/benches.
+    pub_counters: Counters,
+}
+
+/// Observable server counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Gets served locally.
+    pub gets_served: u64,
+    /// Gets forwarded to the primary (handoff misses).
+    pub gets_forwarded: u64,
+    /// Puts committed locally.
+    pub puts_committed: u64,
+    /// Puts aborted.
+    pub puts_aborted: u64,
+    /// Failure reports sent.
+    pub failure_reports: u64,
+}
+
+impl ServerApp {
+    /// A storage node `node` reporting to the metadata service at `meta`.
+    pub fn new(cfg: KvConfig, node: NodeIdx, meta: Ipv4, storage: StorageCfg) -> ServerApp {
+        ServerApp {
+            tp: Transport::new(cfg.port),
+            cfg,
+            node,
+            meta,
+            store: ObjectStore::new(storage),
+            views: HashMap::new(),
+            coords: HashMap::new(),
+            waiting: HashMap::new(),
+            conts: HashMap::new(),
+            next_cont: TOK_CONT_BASE,
+            primary_seq: 0,
+            resolves: HashMap::new(),
+            rejoin_pending: HashSet::new(),
+            rejoining: false,
+            stats: LoadStats::default(),
+            reported_down: HashSet::new(),
+            pub_counters: Counters::default(),
+        }
+    }
+
+    /// The node index.
+    pub fn node(&self) -> NodeIdx {
+        self.node
+    }
+
+    /// The local object store (inspection).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Observable counters.
+    pub fn counters(&self) -> Counters {
+        self.pub_counters
+    }
+
+    /// Current partition views (inspection).
+    pub fn views(&self) -> &HashMap<PartitionId, PartitionView> {
+        &self.views
+    }
+
+    fn partition_of(&self, key: &str) -> PartitionId {
+        PartitionId((hash_str(key) >> (64 - self.cfg.partitions.trailing_zeros())) as u32)
+    }
+
+    fn my_role(&self, view: &PartitionView) -> Option<Role> {
+        if view.handoffs.contains(&self.node) {
+            Some(Role::Handoff)
+        } else if view.primary == self.node {
+            Some(Role::Primary)
+        } else if view.members.iter().any(|&(n, _)| n == self.node) {
+            Some(Role::Secondary)
+        } else {
+            None
+        }
+    }
+
+    fn defer(&mut self, ctx: &mut Ctx, at: Time, cont: Cont) {
+        let tok = self.next_cont;
+        self.next_cont += 1;
+        self.conts.insert(tok, cont);
+        ctx.set_timer(at.saturating_sub(ctx.now()), tok);
+    }
+
+    fn send_kv(&mut self, ctx: &mut Ctx, dst: Ipv4, msg: KvMsg, size: u32) {
+        // Sending costs CPU too (syscall + copy), and materially more for
+        // value-carrying messages than for small control messages.
+        ctx.cpu_work(if size > DATA_SEND_THRESHOLD { DATA_SEND_COST } else { CTRL_COST });
+        self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
+    }
+
+    // -----------------------------------------------------------------
+    // Put path (Figure 3)
+    // -----------------------------------------------------------------
+
+    fn on_put_request(&mut self, key: String, value: Value, op: OpId, ctx: &mut Ctx) {
+        let p = self.partition_of(&key);
+        let Some(view) = self.views.get(&p).cloned() else {
+            return; // not (or no longer) a member: stale multicast rule
+        };
+        if self.my_role(&view).is_none() {
+            return;
+        }
+        if let PutMode::Quorum { .. } = self.cfg.put_mode {
+            // Quorum replication (§6.3): store directly; the any-k
+            // transport acks give the client its completion signal.
+            let size = value.size();
+            let done = self.store.write_delay(ctx.now(), size, true);
+            let ts = Timestamp {
+                primary_seq: op.client_seq,
+                primary: view.primary_addr(),
+                client_seq: op.client_seq,
+                client: op.client,
+            };
+            self.store.commit_direct(&key, value, ts);
+            self.pub_counters.puts_committed += 1;
+            self.stats.puts += 1;
+            let _ = done; // device model advanced; no protocol round
+            return;
+        }
+        if !self.store.lock(&key, op, value.clone(), ctx.now()) {
+            // Locked by another op: queue behind it.
+            let q = self.waiting.entry(key.clone()).or_default();
+            if !q.iter().any(|(o, _)| *o == op) {
+                q.push((op, value));
+            }
+            return;
+        }
+        self.stats.puts += 1;
+        // +L (forced) then W: both on the storage device.
+        let size = self.store.pending(&key).map(|pd| pd.value.size()).unwrap_or(0);
+        self.store.write_delay(ctx.now(), 100, true);
+        let done = self.store.write_delay(ctx.now(), size, false);
+        self.defer(ctx, done, Cont::Written { key, op });
+    }
+
+    fn on_written(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+        let p = self.partition_of(&key);
+        let Some(view) = self.views.get(&p).cloned() else {
+            return;
+        };
+        let Some(pending) = self.store.pending_mut(&key) else {
+            return; // already committed/aborted meanwhile
+        };
+        if pending.op != op {
+            return;
+        }
+        pending.written = true;
+        match self.my_role(&view) {
+            Some(Role::Primary) => {
+                let coord = self.ensure_coord(&key, op, p, view.primary_addr(), ctx);
+                coord.self_written = true;
+                self.check_commit(&key, op, ctx);
+            }
+            Some(Role::Secondary) | Some(Role::Handoff) => {
+                let primary = view.primary_addr();
+                let from = self.node;
+                self.send_kv(ctx, primary, KvMsg::PutAck1 { key, op, from }, CTRL_MSG_BYTES);
+            }
+            None => {}
+        }
+    }
+
+    fn ensure_coord(&mut self, key: &str, op: OpId, p: PartitionId, _self_ip: Ipv4, ctx: &mut Ctx) -> &mut Coord {
+        let k = (key.to_owned(), op);
+        if !self.coords.contains_key(&k) {
+            self.coords.insert(
+                k.clone(),
+                Coord {
+                    partition: p,
+                    client: op.client,
+                    acks1: HashSet::new(),
+                    acks2: HashSet::new(),
+                    self_written: false,
+                    committed: false,
+                    timeouts: 0,
+                },
+            );
+            let deadline = ctx.now() + self.cfg.op_timeout;
+            self.defer(
+                ctx,
+                deadline,
+                Cont::CoordDeadline {
+                    key: key.to_owned(),
+                    op,
+                },
+            );
+        }
+        self.coords.get_mut(&k).expect("just inserted")
+    }
+
+    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+        let p = self.partition_of(&key);
+        let Some(view) = self.views.get(&p).cloned() else {
+            return;
+        };
+        if self.my_role(&view) != Some(Role::Primary) {
+            return; // stale: we are no longer primary
+        }
+        let coord = self.ensure_coord(&key, op, p, view.primary_addr(), ctx);
+        coord.acks1.insert(from);
+        self.check_commit(&key, op, ctx);
+    }
+
+    fn check_commit(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
+        let k = (key.to_owned(), op);
+        let Some(coord) = self.coords.get(&k) else {
+            return;
+        };
+        if coord.committed || !coord.self_written {
+            return;
+        }
+        let Some(view) = self.views.get(&coord.partition) else {
+            return;
+        };
+        let needed: Vec<NodeIdx> = view
+            .members
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != self.node)
+            .collect();
+        if !needed.iter().all(|n| coord.acks1.contains(n)) {
+            return;
+        }
+        // All replicas hold the data: generate the timestamp quadruplet
+        // and multicast it (Figure 3's "timestamp" message).
+        self.primary_seq += 1;
+        let ts = Timestamp {
+            primary_seq: self.primary_seq,
+            primary: ctx.ip(),
+            client_seq: op.client_seq,
+            client: op.client,
+        };
+        let partition = coord.partition;
+        let members = view.len();
+        self.coords.get_mut(&k).expect("present").committed = true;
+        let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
+        let msg = KvMsg::Commit {
+            key: key.to_owned(),
+            op,
+            ts,
+        };
+        ctx.cpu_work(CTRL_COST);
+        self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+    }
+
+    fn on_commit(&mut self, key: String, op: OpId, ts: Timestamp, ctx: &mut Ctx) {
+        let p = self.partition_of(&key);
+        let Some(view) = self.views.get(&p).cloned() else {
+            return;
+        };
+        let applied = self.store.commit(&key, op, ts);
+        if applied {
+            self.pub_counters.puts_committed += 1;
+        }
+        // Track the highest primary sequence we have seen (failover floor).
+        self.primary_seq = self.primary_seq.max(ts.primary_seq);
+        match self.my_role(&view) {
+            Some(Role::Primary) => {
+                // our own multicast copy: count as ack2 path via check_done
+                self.check_done(&key, op, ctx);
+            }
+            Some(Role::Secondary) | Some(Role::Handoff) => {
+                let primary = view.primary_addr();
+                let from = self.node;
+                self.send_kv(ctx, primary, KvMsg::PutAck2 { key: key.clone(), op, from }, CTRL_MSG_BYTES);
+            }
+            None => {}
+        }
+        self.drain_waiting(&key, ctx);
+    }
+
+    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+        let k = (key.clone(), op);
+        if let Some(coord) = self.coords.get_mut(&k) {
+            coord.acks2.insert(from);
+        }
+        self.check_done(&key, op, ctx);
+    }
+
+    fn check_done(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
+        let k = (key.to_owned(), op);
+        let Some(coord) = self.coords.get(&k) else {
+            return;
+        };
+        if !coord.committed {
+            return;
+        }
+        let Some(view) = self.views.get(&coord.partition) else {
+            return;
+        };
+        let needed: Vec<NodeIdx> = view
+            .members
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != self.node)
+            .collect();
+        if !needed.iter().all(|n| coord.acks2.contains(n)) {
+            return;
+        }
+        let client = coord.client;
+        self.coords.remove(&k);
+        self.send_kv(ctx, client, KvMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+    }
+
+    fn on_coord_deadline(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+        let k = (key.clone(), op);
+        let Some(coord) = self.coords.get_mut(&k) else {
+            return; // completed
+        };
+        coord.timeouts += 1;
+        if coord.timeouts < 2 {
+            let deadline = ctx.now() + self.cfg.op_timeout;
+            self.defer(ctx, deadline, Cont::CoordDeadline { key, op });
+            return;
+        }
+        // Two timeouts: report the unresponsive members, abort, fail the
+        // client (§4.4 "Failures during Put Operation").
+        let coord = self.coords.remove(&k).expect("present");
+        let Some(view) = self.views.get(&coord.partition).cloned() else {
+            return;
+        };
+        let acks = if coord.committed { &coord.acks2 } else { &coord.acks1 };
+        let missing: Vec<NodeIdx> = view
+            .members
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != self.node && !acks.contains(&n))
+            .collect();
+        for m in missing {
+            if self.reported_down.insert(m) {
+                self.pub_counters.failure_reports += 1;
+                let from = self.node;
+                self.send_kv(ctx, self.meta, KvMsg::FailureReport { suspect: m, from }, CTRL_MSG_BYTES);
+            }
+        }
+        if !coord.committed {
+            self.store.abort(&key, op);
+            self.pub_counters.puts_aborted += 1;
+            let group = self.cfg.multicast.vnode_for_key(coord.partition, key.as_bytes());
+            let msg = KvMsg::Abort { key: key.clone(), op };
+            let n = view.len();
+            self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), n);
+            self.send_kv(ctx, coord.client, KvMsg::PutReply { op, ok: false }, CTRL_MSG_BYTES);
+            self.drain_waiting(&key, ctx);
+        }
+    }
+
+    fn drain_waiting(&mut self, key: &str, ctx: &mut Ctx) {
+        if self.store.locked(key) {
+            return;
+        }
+        if let Some(mut q) = self.waiting.remove(key) {
+            if !q.is_empty() {
+                let (op, value) = q.remove(0);
+                if !q.is_empty() {
+                    self.waiting.insert(key.to_owned(), q);
+                }
+                self.on_put_request(key.to_owned(), value, op, ctx);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Get path
+    // -----------------------------------------------------------------
+
+    fn record_get_source(&mut self, p: PartitionId, client: Ipv4) {
+        // /26 buckets of the client space — the "range of client IP
+        // addresses accessing each partition" of §4.5.
+        let bucket = client.network(26);
+        if let Some(e) = self
+            .stats
+            .gets_by_range
+            .iter_mut()
+            .find(|(pp, b, _)| *pp == p && *b == bucket)
+        {
+            e.2 += 1;
+        } else {
+            self.stats.gets_by_range.push((p, bucket, 1));
+        }
+    }
+
+    fn on_get_request(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+        let p = self.partition_of(&key);
+        self.record_get_source(p, op.client);
+        let view = self.views.get(&p).cloned();
+        if let Some(c) = self.store.get(&key) {
+            let size = c.value.size() + CTRL_MSG_BYTES;
+            let reply = KvMsg::GetReply {
+                op,
+                value: Some(c.value.clone()),
+                ts: Some(c.ts),
+            };
+            self.pub_counters.gets_served += 1;
+            self.stats.gets += 1;
+            self.stats.bytes_out += size as u64;
+            self.send_kv(ctx, op.client, reply, size);
+            return;
+        }
+        // Miss: a handoff node forwards to the primary (§4.4).
+        if let Some(view) = view {
+            if self.my_role(&view) == Some(Role::Handoff) && view.primary != self.node {
+                self.pub_counters.gets_forwarded += 1;
+                let primary = view.primary_addr();
+                self.send_kv(ctx, primary, KvMsg::GetForward { key, op }, CTRL_MSG_BYTES);
+                return;
+            }
+        }
+        self.stats.gets += 1;
+        self.send_kv(ctx, op.client, KvMsg::GetReply { op, value: None, ts: None }, CTRL_MSG_BYTES);
+    }
+
+    fn on_get_forward(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+        let (reply, size) = match self.store.get(&key) {
+            Some(c) => (
+                KvMsg::GetReply {
+                    op,
+                    value: Some(c.value.clone()),
+                    ts: Some(c.ts),
+                },
+                c.value.size() + CTRL_MSG_BYTES,
+            ),
+            None => (KvMsg::GetReply { op, value: None, ts: None }, CTRL_MSG_BYTES),
+        };
+        self.pub_counters.gets_served += 1;
+        self.stats.gets += 1;
+        self.stats.bytes_out += size as u64;
+        self.send_kv(ctx, op.client, reply, size);
+    }
+
+    // -----------------------------------------------------------------
+    // Membership, recovery, failover
+    // -----------------------------------------------------------------
+
+    fn on_membership(&mut self, views: Vec<PartitionView>, ctx: &mut Ctx) {
+        let bits = self.cfg.partitions.trailing_zeros();
+        for view in views {
+            let p = view.partition;
+            let am_member = view.members.iter().any(|&(n, _)| n == self.node);
+            if am_member {
+                // Any node the metadata service lists as a member is
+                // alive again: allow future failure reports for it.
+                for &(m, _) in &view.members {
+                    self.reported_down.remove(&m);
+                }
+                let am_primary = view.primary == self.node;
+                self.views.insert(p, view);
+                // Complete-cluster-failure recovery (§4.4): if we are the
+                // primary and hold in-doubt (written-but-uncommitted)
+                // entries for this partition — e.g. after a full restart —
+                // resolve them with the commit-anywhere/abort-everywhere
+                // rules.
+                if am_primary && !self.resolves.contains_key(&p) {
+                    let in_doubt = self
+                        .store
+                        .in_doubt()
+                        .into_iter()
+                        .any(|(k, _)| PartitionId((hash_str(&k) >> (64 - bits)) as u32) == p);
+                    if in_doubt {
+                        self.on_become_primary(p, ctx);
+                    }
+                }
+            } else {
+                // Removed from the partition: if we were the handoff, drop
+                // the objects we temporarily held (drained by the owner).
+                self.views.remove(&p);
+                let bits = self.cfg.partitions.trailing_zeros();
+                let gone: Vec<String> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == p)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in gone {
+                    self.store.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn on_rejoin_plan(&mut self, sources: Vec<(PartitionId, Option<Ipv4>)>, ctx: &mut Ctx) {
+        // A plan can arrive for a restart rejoin or for an admin
+        // reconfiguration (we were added to new replica sets): either way
+        // we drain the listed sources then report consistency.
+        self.rejoining = true;
+        self.rejoin_pending.clear();
+        for (p, handoff) in sources {
+            if let Some(ip) = handoff {
+                self.rejoin_pending.insert(p);
+                let from = self.node;
+                self.send_kv(ctx, ip, KvMsg::HandoffFetch { partition: p, from }, CTRL_MSG_BYTES);
+            }
+        }
+        self.maybe_recovery_done(ctx);
+    }
+
+    fn on_handoff_fetch(&mut self, partition: PartitionId, _from: NodeIdx, src: Ipv4, ctx: &mut Ctx) {
+        let bits = self.cfg.partitions.trailing_zeros();
+        let objects: Vec<(String, Value, Timestamp)> = self
+            .store
+            .iter()
+            .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
+            .map(|(k, c)| (k.clone(), c.value.clone(), c.ts))
+            .collect();
+        let size: u32 = objects.iter().map(|(k, v, _)| v.size() + k.len() as u32 + 32).sum::<u32>() + CTRL_MSG_BYTES;
+        self.send_kv(ctx, src, KvMsg::HandoffData { partition, objects }, size);
+    }
+
+    fn on_handoff_data(&mut self, partition: PartitionId, objects: Vec<(String, Value, Timestamp)>, ctx: &mut Ctx) {
+        let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
+        let done = self.store.write_delay(ctx.now(), total, true);
+        let _ = done;
+        for (k, v, ts) in objects {
+            self.store.commit_direct(&k, v, ts);
+        }
+        self.rejoin_pending.remove(&partition);
+        self.maybe_recovery_done(ctx);
+    }
+
+    fn maybe_recovery_done(&mut self, ctx: &mut Ctx) {
+        if self.rejoining && self.rejoin_pending.is_empty() {
+            self.rejoining = false;
+            let node = self.node;
+            self.send_kv(ctx, self.meta, KvMsg::RecoveryDone { node }, CTRL_MSG_BYTES);
+        }
+    }
+
+    fn on_become_primary(&mut self, partition: PartitionId, ctx: &mut Ctx) {
+        let Some(view) = self.views.get(&partition).cloned() else {
+            return;
+        };
+        let others: HashSet<NodeIdx> = view
+            .members
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != self.node)
+            .collect();
+        // Seed with our own lock table.
+        let bits = self.cfg.partitions.trailing_zeros();
+        let mut locked: HashMap<String, (OpId, Option<Timestamp>, usize)> = HashMap::new();
+        for (k, pd) in self.store.pending_iter() {
+            if PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition {
+                // "committed" must mean THIS attempt committed somewhere,
+                // not that some earlier version of the key exists.
+                let cts = self
+                    .store
+                    .get(k)
+                    .filter(|c| c.ts.client == pd.op.client && c.ts.client_seq == pd.op.client_seq)
+                    .map(|c| c.ts);
+                locked.insert(k.clone(), (pd.op, cts, 1));
+            }
+        }
+        let max_seq = self.primary_seq.max(self.store.max_primary_seq());
+        if others.is_empty() {
+            self.resolves.insert(
+                partition,
+                Resolve {
+                    waiting: others,
+                    locked,
+                    max_seq,
+                },
+            );
+            self.finish_resolution(partition, ctx);
+            return;
+        }
+        for &n in &others {
+            if let Some(ip) = view.addr_of(n) {
+                self.send_kv(ctx, ip, KvMsg::LockQuery { partition }, CTRL_MSG_BYTES);
+            }
+        }
+        self.resolves.insert(
+            partition,
+            Resolve {
+                waiting: others,
+                locked,
+                max_seq,
+            },
+        );
+    }
+
+    fn on_lock_query(&mut self, partition: PartitionId, src: Ipv4, ctx: &mut Ctx) {
+        let bits = self.cfg.partitions.trailing_zeros();
+        let locked: Vec<(String, OpId, Option<Timestamp>)> = self
+            .store
+            .pending_iter()
+            .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
+            .map(|(k, pd)| {
+                let cts = self
+                    .store
+                    .get(k)
+                    .filter(|c| c.ts.client == pd.op.client && c.ts.client_seq == pd.op.client_seq)
+                    .map(|c| c.ts);
+                (k.clone(), pd.op, cts)
+            })
+            .collect();
+        let from = self.node;
+        let max_seq = self.primary_seq.max(self.store.max_primary_seq());
+        self.send_kv(
+            ctx,
+            src,
+            KvMsg::LockReport {
+                partition,
+                from,
+                locked,
+                max_seq,
+            },
+            CTRL_MSG_BYTES,
+        );
+    }
+
+    fn on_lock_report(
+        &mut self,
+        partition: PartitionId,
+        from: NodeIdx,
+        locked: Vec<(String, OpId, Option<Timestamp>)>,
+        max_seq: u64,
+        ctx: &mut Ctx,
+    ) {
+        let Some(res) = self.resolves.get_mut(&partition) else {
+            return;
+        };
+        res.max_seq = res.max_seq.max(max_seq);
+        for (k, op, cts) in locked {
+            let e = res.locked.entry(k).or_insert((op, None, 0));
+            e.2 += 1;
+            if let Some(t) = cts {
+                e.1 = Some(e.1.map_or(t, |x: Timestamp| x.max(t)));
+            }
+        }
+        res.waiting.remove(&from);
+        if res.waiting.is_empty() {
+            self.finish_resolution(partition, ctx);
+        }
+    }
+
+    /// §4.4: "if the object is committed on any secondary node … The
+    /// primary will commit and unlock the object. If an object is locked
+    /// on all secondary nodes, then the new primary will abort."
+    fn finish_resolution(&mut self, partition: PartitionId, ctx: &mut Ctx) {
+        let Some(res) = self.resolves.remove(&partition) else {
+            return;
+        };
+        self.primary_seq = self.primary_seq.max(res.max_seq);
+        let Some(view) = self.views.get(&partition).cloned() else {
+            return;
+        };
+        let members = view.len();
+        for (key, (op, committed_ts, _count)) in res.locked {
+            let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
+            match committed_ts {
+                Some(ts) => {
+                    // Committed somewhere: the old primary had decided to
+                    // commit; finish the job everywhere.
+                    let msg = KvMsg::Commit { key, op, ts };
+                    self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+                }
+                None => {
+                    // Locked everywhere, committed nowhere: abort.
+                    let msg = KvMsg::Abort { key, op };
+                    self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Timers
+    // -----------------------------------------------------------------
+
+    fn heartbeat(&mut self, ctx: &mut Ctx) {
+        let msg = KvMsg::Heartbeat {
+            node: self.node,
+            stats: std::mem::take(&mut self.stats),
+        };
+        self.tp.udp_send(ctx, self.meta, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+        ctx.set_timer(self.cfg.hb_interval, TOK_HEARTBEAT);
+    }
+
+    /// Detect a dead primary: a lock nobody commits within 2x op_timeout
+    /// means the timestamp message never came (§4.4 "the secondary nodes
+    /// will detect the failure by timing out on the replication message").
+    fn sweep_stale_locks(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let threshold = self.cfg.op_timeout * 2;
+        let bits = self.cfg.partitions.trailing_zeros();
+        let mut suspects: Vec<NodeIdx> = Vec::new();
+        for (k, pd) in self.store.pending_iter() {
+            if now.saturating_sub(pd.locked_at) < threshold {
+                continue;
+            }
+            let p = PartitionId((hash_str(k) >> (64 - bits)) as u32);
+            if let Some(view) = self.views.get(&p) {
+                if view.primary != self.node {
+                    suspects.push(view.primary);
+                }
+            }
+        }
+        for s in suspects {
+            if self.reported_down.insert(s) {
+                self.pub_counters.failure_reports += 1;
+                let from = self.node;
+                self.send_kv(ctx, self.meta, KvMsg::FailureReport { suspect: s, from }, CTRL_MSG_BYTES);
+            }
+        }
+        ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
+    }
+
+    // -----------------------------------------------------------------
+    // Event plumbing
+    // -----------------------------------------------------------------
+
+    fn on_kv(&mut self, msg: &KvMsg, src: Ipv4, ctx: &mut Ctx) {
+        match msg.clone() {
+            KvMsg::PutRequest { key, value, op } => self.on_put_request(key, value, op, ctx),
+            KvMsg::GetRequest { key, op } => self.on_get_request(key, op, ctx),
+            KvMsg::PutAck1 { key, op, from } => self.on_ack1(key, op, from, ctx),
+            KvMsg::Commit { key, op, ts } => self.on_commit(key, op, ts, ctx),
+            KvMsg::PutAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
+            KvMsg::Abort { key, op } => {
+                if self.store.abort(&key, op) {
+                    self.pub_counters.puts_aborted += 1;
+                }
+                self.drain_waiting(&key, ctx);
+            }
+            KvMsg::Membership { views } => self.on_membership(views, ctx),
+            KvMsg::MetaFailover { new_meta } => {
+                // The hot standby took over (§4.1): report there from now.
+                self.meta = new_meta;
+            }
+            KvMsg::RejoinPlan { sources } => self.on_rejoin_plan(sources, ctx),
+            KvMsg::HandoffFetch { partition, from } => self.on_handoff_fetch(partition, from, src, ctx),
+            KvMsg::HandoffData { partition, objects } => self.on_handoff_data(partition, objects, ctx),
+            KvMsg::GetForward { key, op } => self.on_get_forward(key, op, ctx),
+            KvMsg::BecomePrimary { partition } => self.on_become_primary(partition, ctx),
+            KvMsg::LockQuery { partition } => self.on_lock_query(partition, src, ctx),
+            KvMsg::LockReport {
+                partition,
+                from,
+                locked,
+                max_seq,
+            } => self.on_lock_report(partition, from, locked, max_seq, ctx),
+            // Server never receives these:
+            KvMsg::PutReply { .. }
+            | KvMsg::GetReply { .. }
+            | KvMsg::Heartbeat { .. }
+            | KvMsg::FailureReport { .. }
+            | KvMsg::RejoinRequest { .. }
+            | KvMsg::MetaSync { .. }
+            | KvMsg::RecoveryDone { .. } => {}
+        }
+    }
+
+    /// CPU cost of processing one message: full requests (data-carrying
+    /// or storage-touching) vs small control messages.
+    fn msg_cost(msg: &KvMsg) -> Time {
+        match msg {
+            KvMsg::PutRequest { .. }
+            | KvMsg::GetRequest { .. }
+            | KvMsg::GetForward { .. }
+            | KvMsg::HandoffData { .. }
+            | KvMsg::HandoffFetch { .. } => REQ_COST,
+            _ => CTRL_COST,
+        }
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            if let TransportEvent::Delivered { from, msg, .. } = ev {
+                if let Some(kv) = msg.downcast::<KvMsg>() {
+                    // Queue the message on the serial CPU; it is processed
+                    // (and replied to) when its processing slot completes.
+                    let kv = kv.clone();
+                    let cost = Self::msg_cost(&kv);
+                    let tok = self.next_cont;
+                    self.next_cont += 1;
+                    self.conts.insert(
+                        tok,
+                        Cont::Process {
+                            msg: Box::new(kv),
+                            src: from.0,
+                        },
+                    );
+                    ctx.cpu_defer(cost, tok);
+                }
+            }
+        }
+    }
+}
+
+impl App for ServerApp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.heartbeat(ctx);
+        ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        match token {
+            TOK_HEARTBEAT => self.heartbeat(ctx),
+            TOK_SWEEP => self.sweep_stale_locks(ctx),
+            t => {
+                if let Some(cont) = self.conts.remove(&t) {
+                    match cont {
+                        Cont::Written { key, op } => self.on_written(key, op, ctx),
+                        Cont::CoordDeadline { key, op } => self.on_coord_deadline(key, op, ctx),
+                        Cont::Process { msg, src } => self.on_kv(&msg, src, ctx),
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile state dies; committed objects and the log survive.
+        self.tp.on_crash();
+        self.store.on_crash();
+        self.coords.clear();
+        self.waiting.clear();
+        self.conts.clear();
+        self.views.clear();
+        self.resolves.clear();
+        self.rejoin_pending.clear();
+        self.rejoining = false;
+        self.reported_down.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        self.rejoining = true;
+        let node = self.node;
+        self.send_kv(ctx, self.meta, KvMsg::RejoinRequest { node }, CTRL_MSG_BYTES);
+        self.heartbeat(ctx);
+        ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
+    }
+}

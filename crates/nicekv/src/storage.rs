@@ -1,0 +1,391 @@
+//! The local object store of one storage node.
+//!
+//! Models what Figure 3 requires: in-memory object locks ("Object locks
+//! are maintained in memory only"), a persistent operation log with forced
+//! writes (+L / -L), and persistent object writes (W) with a bandwidth +
+//! latency cost on a serial storage device.
+//!
+//! Crash semantics: locks and pending (uncommitted) values are volatile;
+//! committed objects and the log survive. The device-queue model mirrors
+//! the link model: a write issued at `t` completes at
+//! `max(t, device_busy) + latency + size/bandwidth`.
+
+use std::collections::HashMap;
+
+use nice_sim::Time;
+
+use crate::msg::{OpId, Timestamp, Value};
+
+/// Storage device cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageCfg {
+    /// Sequential write bandwidth (bytes/sec). The paper's nodes carry
+    /// 120 GB SSDs; 300 MB/s is a typical 2017 SATA SSD.
+    pub write_bw: u64,
+    /// Per-operation latency (sync/flush cost) for forced writes.
+    pub op_latency: Time,
+}
+
+/// A pending (locked, uncommitted) put.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The attempt that holds the lock.
+    pub op: OpId,
+    /// The tentative value.
+    pub value: Value,
+    /// Set once the local write (W in Figure 3) completed.
+    pub written: bool,
+    /// When the lock was taken (drives the secondary-side detection of a
+    /// failed primary: a lock nobody commits is a timeout, §4.4).
+    pub locked_at: Time,
+}
+
+/// One committed object.
+#[derive(Debug, Clone)]
+pub struct Committed {
+    /// The value.
+    pub value: Value,
+    /// Its commit timestamp.
+    pub ts: Timestamp,
+}
+
+/// A persistent log record (+L of Figure 3). Entries are removed on
+/// commit/abort (-L); entries still present after a full-cluster crash
+/// identify the in-doubt puts (§4.4 "In case of a complete cluster
+/// failure, the persistent logs on the nodes will identify the latest put
+/// operations").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// The key being put.
+    pub key: String,
+    /// The attempt.
+    pub op: OpId,
+}
+
+/// The object store.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    cfg: StorageCfg,
+    /// Committed objects (persistent).
+    committed: HashMap<String, Committed>,
+    /// The persistent operation log.
+    log: Vec<LogEntry>,
+    /// Pending puts holding in-memory locks (volatile).
+    pending: HashMap<String, Pending>,
+    /// Device queue.
+    busy_until: Time,
+    /// Counters.
+    writes: u64,
+    bytes_written: u64,
+}
+
+impl Default for StorageCfg {
+    fn default() -> StorageCfg {
+        StorageCfg {
+            write_bw: 300_000_000,
+            op_latency: Time::from_us(60),
+        }
+    }
+}
+
+impl ObjectStore {
+    /// An empty store with the given device model.
+    pub fn new(cfg: StorageCfg) -> ObjectStore {
+        ObjectStore {
+            cfg,
+            ..ObjectStore::default()
+        }
+    }
+
+    /// Schedule a device write of `size` bytes at `now`; returns its
+    /// completion time. `forced` writes pay the sync latency.
+    pub fn write_delay(&mut self, now: Time, size: u32, forced: bool) -> Time {
+        let xfer = Time(((size as u64) * 1_000_000_000).div_ceil(self.cfg.write_bw));
+        let lat = if forced { self.cfg.op_latency } else { Time::ZERO };
+        let done = self.busy_until.max(now) + lat + xfer;
+        self.busy_until = done;
+        self.writes += 1;
+        self.bytes_written += size as u64;
+        done
+    }
+
+    /// Is `key` currently locked?
+    pub fn locked(&self, key: &str) -> bool {
+        self.pending.contains_key(key)
+    }
+
+    /// The pending put on `key`, if any.
+    pub fn pending(&self, key: &str) -> Option<&Pending> {
+        self.pending.get(key)
+    }
+
+    /// Mutable access to the pending put on `key`.
+    pub fn pending_mut(&mut self, key: &str) -> Option<&mut Pending> {
+        self.pending.get_mut(key)
+    }
+
+    /// All pending puts (lock-resolution support).
+    pub fn pending_iter(&self) -> impl Iterator<Item = (&String, &Pending)> {
+        self.pending.iter()
+    }
+
+    /// Lock `key` for `op` with tentative `value` and append the log
+    /// entry (+L). Fails (returns false) if locked by a *different* op.
+    /// Re-locking by the same op (a client retry) refreshes the value.
+    pub fn lock(&mut self, key: &str, op: OpId, value: Value, now: Time) -> bool {
+        match self.pending.get_mut(key) {
+            Some(p) if p.op == op => {
+                p.value = value;
+                true
+            }
+            Some(_) => false,
+            None => {
+                self.pending.insert(
+                    key.to_owned(),
+                    Pending {
+                        op,
+                        value,
+                        written: false,
+                        locked_at: now,
+                    },
+                );
+                self.log.push(LogEntry { key: key.to_owned(), op });
+                true
+            }
+        }
+    }
+
+    /// Commit the pending put on `key` with timestamp `ts`: promote the
+    /// tentative value, release the lock, delete the log entry (-L).
+    /// Stale commits (older `ts` than the committed version) release the
+    /// lock but keep the newer value. Returns true if state changed.
+    pub fn commit(&mut self, key: &str, op: OpId, ts: Timestamp) -> bool {
+        let Some(p) = self.pending.get(key) else {
+            return false;
+        };
+        if p.op != op {
+            return false;
+        }
+        let p = self.pending.remove(key).expect("checked above");
+        self.log.retain(|e| !(e.key == key && e.op == op));
+        let newer = self.committed.get(key).is_none_or(|c| ts > c.ts);
+        if newer {
+            self.committed.insert(key.to_owned(), Committed { value: p.value, ts });
+        }
+        true
+    }
+
+    /// Commit `key` directly with a known value (recovery sync path).
+    pub fn commit_direct(&mut self, key: &str, value: Value, ts: Timestamp) {
+        let newer = self.committed.get(key).is_none_or(|c| ts > c.ts);
+        if newer {
+            self.committed.insert(key.to_owned(), Committed { value, ts });
+        }
+    }
+
+    /// Abort the pending put on `key` (release lock, -L).
+    pub fn abort(&mut self, key: &str, op: OpId) -> bool {
+        match self.pending.get(key) {
+            Some(p) if p.op == op => {
+                self.pending.remove(key);
+                self.log.retain(|e| !(e.key == key && e.op == op));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The committed version of `key`.
+    pub fn get(&self, key: &str) -> Option<&Committed> {
+        self.committed.get(key)
+    }
+
+    /// Number of committed objects.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// True if no objects are committed.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Iterate committed objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Committed)> {
+        self.committed.iter()
+    }
+
+    /// Remove a committed object (handoff cleanup after the original node
+    /// drained it).
+    pub fn remove(&mut self, key: &str) -> Option<Committed> {
+        self.committed.remove(key)
+    }
+
+    /// Highest commit `primary_seq` applied (the failover sequence floor).
+    pub fn max_primary_seq(&self) -> u64 {
+        self.committed.values().map(|c| c.ts.primary_seq).max().unwrap_or(0)
+    }
+
+    /// The persistent log (full-cluster recovery reads this).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Crash semantics. Locks are volatile ("Object locks are maintained
+    /// in memory only"), but the W step of Figure 3 *persisted* the
+    /// tentative value and +L persisted the log entry — so pending puts
+    /// whose write completed survive a crash as in-doubt entries that the
+    /// §4.4 resolution rules (commit-if-committed-anywhere /
+    /// abort-if-locked-everywhere) later settle. Unwritten pendings are
+    /// simply gone.
+    pub fn on_crash(&mut self) {
+        self.pending.retain(|_, p| p.written);
+        let keep: Vec<(String, OpId)> = self.pending.iter().map(|(k, p)| (k.clone(), p.op)).collect();
+        self.log.retain(|e| keep.iter().any(|(k, o)| *k == e.key && *o == e.op));
+        self.busy_until = Time::ZERO;
+    }
+
+    /// In-doubt entries after a restart: written-but-uncommitted puts
+    /// identified by the persistent log (§4.4 "the persistent logs on the
+    /// nodes will identify the latest put operations").
+    pub fn in_doubt(&self) -> Vec<(String, OpId)> {
+        self.pending
+            .iter()
+            .filter(|(_, p)| p.written)
+            .map(|(k, p)| (k.clone(), p.op))
+            .collect()
+    }
+
+    /// Total device writes issued.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes written to the device.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nice_sim::Ipv4;
+
+    fn op(seq: u64) -> OpId {
+        OpId {
+            client: Ipv4::new(10, 0, 1, 1),
+            client_seq: seq,
+        }
+    }
+
+    fn ts(pseq: u64, cseq: u64) -> Timestamp {
+        Timestamp {
+            primary_seq: pseq,
+            primary: Ipv4::new(10, 0, 0, 11),
+            client_seq: cseq,
+            client: Ipv4::new(10, 0, 1, 1),
+        }
+    }
+
+    #[test]
+    fn lock_commit_roundtrip() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        assert!(s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO));
+        assert!(s.locked("k"));
+        assert_eq!(s.log().len(), 1);
+        assert!(s.get("k").is_none(), "pending value invisible to gets");
+        assert!(s.commit("k", op(1), ts(1, 1)));
+        assert!(!s.locked("k"));
+        assert!(s.log().is_empty(), "-L removed the entry");
+        assert_eq!(*s.get("k").unwrap().value.bytes, vec![1]);
+    }
+
+    #[test]
+    fn conflicting_lock_rejected_retry_allowed() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        assert!(s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO));
+        assert!(!s.lock("k", op(2), Value::from_bytes(vec![2]), Time::ZERO), "other op must wait");
+        assert!(s.lock("k", op(1), Value::from_bytes(vec![3]), Time::ZERO), "same op may retry");
+        assert_eq!(*s.pending("k").unwrap().value.bytes, vec![3]);
+        assert_eq!(s.log().len(), 1, "retry does not duplicate the log entry");
+    }
+
+    #[test]
+    fn stale_commit_keeps_newer_value() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        s.lock("k", op(2), Value::from_bytes(vec![2]), Time::ZERO);
+        s.commit("k", op(2), ts(5, 2));
+        // an older put (lower primary_seq) arrives late
+        s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO);
+        assert!(s.commit("k", op(1), ts(3, 1)));
+        assert_eq!(*s.get("k").unwrap().value.bytes, vec![2], "newer ts wins");
+        assert!(!s.locked("k"), "lock still released");
+    }
+
+    #[test]
+    fn abort_releases_without_commit() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO);
+        assert!(s.abort("k", op(1)));
+        assert!(!s.locked("k"));
+        assert!(s.get("k").is_none());
+        assert!(s.log().is_empty());
+        // aborting a non-pending key is a no-op
+        assert!(!s.abort("k", op(1)));
+    }
+
+    #[test]
+    fn crash_drops_unwritten_keeps_committed_and_written_pendings() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        s.lock("a", op(1), Value::from_bytes(vec![1]), Time::ZERO);
+        s.commit("a", op(1), ts(1, 1));
+        // "b" locked but its W never completed: gone after the crash.
+        s.lock("b", op(2), Value::from_bytes(vec![2]), Time::ZERO);
+        // "c" locked AND written: survives as an in-doubt entry.
+        s.lock("c", op(3), Value::from_bytes(vec![3]), Time::ZERO);
+        s.pending_mut("c").unwrap().written = true;
+        s.on_crash();
+        assert!(s.get("a").is_some(), "committed survives");
+        assert!(!s.locked("b"), "unwritten pending is volatile");
+        assert!(s.locked("c"), "written pending survives (it is on disk)");
+        assert_eq!(s.log().len(), 1, "log identifies exactly the in-doubt put");
+        assert_eq!(s.log()[0].key, "c");
+        assert_eq!(s.in_doubt(), vec![("c".to_string(), op(3))]);
+    }
+
+    #[test]
+    fn device_queue_serializes_writes() {
+        let cfg = StorageCfg {
+            write_bw: 100_000_000, // 100 MB/s
+            op_latency: Time::from_us(50),
+        };
+        let mut s = ObjectStore::new(cfg);
+        let t1 = s.write_delay(Time::ZERO, 1_000_000, false);
+        // 1 MB at 100 MB/s = 10 ms
+        assert_eq!(t1, Time::from_ms(10));
+        let t2 = s.write_delay(Time::ZERO, 0, true);
+        assert_eq!(t2, Time::from_ms(10) + Time::from_us(50), "queued behind first write");
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.bytes_written(), 1_000_000);
+    }
+
+    #[test]
+    fn max_primary_seq_tracks_commits() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        assert_eq!(s.max_primary_seq(), 0);
+        s.lock("a", op(1), Value::from_bytes(vec![1]), Time::ZERO);
+        s.commit("a", op(1), ts(7, 1));
+        s.lock("b", op(2), Value::from_bytes(vec![2]), Time::ZERO);
+        s.commit("b", op(2), ts(3, 2));
+        assert_eq!(s.max_primary_seq(), 7);
+    }
+
+    #[test]
+    fn commit_direct_respects_order() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        s.commit_direct("k", Value::from_bytes(vec![9]), ts(9, 1));
+        s.commit_direct("k", Value::from_bytes(vec![1]), ts(1, 1));
+        assert_eq!(*s.get("k").unwrap().value.bytes, vec![9]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The NOOB client: drives operations through one of the three access
+//! mechanisms of §2.1 (ROG gateway, RAG gateway, or RAC direct routing).
+
+use std::collections::VecDeque;
+
+use nice_kv::{ClientOp, OpId, OpRecord};
+use nice_sim::{App, Ctx, Ipv4, Packet, Time};
+use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use rand::RngExt;
+
+use crate::msg::NoobMsg;
+use crate::server::NoobRing;
+
+const TOK_START: u64 = 1;
+const IDLE_POLL: Time = Time::from_ms(10);
+const TOK_RETRY_BASE: u64 = 1 << 32;
+const NOT_FOUND_BACKOFF: Time = Time::from_ms(5);
+
+/// Where this client sends its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientRoute {
+    /// Through a gateway at this address (ROG or RAG deployments).
+    Gateway(Ipv4),
+    /// Directly to the responsible node (RAC with a warm metadata cache).
+    /// `lb_gets` additionally spreads gets over replicas client-side (the
+    /// weaker-consistency client-side balancing of §4.5's discussion).
+    Direct {
+        /// Spread gets over replicas.
+        lb_gets: bool,
+    },
+    /// The literal §2.1 RAC: "the clients cache the metadata of
+    /// previously accessed objects". Cold keys go to a random storage
+    /// node (which forwards, one extra hop); the responsible node is
+    /// learned from the reply and cached for subsequent requests.
+    CachingRac,
+}
+
+struct InFlight {
+    op: ClientOp,
+    id: OpId,
+    start: Time,
+    attempts: u32,
+}
+
+/// The NOOB client application (closed-loop, like the NICE client).
+pub struct NoobClientApp {
+    ring: NoobRing,
+    route: ClientRoute,
+    /// key → responsible node, learned from replies (CachingRac).
+    cache: std::collections::HashMap<String, Ipv4>,
+    /// Cache statistics: (hits, misses).
+    pub cache_stats: (u64, u64),
+    tp: Transport,
+    ops: VecDeque<ClientOp>,
+    start_at: Time,
+    inflight: Option<InFlight>,
+    next_seq: u64,
+    retry: Time,
+    max_attempts: u32,
+    /// Treat NotFound gets as transient and retry with a short backoff.
+    pub retry_not_found: bool,
+    /// Completed operations.
+    pub records: Vec<OpRecord>,
+    /// Set when the queue drains.
+    pub done_at: Option<Time>,
+}
+
+impl NoobClientApp {
+    /// A client running `ops` from `start_at` via `route`.
+    pub fn new(ring: NoobRing, route: ClientRoute, ops: Vec<ClientOp>, start_at: Time) -> NoobClientApp {
+        NoobClientApp {
+            tp: Transport::new(ring.port),
+            ring,
+            route,
+            cache: std::collections::HashMap::new(),
+            cache_stats: (0, 0),
+            ops: ops.into(),
+            start_at,
+            inflight: None,
+            next_seq: 1,
+            retry: Time::from_secs(2),
+            max_attempts: 25,
+            retry_not_found: false,
+            records: Vec::new(),
+            done_at: None,
+        }
+    }
+
+    /// Queue more operations.
+    pub fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>) {
+        self.ops.extend(ops);
+        if !self.ops.is_empty() {
+            self.done_at = None;
+        }
+    }
+
+    /// Mean latency of successful ops of one kind.
+    pub fn mean_latency(&self, puts: bool) -> Option<Time> {
+        let lats: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_put == puts && r.ok)
+            .map(|r| (r.end - r.start).as_ns())
+            .collect();
+        if lats.is_empty() {
+            None
+        } else {
+            Some(Time(lats.iter().sum::<u64>() / lats.len() as u64))
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx) {
+        if self.inflight.is_some() {
+            return;
+        }
+        let Some(op) = self.ops.pop_front() else {
+            if self.done_at.is_none() {
+                self.done_at = Some(ctx.now());
+            }
+            ctx.set_timer(IDLE_POLL, TOK_START);
+            return;
+        };
+        let id = OpId {
+            client: ctx.ip(),
+            client_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.inflight = Some(InFlight {
+            op,
+            id,
+            start: ctx.now(),
+            attempts: 0,
+        });
+        self.attempt(ctx);
+    }
+
+    fn attempt(&mut self, ctx: &mut Ctx) {
+        let Some(inf) = self.inflight.as_mut() else {
+            return;
+        };
+        inf.attempts += 1;
+        let id = inf.id;
+        let op = inf.op.clone();
+        let dst = match (&self.route, &op) {
+            (ClientRoute::Gateway(gw), _) => *gw,
+            (ClientRoute::Direct { .. }, ClientOp::Put { key, .. }) => self.ring.primary_addr(key),
+            (ClientRoute::Direct { lb_gets }, ClientOp::Get { key }) => {
+                if *lb_gets {
+                    let replicas = self.ring.replica_addrs(key);
+                    replicas[ctx.rng().random_range(0..replicas.len())]
+                } else {
+                    self.ring.primary_addr(key)
+                }
+            }
+            (ClientRoute::CachingRac, _) => match self.cache.get(op.key()) {
+                Some(&addr) => {
+                    self.cache_stats.0 += 1;
+                    addr
+                }
+                None => {
+                    // Cold: any node will forward to the responsible one.
+                    self.cache_stats.1 += 1;
+                    let i = ctx.rng().random_range(0..self.ring.addrs.len());
+                    self.ring.addrs[i]
+                }
+            },
+        };
+        match op {
+            ClientOp::Put { key, value } => {
+                let size = value.size() + key.len() as u32 + 64;
+                let msg = NoobMsg::Put { key, value, op: id, hops: 0 };
+                self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+            }
+            ClientOp::Get { key } => {
+                let size = key.len() as u32 + 64;
+                let msg = NoobMsg::Get { key, op: id, hops: 0 };
+                self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+            }
+        }
+        ctx.set_timer(self.retry, TOK_RETRY_BASE | id.client_seq);
+    }
+
+    fn complete(&mut self, ok: bool, size: u32, bytes: Option<Vec<u8>>, ctx: &mut Ctx) {
+        let Some(inf) = self.inflight.take() else {
+            return;
+        };
+        self.records.push(OpRecord {
+            is_put: matches!(inf.op, ClientOp::Put { .. }),
+            key: inf.op.key().to_owned(),
+            start: inf.start,
+            end: ctx.now(),
+            ok,
+            attempts: inf.attempts,
+            size,
+            bytes,
+        });
+        self.issue_next(ctx);
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            let TransportEvent::Delivered { from, msg, .. } = ev else {
+                continue;
+            };
+            // CachingRac: the responder is the responsible node — cache it.
+            if self.route == ClientRoute::CachingRac {
+                if let Some(inf) = self.inflight.as_ref() {
+                    if msg.downcast::<NoobMsg>().is_some() {
+                        self.cache.insert(inf.op.key().to_owned(), from.0);
+                    }
+                }
+            }
+            let Some(m) = msg.downcast::<NoobMsg>() else {
+                continue;
+            };
+            match m {
+                NoobMsg::PutReply { op, ok } => {
+                    let (op, ok) = (*op, *ok);
+                    if let Some(inf) = self.inflight.as_ref() {
+                        if inf.id == op {
+                            let size = match &inf.op {
+                                ClientOp::Put { value, .. } => value.size(),
+                                _ => 0,
+                            };
+                            self.complete(ok, size, None, ctx);
+                        }
+                    }
+                }
+                NoobMsg::GetReply { op, value } => {
+                    let op = *op;
+                    let (ok, size, bytes) = match value {
+                        Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
+                        None => (false, 0, None),
+                    };
+                    if let Some(inf) = self.inflight.as_ref() {
+                        if inf.id == op {
+                            if !ok && self.retry_not_found && inf.attempts < self.max_attempts {
+                                ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
+                                continue;
+                            }
+                            self.complete(ok, size, bytes, ctx);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl App for NoobClientApp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.start_at.saturating_sub(ctx.now()), TOK_START);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        if token == TOK_START {
+            self.issue_next(ctx);
+            return;
+        }
+        if token >= TOK_RETRY_BASE {
+            let seq = token & 0xFFFF_FFFF;
+            let retry_now = match self.inflight.as_ref() {
+                Some(inf) if inf.id.client_seq == seq => inf.attempts < self.max_attempts,
+                _ => return,
+            };
+            if retry_now {
+                self.attempt(ctx);
+            } else {
+                self.complete(false, 0, None, ctx);
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.tp.on_crash();
+        self.inflight = None;
+    }
+}

@@ -1,0 +1,231 @@
+//! Assembles a NOOB deployment: storage nodes, optional gateways, and
+//! clients behind a conventional (statically routed) switch — no SDN
+//! cooperation anywhere.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable};
+use nice_kv::{ClientOp, StorageCfg};
+use nice_ring::{NodeIdx, PhysicalRing};
+use nice_sim::{ChannelCfg, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time};
+
+use crate::client::{ClientRoute, NoobClientApp};
+use crate::gateway::{GatewayApp, GatewayPolicy};
+use crate::msg::{Access, NoobMode};
+use crate::server::{NoobRing, NoobServerApp};
+
+/// NOOB deployment configuration.
+#[derive(Clone)]
+pub struct NoobClusterCfg {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Storage node count.
+    pub storage_nodes: usize,
+    /// Replication level.
+    pub replication: usize,
+    /// Partition count (default: node count rounded up, min 16).
+    pub partitions: Option<u32>,
+    /// Replication/consistency mode.
+    pub mode: NoobMode,
+    /// Access mechanism.
+    pub access: Access,
+    /// Balance gets over replicas (gateway- or client-side depending on
+    /// the access mechanism). Only sound for 2PC/consistent modes.
+    pub lb_gets: bool,
+    /// Use the cold-start caching RAC client (§2.1) instead of the
+    /// warm-cache direct client.
+    pub caching_rac: bool,
+    /// Number of gateway machines (ignored for RAC).
+    pub gateways: usize,
+    /// Storage device model.
+    pub storage: StorageCfg,
+    /// Link configuration.
+    pub link: ChannelCfg,
+    /// Switch parameters.
+    pub switch: SwitchCfg,
+    /// When clients start.
+    pub client_start: Time,
+    /// Per-client operation lists.
+    pub client_ops: Vec<Vec<ClientOp>>,
+    /// Clients retry NotFound gets with a short backoff.
+    pub retry_not_found: bool,
+}
+
+impl NoobClusterCfg {
+    /// A NOOB deployment with the given access mechanism and mode.
+    pub fn new(
+        storage_nodes: usize,
+        r: usize,
+        access: Access,
+        mode: NoobMode,
+        client_ops: Vec<Vec<ClientOp>>,
+    ) -> NoobClusterCfg {
+        NoobClusterCfg {
+            seed: 42,
+            storage_nodes,
+            replication: r,
+            partitions: None,
+            mode,
+            access,
+            lb_gets: false,
+            caching_rac: false,
+            gateways: if access == Access::Rac { 0 } else { 1 },
+            storage: StorageCfg::default(),
+            link: ChannelCfg::gigabit(),
+            switch: SwitchCfg::default(),
+            client_start: Time::from_ms(50),
+            client_ops,
+            retry_not_found: false,
+        }
+    }
+}
+
+/// A wired NOOB deployment.
+pub struct NoobCluster {
+    /// The simulation world.
+    pub sim: Simulation,
+    /// Shared deployment knowledge.
+    pub ring: NoobRing,
+    /// Storage-node hosts.
+    pub servers: Vec<HostId>,
+    /// Gateway hosts.
+    pub gateways: Vec<HostId>,
+    /// Client hosts.
+    pub clients: Vec<HostId>,
+    /// The switch.
+    pub switch: SwitchId,
+}
+
+impl NoobCluster {
+    /// Build and wire the deployment.
+    pub fn build(cfg: NoobClusterCfg) -> NoobCluster {
+        let parts = cfg
+            .partitions
+            .unwrap_or_else(|| (cfg.storage_nodes.next_power_of_two() as u32).max(16));
+        let phys = PhysicalRing::new(parts, (0..cfg.storage_nodes as u32).map(NodeIdx).collect(), cfg.replication);
+
+        let mut sim = Simulation::new(cfg.seed);
+        let table = Rc::new(RefCell::new(FlowTable::new()));
+        let switch = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), cfg.switch);
+        let mut rules: Vec<(Ipv4, Mac, nice_sim::Port)> = Vec::new();
+        let mut ports: HashMap<Ipv4, nice_sim::Port> = HashMap::new();
+
+        // Storage nodes.
+        let server_ips: Vec<Ipv4> = (0..cfg.storage_nodes).map(|i| Ipv4::new(10, 0, 0, 10 + i as u8)).collect();
+        let ring = NoobRing {
+            ring: phys,
+            addrs: server_ips.clone(),
+            port: 9000,
+        };
+        let mut servers = Vec::new();
+        for (i, &ip) in server_ips.iter().enumerate() {
+            let mac = Mac(0x200 + i as u64);
+            let app = NoobServerApp::new(ring.clone(), NodeIdx(i as u32), cfg.mode, cfg.storage);
+            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            ports.insert(ip, port);
+            rules.push((ip, mac, port));
+            servers.push(h);
+        }
+
+        // Gateways.
+        let policy = match (cfg.access, cfg.lb_gets) {
+            (Access::Rog, _) => GatewayPolicy::RandomNode,
+            (Access::Rag, false) => GatewayPolicy::Primary,
+            (Access::Rag, true) => GatewayPolicy::BalancedReplicas,
+            (Access::Rac, _) => GatewayPolicy::Primary, // unused
+        };
+        let mut gateways = Vec::new();
+        let n_gw = if cfg.access == Access::Rac { 0 } else { cfg.gateways.max(1) };
+        for g in 0..n_gw {
+            let ip = Ipv4::new(10, 0, 2, 1 + g as u8);
+            let mac = Mac(0x400 + g as u64);
+            let app = GatewayApp::new(ring.clone(), policy);
+            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            ports.insert(ip, port);
+            rules.push((ip, mac, port));
+            gateways.push((h, ip));
+        }
+
+        // Clients.
+        let mut clients = Vec::new();
+        for (j, ops) in cfg.client_ops.iter().enumerate() {
+            let ip = Ipv4(Ipv4::new(10, 0, 1, 0).0 + 1 + j as u32);
+            let mac = Mac(0x300 + j as u64);
+            let route = match (cfg.access, cfg.caching_rac) {
+                (Access::Rac, true) => ClientRoute::CachingRac,
+                (Access::Rac, false) => ClientRoute::Direct { lb_gets: cfg.lb_gets },
+                _ => ClientRoute::Gateway(gateways[j % gateways.len()].1),
+            };
+            let start = cfg.client_start + Time::from_us(97) * j as u64;
+            let mut app = NoobClientApp::new(ring.clone(), route, ops.clone(), start);
+            app.retry_not_found = cfg.retry_not_found;
+            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            ports.insert(ip, port);
+            rules.push((ip, mac, port));
+            clients.push(h);
+        }
+
+        // Conventional IP routing: static rules for every host.
+        for (ip, mac, port) in rules {
+            table.borrow_mut().install(
+                FlowRule::new(
+                    prio::PHYS,
+                    FlowMatch::any().dst_ip(ip),
+                    vec![Action::SetMacDst(mac), Action::Output(port)],
+                ),
+                Time::ZERO,
+            );
+        }
+
+        NoobCluster {
+            sim,
+            ring,
+            servers,
+            gateways: gateways.into_iter().map(|(h, _)| h).collect(),
+            clients,
+            switch,
+        }
+    }
+
+    /// Borrow client `i`'s app.
+    pub fn client(&self, i: usize) -> &NoobClientApp {
+        self.sim.app::<NoobClientApp>(self.clients[i])
+    }
+
+    /// Borrow server `i`'s app.
+    pub fn server(&self, i: usize) -> &NoobServerApp {
+        self.sim.app::<NoobServerApp>(self.servers[i])
+    }
+
+    /// Run until every client drained its queue (or `deadline`).
+    pub fn run_until_done(&mut self, deadline: Time) -> bool {
+        loop {
+            let all_done = self
+                .clients
+                .iter()
+                .all(|&c| self.sim.app::<NoobClientApp>(c).done_at.is_some());
+            if all_done {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let step = Time::from_ms(10).min(deadline - self.sim.now());
+            self.sim.run_for(step);
+        }
+    }
+
+    /// When the last client finished.
+    pub fn finish_time(&self) -> Option<Time> {
+        self.clients
+            .iter()
+            .map(|&c| self.sim.app::<NoobClientApp>(c).done_at)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(Time::ZERO))
+    }
+}

@@ -1,0 +1,133 @@
+//! NOOB gateways: the load balancers of §2.1.
+//!
+//! A gateway is a full store-and-forward hop: it receives the complete
+//! request, then re-sends it — its link is crossed twice and its CPU pays
+//! per-message costs, which is exactly why ROG costs two extra hops and
+//! RAG one.
+
+use nice_sim::{App, Ctx, Packet, Time};
+use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use rand::RngExt;
+
+use crate::msg::NoobMsg;
+use crate::server::NoobRing;
+
+/// Store-and-forward cost per request at the gateway: a userspace proxy
+/// pays a full receive + parse + re-send per request (the paper's
+/// "generic off-the-shelf load balancer").
+const FWD_COST: Time = Time::from_us(200);
+/// Continuation tokens for deferred forwards.
+const TOK_FWD_BASE: u64 = 1000;
+
+/// Gateway forwarding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayPolicy {
+    /// Replica-oblivious: forward to a uniformly random storage node.
+    RandomNode,
+    /// Replica-aware: forward to the key's primary.
+    Primary,
+    /// Replica-aware + load balancing: puts to the primary, gets to a
+    /// random replica of the key.
+    BalancedReplicas,
+}
+
+/// The gateway application.
+pub struct GatewayApp {
+    ring: NoobRing,
+    policy: GatewayPolicy,
+    tp: Transport,
+    pending: std::collections::HashMap<u64, NoobMsg>,
+    next_tok: u64,
+    /// Requests forwarded.
+    pub forwarded: u64,
+}
+
+impl GatewayApp {
+    /// A gateway over `ring` with the given policy.
+    pub fn new(ring: NoobRing, policy: GatewayPolicy) -> GatewayApp {
+        GatewayApp {
+            tp: Transport::new(ring.port),
+            ring,
+            policy,
+            pending: std::collections::HashMap::new(),
+            next_tok: TOK_FWD_BASE,
+            forwarded: 0,
+        }
+    }
+
+    fn target(&self, key: &str, is_get: bool, ctx: &mut Ctx) -> nice_sim::Ipv4 {
+        match self.policy {
+            GatewayPolicy::RandomNode => {
+                let i = ctx.rng().random_range(0..self.ring.addrs.len());
+                self.ring.addrs[i]
+            }
+            GatewayPolicy::Primary => self.ring.primary_addr(key),
+            GatewayPolicy::BalancedReplicas => {
+                if is_get {
+                    let replicas = self.ring.replica_addrs(key);
+                    let i = ctx.rng().random_range(0..replicas.len());
+                    replicas[i]
+                } else {
+                    self.ring.primary_addr(key)
+                }
+            }
+        }
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            let TransportEvent::Delivered { msg, .. } = ev else {
+                continue;
+            };
+            let Some(m) = msg.downcast::<NoobMsg>() else {
+                continue;
+            };
+            // Queue the request on the proxy CPU; forward when processed.
+            let tok = self.next_tok;
+            self.next_tok += 1;
+            self.pending.insert(tok, m.clone());
+            ctx.cpu_defer(FWD_COST, tok);
+        }
+    }
+
+    fn forward(&mut self, m: NoobMsg, ctx: &mut Ctx) {
+        match m {
+            NoobMsg::Put { key, value, op, hops } => {
+                let dst = self.target(&key, false, ctx);
+                let size = value.size() + key.len() as u32 + 64;
+                self.forwarded += 1;
+                self.tp
+                    .tcp_send(ctx, dst, self.ring.port, Msg::new(NoobMsg::Put { key, value, op, hops }, size));
+            }
+            NoobMsg::Get { key, op, hops } => {
+                let dst = self.target(&key, true, ctx);
+                let size = key.len() as u32 + 64;
+                self.forwarded += 1;
+                self.tp
+                    .tcp_send(ctx, dst, self.ring.port, Msg::new(NoobMsg::Get { key, op, hops }, size));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl App for GatewayApp {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        if let Some(m) = self.pending.remove(&token) {
+            self.forward(m, ctx);
+        }
+    }
+    fn on_crash(&mut self) {
+        self.tp.on_crash();
+        self.pending.clear();
+    }
+}

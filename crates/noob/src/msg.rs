@@ -1,0 +1,134 @@
+//! The NOOB wire protocol: plain point-to-point messages, no network
+//! cooperation (§2.1). Values, op ids, and timestamps are shared with
+//! NICEKV so results are comparable object-for-object.
+
+pub use nice_kv::{OpId, Timestamp, Value};
+use nice_ring::NodeIdx;
+use nice_sim::Ipv4;
+
+/// Access-mechanism configuration (§2.1 "Access Mechanism").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Replica-Oblivious Gateway: an off-the-shelf load balancer forwards
+    /// each request to a *random* storage node (two extra hops).
+    Rog,
+    /// Replica-Aware Gateway: the gateway knows placement and forwards to
+    /// the right node (one extra hop).
+    Rag,
+    /// Replica-Aware Client: the client caches placement and routes
+    /// directly (no extra hop, but clients must know internals).
+    Rac,
+}
+
+/// Replication/consistency configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoobMode {
+    /// Primary-backup: the primary serves all puts *and* gets (Figure 2,
+    /// solid arrows); no consistency protocol needed.
+    PrimaryOnly,
+    /// Two-phase commit across replicas (Figure 2, dashed arrows).
+    TwoPc,
+    /// Quorum writes: reply once `k` replicas (including the primary)
+    /// hold the data; replication continues in the background (§6.3).
+    Quorum {
+        /// The write-set size.
+        k: usize,
+    },
+    /// Chain replication (van Renesse & Schneider, §4.2 discussion): the
+    /// put flows down the chain; the tail acknowledges the client.
+    Chain,
+}
+
+/// Messages between NOOB processes (all over TCP, §2.1: "the network is
+/// only used as a point-to-point communication medium").
+#[derive(Debug, Clone)]
+pub enum NoobMsg {
+    /// Client (or gateway) put. `hops` counts forwarding steps so a
+    /// mis-delivered request is forwarded at most twice.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+        /// The attempt.
+        op: OpId,
+        /// Forwarding hops so far.
+        hops: u8,
+    },
+    /// Client (or gateway) get.
+    Get {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// Forwarding hops so far.
+        hops: u8,
+    },
+    /// Server → client.
+    PutReply {
+        /// The attempt.
+        op: OpId,
+        /// Success?
+        ok: bool,
+    },
+    /// Server → client.
+    GetReply {
+        /// The attempt.
+        op: OpId,
+        /// The value, if found.
+        value: Option<Value>,
+    },
+    /// Primary → secondary: replicate (primary-only/quorum: store+ack;
+    /// 2PC: prepare+lock+log+write).
+    RepData {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+        /// The attempt.
+        op: OpId,
+        /// True under 2PC (lock + log); false = plain store.
+        two_pc: bool,
+    },
+    /// Secondary → primary: data written.
+    RepAck1 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// Reporting node.
+        from: NodeIdx,
+    },
+    /// Primary → secondary (2PC round 2): commit timestamp.
+    RepTs {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// The commit timestamp.
+        ts: Timestamp,
+    },
+    /// Secondary → primary: committed.
+    RepAck2 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+        /// Reporting node.
+        from: NodeIdx,
+    },
+    /// Chain replication: write locally then pass on; the tail replies to
+    /// the client.
+    ChainPut {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+        /// The attempt.
+        op: OpId,
+        /// Replicas still to visit (in order).
+        remaining: Vec<Ipv4>,
+        /// Who to acknowledge when the chain ends.
+        client: Ipv4,
+    },
+}

@@ -1,0 +1,572 @@
+//! The NOOB storage node: full-membership, end-host replication.
+//!
+//! Every node knows the complete placement (§2.1 "full-membership model")
+//! and implements replication itself: a put received at the primary is
+//! copied to each secondary over a separate TCP stream — the same data
+//! leaves the primary's NIC R-1 times, which is exactly the inefficiency
+//! the paper's Figures 5–7 quantify.
+
+use std::collections::{HashMap, HashSet};
+
+use nice_kv::{ObjectStore, OpId, StorageCfg, Timestamp, Value};
+use nice_ring::{NodeIdx, PartitionId, PhysicalRing};
+use nice_sim::{App, Ctx, Ipv4, Packet, Time};
+use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+
+use crate::msg::{NoobMsg, NoobMode};
+
+const TOK_CONT_BASE: u64 = 1000;
+const CTRL_MSG_BYTES: u32 = 64;
+/// App-level CPU cost of serving one client request (see
+/// `nice_kv::server` — calibrated identically so comparisons are fair).
+const REQ_COST: Time = Time::from_us(300);
+/// App-level CPU cost of one small control message.
+const CTRL_COST: Time = Time::from_us(15);
+/// App-level CPU cost of *sending* one value-carrying message (see
+/// `nice_kv::server`): the NOOB primary pays this R-1 times per put.
+const DATA_SEND_COST: Time = Time::from_us(100);
+/// Messages larger than this pay [`DATA_SEND_COST`] on send.
+const DATA_SEND_THRESHOLD: u32 = 512;
+
+/// Shared deployment knowledge: the full membership every NOOB node and
+/// RAC client holds.
+#[derive(Clone)]
+pub struct NoobRing {
+    /// Placement.
+    pub ring: PhysicalRing,
+    /// Node addresses, indexed by `NodeIdx`.
+    pub addrs: Vec<Ipv4>,
+    /// Service port.
+    pub port: u16,
+}
+
+impl NoobRing {
+    /// Partition of a key.
+    pub fn partition_of(&self, key: &str) -> PartitionId {
+        self.ring.partition_of_key(key.as_bytes())
+    }
+
+    /// Primary address for a key.
+    pub fn primary_addr(&self, key: &str) -> Ipv4 {
+        self.addrs[self.ring.primary(self.partition_of(key)).0 as usize]
+    }
+
+    /// All replica addresses for a key (primary first).
+    pub fn replica_addrs(&self, key: &str) -> Vec<Ipv4> {
+        self.ring
+            .replica_set(self.partition_of(key))
+            .iter()
+            .map(|n| self.addrs[n.0 as usize])
+            .collect()
+    }
+}
+
+enum Cont {
+    /// A received message cleared the CPU queue: process it.
+    Process { msg: Box<NoobMsg>, src: Ipv4 },
+    /// Local write finished: continue the put state machine.
+    PrimaryWritten { key: String, op: OpId },
+    /// Secondary write finished: ack the primary.
+    SecondaryWritten { key: String, op: OpId, primary: Ipv4, two_pc: bool },
+    /// Chain write finished: pass the baton.
+    ChainWritten {
+        key: String,
+        op: OpId,
+        remaining: Vec<Ipv4>,
+        client: Ipv4,
+    },
+}
+
+struct PutState {
+    client: Ipv4,
+    acks1: HashSet<NodeIdx>,
+    acks2: HashSet<NodeIdx>,
+    self_written: bool,
+    ts_sent: bool,
+    replied: bool,
+    needed: usize,
+    quorum_k: usize,
+}
+
+/// Observable counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoobCounters {
+    /// Gets served from the local store.
+    pub gets_served: u64,
+    /// Requests forwarded to the responsible node (ROG extra hop).
+    pub forwarded: u64,
+    /// Puts coordinated as primary.
+    pub puts_coordinated: u64,
+    /// Replica writes performed as secondary.
+    pub replica_writes: u64,
+}
+
+/// The NOOB storage node.
+pub struct NoobServerApp {
+    ring: NoobRing,
+    node: NodeIdx,
+    mode: NoobMode,
+    tp: Transport,
+    store: ObjectStore,
+    puts: HashMap<(String, OpId), PutState>,
+    /// Puts waiting for a lock on their key (2PC serializes conflicting
+    /// writers at the primary).
+    waiting: HashMap<String, Vec<(Value, OpId)>>,
+    conts: HashMap<u64, Cont>,
+    next_cont: u64,
+    primary_seq: u64,
+    /// Counters for tests and Figure 7's load-ratio measurements.
+    pub counters: NoobCounters,
+}
+
+impl NoobServerApp {
+    /// A node `node` in the deployment `ring`.
+    pub fn new(ring: NoobRing, node: NodeIdx, mode: NoobMode, storage: StorageCfg) -> NoobServerApp {
+        NoobServerApp {
+            tp: Transport::new(ring.port),
+            ring,
+            node,
+            mode,
+            store: ObjectStore::new(storage),
+            puts: HashMap::new(),
+            waiting: HashMap::new(),
+            conts: HashMap::new(),
+            next_cont: TOK_CONT_BASE,
+            primary_seq: 0,
+            counters: NoobCounters::default(),
+        }
+    }
+
+    /// The local store (inspection).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    fn defer(&mut self, ctx: &mut Ctx, at: Time, cont: Cont) {
+        let tok = self.next_cont;
+        self.next_cont += 1;
+        self.conts.insert(tok, cont);
+        ctx.set_timer(at.saturating_sub(ctx.now()), tok);
+    }
+
+    fn send(&mut self, ctx: &mut Ctx, dst: Ipv4, msg: NoobMsg, size: u32) {
+        // Symmetric with nice-kv: every sent message costs CPU, and a
+        // value-carrying send costs much more than a control message. A
+        // NOOB primary pays the data cost R-1 times per put.
+        ctx.cpu_work(if size > DATA_SEND_THRESHOLD { DATA_SEND_COST } else { CTRL_COST });
+        self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+    }
+
+    fn i_am_primary(&self, key: &str) -> bool {
+        self.ring.ring.primary(self.ring.partition_of(key)) == self.node
+    }
+
+    /// Is this node in the key's replica set? (exposed for tests)
+    pub fn is_replica_for(&self, key: &str) -> bool {
+        self.ring.ring.is_replica(self.ring.partition_of(key), self.node)
+    }
+
+    // ---------------------------------------------------------------
+    // Put path
+    // ---------------------------------------------------------------
+
+    fn on_put(&mut self, key: String, value: Value, op: OpId, hops: u8, ctx: &mut Ctx) {
+        if !self.i_am_primary(&key) {
+            // ROG delivered this to a random node: forward to the primary
+            // (the second extra hop).
+            if hops < 2 {
+                let dst = self.ring.primary_addr(&key);
+                let size = value.size() + key.len() as u32 + 64;
+                self.counters.forwarded += 1;
+                self.send(ctx, dst, NoobMsg::Put { key, value, op, hops: hops + 1 }, size);
+            }
+            return;
+        }
+        self.counters.puts_coordinated += 1;
+        let k = (key.clone(), op);
+        if self.puts.contains_key(&k) {
+            return; // duplicate (client retry while in flight)
+        }
+        let replicas = self.ring.ring.replica_set(self.ring.partition_of(&key)).to_vec();
+        let (needed, quorum_k) = match self.mode {
+            NoobMode::PrimaryOnly | NoobMode::TwoPc | NoobMode::Chain => (replicas.len() - 1, replicas.len()),
+            NoobMode::Quorum { k } => (replicas.len() - 1, k.clamp(1, replicas.len())),
+        };
+        self.puts.insert(
+            k,
+            PutState {
+                client: op.client,
+                acks1: HashSet::new(),
+                acks2: HashSet::new(),
+                self_written: false,
+                ts_sent: false,
+                replied: false,
+                needed,
+                quorum_k,
+            },
+        );
+        match self.mode {
+            NoobMode::Chain => {
+                // Write locally, then forward down the chain.
+                let size = value.size();
+                self.store.write_delay(ctx.now(), 100, true);
+                let done = self.store.write_delay(ctx.now(), size, false);
+                let remaining: Vec<Ipv4> = replicas[1..].iter().map(|n| self.ring.addrs[n.0 as usize]).collect();
+                let ts = self.next_ts(op, ctx);
+                self.store.commit_direct(&key, value.clone(), ts);
+                self.defer(
+                    ctx,
+                    done,
+                    Cont::ChainWritten {
+                        key,
+                        op,
+                        remaining,
+                        client: op.client,
+                    },
+                );
+            }
+            _ => {
+                let two_pc = self.mode == NoobMode::TwoPc;
+                // Local write (2PC: lock+log first; conflicting writers
+                // queue until the current put commits).
+                if two_pc {
+                    if !self.store.lock(&key, op, value.clone(), ctx.now()) {
+                        self.puts.remove(&(key.clone(), op));
+                        let q = self.waiting.entry(key).or_default();
+                        if !q.iter().any(|(_, o)| *o == op) {
+                            q.push((value, op));
+                        }
+                        return;
+                    }
+                    self.store.write_delay(ctx.now(), 100, true);
+                }
+                let size = value.size();
+                // Durable before acking: non-2PC modes force the object
+                // write itself (2PC already forced the log entry).
+                let done = self.store.write_delay(ctx.now(), size, !two_pc);
+                if !two_pc {
+                    let ts = self.next_ts(op, ctx);
+                    self.store.commit_direct(&key, value.clone(), ts);
+                }
+                self.defer(ctx, done, Cont::PrimaryWritten { key: key.clone(), op });
+                // Fan the data out to every secondary over unicast TCP —
+                // the NOOB network inefficiency.
+                let msg_size = size + key.len() as u32 + 64;
+                for n in &replicas[1..] {
+                    let dst = self.ring.addrs[n.0 as usize];
+                    self.send(
+                        ctx,
+                        dst,
+                        NoobMsg::RepData {
+                            key: key.clone(),
+                            value: value.clone(),
+                            op,
+                            two_pc,
+                        },
+                        msg_size,
+                    );
+                }
+            }
+        }
+    }
+
+    fn next_ts(&mut self, op: OpId, ctx: &mut Ctx) -> Timestamp {
+        self.primary_seq += 1;
+        Timestamp {
+            primary_seq: self.primary_seq,
+            primary: ctx.ip(),
+            client_seq: op.client_seq,
+            client: op.client,
+        }
+    }
+
+    fn on_rep_data(&mut self, key: String, value: Value, op: OpId, two_pc: bool, src: Ipv4, ctx: &mut Ctx) {
+        self.counters.replica_writes += 1;
+        if two_pc {
+            self.store.lock(&key, op, value.clone(), ctx.now());
+            self.store.write_delay(ctx.now(), 100, true);
+        }
+        let size = value.size();
+        let done = self.store.write_delay(ctx.now(), size, !two_pc);
+        if !two_pc {
+            // Plain replication: store immediately with the op's identity.
+            let ts = Timestamp {
+                primary_seq: op.client_seq,
+                primary: src,
+                client_seq: op.client_seq,
+                client: op.client,
+            };
+            self.store.commit_direct(&key, value, ts);
+        }
+        self.defer(
+            ctx,
+            done,
+            Cont::SecondaryWritten {
+                key,
+                op,
+                primary: src,
+                two_pc,
+            },
+        );
+    }
+
+    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+        let k = (key.clone(), op);
+        let Some(st) = self.puts.get_mut(&k) else {
+            return;
+        };
+        st.acks1.insert(from);
+        self.advance_put(&key, op, ctx);
+    }
+
+    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+        let k = (key.clone(), op);
+        let Some(st) = self.puts.get_mut(&k) else {
+            return;
+        };
+        st.acks2.insert(from);
+        self.advance_put(&key, op, ctx);
+    }
+
+    fn advance_put(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
+        let k = (key.to_owned(), op);
+        let Some(st) = self.puts.get(&k) else {
+            return;
+        };
+        if !st.self_written {
+            return;
+        }
+        match self.mode {
+            NoobMode::PrimaryOnly => {
+                if st.acks1.len() >= st.needed && !st.replied {
+                    let client = st.client;
+                    self.puts.remove(&k);
+                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                }
+            }
+            NoobMode::Quorum { .. } => {
+                // self counts toward the quorum
+                let have = st.acks1.len() + 1;
+                let reply_now = have >= st.quorum_k && !st.replied;
+                let finished = st.acks1.len() >= st.needed;
+                let client = st.client;
+                if reply_now {
+                    self.puts.get_mut(&k).expect("present").replied = true;
+                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                }
+                if finished {
+                    self.puts.remove(&k);
+                }
+            }
+            NoobMode::TwoPc => {
+                if st.acks1.len() >= st.needed && !st.ts_sent {
+                    let ts = self.next_ts(op, ctx);
+                    self.store.commit(key, op, ts);
+                    let st = self.puts.get_mut(&k).expect("present");
+                    st.ts_sent = true;
+                    let replicas = self.ring.replica_addrs(key);
+                    for dst in &replicas[1..] {
+                        self.send(ctx, *dst, NoobMsg::RepTs { key: key.to_owned(), op, ts }, CTRL_MSG_BYTES);
+                    }
+                }
+                let st = self.puts.get(&k).expect("present");
+                if st.ts_sent && st.acks2.len() >= st.needed && !st.replied {
+                    let client = st.client;
+                    self.puts.remove(&k);
+                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                    self.drain_waiting(key, ctx);
+                }
+            }
+            NoobMode::Chain => {}
+        }
+    }
+
+    fn drain_waiting(&mut self, key: &str, ctx: &mut Ctx) {
+        if self.store.locked(key) {
+            return;
+        }
+        if let Some(mut q) = self.waiting.remove(key) {
+            if !q.is_empty() {
+                let (value, op) = q.remove(0);
+                if !q.is_empty() {
+                    self.waiting.insert(key.to_owned(), q);
+                }
+                self.on_put(key.to_owned(), value, op, 0, ctx);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Get path
+    // ---------------------------------------------------------------
+
+    fn on_get(&mut self, key: String, op: OpId, hops: u8, ctx: &mut Ctx) {
+        if let Some(c) = self.store.get(&key) {
+            let size = c.value.size() + CTRL_MSG_BYTES;
+            let value = Some(c.value.clone());
+            self.counters.gets_served += 1;
+            self.send(ctx, op.client, NoobMsg::GetReply { op, value }, size);
+            return;
+        }
+        if !self.i_am_primary(&key) && hops < 2 {
+            self.counters.forwarded += 1;
+            let dst = self.ring.primary_addr(&key);
+            self.send(ctx, dst, NoobMsg::Get { key, op, hops: hops + 1 }, CTRL_MSG_BYTES);
+            return;
+        }
+        self.send(ctx, op.client, NoobMsg::GetReply { op, value: None }, CTRL_MSG_BYTES);
+    }
+
+    // ---------------------------------------------------------------
+    // Plumbing
+    // ---------------------------------------------------------------
+
+    fn on_noob(&mut self, msg: NoobMsg, src: Ipv4, ctx: &mut Ctx) {
+        match msg {
+            NoobMsg::Put { key, value, op, hops } => self.on_put(key, value, op, hops, ctx),
+            NoobMsg::Get { key, op, hops } => self.on_get(key, op, hops, ctx),
+            NoobMsg::RepData { key, value, op, two_pc } => self.on_rep_data(key, value, op, two_pc, src, ctx),
+            NoobMsg::RepAck1 { key, op, from } => self.on_ack1(key, op, from, ctx),
+            NoobMsg::RepTs { key, op, ts } => {
+                self.store.commit(&key, op, ts);
+                self.primary_seq = self.primary_seq.max(ts.primary_seq);
+                let from = self.node;
+                self.send(ctx, src, NoobMsg::RepAck2 { key: key.clone(), op, from }, CTRL_MSG_BYTES);
+                self.drain_waiting(&key, ctx);
+            }
+            NoobMsg::RepAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
+            NoobMsg::ChainPut {
+                key,
+                value,
+                op,
+                remaining,
+                client,
+            } => {
+                self.counters.replica_writes += 1;
+                let size = value.size();
+                let done = self.store.write_delay(ctx.now(), size, true);
+                let ts = Timestamp {
+                    primary_seq: op.client_seq,
+                    primary: client,
+                    client_seq: op.client_seq,
+                    client,
+                };
+                self.store.commit_direct(&key, value.clone(), ts);
+                self.defer(
+                    ctx,
+                    done,
+                    Cont::ChainWritten {
+                        key,
+                        op,
+                        remaining,
+                        client,
+                    },
+                );
+            }
+            NoobMsg::PutReply { .. } | NoobMsg::GetReply { .. } => {}
+        }
+    }
+
+    fn on_cont(&mut self, cont: Cont, ctx: &mut Ctx) {
+        match cont {
+            Cont::Process { msg, src } => self.on_noob(*msg, src, ctx),
+            Cont::PrimaryWritten { key, op } => {
+                if let Some(st) = self.puts.get_mut(&(key.clone(), op)) {
+                    st.self_written = true;
+                }
+                self.advance_put(&key, op, ctx);
+            }
+            Cont::SecondaryWritten { key, op, primary, two_pc } => {
+                let _ = two_pc;
+                let from = self.node;
+                self.send(ctx, primary, NoobMsg::RepAck1 { key, op, from }, CTRL_MSG_BYTES);
+            }
+            Cont::ChainWritten {
+                key,
+                op,
+                mut remaining,
+                client,
+            } => {
+                if remaining.is_empty() {
+                    // tail: acknowledge the client
+                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                } else {
+                    let next = remaining.remove(0);
+                    let value = self
+                        .store
+                        .get(&key)
+                        .map(|c| c.value.clone())
+                        .unwrap_or_else(|| Value::synthetic(0));
+                    let size = value.size() + key.len() as u32 + 64;
+                    self.send(
+                        ctx,
+                        next,
+                        NoobMsg::ChainPut {
+                            key,
+                            value,
+                            op,
+                            remaining,
+                            client,
+                        },
+                        size,
+                    );
+                }
+            }
+        }
+    }
+
+    /// CPU cost of processing one message (see `nice_kv::server`).
+    fn msg_cost(msg: &NoobMsg) -> Time {
+        match msg {
+            NoobMsg::Put { .. } | NoobMsg::Get { .. } | NoobMsg::RepData { .. } | NoobMsg::ChainPut { .. } => REQ_COST,
+            _ => CTRL_COST,
+        }
+    }
+
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+        for ev in events {
+            if let TransportEvent::Delivered { from, msg, .. } = ev {
+                if let Some(m) = msg.downcast::<NoobMsg>() {
+                    let m = m.clone();
+                    let cost = Self::msg_cost(&m);
+                    let tok = self.next_cont;
+                    self.next_cont += 1;
+                    self.conts.insert(
+                        tok,
+                        Cont::Process {
+                            msg: Box::new(m),
+                            src: from.0,
+                        },
+                    );
+                    ctx.cpu_defer(cost, tok);
+                }
+            }
+        }
+    }
+}
+
+impl App for NoobServerApp {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let events = self.tp.on_packet(&pkt, ctx);
+        self.drive(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TRANSPORT_TICK {
+            let events = self.tp.on_timer(token, ctx);
+            self.drive(events, ctx);
+            return;
+        }
+        if let Some(cont) = self.conts.remove(&token) {
+            self.on_cont(cont, ctx);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.tp.on_crash();
+        self.store.on_crash();
+        self.puts.clear();
+        self.waiting.clear();
+        self.conts.clear();
+    }
+}

@@ -1,0 +1,110 @@
+//! # nice-ring — consistent hashing, virtual rings, and placement
+//!
+//! Implements the addressing layer the NICE paper builds on:
+//!
+//! * [`hash_key`] — stable 64-bit key hashing (clients, servers, and the
+//!   metadata service must agree on `key → partition` without talking),
+//! * [`PhysicalRing`] — equal-partition consistent hashing with R-way
+//!   replica sets, handoff selection (§4.4), and permanent ring
+//!   reconfiguration,
+//! * [`VRing`] — the client-visible virtual rings (§3.2): a unicast ring
+//!   and a multicast ring, each carved into power-of-two IP-prefix
+//!   subgroups that map 1:1 to partitions (these prefixes *are* the
+//!   switch match rules),
+//! * [`ClientDivisions`] — the source-address divisions of the in-network
+//!   load balancer (§4.5).
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod physical;
+pub mod vring;
+
+pub use hash::{hash_key, hash_str};
+pub use physical::{NodeIdx, PartitionId, PhysicalRing};
+pub use vring::{ClientDivisions, VRing};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use nice_sim::Ipv4;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every key lands in exactly one partition and its vnode address
+        /// maps back to that partition on both rings.
+        #[test]
+        fn key_to_vnode_roundtrip(key in "[a-z0-9:_-]{1,40}", bits in 2u32..10) {
+            let parts = 1u32 << bits;
+            let ring = PhysicalRing::new(parts, (0..4).map(NodeIdx).collect(), 3);
+            let p = ring.partition_of_key(key.as_bytes());
+            prop_assert!(p.0 < parts);
+            let u = VRing::unicast(parts);
+            let m = VRing::multicast(parts);
+            prop_assert_eq!(u.partition_of(u.vnode_for_key(p, key.as_bytes())), Some(p));
+            prop_assert_eq!(m.partition_of(m.vnode_for_key(p, key.as_bytes())), Some(p));
+        }
+
+        /// Replica sets always hold R distinct nodes, primary included.
+        #[test]
+        fn replica_sets_valid(nodes in 1usize..40, r in 1usize..10, bits in 6u32..10) {
+            let parts = 1u32 << bits;
+            prop_assume!(parts as usize >= nodes);
+            let ring = PhysicalRing::new(parts, (0..nodes as u32).map(NodeIdx).collect(), r);
+            let want = r.min(nodes);
+            for p in 0..parts {
+                let set = ring.replica_set(PartitionId(p));
+                prop_assert_eq!(set.len(), want);
+                let mut u = set.to_vec();
+                u.sort();
+                u.dedup();
+                prop_assert_eq!(u.len(), want);
+                prop_assert_eq!(set[0], ring.primary(PartitionId(p)));
+            }
+        }
+
+        /// The handoff node is never part of the replica set nor excluded.
+        #[test]
+        fn handoff_valid(nodes in 4usize..30, r in 1usize..4, part in 0u32..64) {
+            let ring = PhysicalRing::new(64, (0..nodes as u32).map(NodeIdx).collect(), r);
+            let p = PartitionId(part);
+            let excl = [NodeIdx(0), NodeIdx(1)];
+            if let Some(h) = ring.handoff_for(p, &excl) {
+                prop_assert!(!ring.is_replica(p, h));
+                prop_assert!(!excl.contains(&h));
+            } else {
+                // Only possible when every node is a replica or excluded.
+                prop_assert!(nodes <= r.min(nodes) + excl.len());
+            }
+        }
+
+        /// Subgroup prefixes are disjoint and collectively cover the ring.
+        #[test]
+        fn subgroups_partition_space(bits in 0u32..12, host in 0u32..65536) {
+            let parts = 1u32 << bits;
+            let v = VRing::unicast(parts);
+            let ip = Ipv4(v.base().0 + host);
+            let p = v.partition_of(ip).expect("in ring");
+            // membership in exactly one subgroup prefix
+            let mut hits = 0;
+            for q in 0..parts {
+                let (net, len) = v.subgroup_prefix(PartitionId(q));
+                if ip.in_prefix(net, len) {
+                    hits += 1;
+                    prop_assert_eq!(q, p.0);
+                }
+            }
+            prop_assert_eq!(hits, 1);
+        }
+
+        /// Client divisions: every source address maps to exactly one
+        /// division, and the replica index is always < R.
+        #[test]
+        fn divisions_function(r in 1u32..12, host in 0u32..256) {
+            let d = ClientDivisions::new(Ipv4::new(10, 0, 0, 0), 24, r);
+            let ip = Ipv4(Ipv4::new(10, 0, 0, 0).0 + host);
+            let replica = d.replica_for(ip);
+            prop_assert!((replica as u32) < r);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Virtual rings (vrings): the client-visible address space.
+//!
+//! "The client accesses a virtual storage system deployed on a set of
+//! virtual nodes (vnodes). The virtual addresses are organized in a
+//! virtual consistent hashing ring (vring). … we divide the virtual ring
+//! addresses into subgroups such that the number of vnodes per subgroup is
+//! a multiple of 2 (e.g., all vnodes in 10.10.1.0/24 form a subgroup). The
+//! metadata service maps any packets sent to a particular subgroup to a
+//! particular physical node." (§3.2)
+//!
+//! NICE uses two vrings (§4.2): a *unicast* ring (e.g. `10.10.0.0/16`)
+//! whose subgroups map to a partition's primary (or, with load balancing,
+//! to a per-client-division replica), and a *multicast* ring (e.g.
+//! `10.11.0.0/16`) whose subgroups map to the whole replica set.
+
+use nice_sim::Ipv4;
+
+use crate::hash::hash_key;
+use crate::physical::PartitionId;
+
+/// One virtual ring: a base prefix carved into per-partition subgroups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VRing {
+    base: Ipv4,
+    /// Prefix length of the whole ring (e.g. 16 for 10.10.0.0/16).
+    prefix_len: u8,
+    /// Prefix length of one subgroup (e.g. 24 → 256 vnodes per subgroup).
+    subgroup_len: u8,
+}
+
+impl VRing {
+    /// Create a vring on `base/prefix_len` with `2^(subgroup_len -
+    /// prefix_len)` subgroups of `2^(32 - subgroup_len)` vnodes each.
+    ///
+    /// # Panics
+    /// If the lengths are not `prefix_len <= subgroup_len <= 32`
+    /// (`prefix_len == subgroup_len` is the degenerate one-subgroup ring).
+    pub fn new(base: Ipv4, prefix_len: u8, subgroup_len: u8) -> VRing {
+        assert!(prefix_len <= subgroup_len && subgroup_len <= 32);
+        VRing {
+            base: base.network(prefix_len),
+            prefix_len,
+            subgroup_len,
+        }
+    }
+
+    /// The conventional unicast ring used throughout the paper:
+    /// `10.10.0.0/16` with `num_partitions` subgroups.
+    pub fn unicast(num_partitions: u32) -> VRing {
+        VRing::with_partitions(Ipv4::new(10, 10, 0, 0), num_partitions)
+    }
+
+    /// The conventional multicast ring: `10.11.0.0/16`.
+    pub fn multicast(num_partitions: u32) -> VRing {
+        VRing::with_partitions(Ipv4::new(10, 11, 0, 0), num_partitions)
+    }
+
+    /// A /16 ring under `base` with exactly `num_partitions` subgroups
+    /// (`num_partitions` must be a power of two ≤ 65536).
+    pub fn with_partitions(base: Ipv4, num_partitions: u32) -> VRing {
+        assert!(num_partitions.is_power_of_two() && num_partitions <= 1 << 16);
+        let bits = num_partitions.trailing_zeros() as u8;
+        VRing::new(base, 16, 16 + bits)
+    }
+
+    /// The ring's base network.
+    pub fn base(&self) -> Ipv4 {
+        self.base
+    }
+
+    /// The ring's prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of subgroups (= partitions this ring can address).
+    pub fn num_subgroups(&self) -> u32 {
+        1 << (self.subgroup_len - self.prefix_len)
+    }
+
+    /// Number of vnode addresses per subgroup.
+    pub fn subgroup_size(&self) -> u32 {
+        1u32.checked_shl(32 - self.subgroup_len as u32).unwrap_or(0).max(1)
+    }
+
+    /// Does `ip` belong to this ring?
+    pub fn contains(&self, ip: Ipv4) -> bool {
+        ip.in_prefix(self.base, self.prefix_len)
+    }
+
+    /// The `(network, len)` match prefix of partition `p`'s subgroup —
+    /// exactly what goes into the switch flow rule.
+    pub fn subgroup_prefix(&self, p: PartitionId) -> (Ipv4, u8) {
+        assert!(p.0 < self.num_subgroups());
+        let net = Ipv4(self.base.0 + (p.0 << (32 - self.subgroup_len as u32)));
+        (net, self.subgroup_len)
+    }
+
+    /// The partition whose subgroup contains `ip` (if `ip` is in-ring).
+    pub fn partition_of(&self, ip: Ipv4) -> Option<PartitionId> {
+        if !self.contains(ip) {
+            return None;
+        }
+        Some(PartitionId(ip.host_bits(self.prefix_len) >> (32 - self.subgroup_len as u32)))
+    }
+
+    /// The vnode address a client sends to for `key`, given the key's
+    /// partition: an address inside the partition's subgroup, picked by
+    /// the key hash (so distinct keys exercise distinct vnodes).
+    pub fn vnode_for_key(&self, p: PartitionId, key: &[u8]) -> Ipv4 {
+        let (net, _) = self.subgroup_prefix(p);
+        let salt = (hash_key(key) as u32) % self.subgroup_size();
+        Ipv4(net.0 + salt)
+    }
+}
+
+/// The client source-address divisions used by the in-network load
+/// balancer (§4.5): "The metadata service divides the client address
+/// space into R divisions, such that each division size is a multiple
+/// of 2. Requests coming from each division will be forwarded to a
+/// different replica."
+///
+/// Prefix-match rules require a power-of-two number of divisions; for
+/// non-power-of-two R we create `next_power_of_two(R)` prefix divisions
+/// and assign them to replicas round-robin, so every replica serves at
+/// least one division and rules stay pure prefixes.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientDivisions {
+    base: Ipv4,
+    prefix_len: u8,
+    replicas: u32,
+}
+
+impl ClientDivisions {
+    /// Divide `base/prefix_len` (the client address space) among
+    /// `replicas` replicas.
+    ///
+    /// # Panics
+    /// If `replicas` is 0 or the space is too small to split.
+    pub fn new(base: Ipv4, prefix_len: u8, replicas: u32) -> ClientDivisions {
+        assert!(replicas >= 1);
+        let d = replicas.next_power_of_two();
+        let div_bits = d.trailing_zeros() as u8;
+        assert!(prefix_len + div_bits <= 32, "client space too small for {replicas} divisions");
+        ClientDivisions {
+            base: base.network(prefix_len),
+            prefix_len,
+            replicas,
+        }
+    }
+
+    /// Number of prefix divisions generated.
+    pub fn num_divisions(&self) -> u32 {
+        self.replicas.next_power_of_two()
+    }
+
+    /// Iterate `(division prefix, replica index)` pairs: the flow rules to
+    /// install for one partition, one per division.
+    pub fn assignments(&self) -> impl Iterator<Item = ((Ipv4, u8), usize)> + '_ {
+        let d = self.num_divisions();
+        let div_bits = d.trailing_zeros() as u8;
+        let div_len = self.prefix_len + div_bits;
+        (0..d).map(move |i| {
+            let net = Ipv4(self.base.0 + (i << (32 - div_len as u32)));
+            ((net, div_len), (i % self.replicas) as usize)
+        })
+    }
+
+    /// Which replica serves a client at `ip` (primary index 0 if the ip is
+    /// outside the divided space — the paper forwards unknown sources to
+    /// the primary).
+    pub fn replica_for(&self, ip: Ipv4) -> usize {
+        for ((net, len), r) in self.assignments() {
+            if ip.in_prefix(net, len) {
+                return r;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subgroup_prefixes_partition_the_ring() {
+        let v = VRing::unicast(16);
+        assert_eq!(v.num_subgroups(), 16);
+        // every subgroup prefix is inside the ring, disjoint from others
+        for p in 0..16 {
+            let (net, len) = v.subgroup_prefix(PartitionId(p));
+            assert!(v.contains(net));
+            assert_eq!(v.partition_of(net), Some(PartitionId(p)));
+            assert_eq!(len, 20); // /16 + 4 bits of partition
+        }
+    }
+
+    #[test]
+    fn partition_of_roundtrips_vnode_addresses() {
+        let v = VRing::multicast(64);
+        for p in 0..64 {
+            let ip = v.vnode_for_key(PartitionId(p), format!("k{p}").as_bytes());
+            assert_eq!(v.partition_of(ip), Some(PartitionId(p)), "ip={ip}");
+        }
+    }
+
+    #[test]
+    fn out_of_ring_addresses_rejected() {
+        let v = VRing::unicast(16);
+        assert_eq!(v.partition_of(Ipv4::new(10, 12, 0, 1)), None);
+        assert!(!v.contains(Ipv4::new(192, 168, 0, 1)));
+    }
+
+    #[test]
+    fn unicast_and_multicast_rings_disjoint() {
+        let u = VRing::unicast(16);
+        let m = VRing::multicast(16);
+        for p in 0..16 {
+            let ip = u.vnode_for_key(PartitionId(p), b"x");
+            assert!(!m.contains(ip));
+        }
+    }
+
+    #[test]
+    fn single_partition_ring() {
+        let v = VRing::with_partitions(Ipv4::new(10, 10, 0, 0), 1);
+        // degenerate but valid: one subgroup covering the whole ring
+        assert_eq!(v.num_subgroups(), 1);
+        let ip = v.vnode_for_key(PartitionId(0), b"anything");
+        assert_eq!(v.partition_of(ip), Some(PartitionId(0)));
+    }
+
+    #[test]
+    fn divisions_cover_space_disjointly() {
+        for r in [1u32, 2, 3, 5, 7, 9] {
+            let d = ClientDivisions::new(Ipv4::new(10, 0, 0, 0), 24, r);
+            let prefixes: Vec<_> = d.assignments().collect();
+            assert_eq!(prefixes.len() as u32, r.next_power_of_two());
+            // every address in the /24 falls in exactly one division
+            for host in [0u32, 1, 63, 64, 127, 128, 200, 255] {
+                let ip = Ipv4(Ipv4::new(10, 0, 0, 0).0 + host);
+                let n = prefixes.iter().filter(|((net, len), _)| ip.in_prefix(*net, *len)).count();
+                assert_eq!(n, 1, "r={r} host={host}");
+            }
+            // every replica index in 0..r appears
+            let mut seen: Vec<usize> = prefixes.iter().map(|&(_, r)| r).collect();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen, (0..r as usize).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn replica_for_outside_space_is_primary() {
+        let d = ClientDivisions::new(Ipv4::new(10, 0, 0, 0), 24, 3);
+        assert_eq!(d.replica_for(Ipv4::new(10, 0, 1, 5)), 0);
+    }
+}

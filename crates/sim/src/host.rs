@@ -1,0 +1,239 @@
+//! Hosts: end nodes running an application behind a CPU service queue.
+//!
+//! Every packet delivered to a host is charged a receive cost on a single
+//! serial CPU (`max(arrival, cpu_busy) + cost`), which is what makes a NOOB
+//! primary replica that must process `2(R-1)` acknowledgment messages per
+//! put visibly slower than a NICE primary (Figure 9a of the paper).
+//! Applications can charge additional explicit work via
+//! [`Ctx::cpu_work`] (e.g. a storage write or a gateway forwarding step).
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+
+use crate::ids::{HostId, Port, SwitchId};
+use crate::net::{Ipv4, Mac, Packet};
+use crate::time::Time;
+
+/// CPU cost model for a host.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCfg {
+    /// Fixed cost charged per received packet (kernel + interrupt path).
+    pub per_packet: Time,
+    /// Additional cost per KiB of received wire bytes (copy cost).
+    pub per_kib: Time,
+}
+
+impl Default for CpuCfg {
+    fn default() -> CpuCfg {
+        CpuCfg {
+            per_packet: Time::from_ns(1_500),
+            per_kib: Time::from_ns(300),
+        }
+    }
+}
+
+impl CpuCfg {
+    /// Receive cost of a packet of `wire_size` bytes.
+    #[inline]
+    pub fn rx_cost(&self, wire_size: u32) -> Time {
+        self.per_packet + Time((self.per_kib.0 * wire_size as u64) / 1024)
+    }
+}
+
+/// Static host configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCfg {
+    /// The host's (physical) IPv4 address.
+    pub ip: Ipv4,
+    /// The host's MAC address.
+    pub mac: Mac,
+    /// CPU cost model.
+    pub cpu: CpuCfg,
+    /// If true, the host kernel announces itself with a gratuitous ARP on
+    /// boot and on every restart, which is how the learning controller
+    /// discovers `(ip, mac, port)` bindings (§5 "Mapping Service").
+    pub announce_on_boot: bool,
+}
+
+impl HostCfg {
+    /// A host with the default CPU model that announces on boot.
+    pub fn new(ip: Ipv4, mac: Mac) -> HostCfg {
+        HostCfg {
+            ip,
+            mac,
+            cpu: CpuCfg::default(),
+            announce_on_boot: true,
+        }
+    }
+}
+
+/// Side effects an application requests during a callback; applied by the
+/// simulation kernel after the callback returns.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Send(Packet),
+    Timer { delay: Time, token: u64 },
+    CpuWork(Time),
+    CpuDefer { amount: Time, token: u64 },
+    SwitchInject { sw: SwitchId, port: Port, pkt: Packet },
+    SwitchFlood { sw: SwitchId, except: Option<Port>, pkt: Packet },
+}
+
+/// The application's handle to the simulation during a callback.
+///
+/// All interactions with the world — sending packets, arming timers,
+/// charging CPU work, SDN packet-outs — go through this context and take
+/// effect when the callback returns.
+pub struct Ctx<'a> {
+    pub(crate) now: Time,
+    pub(crate) host: HostId,
+    pub(crate) ip: Ipv4,
+    pub(crate) mac: Mac,
+    pub(crate) effects: &'a mut Vec<Effect>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This host's id.
+    #[inline]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// This host's IPv4 address.
+    #[inline]
+    pub fn ip(&self) -> Ipv4 {
+        self.ip
+    }
+
+    /// This host's MAC address.
+    #[inline]
+    pub fn mac(&self) -> Mac {
+        self.mac
+    }
+
+    /// Transmit a packet out of this host's NIC.
+    #[inline]
+    pub fn send(&mut self, pkt: Packet) {
+        self.effects.push(Effect::Send(pkt));
+    }
+
+    /// Arm a one-shot timer that fires [`crate::App::on_timer`] with
+    /// `token` after `delay`. Timers do not survive a crash.
+    #[inline]
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.effects.push(Effect::Timer { delay, token });
+    }
+
+    /// Charge `amount` of serial CPU work to this host, delaying the
+    /// delivery of subsequently received packets.
+    #[inline]
+    pub fn cpu_work(&mut self, amount: Time) {
+        self.effects.push(Effect::CpuWork(amount));
+    }
+
+    /// Enqueue `amount` of work on this host's serial CPU and fire
+    /// `on_timer(token)` when it completes — i.e. at
+    /// `max(now, cpu_busy) + amount`. This is how request *processing
+    /// time* becomes part of the response latency: handle the arrival by
+    /// deferring, then reply from the timer callback.
+    #[inline]
+    pub fn cpu_defer(&mut self, amount: Time, token: u64) {
+        self.effects.push(Effect::CpuDefer { amount, token });
+    }
+
+    /// SDN packet-out: have switch `sw` transmit `pkt` out of `port` after
+    /// the control-channel latency. Only meaningful for controller apps.
+    #[inline]
+    pub fn packet_out(&mut self, sw: SwitchId, port: Port, pkt: Packet) {
+        self.effects.push(Effect::SwitchInject { sw, port, pkt });
+    }
+
+    /// SDN packet-out flood: have switch `sw` flood `pkt` (except out of
+    /// `except`) after the control-channel latency.
+    #[inline]
+    pub fn packet_out_flood(&mut self, sw: SwitchId, except: Option<Port>, pkt: Packet) {
+        self.effects.push(Effect::SwitchFlood { sw, except, pkt });
+    }
+
+    /// This host's deterministic random-number generator.
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// An application running on a host.
+///
+/// Implementations are plain state machines: the kernel calls these hooks
+/// and the app responds with effects on the [`Ctx`]. The `Any` supertrait
+/// lets harnesses downcast a stored app back to its concrete type between
+/// simulation steps (see `Simulation::app`).
+pub trait App: Any {
+    /// Called once when the simulation starts (or when the host is added,
+    /// if the simulation is already running).
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let _ = ctx;
+    }
+
+    /// A packet addressed to this host has been received and has cleared
+    /// the CPU queue.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let _ = (pkt, ctx);
+    }
+
+    /// A timer armed with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        let _ = (token, ctx);
+    }
+
+    /// An OpenFlow packet-in: switch `sw` punted `pkt` (received on
+    /// `in_port`) to this host, which is that switch's controller.
+    fn on_packet_in(&mut self, sw: SwitchId, in_port: Port, pkt: Packet, ctx: &mut Ctx) {
+        let _ = (sw, in_port, pkt, ctx);
+    }
+
+    /// The host just crashed: volatile state (locks, timers, connections)
+    /// is gone. Persistent state should be kept — the paper's recovery
+    /// protocol replays persistent logs (§4.4).
+    fn on_crash(&mut self) {}
+
+    /// The host restarted after a crash.
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        let _ = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_cost_scales_with_size() {
+        let cpu = CpuCfg {
+            per_packet: Time::from_us(1),
+            per_kib: Time::from_us(1),
+        };
+        assert_eq!(cpu.rx_cost(0), Time::from_us(1));
+        assert_eq!(cpu.rx_cost(1024), Time::from_us(2));
+        assert_eq!(cpu.rx_cost(2048), Time::from_us(3));
+    }
+
+    #[test]
+    fn default_cost_is_modest() {
+        let cpu = CpuCfg::default();
+        // An MTU packet should cost on the order of a couple microseconds,
+        // well under its 11.2us serialization time at 1 Gbps: the network,
+        // not the CPU, must bound bulk transfers.
+        let c = cpu.rx_cost(1442);
+        assert!(c < Time::from_us(3), "{c}");
+        assert!(c > Time::from_us(1), "{c}");
+    }
+}

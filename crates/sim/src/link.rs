@@ -1,0 +1,317 @@
+//! Directed link channels: bandwidth serialization, propagation delay, and
+//! finite drop-tail egress queues.
+//!
+//! Each full-duplex link is modeled as two independent [`Channel`]s. A
+//! channel serializes packets FIFO at its configured bit rate: a packet
+//! enqueued at time `t` begins transmission at `max(t, busy_until)`,
+//! finishes `wire_size * 8 / bw` later, and arrives at the far end after an
+//! additional propagation delay. The egress buffer is finite; packets that
+//! would overflow it are dropped (and counted) — this is what forces the
+//! reliable-multicast transport's NACK repair path to exist, just as slow
+//! receivers did in the paper's 50 Mbps quorum experiment (§6.3).
+
+use std::collections::VecDeque;
+
+use crate::ids::{ChannelId, Endpoint};
+use crate::net::Packet;
+use crate::time::Time;
+
+/// Static configuration of one directed channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelCfg {
+    /// Bit rate in bits per second.
+    pub bw_bps: u64,
+    /// One-way propagation delay.
+    pub latency: Time,
+    /// Egress buffer capacity in bytes. Packets that do not fit are dropped.
+    pub queue_bytes: u64,
+}
+
+impl ChannelCfg {
+    /// A 1 Gbps link with 5 µs propagation and a 512 KiB buffer — the
+    /// defaults used to mimic the paper's CloudLab testbed.
+    pub fn gigabit() -> ChannelCfg {
+        ChannelCfg {
+            bw_bps: 1_000_000_000,
+            latency: Time::from_us(5),
+            queue_bytes: 512 * 1024,
+        }
+    }
+
+    /// Same propagation/buffer as [`ChannelCfg::gigabit`] but at an
+    /// arbitrary rate (e.g. the 50 Mbps throttled replicas of Figure 8).
+    pub fn with_rate(bps: u64) -> ChannelCfg {
+        ChannelCfg {
+            bw_bps: bps,
+            ..ChannelCfg::gigabit()
+        }
+    }
+
+    /// A host uplink: same rate/latency but with a large (8 MiB) buffer,
+    /// modeling the kernel socket send buffers of an end host. Drops under
+    /// fan-out pressure then happen where they do in a real deployment —
+    /// at switch egress queues — not inside the sender's kernel.
+    pub fn host_uplink(self) -> ChannelCfg {
+        ChannelCfg {
+            queue_bytes: 8 * 1024 * 1024,
+            ..self
+        }
+    }
+}
+
+/// Traffic counters for one channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Bytes accepted for transmission (wire bytes, including headers).
+    pub bytes: u64,
+    /// Packets accepted for transmission.
+    pub packets: u64,
+    /// Packets dropped at the egress buffer.
+    pub drops: u64,
+    /// Bytes dropped at the egress buffer.
+    pub drop_bytes: u64,
+}
+
+/// The outcome of offering a packet to a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Accepted; the packet arrives at the far end at this time.
+    Arrives(Time),
+    /// Dropped at the egress buffer.
+    Dropped,
+}
+
+/// One direction of a link.
+#[derive(Debug)]
+pub struct Channel {
+    /// This channel's id (index into the simulation's channel table).
+    pub id: ChannelId,
+    /// Where accepted packets are delivered.
+    pub dst: Endpoint,
+    cfg: ChannelCfg,
+    busy_until: Time,
+    /// Packets currently occupying the egress buffer, as
+    /// `(transmit-completion time, wire bytes)`; lazily pruned.
+    inflight: VecDeque<(Time, u32)>,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Create a channel delivering to `dst`.
+    pub fn new(id: ChannelId, dst: Endpoint, cfg: ChannelCfg) -> Channel {
+        Channel {
+            id,
+            dst,
+            cfg,
+            busy_until: Time::ZERO,
+            inflight: VecDeque::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn cfg(&self) -> ChannelCfg {
+        self.cfg
+    }
+
+    /// Replace the bit rate (used for mid-run throttling, e.g. Figure 8's
+    /// slow replicas). Packets already accepted keep their old schedule.
+    pub fn set_rate(&mut self, bps: u64) {
+        assert!(bps > 0, "link rate must be positive");
+        self.cfg.bw_bps = bps;
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Bytes currently buffered (including the packet on the wire).
+    pub fn occupancy(&mut self, now: Time) -> u64 {
+        self.prune(now);
+        self.inflight.iter().map(|&(_, b)| b as u64).sum()
+    }
+
+    fn prune(&mut self, now: Time) {
+        while let Some(&(done, _)) = self.inflight.front() {
+            if done <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Offer `pkt` for transmission at time `now`; returns the delivery
+    /// time at the far end, or [`Enqueue::Dropped`] on buffer overflow.
+    pub fn enqueue(&mut self, now: Time, pkt: &Packet) -> Enqueue {
+        let size = pkt.wire_size as u64;
+        if self.occupancy(now) + size > self.cfg.queue_bytes {
+            self.stats.drops += 1;
+            self.stats.drop_bytes += size;
+            return Enqueue::Dropped;
+        }
+        let start = now.max(self.busy_until);
+        let done = start + Time::tx_time(size, self.cfg.bw_bps);
+        self.busy_until = done;
+        self.inflight.push_back((done, pkt.wire_size));
+        self.stats.bytes += size;
+        self.stats.packets += 1;
+        Enqueue::Arrives(done + self.cfg.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::net::{Ipv4, Mac};
+    use std::rc::Rc;
+
+    fn pkt(bytes: u32) -> Packet {
+        // wire_size = HDR_UDP(42) + bytes
+        Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 1, 2, bytes, Rc::new(()))
+    }
+
+    fn chan(cfg: ChannelCfg) -> Channel {
+        Channel::new(ChannelId(0), Endpoint::Host(HostId(0)), cfg)
+    }
+
+    #[test]
+    fn serialization_fifo() {
+        let cfg = ChannelCfg {
+            bw_bps: 8_000_000_000, // 1 byte per ns
+            latency: Time::from_ns(100),
+            queue_bytes: 1 << 20,
+        };
+        let mut c = chan(cfg);
+        let p = pkt(58); // wire 100 bytes -> 100 ns tx
+        let a1 = c.enqueue(Time::ZERO, &p);
+        let a2 = c.enqueue(Time::ZERO, &p);
+        assert_eq!(a1, Enqueue::Arrives(Time::from_ns(200)));
+        // second packet waits for the first to finish serializing
+        assert_eq!(a2, Enqueue::Arrives(Time::from_ns(300)));
+    }
+
+    #[test]
+    fn idle_channel_restarts_clock() {
+        let cfg = ChannelCfg {
+            bw_bps: 8_000_000_000,
+            latency: Time::ZERO,
+            queue_bytes: 1 << 20,
+        };
+        let mut c = chan(cfg);
+        let p = pkt(58);
+        c.enqueue(Time::ZERO, &p);
+        // enqueue long after the first completes: starts fresh
+        let a = c.enqueue(Time::from_us(5), &p);
+        assert_eq!(a, Enqueue::Arrives(Time::from_us(5) + Time::from_ns(100)));
+    }
+
+    #[test]
+    fn drop_tail_overflow() {
+        let cfg = ChannelCfg {
+            bw_bps: 1_000_000, // slow: 100-byte pkt takes 800 us
+            latency: Time::ZERO,
+            queue_bytes: 250,
+        };
+        let mut c = chan(cfg);
+        let p = pkt(58); // 100 wire bytes
+        assert!(matches!(c.enqueue(Time::ZERO, &p), Enqueue::Arrives(_)));
+        assert!(matches!(c.enqueue(Time::ZERO, &p), Enqueue::Arrives(_)));
+        // third would make 300 > 250
+        assert_eq!(c.enqueue(Time::ZERO, &p), Enqueue::Dropped);
+        let s = c.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.drop_bytes, 100);
+        assert_eq!(s.bytes, 200);
+    }
+
+    #[test]
+    fn occupancy_drains_over_time() {
+        let cfg = ChannelCfg {
+            bw_bps: 1_000_000,
+            latency: Time::ZERO,
+            queue_bytes: 1 << 20,
+        };
+        let mut c = chan(cfg);
+        let p = pkt(58);
+        c.enqueue(Time::ZERO, &p);
+        assert_eq!(c.occupancy(Time::ZERO), 100);
+        // after the 800us tx completes the buffer is empty
+        assert_eq!(c.occupancy(Time::from_ms(1)), 0);
+    }
+
+    #[test]
+    fn throttling_applies_to_new_packets() {
+        let mut c = chan(ChannelCfg::gigabit());
+        let p = pkt(1358); // 1400 wire bytes, 11.2us at 1G
+        let Enqueue::Arrives(a1) = c.enqueue(Time::ZERO, &p) else { panic!() };
+        c.set_rate(50_000_000);
+        let Enqueue::Arrives(a2) = c.enqueue(Time::ZERO, &p) else { panic!() };
+        // second packet serialized at 50 Mbps: 224us after the first finishes
+        assert_eq!(a2 - a1, Time::from_ns(224_000));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::ids::{ChannelId, HostId};
+    use crate::net::{Ipv4, Mac, Packet};
+    use proptest::prelude::*;
+    use std::rc::Rc;
+
+    fn pkt(bytes: u32) -> Packet {
+        Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 1, 2, bytes, Rc::new(()))
+    }
+
+    proptest! {
+        /// FIFO: arrival times are non-decreasing in enqueue order, every
+        /// accepted packet takes at least its serialization time, and the
+        /// byte counter equals the sum of accepted wire sizes.
+        #[test]
+        fn fifo_and_conservation(
+            sizes in prop::collection::vec(0u32..60_000, 1..40),
+            bw in prop::sample::select(vec![50_000_000u64, 1_000_000_000, 10_000_000_000]),
+        ) {
+            let cfg = ChannelCfg { bw_bps: bw, latency: Time::from_us(5), queue_bytes: 1 << 22 };
+            let mut c = Channel::new(ChannelId(0), Endpoint::Host(HostId(0)), cfg);
+            let mut last = Time::ZERO;
+            let mut accepted_bytes = 0u64;
+            for (i, &s) in sizes.iter().enumerate() {
+                let p = pkt(s);
+                let now = Time::from_us(i as u64); // staggered arrivals
+                match c.enqueue(now, &p) {
+                    Enqueue::Arrives(t) => {
+                        prop_assert!(t >= last, "reordering: {t} < {last}");
+                        prop_assert!(t >= now + Time::tx_time(p.wire_size as u64, bw) + cfg.latency);
+                        last = t;
+                        accepted_bytes += p.wire_size as u64;
+                    }
+                    Enqueue::Dropped => {}
+                }
+            }
+            prop_assert_eq!(c.stats().bytes, accepted_bytes);
+        }
+
+        /// Finite buffers: with a queue of Q bytes, occupancy never
+        /// exceeds Q, and drops happen exactly when it would.
+        #[test]
+        fn buffer_never_overflows(
+            sizes in prop::collection::vec(1u32..3_000, 1..60),
+            q in 2_000u64..20_000,
+        ) {
+            let cfg = ChannelCfg { bw_bps: 1_000_000, latency: Time::ZERO, queue_bytes: q };
+            let mut c = Channel::new(ChannelId(0), Endpoint::Host(HostId(0)), cfg);
+            for &s in &sizes {
+                let p = pkt(s);
+                let _ = c.enqueue(Time::ZERO, &p);
+                prop_assert!(c.occupancy(Time::ZERO) <= q);
+            }
+            let st = c.stats();
+            prop_assert_eq!(st.packets + st.drops, sizes.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # nice-transport — message transports over the simulated fabric
+//!
+//! Implements the transport layer the NICEKV prototype describes in §5:
+//! UDP for client requests (so vnode addresses can be rewritten freely and
+//! switch multicast works), a TCP-like reliable stream for replies and
+//! inter-node traffic, a reliable UDP multicast with cumulative-ACK flow
+//! control and unicast NACK repair, and the *reliable any-k multicast*
+//! used for quorum replication.
+//!
+//! The entry point is [`Transport`]: one per application, bound to a local
+//! port; see its docs for the send-path menu.
+
+#![warn(missing_docs)]
+
+pub mod msg;
+pub mod rudp;
+pub mod transport;
+
+pub use msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
+pub use rudp::{chunk_bytes, num_chunks, RudpCfg};
+pub use transport::{Transport, TRANSPORT_TICK};
+
+#[cfg(test)]
+mod prop_tests;
+#[cfg(test)]
+mod tests;

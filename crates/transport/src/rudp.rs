@@ -1,0 +1,485 @@
+//! The reliable transfer engine shared by every carrier.
+//!
+//! Implements §5 of the paper ("Replication" / implementation details):
+//!
+//! * data is divided into chunks of at most one MTU,
+//! * cumulative ACKs drive a fixed sender window (flow control),
+//! * NACKs report missing chunks, which are repaired over *unicast*,
+//! * the quorum variant ("reliable any-k multicasting") advances the
+//!   window when any `k` of the recipients acknowledge, returns when any
+//!   `k` fully receive the data, and "keeps supporting straggling nodes
+//!   until they finish or timeout".
+//!
+//! The same state machines carry unicast reliable UDP (`expected = 1`),
+//! switch-multicast UDP, and the data phase of the TCP-like streams.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nice_sim::{Ctx, Ipv4, Packet, Proto, Time, HDR_TCP, HDR_UDP, MTU};
+
+use crate::msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
+
+/// Tuning knobs for the reliable engine. Defaults are calibrated for the
+/// simulated 1 Gbps / ~30 µs RTT fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct RudpCfg {
+    /// Sender window, in chunks.
+    pub window: u32,
+    /// Engine tick period (drives stall detection and NACK scans).
+    pub tick: Time,
+    /// Receiver NACK period, in ticks: an incomplete message older than
+    /// this re-requests its missing chunks.
+    pub nack_ticks: u32,
+    /// Max missing chunks listed per NACK.
+    pub nack_cap: usize,
+    /// Sender stall threshold, in ticks, before a probe retransmission.
+    pub stall_ticks: u32,
+    /// Consecutive stalls before the send fails.
+    pub max_stalls: u32,
+    /// How long completed state lingers (serving late NACKs / stragglers),
+    /// in ticks.
+    pub linger_ticks: u32,
+}
+
+impl Default for RudpCfg {
+    fn default() -> RudpCfg {
+        RudpCfg {
+            window: 64,
+            tick: Time::from_ms(1),
+            nack_ticks: 4,
+            // Repair pacing: each NACK asks for at most this many chunks,
+            // bounding repair injection to ~nack_cap*MTU per nack period
+            // (~46 Mbps at the defaults) so straggler repair cannot
+            // starve the fast path (Figure 8's any-k experiment).
+            nack_cap: 16,
+            stall_ticks: 30,
+            max_stalls: 40,
+            linger_ticks: 4000,
+        }
+    }
+}
+
+/// Number of chunks for a message of `size` bytes (at least one).
+#[inline]
+pub fn num_chunks(size: u32) -> u32 {
+    size.div_ceil(MTU).max(1)
+}
+
+/// Payload bytes of chunk `seq` of a `size`-byte message.
+#[inline]
+pub fn chunk_bytes(size: u32, seq: u32) -> u32 {
+    let start = seq * MTU;
+    (size.saturating_sub(start)).min(MTU)
+}
+
+fn wire(proto: Proto, payload_bytes: u32) -> u32 {
+    match proto {
+        Proto::Udp => HDR_UDP + payload_bytes,
+        Proto::Tcp => HDR_TCP + payload_bytes,
+        Proto::Arp => unreachable!("rudp never carries ARP"),
+    }
+}
+
+/// Control-message logical size (ack/nack wire bodies).
+const CTRL_BYTES: u32 = 22;
+
+/// An in-flight reliable send.
+pub struct SendState {
+    /// Sender-unique message id.
+    pub msg_id: u64,
+    /// The app-facing token.
+    pub token: MsgToken,
+    /// Destination address (vnode, multicast vnode, or physical).
+    pub dst: Ipv4,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Carrier protocol (Udp for rudp/multicast, Tcp for streams).
+    pub proto: Proto,
+    msg: Msg,
+    total: u32,
+    /// Receivers that must complete before `Sent` fires.
+    quorum: usize,
+    /// Total receivers expected to exist (window pacing waits for the
+    /// slowest of the top-k among these).
+    expected: usize,
+    cums: HashMap<Ipv4, u32>,
+    completed: Vec<Ipv4>,
+    next: u32,
+    done: bool,
+    /// Ticks remaining before this state is garbage collected (counts only
+    /// once `done`).
+    linger_left: u32,
+    stall_left: u32,
+    stalls: u32,
+    last_progress: (usize, u64, u32),
+}
+
+/// What a sender-side step produced.
+pub enum SendOutcome {
+    /// Nothing to report.
+    Quiet,
+    /// The send completed (quorum reached).
+    Sent(Vec<Ipv4>),
+    /// The send failed (stalled too long).
+    Failed,
+}
+
+impl SendState {
+    /// Start a reliable send and transmit the initial window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        cfg: &RudpCfg,
+        ctx: &mut Ctx,
+        msg_id: u64,
+        token: MsgToken,
+        dst: Ipv4,
+        dst_port: u16,
+        src_port: u16,
+        proto: Proto,
+        msg: Msg,
+        expected: usize,
+        quorum: usize,
+    ) -> SendState {
+        assert!(expected >= 1 && quorum >= 1 && quorum <= expected);
+        let total = num_chunks(msg.size);
+        let mut s = SendState {
+            msg_id,
+            token,
+            dst,
+            dst_port,
+            proto,
+            msg,
+            total,
+            quorum,
+            expected,
+            cums: HashMap::new(),
+            completed: Vec::new(),
+            next: 0,
+            done: false,
+            linger_left: cfg.linger_ticks,
+            stall_left: cfg.stall_ticks,
+            stalls: 0,
+            last_progress: (0, 0, 0),
+        };
+        s.pump(cfg, ctx, src_port);
+        s
+    }
+
+    fn chunk_packet(&self, seq: u32, src_port: u16, dst: Ipv4, ctx: &Ctx, retx: bool) -> Packet {
+        let body = chunk_bytes(self.msg.size, seq) + CTRL_BYTES;
+        let payload = Rc::new(TpPayload::Chunk {
+            sender: ctx.ip(),
+            msg_id: self.msg_id,
+            seq,
+            total: self.total,
+            msg_size: self.msg.size,
+            data: Rc::clone(&self.msg.data),
+            retx,
+        });
+        let mut pkt = match self.proto {
+            Proto::Tcp => Packet::tcp(ctx.ip(), ctx.mac(), dst, src_port, self.dst_port, body, payload),
+            _ => Packet::udp(ctx.ip(), ctx.mac(), dst, src_port, self.dst_port, body, payload),
+        };
+        pkt.wire_size = wire(self.proto, body);
+        pkt
+    }
+
+    /// The window base: the `quorum`-th highest cumulative ack over the
+    /// `expected` receivers (unknown receivers count as zero).
+    fn window_base(&self) -> u32 {
+        if self.cums.len() < self.quorum {
+            // Not enough receivers heard from yet; if fewer receivers than
+            // expected have appeared, the missing ones pin the base to 0
+            // only when they are needed for the quorum.
+            return 0;
+        }
+        let mut cums: Vec<u32> = self.cums.values().copied().collect();
+        // Pad with zeros for expected-but-silent receivers.
+        cums.resize(self.expected.max(cums.len()), 0);
+        cums.sort_unstable_by(|a, b| b.cmp(a));
+        cums[self.quorum - 1]
+    }
+
+    /// Transmit as many new chunks as the window allows.
+    fn pump(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16) {
+        let limit = self.window_base().saturating_add(cfg.window).min(self.total);
+        while self.next < limit {
+            let pkt = self.chunk_packet(self.next, src_port, self.dst, ctx, false);
+            ctx.send(pkt);
+            self.next += 1;
+        }
+    }
+
+    /// Handle a cumulative ack from `from`.
+    pub fn on_ack(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16, from: Ipv4, cum: u32) -> SendOutcome {
+        let e = self.cums.entry(from).or_insert(0);
+        if cum > *e {
+            *e = cum;
+        }
+        if cum >= self.total && !self.completed.contains(&from) {
+            self.completed.push(from);
+        }
+        self.pump(cfg, ctx, src_port);
+        if !self.done && self.completed.len() >= self.quorum {
+            self.done = true;
+            return SendOutcome::Sent(self.completed.clone());
+        }
+        SendOutcome::Quiet
+    }
+
+    /// Handle a NACK: repair the listed chunks over unicast to `from`.
+    pub fn on_nack(&mut self, ctx: &mut Ctx, src_port: u16, from: Ipv4, missing: &[u32]) {
+        for &seq in missing {
+            if seq < self.total {
+                let pkt = self.chunk_packet(seq, src_port, from, ctx, true);
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    /// Everyone expected has completed: state can be dropped immediately.
+    pub fn fully_acked(&self) -> bool {
+        self.completed.len() >= self.expected
+    }
+
+    /// Periodic tick: stall detection, probe retransmission, lingering.
+    /// Returns the outcome plus whether the state should be dropped.
+    pub fn on_tick(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16) -> (SendOutcome, bool) {
+        if self.done {
+            if self.fully_acked() {
+                return (SendOutcome::Quiet, true);
+            }
+            self.linger_left = self.linger_left.saturating_sub(1);
+            return (SendOutcome::Quiet, self.linger_left == 0);
+        }
+        let progress = (
+            self.completed.len(),
+            self.cums.values().map(|&c| c as u64).sum::<u64>(),
+            self.next,
+        );
+        if progress != self.last_progress {
+            self.last_progress = progress;
+            self.stalls = 0;
+            self.stall_left = cfg.stall_ticks;
+            return (SendOutcome::Quiet, false);
+        }
+        self.stall_left = self.stall_left.saturating_sub(1);
+        if self.stall_left > 0 {
+            return (SendOutcome::Quiet, false);
+        }
+        self.stall_left = cfg.stall_ticks;
+        self.stalls += 1;
+        if self.stalls > cfg.max_stalls {
+            return (SendOutcome::Failed, true);
+        }
+        // Probe: retransmit the chunk at the window base to the group so
+        // silent receivers (or a fully-lost tail) re-engage.
+        let probe = self.window_base().min(self.total - 1);
+        let pkt = self.chunk_packet(probe, src_port, self.dst, ctx, true);
+        ctx.send(pkt);
+        (SendOutcome::Quiet, false)
+    }
+}
+
+/// Reassembly state for one incoming reliable message.
+pub struct RecvState {
+    /// The original sender's physical address.
+    pub sender: Ipv4,
+    /// The sender's transport port (acks go back here).
+    pub sender_port: u16,
+    /// The message id.
+    pub msg_id: u64,
+    total: u32,
+    msg_size: u32,
+    data: Rc<dyn std::any::Any>,
+    carrier: Carrier,
+    dst_ip: Ipv4,
+    proto: Proto,
+    bitmap: Vec<u64>,
+    have: u32,
+    cum: u32,
+    max_seen: u32,
+    delivered: bool,
+    nack_left: u32,
+    linger_left: u32,
+}
+
+impl RecvState {
+    /// Create reassembly state from the first chunk observed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_chunk(
+        cfg: &RudpCfg,
+        sender: Ipv4,
+        sender_port: u16,
+        msg_id: u64,
+        total: u32,
+        msg_size: u32,
+        data: Rc<dyn std::any::Any>,
+        dst_ip: Ipv4,
+        proto: Proto,
+    ) -> RecvState {
+        RecvState {
+            sender,
+            sender_port,
+            msg_id,
+            total,
+            msg_size,
+            data,
+            carrier: if proto == Proto::Tcp { Carrier::Tcp } else { Carrier::ReliableUdp },
+            dst_ip,
+            proto,
+            bitmap: vec![0; total.div_ceil(64) as usize],
+            have: 0,
+            cum: 0,
+            max_seen: 0,
+            delivered: false,
+            nack_left: cfg.nack_ticks,
+            linger_left: cfg.linger_ticks,
+        }
+    }
+
+    fn mark(&mut self, seq: u32) -> bool {
+        let (w, b) = ((seq / 64) as usize, seq % 64);
+        let bit = 1u64 << b;
+        if self.bitmap[w] & bit != 0 {
+            return false;
+        }
+        self.bitmap[w] |= bit;
+        self.have += 1;
+        while self.cum < self.total && self.bitmap[(self.cum / 64) as usize] & (1 << (self.cum % 64)) != 0 {
+            self.cum += 1;
+        }
+        true
+    }
+
+    fn has(&self, seq: u32) -> bool {
+        self.bitmap[(seq / 64) as usize] & (1 << (seq % 64)) != 0
+    }
+
+    /// The message is fully assembled.
+    pub fn complete(&self) -> bool {
+        self.have >= self.total
+    }
+
+    fn send_ack(&self, ctx: &mut Ctx, my_port: u16) {
+        let payload = Rc::new(TpPayload::Ack {
+            msg_id: self.msg_id,
+            cum: self.cum,
+            complete: self.complete(),
+        });
+        let mut pkt = match self.proto {
+            Proto::Tcp => Packet::tcp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
+            _ => Packet::udp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
+        };
+        pkt.wire_size = wire(self.proto, CTRL_BYTES);
+        ctx.send(pkt);
+    }
+
+    /// Handle one data chunk; returns a `Delivered` event on completion of
+    /// an undelivered message.
+    pub fn on_chunk(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, my_port: u16, seq: u32) -> Option<TransportEvent> {
+        self.max_seen = self.max_seen.max(seq);
+        self.mark(seq);
+        self.nack_left = cfg.nack_ticks;
+        self.linger_left = cfg.linger_ticks;
+        self.send_ack(ctx, my_port);
+        if self.complete() && !self.delivered {
+            self.delivered = true;
+            return Some(TransportEvent::Delivered {
+                from: (self.sender, self.sender_port),
+                dst_ip: self.dst_ip,
+                carrier: self.carrier,
+                msg: Msg {
+                    data: Rc::clone(&self.data),
+                    size: self.msg_size,
+                },
+            });
+        }
+        None
+    }
+
+    /// Periodic tick: fire NACKs while incomplete; expire when lingered
+    /// out. Returns true when the state should be dropped. `may_nack`
+    /// paces repair: the owning [`crate::Transport`] permits only one
+    /// reassembly state to request repair per tick, bounding repair
+    /// injection per receiver regardless of how many transfers lag.
+    pub fn on_tick(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, my_port: u16, may_nack: bool) -> bool {
+        if self.complete() {
+            self.linger_left = self.linger_left.saturating_sub(1);
+            return self.linger_left == 0;
+        }
+        self.linger_left = self.linger_left.saturating_sub(1);
+        if self.linger_left == 0 {
+            return true; // abandoned transfer
+        }
+        if !may_nack {
+            return false;
+        }
+        self.nack_left = self.nack_left.saturating_sub(1);
+        if self.nack_left == 0 {
+            self.nack_left = cfg.nack_ticks;
+            // Request everything missing below the frontier we know about.
+            let frontier = if self.max_seen + 1 >= self.total {
+                self.total
+            } else {
+                (self.max_seen + 1).min(self.total)
+            };
+            let mut missing = Vec::new();
+            for seq in self.cum..frontier {
+                if !self.has(seq) {
+                    missing.push(seq);
+                    if missing.len() >= cfg.nack_cap {
+                        break;
+                    }
+                }
+            }
+            if missing.is_empty() && frontier < self.total {
+                // Tail entirely lost: ask for the next unseen chunk.
+                missing.push(frontier);
+            }
+            if !missing.is_empty() {
+                let payload = Rc::new(TpPayload::Nack {
+                    msg_id: self.msg_id,
+                    missing,
+                });
+                let mut pkt = match self.proto {
+                    Proto::Tcp => {
+                        Packet::tcp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload)
+                    }
+                    _ => Packet::udp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
+                };
+                pkt.wire_size = wire(self.proto, CTRL_BYTES);
+                ctx.send(pkt);
+            }
+        }
+        false
+    }
+
+    /// Re-acknowledge (used when a duplicate chunk arrives after delivery).
+    pub fn reack(&self, ctx: &mut Ctx, my_port: u16) {
+        self.send_ack(ctx, my_port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(num_chunks(0), 1);
+        assert_eq!(num_chunks(1), 1);
+        assert_eq!(num_chunks(MTU), 1);
+        assert_eq!(num_chunks(MTU + 1), 2);
+        assert_eq!(num_chunks(1 << 20), (1u32 << 20).div_ceil(MTU));
+        assert_eq!(chunk_bytes(MTU + 1, 0), MTU);
+        assert_eq!(chunk_bytes(MTU + 1, 1), 1);
+        assert_eq!(chunk_bytes(0, 0), 0);
+        // all chunks of a message sum to its size
+        for size in [0u32, 1, 1399, 1400, 1401, 1 << 20] {
+            let sum: u32 = (0..num_chunks(size)).map(|s| chunk_bytes(size, s)).sum();
+            assert_eq!(sum, size, "size={size}");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The per-host transport stack.
+//!
+//! Each application owns one [`Transport`] bound to a local port. The app
+//! forwards its `on_packet`/`on_timer` hooks to the stack and receives
+//! [`TransportEvent`]s back. The stack multiplexes:
+//!
+//! * unreliable datagrams ([`Transport::udp_send`]),
+//! * reliable UDP messages to one destination ([`Transport::rudp_send`]) —
+//!   used for client requests to unicast vnode addresses,
+//! * reliable switch-multicast messages ([`Transport::mcast_send`]) with
+//!   all-ack or any-k quorum semantics ([`Transport::anyk_send`]) — the
+//!   put data path of §4.2/§5,
+//! * TCP-like streams with connection handshakes and caching
+//!   ([`Transport::tcp_send`]) — replies and inter-node traffic.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nice_sim::{Ctx, Ipv4, Packet, Proto, HDR_TCP, HDR_UDP, MTU};
+
+use crate::msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
+use crate::rudp::{RecvState, RudpCfg, SendOutcome, SendState};
+
+/// The timer token the transport reserves. Applications must forward this
+/// token from their `on_timer` hook to [`Transport::on_timer`] and must not
+/// use it themselves.
+pub const TRANSPORT_TICK: u64 = 1 << 63;
+
+/// SYN retransmit period in ticks.
+const SYN_RETRY_TICKS: u32 = 20;
+/// SYN attempts before the connection fails.
+const SYN_MAX_TRIES: u32 = 10;
+
+struct Pending {
+    token: MsgToken,
+    msg: Msg,
+    dst_port: u16,
+}
+
+enum Conn {
+    SynSent {
+        pending: Vec<Pending>,
+        retry_left: u32,
+        tries: u32,
+    },
+    Established,
+}
+
+/// The transport stack. See module docs.
+pub struct Transport {
+    cfg: RudpCfg,
+    port: u16,
+    next_msg_id: u64,
+    senders: HashMap<u64, SendState>,
+    recvs: HashMap<(Ipv4, u64), RecvState>,
+    conns: HashMap<Ipv4, Conn>,
+    tick_armed: bool,
+    /// Round-robin cursor for NACK pacing across reassembly states.
+    nack_rr: u64,
+}
+
+impl Transport {
+    /// A stack bound to `port` with default tuning.
+    pub fn new(port: u16) -> Transport {
+        Transport::with_cfg(port, RudpCfg::default())
+    }
+
+    /// A stack bound to `port` with explicit tuning.
+    pub fn with_cfg(port: u16, cfg: RudpCfg) -> Transport {
+        Transport {
+            cfg,
+            port,
+            next_msg_id: 1,
+            senders: HashMap::new(),
+            recvs: HashMap::new(),
+            conns: HashMap::new(),
+            tick_armed: false,
+            nack_rr: 0,
+        }
+    }
+
+    /// The local transport port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// In-flight reliable sends (diagnostics).
+    pub fn inflight_sends(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx) {
+        if !self.tick_armed {
+            self.tick_armed = true;
+            ctx.set_timer(self.cfg.tick, TRANSPORT_TICK);
+        }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
+    }
+
+    // -----------------------------------------------------------------
+    // Send paths
+    // -----------------------------------------------------------------
+
+    /// Fire-and-forget datagram (must fit one MTU).
+    pub fn udp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) {
+        assert!(msg.size <= MTU, "datagram exceeds MTU; use rudp_send");
+        let body = msg.size;
+        let payload = Rc::new(TpPayload::Datagram {
+            data: msg.data,
+            size: msg.size,
+        });
+        let mut pkt = Packet::udp(ctx.ip(), ctx.mac(), dst, self.port, dst_port, body, payload);
+        pkt.wire_size = HDR_UDP + body;
+        ctx.send(pkt);
+    }
+
+    /// Reliable UDP message to a single destination (physical or unicast
+    /// vnode address).
+    pub fn rudp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) -> MsgToken {
+        self.start_send(ctx, dst, dst_port, Proto::Udp, msg, 1, 1)
+    }
+
+    /// Reliable multicast: complete when **all** `expected` receivers hold
+    /// the message.
+    pub fn mcast_send(&mut self, ctx: &mut Ctx, group: Ipv4, dst_port: u16, msg: Msg, expected: usize) -> MsgToken {
+        self.start_send(ctx, group, dst_port, Proto::Udp, msg, expected, expected)
+    }
+
+    /// Reliable any-k multicast: window advances with the k fastest
+    /// receivers and the send completes when any `k` hold the message;
+    /// stragglers are served until the linger timeout (§5).
+    pub fn anyk_send(
+        &mut self,
+        ctx: &mut Ctx,
+        group: Ipv4,
+        dst_port: u16,
+        msg: Msg,
+        expected: usize,
+        k: usize,
+    ) -> MsgToken {
+        self.start_send(ctx, group, dst_port, Proto::Udp, msg, expected, k)
+    }
+
+    /// Reliable message over a TCP-like stream; performs (and caches) the
+    /// connection handshake to `dst` on first use.
+    pub fn tcp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) -> MsgToken {
+        self.arm(ctx);
+        let token = MsgToken(self.next_id());
+        match self.conns.get_mut(&dst) {
+            Some(Conn::Established) => {
+                let id = token.0;
+                let s = SendState::start(
+                    &self.cfg, ctx, id, token, dst, dst_port, self.port, Proto::Tcp, msg, 1, 1,
+                );
+                self.senders.insert(id, s);
+            }
+            Some(Conn::SynSent { pending, .. }) => {
+                pending.push(Pending { token, msg, dst_port });
+            }
+            None => {
+                self.conns.insert(
+                    dst,
+                    Conn::SynSent {
+                        pending: vec![Pending { token, msg, dst_port }],
+                        retry_left: SYN_RETRY_TICKS,
+                        tries: 1,
+                    },
+                );
+                self.send_ctl(ctx, dst, dst_port, TpPayload::Syn);
+            }
+        }
+        token
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_send(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: Ipv4,
+        dst_port: u16,
+        proto: Proto,
+        msg: Msg,
+        expected: usize,
+        quorum: usize,
+    ) -> MsgToken {
+        self.arm(ctx);
+        let id = self.next_id();
+        let token = MsgToken(id);
+        let s = SendState::start(&self.cfg, ctx, id, token, dst, dst_port, self.port, proto, msg, expected, quorum);
+        self.senders.insert(id, s);
+        token
+    }
+
+    fn send_ctl(&self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, payload: TpPayload) {
+        let mut pkt = Packet::tcp(ctx.ip(), ctx.mac(), dst, self.port, dst_port, 0, Rc::new(payload));
+        pkt.wire_size = HDR_TCP;
+        ctx.send(pkt);
+    }
+
+    // -----------------------------------------------------------------
+    // Receive path
+    // -----------------------------------------------------------------
+
+    /// Feed a received packet through the stack. Packets not destined to
+    /// our port (or not transport-shaped) are ignored.
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) -> Vec<TransportEvent> {
+        let mut events = Vec::new();
+        if pkt.dst_port != self.port {
+            return events;
+        }
+        let Some(payload) = pkt.payload_as::<TpPayload>() else {
+            return events;
+        };
+        match payload {
+            TpPayload::Datagram { data, size } => {
+                events.push(TransportEvent::Delivered {
+                    from: (pkt.src, pkt.src_port),
+                    dst_ip: pkt.dst,
+                    carrier: Carrier::Datagram,
+                    msg: Msg {
+                        data: Rc::clone(data),
+                        size: *size,
+                    },
+                });
+            }
+            TpPayload::Chunk {
+                sender,
+                msg_id,
+                seq,
+                total,
+                msg_size,
+                data,
+                retx: _,
+            } => {
+                self.arm(ctx);
+                let key = (*sender, *msg_id);
+                let st = self.recvs.entry(key).or_insert_with(|| {
+                    RecvState::from_chunk(
+                        &self.cfg,
+                        *sender,
+                        pkt.src_port,
+                        *msg_id,
+                        *total,
+                        *msg_size,
+                        Rc::clone(data),
+                        pkt.dst,
+                        pkt.proto,
+                    )
+                });
+                if let Some(ev) = st.on_chunk(&self.cfg, ctx, self.port, *seq) {
+                    events.push(ev);
+                }
+            }
+            TpPayload::Ack { msg_id, cum, complete: _ } => {
+                if let Some(s) = self.senders.get_mut(msg_id) {
+                    match s.on_ack(&self.cfg, ctx, self.port, pkt.src, *cum) {
+                        SendOutcome::Sent(acked_by) => {
+                            let token = s.token;
+                            if s.fully_acked() {
+                                self.senders.remove(msg_id);
+                            }
+                            events.push(TransportEvent::Sent { token, acked_by });
+                        }
+                        SendOutcome::Failed => unreachable!("acks cannot fail a send"),
+                        SendOutcome::Quiet => {
+                            if s.fully_acked() {
+                                self.senders.remove(msg_id);
+                            }
+                        }
+                    }
+                }
+            }
+            TpPayload::Nack { msg_id, missing } => {
+                if let Some(s) = self.senders.get_mut(msg_id) {
+                    s.on_nack(ctx, self.port, pkt.src, missing);
+                }
+            }
+            TpPayload::Syn => {
+                // Simultaneous open: if we were mid-handshake to this
+                // peer, the connection is now established both ways —
+                // flush anything we had queued rather than dropping it.
+                let prior = self.conns.insert(pkt.src, Conn::Established);
+                self.send_ctl(ctx, pkt.src, pkt.src_port, TpPayload::SynAck);
+                if let Some(Conn::SynSent { pending, .. }) = prior {
+                    for p in pending {
+                        let id = p.token.0;
+                        let s = SendState::start(
+                            &self.cfg,
+                            ctx,
+                            id,
+                            p.token,
+                            pkt.src,
+                            p.dst_port,
+                            self.port,
+                            Proto::Tcp,
+                            p.msg,
+                            1,
+                            1,
+                        );
+                        self.senders.insert(id, s);
+                    }
+                }
+            }
+            TpPayload::SynAck => {
+                if let Some(Conn::SynSent { pending, .. }) = self.conns.get_mut(&pkt.src) {
+                    let pending = std::mem::take(pending);
+                    self.conns.insert(pkt.src, Conn::Established);
+                    for p in pending {
+                        let id = p.token.0;
+                        let s = SendState::start(
+                            &self.cfg,
+                            ctx,
+                            id,
+                            p.token,
+                            pkt.src,
+                            p.dst_port,
+                            self.port,
+                            Proto::Tcp,
+                            p.msg,
+                            1,
+                            1,
+                        );
+                        self.senders.insert(id, s);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Drive the stack's periodic work. Call from the app's `on_timer`
+    /// when the token is [`TRANSPORT_TICK`].
+    pub fn on_timer(&mut self, token: u64, ctx: &mut Ctx) -> Vec<TransportEvent> {
+        let mut events = Vec::new();
+        if token != TRANSPORT_TICK {
+            return events;
+        }
+        self.tick_armed = false;
+
+        // Sender ticks.
+        let mut drop_ids = Vec::new();
+        for (&id, s) in self.senders.iter_mut() {
+            let (outcome, drop) = s.on_tick(&self.cfg, ctx, self.port);
+            match outcome {
+                SendOutcome::Sent(acked_by) => events.push(TransportEvent::Sent { token: s.token, acked_by }),
+                SendOutcome::Failed => events.push(TransportEvent::Failed { token: s.token }),
+                SendOutcome::Quiet => {}
+            }
+            if drop {
+                drop_ids.push(id);
+            }
+        }
+        for id in drop_ids {
+            self.senders.remove(&id);
+        }
+
+        // Receiver ticks. NACK pacing: at most one incomplete reassembly
+        // may request repair per tick (round-robin, deterministic order),
+        // so total repair demand per receiver stays bounded no matter how
+        // many straggling transfers it has.
+        let mut incomplete: Vec<(Ipv4, u64)> = self
+            .recvs
+            .iter()
+            .filter(|(_, r)| !r.complete())
+            .map(|(&k, _)| k)
+            .collect();
+        incomplete.sort_unstable();
+        let allowed = if incomplete.is_empty() {
+            None
+        } else {
+            let pick = incomplete[(self.nack_rr % incomplete.len() as u64) as usize];
+            self.nack_rr += 1;
+            Some(pick)
+        };
+        let mut drop_keys = Vec::new();
+        for (&key, r) in self.recvs.iter_mut() {
+            if r.on_tick(&self.cfg, ctx, self.port, allowed == Some(key)) {
+                drop_keys.push(key);
+            }
+        }
+        for k in drop_keys {
+            self.recvs.remove(&k);
+        }
+
+        // Handshake retries.
+        let mut failed_conns = Vec::new();
+        for (&dst, conn) in self.conns.iter_mut() {
+            if let Conn::SynSent { pending, retry_left, tries } = conn {
+                *retry_left = retry_left.saturating_sub(1);
+                if *retry_left == 0 {
+                    if *tries >= SYN_MAX_TRIES {
+                        for p in pending.drain(..) {
+                            events.push(TransportEvent::Failed { token: p.token });
+                        }
+                        failed_conns.push(dst);
+                    } else {
+                        *tries += 1;
+                        *retry_left = SYN_RETRY_TICKS;
+                        let dst_port = pending.first().map_or(self.port, |p| p.dst_port);
+                        let mut pkt =
+                            Packet::tcp(ctx.ip(), ctx.mac(), dst, self.port, dst_port, 0, Rc::new(TpPayload::Syn));
+                        pkt.wire_size = HDR_TCP;
+                        ctx.send(pkt);
+                    }
+                }
+            }
+        }
+        for d in failed_conns {
+            self.conns.remove(&d);
+        }
+
+        if !self.senders.is_empty() || !self.recvs.is_empty() || self.conns.values().any(|c| matches!(c, Conn::SynSent { .. }))
+        {
+            self.tick_armed = true;
+            ctx.set_timer(self.cfg.tick, TRANSPORT_TICK);
+        }
+        events
+    }
+
+    /// Forget all volatile state (crash semantics: connections, in-flight
+    /// transfers, and reassembly buffers are all lost).
+    pub fn on_crash(&mut self) {
+        self.senders.clear();
+        self.recvs.clear();
+        self.conns.clear();
+        self.tick_armed = false;
+    }
+
+    /// Apparent one-way wire cost of a message of `size` bytes over this
+    /// transport (chunk headers included) — useful for analytic checks.
+    pub fn wire_bytes(size: u32, tcp: bool) -> u64 {
+        let chunks = crate::rudp::num_chunks(size);
+        let hdr = if tcp { HDR_TCP } else { HDR_UDP };
+        let ctrl = 22u64; // per-chunk transport header
+        size as u64 + chunks as u64 * (hdr as u64 + ctrl)
+    }
+}

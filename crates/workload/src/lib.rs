@@ -1,0 +1,16 @@
+//! # nice-workload — workload generators for the NICE evaluation
+//!
+//! Provides the request streams behind every experiment in the paper's §6:
+//! fixed-size synthetic put/get streams (Figures 4–10), the 20/80
+//! fixed-mix stream of the fault-tolerance timeline (Figure 11), and
+//! YCSB-style workloads with zipfian popularity (Figure 12).
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ops::{FixedMix, Op, OpKind};
+pub use ycsb::{KeyDist, Workload, WorkloadRun};
+pub use zipf::Zipf;

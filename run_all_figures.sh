@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table and figure of the NICE (HPDC '17) evaluation at
+# paper scale. Output: bench_results/*.csv (+ .log copies of stdout).
+# Pass --quick to every binary for a fast smoke run.
+set -e
+cd "$(dirname "$0")"
+ARGS="$@"
+mkdir -p bench_results
+for fig in fig04_routing fig05_replication fig06_network_load fig07_load_ratio \
+           fig08_quorum fig09_consistency fig10_load_balancing \
+           fig11_fault_tolerance fig12_ycsb switch_scalability membership_scalability \
+           ablation_replication ablation_lb; do
+  echo "=== $fig ==="
+  cargo run --release -p nice-bench --bin $fig -- $ARGS 2>&1 | tee bench_results/$fig.log
+done

@@ -1,0 +1,50 @@
+//! # nice — Network-Integrated Cluster-Efficient Storage
+//!
+//! A full-system reproduction of *NICE: Network-Integrated
+//! Cluster-Efficient Storage* (Al-Kiswany, Yang, Arpaci-Dusseau,
+//! Arpaci-Dusseau — HPDC 2017), built in Rust on a deterministic
+//! packet-level datacenter simulator.
+//!
+//! The paper co-designs a key-value store with an OpenFlow fabric:
+//! clients address *virtual* consistent-hashing rings whose IP-prefix
+//! subgroups the switch rewrites to physical nodes (single-hop routing),
+//! puts are replicated *by the switch* through multicast groups, failed
+//! or inconsistent nodes are hidden by removing them from the mappings,
+//! and get load balancing happens in-network via source-prefix rules.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sim`] | deterministic packet-level network simulator (hosts, switches, links) |
+//! | [`flow`] | OpenFlow-style flow/group tables + learning controller |
+//! | [`ring`] | consistent hashing, virtual rings, client divisions |
+//! | [`transport`] | reliable UDP (multicast/any-k) and TCP-like transports |
+//! | [`kv`] | **NICEKV** — the paper's system (servers, metadata service, clients) |
+//! | [`noob`] | the network-oblivious baseline (ROG/RAG/RAC × primary/2PC/quorum/chain) |
+//! | [`workload`] | zipfian + YCSB workload generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
+//! use nice::sim::Time;
+//!
+//! let ops = vec![
+//!     ClientOp::Put { key: "greeting".into(), value: Value::from_bytes(b"hello".to_vec()) },
+//!     ClientOp::Get { key: "greeting".into() },
+//! ];
+//! let mut cluster = NiceCluster::build(ClusterCfg::new(5, 3, vec![ops]));
+//! assert!(cluster.run_until_done(Time::from_secs(10)));
+//! assert!(cluster.client(0).records.iter().all(|r| r.ok));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nice_flow as flow;
+pub use nice_kv as kv;
+pub use nice_noob as noob;
+pub use nice_ring as ring;
+pub use nice_sim as sim;
+pub use nice_transport as transport;
+pub use nice_workload as workload;

@@ -1,0 +1,107 @@
+//! YCSB workloads end-to-end through the facade: generator → clients →
+//! cluster → verified results on both systems.
+
+use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
+use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
+use nice::sim::Time;
+use nice::workload::{OpKind, Workload, WorkloadRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build per-client op lists: striped load phase + generated run phase.
+fn build_ops(wl: &Workload, clients: usize, run_ops: usize, seed: u64) -> Vec<Vec<ClientOp>> {
+    let mut per_client: Vec<Vec<ClientOp>> = vec![Vec::new(); clients];
+    for i in 0..wl.records {
+        per_client[(i % clients as u64) as usize].push(ClientOp::Put {
+            key: wl.key(i),
+            value: Value::from_bytes(format!("record-{i}").into_bytes()),
+        });
+    }
+    for (j, ops) in per_client.iter_mut().enumerate() {
+        let before = ops.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ (j as u64 + 1));
+        let mut gen = WorkloadRun::new(wl.clone());
+        while ops.len() - before < run_ops {
+            for op in gen.next_ops(&mut rng) {
+                ops.push(match op.kind {
+                    OpKind::Get => ClientOp::Get { key: op.key },
+                    OpKind::Put => ClientOp::Put {
+                        key: op.key,
+                        value: Value::from_bytes(b"updated".to_vec()),
+                    },
+                });
+            }
+        }
+    }
+    per_client
+}
+
+#[test]
+fn ycsb_c_on_nice_returns_valid_records() {
+    let wl = Workload::c(40);
+    let ops = build_ops(&wl, 4, 30, 7);
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    assert!(c.run_until_done(Time::from_secs(120)));
+    for cl in 0..4 {
+        for r in &c.client(cl).records {
+            assert!(r.ok, "client {cl} op on {} failed", r.key);
+            if !r.is_put {
+                // C never updates, so every get returns the load value
+                let b = r.bytes.as_ref().expect("value");
+                assert!(b.starts_with(b"record-"), "{:?}", String::from_utf8_lossy(b));
+            }
+        }
+    }
+}
+
+#[test]
+fn ycsb_a_on_nice_mixes_reads_and_updates() {
+    let wl = Workload::a(40);
+    let ops = build_ops(&wl, 4, 30, 11);
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    assert!(c.run_until_done(Time::from_secs(120)));
+    let mut updated_seen = false;
+    for cl in 0..4 {
+        for r in &c.client(cl).records {
+            assert!(r.ok);
+            if let Some(b) = &r.bytes {
+                // every returned value is either the load value or an update
+                assert!(b.starts_with(b"record-") || b == b"updated");
+                if b == b"updated" {
+                    updated_seen = true;
+                }
+            }
+        }
+    }
+    assert!(updated_seen, "some reads observe updates in workload A");
+}
+
+#[test]
+fn ycsb_f_on_noob_2pc_completes() {
+    let wl = Workload::f(40);
+    let ops = build_ops(&wl, 4, 30, 13);
+    let mut cfg = NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::TwoPc, ops);
+    cfg.lb_gets = true;
+    let mut c = NoobCluster::build(cfg);
+    assert!(c.run_until_done(Time::from_secs(240)));
+    for cl in 0..4 {
+        assert!(c.client(cl).records.iter().all(|r| r.ok), "client {cl}");
+    }
+}
+
+#[test]
+fn ycsb_d_inserts_new_records() {
+    let wl = Workload::d(20);
+    let ops = build_ops(&wl, 2, 40, 17);
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    assert!(c.run_until_done(Time::from_secs(120)));
+    // D inserts ~5% new keys beyond the loaded 20: at least one server
+    // must hold a key user>=20.
+    let fresh = (0..8).any(|i| {
+        c.server(i)
+            .store()
+            .iter()
+            .any(|(k, _)| k.strip_prefix("user").and_then(|n| n.parse::<u64>().ok()).is_some_and(|n| n >= 20))
+    });
+    assert!(fresh, "inserts created new records");
+}
