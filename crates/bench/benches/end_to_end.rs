@@ -1,10 +1,13 @@
 //! End-to-end benchmarks: whole-cluster put/get rounds on both systems —
 //! scaled-down versions of the paper's Figure 4/5 points, runnable via
 //! `cargo bench`.
+//!
+//! Runs on the in-tree `nice_bench::timing` harness (`harness = false`),
+//! so `cargo bench` works offline with no criterion dependency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use nice_bench::timing::{bench, bench_batched};
 use nice_kv::{ClientOp, ClusterCfg, NiceCluster, Value};
 use nice_noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice_sim::Time;
@@ -16,61 +19,56 @@ fn ops(size: u32, n: usize) -> Vec<ClientOp> {
             key: format!("k{i}"),
             value: Value::synthetic(size),
         });
-        v.push(ClientOp::Get { key: format!("k{i}") });
+        v.push(ClientOp::Get {
+            key: format!("k{i}"),
+        });
     }
     v
 }
 
-fn bench_nice(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e/nice");
-    g.sample_size(10);
+fn bench_nice() {
     for size in [1u32 << 10, 64 << 10] {
-        g.bench_function(format!("put_get_10x_{}k", size >> 10), |b| {
-            b.iter_batched(
-                || NiceCluster::build(ClusterCfg::new(8, 3, vec![ops(size, 10)])),
-                |mut cl| {
-                    assert!(cl.run_until_done(Time::from_secs(60)));
-                    black_box(cl.sim.events_processed())
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        bench_batched(
+            &format!("e2e/nice/put_get_10x_{}k", size >> 10),
+            || NiceCluster::build(ClusterCfg::new(8, 3, vec![ops(size, 10)])),
+            |mut cl| {
+                assert!(cl.run_until_done(Time::from_secs(60)));
+                black_box(cl.sim.events_processed())
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_noob(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e/noob_rac_primary");
-    g.sample_size(10);
+fn bench_noob() {
     for size in [1u32 << 10, 64 << 10] {
-        g.bench_function(format!("put_get_10x_{}k", size >> 10), |b| {
-            b.iter_batched(
-                || {
-                    NoobCluster::build(NoobClusterCfg::new(
-                        8,
-                        3,
-                        Access::Rac,
-                        NoobMode::PrimaryOnly,
-                        vec![ops(size, 10)],
-                    ))
-                },
-                |mut cl| {
-                    assert!(cl.run_until_done(Time::from_secs(60)));
-                    black_box(cl.sim.events_processed())
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        bench_batched(
+            &format!("e2e/noob_rac_primary/put_get_10x_{}k", size >> 10),
+            || {
+                NoobCluster::build(NoobClusterCfg::new(
+                    8,
+                    3,
+                    Access::Rac,
+                    NoobMode::PrimaryOnly,
+                    vec![ops(size, 10)],
+                ))
+            },
+            |mut cl| {
+                assert!(cl.run_until_done(Time::from_secs(60)));
+                black_box(cl.sim.events_processed())
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_cluster_build(c: &mut Criterion) {
+fn bench_cluster_build() {
     // How long does standing up the full 15-node deployment take?
-    c.bench_function("e2e/build_15_node_cluster", |b| {
-        b.iter(|| black_box(NiceCluster::build(ClusterCfg::new(15, 3, vec![]))));
+    bench("e2e/build_15_node_cluster", || {
+        black_box(NiceCluster::build(ClusterCfg::new(15, 3, vec![])))
     });
 }
 
-criterion_group!(benches, bench_nice, bench_noob, bench_cluster_build);
-criterion_main!(benches);
+fn main() {
+    bench_nice();
+    bench_noob();
+    bench_cluster_build();
+}

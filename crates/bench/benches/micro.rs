@@ -1,38 +1,38 @@
 //! Micro-benchmarks of the substrates: key hashing, ring lookups,
 //! flow-table matching, zipf sampling, and raw event-kernel throughput.
+//!
+//! Runs on the in-tree `nice_bench::timing` harness (`harness = false`),
+//! so `cargo bench` works offline with no criterion dependency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use nice_bench::timing::{bench, bench_batched};
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowTable};
 use nice_ring::{hash_str, NodeIdx, PartitionId, PhysicalRing, VRing};
-use nice_sim::{App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, Time};
+use nice_sim::{
+    App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, Time,
+    XorShiftRng,
+};
 use nice_workload::Zipf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::rc::Rc;
 
-fn bench_hash(c: &mut Criterion) {
-    c.bench_function("ring/hash_key", |b| {
-        b.iter(|| hash_str(black_box("user12345")));
-    });
+fn bench_hash() {
+    bench("ring/hash_key", || hash_str(black_box("user12345")));
 }
 
-fn bench_ring_lookup(c: &mut Criterion) {
+fn bench_ring_lookup() {
     let ring = PhysicalRing::new(1024, (0..64).map(NodeIdx).collect(), 3);
-    c.bench_function("ring/partition+replicas", |b| {
-        b.iter(|| {
-            let p = ring.partition_of_key(black_box(b"user12345"));
-            black_box(ring.replica_set(p));
-        });
+    bench("ring/partition+replicas", || {
+        let p = ring.partition_of_key(black_box(b"user12345"));
+        black_box(ring.replica_set(p));
     });
     let v = VRing::unicast(1024);
-    c.bench_function("ring/vnode_for_key", |b| {
-        b.iter(|| v.vnode_for_key(black_box(PartitionId(17)), black_box(b"user12345")));
+    bench("ring/vnode_for_key", || {
+        v.vnode_for_key(black_box(PartitionId(17)), black_box(b"user12345"))
     });
 }
 
-fn bench_flow_table(c: &mut Criterion) {
+fn bench_flow_table() {
     // A table shaped like a real deployment: 256 partitions x (unicast +
     // multicast + 4 LB rules) + 64 physical rules.
     let mut t = FlowTable::new();
@@ -42,11 +42,19 @@ fn bench_flow_table(c: &mut Criterion) {
         let (n1, l1) = uni.subgroup_prefix(PartitionId(p));
         let (n2, l2) = mc.subgroup_prefix(PartitionId(p));
         t.install(
-            FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(n1, l1), vec![Action::Output(Port(1))]),
+            FlowRule::new(
+                prio::VRING,
+                FlowMatch::any().dst_prefix(n1, l1),
+                vec![Action::Output(Port(1))],
+            ),
             Time::ZERO,
         );
         t.install(
-            FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(n2, l2), vec![Action::Output(Port(2))]),
+            FlowRule::new(
+                prio::VRING,
+                FlowMatch::any().dst_prefix(n2, l2),
+                vec![Action::Output(Port(2))],
+            ),
             Time::ZERO,
         );
         for d in 0..4u32 {
@@ -81,20 +89,18 @@ fn bench_flow_table(c: &mut Criterion) {
         100,
         Rc::new(()),
     );
-    c.bench_function("flow/apply_1600_rules", |b| {
-        b.iter(|| t.apply(black_box(Port(0)), black_box(&pkt), Time::from_us(1)));
+    bench("flow/apply_1600_rules", || {
+        t.apply(black_box(Port(0)), black_box(&pkt), Time::from_us(1))
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf() {
     let z = Zipf::ycsb(100_000);
-    let mut rng = StdRng::seed_from_u64(7);
-    c.bench_function("workload/zipf_sample", |b| {
-        b.iter(|| z.sample(&mut rng));
-    });
+    let mut rng = XorShiftRng::seed_from_u64(7);
+    bench("workload/zipf_sample", move || z.sample(&mut rng));
 }
 
-fn bench_event_kernel(c: &mut Criterion) {
+fn bench_event_kernel() {
     // Raw kernel throughput: two apps ping-pong 1000 packets through a
     // flow-less hub; measures events/sec of the DES core.
     struct Pong;
@@ -123,33 +129,32 @@ fn bench_event_kernel(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("sim/pingpong_1000", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulation::new(3);
-                let sw = sim.add_switch(Box::new(nice_sim::switch::HubLogic), SwitchCfg::default());
-                let b_ip = Ipv4::new(10, 0, 0, 2);
-                let a = sim.add_host(Box::new(Kick { peer: b_ip }), HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)));
-                let bb = sim.add_host(Box::new(Pong), HostCfg::new(b_ip, Mac(2)));
-                sim.connect(a, sw, ChannelCfg::gigabit());
-                sim.connect(bb, sw, ChannelCfg::gigabit());
-                sim
-            },
-            |mut sim| {
-                sim.run_until(Time::from_secs(1));
-                black_box(sim.events_processed())
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench_batched(
+        "sim/pingpong_1000",
+        || {
+            let mut sim = Simulation::new(3);
+            let sw = sim.add_switch(Box::new(nice_sim::switch::HubLogic), SwitchCfg::default());
+            let b_ip = Ipv4::new(10, 0, 0, 2);
+            let a = sim.add_host(
+                Box::new(Kick { peer: b_ip }),
+                HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)),
+            );
+            let bb = sim.add_host(Box::new(Pong), HostCfg::new(b_ip, Mac(2)));
+            sim.connect(a, sw, ChannelCfg::gigabit());
+            sim.connect(bb, sw, ChannelCfg::gigabit());
+            sim
+        },
+        |mut sim| {
+            sim.run_until(Time::from_secs(1));
+            black_box(sim.events_processed())
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_hash,
-    bench_ring_lookup,
-    bench_flow_table,
-    bench_zipf,
-    bench_event_kernel
-);
-criterion_main!(benches);
+fn main() {
+    bench_hash();
+    bench_ring_lookup();
+    bench_flow_table();
+    bench_zipf();
+    bench_event_kernel();
+}

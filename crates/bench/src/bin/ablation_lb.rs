@@ -9,9 +9,8 @@ use nice_bench::harness::{par_map, ArgSpec, CsvOut, Stats};
 use nice_bench::{RunSpec, System};
 use nice_kv::{ClientOp, Value};
 use nice_sim::Time;
+use nice_workload::XorShiftRng;
 use nice_workload::Zipf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const RECORDS: u64 = 200;
 
@@ -21,7 +20,13 @@ fn main() {
         "ablation_lb",
         "Ablation: NICE load balancing off / static divisions / adaptive (future work) — get throughput under zipf skew",
     );
-    out.header(&["lb", "clients", "throughput_ops_s", "mean_us", "flow_entries"]);
+    out.header(&[
+        "lb",
+        "clients",
+        "throughput_ops_s",
+        "mean_us",
+        "flow_entries",
+    ]);
 
     // mode: 0 = off, 1 = static divisions (the paper), 2 = adaptive LPT
     let mut jobs = Vec::new();
@@ -39,10 +44,10 @@ fn main() {
                 value: Value::synthetic(1000),
             });
         }
-        let loads: Vec<usize> = per_client.iter().map(|v| v.len()).collect();
+        let loads: Vec<usize> = per_client.iter().map(std::vec::Vec::len).collect();
         let z = Zipf::ycsb(RECORDS);
         for (j, ops) in per_client.iter_mut().enumerate() {
-            let mut rng = StdRng::seed_from_u64(args.seed ^ (j as u64 + 1));
+            let mut rng = XorShiftRng::seed_from_u64(args.seed ^ (j as u64 + 1));
             for _ in 0..args.ops {
                 ops.push(ClientOp::Get {
                     key: format!("z{}", z.sample(&mut rng)),
@@ -54,7 +59,11 @@ fn main() {
         spec.seed = args.seed;
         spec.retry_not_found = true;
         let mut c = {
-            let mut cfg = nice_kv::ClusterCfg::new(spec.storage_nodes, spec.replication, spec.client_ops.clone());
+            let mut cfg = nice_kv::ClusterCfg::new(
+                spec.storage_nodes,
+                spec.replication,
+                spec.client_ops.clone(),
+            );
             cfg.seed = spec.seed;
             cfg.retry_not_found = true;
             cfg.kv.load_balancing = mode > 0;

@@ -22,9 +22,21 @@ const SIZES: [u32; 3] = [1 << 10, 64 << 10, 1 << 20];
 fn systems() -> Vec<System> {
     vec![
         System::Nice { lb: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::Chain, lb_gets: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: false },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::Chain,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::TwoPc,
+            lb_gets: false,
+        },
     ]
 }
 
@@ -61,9 +73,18 @@ fn main() {
     for (sys, size, r, st, kb) in results {
         let label = match sys {
             System::Nice { .. } => "multicast (NICE)".to_string(),
-            System::Noob { mode: NoobMode::PrimaryOnly, .. } => "primary fan-out".to_string(),
-            System::Noob { mode: NoobMode::Chain, .. } => "chain".to_string(),
-            System::Noob { mode: NoobMode::TwoPc, .. } => "fan-out + 2PC".to_string(),
+            System::Noob {
+                mode: NoobMode::PrimaryOnly,
+                ..
+            } => "primary fan-out".to_string(),
+            System::Noob {
+                mode: NoobMode::Chain,
+                ..
+            } => "chain".to_string(),
+            System::Noob {
+                mode: NoobMode::TwoPc,
+                ..
+            } => "fan-out + 2PC".to_string(),
             other => other.label(),
         };
         out.row(&[

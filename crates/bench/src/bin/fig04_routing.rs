@@ -20,9 +20,21 @@ const SIZES: [u32; 6] = [4, 1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
 fn systems() -> Vec<System> {
     vec![
         System::Nice { lb: false },
-        System::Noob { access: Access::Rog, mode: NoobMode::PrimaryOnly, lb_gets: false },
-        System::Noob { access: Access::Rag, mode: NoobMode::PrimaryOnly, lb_gets: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob {
+            access: Access::Rog,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rag,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
     ]
 }
 

@@ -32,7 +32,12 @@ fn load_ratio(sys: System, r: usize, size: u32, ops: usize, seed: u64) -> (f64, 
     let probe = nice_cluster(&RunSpec::new(System::Nice { lb: false }, r, vec![]));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, ops);
-    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let replicas: Vec<usize> = probe
+        .ring
+        .replica_set(p)
+        .iter()
+        .map(|n| n.0 as usize)
+        .collect();
     drop(probe);
 
     let client_ops: Vec<ClientOp> = keys
@@ -55,7 +60,11 @@ fn load_ratio(sys: System, r: usize, size: u32, ops: usize, seed: u64) -> (f64, 
             idle_spec.client_ops = vec![vec![]];
             let mut ic = noob_cluster(&idle_spec);
             ic.sim.run_until(finish);
-            (stats, finish, ic.servers.iter().map(|&h| ic.sim.host_stats(h)).collect())
+            (
+                stats,
+                finish,
+                ic.servers.iter().map(|&h| ic.sim.host_stats(h)).collect(),
+            )
         }
         _ => {
             let mut c = nice_cluster(&spec);
@@ -66,7 +75,11 @@ fn load_ratio(sys: System, r: usize, size: u32, ops: usize, seed: u64) -> (f64, 
             idle_spec.client_ops = vec![vec![]];
             let mut ic = nice_cluster(&idle_spec);
             ic.sim.run_until(finish);
-            (stats, finish, ic.servers.iter().map(|&h| ic.sim.host_stats(h)).collect())
+            (
+                stats,
+                finish,
+                ic.servers.iter().map(|&h| ic.sim.host_stats(h)).collect(),
+            )
         }
     };
     let _ = finish;
@@ -85,7 +98,11 @@ fn main() {
     let args = ArgSpec::parse(100, 10);
     let systems = [
         System::Nice { lb: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
     ];
 
     let mut out = CsvOut::new(

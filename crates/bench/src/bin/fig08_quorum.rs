@@ -32,7 +32,12 @@ fn main() {
     let probe = nice_cluster(&RunSpec::new(System::Nice { lb: false }, R, vec![]));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, args.ops);
-    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let replicas: Vec<usize> = probe
+        .ring
+        .replica_set(p)
+        .iter()
+        .map(|n| n.0 as usize)
+        .collect();
     let slow: Vec<(usize, u64)> = replicas[R - 3..].iter().map(|&i| (i, 50_000_000)).collect();
     drop(probe);
 

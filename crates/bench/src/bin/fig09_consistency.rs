@@ -21,8 +21,16 @@ const SIZES: [u32; 2] = [4, 1 << 20];
 fn systems() -> Vec<System> {
     vec![
         System::Nice { lb: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: false },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::TwoPc,
+            lb_gets: false,
+        },
     ]
 }
 

@@ -26,10 +26,18 @@ const KEY: &str = "hot-object";
 fn systems() -> Vec<System> {
     vec![
         System::Nice { lb: true },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
         // 2PC with client-side get balancing, as the paper's 2PC config
         // load balances gets across replicas.
-        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: true },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::TwoPc,
+            lb_gets: true,
+        },
     ]
 }
 
@@ -87,7 +95,11 @@ fn main() {
         spec.deadline = Time::from_secs(3600);
         spec.retry_not_found = true;
         let mixed = run(&spec);
-        assert!(mixed.done, "{} size={size} r={r} mixed did not finish", sys.label());
+        assert!(
+            mixed.done,
+            "{} size={size} r={r} mixed did not finish",
+            sys.label()
+        );
         let mixed_span = mixed.finish.saturating_sub(mixed.start);
         let mut lats = mixed.put_lat.clone();
         lats.extend(mixed.get_lat.iter().copied());
@@ -101,7 +113,15 @@ fn main() {
         spec.retry_not_found = true;
         let getonly = run(&spec);
         let get_span = getonly.finish.saturating_sub(getonly.start);
-        (sys, size, r, mixed_span, get_span, mixed_stats, mixed.failures)
+        (
+            sys,
+            size,
+            r,
+            mixed_span,
+            get_span,
+            mixed_stats,
+            mixed.failures,
+        )
     });
     for (sys, size, r, span, get_span, mixed, failures) in results {
         out.row(&[

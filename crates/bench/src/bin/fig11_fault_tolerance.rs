@@ -16,8 +16,7 @@ use nice_bench::{RunSpec, System};
 use nice_kv::{ClientApp, ClientOp, Value};
 use nice_ring::PartitionId;
 use nice_sim::Time;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use nice_workload::{Rng, XorShiftRng};
 
 const DURATION_S: u64 = 120;
 const FAIL_AT_S: u64 = 30;
@@ -30,23 +29,34 @@ fn main() {
         "fig11_fault_tolerance",
         "Figure 11: ops served per second; secondary fails at 30s, rejoins at 90s",
     );
-    out.header(&["second", "puts_per_sec", "gets_per_sec", "handoff_forwarded", "victim_objects"]);
+    out.header(&[
+        "second",
+        "puts_per_sec",
+        "gets_per_sec",
+        "handoff_forwarded",
+        "victim_objects",
+    ]);
 
     // Pin everything to one partition; identify the victim secondary.
     let probe = nice_cluster(&RunSpec::new(System::Nice { lb: true }, 3, vec![]));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 100);
-    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let replicas: Vec<usize> = probe
+        .ring
+        .replica_set(p)
+        .iter()
+        .map(|n| n.0 as usize)
+        .collect();
     let victim = replicas[1];
     drop(probe);
 
     // 20/80 put/get streams over the pinned keys for three clients.
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let mk_ops = |rng: &mut StdRng, n: usize| -> Vec<ClientOp> {
+    let mut rng = XorShiftRng::seed_from_u64(args.seed);
+    let mk_ops = |rng: &mut XorShiftRng, n: usize| -> Vec<ClientOp> {
         (0..n)
             .map(|_| {
                 let key = keys[rng.random_range(0..keys.len())].clone();
-                if rng.random::<f64>() < 0.2 {
+                if rng.random_f64() < 0.2 {
                     ClientOp::Put {
                         key,
                         value: Value::synthetic(OBJ),
@@ -65,8 +75,10 @@ fn main() {
 
     let spec = RunSpec::new(System::Nice { lb: true }, 3, client_ops);
     let mut c = nice_cluster(&spec);
-    c.sim.schedule_crash(Time::from_secs(FAIL_AT_S), c.servers[victim]);
-    c.sim.schedule_restart(Time::from_secs(REJOIN_AT_S), c.servers[victim]);
+    c.sim
+        .schedule_crash(Time::from_secs(FAIL_AT_S), c.servers[victim]);
+    c.sim
+        .schedule_restart(Time::from_secs(REJOIN_AT_S), c.servers[victim]);
 
     let mut prev_puts = 0usize;
     let mut prev_gets = 0usize;
@@ -88,7 +100,9 @@ fn main() {
                 }
             }
         }
-        let handoff_fwd: u64 = (0..c.servers.len()).map(|i| c.server(i).counters().gets_forwarded).sum();
+        let handoff_fwd: u64 = (0..c.servers.len())
+            .map(|i| c.server(i).counters().gets_forwarded)
+            .sum();
         let victim_objects = c.server(victim).store().len();
         out.row(&[
             sec.to_string(),

@@ -13,9 +13,8 @@ use nice_bench::{run, RunSpec, System};
 use nice_kv::{ClientOp, Value};
 use nice_noob::{Access, NoobMode};
 use nice_sim::Time;
+use nice_workload::XorShiftRng;
 use nice_workload::{OpKind, Workload, WorkloadRun};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const CLIENTS: usize = 10;
 const RECORDS: u64 = 1000;
@@ -23,8 +22,16 @@ const RECORDS: u64 = 1000;
 fn systems() -> Vec<System> {
     vec![
         System::Nice { lb: true },
-        System::Noob { access: Access::Rac, mode: NoobMode::PrimaryOnly, lb_gets: false },
-        System::Noob { access: Access::Rac, mode: NoobMode::TwoPc, lb_gets: true },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::PrimaryOnly,
+            lb_gets: false,
+        },
+        System::Noob {
+            access: Access::Rac,
+            mode: NoobMode::TwoPc,
+            lb_gets: true,
+        },
     ]
 }
 
@@ -39,10 +46,10 @@ fn build_ops(wl: &Workload, ops_per_client: usize, seed: u64) -> (Vec<Vec<Client
             value: Value::synthetic(wl.object_size),
         });
     }
-    let load_len: Vec<usize> = per_client.iter().map(|v| v.len()).collect();
+    let load_len: Vec<usize> = per_client.iter().map(std::vec::Vec::len).collect();
     // Run phase.
     for (j, ops) in per_client.iter_mut().enumerate() {
-        let mut rng = StdRng::seed_from_u64(seed ^ (j as u64 + 1));
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ (j as u64 + 1));
         let mut gen = WorkloadRun::new(wl.clone());
         while ops.len() - load_len[j] < ops_per_client {
             for op in gen.next_ops(&mut rng) {

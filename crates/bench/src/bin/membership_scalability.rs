@@ -49,7 +49,8 @@ fn main() {
         ic.sim.run_until(Time::from_secs(5));
         let ia = ic.sim.host_stats(ic.meta);
         let msgs = (after.pkts_sent - before.pkts_sent).saturating_sub(ia.pkts_sent - ib.pkts_sent);
-        let bytes = (after.bytes_sent - before.bytes_sent).saturating_sub(ia.bytes_sent - ib.bytes_sent);
+        let bytes =
+            (after.bytes_sent - before.bytes_sent).saturating_sub(ia.bytes_sent - ib.bytes_sent);
         // rules touched = partitions where the victim was a replica, times
         // (unicast + LB + group updates)
         let affected = c.ring.partitions_of(nice_ring::NodeIdx(1)).len();

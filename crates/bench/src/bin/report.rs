@@ -18,7 +18,9 @@ struct Csv {
 impl Csv {
     fn load(path: &Path) -> Option<Csv> {
         let text = fs::read_to_string(path).ok()?;
-        let mut lines = text.lines().filter(|l| !l.starts_with('#') && !l.trim().is_empty());
+        let mut lines = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty());
         let header = lines.next()?;
         let cols = header
             .split(',')
@@ -122,9 +124,12 @@ fn main() {
             figure: "Fig 7",
             what: "NOOB primary/secondary load, R=9",
             paper: "9x",
-            measured: f7
-                .as_ref()
-                .and_then(|c| c.lookup(&[("system", "NOOB+RAC-primary"), ("replication", "9")], "ratio")),
+            measured: f7.as_ref().and_then(|c| {
+                c.lookup(
+                    &[("system", "NOOB+RAC-primary"), ("replication", "9")],
+                    "ratio",
+                )
+            }),
         },
         Line {
             figure: "Fig 8",
@@ -143,8 +148,16 @@ fn main() {
             paper: "7x",
             measured: ratio(
                 f9.as_ref(),
-                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "9")],
-                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "1")],
+                &[
+                    ("system", "NOOB+RAC-primary"),
+                    ("size", "1MB"),
+                    ("replication", "9"),
+                ],
+                &[
+                    ("system", "NOOB+RAC-primary"),
+                    ("size", "1MB"),
+                    ("replication", "1"),
+                ],
                 "mean_us",
             ),
         },
@@ -154,7 +167,11 @@ fn main() {
             paper: "up to 5.5x",
             measured: ratio(
                 f9.as_ref(),
-                &[("system", "NOOB+RAC-2pc"), ("size", "1MB"), ("replication", "9")],
+                &[
+                    ("system", "NOOB+RAC-2pc"),
+                    ("size", "1MB"),
+                    ("replication", "9"),
+                ],
                 &[("system", "NICE"), ("size", "1MB"), ("replication", "9")],
                 "mean_us",
             ),
@@ -165,7 +182,11 @@ fn main() {
             paper: "up to 7.5x",
             measured: ratio(
                 f10.as_ref(),
-                &[("system", "NOOB+RAC-primary"), ("size", "1MB"), ("replication", "9")],
+                &[
+                    ("system", "NOOB+RAC-primary"),
+                    ("size", "1MB"),
+                    ("replication", "9"),
+                ],
                 &[("system", "NICE"), ("size", "1MB"), ("replication", "9")],
                 "makespan_ms",
             ),
@@ -185,7 +206,10 @@ fn main() {
 
     println!("NICE (HPDC '17) reproduction scorecard — bench_results/ vs the paper");
     println!("{:-<78}", "");
-    println!("{:<8} {:<38} {:>12} {:>10}", "figure", "metric", "paper", "measured");
+    println!(
+        "{:<8} {:<38} {:>12} {:>10}",
+        "figure", "metric", "paper", "measured"
+    );
     println!("{:-<78}", "");
     let mut missing = 0;
     for l in &lines {
@@ -193,7 +217,10 @@ fn main() {
             Some(m) => println!("{:<8} {:<38} {:>12} {:>9.2}x", l.figure, l.what, l.paper, m),
             None => {
                 missing += 1;
-                println!("{:<8} {:<38} {:>12} {:>10}", l.figure, l.what, l.paper, "(no data)");
+                println!(
+                    "{:<8} {:<38} {:>12} {:>10}",
+                    l.figure, l.what, l.paper, "(no data)"
+                );
             }
         }
     }
@@ -227,9 +254,18 @@ mod tests {
     #[test]
     fn lookup_selects_the_right_row() {
         let c = sample();
-        assert_eq!(c.lookup(&[("system", "NOOB"), ("size", "1MB")], "mean_us"), Some(9000.0));
-        assert_eq!(c.lookup(&[("system", "NICE"), ("size", "4B")], "mean_us"), Some(100.0));
-        assert_eq!(c.lookup(&[("system", "NICE"), ("size", "1MB")], "mean_us"), None);
+        assert_eq!(
+            c.lookup(&[("system", "NOOB"), ("size", "1MB")], "mean_us"),
+            Some(9000.0)
+        );
+        assert_eq!(
+            c.lookup(&[("system", "NICE"), ("size", "4B")], "mean_us"),
+            Some(100.0)
+        );
+        assert_eq!(
+            c.lookup(&[("system", "NICE"), ("size", "1MB")], "mean_us"),
+            None
+        );
         assert_eq!(c.lookup(&[("system", "NICE")], "nosuchcol"), None);
     }
 

@@ -29,7 +29,11 @@ fn main() {
         "Section 4.6: forwarding-table entries per deployment and max supported nodes (128K-entry switch)",
     );
     out.header(&["config", "entries_per_node", "max_nodes"]);
-    out.row(&["no-LB (2N)".into(), "2".into(), (TABLE_CAPACITY / 2).to_string()]);
+    out.row(&[
+        "no-LB (2N)".into(),
+        "2".into(),
+        (TABLE_CAPACITY / 2).to_string(),
+    ]);
     for r in [3u64, 5, 7] {
         let ideal = r + 1;
         out.row(&[
@@ -50,7 +54,15 @@ fn main() {
         "switch_scalability_live",
         "Section 4.6 validation: live flow-table occupancy vs formula",
     );
-    out2.header(&["nodes", "partitions", "lb", "live_entries", "formula", "phys_rules", "groups"]);
+    out2.header(&[
+        "nodes",
+        "partitions",
+        "lb",
+        "live_entries",
+        "formula",
+        "phys_rules",
+        "groups",
+    ]);
     for (nodes, lb) in [(8usize, false), (8, true), (15, false), (15, true)] {
         let mut spec = RunSpec::new(System::Nice { lb }, 3, vec![]);
         spec.storage_nodes = nodes;

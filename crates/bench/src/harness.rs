@@ -81,7 +81,12 @@ impl CsvOut {
 
     /// Emit a header row.
     pub fn header(&mut self, cols: &[&str]) {
-        self.row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        self.row(
+            &cols
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>(),
+        );
     }
 }
 
@@ -120,7 +125,10 @@ impl ArgSpec {
                 }
                 "--seed" => {
                     i += 1;
-                    spec.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(spec.seed);
+                    spec.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(spec.seed);
                 }
                 other => {
                     eprintln!("ignoring unknown argument {other}");
@@ -139,7 +147,10 @@ pub fn par_map<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> V
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = inputs.into_iter().map(|i| s.spawn(move || f(i))).collect();
-        handles.into_iter().map(|h| h.join().expect("bench worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
     })
 }
 

@@ -4,16 +4,18 @@
 //! One binary per experiment (`fig04_routing` … `fig12_ycsb`,
 //! `switch_scalability`, `membership_scalability`); each prints the CSV
 //! series the paper plots and writes a copy under `bench_results/`.
-//! Criterion micro-benches live in `benches/`.
+//! Micro-benches live in `benches/` on the in-tree [`timing`] harness.
 //!
 //! Shared here: experiment configuration, cluster drivers for the NICE and
-//! NOOB systems, latency statistics, and CSV output.
+//! NOOB systems, latency statistics, CSV output, and the micro-benchmark
+//! timing harness.
 
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod systems;
+pub mod timing;
 
-pub use harness::{ArgSpec, CsvOut, Stats};
 pub use harness::size_label;
+pub use harness::{ArgSpec, CsvOut, Stats};
 pub use systems::{run, run_nice, run_noob, ExpResult, RunSpec, System};

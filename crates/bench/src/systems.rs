@@ -132,7 +132,11 @@ impl ExpResult {
 /// Build a NICE cluster for a spec (callers may inspect the ring before
 /// running, e.g. to pin keys).
 pub fn nice_cluster(spec: &RunSpec) -> NiceCluster {
-    let mut cfg = ClusterCfg::new(spec.storage_nodes, spec.replication, spec.client_ops.clone());
+    let mut cfg = ClusterCfg::new(
+        spec.storage_nodes,
+        spec.replication,
+        spec.client_ops.clone(),
+    );
     cfg.seed = spec.seed;
     cfg.retry_not_found = spec.retry_not_found;
     match spec.system {
@@ -151,17 +155,34 @@ pub fn nice_cluster(spec: &RunSpec) -> NiceCluster {
 
 /// Build a NOOB cluster for a spec.
 pub fn noob_cluster(spec: &RunSpec) -> NoobCluster {
-    let System::Noob { access, mode, lb_gets } = spec.system else {
+    let System::Noob {
+        access,
+        mode,
+        lb_gets,
+    } = spec.system
+    else {
         panic!("use nice_cluster for NICE systems");
     };
-    let mut cfg = NoobClusterCfg::new(spec.storage_nodes, spec.replication, access, mode, spec.client_ops.clone());
+    let mut cfg = NoobClusterCfg::new(
+        spec.storage_nodes,
+        spec.replication,
+        access,
+        mode,
+        spec.client_ops.clone(),
+    );
     cfg.seed = spec.seed;
     cfg.lb_gets = lb_gets;
     cfg.retry_not_found = spec.retry_not_found;
     NoobCluster::build(cfg)
 }
 
-fn collect_lat(records: &[nice_kv::OpRecord], skip: usize, puts: &mut Vec<Time>, gets: &mut Vec<Time>, failures: &mut usize) {
+fn collect_lat(
+    records: &[nice_kv::OpRecord],
+    skip: usize,
+    puts: &mut Vec<Time>,
+    gets: &mut Vec<Time>,
+    failures: &mut usize,
+) {
     for r in records.iter().skip(skip) {
         if !r.ok {
             *failures += 1;
@@ -201,8 +222,14 @@ pub fn run_nice(spec: &RunSpec) -> ExpResult {
         failures,
         total_link_bytes: c.sim.total_link_bytes(),
         server_stats: c.servers.iter().map(|&h| c.sim.host_stats(h)).collect(),
-        server_gets: (0..c.servers.len()).map(|i| c.server(i).counters().gets_served).collect(),
-        start: if start == Time::MAX { Time::ZERO } else { start },
+        server_gets: (0..c.servers.len())
+            .map(|i| c.server(i).counters().gets_served)
+            .collect(),
+        start: if start == Time::MAX {
+            Time::ZERO
+        } else {
+            start
+        },
         finish,
         done,
     }
@@ -233,8 +260,14 @@ pub fn run_noob(spec: &RunSpec) -> ExpResult {
         failures,
         total_link_bytes: c.sim.total_link_bytes(),
         server_stats: c.servers.iter().map(|&h| c.sim.host_stats(h)).collect(),
-        server_gets: (0..c.servers.len()).map(|i| c.server(i).counters.gets_served).collect(),
-        start: if start == Time::MAX { Time::ZERO } else { start },
+        server_gets: (0..c.servers.len())
+            .map(|i| c.server(i).counters.gets_served)
+            .collect(),
+        start: if start == Time::MAX {
+            Time::ZERO
+        } else {
+            start
+        },
         finish,
         done,
     }
@@ -260,7 +293,9 @@ mod tests {
                 key: format!("k{i}"),
                 value: Value::synthetic(128),
             });
-            ops.push(ClientOp::Get { key: format!("k{i}") });
+            ops.push(ClientOp::Get {
+                key: format!("k{i}"),
+            });
         }
         ops
     }

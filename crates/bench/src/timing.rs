@@ -1,0 +1,71 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces criterion so the workspace builds `--offline` with no
+//! registry access. Wall-clock time is *only* legal here: benches
+//! measure the real machine, never simulated behavior, and are outside
+//! the determinism envelope checked by `cargo run -p xtask -- lint`.
+
+use std::time::Instant;
+
+/// Default measured batches per benchmark.
+const BATCHES: u32 = 12;
+
+/// Time `f` and report ns/iter, calibrating the batch size so each
+/// measured batch runs for roughly `target_batch_ms`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    bench_with(name, 20, &mut f);
+}
+
+/// Like [`bench`] but with an explicit per-batch time budget (ms) —
+/// use a smaller budget for very slow setups.
+pub fn bench_with<R>(name: &str, target_batch_ms: u64, f: &mut impl FnMut() -> R) {
+    // Calibrate: grow the iteration count until one batch is long enough
+    // to dwarf timer overhead.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let el = t0.elapsed();
+        if el.as_millis() as u64 >= target_batch_ms || iters >= 1 << 24 {
+            break;
+        }
+        // Aim past the budget in one step when we can extrapolate.
+        let step = if el.as_micros() == 0 {
+            16
+        } else {
+            ((target_batch_ms as u128 * 1500) / el.as_millis().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(step);
+    }
+    let mut best = u128::MAX;
+    let mut total: u128 = 0;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos();
+        best = best.min(ns / u128::from(iters));
+        total += ns / u128::from(iters);
+    }
+    let mean = total / u128::from(BATCHES);
+    println!("{name:<40} {mean:>12} ns/iter (best {best} ns, {iters} iters/batch)");
+}
+
+/// Time `f` over fresh inputs built by `setup` (setup excluded from the
+/// measurement), reporting ns/iter of the routine alone.
+pub fn bench_batched<T, R>(name: &str, mut setup: impl FnMut() -> T, mut f: impl FnMut(T) -> R) {
+    let mut samples = Vec::new();
+    for _ in 0..BATCHES {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(f(input));
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let best = samples[0];
+    let mean: u128 = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!("{name:<40} {mean:>12} ns/iter (best {best} ns, {BATCHES} samples)");
+}

@@ -14,7 +14,7 @@
 //! reach this learner.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nice_sim::{ArpOp, Ctx, Ipv4, Mac, Packet, Port, Proto, SwitchId, Time};
@@ -57,14 +57,14 @@ pub enum LearnEvent {
 struct SwitchState {
     table: Rc<RefCell<FlowTable>>,
     ctrl_latency: Time,
-    bindings: HashMap<Ipv4, (Mac, Port)>,
-    pending: HashMap<Ipv4, Vec<Packet>>,
+    bindings: BTreeMap<Ipv4, (Mac, Port)>,
+    pending: BTreeMap<Ipv4, Vec<Packet>>,
 }
 
 /// An embeddable L3 learning controller.
 #[derive(Default)]
 pub struct L3Learner {
-    switches: HashMap<SwitchId, SwitchState>,
+    switches: BTreeMap<SwitchId, SwitchState>,
     /// Cap on buffered packets per unknown destination.
     pending_cap: usize,
 }
@@ -74,7 +74,7 @@ impl L3Learner {
     /// destination address.
     pub fn new() -> L3Learner {
         L3Learner {
-            switches: HashMap::new(),
+            switches: BTreeMap::new(),
             pending_cap: 64,
         }
     }
@@ -86,8 +86,8 @@ impl L3Learner {
             SwitchState {
                 table,
                 ctrl_latency,
-                bindings: HashMap::new(),
-                pending: HashMap::new(),
+                bindings: BTreeMap::new(),
+                pending: BTreeMap::new(),
             },
         );
     }
@@ -114,7 +114,13 @@ impl L3Learner {
     /// Handle a packet-in from `sw`; learns sources, resolves/floods ARP,
     /// installs unicast rules, and forwards buffered packets. Returns
     /// discovery events for the embedding controller.
-    pub fn on_packet_in(&mut self, sw: SwitchId, in_port: Port, pkt: Packet, ctx: &mut Ctx) -> Vec<LearnEvent> {
+    pub fn on_packet_in(
+        &mut self,
+        sw: SwitchId,
+        in_port: Port,
+        pkt: Packet,
+        ctx: &mut Ctx,
+    ) -> Vec<LearnEvent> {
         let mut events = Vec::new();
         let Some(st) = self.switches.get_mut(&sw) else {
             return events;

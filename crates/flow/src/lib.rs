@@ -36,7 +36,10 @@ mod integration_tests {
     //! resolution, rule installation, and eventual direct forwarding.
 
     use super::*;
-    use nice_sim::{App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, SwitchId, Time};
+    use nice_sim::{
+        App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, SwitchId,
+        Time,
+    };
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -66,7 +69,15 @@ mod integration_tests {
             }
         }
         fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
-            let p = Packet::udp(ctx.ip(), ctx.mac(), self.peer, 1, 2, 100, Rc::new(self.sent));
+            let p = Packet::udp(
+                ctx.ip(),
+                ctx.mac(),
+                self.peer,
+                1,
+                2,
+                100,
+                Rc::new(self.sent),
+            );
             self.sent += 1;
             ctx.send(p);
         }
@@ -92,14 +103,23 @@ mod integration_tests {
         let mut learner = L3Learner::new();
         learner.add_switch(sw, Rc::clone(&table), sw_cfg.ctrl_latency);
         let ctrl = sim.add_host(
-            Box::new(Controller { learner, events: vec![] }),
+            Box::new(Controller {
+                learner,
+                events: vec![],
+            }),
             HostCfg::new(Ipv4::new(10, 0, 0, 100), Mac(100)),
         );
         sim.connect(ctrl, sw, ChannelCfg::gigabit());
         sim.set_controller(sw, ctrl);
 
         let b_ip = Ipv4::new(10, 0, 0, 2);
-        let a = sim.add_host(Box::new(Sender { peer: b_ip, sent: 0 }), HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)));
+        let a = sim.add_host(
+            Box::new(Sender {
+                peer: b_ip,
+                sent: 0,
+            }),
+            HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)),
+        );
         let b = sim.add_host(Box::new(Receiver::default()), HostCfg::new(b_ip, Mac(2)));
         sim.connect(a, sw, ChannelCfg::gigabit());
         sim.connect(b, sw, ChannelCfg::gigabit());
@@ -115,9 +135,10 @@ mod integration_tests {
         assert!(c.learner.binding(sw, Ipv4::new(10, 0, 0, 1)).is_some());
         assert!(!c.events.is_empty());
         // Later packets were switched in hardware: the phys rule has hits.
-        let stats = table
-            .borrow()
-            .rule_stats(prio::PHYS, &FlowMatch::any().dst_ip(b_ip), sim.now());
+        let stats =
+            table
+                .borrow()
+                .rule_stats(prio::PHYS, &FlowMatch::any().dst_ip(b_ip), sim.now());
         assert!(stats.is_some_and(|s| s.hits >= 1));
     }
 
@@ -133,14 +154,23 @@ mod integration_tests {
         let mut learner = L3Learner::new();
         learner.add_switch(sw, Rc::clone(&table), sw_cfg.ctrl_latency);
         let ctrl = sim.add_host(
-            Box::new(Controller { learner, events: vec![] }),
+            Box::new(Controller {
+                learner,
+                events: vec![],
+            }),
             HostCfg::new(Ipv4::new(10, 0, 0, 100), Mac(100)),
         );
         sim.connect(ctrl, sw, ChannelCfg::gigabit());
         sim.set_controller(sw, ctrl);
 
         let b_ip = Ipv4::new(10, 0, 0, 2);
-        let a = sim.add_host(Box::new(Sender { peer: b_ip, sent: 0 }), HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)));
+        let a = sim.add_host(
+            Box::new(Sender {
+                peer: b_ip,
+                sent: 0,
+            }),
+            HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)),
+        );
         let mut b_cfg = HostCfg::new(b_ip, Mac(2));
         b_cfg.announce_on_boot = false;
         let b = sim.add_host(Box::new(Receiver::default()), b_cfg);
@@ -161,7 +191,9 @@ mod multi_switch_tests {
     //! trunk by physical rules.
 
     use super::*;
-    use nice_sim::{App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, Time};
+    use nice_sim::{
+        App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Port, Simulation, SwitchCfg, Time,
+    };
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -189,8 +221,14 @@ mod multi_switch_tests {
         let mut sim = Simulation::new(5);
         let t1 = Rc::new(RefCell::new(FlowTable::new()));
         let t2 = Rc::new(RefCell::new(FlowTable::new()));
-        let sw1 = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&t1))), SwitchCfg::default());
-        let sw2 = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&t2))), SwitchCfg::default());
+        let sw1 = sim.add_switch(
+            Box::new(FlowSwitch::new(Rc::clone(&t1))),
+            SwitchCfg::default(),
+        );
+        let sw2 = sim.add_switch(
+            Box::new(FlowSwitch::new(Rc::clone(&t2))),
+            SwitchCfg::default(),
+        );
 
         // client on sw1 (port 0), server on sw2 (port 0), trunk between.
         let client_ip = Ipv4::new(10, 0, 0, 1);
@@ -210,7 +248,11 @@ mod multi_switch_tests {
                 FlowRule::new(
                     prio::VRING,
                     FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 3, 0), 24),
-                    vec![Action::SetIpDst(server_ip), Action::SetMacDst(Mac(2)), Action::Output(phys_port)],
+                    vec![
+                        Action::SetIpDst(server_ip),
+                        Action::SetMacDst(Mac(2)),
+                        Action::Output(phys_port),
+                    ],
                 ),
                 Time::ZERO,
             );

@@ -240,15 +240,39 @@ mod tests {
     #[test]
     fn wildcard_matches_all() {
         let m = FlowMatch::any();
-        let p = pkt(Ipv4::new(1, 2, 3, 4), Ipv4::new(5, 6, 7, 8), Proto::Udp, 1, 2);
+        let p = pkt(
+            Ipv4::new(1, 2, 3, 4),
+            Ipv4::new(5, 6, 7, 8),
+            Proto::Udp,
+            1,
+            2,
+        );
         assert!(m.matches(Port(0), &p));
     }
 
     #[test]
     fn dst_prefix_matching() {
         let m = FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24);
-        assert!(m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 10, 1, 99), Proto::Udp, 1, 2)));
-        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 10, 2, 99), Proto::Udp, 1, 2)));
+        assert!(m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(1, 1, 1, 1),
+                Ipv4::new(10, 10, 1, 99),
+                Proto::Udp,
+                1,
+                2
+            )
+        ));
+        assert!(!m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(1, 1, 1, 1),
+                Ipv4::new(10, 10, 2, 99),
+                Proto::Udp,
+                1,
+                2
+            )
+        ));
     }
 
     #[test]
@@ -257,22 +281,73 @@ mod tests {
         let m = FlowMatch::any()
             .src_prefix(Ipv4::new(10, 0, 0, 0), 30)
             .dst_prefix(Ipv4::new(10, 10, 1, 0), 24);
-        assert!(m.matches(Port(0), &pkt(Ipv4::new(10, 0, 0, 2), Ipv4::new(10, 10, 1, 5), Proto::Udp, 1, 2)));
-        assert!(!m.matches(Port(0), &pkt(Ipv4::new(10, 0, 0, 7), Ipv4::new(10, 10, 1, 5), Proto::Udp, 1, 2)));
+        assert!(m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(10, 0, 0, 2),
+                Ipv4::new(10, 10, 1, 5),
+                Proto::Udp,
+                1,
+                2
+            )
+        ));
+        assert!(!m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(10, 0, 0, 7),
+                Ipv4::new(10, 10, 1, 5),
+                Proto::Udp,
+                1,
+                2
+            )
+        ));
     }
 
     #[test]
     fn proto_and_ports() {
         let m = FlowMatch::any().proto(Proto::Udp).dst_port(9000);
-        assert!(m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 5, 9000)));
-        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Tcp, 5, 9000)));
-        assert!(!m.matches(Port(0), &pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 5, 9001)));
+        assert!(m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(1, 1, 1, 1),
+                Ipv4::new(2, 2, 2, 2),
+                Proto::Udp,
+                5,
+                9000
+            )
+        ));
+        assert!(!m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(1, 1, 1, 1),
+                Ipv4::new(2, 2, 2, 2),
+                Proto::Tcp,
+                5,
+                9000
+            )
+        ));
+        assert!(!m.matches(
+            Port(0),
+            &pkt(
+                Ipv4::new(1, 1, 1, 1),
+                Ipv4::new(2, 2, 2, 2),
+                Proto::Udp,
+                5,
+                9001
+            )
+        ));
     }
 
     #[test]
     fn in_port_matching() {
         let m = FlowMatch::any().in_port(Port(3));
-        let p = pkt(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), Proto::Udp, 1, 2);
+        let p = pkt(
+            Ipv4::new(1, 1, 1, 1),
+            Ipv4::new(2, 2, 2, 2),
+            Proto::Udp,
+            1,
+            2,
+        );
         assert!(m.matches(Port(3), &p));
         assert!(!m.matches(Port(4), &p));
     }

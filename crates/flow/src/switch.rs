@@ -27,7 +27,13 @@ impl FlowSwitch {
 }
 
 impl SwitchLogic for FlowSwitch {
-    fn handle(&mut self, _view: SwitchView, in_port: Port, pkt: Packet, now: Time) -> Vec<SwitchAction> {
+    fn handle(
+        &mut self,
+        _view: SwitchView,
+        in_port: Port,
+        pkt: Packet,
+        now: Time,
+    ) -> Vec<SwitchAction> {
         // ARP always goes to the controller: it owns address resolution.
         if pkt.proto == Proto::Arp {
             return vec![SwitchAction::ToController { pkt }];
@@ -58,9 +64,10 @@ mod tests {
     fn arp_always_punted() {
         let table = StdRc::new(RefCell::new(FlowTable::new()));
         // even with a match-all rule installed, ARP goes to the controller
-        table
-            .borrow_mut()
-            .install(FlowRule::new(1, FlowMatch::any(), vec![Action::Output(Port(1))]), Time::ZERO);
+        table.borrow_mut().install(
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(Port(1))]),
+            Time::ZERO,
+        );
         let mut sw = FlowSwitch::new(StdRc::clone(&table));
         let arp = Packet::arp_request(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2));
         let acts = sw.handle(view(), Port(0), arp, Time::from_us(1));
@@ -71,13 +78,25 @@ mod tests {
     fn miss_punts_match_forwards() {
         let table = StdRc::new(RefCell::new(FlowTable::new()));
         let mut sw = FlowSwitch::new(StdRc::clone(&table));
-        let pkt = Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 1, 2, 8, StdRc::new(()));
+        let pkt = Packet::udp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            1,
+            2,
+            8,
+            StdRc::new(()),
+        );
         let acts = sw.handle(view(), Port(0), pkt.clone(), Time::from_us(1));
         assert!(matches!(acts[0], SwitchAction::ToController { .. }));
-        table
-            .borrow_mut()
-            .install(FlowRule::new(1, FlowMatch::any(), vec![Action::Output(Port(2))]), Time::from_us(1));
+        table.borrow_mut().install(
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(Port(2))]),
+            Time::from_us(1),
+        );
         let acts = sw.handle(view(), Port(0), pkt, Time::from_us(2));
-        assert!(matches!(acts[0], SwitchAction::Forward { port: Port(2), .. }));
+        assert!(matches!(
+            acts[0],
+            SwitchAction::Forward { port: Port(2), .. }
+        ));
     }
 }

@@ -26,7 +26,11 @@ impl GroupBucket {
     /// multicast bucket takes.
     pub fn rewrite_to(ip: nice_sim::Ipv4, mac: nice_sim::Mac, port: Port) -> GroupBucket {
         GroupBucket {
-            actions: vec![Action::SetIpDst(ip), Action::SetMacDst(mac), Action::Output(port)],
+            actions: vec![
+                Action::SetIpDst(ip),
+                Action::SetMacDst(mac),
+                Action::Output(port),
+            ],
         }
     }
 }
@@ -160,7 +164,10 @@ impl FlowTable {
     pub fn set_group(&mut self, id: GroupId, buckets: Vec<GroupBucket>, at: Time) {
         let versions = self.groups.entry(id).or_default();
         versions.retain(|v| v.active_from < at);
-        versions.push(GroupVersion { active_from: at, buckets });
+        versions.push(GroupVersion {
+            active_from: at,
+            buckets,
+        });
     }
 
     /// Remove group `id` entirely from `at` (an empty version).
@@ -193,7 +200,10 @@ impl FlowTable {
             .iter()
             .filter(|e| e.live(now) && e.rule.priority == priority && e.rule.m == *m)
             .max_by_key(|e| e.seq)
-            .map(|e| RuleStats { hits: e.hits, bytes: e.bytes })
+            .map(|e| RuleStats {
+                hits: e.hits,
+                bytes: e.bytes,
+            })
     }
 
     /// Drop dead entries (bookkeeping only; matching already ignores them).
@@ -255,12 +265,16 @@ impl FlowTable {
                 Action::SetIpDst(ip) => cur.dst = ip,
                 Action::SetMacDst(m) => cur.dst_mac = m,
                 Action::SetIpSrc(ip) => cur.src = ip,
-                Action::Output(port) => out.push(SwitchAction::Forward { port, pkt: cur.clone() }),
+                Action::Output(port) => out.push(SwitchAction::Forward {
+                    port,
+                    pkt: cur.clone(),
+                }),
                 Action::Controller => out.push(SwitchAction::ToController { pkt: cur.clone() }),
                 Action::Group(gid) => {
                     if let Some(buckets) = self.group_buckets(gid, now) {
                         // Each bucket operates on an independent copy.
-                        let copies: Vec<Vec<Action>> = buckets.iter().map(|b| b.actions.clone()).collect();
+                        let copies: Vec<Vec<Action>> =
+                            buckets.iter().map(|b| b.actions.clone()).collect();
                         for b in copies {
                             out.extend(self.run_actions(&b, &cur, now));
                         }
@@ -291,8 +305,13 @@ mod tests {
     fn priority_wins() {
         let mut t = FlowTable::new();
         t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)), Time::ZERO);
-        t.install(FlowRule::new(10, FlowMatch::any().dst_ip(Ipv4::new(10, 10, 0, 1)), fwd(2)), Time::ZERO);
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(10, 10, 0, 1)), Time::from_us(1)).unwrap();
+        t.install(
+            FlowRule::new(10, FlowMatch::any().dst_ip(Ipv4::new(10, 10, 0, 1)), fwd(2)),
+            Time::ZERO,
+        );
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(10, 10, 0, 1)), Time::from_us(1))
+            .unwrap();
         match &acts[0] {
             SwitchAction::Forward { port, .. } => assert_eq!(*port, Port(2)),
             other => panic!("{other:?}"),
@@ -303,14 +322,24 @@ mod tests {
     fn specificity_breaks_priority_ties() {
         let mut t = FlowTable::new();
         t.install(
-            FlowRule::new(5, FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 0, 0), 16), fwd(1)),
+            FlowRule::new(
+                5,
+                FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 0, 0), 16),
+                fwd(1),
+            ),
             Time::ZERO,
         );
         t.install(
-            FlowRule::new(5, FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24), fwd(2)),
+            FlowRule::new(
+                5,
+                FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24),
+                fwd(2),
+            ),
             Time::ZERO,
         );
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(10, 10, 1, 9)), Time::from_us(1)).unwrap();
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(10, 10, 1, 9)), Time::from_us(1))
+            .unwrap();
         match &acts[0] {
             SwitchAction::Forward { port, .. } => assert_eq!(*port, Port(2)),
             other => panic!("{other:?}"),
@@ -320,48 +349,91 @@ mod tests {
     #[test]
     fn activation_time_respected() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)), Time::from_us(100));
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(50)).is_none());
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(1)),
+            Time::from_us(100),
+        );
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(50))
+            .is_none());
         assert_eq!(t.misses, 1);
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(100)).is_some());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(100))
+            .is_some());
     }
 
     #[test]
     fn cookie_removal_takes_effect_later() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)).cookie(7), Time::ZERO);
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(1)).cookie(7),
+            Time::ZERO,
+        );
         assert_eq!(t.remove_by_cookie(7, Time::from_us(10)), 1);
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(5)).is_some());
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(10)).is_none());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(5))
+            .is_some());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(10))
+            .is_none());
     }
 
     #[test]
     fn reinstall_replaces_same_match() {
         let mut t = FlowTable::new();
         t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)), Time::ZERO);
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(2)), Time::from_us(10));
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(2)),
+            Time::from_us(10),
+        );
         // before the replacement activates, old rule matches
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(5)).unwrap();
-        assert!(matches!(acts[0], SwitchAction::Forward { port: Port(1), .. }));
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(10)).unwrap();
-        assert!(matches!(acts[0], SwitchAction::Forward { port: Port(2), .. }));
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(5))
+            .unwrap();
+        assert!(matches!(
+            acts[0],
+            SwitchAction::Forward { port: Port(1), .. }
+        ));
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(10))
+            .unwrap();
+        assert!(matches!(
+            acts[0],
+            SwitchAction::Forward { port: Port(2), .. }
+        ));
         assert_eq!(t.live_entries(Time::from_us(10)), 1);
     }
 
     #[test]
     fn hard_and_idle_timeouts() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)).hard(Time::from_us(100)), Time::ZERO);
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(99)).is_some());
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(100)).is_none());
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(1)).hard(Time::from_us(100)),
+            Time::ZERO,
+        );
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(99))
+            .is_some());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(100))
+            .is_none());
 
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)).idle(Time::from_us(50)), Time::ZERO);
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(40)).is_some());
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(1)).idle(Time::from_us(50)),
+            Time::ZERO,
+        );
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(40))
+            .is_some());
         // refreshed by the match at 40us: still alive at 80us
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(80)).is_some());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(80))
+            .is_some());
         // but dies after 50us of silence
-        assert!(t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(131)).is_none());
+        assert!(t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(131))
+            .is_none());
     }
 
     #[test]
@@ -372,11 +444,17 @@ mod tests {
             FlowRule::new(
                 10,
                 FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24),
-                vec![Action::SetIpDst(phys), Action::SetMacDst(Mac(9)), Action::Output(Port(4))],
+                vec![
+                    Action::SetIpDst(phys),
+                    Action::SetMacDst(Mac(9)),
+                    Action::Output(Port(4)),
+                ],
             ),
             Time::ZERO,
         );
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(10, 10, 1, 77)), Time::from_us(1)).unwrap();
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(10, 10, 1, 77)), Time::from_us(1))
+            .unwrap();
         match &acts[0] {
             SwitchAction::Forward { port, pkt } => {
                 assert_eq!(*port, Port(4));
@@ -401,10 +479,16 @@ mod tests {
             Time::ZERO,
         );
         t.install(
-            FlowRule::new(10, FlowMatch::any().dst_prefix(Ipv4::new(10, 11, 1, 0), 24), vec![Action::Group(g)]),
+            FlowRule::new(
+                10,
+                FlowMatch::any().dst_prefix(Ipv4::new(10, 11, 1, 0), 24),
+                vec![Action::Group(g)],
+            ),
             Time::ZERO,
         );
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(10, 11, 1, 5)), Time::from_us(1)).unwrap();
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(10, 11, 1, 5)), Time::from_us(1))
+            .unwrap();
         assert_eq!(acts.len(), 3);
         let mut dsts: Vec<(Ipv4, Port)> = acts
             .iter()
@@ -428,7 +512,15 @@ mod tests {
     fn group_replacement_versioned() {
         let mut t = FlowTable::new();
         let g = GroupId(1);
-        t.set_group(g, vec![GroupBucket::rewrite_to(Ipv4::new(1, 0, 0, 1), Mac(1), Port(1))], Time::ZERO);
+        t.set_group(
+            g,
+            vec![GroupBucket::rewrite_to(
+                Ipv4::new(1, 0, 0, 1),
+                Mac(1),
+                Port(1),
+            )],
+            Time::ZERO,
+        );
         t.set_group(
             g,
             vec![
@@ -437,9 +529,22 @@ mod tests {
             ],
             Time::from_us(10),
         );
-        t.install(FlowRule::new(1, FlowMatch::any(), vec![Action::Group(g)]), Time::ZERO);
-        assert_eq!(t.apply(Port(0), &pkt(Ipv4::new(9, 9, 9, 9)), Time::from_us(5)).unwrap().len(), 1);
-        assert_eq!(t.apply(Port(0), &pkt(Ipv4::new(9, 9, 9, 9)), Time::from_us(10)).unwrap().len(), 2);
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Group(g)]),
+            Time::ZERO,
+        );
+        assert_eq!(
+            t.apply(Port(0), &pkt(Ipv4::new(9, 9, 9, 9)), Time::from_us(5))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            t.apply(Port(0), &pkt(Ipv4::new(9, 9, 9, 9)), Time::from_us(10))
+                .unwrap()
+                .len(),
+            2
+        );
         assert_eq!(t.live_groups(Time::from_us(10)), 1);
         t.remove_group(g, Time::from_us(20));
         assert_eq!(t.live_groups(Time::from_us(20)), 0);
@@ -448,8 +553,13 @@ mod tests {
     #[test]
     fn drop_action() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]), Time::ZERO);
-        let acts = t.apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(1)).unwrap();
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]),
+            Time::ZERO,
+        );
+        let acts = t
+            .apply(Port(0), &pkt(Ipv4::new(1, 1, 1, 1)), Time::from_us(1))
+            .unwrap();
         assert!(acts.is_empty());
     }
 
@@ -469,7 +579,10 @@ mod tests {
     #[test]
     fn purge_drops_dead_keeps_future() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::any(), fwd(1)).hard(Time::from_us(10)), Time::ZERO);
+        t.install(
+            FlowRule::new(1, FlowMatch::any(), fwd(1)).hard(Time::from_us(10)),
+            Time::ZERO,
+        );
         t.install(FlowRule::new(2, FlowMatch::any(), fwd(2)), Time::from_ms(1));
         t.purge(Time::from_us(500));
         assert_eq!(t.live_entries(Time::from_us(500)), 0);

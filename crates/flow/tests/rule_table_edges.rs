@@ -1,0 +1,266 @@
+//! Rule-table edge cases for the control-plane operations the NICE
+//! metadata service performs: overlapping load-balancer divisions,
+//! cookie-tagged rule removal when a node fails, and virtual-ring group
+//! re-pointing after a two-phase node rejoin (§4.4–§4.5).
+
+use std::rc::Rc;
+
+use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowTable, GroupBucket, GroupId};
+use nice_sim::{Ipv4, Mac, Packet, Port, SwitchAction, Time};
+
+/// Same tag the metadata service stamps on load-balancer rules
+/// (`COOKIE_LB | partition`).
+const COOKIE_LB: u64 = 0x2000_0000;
+
+/// The virtual subgroup prefix LB divisions nest under.
+const VNET: Ipv4 = Ipv4::new(10, 128, 7, 0);
+
+fn pkt(src: Ipv4, dst: Ipv4) -> Packet {
+    Packet::udp(src, Mac(1), dst, 9000, 9000, 100, Rc::new(()))
+}
+
+fn forward_ports(acts: &[SwitchAction]) -> Vec<Port> {
+    acts.iter()
+        .map(|a| match a {
+            SwitchAction::Forward { port, .. } => *port,
+            other => panic!("expected Forward, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn overlapping_lb_divisions_pick_most_specific() {
+    // Two LB divisions for the same vring destination overlap on the
+    // client source space: a /24 catch-all division and a /26 carve-out
+    // inside it. The /26 must win for its clients (prefix specificity),
+    // the /24 for everyone else — OpenFlow leaves equal-priority overlap
+    // undefined; the table must not.
+    let mut t = FlowTable::new();
+    t.install(
+        FlowRule::new(
+            prio::LB,
+            FlowMatch::any()
+                .src_prefix(Ipv4::new(10, 0, 1, 0), 24)
+                .dst_prefix(VNET, 24),
+            vec![Action::Output(Port(1))],
+        )
+        .cookie(COOKIE_LB | 7),
+        Time::ZERO,
+    );
+    t.install(
+        FlowRule::new(
+            prio::LB,
+            FlowMatch::any()
+                .src_prefix(Ipv4::new(10, 0, 1, 64), 26)
+                .dst_prefix(VNET, 24),
+            vec![Action::Output(Port(2))],
+        )
+        .cookie(COOKIE_LB | 7),
+        Time::ZERO,
+    );
+    let dst = Ipv4::new(10, 128, 7, 9);
+    let now = Time::from_us(1);
+
+    let inside = t
+        .apply(Port(0), &pkt(Ipv4::new(10, 0, 1, 70), dst), now)
+        .unwrap();
+    assert_eq!(
+        forward_ports(&inside),
+        vec![Port(2)],
+        "/26 carve-out must win inside it"
+    );
+
+    let outside = t
+        .apply(Port(0), &pkt(Ipv4::new(10, 0, 1, 9), dst), now)
+        .unwrap();
+    assert_eq!(
+        forward_ports(&outside),
+        vec![Port(1)],
+        "/24 division serves the rest"
+    );
+}
+
+#[test]
+fn equal_specificity_overlap_resolved_by_install_order() {
+    // Two divisions with *equal* specificity that still overlap (one
+    // constrains the source prefix further, the other adds an L4 match).
+    // The tie must break deterministically: the later install wins, and
+    // re-installing the first flips the winner back.
+    let mut t = FlowTable::new();
+    let by_src = FlowMatch::any()
+        .src_prefix(Ipv4::new(10, 0, 1, 0), 24)
+        .dst_prefix(VNET, 24);
+    let by_l4 = FlowMatch::any()
+        .src_prefix(Ipv4::new(10, 0, 0, 0), 8)
+        .dst_prefix(VNET, 24)
+        .dst_port(9000);
+    assert_eq!(by_src.specificity(), by_l4.specificity());
+
+    t.install(
+        FlowRule::new(prio::LB, by_src, vec![Action::Output(Port(1))]),
+        Time::ZERO,
+    );
+    t.install(
+        FlowRule::new(prio::LB, by_l4, vec![Action::Output(Port(2))]),
+        Time::ZERO,
+    );
+
+    let p = pkt(Ipv4::new(10, 0, 1, 33), Ipv4::new(10, 128, 7, 1));
+    let acts = t.apply(Port(0), &p, Time::from_us(1)).unwrap();
+    assert_eq!(
+        forward_ports(&acts),
+        vec![Port(2)],
+        "later install wins the tie"
+    );
+
+    // A control-plane refresh of the first division makes it newest.
+    t.install(
+        FlowRule::new(prio::LB, by_src, vec![Action::Output(Port(1))]),
+        Time::from_us(2),
+    );
+    let acts = t.apply(Port(0), &p, Time::from_us(3)).unwrap();
+    assert_eq!(forward_ports(&acts), vec![Port(1)], "refresh flips the tie");
+}
+
+#[test]
+fn node_failure_removes_only_its_lb_division() {
+    // The metadata service reacts to a node failure by deleting that
+    // partition's LB rules via their cookie (metadata.rs uses
+    // `remove_by_cookie(COOKIE_LB | p)`); traffic must fall back to the
+    // underlying vring rule, and other partitions' divisions must survive.
+    let mut t = FlowTable::new();
+    let vnet2 = Ipv4::new(10, 128, 8, 0);
+    t.install(
+        FlowRule::new(
+            prio::VRING,
+            FlowMatch::any().dst_prefix(VNET, 24),
+            vec![Action::Output(Port(9))],
+        ),
+        Time::ZERO,
+    );
+    for (i, div) in [Ipv4::new(10, 0, 1, 0), Ipv4::new(10, 0, 1, 128)]
+        .into_iter()
+        .enumerate()
+    {
+        t.install(
+            FlowRule::new(
+                prio::LB,
+                FlowMatch::any().src_prefix(div, 25).dst_prefix(VNET, 24),
+                vec![Action::Output(Port(i as u16 + 1))],
+            )
+            .cookie(COOKIE_LB | 7),
+            Time::ZERO,
+        );
+    }
+    t.install(
+        FlowRule::new(
+            prio::LB,
+            FlowMatch::any()
+                .src_prefix(Ipv4::new(10, 0, 1, 0), 24)
+                .dst_prefix(vnet2, 24),
+            vec![Action::Output(Port(5))],
+        )
+        .cookie(COOKIE_LB | 8),
+        Time::ZERO,
+    );
+    assert_eq!(t.live_entries(Time::from_us(1)), 4);
+
+    // Partition 7's primary fails: its divisions go away atomically.
+    assert_eq!(t.remove_by_cookie(COOKIE_LB | 7, Time::from_us(5)), 2);
+    assert_eq!(t.live_entries(Time::from_us(6)), 2);
+    // Removing them again (duplicate failure report) is a no-op.
+    assert_eq!(t.remove_by_cookie(COOKIE_LB | 7, Time::from_us(5)), 0);
+
+    let p7 = pkt(Ipv4::new(10, 0, 1, 200), Ipv4::new(10, 128, 7, 3));
+    let acts = t.apply(Port(0), &p7, Time::from_us(6)).unwrap();
+    assert_eq!(
+        forward_ports(&acts),
+        vec![Port(9)],
+        "falls back to the vring rule"
+    );
+
+    let p8 = pkt(Ipv4::new(10, 0, 1, 200), Ipv4::new(10, 128, 8, 3));
+    let acts = t.apply(Port(0), &p8, Time::from_us(6)).unwrap();
+    assert_eq!(
+        forward_ports(&acts),
+        vec![Port(5)],
+        "partition 8's division survives"
+    );
+}
+
+#[test]
+fn rejoin_repoints_vring_group_buckets() {
+    // A recovered node rejoins in two phases (§4.4): it first syncs while
+    // the handoff node still serves, then the metadata service atomically
+    // re-points the partition's multicast group buckets. Packets matched
+    // before the switchover time keep the old replica set; packets after
+    // it see the new one — no window with a partial set.
+    let mut t = FlowTable::new();
+    let g = GroupId(7);
+    t.install(
+        FlowRule::new(
+            prio::VRING,
+            FlowMatch::any().dst_prefix(VNET, 24),
+            vec![Action::Group(g)],
+        ),
+        Time::ZERO,
+    );
+    let (a, b, c) = (
+        Ipv4::new(10, 0, 0, 1),
+        Ipv4::new(10, 0, 0, 2),
+        Ipv4::new(10, 0, 0, 3),
+    );
+    t.set_group(
+        g,
+        vec![
+            GroupBucket::rewrite_to(a, Mac(0xa), Port(1)),
+            GroupBucket::rewrite_to(b, Mac(0xb), Port(2)),
+        ],
+        Time::ZERO,
+    );
+
+    let dests = |acts: &[SwitchAction]| -> Vec<(Ipv4, Port)> {
+        acts.iter()
+            .map(|x| match x {
+                SwitchAction::Forward { port, pkt } => (pkt.dst, *port),
+                other => panic!("expected Forward, got {other:?}"),
+            })
+            .collect()
+    };
+    let p = pkt(Ipv4::new(10, 0, 1, 1), Ipv4::new(10, 128, 7, 44));
+
+    let before = t.apply(Port(0), &p, Time::from_us(10)).unwrap();
+    assert_eq!(dests(&before), vec![(a, Port(1)), (b, Port(2))]);
+
+    // Phase two of the rejoin: node C replaces the handoff node B.
+    let switchover = Time::from_us(100);
+    t.set_group(
+        g,
+        vec![
+            GroupBucket::rewrite_to(a, Mac(0xa), Port(1)),
+            GroupBucket::rewrite_to(c, Mac(0xc), Port(3)),
+        ],
+        switchover,
+    );
+    assert_eq!(t.live_groups(Time::from_us(99)), 1);
+
+    let during = t.apply(Port(0), &p, Time::from_us(99)).unwrap();
+    assert_eq!(
+        dests(&during),
+        vec![(a, Port(1)), (b, Port(2))],
+        "old set until the switchover"
+    );
+
+    let after = t.apply(Port(0), &p, switchover).unwrap();
+    assert_eq!(
+        dests(&after),
+        vec![(a, Port(1)), (c, Port(3))],
+        "new set from the switchover"
+    );
+
+    // The group is replaced, never duplicated.
+    assert_eq!(t.live_groups(Time::from_us(200)), 1);
+    t.remove_group(g, Time::from_us(300));
+    assert_eq!(t.live_groups(Time::from_us(300)), 0);
+    assert!(t.apply(Port(0), &p, Time::from_us(301)).unwrap().is_empty());
+}

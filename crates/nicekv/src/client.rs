@@ -199,20 +199,34 @@ impl ClientApp {
                 let r = self.cfg.replication;
                 match quorum_mode {
                     PutMode::Quorum { k } => {
-                        let tok = self.tp.anyk_send(ctx, group, self.cfg.port, Msg::new(msg, size), r, k.min(r));
-                        self.inflight.as_mut().expect("inflight").quorum_token = Some(tok);
+                        let tok = self.tp.anyk_send(
+                            ctx,
+                            group,
+                            self.cfg.port,
+                            Msg::new(msg, size),
+                            r,
+                            k.min(r),
+                        );
+                        if let Some(inf) = self.inflight.as_mut() {
+                            inf.quorum_token = Some(tok);
+                        }
                     }
                     PutMode::TwoPc => {
-                        self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, size), r);
+                        self.tp
+                            .mcast_send(ctx, group, self.cfg.port, Msg::new(msg, size), r);
                     }
                 }
             }
             ClientOp::Get { key } => {
                 let p = self.partition_of(key);
                 let vnode = self.cfg.unicast.vnode_for_key(p, key.as_bytes());
-                let msg = KvMsg::GetRequest { key: key.clone(), op: id };
+                let msg = KvMsg::GetRequest {
+                    key: key.clone(),
+                    op: id,
+                };
                 let size = key.len() as u32 + 64;
-                self.tp.rudp_send(ctx, vnode, self.cfg.port, Msg::new(msg, size));
+                self.tp
+                    .rudp_send(ctx, vnode, self.cfg.port, Msg::new(msg, size));
             }
         }
         ctx.set_timer(self.cfg.client_retry, TOK_RETRY_BASE | seq);
@@ -289,8 +303,14 @@ impl ClientApp {
                             };
                             if let Some(inf) = self.inflight.as_ref() {
                                 if inf.id == op {
-                                    if !ok && self.retry_not_found && inf.attempts < self.max_attempts {
-                                        ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
+                                    if !ok
+                                        && self.retry_not_found
+                                        && inf.attempts < self.max_attempts
+                                    {
+                                        ctx.set_timer(
+                                            NOT_FOUND_BACKOFF,
+                                            TOK_RETRY_BASE | op.client_seq,
+                                        );
                                         continue;
                                     }
                                     self.complete(ok, size, bytes, ctx);

@@ -3,7 +3,7 @@
 //! and clients — the §6 testbed in a box.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable, L3Learner};
@@ -119,7 +119,7 @@ impl NiceCluster {
 
         let meta_ip = Ipv4::new(10, 0, 0, 1);
         let meta_mac = Mac(0x100);
-        let mut ports: HashMap<Ipv4, nice_sim::Port> = HashMap::new();
+        let mut ports: BTreeMap<Ipv4, nice_sim::Port> = BTreeMap::new();
 
         // Storage nodes (including spares, which start outside the ring).
         let total_nodes = cfg.storage_nodes + cfg.spare_nodes;
@@ -146,7 +146,8 @@ impl NiceCluster {
         let mut client_ips = Vec::new();
         for (j, ops) in cfg.client_ops.iter().enumerate() {
             let j32 = j as u32;
-            let ip = Ipv4(kv.client_space.0 .0 + (j32 % divisions) * stride + (j32 / divisions) + 1);
+            let ip =
+                Ipv4(kv.client_space.0 .0 + (j32 % divisions) * stride + (j32 / divisions) + 1);
             let mac = Mac(0x300 + j as u64);
             let start = cfg.client_start + Time::from_us(97) * j as u64;
             let mut app = ClientApp::new(kv, ops.clone(), start);
@@ -180,7 +181,11 @@ impl NiceCluster {
         }
 
         // The metadata service + controller.
-        let ring = PhysicalRing::new(parts, (0..cfg.storage_nodes as u32).map(NodeIdx).collect(), cfg.replication);
+        let ring = PhysicalRing::new(
+            parts,
+            (0..cfg.storage_nodes as u32).map(NodeIdx).collect(),
+            cfg.replication,
+        );
         let node_addrs: Vec<(Ipv4, Mac)> = server_ips
             .iter()
             .enumerate()
@@ -193,7 +198,13 @@ impl NiceCluster {
             ports: ports.clone(),
         };
         let standby_ip = Ipv4::new(10, 0, 0, 2);
-        let mut meta_app = MetadataApp::new(kv, ring.clone(), node_addrs.clone(), vec![handle], L3Learner::new());
+        let mut meta_app = MetadataApp::new(
+            kv,
+            ring.clone(),
+            node_addrs.clone(),
+            vec![handle],
+            L3Learner::new(),
+        );
         if cfg.metadata_standby {
             meta_app = meta_app.with_standby(standby_ip);
         }
@@ -217,8 +228,9 @@ impl NiceCluster {
                 ctrl_latency: cfg.switch.ctrl_latency,
                 ports,
             };
-            let app = MetadataApp::new(kv, ring.clone(), node_addrs, vec![handle], L3Learner::new())
-                .into_standby(meta_ip);
+            let app =
+                MetadataApp::new(kv, ring.clone(), node_addrs, vec![handle], L3Learner::new())
+                    .into_standby(meta_ip);
             let h = sim.add_host(Box::new(app), HostCfg::new(standby_ip, standby_mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             table.borrow_mut().install(
@@ -268,7 +280,10 @@ impl NiceCluster {
     /// Returns true if all clients finished.
     pub fn run_until_done(&mut self, deadline: Time) -> bool {
         loop {
-            let all_done = self.clients.iter().all(|&c| self.sim.app::<ClientApp>(c).done_at.is_some());
+            let all_done = self
+                .clients
+                .iter()
+                .all(|&c| self.sim.app::<ClientApp>(c).done_at.is_some());
             if all_done {
                 return true;
             }

@@ -1,0 +1,86 @@
+//! Typed internal errors for the NICEKV request paths.
+//!
+//! The server request path must never panic (`xtask lint` rule
+//! `panic-path`): lookups that "cannot fail" under correct operation are
+//! still total functions here. When one does fail — a coordinator record
+//! vanishing mid-2PC, an in-flight slot missing while a token arrives —
+//! the failure surfaces as a [`KvError`] that is counted
+//! ([`crate::Counters::internal_errors`]) and retained
+//! ([`crate::ServerApp::last_internal_error`]) so the node degrades one
+//! operation instead of crashing the process.
+
+use crate::msg::OpId;
+use std::error::Error;
+use std::fmt;
+
+/// An internal invariant violation in the KV request path.
+///
+/// Every variant describes a state that is unreachable when the protocol
+/// state machines are correct; producing one is a bug, but a bug that
+/// should fail a single operation, not the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The 2PC coordinator record for `(key, op)` disappeared while the
+    /// operation was still advancing (between ack collection, commit, and
+    /// the deadline continuation).
+    CoordinatorMissing {
+        /// Key of the put being coordinated.
+        key: String,
+        /// Operation id of the put.
+        op: OpId,
+    },
+    /// A transport token arrived for a client slot that holds no
+    /// in-flight operation.
+    InflightMissing {
+        /// Operation id the token was issued for.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::CoordinatorMissing { key, op } => {
+                write!(
+                    f,
+                    "2PC coordinator record missing for key {key:?} op {op:?}"
+                )
+            }
+            KvError::InflightMissing { op } => {
+                write!(f, "no in-flight client operation for op {op:?}")
+            }
+        }
+    }
+}
+
+impl Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nice_sim::Ipv4;
+
+    fn op() -> OpId {
+        OpId {
+            client: Ipv4::new(10, 0, 0, 1),
+            client_seq: 7,
+        }
+    }
+
+    #[test]
+    fn display_names_the_key_and_op() {
+        let e = KvError::CoordinatorMissing {
+            key: "user1".to_owned(),
+            op: op(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("user1"), "{s}");
+        assert!(s.contains("coordinator"), "{s}");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn Error> = Box::new(KvError::InflightMissing { op: op() });
+        assert!(e.to_string().contains("in-flight"));
+    }
+}

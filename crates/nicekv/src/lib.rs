@@ -28,6 +28,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod error;
 pub mod metadata;
 pub mod msg;
 pub mod server;
@@ -36,6 +37,7 @@ pub mod storage;
 pub use client::{ClientApp, ClientOp, OpRecord};
 pub use cluster::{ClusterCfg, NiceCluster};
 pub use config::{KvConfig, PutMode};
+pub use error::KvError;
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};
 pub use msg::{HandoffRecord, NodeState};
 pub use msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};

@@ -13,7 +13,7 @@
 //! (§4.1 "This membership maintenance design is scalable").
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowTable, GroupBucket, GroupId, L3Learner};
@@ -43,7 +43,7 @@ pub struct SwitchHandle {
     /// Control-channel latency: mutations activate this far in the future.
     pub ctrl_latency: Time,
     /// Which port each known endpoint hangs off.
-    pub ports: HashMap<Ipv4, Port>,
+    pub ports: BTreeMap<Ipv4, Port>,
 }
 
 pub use crate::msg::NodeState;
@@ -105,14 +105,14 @@ pub struct MetadataApp {
     switches: Vec<SwitchHandle>,
     learner: L3Learner,
     tp: Transport,
-    views: HashMap<PartitionId, PartitionView>,
+    views: BTreeMap<PartitionId, PartitionView>,
     /// Per partition: `(failed original, its stand-in, chain complete)`.
     /// `complete` means the stand-in saw every write since the original
     /// failed; a replacement for a dead stand-in is incomplete, so the
     /// original's rejoin drains from the primary instead.
-    handoffs: HashMap<PartitionId, Vec<HandoffRecord>>,
+    handoffs: BTreeMap<PartitionId, Vec<HandoffRecord>>,
     /// Aggregated per-node load statistics from heartbeats (§4.5).
-    pub load: HashMap<NodeIdx, LoadStats>,
+    pub load: BTreeMap<NodeIdx, LoadStats>,
     /// Event log.
     pub events: Vec<(Time, MetaEvent)>,
     /// Administrator commands queued by the harness; processed at the
@@ -120,10 +120,10 @@ pub struct MetadataApp {
     pending_admin: Vec<AdminOp>,
     /// Observed get load per (partition, client /26 bucket), decayed on
     /// every rebalance.
-    range_load: HashMap<(PartitionId, Ipv4), u64>,
+    range_load: BTreeMap<(PartitionId, Ipv4), u64>,
     /// Adaptive division→replica assignments (indices into the partition's
     /// current get-eligible target list), when adaptive LB is active.
-    lb_overrides: HashMap<PartitionId, Vec<usize>>,
+    lb_overrides: BTreeMap<PartitionId, Vec<usize>>,
     /// Heartbeat ticks until the next rebalance.
     rebalance_in: u32,
     /// Role of this instance (active, or hot standby of another).
@@ -175,13 +175,13 @@ impl MetadataApp {
             nodes,
             switches,
             learner,
-            views: HashMap::new(),
-            handoffs: HashMap::new(),
-            load: HashMap::new(),
+            views: BTreeMap::new(),
+            handoffs: BTreeMap::new(),
+            load: BTreeMap::new(),
             events: Vec::new(),
             pending_admin: Vec::new(),
-            range_load: HashMap::new(),
-            lb_overrides: HashMap::new(),
+            range_load: BTreeMap::new(),
+            lb_overrides: BTreeMap::new(),
             rebalance_in: REBALANCE_EVERY,
             role: MetaRole::Active,
             standby: None,
@@ -279,13 +279,19 @@ impl MetadataApp {
                 .iter()
                 .filter_map(|&(n, ip)| {
                     let mac = self.nodes[n.0 as usize].mac;
-                    sw.ports.get(&ip).map(|&port| GroupBucket::rewrite_to(ip, mac, port))
+                    sw.ports
+                        .get(&ip)
+                        .map(|&port| GroupBucket::rewrite_to(ip, mac, port))
                 })
                 .collect();
             t.set_group(GroupId(p.0), buckets, at);
             t.install(
-                FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(m_net, m_len), vec![Action::Group(GroupId(p.0))])
-                    .cookie(COOKIE_UNICAST | p.0 as u64),
+                FlowRule::new(
+                    prio::VRING,
+                    FlowMatch::any().dst_prefix(m_net, m_len),
+                    vec![Action::Group(GroupId(p.0))],
+                )
+                .cookie(COOKIE_UNICAST | p.0 as u64),
                 at,
             );
             // Unicast base rule → primary (or stand-in).
@@ -298,7 +304,11 @@ impl MetadataApp {
                             FlowRule::new(
                                 prio::VRING,
                                 FlowMatch::any().dst_prefix(u_net, u_len),
-                                vec![Action::SetIpDst(ip), Action::SetMacDst(mac), Action::Output(port)],
+                                vec![
+                                    Action::SetIpDst(ip),
+                                    Action::SetMacDst(mac),
+                                    Action::Output(port),
+                                ],
                             )
                             .cookie(COOKIE_UNICAST | p.0 as u64),
                             at,
@@ -308,8 +318,12 @@ impl MetadataApp {
                 None => {
                     // No get-eligible member: hide the partition entirely.
                     t.install(
-                        FlowRule::new(prio::VRING, FlowMatch::any().dst_prefix(u_net, u_len), vec![Action::Drop])
-                            .cookie(COOKIE_UNICAST | p.0 as u64),
+                        FlowRule::new(
+                            prio::VRING,
+                            FlowMatch::any().dst_prefix(u_net, u_len),
+                            vec![Action::Drop],
+                        )
+                        .cookie(COOKIE_UNICAST | p.0 as u64),
                         at,
                     );
                 }
@@ -318,17 +332,21 @@ impl MetadataApp {
             if let Some(lb) = &lb {
                 let overrides = self.lb_overrides.get(&p);
                 for (d, ((src_net, src_len), idx)) in lb.assignments().enumerate() {
-                    let idx = overrides
-                        .and_then(|o| o.get(d).copied())
-                        .unwrap_or(idx);
+                    let idx = overrides.and_then(|o| o.get(d).copied()).unwrap_or(idx);
                     let (n, ip) = get_targets[idx % get_targets.len()];
                     let mac = self.nodes[n.0 as usize].mac;
                     if let Some(&port) = sw.ports.get(&ip) {
                         t.install(
                             FlowRule::new(
                                 prio::LB,
-                                FlowMatch::any().src_prefix(src_net, src_len).dst_prefix(u_net, u_len),
-                                vec![Action::SetIpDst(ip), Action::SetMacDst(mac), Action::Output(port)],
+                                FlowMatch::any()
+                                    .src_prefix(src_net, src_len)
+                                    .dst_prefix(u_net, u_len),
+                                vec![
+                                    Action::SetIpDst(ip),
+                                    Action::SetMacDst(mac),
+                                    Action::Output(port),
+                                ],
                             )
                             .cookie(COOKIE_LB | p.0 as u64),
                             at,
@@ -356,8 +374,11 @@ impl MetadataApp {
                 continue;
             }
             let dst = self.addr(n);
-            let msg = KvMsg::Membership { views: vec![view.clone()] };
-            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+            let msg = KvMsg::Membership {
+                views: vec![view.clone()],
+            };
+            self.tp
+                .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
         }
     }
 
@@ -381,7 +402,11 @@ impl MetadataApp {
             let mut new_primary = None;
             if view.primary == n {
                 // Promote the first surviving original (non-handoff) member.
-                let hoffs: Vec<NodeIdx> = self.handoffs.get(&p).map(|v| v.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+                let hoffs: Vec<NodeIdx> = self
+                    .handoffs
+                    .get(&p)
+                    .map(|v| v.iter().map(|&(_, h, _)| h).collect())
+                    .unwrap_or_default();
                 let promoted = view
                     .members
                     .iter()
@@ -406,12 +431,21 @@ impl MetadataApp {
             let orphaned: Vec<NodeIdx> = self
                 .handoffs
                 .get(&p)
-                .map(|hs| hs.iter().filter(|&&(_, h, _)| h == n).map(|&(f, _, _)| f).collect())
+                .map(|hs| {
+                    hs.iter()
+                        .filter(|&&(_, h, _)| h == n)
+                        .map(|&(f, _, _)| f)
+                        .collect()
+                })
                 .unwrap_or_default();
             if let Some(hs) = self.handoffs.get_mut(&p) {
                 hs.retain(|&(_, h, _)| h != n);
             }
-            view.handoffs = self.handoffs.get(&p).map(|hs| hs.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+            view.handoffs = self
+                .handoffs
+                .get(&p)
+                .map(|hs| hs.iter().map(|&(_, h, _)| h).collect())
+                .unwrap_or_default();
             // Select a handoff for the failed ORIGINAL member (not for a
             // failed handoff of someone else — that original gets a new
             // stand-in below either way).
@@ -457,7 +491,8 @@ impl MetadataApp {
             if let Some(np) = new_primary {
                 let dst = self.addr(np);
                 let msg = KvMsg::BecomePrimary { partition: p };
-                self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+                self.tp
+                    .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
             }
         }
     }
@@ -466,7 +501,12 @@ impl MetadataApp {
     /// members (it can break when an entire replica set failed and nodes
     /// rejoin one by one). Prefers the ring's original primary. Returns
     /// the promoted node if a change was needed.
-    fn fix_primary(&mut self, p: PartitionId, view: &mut PartitionView, now: Time) -> Option<NodeIdx> {
+    fn fix_primary(
+        &mut self,
+        p: PartitionId,
+        view: &mut PartitionView,
+        now: Time,
+    ) -> Option<NodeIdx> {
         if view.members.is_empty() || view.members.iter().any(|&(m, _)| m == view.primary) {
             return None;
         }
@@ -511,7 +551,9 @@ impl MetadataApp {
                 .handoffs
                 .get(&p)
                 .and_then(|hs| hs.iter().find(|&&(f, _, _)| f == n))
-                .filter(|&&(_, h, complete)| complete && self.nodes[h.0 as usize].state != NodeState::Down)
+                .filter(|&&(_, h, complete)| {
+                    complete && self.nodes[h.0 as usize].state != NodeState::Down
+                })
                 .map(|&(_, h, _)| self.addr(h));
             // No live *complete* handoff? Anything may have been written
             // while we were gone — drain the full range from the primary
@@ -519,7 +561,8 @@ impl MetadataApp {
             let source_ip = handoff_ip.or_else(|| {
                 let view = self.views.get(&p).expect("view");
                 let pr = view.primary;
-                (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down).then(|| self.addr(pr))
+                (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down)
+                    .then(|| self.addr(pr))
             });
             sources.push((p, source_ip));
             let now = ctx.now();
@@ -528,12 +571,14 @@ impl MetadataApp {
             if let Some(np) = promoted {
                 let dst = self.addr(np);
                 let msg = KvMsg::BecomePrimary { partition: p };
-                self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+                self.tp
+                    .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
             }
         }
         let dst = self.addr(n);
         let msg = KvMsg::RejoinPlan { sources };
-        self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+        self.tp
+            .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
     }
 
     /// Admin reconfiguration: apply a queued add/remove (§4.4 "Ring
@@ -544,20 +589,23 @@ impl MetadataApp {
     fn apply_admin(&mut self, op: AdminOp, ctx: &mut Ctx) {
         let changed = match op {
             AdminOp::AddNode(n) => {
-                if self.ring.nodes().contains(&n) || self.nodes[n.0 as usize].state != NodeState::Up {
+                if self.ring.nodes().contains(&n) || self.nodes[n.0 as usize].state != NodeState::Up
+                {
                     return;
                 }
                 self.ring.add_node(n)
             }
             AdminOp::RemoveNode(n) => {
-                if !self.ring.nodes().contains(&n) || self.ring.nodes().len() <= self.cfg.replication {
+                if !self.ring.nodes().contains(&n)
+                    || self.ring.nodes().len() <= self.cfg.replication
+                {
                     return;
                 }
                 self.ring.remove_node(n)
             }
         };
         // Per-node sync plans accumulated across affected partitions.
-        let mut plans: HashMap<NodeIdx, Vec<(PartitionId, Option<Ipv4>)>> = HashMap::new();
+        let mut plans: BTreeMap<NodeIdx, Vec<(PartitionId, Option<Ipv4>)>> = BTreeMap::new();
         for p in changed {
             let old = self.views.get(&p).expect("view").clone();
             let new_set = self.ring.replica_set(p).to_vec();
@@ -609,7 +657,8 @@ impl MetadataApp {
         for (n, sources) in plans {
             let dst = self.addr(n);
             let msg = KvMsg::RejoinPlan { sources };
-            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+            self.tp
+                .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
         }
     }
 
@@ -644,7 +693,11 @@ impl MetadataApp {
         for p in self.ring.partitions_of(n) {
             let mut retired: Vec<NodeIdx> = Vec::new();
             if let Some(hs) = self.handoffs.get_mut(&p) {
-                let mine: Vec<NodeIdx> = hs.iter().filter(|&&(f, _, _)| f == n).map(|&(_, h, _)| h).collect();
+                let mine: Vec<NodeIdx> = hs
+                    .iter()
+                    .filter(|&&(f, _, _)| f == n)
+                    .map(|&(_, h, _)| h)
+                    .collect();
                 hs.retain(|&(f, _, _)| f != n);
                 let still_needed: Vec<NodeIdx> = hs.iter().map(|&(_, h, _)| h).collect();
                 for h in mine {
@@ -655,7 +708,11 @@ impl MetadataApp {
             }
             let mut view = self.views.get(&p).expect("view").clone();
             view.members.retain(|&(m, _)| !retired.contains(&m));
-            view.handoffs = self.handoffs.get(&p).map(|hs| hs.iter().map(|&(_, h, _)| h).collect()).unwrap_or_default();
+            view.handoffs = self
+                .handoffs
+                .get(&p)
+                .map(|hs| hs.iter().map(|&(_, h, _)| h).collect())
+                .unwrap_or_default();
             self.views.insert(p, view);
             let now = ctx.now();
             self.install_partition(p, now);
@@ -682,7 +739,10 @@ impl MetadataApp {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, info)| info.state != NodeState::Down && now.saturating_sub(info.last_hb) > self.cfg.hb_interval * 3)
+            .filter(|(_, info)| {
+                info.state != NodeState::Down
+                    && now.saturating_sub(info.last_hb) > self.cfg.hb_interval * 3
+            })
             .map(|(i, _)| NodeIdx(i as u32))
             .collect();
         for n in dead {
@@ -709,7 +769,8 @@ impl MetadataApp {
                     .collect(),
             };
             let size = CTRL_MSG_BYTES + 48 * self.views.len() as u32;
-            self.tp.tcp_send(ctx, standby, self.cfg.port, Msg::new(msg, size));
+            self.tp
+                .tcp_send(ctx, standby, self.cfg.port, Msg::new(msg, size));
         }
         ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
     }
@@ -735,7 +796,8 @@ impl MetadataApp {
             }
             let dst = self.nodes[i].ip;
             let msg = KvMsg::MetaFailover { new_meta: ctx.ip() };
-            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            self.tp
+                .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
         }
     }
 
@@ -757,7 +819,11 @@ impl MetadataApp {
             if targets.len() < 2 {
                 continue;
             }
-            let div = ClientDivisions::new(self.cfg.client_space.0, self.cfg.client_space.1, targets.len() as u32);
+            let div = ClientDivisions::new(
+                self.cfg.client_space.0,
+                self.cfg.client_space.1,
+                targets.len() as u32,
+            );
             // Per-division observed load: sum the /26 buckets inside each
             // division prefix.
             let loads: Vec<u64> = div
@@ -774,7 +840,8 @@ impl MetadataApp {
                 continue;
             }
             let assignment = assign_divisions_lpt(&loads, targets.len());
-            if self.lb_overrides.get(&p).map(|o| o.as_slice()) != Some(assignment.as_slice()) {
+            if self.lb_overrides.get(&p).map(std::vec::Vec::as_slice) != Some(assignment.as_slice())
+            {
                 self.lb_overrides.insert(p, assignment);
                 let now = ctx.now();
                 self.install_partition(p, now);
@@ -787,7 +854,12 @@ impl MetadataApp {
     }
 
     fn on_kv(&mut self, msg: &KvMsg, _src: Ipv4, ctx: &mut Ctx) {
-        if let KvMsg::MetaSync { views, handoffs, states } = msg {
+        if let KvMsg::MetaSync {
+            views,
+            handoffs,
+            states,
+        } = msg
+        {
             // Standby side: adopt the active's state wholesale.
             self.missed_syncs = 0;
             self.views = views.iter().map(|v| (v.partition, v.clone())).collect();
@@ -884,7 +956,7 @@ impl App for MetadataApp {
             self.install_partition(p, now);
         }
         // Initial membership push: each node gets the views it serves.
-        let mut per_node: HashMap<NodeIdx, Vec<PartitionView>> = HashMap::new();
+        let mut per_node: BTreeMap<NodeIdx, Vec<PartitionView>> = BTreeMap::new();
         for view in self.views.values() {
             for &(n, _) in &view.members {
                 per_node.entry(n).or_default().push(view.clone());
@@ -894,7 +966,8 @@ impl App for MetadataApp {
             let dst = self.addr(n);
             let size = CTRL_MSG_BYTES + 64 * views.len() as u32;
             let msg = KvMsg::Membership { views };
-            self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
+            self.tp
+                .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
         }
         ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
     }
@@ -920,7 +993,6 @@ impl App for MetadataApp {
     }
 }
 
-
 /// Longest-processing-time greedy: assign each division (heaviest first)
 /// to the replica with the least accumulated load. Returns, per division
 /// index, the chosen replica index in `0..targets`.
@@ -931,7 +1003,9 @@ pub fn assign_divisions_lpt(loads: &[u64], targets: usize) -> Vec<usize> {
     let mut acc = vec![0u64; targets];
     let mut out = vec![0usize; loads.len()];
     for d in order {
-        let t = (0..targets).min_by_key(|&t| (acc[t], t)).expect("targets > 0");
+        let t = (0..targets)
+            .min_by_key(|&t| (acc[t], t))
+            .expect("targets > 0");
         out[d] = t;
         acc[t] += loads[d];
     }

@@ -330,7 +330,10 @@ pub struct PartitionView {
 impl PartitionView {
     /// The address of `node` within this view.
     pub fn addr_of(&self, node: NodeIdx) -> Option<Ipv4> {
-        self.members.iter().find(|&&(n, _)| n == node).map(|&(_, ip)| ip)
+        self.members
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, ip)| ip)
     }
 
     /// The primary's address.

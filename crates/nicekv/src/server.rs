@@ -16,13 +16,14 @@
 //! [`PartitionView`]s the metadata service pushes for the partitions they
 //! participate in (§4.1).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use nice_ring::{hash_str, NodeIdx, PartitionId};
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::{KvConfig, PutMode};
+use crate::error::KvError;
 use crate::msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
 use crate::storage::{ObjectStore, StorageCfg};
 
@@ -64,8 +65,8 @@ enum Cont {
 struct Coord {
     partition: PartitionId,
     client: Ipv4,
-    acks1: HashSet<NodeIdx>,
-    acks2: HashSet<NodeIdx>,
+    acks1: BTreeSet<NodeIdx>,
+    acks2: BTreeSet<NodeIdx>,
     self_written: bool,
     committed: bool,
     timeouts: u32,
@@ -73,9 +74,9 @@ struct Coord {
 
 /// Lock-resolution state on a freshly promoted primary.
 struct Resolve {
-    waiting: HashSet<NodeIdx>,
+    waiting: BTreeSet<NodeIdx>,
     /// key -> (op, committed_ts anywhere?, lock count)
-    locked: HashMap<String, (OpId, Option<Timestamp>, usize)>,
+    locked: BTreeMap<String, (OpId, Option<Timestamp>, usize)>,
     max_seq: u64,
 }
 
@@ -86,20 +87,22 @@ pub struct ServerApp {
     meta: Ipv4,
     tp: Transport,
     store: ObjectStore,
-    views: HashMap<PartitionId, PartitionView>,
-    coords: HashMap<(String, OpId), Coord>,
-    waiting: HashMap<String, Vec<(OpId, Value)>>,
-    conts: HashMap<u64, Cont>,
+    views: BTreeMap<PartitionId, PartitionView>,
+    coords: BTreeMap<(String, OpId), Coord>,
+    waiting: BTreeMap<String, Vec<(OpId, Value)>>,
+    conts: BTreeMap<u64, Cont>,
     next_cont: u64,
     primary_seq: u64,
-    resolves: HashMap<PartitionId, Resolve>,
+    resolves: BTreeMap<PartitionId, Resolve>,
     /// Outstanding rejoin syncs: partitions we still owe a handoff fetch.
-    rejoin_pending: HashSet<PartitionId>,
+    rejoin_pending: BTreeSet<PartitionId>,
     rejoining: bool,
     stats: LoadStats,
-    reported_down: HashSet<NodeIdx>,
+    reported_down: BTreeSet<NodeIdx>,
     /// Totals for tests/benches.
     pub_counters: Counters,
+    /// Most recent internal invariant violation, kept for diagnostics.
+    last_internal_error: Option<KvError>,
 }
 
 /// Observable server counters.
@@ -115,6 +118,9 @@ pub struct Counters {
     pub puts_aborted: u64,
     /// Failure reports sent.
     pub failure_reports: u64,
+    /// Internal invariant violations survived without panicking
+    /// (see [`KvError`]); nonzero indicates a protocol bug.
+    pub internal_errors: u64,
 }
 
 impl ServerApp {
@@ -126,18 +132,19 @@ impl ServerApp {
             node,
             meta,
             store: ObjectStore::new(storage),
-            views: HashMap::new(),
-            coords: HashMap::new(),
-            waiting: HashMap::new(),
-            conts: HashMap::new(),
+            views: BTreeMap::new(),
+            coords: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            conts: BTreeMap::new(),
             next_cont: TOK_CONT_BASE,
             primary_seq: 0,
-            resolves: HashMap::new(),
-            rejoin_pending: HashSet::new(),
+            resolves: BTreeMap::new(),
+            rejoin_pending: BTreeSet::new(),
             rejoining: false,
             stats: LoadStats::default(),
-            reported_down: HashSet::new(),
+            reported_down: BTreeSet::new(),
             pub_counters: Counters::default(),
+            last_internal_error: None,
         }
     }
 
@@ -157,8 +164,22 @@ impl ServerApp {
     }
 
     /// Current partition views (inspection).
-    pub fn views(&self) -> &HashMap<PartitionId, PartitionView> {
+    pub fn views(&self) -> &BTreeMap<PartitionId, PartitionView> {
         &self.views
+    }
+
+    /// Most recent internal invariant violation, if any (inspection; a
+    /// correct run keeps this `None`).
+    pub fn last_internal_error(&self) -> Option<&KvError> {
+        self.last_internal_error.as_ref()
+    }
+
+    /// Record an internal invariant violation instead of panicking: the
+    /// affected operation is dropped (its client times out and retries)
+    /// and the node keeps serving.
+    fn note_internal(&mut self, err: KvError) {
+        self.pub_counters.internal_errors += 1;
+        self.last_internal_error = Some(err);
     }
 
     fn partition_of(&self, key: &str) -> PartitionId {
@@ -187,8 +208,13 @@ impl ServerApp {
     fn send_kv(&mut self, ctx: &mut Ctx, dst: Ipv4, msg: KvMsg, size: u32) {
         // Sending costs CPU too (syscall + copy), and materially more for
         // value-carrying messages than for small control messages.
-        ctx.cpu_work(if size > DATA_SEND_THRESHOLD { DATA_SEND_COST } else { CTRL_COST });
-        self.tp.tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
+        ctx.cpu_work(if size > DATA_SEND_THRESHOLD {
+            DATA_SEND_COST
+        } else {
+            CTRL_COST
+        });
+        self.tp
+            .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
     }
 
     // -----------------------------------------------------------------
@@ -230,7 +256,7 @@ impl ServerApp {
         }
         self.stats.puts += 1;
         // +L (forced) then W: both on the storage device.
-        let size = self.store.pending(&key).map(|pd| pd.value.size()).unwrap_or(0);
+        let size = self.store.pending(&key).map_or(0, |pd| pd.value.size());
         self.store.write_delay(ctx.now(), 100, true);
         let done = self.store.write_delay(ctx.now(), size, false);
         self.defer(ctx, done, Cont::Written { key, op });
@@ -250,20 +276,37 @@ impl ServerApp {
         pending.written = true;
         match self.my_role(&view) {
             Some(Role::Primary) => {
-                let coord = self.ensure_coord(&key, op, p, view.primary_addr(), ctx);
-                coord.self_written = true;
+                match self.ensure_coord(&key, op, p, view.primary_addr(), ctx) {
+                    Ok(coord) => coord.self_written = true,
+                    Err(e) => return self.note_internal(e),
+                }
                 self.check_commit(&key, op, ctx);
             }
             Some(Role::Secondary) | Some(Role::Handoff) => {
                 let primary = view.primary_addr();
                 let from = self.node;
-                self.send_kv(ctx, primary, KvMsg::PutAck1 { key, op, from }, CTRL_MSG_BYTES);
+                self.send_kv(
+                    ctx,
+                    primary,
+                    KvMsg::PutAck1 { key, op, from },
+                    CTRL_MSG_BYTES,
+                );
             }
             None => {}
         }
     }
 
-    fn ensure_coord(&mut self, key: &str, op: OpId, p: PartitionId, _self_ip: Ipv4, ctx: &mut Ctx) -> &mut Coord {
+    /// Ensure a 2PC coordinator record exists for `(key, op)`, arming its
+    /// first deadline when newly created. Total: a map that refuses the
+    /// insert yields a typed [`KvError`] instead of a panic.
+    fn ensure_coord(
+        &mut self,
+        key: &str,
+        op: OpId,
+        p: PartitionId,
+        _self_ip: Ipv4,
+        ctx: &mut Ctx,
+    ) -> Result<&mut Coord, KvError> {
         let k = (key.to_owned(), op);
         if !self.coords.contains_key(&k) {
             self.coords.insert(
@@ -271,8 +314,8 @@ impl ServerApp {
                 Coord {
                     partition: p,
                     client: op.client,
-                    acks1: HashSet::new(),
-                    acks2: HashSet::new(),
+                    acks1: BTreeSet::new(),
+                    acks2: BTreeSet::new(),
                     self_written: false,
                     committed: false,
                     timeouts: 0,
@@ -288,7 +331,12 @@ impl ServerApp {
                 },
             );
         }
-        self.coords.get_mut(&k).expect("just inserted")
+        self.coords
+            .get_mut(&k)
+            .ok_or_else(|| KvError::CoordinatorMissing {
+                key: key.to_owned(),
+                op,
+            })
     }
 
     fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
@@ -299,8 +347,12 @@ impl ServerApp {
         if self.my_role(&view) != Some(Role::Primary) {
             return; // stale: we are no longer primary
         }
-        let coord = self.ensure_coord(&key, op, p, view.primary_addr(), ctx);
-        coord.acks1.insert(from);
+        match self.ensure_coord(&key, op, p, view.primary_addr(), ctx) {
+            Ok(coord) => {
+                coord.acks1.insert(from);
+            }
+            Err(e) => return self.note_internal(e),
+        }
         self.check_commit(&key, op, ctx);
     }
 
@@ -335,7 +387,10 @@ impl ServerApp {
         };
         let partition = coord.partition;
         let members = view.len();
-        self.coords.get_mut(&k).expect("present").committed = true;
+        match self.coords.get_mut(&k) {
+            Some(coord) => coord.committed = true,
+            None => return self.note_internal(KvError::CoordinatorMissing { key: k.0, op }),
+        }
         let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
         let msg = KvMsg::Commit {
             key: key.to_owned(),
@@ -343,7 +398,13 @@ impl ServerApp {
             ts,
         };
         ctx.cpu_work(CTRL_COST);
-        self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+        self.tp.mcast_send(
+            ctx,
+            group,
+            self.cfg.port,
+            Msg::new(msg, CTRL_MSG_BYTES),
+            members,
+        );
     }
 
     fn on_commit(&mut self, key: String, op: OpId, ts: Timestamp, ctx: &mut Ctx) {
@@ -365,7 +426,16 @@ impl ServerApp {
             Some(Role::Secondary) | Some(Role::Handoff) => {
                 let primary = view.primary_addr();
                 let from = self.node;
-                self.send_kv(ctx, primary, KvMsg::PutAck2 { key: key.clone(), op, from }, CTRL_MSG_BYTES);
+                self.send_kv(
+                    ctx,
+                    primary,
+                    KvMsg::PutAck2 {
+                        key: key.clone(),
+                        op,
+                        from,
+                    },
+                    CTRL_MSG_BYTES,
+                );
             }
             None => {}
         }
@@ -402,7 +472,12 @@ impl ServerApp {
         }
         let client = coord.client;
         self.coords.remove(&k);
-        self.send_kv(ctx, client, KvMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+        self.send_kv(
+            ctx,
+            client,
+            KvMsg::PutReply { op, ok: true },
+            CTRL_MSG_BYTES,
+        );
     }
 
     fn on_coord_deadline(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
@@ -418,11 +493,17 @@ impl ServerApp {
         }
         // Two timeouts: report the unresponsive members, abort, fail the
         // client (§4.4 "Failures during Put Operation").
-        let coord = self.coords.remove(&k).expect("present");
+        let Some(coord) = self.coords.remove(&k) else {
+            return self.note_internal(KvError::CoordinatorMissing { key: k.0, op });
+        };
         let Some(view) = self.views.get(&coord.partition).cloned() else {
             return;
         };
-        let acks = if coord.committed { &coord.acks2 } else { &coord.acks1 };
+        let acks = if coord.committed {
+            &coord.acks2
+        } else {
+            &coord.acks1
+        };
         let missing: Vec<NodeIdx> = view
             .members
             .iter()
@@ -433,17 +514,34 @@ impl ServerApp {
             if self.reported_down.insert(m) {
                 self.pub_counters.failure_reports += 1;
                 let from = self.node;
-                self.send_kv(ctx, self.meta, KvMsg::FailureReport { suspect: m, from }, CTRL_MSG_BYTES);
+                self.send_kv(
+                    ctx,
+                    self.meta,
+                    KvMsg::FailureReport { suspect: m, from },
+                    CTRL_MSG_BYTES,
+                );
             }
         }
         if !coord.committed {
             self.store.abort(&key, op);
             self.pub_counters.puts_aborted += 1;
-            let group = self.cfg.multicast.vnode_for_key(coord.partition, key.as_bytes());
-            let msg = KvMsg::Abort { key: key.clone(), op };
+            let group = self
+                .cfg
+                .multicast
+                .vnode_for_key(coord.partition, key.as_bytes());
+            let msg = KvMsg::Abort {
+                key: key.clone(),
+                op,
+            };
             let n = view.len();
-            self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), n);
-            self.send_kv(ctx, coord.client, KvMsg::PutReply { op, ok: false }, CTRL_MSG_BYTES);
+            self.tp
+                .mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), n);
+            self.send_kv(
+                ctx,
+                coord.client,
+                KvMsg::PutReply { op, ok: false },
+                CTRL_MSG_BYTES,
+            );
             self.drain_waiting(&key, ctx);
         }
     }
@@ -510,7 +608,16 @@ impl ServerApp {
             }
         }
         self.stats.gets += 1;
-        self.send_kv(ctx, op.client, KvMsg::GetReply { op, value: None, ts: None }, CTRL_MSG_BYTES);
+        self.send_kv(
+            ctx,
+            op.client,
+            KvMsg::GetReply {
+                op,
+                value: None,
+                ts: None,
+            },
+            CTRL_MSG_BYTES,
+        );
     }
 
     fn on_get_forward(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
@@ -523,7 +630,14 @@ impl ServerApp {
                 },
                 c.value.size() + CTRL_MSG_BYTES,
             ),
-            None => (KvMsg::GetReply { op, value: None, ts: None }, CTRL_MSG_BYTES),
+            None => (
+                KvMsg::GetReply {
+                    op,
+                    value: None,
+                    ts: None,
+                },
+                CTRL_MSG_BYTES,
+            ),
         };
         self.pub_counters.gets_served += 1;
         self.stats.gets += 1;
@@ -591,13 +705,24 @@ impl ServerApp {
             if let Some(ip) = handoff {
                 self.rejoin_pending.insert(p);
                 let from = self.node;
-                self.send_kv(ctx, ip, KvMsg::HandoffFetch { partition: p, from }, CTRL_MSG_BYTES);
+                self.send_kv(
+                    ctx,
+                    ip,
+                    KvMsg::HandoffFetch { partition: p, from },
+                    CTRL_MSG_BYTES,
+                );
             }
         }
         self.maybe_recovery_done(ctx);
     }
 
-    fn on_handoff_fetch(&mut self, partition: PartitionId, _from: NodeIdx, src: Ipv4, ctx: &mut Ctx) {
+    fn on_handoff_fetch(
+        &mut self,
+        partition: PartitionId,
+        _from: NodeIdx,
+        src: Ipv4,
+        ctx: &mut Ctx,
+    ) {
         let bits = self.cfg.partitions.trailing_zeros();
         let objects: Vec<(String, Value, Timestamp)> = self
             .store
@@ -605,11 +730,20 @@ impl ServerApp {
             .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
             .map(|(k, c)| (k.clone(), c.value.clone(), c.ts))
             .collect();
-        let size: u32 = objects.iter().map(|(k, v, _)| v.size() + k.len() as u32 + 32).sum::<u32>() + CTRL_MSG_BYTES;
+        let size: u32 = objects
+            .iter()
+            .map(|(k, v, _)| v.size() + k.len() as u32 + 32)
+            .sum::<u32>()
+            + CTRL_MSG_BYTES;
         self.send_kv(ctx, src, KvMsg::HandoffData { partition, objects }, size);
     }
 
-    fn on_handoff_data(&mut self, partition: PartitionId, objects: Vec<(String, Value, Timestamp)>, ctx: &mut Ctx) {
+    fn on_handoff_data(
+        &mut self,
+        partition: PartitionId,
+        objects: Vec<(String, Value, Timestamp)>,
+        ctx: &mut Ctx,
+    ) {
         let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
         let done = self.store.write_delay(ctx.now(), total, true);
         let _ = done;
@@ -632,7 +766,7 @@ impl ServerApp {
         let Some(view) = self.views.get(&partition).cloned() else {
             return;
         };
-        let others: HashSet<NodeIdx> = view
+        let others: BTreeSet<NodeIdx> = view
             .members
             .iter()
             .map(|&(n, _)| n)
@@ -640,7 +774,7 @@ impl ServerApp {
             .collect();
         // Seed with our own lock table.
         let bits = self.cfg.partitions.trailing_zeros();
-        let mut locked: HashMap<String, (OpId, Option<Timestamp>, usize)> = HashMap::new();
+        let mut locked: BTreeMap<String, (OpId, Option<Timestamp>, usize)> = BTreeMap::new();
         for (k, pd) in self.store.pending_iter() {
             if PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition {
                 // "committed" must mean THIS attempt committed somewhere,
@@ -755,12 +889,24 @@ impl ServerApp {
                     // Committed somewhere: the old primary had decided to
                     // commit; finish the job everywhere.
                     let msg = KvMsg::Commit { key, op, ts };
-                    self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+                    self.tp.mcast_send(
+                        ctx,
+                        group,
+                        self.cfg.port,
+                        Msg::new(msg, CTRL_MSG_BYTES),
+                        members,
+                    );
                 }
                 None => {
                     // Locked everywhere, committed nowhere: abort.
                     let msg = KvMsg::Abort { key, op };
-                    self.tp.mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), members);
+                    self.tp.mcast_send(
+                        ctx,
+                        group,
+                        self.cfg.port,
+                        Msg::new(msg, CTRL_MSG_BYTES),
+                        members,
+                    );
                 }
             }
         }
@@ -775,7 +921,8 @@ impl ServerApp {
             node: self.node,
             stats: std::mem::take(&mut self.stats),
         };
-        self.tp.udp_send(ctx, self.meta, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+        self.tp
+            .udp_send(ctx, self.meta, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
         ctx.set_timer(self.cfg.hb_interval, TOK_HEARTBEAT);
     }
 
@@ -802,7 +949,12 @@ impl ServerApp {
             if self.reported_down.insert(s) {
                 self.pub_counters.failure_reports += 1;
                 let from = self.node;
-                self.send_kv(ctx, self.meta, KvMsg::FailureReport { suspect: s, from }, CTRL_MSG_BYTES);
+                self.send_kv(
+                    ctx,
+                    self.meta,
+                    KvMsg::FailureReport { suspect: s, from },
+                    CTRL_MSG_BYTES,
+                );
             }
         }
         ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
@@ -831,8 +983,12 @@ impl ServerApp {
                 self.meta = new_meta;
             }
             KvMsg::RejoinPlan { sources } => self.on_rejoin_plan(sources, ctx),
-            KvMsg::HandoffFetch { partition, from } => self.on_handoff_fetch(partition, from, src, ctx),
-            KvMsg::HandoffData { partition, objects } => self.on_handoff_data(partition, objects, ctx),
+            KvMsg::HandoffFetch { partition, from } => {
+                self.on_handoff_fetch(partition, from, src, ctx);
+            }
+            KvMsg::HandoffData { partition, objects } => {
+                self.on_handoff_data(partition, objects, ctx);
+            }
             KvMsg::GetForward { key, op } => self.on_get_forward(key, op, ctx),
             KvMsg::BecomePrimary { partition } => self.on_become_primary(partition, ctx),
             KvMsg::LockQuery { partition } => self.on_lock_query(partition, src, ctx),
@@ -939,7 +1095,12 @@ impl App for ServerApp {
     fn on_restart(&mut self, ctx: &mut Ctx) {
         self.rejoining = true;
         let node = self.node;
-        self.send_kv(ctx, self.meta, KvMsg::RejoinRequest { node }, CTRL_MSG_BYTES);
+        self.send_kv(
+            ctx,
+            self.meta,
+            KvMsg::RejoinRequest { node },
+            CTRL_MSG_BYTES,
+        );
         self.heartbeat(ctx);
         ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
     }

@@ -10,7 +10,7 @@
 //! the link model: a write issued at `t` completes at
 //! `max(t, device_busy) + latency + size/bandwidth`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nice_sim::Time;
 
@@ -67,11 +67,11 @@ pub struct LogEntry {
 pub struct ObjectStore {
     cfg: StorageCfg,
     /// Committed objects (persistent).
-    committed: HashMap<String, Committed>,
+    committed: BTreeMap<String, Committed>,
     /// The persistent operation log.
     log: Vec<LogEntry>,
     /// Pending puts holding in-memory locks (volatile).
-    pending: HashMap<String, Pending>,
+    pending: BTreeMap<String, Pending>,
     /// Device queue.
     busy_until: Time,
     /// Counters.
@@ -101,7 +101,11 @@ impl ObjectStore {
     /// completion time. `forced` writes pay the sync latency.
     pub fn write_delay(&mut self, now: Time, size: u32, forced: bool) -> Time {
         let xfer = Time(((size as u64) * 1_000_000_000).div_ceil(self.cfg.write_bw));
-        let lat = if forced { self.cfg.op_latency } else { Time::ZERO };
+        let lat = if forced {
+            self.cfg.op_latency
+        } else {
+            Time::ZERO
+        };
         let done = self.busy_until.max(now) + lat + xfer;
         self.busy_until = done;
         self.writes += 1;
@@ -149,7 +153,10 @@ impl ObjectStore {
                         locked_at: now,
                     },
                 );
-                self.log.push(LogEntry { key: key.to_owned(), op });
+                self.log.push(LogEntry {
+                    key: key.to_owned(),
+                    op,
+                });
                 true
             }
         }
@@ -160,17 +167,19 @@ impl ObjectStore {
     /// Stale commits (older `ts` than the committed version) release the
     /// lock but keep the newer value. Returns true if state changed.
     pub fn commit(&mut self, key: &str, op: OpId, ts: Timestamp) -> bool {
-        let Some(p) = self.pending.get(key) else {
+        let Some(p) = self.pending.remove(key) else {
             return false;
         };
         if p.op != op {
+            // A different put holds the lock: leave it untouched.
+            self.pending.insert(key.to_owned(), p);
             return false;
         }
-        let p = self.pending.remove(key).expect("checked above");
         self.log.retain(|e| !(e.key == key && e.op == op));
         let newer = self.committed.get(key).is_none_or(|c| ts > c.ts);
         if newer {
-            self.committed.insert(key.to_owned(), Committed { value: p.value, ts });
+            self.committed
+                .insert(key.to_owned(), Committed { value: p.value, ts });
         }
         true
     }
@@ -179,7 +188,8 @@ impl ObjectStore {
     pub fn commit_direct(&mut self, key: &str, value: Value, ts: Timestamp) {
         let newer = self.committed.get(key).is_none_or(|c| ts > c.ts);
         if newer {
-            self.committed.insert(key.to_owned(), Committed { value, ts });
+            self.committed
+                .insert(key.to_owned(), Committed { value, ts });
         }
     }
 
@@ -223,7 +233,11 @@ impl ObjectStore {
 
     /// Highest commit `primary_seq` applied (the failover sequence floor).
     pub fn max_primary_seq(&self) -> u64 {
-        self.committed.values().map(|c| c.ts.primary_seq).max().unwrap_or(0)
+        self.committed
+            .values()
+            .map(|c| c.ts.primary_seq)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The persistent log (full-cluster recovery reads this).
@@ -240,8 +254,13 @@ impl ObjectStore {
     /// simply gone.
     pub fn on_crash(&mut self) {
         self.pending.retain(|_, p| p.written);
-        let keep: Vec<(String, OpId)> = self.pending.iter().map(|(k, p)| (k.clone(), p.op)).collect();
-        self.log.retain(|e| keep.iter().any(|(k, o)| *k == e.key && *o == e.op));
+        let keep: Vec<(String, OpId)> = self
+            .pending
+            .iter()
+            .map(|(k, p)| (k.clone(), p.op))
+            .collect();
+        self.log
+            .retain(|e| keep.iter().any(|(k, o)| *k == e.key && *o == e.op));
         self.busy_until = Time::ZERO;
     }
 
@@ -305,8 +324,14 @@ mod tests {
     fn conflicting_lock_rejected_retry_allowed() {
         let mut s = ObjectStore::new(StorageCfg::default());
         assert!(s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO));
-        assert!(!s.lock("k", op(2), Value::from_bytes(vec![2]), Time::ZERO), "other op must wait");
-        assert!(s.lock("k", op(1), Value::from_bytes(vec![3]), Time::ZERO), "same op may retry");
+        assert!(
+            !s.lock("k", op(2), Value::from_bytes(vec![2]), Time::ZERO),
+            "other op must wait"
+        );
+        assert!(
+            s.lock("k", op(1), Value::from_bytes(vec![3]), Time::ZERO),
+            "same op may retry"
+        );
         assert_eq!(*s.pending("k").unwrap().value.bytes, vec![3]);
         assert_eq!(s.log().len(), 1, "retry does not duplicate the log entry");
     }
@@ -365,7 +390,11 @@ mod tests {
         // 1 MB at 100 MB/s = 10 ms
         assert_eq!(t1, Time::from_ms(10));
         let t2 = s.write_delay(Time::ZERO, 0, true);
-        assert_eq!(t2, Time::from_ms(10) + Time::from_us(50), "queued behind first write");
+        assert_eq!(
+            t2,
+            Time::from_ms(10) + Time::from_us(50),
+            "queued behind first write"
+        );
         assert_eq!(s.writes(), 2);
         assert_eq!(s.bytes_written(), 1_000_000);
     }

@@ -2,9 +2,7 @@
 //! load balancing, failure handling, and recovery — the mechanisms of
 //! §3–§4 exercised through the full simulated fabric.
 
-use nice_kv::{
-    ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, PutMode, Value,
-};
+use nice_kv::{ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, PutMode, Value};
 use nice_ring::{NodeIdx, PartitionId};
 use nice_sim::Time;
 
@@ -38,7 +36,10 @@ fn put_get_roundtrip_many_keys() {
         assert_eq!(r.bytes.as_deref(), Some(format!("value-{i}").as_bytes()));
     }
     // no retries needed in a healthy cluster
-    assert!(recs.iter().all(|r| r.attempts == 1), "healthy cluster needs no retries");
+    assert!(
+        recs.iter().all(|r| r.attempts == 1),
+        "healthy cluster needs no retries"
+    );
 }
 
 #[test]
@@ -46,8 +47,14 @@ fn replication_reaches_all_replicas() {
     let ops = vec![put("replicate-me", b"payload")];
     let mut c = NiceCluster::build(ClusterCfg::new(8, 3, vec![ops]));
     assert!(c.run_until_done(Time::from_secs(10)));
-    let holders: Vec<usize> = (0..8).filter(|&i| c.server(i).store().get("replicate-me").is_some()).collect();
-    assert_eq!(holders.len(), 3, "exactly R replicas hold the object: {holders:?}");
+    let holders: Vec<usize> = (0..8)
+        .filter(|&i| c.server(i).store().get("replicate-me").is_some())
+        .collect();
+    assert_eq!(
+        holders.len(),
+        3,
+        "exactly R replicas hold the object: {holders:?}"
+    );
     // and they are exactly the ring's replica set for the key's partition
     let p = c.ring.partition_of_key(b"replicate-me");
     let mut expect: Vec<usize> = c.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
@@ -58,17 +65,15 @@ fn replication_reaches_all_replicas() {
         .iter()
         .map(|&i| c.server(i).store().get("replicate-me").unwrap().ts)
         .collect();
-    assert!(ts.windows(2).all(|w| w[0] == w[1]), "replicas agree on the commit timestamp");
+    assert!(
+        ts.windows(2).all(|w| w[0] == w[1]),
+        "replicas agree on the commit timestamp"
+    );
 }
 
 #[test]
 fn overwrite_returns_latest_value() {
-    let ops = vec![
-        put("k", b"v1"),
-        put("k", b"v2"),
-        put("k", b"v3"),
-        get("k"),
-    ];
+    let ops = vec![put("k", b"v1"), put("k", b"v2"), put("k", b"v3"), get("k")];
     let mut c = NiceCluster::build(ClusterCfg::new(6, 3, vec![ops]));
     assert!(c.run_until_done(Time::from_secs(10)));
     let recs = &c.client(0).records;
@@ -92,7 +97,10 @@ fn concurrent_clients_with_disjoint_keys() {
     let mk = |id: usize| {
         let mut ops = Vec::new();
         for i in 0..10 {
-            ops.push(put(&format!("c{id}-k{i}"), format!("c{id}-v{i}").as_bytes()));
+            ops.push(put(
+                &format!("c{id}-k{i}"),
+                format!("c{id}-v{i}").as_bytes(),
+            ));
             ops.push(get(&format!("c{id}-k{i}")));
         }
         ops
@@ -116,8 +124,12 @@ fn concurrent_clients_with_disjoint_keys() {
 fn concurrent_writers_same_key_converge() {
     // Two clients hammer the same key; locks serialize the puts and every
     // replica must converge to the same (latest-timestamp) value.
-    let ops_a: Vec<ClientOp> = (0..5).map(|i| put("contended", format!("a{i}").as_bytes())).collect();
-    let ops_b: Vec<ClientOp> = (0..5).map(|i| put("contended", format!("b{i}").as_bytes())).collect();
+    let ops_a: Vec<ClientOp> = (0..5)
+        .map(|i| put("contended", format!("a{i}").as_bytes()))
+        .collect();
+    let ops_b: Vec<ClientOp> = (0..5)
+        .map(|i| put("contended", format!("b{i}").as_bytes()))
+        .collect();
     let mut c = NiceCluster::build(ClusterCfg::new(6, 3, vec![ops_a, ops_b]));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert!(c.client(0).records.iter().all(|r| r.ok));
@@ -127,7 +139,11 @@ fn concurrent_writers_same_key_converge() {
     let versions: Vec<(Vec<u8>, nice_kv::Timestamp)> = replicas
         .iter()
         .map(|&i| {
-            let cm = c.server(i).store().get("contended").expect("replica holds the key");
+            let cm = c
+                .server(i)
+                .store()
+                .get("contended")
+                .expect("replica holds the key");
             (cm.value.bytes.as_ref().clone(), cm.ts)
         })
         .collect();
@@ -157,7 +173,10 @@ fn load_balancing_spreads_gets_across_replicas() {
     assert!(c.run_until_done(Time::from_secs(60)));
     let p = c.ring.partition_of_key(b"hot");
     let replicas: Vec<usize> = c.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
-    let served: Vec<u64> = replicas.iter().map(|&i| c.server(i).counters().gets_served).collect();
+    let served: Vec<u64> = replicas
+        .iter()
+        .map(|&i| c.server(i).counters().gets_served)
+        .collect();
     let busy = served.iter().filter(|&&s| s > 0).count();
     assert!(busy >= 2, "gets concentrated on one replica: {served:?}");
 }
@@ -189,7 +208,9 @@ fn without_load_balancing_primary_serves_all_gets() {
 
 #[test]
 fn quorum_mode_completes_puts() {
-    let ops: Vec<ClientOp> = (0..5).map(|i| put(&format!("q{i}"), b"quorum-value")).collect();
+    let ops: Vec<ClientOp> = (0..5)
+        .map(|i| put(&format!("q{i}"), b"quorum-value"))
+        .collect();
     let mut cfg = ClusterCfg::new(8, 5, vec![ops]);
     cfg.kv.put_mode = PutMode::Quorum { k: 2 };
     let mut c = NiceCluster::build(cfg);
@@ -253,15 +274,24 @@ fn secondary_failure_handoff_and_recovery() {
     let mut c = NiceCluster::build(cfg);
 
     // Crash before the workload starts so the failure window overlaps it.
-    c.sim.schedule_crash(Time::from_ms(60), c.servers[victim as usize]);
-    c.sim.schedule_restart(Time::from_secs(3), c.servers[victim as usize]);
-    assert!(c.run_until_done(Time::from_secs(30)), "workload must finish");
+    c.sim
+        .schedule_crash(Time::from_ms(60), c.servers[victim as usize]);
+    c.sim
+        .schedule_restart(Time::from_secs(3), c.servers[victim as usize]);
+    assert!(
+        c.run_until_done(Time::from_secs(30)),
+        "workload must finish"
+    );
     // run past the scheduled restart so rejoin + recovery complete
     c.sim.run_until(Time::from_secs(8));
 
     // every op eventually succeeded
     let recs = &c.client(0).records;
-    assert!(recs.iter().all(|r| r.ok), "ops failed: {:?}", recs.iter().filter(|r| !r.ok).count());
+    assert!(
+        recs.iter().all(|r| r.ok),
+        "ops failed: {:?}",
+        recs.iter().filter(|r| !r.ok).count()
+    );
     // some put needed a retry (the <2 s unavailability window)
     let events: Vec<&MetaEvent> = c.meta_app().events.iter().map(|(_, e)| e).collect();
     assert!(
@@ -269,7 +299,9 @@ fn secondary_failure_handoff_and_recovery() {
         "failure detected: {events:?}"
     );
     assert!(
-        events.iter().any(|e| matches!(e, MetaEvent::HandoffAssigned { failed, .. } if failed.0 == victim)),
+        events
+            .iter()
+            .any(|e| matches!(e, MetaEvent::HandoffAssigned { failed, .. } if failed.0 == victim)),
         "handoff assigned"
     );
     assert!(events.contains(&&MetaEvent::NodeRejoining(NodeIdx(victim))));
@@ -307,21 +339,26 @@ fn handoff_forwards_gets_for_objects_it_lacks() {
     assert!(c.run_until_done(Time::from_secs(10)));
 
     // Fail the secondary, wait for the handoff to take over the get path.
-    c.sim.schedule_crash(c.sim.now(), c.servers[victim as usize]);
+    c.sim
+        .schedule_crash(c.sim.now(), c.servers[victim as usize]);
     c.sim.run_for(Time::from_secs(2));
     let handoff = c
         .meta_app()
         .events
         .iter()
         .find_map(|(_, e)| match e {
-            MetaEvent::HandoffAssigned { partition, handoff, .. } if *partition == p => Some(handoff.0),
+            MetaEvent::HandoffAssigned {
+                partition, handoff, ..
+            } if *partition == p => Some(handoff.0),
             _ => None,
         })
         .expect("handoff assigned");
 
     // Now read every key through a fresh client... we cannot add hosts
     // post-build, so instead drive gets from an existing idle client app.
-    c.sim.app_mut::<nice_kv::ClientApp>(c.clients[0]).push_ops(keys.iter().map(|k| get(k)));
+    c.sim
+        .app_mut::<nice_kv::ClientApp>(c.clients[0])
+        .push_ops(keys.iter().map(|k| get(k)));
     // nudge the client to resume: its queue was empty, so re-issue by
     // pushing a timer-less kick through another round of ops — the client
     // polls on op completion only, so use a tiny helper: restart issuing.
@@ -335,7 +372,10 @@ fn handoff_forwards_gets_for_objects_it_lacks() {
     // pre-failure objects)
     let fwd = c.server(handoff as usize).counters().gets_forwarded;
     let served_direct = c.server(handoff as usize).counters().gets_served;
-    assert_eq!(served_direct, 0, "handoff cannot serve pre-failure objects itself");
+    assert_eq!(
+        served_direct, 0,
+        "handoff cannot serve pre-failure objects itself"
+    );
     let _ = fwd; // forwarding count depends on LB division assignment
 }
 
@@ -360,14 +400,20 @@ fn primary_failure_promotes_secondary_and_work_continues() {
     let mut c = NiceCluster::build(cfg);
 
     // Crash the primary before the first put lands.
-    c.sim.schedule_crash(Time::from_ms(60), c.servers[primary as usize]);
-    assert!(c.run_until_done(Time::from_secs(40)), "workload survives primary failure");
+    c.sim
+        .schedule_crash(Time::from_ms(60), c.servers[primary as usize]);
+    assert!(
+        c.run_until_done(Time::from_secs(40)),
+        "workload survives primary failure"
+    );
     let recs = &c.client(0).records;
     let failed = recs.iter().filter(|r| !r.ok).count();
     assert_eq!(failed, 0, "every op eventually succeeded");
     let events = &c.meta_app().events;
     assert!(
-        events.iter().any(|(_, e)| matches!(e, MetaEvent::PrimaryChanged { partition, .. } if *partition == p)),
+        events.iter().any(
+            |(_, e)| matches!(e, MetaEvent::PrimaryChanged { partition, .. } if *partition == p)
+        ),
         "primary was promoted: {events:?}"
     );
     // the view's primary is no longer the crashed node
@@ -394,8 +440,10 @@ fn writes_during_failure_reach_rejoined_node() {
     cfg.kv.client_retry = Time::from_ms(300);
     cfg.client_start = Time::from_secs(2); // after failure handling settles
     let mut c = NiceCluster::build(cfg);
-    c.sim.schedule_crash(Time::from_ms(200), c.servers[victim as usize]);
-    c.sim.schedule_restart(Time::from_secs(6), c.servers[victim as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(200), c.servers[victim as usize]);
+    c.sim
+        .schedule_restart(Time::from_secs(6), c.servers[victim as usize]);
     assert!(c.run_until_done(Time::from_secs(30)));
     assert!(c.client(0).records.iter().all(|r| r.ok));
     // give recovery time to drain the handoff
@@ -404,7 +452,10 @@ fn writes_during_failure_reach_rejoined_node() {
     let store = c.server(victim as usize).store();
     for k in &keys {
         assert!(store.get(k).is_some(), "rejoined node missing {k}");
-        assert_eq!(*store.get(k).unwrap().value.bytes, b"written-while-down".to_vec());
+        assert_eq!(
+            *store.get(k).unwrap().value.bytes,
+            b"written-while-down".to_vec()
+        );
     }
 }
 
@@ -435,7 +486,12 @@ fn adaptive_lb_rebalances_skewed_divisions() {
     let probe = NiceCluster::build(ClusterCfg::new(8, 3, vec![]));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 5);
-    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let replicas: Vec<usize> = probe
+        .ring
+        .replica_set(p)
+        .iter()
+        .map(|n| n.0 as usize)
+        .collect();
     drop(probe);
 
     let run = |adaptive: bool| -> Vec<u64> {
@@ -455,14 +511,24 @@ fn adaptive_lb_rebalances_skewed_divisions() {
         cfg.kv.adaptive_lb = adaptive;
         cfg.retry_not_found = true;
         let mut c = NiceCluster::build(cfg);
-        assert!(c.run_until_done(Time::from_secs(120)), "adaptive={adaptive}");
-        replicas.iter().map(|&i| c.server(i).counters().gets_served).collect()
+        assert!(
+            c.run_until_done(Time::from_secs(120)),
+            "adaptive={adaptive}"
+        );
+        replicas
+            .iter()
+            .map(|&i| c.server(i).counters().gets_served)
+            .collect()
     };
 
     let static_served = run(false);
     let adaptive_served = run(true);
     let busy = |v: &Vec<u64>| v.iter().filter(|&&s| s > 200).count();
-    assert_eq!(busy(&static_served), 1, "static pins both divisions to one replica: {static_served:?}");
+    assert_eq!(
+        busy(&static_served),
+        1,
+        "static pins both divisions to one replica: {static_served:?}"
+    );
     assert!(
         busy(&adaptive_served) >= 2,
         "adaptive must split the hot divisions: {adaptive_served:?} (static was {static_served:?})"

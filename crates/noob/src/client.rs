@@ -4,9 +4,9 @@
 use std::collections::VecDeque;
 
 use nice_kv::{ClientOp, OpId, OpRecord};
+use nice_sim::Rng;
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
-use rand::RngExt;
 
 use crate::msg::NoobMsg;
 use crate::server::NoobRing;
@@ -67,7 +67,12 @@ pub struct NoobClientApp {
 
 impl NoobClientApp {
     /// A client running `ops` from `start_at` via `route`.
-    pub fn new(ring: NoobRing, route: ClientRoute, ops: Vec<ClientOp>, start_at: Time) -> NoobClientApp {
+    pub fn new(
+        ring: NoobRing,
+        route: ClientRoute,
+        ops: Vec<ClientOp>,
+        start_at: Time,
+    ) -> NoobClientApp {
         NoobClientApp {
             tp: Transport::new(ring.port),
             ring,
@@ -168,13 +173,24 @@ impl NoobClientApp {
         match op {
             ClientOp::Put { key, value } => {
                 let size = value.size() + key.len() as u32 + 64;
-                let msg = NoobMsg::Put { key, value, op: id, hops: 0 };
-                self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+                let msg = NoobMsg::Put {
+                    key,
+                    value,
+                    op: id,
+                    hops: 0,
+                };
+                self.tp
+                    .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
             }
             ClientOp::Get { key } => {
                 let size = key.len() as u32 + 64;
-                let msg = NoobMsg::Get { key, op: id, hops: 0 };
-                self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+                let msg = NoobMsg::Get {
+                    key,
+                    op: id,
+                    hops: 0,
+                };
+                self.tp
+                    .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
             }
         }
         ctx.set_timer(self.retry, TOK_RETRY_BASE | id.client_seq);

@@ -104,7 +104,11 @@ impl NoobCluster {
         let parts = cfg
             .partitions
             .unwrap_or_else(|| (cfg.storage_nodes.next_power_of_two() as u32).max(16));
-        let phys = PhysicalRing::new(parts, (0..cfg.storage_nodes as u32).map(NodeIdx).collect(), cfg.replication);
+        let phys = PhysicalRing::new(
+            parts,
+            (0..cfg.storage_nodes as u32).map(NodeIdx).collect(),
+            cfg.replication,
+        );
 
         let mut sim = Simulation::new(cfg.seed);
         let table = Rc::new(RefCell::new(FlowTable::new()));
@@ -113,7 +117,9 @@ impl NoobCluster {
         let mut ports: HashMap<Ipv4, nice_sim::Port> = HashMap::new();
 
         // Storage nodes.
-        let server_ips: Vec<Ipv4> = (0..cfg.storage_nodes).map(|i| Ipv4::new(10, 0, 0, 10 + i as u8)).collect();
+        let server_ips: Vec<Ipv4> = (0..cfg.storage_nodes)
+            .map(|i| Ipv4::new(10, 0, 0, 10 + i as u8))
+            .collect();
         let ring = NoobRing {
             ring: phys,
             addrs: server_ips.clone(),
@@ -138,7 +144,11 @@ impl NoobCluster {
             (Access::Rac, _) => GatewayPolicy::Primary, // unused
         };
         let mut gateways = Vec::new();
-        let n_gw = if cfg.access == Access::Rac { 0 } else { cfg.gateways.max(1) };
+        let n_gw = if cfg.access == Access::Rac {
+            0
+        } else {
+            cfg.gateways.max(1)
+        };
         for g in 0..n_gw {
             let ip = Ipv4::new(10, 0, 2, 1 + g as u8);
             let mac = Mac(0x400 + g as u64);
@@ -157,7 +167,9 @@ impl NoobCluster {
             let mac = Mac(0x300 + j as u64);
             let route = match (cfg.access, cfg.caching_rac) {
                 (Access::Rac, true) => ClientRoute::CachingRac,
-                (Access::Rac, false) => ClientRoute::Direct { lb_gets: cfg.lb_gets },
+                (Access::Rac, false) => ClientRoute::Direct {
+                    lb_gets: cfg.lb_gets,
+                },
                 _ => ClientRoute::Gateway(gateways[j % gateways.len()].1),
             };
             let start = cfg.client_start + Time::from_us(97) * j as u64;

@@ -5,9 +5,9 @@
 //! per-message costs, which is exactly why ROG costs two extra hops and
 //! RAG one.
 
+use nice_sim::Rng;
 use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
-use rand::RngExt;
 
 use crate::msg::NoobMsg;
 use crate::server::NoobRing;
@@ -92,19 +92,40 @@ impl GatewayApp {
 
     fn forward(&mut self, m: NoobMsg, ctx: &mut Ctx) {
         match m {
-            NoobMsg::Put { key, value, op, hops } => {
+            NoobMsg::Put {
+                key,
+                value,
+                op,
+                hops,
+            } => {
                 let dst = self.target(&key, false, ctx);
                 let size = value.size() + key.len() as u32 + 64;
                 self.forwarded += 1;
-                self.tp
-                    .tcp_send(ctx, dst, self.ring.port, Msg::new(NoobMsg::Put { key, value, op, hops }, size));
+                self.tp.tcp_send(
+                    ctx,
+                    dst,
+                    self.ring.port,
+                    Msg::new(
+                        NoobMsg::Put {
+                            key,
+                            value,
+                            op,
+                            hops,
+                        },
+                        size,
+                    ),
+                );
             }
             NoobMsg::Get { key, op, hops } => {
                 let dst = self.target(&key, true, ctx);
                 let size = key.len() as u32 + 64;
                 self.forwarded += 1;
-                self.tp
-                    .tcp_send(ctx, dst, self.ring.port, Msg::new(NoobMsg::Get { key, op, hops }, size));
+                self.tp.tcp_send(
+                    ctx,
+                    dst,
+                    self.ring.port,
+                    Msg::new(NoobMsg::Get { key, op, hops }, size),
+                );
             }
             _ => {}
         }

@@ -13,7 +13,7 @@ use nice_ring::{NodeIdx, PartitionId, PhysicalRing};
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
-use crate::msg::{NoobMsg, NoobMode};
+use crate::msg::{NoobMode, NoobMsg};
 
 const TOK_CONT_BASE: u64 = 1000;
 const CTRL_MSG_BYTES: u32 = 64;
@@ -67,7 +67,12 @@ enum Cont {
     /// Local write finished: continue the put state machine.
     PrimaryWritten { key: String, op: OpId },
     /// Secondary write finished: ack the primary.
-    SecondaryWritten { key: String, op: OpId, primary: Ipv4, two_pc: bool },
+    SecondaryWritten {
+        key: String,
+        op: OpId,
+        primary: Ipv4,
+        two_pc: bool,
+    },
     /// Chain write finished: pass the baton.
     ChainWritten {
         key: String,
@@ -99,6 +104,9 @@ pub struct NoobCounters {
     pub puts_coordinated: u64,
     /// Replica writes performed as secondary.
     pub replica_writes: u64,
+    /// Internal invariant violations survived without panicking;
+    /// nonzero indicates a protocol bug.
+    pub internal_errors: u64,
 }
 
 /// The NOOB storage node.
@@ -121,7 +129,12 @@ pub struct NoobServerApp {
 
 impl NoobServerApp {
     /// A node `node` in the deployment `ring`.
-    pub fn new(ring: NoobRing, node: NodeIdx, mode: NoobMode, storage: StorageCfg) -> NoobServerApp {
+    pub fn new(
+        ring: NoobRing,
+        node: NodeIdx,
+        mode: NoobMode,
+        storage: StorageCfg,
+    ) -> NoobServerApp {
         NoobServerApp {
             tp: Transport::new(ring.port),
             ring,
@@ -153,8 +166,13 @@ impl NoobServerApp {
         // Symmetric with nice-kv: every sent message costs CPU, and a
         // value-carrying send costs much more than a control message. A
         // NOOB primary pays the data cost R-1 times per put.
-        ctx.cpu_work(if size > DATA_SEND_THRESHOLD { DATA_SEND_COST } else { CTRL_COST });
-        self.tp.tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
+        ctx.cpu_work(if size > DATA_SEND_THRESHOLD {
+            DATA_SEND_COST
+        } else {
+            CTRL_COST
+        });
+        self.tp
+            .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
     }
 
     fn i_am_primary(&self, key: &str) -> bool {
@@ -163,7 +181,9 @@ impl NoobServerApp {
 
     /// Is this node in the key's replica set? (exposed for tests)
     pub fn is_replica_for(&self, key: &str) -> bool {
-        self.ring.ring.is_replica(self.ring.partition_of(key), self.node)
+        self.ring
+            .ring
+            .is_replica(self.ring.partition_of(key), self.node)
     }
 
     // ---------------------------------------------------------------
@@ -178,7 +198,17 @@ impl NoobServerApp {
                 let dst = self.ring.primary_addr(&key);
                 let size = value.size() + key.len() as u32 + 64;
                 self.counters.forwarded += 1;
-                self.send(ctx, dst, NoobMsg::Put { key, value, op, hops: hops + 1 }, size);
+                self.send(
+                    ctx,
+                    dst,
+                    NoobMsg::Put {
+                        key,
+                        value,
+                        op,
+                        hops: hops + 1,
+                    },
+                    size,
+                );
             }
             return;
         }
@@ -187,9 +217,15 @@ impl NoobServerApp {
         if self.puts.contains_key(&k) {
             return; // duplicate (client retry while in flight)
         }
-        let replicas = self.ring.ring.replica_set(self.ring.partition_of(&key)).to_vec();
+        let replicas = self
+            .ring
+            .ring
+            .replica_set(self.ring.partition_of(&key))
+            .to_vec();
         let (needed, quorum_k) = match self.mode {
-            NoobMode::PrimaryOnly | NoobMode::TwoPc | NoobMode::Chain => (replicas.len() - 1, replicas.len()),
+            NoobMode::PrimaryOnly | NoobMode::TwoPc | NoobMode::Chain => {
+                (replicas.len() - 1, replicas.len())
+            }
             NoobMode::Quorum { k } => (replicas.len() - 1, k.clamp(1, replicas.len())),
         };
         self.puts.insert(
@@ -211,7 +247,10 @@ impl NoobServerApp {
                 let size = value.size();
                 self.store.write_delay(ctx.now(), 100, true);
                 let done = self.store.write_delay(ctx.now(), size, false);
-                let remaining: Vec<Ipv4> = replicas[1..].iter().map(|n| self.ring.addrs[n.0 as usize]).collect();
+                let remaining: Vec<Ipv4> = replicas[1..]
+                    .iter()
+                    .map(|n| self.ring.addrs[n.0 as usize])
+                    .collect();
                 let ts = self.next_ts(op, ctx);
                 self.store.commit_direct(&key, value.clone(), ts);
                 self.defer(
@@ -248,7 +287,14 @@ impl NoobServerApp {
                     let ts = self.next_ts(op, ctx);
                     self.store.commit_direct(&key, value.clone(), ts);
                 }
-                self.defer(ctx, done, Cont::PrimaryWritten { key: key.clone(), op });
+                self.defer(
+                    ctx,
+                    done,
+                    Cont::PrimaryWritten {
+                        key: key.clone(),
+                        op,
+                    },
+                );
                 // Fan the data out to every secondary over unicast TCP —
                 // the NOOB network inefficiency.
                 let msg_size = size + key.len() as u32 + 64;
@@ -280,7 +326,15 @@ impl NoobServerApp {
         }
     }
 
-    fn on_rep_data(&mut self, key: String, value: Value, op: OpId, two_pc: bool, src: Ipv4, ctx: &mut Ctx) {
+    fn on_rep_data(
+        &mut self,
+        key: String,
+        value: Value,
+        op: OpId,
+        two_pc: bool,
+        src: Ipv4,
+        ctx: &mut Ctx,
+    ) {
         self.counters.replica_writes += 1;
         if two_pc {
             self.store.lock(&key, op, value.clone(), ctx.now());
@@ -341,7 +395,12 @@ impl NoobServerApp {
                 if st.acks1.len() >= st.needed && !st.replied {
                     let client = st.client;
                     self.puts.remove(&k);
-                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                    self.send(
+                        ctx,
+                        client,
+                        NoobMsg::PutReply { op, ok: true },
+                        CTRL_MSG_BYTES,
+                    );
                 }
             }
             NoobMode::Quorum { .. } => {
@@ -351,8 +410,19 @@ impl NoobServerApp {
                 let finished = st.acks1.len() >= st.needed;
                 let client = st.client;
                 if reply_now {
-                    self.puts.get_mut(&k).expect("present").replied = true;
-                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                    match self.puts.get_mut(&k) {
+                        Some(st) => st.replied = true,
+                        None => {
+                            self.counters.internal_errors += 1;
+                            return;
+                        }
+                    }
+                    self.send(
+                        ctx,
+                        client,
+                        NoobMsg::PutReply { op, ok: true },
+                        CTRL_MSG_BYTES,
+                    );
                 }
                 if finished {
                     self.puts.remove(&k);
@@ -362,18 +432,40 @@ impl NoobServerApp {
                 if st.acks1.len() >= st.needed && !st.ts_sent {
                     let ts = self.next_ts(op, ctx);
                     self.store.commit(key, op, ts);
-                    let st = self.puts.get_mut(&k).expect("present");
-                    st.ts_sent = true;
+                    match self.puts.get_mut(&k) {
+                        Some(st) => st.ts_sent = true,
+                        None => {
+                            self.counters.internal_errors += 1;
+                            return;
+                        }
+                    }
                     let replicas = self.ring.replica_addrs(key);
                     for dst in &replicas[1..] {
-                        self.send(ctx, *dst, NoobMsg::RepTs { key: key.to_owned(), op, ts }, CTRL_MSG_BYTES);
+                        self.send(
+                            ctx,
+                            *dst,
+                            NoobMsg::RepTs {
+                                key: key.to_owned(),
+                                op,
+                                ts,
+                            },
+                            CTRL_MSG_BYTES,
+                        );
                     }
                 }
-                let st = self.puts.get(&k).expect("present");
+                let Some(st) = self.puts.get(&k) else {
+                    self.counters.internal_errors += 1;
+                    return;
+                };
                 if st.ts_sent && st.acks2.len() >= st.needed && !st.replied {
                     let client = st.client;
                     self.puts.remove(&k);
-                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                    self.send(
+                        ctx,
+                        client,
+                        NoobMsg::PutReply { op, ok: true },
+                        CTRL_MSG_BYTES,
+                    );
                     self.drain_waiting(key, ctx);
                 }
             }
@@ -411,10 +503,24 @@ impl NoobServerApp {
         if !self.i_am_primary(&key) && hops < 2 {
             self.counters.forwarded += 1;
             let dst = self.ring.primary_addr(&key);
-            self.send(ctx, dst, NoobMsg::Get { key, op, hops: hops + 1 }, CTRL_MSG_BYTES);
+            self.send(
+                ctx,
+                dst,
+                NoobMsg::Get {
+                    key,
+                    op,
+                    hops: hops + 1,
+                },
+                CTRL_MSG_BYTES,
+            );
             return;
         }
-        self.send(ctx, op.client, NoobMsg::GetReply { op, value: None }, CTRL_MSG_BYTES);
+        self.send(
+            ctx,
+            op.client,
+            NoobMsg::GetReply { op, value: None },
+            CTRL_MSG_BYTES,
+        );
     }
 
     // ---------------------------------------------------------------
@@ -423,15 +529,34 @@ impl NoobServerApp {
 
     fn on_noob(&mut self, msg: NoobMsg, src: Ipv4, ctx: &mut Ctx) {
         match msg {
-            NoobMsg::Put { key, value, op, hops } => self.on_put(key, value, op, hops, ctx),
+            NoobMsg::Put {
+                key,
+                value,
+                op,
+                hops,
+            } => self.on_put(key, value, op, hops, ctx),
             NoobMsg::Get { key, op, hops } => self.on_get(key, op, hops, ctx),
-            NoobMsg::RepData { key, value, op, two_pc } => self.on_rep_data(key, value, op, two_pc, src, ctx),
+            NoobMsg::RepData {
+                key,
+                value,
+                op,
+                two_pc,
+            } => self.on_rep_data(key, value, op, two_pc, src, ctx),
             NoobMsg::RepAck1 { key, op, from } => self.on_ack1(key, op, from, ctx),
             NoobMsg::RepTs { key, op, ts } => {
                 self.store.commit(&key, op, ts);
                 self.primary_seq = self.primary_seq.max(ts.primary_seq);
                 let from = self.node;
-                self.send(ctx, src, NoobMsg::RepAck2 { key: key.clone(), op, from }, CTRL_MSG_BYTES);
+                self.send(
+                    ctx,
+                    src,
+                    NoobMsg::RepAck2 {
+                        key: key.clone(),
+                        op,
+                        from,
+                    },
+                    CTRL_MSG_BYTES,
+                );
                 self.drain_waiting(&key, ctx);
             }
             NoobMsg::RepAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
@@ -476,10 +601,20 @@ impl NoobServerApp {
                 }
                 self.advance_put(&key, op, ctx);
             }
-            Cont::SecondaryWritten { key, op, primary, two_pc } => {
+            Cont::SecondaryWritten {
+                key,
+                op,
+                primary,
+                two_pc,
+            } => {
                 let _ = two_pc;
                 let from = self.node;
-                self.send(ctx, primary, NoobMsg::RepAck1 { key, op, from }, CTRL_MSG_BYTES);
+                self.send(
+                    ctx,
+                    primary,
+                    NoobMsg::RepAck1 { key, op, from },
+                    CTRL_MSG_BYTES,
+                );
             }
             Cont::ChainWritten {
                 key,
@@ -489,14 +624,18 @@ impl NoobServerApp {
             } => {
                 if remaining.is_empty() {
                     // tail: acknowledge the client
-                    self.send(ctx, client, NoobMsg::PutReply { op, ok: true }, CTRL_MSG_BYTES);
+                    self.send(
+                        ctx,
+                        client,
+                        NoobMsg::PutReply { op, ok: true },
+                        CTRL_MSG_BYTES,
+                    );
                 } else {
                     let next = remaining.remove(0);
                     let value = self
                         .store
                         .get(&key)
-                        .map(|c| c.value.clone())
-                        .unwrap_or_else(|| Value::synthetic(0));
+                        .map_or_else(|| Value::synthetic(0), |c| c.value.clone());
                     let size = value.size() + key.len() as u32 + 64;
                     self.send(
                         ctx,
@@ -518,7 +657,10 @@ impl NoobServerApp {
     /// CPU cost of processing one message (see `nice_kv::server`).
     fn msg_cost(msg: &NoobMsg) -> Time {
         match msg {
-            NoobMsg::Put { .. } | NoobMsg::Get { .. } | NoobMsg::RepData { .. } | NoobMsg::ChainPut { .. } => REQ_COST,
+            NoobMsg::Put { .. }
+            | NoobMsg::Get { .. }
+            | NoobMsg::RepData { .. }
+            | NoobMsg::ChainPut { .. } => REQ_COST,
             _ => CTRL_COST,
         }
     }

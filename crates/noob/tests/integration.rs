@@ -37,21 +37,39 @@ fn assert_roundtrip(c: &NoobCluster, client: usize, n: usize) {
 
 #[test]
 fn rac_primary_only_roundtrip() {
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::PrimaryOnly, vec![roundtrip_ops(15)]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rac,
+        NoobMode::PrimaryOnly,
+        vec![roundtrip_ops(15)],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert_roundtrip(&c, 0, 15);
 }
 
 #[test]
 fn rac_two_pc_roundtrip() {
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::TwoPc, vec![roundtrip_ops(15)]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rac,
+        NoobMode::TwoPc,
+        vec![roundtrip_ops(15)],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert_roundtrip(&c, 0, 15);
 }
 
 #[test]
 fn rag_primary_only_roundtrip() {
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rag, NoobMode::PrimaryOnly, vec![roundtrip_ops(10)]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rag,
+        NoobMode::PrimaryOnly,
+        vec![roundtrip_ops(10)],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert_roundtrip(&c, 0, 10);
     // everything flowed through the gateway
@@ -61,7 +79,13 @@ fn rag_primary_only_roundtrip() {
 
 #[test]
 fn rog_primary_only_roundtrip_forwards() {
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rog, NoobMode::PrimaryOnly, vec![roundtrip_ops(15)]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rog,
+        NoobMode::PrimaryOnly,
+        vec![roundtrip_ops(15)],
+    ));
     assert!(c.run_until_done(Time::from_secs(60)));
     assert_roundtrip(&c, 0, 15);
     // random-node routing must have caused some server-side forwarding
@@ -72,27 +96,43 @@ fn rog_primary_only_roundtrip_forwards() {
 #[test]
 fn quorum_replies_early_and_replicates_fully() {
     let ops: Vec<ClientOp> = (0..5).map(|i| put(&format!("q{i}"), b"data")).collect();
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 5, Access::Rac, NoobMode::Quorum { k: 2 }, vec![ops]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        5,
+        Access::Rac,
+        NoobMode::Quorum { k: 2 },
+        vec![ops],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert!(c.client(0).records.iter().all(|r| r.ok));
     // background replication still completes everywhere
     c.sim.run_for(Time::from_secs(1));
     for i in 0..5 {
         let key = format!("q{i}");
-        let holders = (0..8).filter(|&s| c.server(s).store().get(&key).is_some()).count();
+        let holders = (0..8)
+            .filter(|&s| c.server(s).store().get(&key).is_some())
+            .count();
         assert_eq!(holders, 5, "{key} fully replicated in the background");
     }
 }
 
 #[test]
 fn chain_replication_roundtrip() {
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::Chain, vec![roundtrip_ops(10)]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rac,
+        NoobMode::Chain,
+        vec![roundtrip_ops(10)],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert_roundtrip(&c, 0, 10);
     // every replica holds the data (the chain visited them all)
     for i in 0..10 {
         let key = format!("k{i}");
-        let holders = (0..8).filter(|&s| c.server(s).store().get(&key).is_some()).count();
+        let holders = (0..8)
+            .filter(|&s| c.server(s).store().get(&key).is_some())
+            .count();
         assert_eq!(holders, 3, "{key}");
     }
 }
@@ -100,9 +140,17 @@ fn chain_replication_roundtrip() {
 #[test]
 fn two_pc_replicates_to_all() {
     let ops = vec![put("x", b"xyz")];
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::TwoPc, vec![ops]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rac,
+        NoobMode::TwoPc,
+        vec![ops],
+    ));
     assert!(c.run_until_done(Time::from_secs(10)));
-    let holders = (0..8).filter(|&s| c.server(s).store().get("x").is_some()).count();
+    let holders = (0..8)
+        .filter(|&s| c.server(s).store().get("x").is_some())
+        .count();
     assert_eq!(holders, 3);
 }
 
@@ -112,7 +160,13 @@ fn primary_only_serves_all_gets_from_primary() {
     for _ in 0..3 {
         all.push((0..20).map(|_| get("hot")).collect());
     }
-    let mut c = NoobCluster::build(NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::PrimaryOnly, all));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        8,
+        3,
+        Access::Rac,
+        NoobMode::PrimaryOnly,
+        all,
+    ));
     assert!(c.run_until_done(Time::from_secs(60)));
     let primary = c.ring.ring.primary(c.ring.partition_of("hot")).0 as usize;
     let served: Vec<u64> = (0..8).map(|i| c.server(i).counters.gets_served).collect();
@@ -142,7 +196,10 @@ fn lb_gets_spread_over_replicas_with_2pc() {
         .iter()
         .map(|n| n.0 as usize)
         .collect();
-    let busy = replicas.iter().filter(|&&i| c.server(i).counters.gets_served > 0).count();
+    let busy = replicas
+        .iter()
+        .filter(|&&i| c.server(i).counters.gets_served > 0)
+        .count();
     assert!(busy >= 2, "client-side LB did not spread gets");
 }
 
@@ -170,7 +227,13 @@ fn noob_primary_link_carries_replication_fanout() {
         key: "big".into(),
         value: Value::synthetic(size),
     }];
-    let mut c = NoobCluster::build(NoobClusterCfg::new(9, 5, Access::Rac, NoobMode::PrimaryOnly, vec![ops]));
+    let mut c = NoobCluster::build(NoobClusterCfg::new(
+        9,
+        5,
+        Access::Rac,
+        NoobMode::PrimaryOnly,
+        vec![ops],
+    ));
     assert!(c.run_until_done(Time::from_secs(30)));
     let primary = c.ring.ring.primary(c.ring.partition_of("big")).0 as usize;
     let sent = c.sim.host_stats(c.servers[primary]).bytes_sent;
@@ -210,7 +273,10 @@ fn caching_rac_warms_up() {
     assert!(hits >= 30, "hits={hits}");
     // forwarding happened only for cold keys that landed on a wrong node
     let fwd: u64 = (0..8).map(|i| c.server(i).counters.forwarded).sum();
-    assert!(fwd <= misses, "forwards ({fwd}) bounded by cold misses ({misses})");
+    assert!(
+        fwd <= misses,
+        "forwards ({fwd}) bounded by cold misses ({misses})"
+    );
 }
 
 #[test]
@@ -218,7 +284,13 @@ fn caching_rac_matches_direct_rac_when_warm() {
     // After warmup the caching client routes identically to the
     // warm-cache Direct client: same number of server-side forwards (0).
     let warm_ops: Vec<ClientOp> = (0..5)
-        .flat_map(|i| vec![put(&format!("w{i}"), b"v"), get(&format!("w{i}")), get(&format!("w{i}"))])
+        .flat_map(|i| {
+            vec![
+                put(&format!("w{i}"), b"v"),
+                get(&format!("w{i}")),
+                get(&format!("w{i}")),
+            ]
+        })
         .collect();
     let mut cfg = NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::PrimaryOnly, vec![warm_ops]);
     cfg.caching_rac = true;

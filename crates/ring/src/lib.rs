@@ -24,64 +24,98 @@ pub use hash::{hash_key, hash_str};
 pub use physical::{NodeIdx, PartitionId, PhysicalRing};
 pub use vring::{ClientDivisions, VRing};
 
+// Randomized property tests, driven by the in-tree seeded PRNG so they
+// stay deterministic and build offline (no proptest dependency).
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use nice_sim::Ipv4;
-    use proptest::prelude::*;
+    use nice_sim::{Ipv4, Rng, XorShiftRng};
 
-    proptest! {
-        /// Every key lands in exactly one partition and its vnode address
-        /// maps back to that partition on both rings.
-        #[test]
-        fn key_to_vnode_roundtrip(key in "[a-z0-9:_-]{1,40}", bits in 2u32..10) {
-            let parts = 1u32 << bits;
+    fn random_key(rng: &mut XorShiftRng) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:_-";
+        let len = rng.random_range(1usize..41);
+        (0..len)
+            .map(|_| CHARS[rng.random_range(0usize..CHARS.len())] as char)
+            .collect()
+    }
+
+    /// Every key lands in exactly one partition and its vnode address
+    /// maps back to that partition on both rings.
+    #[test]
+    fn key_to_vnode_roundtrip() {
+        let mut rng = XorShiftRng::seed_from_u64(0x4146_0001);
+        for _ in 0..128 {
+            let key = random_key(&mut rng);
+            let parts = 1u32 << rng.random_range(2u32..10);
             let ring = PhysicalRing::new(parts, (0..4).map(NodeIdx).collect(), 3);
             let p = ring.partition_of_key(key.as_bytes());
-            prop_assert!(p.0 < parts);
+            assert!(p.0 < parts);
             let u = VRing::unicast(parts);
             let m = VRing::multicast(parts);
-            prop_assert_eq!(u.partition_of(u.vnode_for_key(p, key.as_bytes())), Some(p));
-            prop_assert_eq!(m.partition_of(m.vnode_for_key(p, key.as_bytes())), Some(p));
+            assert_eq!(
+                u.partition_of(u.vnode_for_key(p, key.as_bytes())),
+                Some(p),
+                "key {key:?}"
+            );
+            assert_eq!(
+                m.partition_of(m.vnode_for_key(p, key.as_bytes())),
+                Some(p),
+                "key {key:?}"
+            );
         }
+    }
 
-        /// Replica sets always hold R distinct nodes, primary included.
-        #[test]
-        fn replica_sets_valid(nodes in 1usize..40, r in 1usize..10, bits in 6u32..10) {
+    /// Replica sets always hold R distinct nodes, primary included.
+    #[test]
+    fn replica_sets_valid() {
+        let mut rng = XorShiftRng::seed_from_u64(0x4146_0002);
+        for _ in 0..24 {
+            let bits = rng.random_range(6u32..10);
             let parts = 1u32 << bits;
-            prop_assume!(parts as usize >= nodes);
+            let nodes = rng.random_range(1usize..40).min(parts as usize);
+            let r = rng.random_range(1usize..10);
             let ring = PhysicalRing::new(parts, (0..nodes as u32).map(NodeIdx).collect(), r);
             let want = r.min(nodes);
             for p in 0..parts {
                 let set = ring.replica_set(PartitionId(p));
-                prop_assert_eq!(set.len(), want);
+                assert_eq!(set.len(), want);
                 let mut u = set.to_vec();
                 u.sort();
                 u.dedup();
-                prop_assert_eq!(u.len(), want);
-                prop_assert_eq!(set[0], ring.primary(PartitionId(p)));
+                assert_eq!(u.len(), want);
+                assert_eq!(set[0], ring.primary(PartitionId(p)));
             }
         }
+    }
 
-        /// The handoff node is never part of the replica set nor excluded.
-        #[test]
-        fn handoff_valid(nodes in 4usize..30, r in 1usize..4, part in 0u32..64) {
+    /// The handoff node is never part of the replica set nor excluded.
+    #[test]
+    fn handoff_valid() {
+        let mut rng = XorShiftRng::seed_from_u64(0x4146_0003);
+        for _ in 0..256 {
+            let nodes = rng.random_range(4usize..30);
+            let r = rng.random_range(1usize..4);
+            let part = rng.random_range(0u32..64);
             let ring = PhysicalRing::new(64, (0..nodes as u32).map(NodeIdx).collect(), r);
             let p = PartitionId(part);
             let excl = [NodeIdx(0), NodeIdx(1)];
             if let Some(h) = ring.handoff_for(p, &excl) {
-                prop_assert!(!ring.is_replica(p, h));
-                prop_assert!(!excl.contains(&h));
+                assert!(!ring.is_replica(p, h));
+                assert!(!excl.contains(&h));
             } else {
                 // Only possible when every node is a replica or excluded.
-                prop_assert!(nodes <= r.min(nodes) + excl.len());
+                assert!(nodes <= r.min(nodes) + excl.len());
             }
         }
+    }
 
-        /// Subgroup prefixes are disjoint and collectively cover the ring.
-        #[test]
-        fn subgroups_partition_space(bits in 0u32..12, host in 0u32..65536) {
-            let parts = 1u32 << bits;
+    /// Subgroup prefixes are disjoint and collectively cover the ring.
+    #[test]
+    fn subgroups_partition_space() {
+        let mut rng = XorShiftRng::seed_from_u64(0x4146_0004);
+        for _ in 0..128 {
+            let parts = 1u32 << rng.random_range(0u32..12);
+            let host = rng.random_range(0u32..65536);
             let v = VRing::unicast(parts);
             let ip = Ipv4(v.base().0 + host);
             let p = v.partition_of(ip).expect("in ring");
@@ -91,20 +125,25 @@ mod prop_tests {
                 let (net, len) = v.subgroup_prefix(PartitionId(q));
                 if ip.in_prefix(net, len) {
                     hits += 1;
-                    prop_assert_eq!(q, p.0);
+                    assert_eq!(q, p.0);
                 }
             }
-            prop_assert_eq!(hits, 1);
+            assert_eq!(hits, 1);
         }
+    }
 
-        /// Client divisions: every source address maps to exactly one
-        /// division, and the replica index is always < R.
-        #[test]
-        fn divisions_function(r in 1u32..12, host in 0u32..256) {
+    /// Client divisions: every source address maps to exactly one
+    /// division, and the replica index is always < R.
+    #[test]
+    fn divisions_function() {
+        let mut rng = XorShiftRng::seed_from_u64(0x4146_0005);
+        for _ in 0..256 {
+            let r = rng.random_range(1u32..12);
+            let host = rng.random_range(0u32..256);
             let d = ClientDivisions::new(Ipv4::new(10, 0, 0, 0), 24, r);
             let ip = Ipv4(Ipv4::new(10, 0, 0, 0).0 + host);
             let replica = d.replica_for(ip);
-            prop_assert!((replica as u32) < r);
+            assert!((replica as u32) < r);
         }
     }
 }

@@ -45,7 +45,10 @@ impl PhysicalRing {
     /// If `num_partitions` is not a power of two, is zero, or is smaller
     /// than the node count; or if `nodes` is empty or `replication` is 0.
     pub fn new(num_partitions: u32, nodes: Vec<NodeIdx>, replication: usize) -> PhysicalRing {
-        assert!(num_partitions.is_power_of_two(), "partition count must be a power of two");
+        assert!(
+            num_partitions.is_power_of_two(),
+            "partition count must be a power of two"
+        );
         assert!(!nodes.is_empty(), "ring needs at least one node");
         assert!(replication >= 1, "replication level must be at least 1");
         assert!(
@@ -296,7 +299,11 @@ mod tests {
     #[test]
     fn partitions_of_covers_every_partition_r_times() {
         let ring = PhysicalRing::new(32, nodes(8), 3);
-        let total: usize = ring.nodes().iter().map(|&n| ring.partitions_of(n).len()).sum();
+        let total: usize = ring
+            .nodes()
+            .iter()
+            .map(|&n| ring.partitions_of(n).len())
+            .sum();
         assert_eq!(total, 32 * 3);
     }
 

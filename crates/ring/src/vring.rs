@@ -80,7 +80,9 @@ impl VRing {
 
     /// Number of vnode addresses per subgroup.
     pub fn subgroup_size(&self) -> u32 {
-        1u32.checked_shl(32 - self.subgroup_len as u32).unwrap_or(0).max(1)
+        1u32.checked_shl(32 - self.subgroup_len as u32)
+            .unwrap_or(0)
+            .max(1)
     }
 
     /// Does `ip` belong to this ring?
@@ -101,7 +103,9 @@ impl VRing {
         if !self.contains(ip) {
             return None;
         }
-        Some(PartitionId(ip.host_bits(self.prefix_len) >> (32 - self.subgroup_len as u32)))
+        Some(PartitionId(
+            ip.host_bits(self.prefix_len) >> (32 - self.subgroup_len as u32),
+        ))
     }
 
     /// The vnode address a client sends to for `key`, given the key's
@@ -141,7 +145,10 @@ impl ClientDivisions {
         assert!(replicas >= 1);
         let d = replicas.next_power_of_two();
         let div_bits = d.trailing_zeros() as u8;
-        assert!(prefix_len + div_bits <= 32, "client space too small for {replicas} divisions");
+        assert!(
+            prefix_len + div_bits <= 32,
+            "client space too small for {replicas} divisions"
+        );
         ClientDivisions {
             base: base.network(prefix_len),
             prefix_len,
@@ -240,7 +247,10 @@ mod tests {
             // every address in the /24 falls in exactly one division
             for host in [0u32, 1, 63, 64, 127, 128, 200, 255] {
                 let ip = Ipv4(Ipv4::new(10, 0, 0, 0).0 + host);
-                let n = prefixes.iter().filter(|((net, len), _)| ip.in_prefix(*net, *len)).count();
+                let n = prefixes
+                    .iter()
+                    .filter(|((net, len), _)| ip.in_prefix(*net, *len))
+                    .count();
                 assert_eq!(n, 1, "r={r} host={host}");
             }
             // every replica index in 0..r appears

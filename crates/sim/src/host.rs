@@ -9,7 +9,7 @@
 
 use std::any::Any;
 
-use rand::rngs::StdRng;
+use nice_workload::XorShiftRng;
 
 use crate::ids::{HostId, Port, SwitchId};
 use crate::net::{Ipv4, Mac, Packet};
@@ -73,11 +73,25 @@ impl HostCfg {
 #[derive(Debug)]
 pub(crate) enum Effect {
     Send(Packet),
-    Timer { delay: Time, token: u64 },
+    Timer {
+        delay: Time,
+        token: u64,
+    },
     CpuWork(Time),
-    CpuDefer { amount: Time, token: u64 },
-    SwitchInject { sw: SwitchId, port: Port, pkt: Packet },
-    SwitchFlood { sw: SwitchId, except: Option<Port>, pkt: Packet },
+    CpuDefer {
+        amount: Time,
+        token: u64,
+    },
+    SwitchInject {
+        sw: SwitchId,
+        port: Port,
+        pkt: Packet,
+    },
+    SwitchFlood {
+        sw: SwitchId,
+        except: Option<Port>,
+        pkt: Packet,
+    },
 }
 
 /// The application's handle to the simulation during a callback.
@@ -91,7 +105,7 @@ pub struct Ctx<'a> {
     pub(crate) ip: Ipv4,
     pub(crate) mac: Mac,
     pub(crate) effects: &'a mut Vec<Effect>,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut XorShiftRng,
 }
 
 impl Ctx<'_> {
@@ -165,7 +179,7 @@ impl Ctx<'_> {
 
     /// This host's deterministic random-number generator.
     #[inline]
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut XorShiftRng {
         self.rng
     }
 }

@@ -170,7 +170,15 @@ mod tests {
 
     fn pkt(bytes: u32) -> Packet {
         // wire_size = HDR_UDP(42) + bytes
-        Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 1, 2, bytes, Rc::new(()))
+        Packet::udp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            1,
+            2,
+            bytes,
+            Rc::new(()),
+        )
     }
 
     fn chan(cfg: ChannelCfg) -> Channel {
@@ -247,36 +255,56 @@ mod tests {
     fn throttling_applies_to_new_packets() {
         let mut c = chan(ChannelCfg::gigabit());
         let p = pkt(1358); // 1400 wire bytes, 11.2us at 1G
-        let Enqueue::Arrives(a1) = c.enqueue(Time::ZERO, &p) else { panic!() };
+        let Enqueue::Arrives(a1) = c.enqueue(Time::ZERO, &p) else {
+            panic!()
+        };
         c.set_rate(50_000_000);
-        let Enqueue::Arrives(a2) = c.enqueue(Time::ZERO, &p) else { panic!() };
+        let Enqueue::Arrives(a2) = c.enqueue(Time::ZERO, &p) else {
+            panic!()
+        };
         // second packet serialized at 50 Mbps: 224us after the first finishes
         assert_eq!(a2 - a1, Time::from_ns(224_000));
     }
 }
 
+// Randomized property tests, driven by the in-tree seeded PRNG so they
+// stay deterministic and build offline (no proptest dependency).
 #[cfg(test)]
 mod prop_tests {
     use super::*;
     use crate::ids::{ChannelId, HostId};
     use crate::net::{Ipv4, Mac, Packet};
-    use proptest::prelude::*;
+    use nice_workload::{Rng, XorShiftRng};
     use std::rc::Rc;
 
     fn pkt(bytes: u32) -> Packet {
-        Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 1, 2, bytes, Rc::new(()))
+        Packet::udp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            1,
+            2,
+            bytes,
+            Rc::new(()),
+        )
     }
 
-    proptest! {
-        /// FIFO: arrival times are non-decreasing in enqueue order, every
-        /// accepted packet takes at least its serialization time, and the
-        /// byte counter equals the sum of accepted wire sizes.
-        #[test]
-        fn fifo_and_conservation(
-            sizes in prop::collection::vec(0u32..60_000, 1..40),
-            bw in prop::sample::select(vec![50_000_000u64, 1_000_000_000, 10_000_000_000]),
-        ) {
-            let cfg = ChannelCfg { bw_bps: bw, latency: Time::from_us(5), queue_bytes: 1 << 22 };
+    /// FIFO: arrival times are non-decreasing in enqueue order, every
+    /// accepted packet takes at least its serialization time, and the
+    /// byte counter equals the sum of accepted wire sizes.
+    #[test]
+    fn fifo_and_conservation() {
+        let bws = [50_000_000u64, 1_000_000_000, 10_000_000_000];
+        for case in 0..64u64 {
+            let mut rng = XorShiftRng::seed_from_u64(0x11CE_0001 ^ case);
+            let n = rng.random_range(1usize..40);
+            let sizes: Vec<u32> = (0..n).map(|_| rng.random_range(0u32..60_000)).collect();
+            let bw = bws[rng.random_range(0usize..bws.len())];
+            let cfg = ChannelCfg {
+                bw_bps: bw,
+                latency: Time::from_us(5),
+                queue_bytes: 1 << 22,
+            };
             let mut c = Channel::new(ChannelId(0), Endpoint::Host(HostId(0)), cfg);
             let mut last = Time::ZERO;
             let mut accepted_bytes = 0u64;
@@ -285,33 +313,40 @@ mod prop_tests {
                 let now = Time::from_us(i as u64); // staggered arrivals
                 match c.enqueue(now, &p) {
                     Enqueue::Arrives(t) => {
-                        prop_assert!(t >= last, "reordering: {t} < {last}");
-                        prop_assert!(t >= now + Time::tx_time(p.wire_size as u64, bw) + cfg.latency);
+                        assert!(t >= last, "reordering: {t} < {last} (case {case})");
+                        assert!(t >= now + Time::tx_time(p.wire_size as u64, bw) + cfg.latency);
                         last = t;
                         accepted_bytes += p.wire_size as u64;
                     }
                     Enqueue::Dropped => {}
                 }
             }
-            prop_assert_eq!(c.stats().bytes, accepted_bytes);
+            assert_eq!(c.stats().bytes, accepted_bytes, "case {case}");
         }
+    }
 
-        /// Finite buffers: with a queue of Q bytes, occupancy never
-        /// exceeds Q, and drops happen exactly when it would.
-        #[test]
-        fn buffer_never_overflows(
-            sizes in prop::collection::vec(1u32..3_000, 1..60),
-            q in 2_000u64..20_000,
-        ) {
-            let cfg = ChannelCfg { bw_bps: 1_000_000, latency: Time::ZERO, queue_bytes: q };
+    /// Finite buffers: with a queue of Q bytes, occupancy never
+    /// exceeds Q, and drops happen exactly when it would.
+    #[test]
+    fn buffer_never_overflows() {
+        for case in 0..64u64 {
+            let mut rng = XorShiftRng::seed_from_u64(0x11CE_0002 ^ case);
+            let n = rng.random_range(1usize..60);
+            let sizes: Vec<u32> = (0..n).map(|_| rng.random_range(1u32..3_000)).collect();
+            let q = rng.random_range(2_000u64..20_000);
+            let cfg = ChannelCfg {
+                bw_bps: 1_000_000,
+                latency: Time::ZERO,
+                queue_bytes: q,
+            };
             let mut c = Channel::new(ChannelId(0), Endpoint::Host(HostId(0)), cfg);
             for &s in &sizes {
                 let p = pkt(s);
                 let _ = c.enqueue(Time::ZERO, &p);
-                prop_assert!(c.occupancy(Time::ZERO) <= q);
+                assert!(c.occupancy(Time::ZERO) <= q, "case {case}");
             }
             let st = c.stats();
-            prop_assert_eq!(st.packets + st.drops, sizes.len() as u64);
+            assert_eq!(st.packets + st.drops, sizes.len() as u64, "case {case}");
         }
     }
 }

@@ -235,7 +235,12 @@ impl Packet {
     }
 
     /// Construct an ARP reply from `sender` to `requester`.
-    pub fn arp_reply(sender_ip: Ipv4, sender_mac: Mac, requester_ip: Ipv4, requester_mac: Mac) -> Packet {
+    pub fn arp_reply(
+        sender_ip: Ipv4,
+        sender_mac: Mac,
+        requester_ip: Ipv4,
+        requester_mac: Mac,
+    ) -> Packet {
         Packet {
             src: sender_ip,
             dst: requester_ip,
@@ -310,17 +315,41 @@ mod tests {
 
     #[test]
     fn packet_sizes() {
-        let p = Packet::udp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 9, 10, 100, Rc::new(()));
+        let p = Packet::udp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            9,
+            10,
+            100,
+            Rc::new(()),
+        );
         assert_eq!(p.wire_size, 142);
         assert_eq!(p.payload_bytes(), 100);
-        let t = Packet::tcp(Ipv4::new(1, 0, 0, 1), Mac(1), Ipv4::new(1, 0, 0, 2), 9, 10, 0, Rc::new(()));
+        let t = Packet::tcp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            9,
+            10,
+            0,
+            Rc::new(()),
+        );
         assert_eq!(t.wire_size, HDR_TCP);
         assert_eq!(t.payload_bytes(), 0);
     }
 
     #[test]
     fn payload_downcast() {
-        let p = Packet::udp(Ipv4::UNSPECIFIED, Mac(0), Ipv4::UNSPECIFIED, 0, 0, 4, Rc::new(42u32));
+        let p = Packet::udp(
+            Ipv4::UNSPECIFIED,
+            Mac(0),
+            Ipv4::UNSPECIFIED,
+            0,
+            0,
+            4,
+            Rc::new(42u32),
+        );
         assert_eq!(p.payload_as::<u32>(), Some(&42));
         assert_eq!(p.payload_as::<u64>(), None);
     }

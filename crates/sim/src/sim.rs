@@ -9,8 +9,7 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nice_workload::XorShiftRng;
 
 use crate::host::{App, Ctx, Effect, HostCfg};
 use crate::ids::{ChannelId, Endpoint, HostId, Port, SwitchId};
@@ -45,7 +44,7 @@ struct HostNode {
     cpu_busy: Time,
     up: bool,
     gen: u32,
-    rng: StdRng,
+    rng: XorShiftRng,
     stats: HostStats,
 }
 
@@ -58,17 +57,54 @@ struct SwitchNode {
 }
 
 enum Ev {
-    Start { host: HostId },
-    NicArrive { host: HostId, pkt: Packet },
-    AppDeliver { host: HostId, gen: u32, pkt: Packet },
-    Timer { host: HostId, gen: u32, token: u64 },
-    SwitchArrive { sw: SwitchId, port: Port, pkt: Packet },
-    PacketIn { ctrl: HostId, sw: SwitchId, port: Port, pkt: Packet },
-    Inject { sw: SwitchId, port: Port, pkt: Packet },
-    InjectFlood { sw: SwitchId, except: Option<Port>, pkt: Packet },
-    Crash { host: HostId },
-    Restart { host: HostId },
-    SetRate { host: HostId, bps: u64 },
+    Start {
+        host: HostId,
+    },
+    NicArrive {
+        host: HostId,
+        pkt: Packet,
+    },
+    AppDeliver {
+        host: HostId,
+        gen: u32,
+        pkt: Packet,
+    },
+    Timer {
+        host: HostId,
+        gen: u32,
+        token: u64,
+    },
+    SwitchArrive {
+        sw: SwitchId,
+        port: Port,
+        pkt: Packet,
+    },
+    PacketIn {
+        ctrl: HostId,
+        sw: SwitchId,
+        port: Port,
+        pkt: Packet,
+    },
+    Inject {
+        sw: SwitchId,
+        port: Port,
+        pkt: Packet,
+    },
+    InjectFlood {
+        sw: SwitchId,
+        except: Option<Port>,
+        pkt: Packet,
+    },
+    Crash {
+        host: HostId,
+    },
+    Restart {
+        host: HostId,
+    },
+    SetRate {
+        host: HostId,
+        bps: u64,
+    },
 }
 
 struct HeapItem {
@@ -163,7 +199,9 @@ impl Simulation {
     /// simulation time.
     pub fn add_host(&mut self, app: Box<dyn App>, cfg: HostCfg) -> HostId {
         let id = HostId(self.hosts.len() as u32);
-        let rng = StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1)));
+        let rng = XorShiftRng::seed_from_u64(
+            self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1)),
+        );
         self.hosts.push(HostNode {
             app: Some(app),
             cfg,
@@ -184,13 +222,24 @@ impl Simulation {
     /// `up` configures host→switch (typically a large kernel send buffer),
     /// `down` configures switch→host (a real, finite switch egress queue —
     /// where multicast overload to a slow receiver drops packets).
-    pub fn connect_asym(&mut self, host: HostId, sw: SwitchId, up: ChannelCfg, down: ChannelCfg) -> Port {
-        assert!(self.hosts[host.0 as usize].uplink.is_none(), "{host} already connected");
+    pub fn connect_asym(
+        &mut self,
+        host: HostId,
+        sw: SwitchId,
+        up: ChannelCfg,
+        down: ChannelCfg,
+    ) -> Port {
+        assert!(
+            self.hosts[host.0 as usize].uplink.is_none(),
+            "{host} already connected"
+        );
         let port = Port(self.switches[sw.0 as usize].ports.len() as u16);
         let up_id = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel::new(up_id, Endpoint::Switch(sw, port), up));
+        self.channels
+            .push(Channel::new(up_id, Endpoint::Switch(sw, port), up));
         let down_id = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel::new(down_id, Endpoint::Host(host), down));
+        self.channels
+            .push(Channel::new(down_id, Endpoint::Host(host), down));
         let h = &mut self.hosts[host.0 as usize];
         h.uplink = Some(up_id);
         h.downlink = Some(down_id);
@@ -210,9 +259,11 @@ impl Simulation {
         let pa = Port(self.switches[a.0 as usize].ports.len() as u16);
         let pb = Port(self.switches[b.0 as usize].ports.len() as u16);
         let a2b = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel::new(a2b, Endpoint::Switch(b, pb), cfg));
+        self.channels
+            .push(Channel::new(a2b, Endpoint::Switch(b, pb), cfg));
         let b2a = ChannelId(self.channels.len() as u32);
-        self.channels.push(Channel::new(b2a, Endpoint::Switch(a, pa), cfg));
+        self.channels
+            .push(Channel::new(b2a, Endpoint::Switch(a, pa), cfg));
         self.switches[a.0 as usize].ports.push(a2b);
         self.switches[b.0 as usize].ports.push(b2a);
         (pa, pb)
@@ -295,7 +346,10 @@ impl Simulation {
 
     /// Counters for every channel.
     pub fn channel_stats(&self) -> Vec<ChannelStats> {
-        self.channels.iter().map(|c| c.stats()).collect()
+        self.channels
+            .iter()
+            .map(super::link::Channel::stats)
+            .collect()
     }
 
     /// Total wire bytes accepted across all links — the paper's "total
@@ -371,7 +425,12 @@ impl Simulation {
                 }
             }
             Ev::SwitchArrive { sw, port, pkt } => self.switch_arrive(sw, port, pkt),
-            Ev::PacketIn { ctrl, sw, port, pkt } => {
+            Ev::PacketIn {
+                ctrl,
+                sw,
+                port,
+                pkt,
+            } => {
                 let gen = self.hosts[ctrl.0 as usize].gen;
                 if self.host_live(ctrl, gen) {
                     self.with_app(ctrl, |app, ctx| app.on_packet_in(sw, port, pkt, ctx), false);
@@ -422,7 +481,12 @@ impl Simulation {
 
     /// Run an app callback with the borrow dance: take the app out, build a
     /// context over the remaining world, call, put it back, apply effects.
-    fn with_app(&mut self, host: HostId, f: impl FnOnce(&mut Box<dyn App>, &mut Ctx), announce: bool) {
+    fn with_app(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut Box<dyn App>, &mut Ctx),
+        announce: bool,
+    ) {
         let idx = host.0 as usize;
         if announce && self.hosts[idx].cfg.announce_on_boot {
             let (ip, mac) = (self.hosts[idx].cfg.ip, self.hosts[idx].cfg.mac);
@@ -569,7 +633,15 @@ impl Simulation {
                 SwitchAction::ToController { pkt } => {
                     if let Some(ctrl) = self.switches[idx].controller {
                         let at = self.now + self.switches[idx].cfg.ctrl_latency;
-                        self.push(at, Ev::PacketIn { ctrl, sw, port, pkt });
+                        self.push(
+                            at,
+                            Ev::PacketIn {
+                                ctrl,
+                                sw,
+                                port,
+                                pkt,
+                            },
+                        );
                     }
                 }
             }
@@ -590,7 +662,14 @@ impl Simulation {
         match c.enqueue(at, &pkt) {
             Enqueue::Arrives(t) => match dst {
                 Endpoint::Host(h) => self.push(t, Ev::NicArrive { host: h, pkt }),
-                Endpoint::Switch(s2, p2) => self.push(t, Ev::SwitchArrive { sw: s2, port: p2, pkt }),
+                Endpoint::Switch(s2, p2) => self.push(
+                    t,
+                    Ev::SwitchArrive {
+                        sw: s2,
+                        port: p2,
+                        pkt,
+                    },
+                ),
             },
             Enqueue::Dropped => {}
         }
@@ -627,7 +706,15 @@ mod tests {
             let v = *pkt.payload_as::<u32>().unwrap();
             self.got.push(v);
             if v < 3 {
-                let reply = Packet::udp(ctx.ip(), ctx.mac(), pkt.src, pkt.dst_port, pkt.src_port, 4, Rc::new(v + 1));
+                let reply = Packet::udp(
+                    ctx.ip(),
+                    ctx.mac(),
+                    pkt.src,
+                    pkt.dst_port,
+                    pkt.src_port,
+                    4,
+                    Rc::new(v + 1),
+                );
                 ctx.send(reply);
             }
         }
@@ -660,7 +747,10 @@ mod tests {
         let a_ip = Ipv4::new(10, 0, 0, 1);
         let b_ip = Ipv4::new(10, 0, 0, 2);
         let a = sim.add_host(
-            Box::new(Kick { peer: b_ip, got: vec![] }),
+            Box::new(Kick {
+                peer: b_ip,
+                got: vec![],
+            }),
             HostCfg::new(a_ip, Mac(1)),
         );
         let b = sim.add_host(Box::new(Echo::default()), HostCfg::new(b_ip, Mac(2)));
@@ -721,7 +811,10 @@ mod tests {
         sim.run_until(Time::from_ms(10));
         // Every host->switch byte is flooded to the other host, so total
         // channel bytes = 2x host bytes sent (one uplink, one downlink).
-        let sent: u64 = [HostId(0), HostId(1)].iter().map(|&h| sim.host_stats(h).bytes_sent).sum();
+        let sent: u64 = [HostId(0), HostId(1)]
+            .iter()
+            .map(|&h| sim.host_stats(h).bytes_sent)
+            .sum();
         assert_eq!(sim.total_link_bytes(), 2 * sent);
     }
 
@@ -758,7 +851,10 @@ mod tests {
     #[test]
     fn timers_fire_in_order() {
         let mut sim = Simulation::new(1);
-        let h = sim.add_host(Box::new(Ticker::default()), HostCfg::new(Ipv4::new(1, 0, 0, 1), Mac(1)));
+        let h = sim.add_host(
+            Box::new(Ticker::default()),
+            HostCfg::new(Ipv4::new(1, 0, 0, 1), Mac(1)),
+        );
         let _ = h;
         sim.run_until(Time::from_ms(1));
         assert_eq!(sim.app::<Ticker>(h).fired, vec![1, 2]);
@@ -767,7 +863,10 @@ mod tests {
     #[test]
     fn crash_cancels_pending_timers() {
         let mut sim = Simulation::new(1);
-        let h = sim.add_host(Box::new(Ticker::default()), HostCfg::new(Ipv4::new(1, 0, 0, 1), Mac(1)));
+        let h = sim.add_host(
+            Box::new(Ticker::default()),
+            HostCfg::new(Ipv4::new(1, 0, 0, 1), Mac(1)),
+        );
         sim.schedule_crash(Time::from_us(15), h);
         sim.run_until(Time::from_ms(1));
         // token 1 fired at 10us; token 2 (20us) died with the crash.
@@ -800,7 +899,10 @@ mod tests {
         let mut sim = Simulation::new(7);
         let sw = sim.add_switch(Box::new(HubLogic), SwitchCfg::default());
         let b_ip = Ipv4::new(10, 0, 0, 2);
-        let a = sim.add_host(Box::new(Blast { peer: b_ip }), HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)));
+        let a = sim.add_host(
+            Box::new(Blast { peer: b_ip }),
+            HostCfg::new(Ipv4::new(10, 0, 0, 1), Mac(1)),
+        );
         let b = sim.add_host(Box::new(Record::default()), HostCfg::new(b_ip, Mac(2)));
         sim.connect(a, sw, ChannelCfg::gigabit());
         sim.connect(b, sw, ChannelCfg::gigabit());
@@ -812,6 +914,9 @@ mod tests {
         // Packets serialize on the 1G link 11.5us apart; rx cost ~1.9us, so
         // the gap equals the link serialization (the CPU is not the
         // bottleneck here), and both must have cleared the CPU.
-        assert!(gap >= cpu.rx_cost(1442).saturating_sub(Time::from_ns(1)), "{gap}");
+        assert!(
+            gap >= cpu.rx_cost(1442).saturating_sub(Time::from_ns(1)),
+            "{gap}"
+        );
     }
 }

@@ -75,7 +75,13 @@ pub struct SwitchView {
 /// is single-threaded by design.
 pub trait SwitchLogic {
     /// Decide what to do with `pkt`, which arrived on `in_port` at `now`.
-    fn handle(&mut self, view: SwitchView, in_port: Port, pkt: Packet, now: Time) -> Vec<SwitchAction>;
+    fn handle(
+        &mut self,
+        view: SwitchView,
+        in_port: Port,
+        pkt: Packet,
+        now: Time,
+    ) -> Vec<SwitchAction>;
 }
 
 /// A trivial logic that floods every packet — a dumb hub. Useful for
@@ -84,8 +90,17 @@ pub trait SwitchLogic {
 pub struct HubLogic;
 
 impl SwitchLogic for HubLogic {
-    fn handle(&mut self, _view: SwitchView, in_port: Port, pkt: Packet, _now: Time) -> Vec<SwitchAction> {
-        vec![SwitchAction::Flood { except: Some(in_port), pkt }]
+    fn handle(
+        &mut self,
+        _view: SwitchView,
+        in_port: Port,
+        pkt: Packet,
+        _now: Time,
+    ) -> Vec<SwitchAction> {
+        vec![SwitchAction::Flood {
+            except: Some(in_port),
+            pkt,
+        }]
     }
 }
 
@@ -110,13 +125,25 @@ impl StaticL2 {
 }
 
 impl SwitchLogic for StaticL2 {
-    fn handle(&mut self, _view: SwitchView, in_port: Port, pkt: Packet, _now: Time) -> Vec<SwitchAction> {
+    fn handle(
+        &mut self,
+        _view: SwitchView,
+        in_port: Port,
+        pkt: Packet,
+        _now: Time,
+    ) -> Vec<SwitchAction> {
         if pkt.dst_mac.is_broadcast() {
-            return vec![SwitchAction::Flood { except: Some(in_port), pkt }];
+            return vec![SwitchAction::Flood {
+                except: Some(in_port),
+                pkt,
+            }];
         }
         match self.entries.iter().find(|&&(m, _)| m == pkt.dst_mac) {
             Some(&(_, port)) => vec![SwitchAction::Forward { port, pkt }],
-            None => vec![SwitchAction::Flood { except: Some(in_port), pkt }],
+            None => vec![SwitchAction::Flood {
+                except: Some(in_port),
+                pkt,
+            }],
         }
     }
 }

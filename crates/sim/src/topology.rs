@@ -24,7 +24,13 @@ pub struct StarBuilder {
 impl StarBuilder {
     /// Create the switch with the given logic and per-host link config.
     /// Host IPs are allocated sequentially from `base_ip + 1`.
-    pub fn new(sim: &mut Simulation, logic: Box<dyn SwitchLogic>, sw_cfg: SwitchCfg, link: ChannelCfg, base_ip: Ipv4) -> StarBuilder {
+    pub fn new(
+        sim: &mut Simulation,
+        logic: Box<dyn SwitchLogic>,
+        sw_cfg: SwitchCfg,
+        link: ChannelCfg,
+        base_ip: Ipv4,
+    ) -> StarBuilder {
         let switch = sim.add_switch(logic, sw_cfg);
         StarBuilder {
             switch,
@@ -55,7 +61,12 @@ impl StarBuilder {
     }
 
     /// Add a host with an explicit config (custom CPU model or address).
-    pub fn add_with_cfg(&mut self, sim: &mut Simulation, app: Box<dyn App>, cfg: HostCfg) -> (HostId, Port) {
+    pub fn add_with_cfg(
+        &mut self,
+        sim: &mut Simulation,
+        app: Box<dyn App>,
+        cfg: HostCfg,
+    ) -> (HostId, Port) {
         self.next_host += 1;
         let host = sim.add_host(app, cfg);
         let port = sim.connect_asym(host, self.switch, self.link.host_uplink(), self.link);

@@ -1,13 +1,17 @@
-//! Property-based tests: for arbitrary message sizes and fan-outs, the
-//! reliable transports deliver every message exactly once, intact, to
-//! every required receiver — and the chunker conserves bytes.
+//! Randomized transport properties: for arbitrary message sizes and
+//! fan-outs, the reliable transports deliver every message exactly once,
+//! intact, to every required receiver — and the chunker conserves bytes.
+//!
+//! Cases are drawn from the in-tree seeded PRNG so the suite is fully
+//! deterministic and builds offline (no proptest dependency).
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable, GroupBucket, GroupId};
-use nice_sim::{App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Simulation, SwitchCfg, Time};
+use nice_sim::{
+    App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Rng, Simulation, SwitchCfg, Time, XorShiftRng,
+};
 
 use crate::{chunk_bytes, num_chunks, Msg, Transport, TransportEvent};
 
@@ -34,7 +38,9 @@ impl Node {
     fn handle(&mut self, evs: Vec<TransportEvent>) {
         for ev in evs {
             match ev {
-                TransportEvent::Delivered { from, msg, .. } => self.delivered.push((from.0, msg.size)),
+                TransportEvent::Delivered { from, msg, .. } => {
+                    self.delivered.push((from.0, msg.size));
+                }
                 TransportEvent::Sent { .. } => self.sent_done += 1,
                 TransportEvent::Failed { .. } => {}
             }
@@ -52,7 +58,8 @@ impl App for Node {
             }
         }
         if let Some((group, size, expected)) = self.mcast {
-            self.tp.mcast_send(ctx, group, PORT, Msg::new((), size), expected);
+            self.tp
+                .mcast_send(ctx, group, PORT, Msg::new((), size), expected);
         }
     }
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
@@ -68,14 +75,22 @@ impl App for Node {
 fn world(n_hosts: usize, group: &[usize]) -> (Simulation, Vec<nice_sim::HostId>, Vec<Ipv4>) {
     let mut sim = Simulation::new(1234);
     let table = Rc::new(RefCell::new(FlowTable::new()));
-    let sw = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), SwitchCfg::default());
+    let sw = sim.add_switch(
+        Box::new(FlowSwitch::new(Rc::clone(&table))),
+        SwitchCfg::default(),
+    );
     let mut hosts = Vec::new();
     let mut ips = Vec::new();
     for i in 0..n_hosts {
         let ip = Ipv4::new(10, 0, 0, 1 + i as u8);
         let mac = Mac(1 + i as u64);
         let h = sim.add_host(Box::new(Node::new()), HostCfg::new(ip, mac));
-        let port = sim.connect_asym(h, sw, ChannelCfg::gigabit().host_uplink(), ChannelCfg::gigabit());
+        let port = sim.connect_asym(
+            h,
+            sw,
+            ChannelCfg::gigabit().host_uplink(),
+            ChannelCfg::gigabit(),
+        );
         table.borrow_mut().install(
             FlowRule::new(
                 prio::PHYS,
@@ -92,7 +107,9 @@ fn world(n_hosts: usize, group: &[usize]) -> (Simulation, Vec<nice_sim::HostId>,
             .iter()
             .map(|&i| GroupBucket::rewrite_to(ips[i], Mac(1 + i as u64), nice_sim::Port(i as u16)))
             .collect();
-        table.borrow_mut().set_group(GroupId(1), buckets, Time::ZERO);
+        table
+            .borrow_mut()
+            .set_group(GroupId(1), buckets, Time::ZERO);
         table.borrow_mut().install(
             FlowRule::new(
                 prio::VRING,
@@ -105,27 +122,42 @@ fn world(n_hosts: usize, group: &[usize]) -> (Simulation, Vec<nice_sim::HostId>,
     (sim, hosts, ips)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Chunking conserves every byte for any size.
-    #[test]
-    fn chunker_conserves_bytes(size in 0u32..8_000_000) {
-        let total: u64 = (0..num_chunks(size)).map(|s| chunk_bytes(size, s) as u64).sum();
-        prop_assert_eq!(total, size as u64);
+/// Chunking conserves every byte for any size.
+#[test]
+fn chunker_conserves_bytes() {
+    let mut rng = XorShiftRng::seed_from_u64(0x7261_0001);
+    let mut sizes: Vec<u32> = (0..48).map(|_| rng.random_range(0u32..8_000_000)).collect();
+    sizes.extend([
+        0,
+        1,
+        nice_sim::MTU - 1,
+        nice_sim::MTU,
+        nice_sim::MTU + 1,
+        7_999_999,
+    ]);
+    for size in sizes {
+        let total: u64 = (0..num_chunks(size))
+            .map(|s| u64::from(chunk_bytes(size, s)))
+            .sum();
+        assert_eq!(total, u64::from(size));
         // every chunk except possibly the last is a full MTU
         let n = num_chunks(size);
         for s in 0..n.saturating_sub(1) {
-            prop_assert_eq!(chunk_bytes(size, s), nice_sim::MTU);
+            assert_eq!(chunk_bytes(size, s), nice_sim::MTU, "size {size} chunk {s}");
         }
     }
+}
 
-    /// Any batch of unicast messages (mixed rudp/tcp, arbitrary sizes) is
-    /// delivered exactly once each, with the right sizes.
-    #[test]
-    fn unicast_delivers_exactly_once(
-        sizes in prop::collection::vec((0u32..300_000, any::<bool>()), 1..6)
-    ) {
+/// Any batch of unicast messages (mixed rudp/tcp, arbitrary sizes) is
+/// delivered exactly once each, with the right sizes.
+#[test]
+fn unicast_delivers_exactly_once() {
+    for case in 0..24u64 {
+        let mut rng = XorShiftRng::seed_from_u64(0x7261_0002 ^ case);
+        let n = rng.random_range(1usize..6);
+        let sizes: Vec<(u32, bool)> = (0..n)
+            .map(|_| (rng.random_range(0u32..300_000), rng.next_u64() & 1 == 0))
+            .collect();
         let (mut sim, hosts, ips) = world(2, &[]);
         {
             let sender = sim.app_mut::<Node>(hosts[0]);
@@ -137,13 +169,22 @@ proptest! {
         let mut want: Vec<u32> = sizes.iter().map(|&(s, _)| s).collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(sim.app::<Node>(hosts[0]).sent_done, sizes.len());
+        assert_eq!(got, want, "case {case}");
+        assert_eq!(
+            sim.app::<Node>(hosts[0]).sent_done,
+            sizes.len(),
+            "case {case}"
+        );
     }
+}
 
-    /// Multicast delivers one copy to every group member, none elsewhere.
-    #[test]
-    fn multicast_delivers_to_all_members(size in 0u32..500_000, members in 1usize..4) {
+/// Multicast delivers one copy to every group member, none elsewhere.
+#[test]
+fn multicast_delivers_to_all_members() {
+    for case in 0..24u64 {
+        let mut rng = XorShiftRng::seed_from_u64(0x7261_0003 ^ case);
+        let size = rng.random_range(0u32..500_000);
+        let members = rng.random_range(1usize..4);
         let group: Vec<usize> = (1..=members).collect();
         let (mut sim, hosts, _ips) = world(5, &group);
         {
@@ -153,11 +194,11 @@ proptest! {
         sim.run_until(Time::from_secs(5));
         for &m in &group {
             let n = sim.app::<Node>(hosts[m]);
-            prop_assert_eq!(n.delivered.len(), 1, "member {} deliveries", m);
-            prop_assert_eq!(n.delivered[0].1, size);
+            assert_eq!(n.delivered.len(), 1, "member {m} deliveries (case {case})");
+            assert_eq!(n.delivered[0].1, size);
         }
         // the non-member host saw nothing
-        prop_assert_eq!(sim.app::<Node>(hosts[4]).delivered.len(), 0);
-        prop_assert_eq!(sim.app::<Node>(hosts[0]).sent_done, 1);
+        assert_eq!(sim.app::<Node>(hosts[4]).delivered.len(), 0, "case {case}");
+        assert_eq!(sim.app::<Node>(hosts[0]).sent_done, 1, "case {case}");
     }
 }

@@ -13,7 +13,7 @@
 //! The same state machines carry unicast reliable UDP (`expected = 1`),
 //! switch-multicast UDP, and the data phase of the TCP-like streams.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nice_sim::{Ctx, Ipv4, Packet, Proto, Time, HDR_TCP, HDR_UDP, MTU};
@@ -75,9 +75,10 @@ pub fn chunk_bytes(size: u32, seq: u32) -> u32 {
 
 fn wire(proto: Proto, payload_bytes: u32) -> u32 {
     match proto {
-        Proto::Udp => HDR_UDP + payload_bytes,
+        // rudp frames are only ever UDP or TCP; ARP falls back to the
+        // UDP framing rather than panicking in the datapath.
+        Proto::Udp | Proto::Arp => HDR_UDP + payload_bytes,
         Proto::Tcp => HDR_TCP + payload_bytes,
-        Proto::Arp => unreachable!("rudp never carries ARP"),
     }
 }
 
@@ -103,7 +104,7 @@ pub struct SendState {
     /// Total receivers expected to exist (window pacing waits for the
     /// slowest of the top-k among these).
     expected: usize,
-    cums: HashMap<Ipv4, u32>,
+    cums: BTreeMap<Ipv4, u32>,
     completed: Vec<Ipv4>,
     next: u32,
     done: bool,
@@ -153,7 +154,7 @@ impl SendState {
             total,
             quorum,
             expected,
-            cums: HashMap::new(),
+            cums: BTreeMap::new(),
             completed: Vec::new(),
             next: 0,
             done: false,
@@ -178,8 +179,24 @@ impl SendState {
             retx,
         });
         let mut pkt = match self.proto {
-            Proto::Tcp => Packet::tcp(ctx.ip(), ctx.mac(), dst, src_port, self.dst_port, body, payload),
-            _ => Packet::udp(ctx.ip(), ctx.mac(), dst, src_port, self.dst_port, body, payload),
+            Proto::Tcp => Packet::tcp(
+                ctx.ip(),
+                ctx.mac(),
+                dst,
+                src_port,
+                self.dst_port,
+                body,
+                payload,
+            ),
+            _ => Packet::udp(
+                ctx.ip(),
+                ctx.mac(),
+                dst,
+                src_port,
+                self.dst_port,
+                body,
+                payload,
+            ),
         };
         pkt.wire_size = wire(self.proto, body);
         pkt
@@ -203,7 +220,10 @@ impl SendState {
 
     /// Transmit as many new chunks as the window allows.
     fn pump(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16) {
-        let limit = self.window_base().saturating_add(cfg.window).min(self.total);
+        let limit = self
+            .window_base()
+            .saturating_add(cfg.window)
+            .min(self.total);
         while self.next < limit {
             let pkt = self.chunk_packet(self.next, src_port, self.dst, ctx, false);
             ctx.send(pkt);
@@ -212,7 +232,14 @@ impl SendState {
     }
 
     /// Handle a cumulative ack from `from`.
-    pub fn on_ack(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16, from: Ipv4, cum: u32) -> SendOutcome {
+    pub fn on_ack(
+        &mut self,
+        cfg: &RudpCfg,
+        ctx: &mut Ctx,
+        src_port: u16,
+        from: Ipv4,
+        cum: u32,
+    ) -> SendOutcome {
         let e = self.cums.entry(from).or_insert(0);
         if cum > *e {
             *e = cum;
@@ -326,7 +353,11 @@ impl RecvState {
             total,
             msg_size,
             data,
-            carrier: if proto == Proto::Tcp { Carrier::Tcp } else { Carrier::ReliableUdp },
+            carrier: if proto == Proto::Tcp {
+                Carrier::Tcp
+            } else {
+                Carrier::ReliableUdp
+            },
             dst_ip,
             proto,
             bitmap: vec![0; total.div_ceil(64) as usize],
@@ -347,7 +378,9 @@ impl RecvState {
         }
         self.bitmap[w] |= bit;
         self.have += 1;
-        while self.cum < self.total && self.bitmap[(self.cum / 64) as usize] & (1 << (self.cum % 64)) != 0 {
+        while self.cum < self.total
+            && self.bitmap[(self.cum / 64) as usize] & (1 << (self.cum % 64)) != 0
+        {
             self.cum += 1;
         }
         true
@@ -369,8 +402,24 @@ impl RecvState {
             complete: self.complete(),
         });
         let mut pkt = match self.proto {
-            Proto::Tcp => Packet::tcp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
-            _ => Packet::udp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
+            Proto::Tcp => Packet::tcp(
+                ctx.ip(),
+                ctx.mac(),
+                self.sender,
+                my_port,
+                self.sender_port,
+                CTRL_BYTES,
+                payload,
+            ),
+            _ => Packet::udp(
+                ctx.ip(),
+                ctx.mac(),
+                self.sender,
+                my_port,
+                self.sender_port,
+                CTRL_BYTES,
+                payload,
+            ),
         };
         pkt.wire_size = wire(self.proto, CTRL_BYTES);
         ctx.send(pkt);
@@ -378,7 +427,13 @@ impl RecvState {
 
     /// Handle one data chunk; returns a `Delivered` event on completion of
     /// an undelivered message.
-    pub fn on_chunk(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, my_port: u16, seq: u32) -> Option<TransportEvent> {
+    pub fn on_chunk(
+        &mut self,
+        cfg: &RudpCfg,
+        ctx: &mut Ctx,
+        my_port: u16,
+        seq: u32,
+    ) -> Option<TransportEvent> {
         self.max_seen = self.max_seen.max(seq);
         self.mark(seq);
         self.nack_left = cfg.nack_ticks;
@@ -444,10 +499,24 @@ impl RecvState {
                     missing,
                 });
                 let mut pkt = match self.proto {
-                    Proto::Tcp => {
-                        Packet::tcp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload)
-                    }
-                    _ => Packet::udp(ctx.ip(), ctx.mac(), self.sender, my_port, self.sender_port, CTRL_BYTES, payload),
+                    Proto::Tcp => Packet::tcp(
+                        ctx.ip(),
+                        ctx.mac(),
+                        self.sender,
+                        my_port,
+                        self.sender_port,
+                        CTRL_BYTES,
+                        payload,
+                    ),
+                    _ => Packet::udp(
+                        ctx.ip(),
+                        ctx.mac(),
+                        self.sender,
+                        my_port,
+                        self.sender_port,
+                        CTRL_BYTES,
+                        payload,
+                    ),
                 };
                 pkt.wire_size = wire(self.proto, CTRL_BYTES);
                 ctx.send(pkt);

@@ -2,18 +2,38 @@
 
 use crate::*;
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable, GroupBucket, GroupId};
-use nice_sim::{App, ChannelCfg, Ctx, HostCfg, HostId, Ipv4, Mac, Packet, Simulation, SwitchCfg, Time};
+use nice_sim::{
+    App, ChannelCfg, Ctx, HostCfg, HostId, Ipv4, Mac, Packet, Simulation, SwitchCfg, Time,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// What a test app should send on start.
 #[derive(Clone)]
 enum Plan {
-    Udp { dst: Ipv4, size: u32 },
-    Rudp { dst: Ipv4, size: u32 },
-    Tcp { dst: Ipv4, size: u32 },
-    Mcast { group: Ipv4, size: u32, expected: usize },
-    AnyK { group: Ipv4, size: u32, expected: usize, k: usize },
+    Udp {
+        dst: Ipv4,
+        size: u32,
+    },
+    Rudp {
+        dst: Ipv4,
+        size: u32,
+    },
+    Tcp {
+        dst: Ipv4,
+        size: u32,
+    },
+    Mcast {
+        group: Ipv4,
+        size: u32,
+        expected: usize,
+    },
+    AnyK {
+        group: Ipv4,
+        size: u32,
+        expected: usize,
+        k: usize,
+    },
 }
 
 const PORT: u16 = 9000;
@@ -40,7 +60,9 @@ impl TestApp {
     fn handle(&mut self, evs: Vec<TransportEvent>, ctx: &mut Ctx) {
         for ev in evs {
             match ev {
-                TransportEvent::Delivered { from, carrier, msg, .. } => {
+                TransportEvent::Delivered {
+                    from, carrier, msg, ..
+                } => {
                     self.delivered.push((from.0, msg.size, carrier, ctx.now()));
                 }
                 TransportEvent::Sent { token, acked_by } => {
@@ -63,11 +85,22 @@ impl App for TestApp {
                 Plan::Tcp { dst, size } => {
                     self.tp.tcp_send(ctx, dst, PORT, Msg::new(0u64, size));
                 }
-                Plan::Mcast { group, size, expected } => {
-                    self.tp.mcast_send(ctx, group, PORT, Msg::new(0u64, size), expected);
+                Plan::Mcast {
+                    group,
+                    size,
+                    expected,
+                } => {
+                    self.tp
+                        .mcast_send(ctx, group, PORT, Msg::new(0u64, size), expected);
                 }
-                Plan::AnyK { group, size, expected, k } => {
-                    self.tp.anyk_send(ctx, group, PORT, Msg::new(0u64, size), expected, k);
+                Plan::AnyK {
+                    group,
+                    size,
+                    expected,
+                    k,
+                } => {
+                    self.tp
+                        .anyk_send(ctx, group, PORT, Msg::new(0u64, size), expected, k);
                 }
             }
         }
@@ -99,7 +132,10 @@ const GROUP_ADDR: Ipv4 = Ipv4::new(10, 11, 0, 1);
 fn build(plans: Vec<Vec<Plan>>, group_members: &[usize], link_overrides: &[(usize, u64)]) -> World {
     let mut sim = Simulation::new(99);
     let table = Rc::new(RefCell::new(FlowTable::new()));
-    let sw = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), SwitchCfg::default());
+    let sw = sim.add_switch(
+        Box::new(FlowSwitch::new(Rc::clone(&table))),
+        SwitchCfg::default(),
+    );
     let mut hosts = vec![];
     let mut ips = vec![];
     for (i, plan) in plans.into_iter().enumerate() {
@@ -109,8 +145,7 @@ fn build(plans: Vec<Vec<Plan>>, group_members: &[usize], link_overrides: &[(usiz
         let rate = link_overrides
             .iter()
             .find(|&&(idx, _)| idx == i)
-            .map(|&(_, bps)| bps)
-            .unwrap_or(1_000_000_000);
+            .map_or(1_000_000_000, |&(_, bps)| bps);
         let cfg = ChannelCfg::with_rate(rate);
         let port = sim.connect_asym(h, sw, cfg.host_uplink(), cfg);
         table.borrow_mut().install(
@@ -132,17 +167,32 @@ fn build(plans: Vec<Vec<Plan>>, group_members: &[usize], link_overrides: &[(usiz
         let g = GroupId(1);
         table.borrow_mut().set_group(g, buckets, Time::ZERO);
         table.borrow_mut().install(
-            FlowRule::new(prio::VRING, FlowMatch::any().dst_ip(GROUP_ADDR), vec![Action::Group(g)]),
+            FlowRule::new(
+                prio::VRING,
+                FlowMatch::any().dst_ip(GROUP_ADDR),
+                vec![Action::Group(g)],
+            ),
             Time::ZERO,
         );
     }
-    World { sim, hosts, ips, table }
+    World {
+        sim,
+        hosts,
+        ips,
+        table,
+    }
 }
 
 #[test]
 fn udp_datagram_delivery() {
     let mut w = build(
-        vec![vec![Plan::Udp { dst: Ipv4::new(10, 0, 0, 2), size: 100 }], vec![]],
+        vec![
+            vec![Plan::Udp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size: 100,
+            }],
+            vec![],
+        ],
         &[],
         &[],
     );
@@ -156,7 +206,13 @@ fn udp_datagram_delivery() {
 #[test]
 fn rudp_small_message_roundtrip() {
     let mut w = build(
-        vec![vec![Plan::Rudp { dst: Ipv4::new(10, 0, 0, 2), size: 500 }], vec![]],
+        vec![
+            vec![Plan::Rudp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size: 500,
+            }],
+            vec![],
+        ],
         &[],
         &[],
     );
@@ -173,7 +229,13 @@ fn rudp_small_message_roundtrip() {
 fn rudp_one_megabyte_at_line_rate() {
     let size = 1 << 20;
     let mut w = build(
-        vec![vec![Plan::Rudp { dst: Ipv4::new(10, 0, 0, 2), size }], vec![]],
+        vec![
+            vec![Plan::Rudp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size,
+            }],
+            vec![],
+        ],
         &[],
         &[],
     );
@@ -192,8 +254,14 @@ fn tcp_handshake_then_data() {
     let mut w = build(
         vec![
             vec![
-                Plan::Tcp { dst: Ipv4::new(10, 0, 0, 2), size: 2000 },
-                Plan::Tcp { dst: Ipv4::new(10, 0, 0, 2), size: 3000 },
+                Plan::Tcp {
+                    dst: Ipv4::new(10, 0, 0, 2),
+                    size: 2000,
+                },
+                Plan::Tcp {
+                    dst: Ipv4::new(10, 0, 0, 2),
+                    size: 3000,
+                },
             ],
             vec![],
         ],
@@ -213,7 +281,13 @@ fn tcp_handshake_then_data() {
 #[test]
 fn tcp_to_dead_host_fails() {
     let mut w = build(
-        vec![vec![Plan::Tcp { dst: Ipv4::new(10, 0, 0, 2), size: 100 }], vec![]],
+        vec![
+            vec![Plan::Tcp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size: 100,
+            }],
+            vec![],
+        ],
         &[],
         &[],
     );
@@ -230,7 +304,11 @@ fn multicast_replicates_once_per_link() {
     let size = 1 << 20;
     let mut w = build(
         vec![
-            vec![Plan::Mcast { group: GROUP_ADDR, size, expected: 3 }],
+            vec![Plan::Mcast {
+                group: GROUP_ADDR,
+                size,
+                expected: 3,
+            }],
             vec![],
             vec![],
             vec![],
@@ -252,7 +330,10 @@ fn multicast_replicates_once_per_link() {
     // sender sent ~1x the wire bytes, not 3x.
     let sent = w.sim.host_stats(w.hosts[0]).bytes_sent;
     let one_copy = Transport::wire_bytes(size, false);
-    assert!(sent < one_copy + one_copy / 4, "sender sent {sent}, expected ~{one_copy}");
+    assert!(
+        sent < one_copy + one_copy / 4,
+        "sender sent {sent}, expected ~{one_copy}"
+    );
 }
 
 #[test]
@@ -261,7 +342,12 @@ fn anyk_completes_at_kth_receiver_and_serves_stragglers() {
     // receiver 3 is throttled to 50 Mbps (the Fig. 8 setup).
     let mut w = build(
         vec![
-            vec![Plan::AnyK { group: GROUP_ADDR, size, expected: 3, k: 2 }],
+            vec![Plan::AnyK {
+                group: GROUP_ADDR,
+                size,
+                expected: 3,
+                k: 2,
+            }],
             vec![],
             vec![],
             vec![],
@@ -275,7 +361,10 @@ fn anyk_completes_at_kth_receiver_and_serves_stragglers() {
     let done_at = a.sent[0].2;
     // k=2 fast receivers finish near line rate; must NOT wait for the
     // 50 Mbps straggler (which alone needs ~170 ms).
-    assert!(done_at < Time::from_ms(40), "any-k waited for the straggler: {done_at}");
+    assert!(
+        done_at < Time::from_ms(40),
+        "any-k waited for the straggler: {done_at}"
+    );
     assert_eq!(a.sent[0].1.len(), 2);
     // the straggler is still served to completion afterwards
     let slow = w.sim.app::<TestApp>(w.hosts[3]);
@@ -290,7 +379,10 @@ fn drops_are_repaired_by_nacks() {
     let size = 512 * 1024;
     let mut sim = Simulation::new(7);
     let table = Rc::new(RefCell::new(FlowTable::new()));
-    let sw = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), SwitchCfg::default());
+    let sw = sim.add_switch(
+        Box::new(FlowSwitch::new(Rc::clone(&table))),
+        SwitchCfg::default(),
+    );
     let add = |sim: &mut Simulation, i: usize, plan: Vec<Plan>, down_q: u64| {
         let ip = Ipv4::new(10, 0, 0, 1 + i as u8);
         let mac = Mac(1 + i as u64);
@@ -308,13 +400,24 @@ fn drops_are_repaired_by_nacks() {
         );
         (h, ip)
     };
-    let (a, _) = add(&mut sim, 0, vec![Plan::Rudp { dst: Ipv4::new(10, 0, 0, 2), size }], 1 << 20);
+    let (a, _) = add(
+        &mut sim,
+        0,
+        vec![Plan::Rudp {
+            dst: Ipv4::new(10, 0, 0, 2),
+            size,
+        }],
+        1 << 20,
+    );
     // Receiver drains at 100 Mbps behind a 16 KiB egress queue: the
     // initial 64-chunk burst (~92 KiB) overflows it.
     let (b, _) = add(&mut sim, 1, vec![], 16 * 1024);
     sim.schedule_link_rate(Time::ZERO, b, 100_000_000);
     sim.run_until(Time::from_secs(2));
-    assert!(sim.total_link_drops() > 0, "test should actually drop packets");
+    assert!(
+        sim.total_link_drops() > 0,
+        "test should actually drop packets"
+    );
     let recv = sim.app::<TestApp>(b);
     assert_eq!(recv.delivered.len(), 1, "delivered despite drops");
     let send = sim.app::<TestApp>(a);
@@ -328,8 +431,14 @@ fn simultaneous_open_flushes_both_sides() {
     // SynSent. Both messages must still be delivered (simultaneous open).
     let mut w = build(
         vec![
-            vec![Plan::Tcp { dst: Ipv4::new(10, 0, 0, 2), size: 700 }],
-            vec![Plan::Tcp { dst: Ipv4::new(10, 0, 0, 1), size: 900 }],
+            vec![Plan::Tcp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size: 700,
+            }],
+            vec![Plan::Tcp {
+                dst: Ipv4::new(10, 0, 0, 1),
+                size: 900,
+            }],
         ],
         &[],
         &[],
@@ -348,7 +457,13 @@ fn simultaneous_open_flushes_both_sides() {
 #[test]
 fn zero_byte_message_works() {
     let mut w = build(
-        vec![vec![Plan::Rudp { dst: Ipv4::new(10, 0, 0, 2), size: 0 }], vec![]],
+        vec![
+            vec![Plan::Rudp {
+                dst: Ipv4::new(10, 0, 0, 2),
+                size: 0,
+            }],
+            vec![],
+        ],
         &[],
         &[],
     );
@@ -366,8 +481,14 @@ fn concurrent_transfers_share_fairly() {
     let mut w = build(
         vec![
             vec![
-                Plan::Rudp { dst: Ipv4::new(10, 0, 0, 2), size },
-                Plan::Rudp { dst: Ipv4::new(10, 0, 0, 3), size },
+                Plan::Rudp {
+                    dst: Ipv4::new(10, 0, 0, 2),
+                    size,
+                },
+                Plan::Rudp {
+                    dst: Ipv4::new(10, 0, 0, 3),
+                    size,
+                },
             ],
             vec![],
             vec![],
@@ -380,7 +501,10 @@ fn concurrent_transfers_share_fairly() {
         let r = w.sim.app::<TestApp>(w.hosts[i]);
         assert_eq!(r.delivered.len(), 1, "receiver {i}");
         let t = r.delivered[0].3;
-        assert!(t > Time::from_ms(14) && t < Time::from_ms(30), "receiver {i} at {t}");
+        assert!(
+            t > Time::from_ms(14) && t < Time::from_ms(30),
+            "receiver {i} at {t}"
+        );
     }
 }
 
@@ -391,7 +515,11 @@ fn group_version_bump_mid_transfer_is_invisible() {
     let size = 1 << 20;
     let mut w = build(
         vec![
-            vec![Plan::Mcast { group: GROUP_ADDR, size, expected: 2 }],
+            vec![Plan::Mcast {
+                group: GROUP_ADDR,
+                size,
+                expected: 2,
+            }],
             vec![],
             vec![],
         ],
@@ -402,7 +530,9 @@ fn group_version_bump_mid_transfer_is_invisible() {
         GroupBucket::rewrite_to(w.ips[1], Mac(2), nice_sim::Port(1)),
         GroupBucket::rewrite_to(w.ips[2], Mac(3), nice_sim::Port(2)),
     ];
-    w.table.borrow_mut().set_group(GroupId(1), buckets, Time::from_ms(2));
+    w.table
+        .borrow_mut()
+        .set_group(GroupId(1), buckets, Time::from_ms(2));
     w.sim.run_until(Time::from_ms(100));
     for i in [1, 2] {
         assert_eq!(w.sim.app::<TestApp>(w.hosts[i]).delivered.len(), 1);

@@ -13,7 +13,7 @@
 //! * TCP-like streams with connection handshakes and caching
 //!   ([`Transport::tcp_send`]) — replies and inter-node traffic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nice_sim::{Ctx, Ipv4, Packet, Proto, HDR_TCP, HDR_UDP, MTU};
@@ -51,9 +51,9 @@ pub struct Transport {
     cfg: RudpCfg,
     port: u16,
     next_msg_id: u64,
-    senders: HashMap<u64, SendState>,
-    recvs: HashMap<(Ipv4, u64), RecvState>,
-    conns: HashMap<Ipv4, Conn>,
+    senders: BTreeMap<u64, SendState>,
+    recvs: BTreeMap<(Ipv4, u64), RecvState>,
+    conns: BTreeMap<Ipv4, Conn>,
     tick_armed: bool,
     /// Round-robin cursor for NACK pacing across reassembly states.
     nack_rr: u64,
@@ -71,9 +71,9 @@ impl Transport {
             cfg,
             port,
             next_msg_id: 1,
-            senders: HashMap::new(),
-            recvs: HashMap::new(),
-            conns: HashMap::new(),
+            senders: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            conns: BTreeMap::new(),
             tick_armed: false,
             nack_rr: 0,
         }
@@ -127,7 +127,14 @@ impl Transport {
 
     /// Reliable multicast: complete when **all** `expected` receivers hold
     /// the message.
-    pub fn mcast_send(&mut self, ctx: &mut Ctx, group: Ipv4, dst_port: u16, msg: Msg, expected: usize) -> MsgToken {
+    pub fn mcast_send(
+        &mut self,
+        ctx: &mut Ctx,
+        group: Ipv4,
+        dst_port: u16,
+        msg: Msg,
+        expected: usize,
+    ) -> MsgToken {
         self.start_send(ctx, group, dst_port, Proto::Udp, msg, expected, expected)
     }
 
@@ -155,18 +162,36 @@ impl Transport {
             Some(Conn::Established) => {
                 let id = token.0;
                 let s = SendState::start(
-                    &self.cfg, ctx, id, token, dst, dst_port, self.port, Proto::Tcp, msg, 1, 1,
+                    &self.cfg,
+                    ctx,
+                    id,
+                    token,
+                    dst,
+                    dst_port,
+                    self.port,
+                    Proto::Tcp,
+                    msg,
+                    1,
+                    1,
                 );
                 self.senders.insert(id, s);
             }
             Some(Conn::SynSent { pending, .. }) => {
-                pending.push(Pending { token, msg, dst_port });
+                pending.push(Pending {
+                    token,
+                    msg,
+                    dst_port,
+                });
             }
             None => {
                 self.conns.insert(
                     dst,
                     Conn::SynSent {
-                        pending: vec![Pending { token, msg, dst_port }],
+                        pending: vec![Pending {
+                            token,
+                            msg,
+                            dst_port,
+                        }],
                         retry_left: SYN_RETRY_TICKS,
                         tries: 1,
                     },
@@ -191,13 +216,23 @@ impl Transport {
         self.arm(ctx);
         let id = self.next_id();
         let token = MsgToken(id);
-        let s = SendState::start(&self.cfg, ctx, id, token, dst, dst_port, self.port, proto, msg, expected, quorum);
+        let s = SendState::start(
+            &self.cfg, ctx, id, token, dst, dst_port, self.port, proto, msg, expected, quorum,
+        );
         self.senders.insert(id, s);
         token
     }
 
     fn send_ctl(&self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, payload: TpPayload) {
-        let mut pkt = Packet::tcp(ctx.ip(), ctx.mac(), dst, self.port, dst_port, 0, Rc::new(payload));
+        let mut pkt = Packet::tcp(
+            ctx.ip(),
+            ctx.mac(),
+            dst,
+            self.port,
+            dst_port,
+            0,
+            Rc::new(payload),
+        );
         pkt.wire_size = HDR_TCP;
         ctx.send(pkt);
     }
@@ -256,7 +291,11 @@ impl Transport {
                     events.push(ev);
                 }
             }
-            TpPayload::Ack { msg_id, cum, complete: _ } => {
+            TpPayload::Ack {
+                msg_id,
+                cum,
+                complete: _,
+            } => {
                 if let Some(s) = self.senders.get_mut(msg_id) {
                     match s.on_ack(&self.cfg, ctx, self.port, pkt.src, *cum) {
                         SendOutcome::Sent(acked_by) => {
@@ -266,8 +305,10 @@ impl Transport {
                             }
                             events.push(TransportEvent::Sent { token, acked_by });
                         }
-                        SendOutcome::Failed => unreachable!("acks cannot fail a send"),
-                        SendOutcome::Quiet => {
+                        // Failed is unreachable for acks (an ack never
+                        // expands the send window); treat it like Quiet
+                        // to keep the datapath panic-free.
+                        SendOutcome::Failed | SendOutcome::Quiet => {
                             if s.fully_acked() {
                                 self.senders.remove(msg_id);
                             }
@@ -347,7 +388,10 @@ impl Transport {
         for (&id, s) in self.senders.iter_mut() {
             let (outcome, drop) = s.on_tick(&self.cfg, ctx, self.port);
             match outcome {
-                SendOutcome::Sent(acked_by) => events.push(TransportEvent::Sent { token: s.token, acked_by }),
+                SendOutcome::Sent(acked_by) => events.push(TransportEvent::Sent {
+                    token: s.token,
+                    acked_by,
+                }),
                 SendOutcome::Failed => events.push(TransportEvent::Failed { token: s.token }),
                 SendOutcome::Quiet => {}
             }
@@ -390,7 +434,12 @@ impl Transport {
         // Handshake retries.
         let mut failed_conns = Vec::new();
         for (&dst, conn) in self.conns.iter_mut() {
-            if let Conn::SynSent { pending, retry_left, tries } = conn {
+            if let Conn::SynSent {
+                pending,
+                retry_left,
+                tries,
+            } = conn
+            {
                 *retry_left = retry_left.saturating_sub(1);
                 if *retry_left == 0 {
                     if *tries >= SYN_MAX_TRIES {
@@ -402,8 +451,15 @@ impl Transport {
                         *tries += 1;
                         *retry_left = SYN_RETRY_TICKS;
                         let dst_port = pending.first().map_or(self.port, |p| p.dst_port);
-                        let mut pkt =
-                            Packet::tcp(ctx.ip(), ctx.mac(), dst, self.port, dst_port, 0, Rc::new(TpPayload::Syn));
+                        let mut pkt = Packet::tcp(
+                            ctx.ip(),
+                            ctx.mac(),
+                            dst,
+                            self.port,
+                            dst_port,
+                            0,
+                            Rc::new(TpPayload::Syn),
+                        );
                         pkt.wire_size = HDR_TCP;
                         ctx.send(pkt);
                     }
@@ -414,7 +470,12 @@ impl Transport {
             self.conns.remove(&d);
         }
 
-        if !self.senders.is_empty() || !self.recvs.is_empty() || self.conns.values().any(|c| matches!(c, Conn::SynSent { .. }))
+        if !self.senders.is_empty()
+            || !self.recvs.is_empty()
+            || self
+                .conns
+                .values()
+                .any(|c| matches!(c, Conn::SynSent { .. }))
         {
             self.tick_armed = true;
             ctx.set_timer(self.cfg.tick, TRANSPORT_TICK);

@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 
 pub mod ops;
+pub mod rng;
 pub mod ycsb;
 pub mod zipf;
 
 pub use ops::{FixedMix, Op, OpKind};
+pub use rng::{Rng, XorShiftRng};
 pub use ycsb::{KeyDist, Workload, WorkloadRun};
 pub use zipf::Zipf;

@@ -37,8 +37,8 @@ pub struct FixedMix {
 
 impl FixedMix {
     /// Draw the next op.
-    pub fn next_op<R: rand::RngExt + ?Sized>(&self, rng: &mut R) -> Op {
-        let put = rng.random::<f64>() < self.put_ratio;
+    pub fn next_op<R: crate::rng::Rng>(&self, rng: &mut R) -> Op {
+        let put = rng.random_f64() < self.put_ratio;
         let k = rng.random_range(0..self.keys);
         Op {
             kind: if put { OpKind::Put } else { OpKind::Get },
@@ -51,21 +51,32 @@ impl FixedMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShiftRng;
 
     #[test]
     fn fixed_mix_ratio_holds() {
-        let g = FixedMix { put_ratio: 0.2, keys: 10, object_size: 1024, prefix: "k" };
-        let mut rng = StdRng::seed_from_u64(1);
-        let puts = (0..10_000).filter(|_| g.next_op(&mut rng).kind == OpKind::Put).count();
+        let g = FixedMix {
+            put_ratio: 0.2,
+            keys: 10,
+            object_size: 1024,
+            prefix: "k",
+        };
+        let mut rng = XorShiftRng::seed_from_u64(1);
+        let puts = (0..10_000)
+            .filter(|_| g.next_op(&mut rng).kind == OpKind::Put)
+            .count();
         assert!(puts > 1700 && puts < 2300, "puts={puts}");
     }
 
     #[test]
     fn fixed_mix_keys_in_range() {
-        let g = FixedMix { put_ratio: 0.5, keys: 3, object_size: 8, prefix: "x" };
-        let mut rng = StdRng::seed_from_u64(2);
+        let g = FixedMix {
+            put_ratio: 0.5,
+            keys: 3,
+            object_size: 8,
+            prefix: "x",
+        };
+        let mut rng = XorShiftRng::seed_from_u64(2);
         for _ in 0..100 {
             let op = g.next_op(&mut rng);
             assert!(["x0", "x1", "x2"].contains(&op.key.as_str()));

@@ -4,7 +4,7 @@
 //! distribution. … We use the default YCSB configuration with 1KB
 //! objects."
 
-use rand::RngExt;
+use crate::rng::Rng;
 
 use crate::ops::{Op, OpKind};
 use crate::zipf::Zipf;
@@ -171,9 +171,11 @@ impl WorkloadRun {
         &self.wl
     }
 
-    fn pick_key<R: RngExt + ?Sized>(&self, rng: &mut R) -> String {
+    fn pick_key<R: Rng>(&self, rng: &mut R) -> String {
         match self.wl.dist {
-            KeyDist::Zipfian => self.wl.key(self.zipf.as_ref().expect("zipfian sampler").sample(rng)),
+            KeyDist::Zipfian => self
+                .wl
+                .key(self.zipf.as_ref().expect("zipfian sampler").sample(rng)),
             KeyDist::Uniform => self.wl.key(rng.random_range(0..self.inserted)),
             KeyDist::Latest => self.wl.key(self.inserted.saturating_sub(1)),
         }
@@ -182,8 +184,8 @@ impl WorkloadRun {
     /// Draw the next operation(s). A read-modify-write yields a get
     /// followed by a put of the same key, which is why this returns one
     /// or two ops.
-    pub fn next_ops<R: RngExt + ?Sized>(&mut self, rng: &mut R) -> Vec<Op> {
-        let x: f64 = rng.random();
+    pub fn next_ops<R: Rng>(&mut self, rng: &mut R) -> Vec<Op> {
+        let x = rng.random_f64();
         let w = &self.wl;
         if x < w.read {
             vec![Op {
@@ -227,12 +229,11 @@ impl WorkloadRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShiftRng;
 
     fn mix(wl: Workload, n: usize) -> (usize, usize) {
         let mut run = WorkloadRun::new(wl);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = XorShiftRng::seed_from_u64(5);
         let mut gets = 0;
         let mut puts = 0;
         for _ in 0..n {
@@ -267,14 +268,17 @@ mod tests {
     #[test]
     fn a_is_half_updates() {
         let (gets, puts) = mix(Workload::a(100), 10_000);
-        assert!((gets as i64 - puts as i64).unsigned_abs() < 600, "gets={gets} puts={puts}");
+        assert!(
+            (gets as i64 - puts as i64).unsigned_abs() < 600,
+            "gets={gets} puts={puts}"
+        );
     }
 
     #[test]
     fn d_inserts_extend_keyspace() {
         let wl = Workload::d(10);
         let mut run = WorkloadRun::new(wl);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = XorShiftRng::seed_from_u64(6);
         let mut newest = vec![];
         for _ in 0..2000 {
             for op in run.next_ops(&mut rng) {
@@ -300,7 +304,7 @@ mod tests {
     #[test]
     fn rmw_ops_target_same_key() {
         let mut run = WorkloadRun::new(Workload::f(50));
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = XorShiftRng::seed_from_u64(7);
         for _ in 0..1000 {
             let ops = run.next_ops(&mut rng);
             if ops.len() == 2 {

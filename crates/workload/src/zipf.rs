@@ -5,7 +5,7 @@
 //! YCSB's default `theta = 0.99` is what the paper's §6.7 workloads use
 //! ("these two have a zipf popularity distribution").
 
-use rand::RngExt;
+use crate::rng::Rng;
 
 /// Zipfian sampler over `0..n`.
 #[derive(Debug, Clone)]
@@ -56,8 +56,8 @@ impl Zipf {
     }
 
     /// Draw a rank in `0..n` (0 is the most popular item).
-    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.random();
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u = rng.random_f64();
         let uz = u * self.zeta_n;
         if uz < 1.0 {
             return 0;
@@ -83,13 +83,12 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::XorShiftRng;
 
     #[test]
     fn samples_in_range() {
         let z = Zipf::ycsb(1000);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShiftRng::seed_from_u64(1);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 1000);
         }
@@ -98,7 +97,7 @@ mod tests {
     #[test]
     fn head_is_heavier_than_tail() {
         let z = Zipf::ycsb(1000);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = XorShiftRng::seed_from_u64(2);
         let mut head = 0u32;
         let mut tail = 0u32;
         let trials = 100_000;
@@ -120,7 +119,7 @@ mod tests {
     #[test]
     fn frequency_matches_theory_for_rank0() {
         let z = Zipf::ycsb(100);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = XorShiftRng::seed_from_u64(3);
         let trials = 200_000;
         let hits = (0..trials).filter(|_| z.sample(&mut rng) == 0).count();
         let p = hits as f64 / trials as f64;
@@ -131,7 +130,7 @@ mod tests {
     #[test]
     fn single_item_always_zero() {
         let z = Zipf::new(1, 0.99);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = XorShiftRng::seed_from_u64(4);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
         }
@@ -141,11 +140,11 @@ mod tests {
     fn deterministic_given_seed() {
         let z = Zipf::ycsb(500);
         let a: Vec<u64> = {
-            let mut rng = StdRng::seed_from_u64(9);
+            let mut rng = XorShiftRng::seed_from_u64(9);
             (0..100).map(|_| z.sample(&mut rng)).collect()
         };
         let b: Vec<u64> = {
-            let mut rng = StdRng::seed_from_u64(9);
+            let mut rng = XorShiftRng::seed_from_u64(9);
             (0..100).map(|_| z.sample(&mut rng)).collect()
         };
         assert_eq!(a, b);

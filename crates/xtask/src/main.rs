@@ -1,0 +1,993 @@
+//! Workspace automation for the NICE reproduction.
+//!
+//! `cargo run -p xtask -- lint` runs the project-specific static-analysis
+//! suite: invariants the compiler and clippy cannot express because they
+//! are about *this* codebase's correctness story (see DESIGN.md, "Static
+//! analysis & lint policy"):
+//!
+//! 1. **determinism** — no wall-clock time (`Instant::now`, `SystemTime`)
+//!    and no OS randomness (`thread_rng`, `OsRng`, `getrandom`,
+//!    `from_entropy`) inside the simulator and protocol decision paths
+//!    (`crates/sim`, `crates/flow`, `crates/nicekv`). The discrete-event
+//!    simulator must replay bit-for-bit from a seed.
+//! 2. **panic_path** — no `unwrap()` / `expect()` / `panic!` /
+//!    `unreachable!` / `todo!` / `unimplemented!` in server request paths
+//!    (`nicekv/src/server.rs`, `noob/src/server.rs`, all of
+//!    `crates/transport`). A malformed or re-ordered message must degrade
+//!    to a counter bump, never a crash.
+//! 3. **unordered_iter** — no iteration over `HashMap` / `HashSet` in
+//!    protocol crates: iteration order is randomized per process, so any
+//!    protocol decision fed by it silently breaks determinism. Use
+//!    `BTreeMap` / `BTreeSet`, or sort before use.
+//! 4. **enum_parity** — the NICE (`nicekv/src/msg.rs`) and NOOB
+//!    (`noob/src/msg.rs`) message enums implement the same 2PC wire
+//!    protocol; paired variants must carry the same fields so the two
+//!    systems stay comparable in every benchmark.
+//!
+//! A violation that is intentional can be waived with a trailing or
+//! preceding comment `lint:allow(<rule>) — <reason>`; the reason is
+//! mandatory by convention and enforced in review, not by the tool.
+//!
+//! Exit status: 0 when clean, 1 with `file:line` diagnostics otherwise.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut cmd = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(r) => root = PathBuf::from(r),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            c if cmd.is_none() => cmd = Some(c.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match cmd.as_deref() {
+        Some("lint") => run_lint(&root),
+        Some(other) => {
+            eprintln!("unknown command: {other}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <workspace>]";
+
+fn run_lint(root: &Path) -> ExitCode {
+    let mut findings = Vec::new();
+    determinism_lint(root, &mut findings);
+    panic_path_lint(root, &mut findings);
+    unordered_iter_lint(root, &mut findings);
+    enum_parity_lint(root, &mut findings);
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source model: a file split into lines with comments/strings blanked out,
+// plus a mask of lines that live inside `#[cfg(test)]` items.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+    /// Workspace-relative path, for diagnostics.
+    rel: String,
+    /// Original lines (markers like `lint:allow` live in comments).
+    raw: Vec<String>,
+    /// Lines with comments, string and char literals blanked.
+    code: Vec<String>,
+    /// Per line: is it inside a `#[cfg(test)]` module/item?
+    in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    fn load(root: &Path, rel: &str) -> Option<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel)).ok()?;
+        let code_text = strip_comments_and_strings(&text);
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let code: Vec<String> = code_text.lines().map(str::to_string).collect();
+        let in_test = test_mask(&code);
+        Some(SourceFile {
+            rel: rel.to_string(),
+            raw,
+            code,
+            in_test,
+        })
+    }
+
+    /// Is line `i` (0-based) waived for `rule` by a `lint:allow` marker on
+    /// the same or the immediately preceding line?
+    fn allowed(&self, i: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        if self.raw[i].contains(&marker) {
+            return true;
+        }
+        i > 0 && self.raw[i - 1].contains(&marker)
+    }
+}
+
+/// Blank out comments (`//`, nested `/* */`), string literals (incl. raw
+/// strings), and char literals, preserving the line structure so that
+/// byte offsets map to the same line numbers.
+fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize), // number of `#`s
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // possible raw string r"..." / r#"..."#
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // char literal vs lifetime: 'x' or '\..' is a literal
+                    let is_char = matches!(
+                        (b.get(i + 1), b.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        // skip to the closing quote
+                        let mut j = i + 1;
+                        if b.get(j) == Some(&'\\') {
+                            j += 2; // escape + escaped char
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1; // \u{...}
+                            }
+                        } else {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(b.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c); // lifetime tick
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if b.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mark every line that is inside an item annotated `#[cfg(test)]`
+/// (typically `mod tests { ... }`), tracked by brace depth.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg = false;
+    // (depth at which the test item opened)
+    let mut test_until: Option<i64> = None;
+    for (i, line) in code.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if test_until.is_some() {
+            mask[i] = true;
+        }
+        if line.contains("#[cfg(test)]") {
+            pending_cfg = true;
+            mask[i] = true;
+        } else if pending_cfg && test_until.is_none() {
+            mask[i] = true;
+            if opens > 0 {
+                test_until = Some(depth);
+                pending_cfg = false;
+            } else if line.trim().ends_with(';') {
+                // `#[cfg(test)] mod foo;` — out-of-line test module
+                pending_cfg = false;
+            }
+        }
+        depth += opens - closes;
+        if let Some(d) = test_until {
+            if depth <= d {
+                test_until = None;
+            }
+        }
+    }
+    mask
+}
+
+/// Recursively collect `.rs` files under `root/<dir>`, as workspace-
+/// relative path strings. `skip` entries are file names to ignore
+/// (out-of-line test modules).
+fn rs_files(root: &Path, dir: &str, skip: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if skip.contains(&name) {
+                    continue;
+                }
+                if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: determinism
+// ---------------------------------------------------------------------------
+
+const DETERMINISM_DIRS: &[&str] = &["crates/sim/src", "crates/flow/src", "crates/nicekv/src"];
+const DETERMINISM_TOKENS: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime", "wall-clock read"),
+    ("thread_rng", "OS-seeded randomness"),
+    ("OsRng", "OS randomness"),
+    ("from_entropy", "OS-seeded randomness"),
+    ("getrandom", "OS randomness"),
+    ("rand::", "external randomness crate"),
+];
+
+fn determinism_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in DETERMINISM_DIRS {
+        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
+            let Some(sf) = SourceFile::load(root, &rel) else {
+                continue;
+            };
+            for (i, line) in sf.code.iter().enumerate() {
+                if sf.in_test[i] {
+                    continue;
+                }
+                for (tok, why) in DETERMINISM_TOKENS {
+                    if contains_token(line, tok) && !sf.allowed(i, "determinism") {
+                        findings.push(Finding {
+                            file: sf.rel.clone(),
+                            line: i + 1,
+                            rule: "determinism",
+                            msg: format!(
+                                "`{tok}` ({why}) in a deterministic decision path; \
+                                 derive everything from the seeded simulation clock/PRNG"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic_path
+// ---------------------------------------------------------------------------
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn panic_path_files(root: &Path) -> Vec<String> {
+    let mut files = vec![
+        "crates/nicekv/src/server.rs".to_string(),
+        "crates/noob/src/server.rs".to_string(),
+    ];
+    files.extend(rs_files(
+        root,
+        "crates/transport/src",
+        &["prop_tests.rs", "tests.rs"],
+    ));
+    files
+}
+
+fn panic_path_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for rel in panic_path_files(root) {
+        let Some(sf) = SourceFile::load(root, &rel) else {
+            continue;
+        };
+        for (i, line) in sf.code.iter().enumerate() {
+            if sf.in_test[i] {
+                continue;
+            }
+            for tok in PANIC_TOKENS {
+                if line.contains(tok) && !sf.allowed(i, "panic_path") {
+                    findings.push(Finding {
+                        file: sf.rel.clone(),
+                        line: i + 1,
+                        rule: "panic_path",
+                        msg: format!(
+                            "`{}` in a server request path; return a typed error \
+                             (nice_kv::KvError) and bump a counter instead",
+                            tok.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unordered_iter
+// ---------------------------------------------------------------------------
+
+const UNORDERED_DIRS: &[&str] = &[
+    "crates/sim/src",
+    "crates/flow/src",
+    "crates/nicekv/src",
+    "crates/noob/src",
+    "crates/transport/src",
+];
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+fn unordered_iter_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in UNORDERED_DIRS {
+        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
+            let Some(sf) = SourceFile::load(root, &rel) else {
+                continue;
+            };
+            let names = hash_container_names(&sf);
+            if names.is_empty() {
+                continue;
+            }
+            for (i, line) in sf.code.iter().enumerate() {
+                if sf.in_test[i] {
+                    continue;
+                }
+                for name in &names {
+                    if iterates_name(line, name) && !sf.allowed(i, "unordered_iter") {
+                        findings.push(Finding {
+                            file: sf.rel.clone(),
+                            line: i + 1,
+                            rule: "unordered_iter",
+                            msg: format!(
+                                "iteration over hash container `{name}` (randomized order) \
+                                 may feed an ordered protocol decision; use BTreeMap/BTreeSet \
+                                 or sort first"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names declared in this file with a `HashMap`/`HashSet` type or
+/// initialized from one (fields, lets, fn params).
+fn hash_container_names(sf: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, line) in sf.code.iter().enumerate() {
+        if sf.in_test[i] {
+            continue;
+        }
+        // `name: HashMap<...>` (field, param, or typed let)
+        for ty in ["HashMap<", "HashSet<"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let abs = from + pos;
+                if let Some(n) = ident_before_colon(&line[..abs]) {
+                    push_unique(&mut names, n);
+                }
+                from = abs + ty.len();
+            }
+        }
+        // `let [mut] name = HashMap::new()` / `::default()` / `::with_capacity`
+        for ctor in ["HashMap::", "HashSet::"] {
+            if let Some(pos) = line.find(ctor) {
+                if let Some(eq) = line[..pos].rfind('=') {
+                    if let Some(n) = last_ident(&line[..eq]) {
+                        push_unique(&mut names, n);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, n: String) {
+    if !names.contains(&n) {
+        names.push(n);
+    }
+}
+
+/// The identifier immediately before a `:` at the end of `prefix`
+/// (ignoring whitespace), e.g. `    pub coords: ` → `coords`.
+fn ident_before_colon(prefix: &str) -> Option<String> {
+    let t = prefix.trim_end();
+    let t = t.strip_suffix(':')?;
+    last_ident(t)
+}
+
+/// The trailing identifier of `s`, if any.
+fn last_ident(s: &str) -> Option<String> {
+    let t = s.trim_end();
+    let end = t.len();
+    let start = t
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    let id = &t[start..end];
+    let first = id.chars().next()?;
+    if first.is_alphabetic() || first == '_' {
+        Some(id.to_string())
+    } else {
+        None
+    }
+}
+
+/// True when `name` appears on this line with an ident boundary and is
+/// iterated: either `name.<iter-method>` or as the tail of a `for .. in`.
+fn iterates_name(line: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let abs = from + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &line[abs + name.len()..];
+        let after_first = after.chars().next();
+        let boundary_ok = !after_first.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && boundary_ok {
+            if ITER_METHODS.iter().any(|m| after.starts_with(m)) {
+                return true;
+            }
+            // `for x in [&[mut]] [self.]name {` — direct IntoIterator use
+            if let Some(in_pos) = line[..abs].rfind(" in ") {
+                let between = line[in_pos + 4..abs].trim();
+                let clean_tail = after.trim_start();
+                let tail_ends_expr = clean_tail.is_empty() || clean_tail.starts_with('{');
+                let between_ok = matches!(
+                    between,
+                    "" | "&" | "&mut" | "self." | "&self." | "&mut self."
+                );
+                if line[..in_pos].contains("for ") && between_ok && tail_ends_expr {
+                    return true;
+                }
+            }
+        }
+        from = abs + name.len().max(1);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: enum_parity
+// ---------------------------------------------------------------------------
+
+/// Variant pairs that carry the same 2PC protocol step in both systems.
+/// Fields must match exactly (NICE name, NOOB name).
+const PAIRED_VARIANTS: &[(&str, &str)] = &[
+    ("PutAck1", "RepAck1"),
+    ("Commit", "RepTs"),
+    ("PutAck2", "RepAck2"),
+    ("PutReply", "PutReply"),
+];
+
+/// (NICE variant, NOOB variant): the NOOB request may carry extra routing
+/// fields (`hops`), but must include every NICE field.
+const SUPERSET_VARIANTS: &[(&str, &str)] = &[("PutRequest", "Put"), ("GetRequest", "Get")];
+
+/// NOOB's `GetReply` is a subset of NICE's (no timestamp on the wire).
+const SUBSET_VARIANTS: &[(&str, &str)] = &[("GetReply", "GetReply")];
+
+fn enum_parity_lint(root: &Path, findings: &mut Vec<Finding>) {
+    let kv_rel = "crates/nicekv/src/msg.rs";
+    let noob_rel = "crates/noob/src/msg.rs";
+    let (Some(kv_sf), Some(noob_sf)) = (
+        SourceFile::load(root, kv_rel),
+        SourceFile::load(root, noob_rel),
+    ) else {
+        findings.push(Finding {
+            file: kv_rel.to_string(),
+            line: 1,
+            rule: "enum_parity",
+            msg: "cannot read message enum sources".to_string(),
+        });
+        return;
+    };
+    let kv = parse_enum(&kv_sf, "KvMsg");
+    let noob = parse_enum(&noob_sf, "NoobMsg");
+    let (Some(kv), Some(noob)) = (kv, noob) else {
+        findings.push(Finding {
+            file: kv_rel.to_string(),
+            line: 1,
+            rule: "enum_parity",
+            msg: "failed to parse KvMsg/NoobMsg enum declarations".to_string(),
+        });
+        return;
+    };
+
+    let lookup =
+        |vs: &[(String, Vec<String>, usize)], name: &str| -> Option<(Vec<String>, usize)> {
+            vs.iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, f, l)| (f.clone(), *l))
+        };
+
+    let mut check = |kv_name: &str, noob_name: &str, mode: &str| {
+        let kv_v = lookup(&kv, kv_name);
+        let noob_v = lookup(&noob, noob_name);
+        match (kv_v, noob_v) {
+            (None, _) => findings.push(Finding {
+                file: kv_rel.to_string(),
+                line: 1,
+                rule: "enum_parity",
+                msg: format!("KvMsg::{kv_name} missing (paired with NoobMsg::{noob_name})"),
+            }),
+            (_, None) => findings.push(Finding {
+                file: noob_rel.to_string(),
+                line: 1,
+                rule: "enum_parity",
+                msg: format!("NoobMsg::{noob_name} missing (paired with KvMsg::{kv_name})"),
+            }),
+            (Some((kf, _)), Some((nf, nline))) => {
+                let ok = match mode {
+                    "equal" => kf == nf,
+                    "kv_subset_of_noob" => kf.iter().all(|f| nf.contains(f)),
+                    "noob_subset_of_kv" => nf.iter().all(|f| kf.contains(f)),
+                    _ => unreachable!("unknown parity mode"),
+                };
+                if !ok {
+                    findings.push(Finding {
+                        file: noob_rel.to_string(),
+                        line: nline,
+                        rule: "enum_parity",
+                        msg: format!(
+                            "NoobMsg::{noob_name} fields {nf:?} out of sync with \
+                             KvMsg::{kv_name} fields {kf:?} (expected {mode})"
+                        ),
+                    });
+                }
+            }
+        }
+    };
+
+    for (k, n) in PAIRED_VARIANTS {
+        check(k, n, "equal");
+    }
+    for (k, n) in SUPERSET_VARIANTS {
+        check(k, n, "kv_subset_of_noob");
+    }
+    for (k, n) in SUBSET_VARIANTS {
+        check(k, n, "noob_subset_of_kv");
+    }
+}
+
+/// Parse `enum <name> { ... }` from stripped source: returns
+/// `(variant, field_names, line)` per variant. Tuple variants get
+/// positional names `"0"`, `"1"`, ...
+#[allow(clippy::type_complexity)]
+fn parse_enum(sf: &SourceFile, name: &str) -> Option<Vec<(String, Vec<String>, usize)>> {
+    // Locate `enum <name>` then its opening brace.
+    let mut start_line = None;
+    for (i, line) in sf.code.iter().enumerate() {
+        if contains_token(line, &format!("enum {name}")) {
+            start_line = Some(i);
+            break;
+        }
+    }
+    let start_line = start_line?;
+    let text: String = sf.code[start_line..].join("\n");
+    let open = text.find('{')?;
+    let chars: Vec<char> = text.chars().collect();
+
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut line = start_line + text[..open].matches('\n').count();
+    let mut cur: Option<(String, Vec<String>, usize)> = None;
+    let mut tuple_idx = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+        }
+        match c {
+            '{' | '(' => {
+                depth += 1;
+            }
+            '}' | ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break; // end of enum body
+                }
+            }
+            '#' if depth == 1 => {
+                // attribute: skip to end of bracketed group
+                let mut d = 0;
+                while i < chars.len() {
+                    match chars[i] {
+                        '[' => d += 1,
+                        ']' => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        '\n' => line += 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            ch if ch.is_alphabetic() || ch == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                if depth == 1 {
+                    // a new variant name
+                    if let Some(v) = cur.take() {
+                        variants.push(v);
+                    }
+                    cur = Some((word, Vec::new(), line + 1));
+                    tuple_idx = 0;
+                } else if depth == 2 {
+                    // field name if followed by `:`; tuple type otherwise
+                    let mut k = j;
+                    while k < chars.len() && chars[k].is_whitespace() {
+                        k += 1;
+                    }
+                    if let Some(v) = cur.as_mut() {
+                        if chars.get(k) == Some(&':') {
+                            v.1.push(word);
+                        } else if v.1.is_empty() || v.1.last().is_none_or(|l| l != &word) {
+                            // tuple variant: record positional slots once per `,`
+                            let _ = tuple_idx;
+                        }
+                    }
+                    // skip the rest of the field (type may contain idents)
+                    let mut d = depth;
+                    i = k;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '{' | '(' | '<' => d += 1,
+                            '}' | ')' | '>' => {
+                                if chars[i] != '>' || chars.get(i.wrapping_sub(1)) != Some(&'-') {
+                                    d -= 1;
+                                }
+                                if d < depth {
+                                    depth = d;
+                                    break;
+                                }
+                            }
+                            ',' if d == depth => break,
+                            '\n' => line += 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    if i < chars.len() && (chars[i] == '}' || chars[i] == ')') && depth == 1 {
+                        // variant body closed
+                    }
+                    i += 1;
+                    continue;
+                }
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(v) = cur.take() {
+        variants.push(v);
+    }
+    if variants.is_empty() {
+        None
+    } else {
+        Some(variants)
+    }
+}
+
+/// `line.contains(tok)` with an identifier boundary on the left, so
+/// `grand::` does not match `rand::`.
+fn contains_token(line: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(tok) {
+        let abs = from + pos;
+        // A preceding identifier character means we matched the tail of a
+        // longer name (`operand::` vs `rand::`). A preceding `:` is fine:
+        // qualified paths (`std::time::Instant::now`) must still match.
+        let ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok {
+            return true;
+        }
+        from = abs + tok.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_removes_comments_and_strings() {
+        let src =
+            "let a = 1; // Instant::now()\nlet s = \"SystemTime\"; /* thread_rng */ let b = 2;\n";
+        let out = strip_comments_and_strings(src);
+        assert!(!out.contains("Instant::now"));
+        assert!(!out.contains("SystemTime"));
+        assert!(!out.contains("thread_rng"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let b = 2;"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn stripping_handles_char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let out = strip_comments_and_strings(src);
+        assert!(out.contains("fn f<'a>(x: &'a str)"));
+        assert!(!out.contains("'x'"));
+    }
+
+    #[test]
+    fn test_mask_covers_test_modules() {
+        let code: Vec<String> = [
+            "fn real() {",
+            "}",
+            "#[cfg(test)]",
+            "mod tests {",
+            "    fn t() {}",
+            "}",
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let mask = test_mask(&code);
+        assert_eq!(mask, vec![false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn token_boundary() {
+        assert!(contains_token("let x = rand::random();", "rand::"));
+        assert!(!contains_token("let x = grand::random();", "rand::"));
+        assert!(!contains_token("operand::foo", "rand::"));
+        // Fully qualified paths must still match.
+        assert!(contains_token(
+            "let t = std::time::Instant::now();",
+            "Instant::now"
+        ));
+        assert!(contains_token("use std::time::SystemTime;", "SystemTime"));
+    }
+
+    #[test]
+    fn iteration_detection() {
+        assert!(iterates_name("for (k, v) in &self.coords {", "coords"));
+        assert!(iterates_name(
+            "let v: Vec<_> = coords.values().collect();",
+            "coords"
+        ));
+        assert!(iterates_name("for k in coords.keys() {", "coords"));
+        assert!(!iterates_name("self.coords.insert(k, v);", "coords"));
+        assert!(!iterates_name("let x = coords.get(&k);", "coords"));
+        assert!(!iterates_name("for x in &self.records {", "coords"));
+    }
+
+    #[test]
+    fn declared_names_found() {
+        let sf = SourceFile {
+            rel: "x".into(),
+            raw: vec![String::new(); 3],
+            code: vec![
+                "    coords: HashMap<String, Coord>,".to_string(),
+                "    let mut seen = HashSet::new();".to_string(),
+                "    views: BTreeMap<PartitionId, View>,".to_string(),
+            ],
+            in_test: vec![false; 3],
+        };
+        let names = hash_container_names(&sf);
+        assert_eq!(names, vec!["coords".to_string(), "seen".to_string()]);
+    }
+
+    #[test]
+    fn enum_parser_reads_fields() {
+        let src = "pub enum KvMsg {\n    /// doc\n    PutRequest { key: String, value: Value, op: OpId },\n    GetRequest { key: String, op: OpId },\n    Nothing,\n}\n";
+        let stripped = strip_comments_and_strings(src);
+        let code: Vec<String> = stripped.lines().map(str::to_string).collect();
+        let n = code.len();
+        let sf = SourceFile {
+            rel: "x".into(),
+            raw: vec![String::new(); n],
+            code,
+            in_test: vec![false; n],
+        };
+        let vs = parse_enum(&sf, "KvMsg").expect("parses");
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].0, "PutRequest");
+        assert_eq!(vs[0].1, vec!["key", "value", "op"]);
+        assert_eq!(vs[1].1, vec!["key", "op"]);
+        assert!(vs[2].1.is_empty());
+    }
+}

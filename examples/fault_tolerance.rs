@@ -37,26 +37,49 @@ fn main() {
     cfg.client_start = Time::from_ms(100);
     let mut cluster = NiceCluster::build(cfg);
 
-    println!("partition {:?} replicas: {replicas:?}; crashing node{victim} at t=60ms", p.0);
-    cluster.sim.schedule_crash(Time::from_ms(60), cluster.servers[victim as usize]);
-    cluster.sim.schedule_restart(Time::from_secs(4), cluster.servers[victim as usize]);
+    println!(
+        "partition {:?} replicas: {replicas:?}; crashing node{victim} at t=60ms",
+        p.0
+    );
+    cluster
+        .sim
+        .schedule_crash(Time::from_ms(60), cluster.servers[victim as usize]);
+    cluster
+        .sim
+        .schedule_restart(Time::from_secs(4), cluster.servers[victim as usize]);
 
     cluster.run_until_done(Time::from_secs(30));
-    cluster.sim.run_until(Time::from_secs(10).max(cluster.sim.now()));
+    cluster
+        .sim
+        .run_until(Time::from_secs(10).max(cluster.sim.now()));
 
     println!("\nmetadata-service event log:");
     for (t, ev) in &cluster.meta_app().events {
         let what = match ev {
-            MetaEvent::NodeFailed(n) => format!("node{} declared FAILED (hidden from both vrings)", n.0),
-            MetaEvent::HandoffAssigned { partition, failed, handoff } => format!(
+            MetaEvent::NodeFailed(n) => {
+                format!("node{} declared FAILED (hidden from both vrings)", n.0)
+            }
+            MetaEvent::HandoffAssigned {
+                partition,
+                failed,
+                handoff,
+            } => format!(
                 "handoff: node{} stands in for node{} on partition {}",
                 handoff.0, failed.0, partition.0
             ),
-            MetaEvent::PrimaryChanged { partition, new_primary } => {
-                format!("node{} promoted to primary of partition {}", new_primary.0, partition.0)
+            MetaEvent::PrimaryChanged {
+                partition,
+                new_primary,
+            } => {
+                format!(
+                    "node{} promoted to primary of partition {}",
+                    new_primary.0, partition.0
+                )
             }
             MetaEvent::NodeRejoining(n) => format!("node{} rejoining (put ring only)", n.0),
-            MetaEvent::NodeRecovered(n) => format!("node{} consistent again (get ring restored)", n.0),
+            MetaEvent::NodeRecovered(n) => {
+                format!("node{} consistent again (get ring restored)", n.0)
+            }
             MetaEvent::Promoted => "standby metadata service promoted to active".into(),
         };
         println!("  [{t}] {what}");

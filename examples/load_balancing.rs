@@ -15,7 +15,11 @@ fn run(lb: bool) -> (Vec<u64>, f64) {
         value: Value::from_bytes(b"popular".to_vec()),
     }]];
     for _ in 0..6 {
-        all.push((0..200).map(|_| ClientOp::Get { key: KEY.into() }).collect());
+        all.push(
+            (0..200)
+                .map(|_| ClientOp::Get { key: KEY.into() })
+                .collect(),
+        );
     }
     let mut cfg = ClusterCfg::new(8, 3, all);
     cfg.kv.load_balancing = lb;
@@ -50,7 +54,9 @@ fn main() {
     println!("                    mean get latency = {lat:.0}us  (primary does everything)\n");
     let (served, lat) = run(true);
     println!("load balancing ON : per-replica gets served = {served:?}");
-    println!("                    mean get latency = {lat:.0}us  (source-prefix rules spread the load)");
+    println!(
+        "                    mean get latency = {lat:.0}us  (source-prefix rules spread the load)"
+    );
     println!(
         "\nThe controller installs one (client-division, partition-subgroup) rule per\n\
          division at higher priority than the base vring rule; clients in different\n\

@@ -31,7 +31,10 @@ fn mean_us(records: &[nice::kv::OpRecord]) -> f64 {
 
 fn main() {
     const N: usize = 100;
-    println!("{:>8} | {:>12} {:>12} | {:>9} | {:>10} {:>10}", "size", "NICE put", "NOOB put", "speedup", "NICE net", "NOOB net");
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>9} | {:>10} {:>10}",
+        "size", "NICE put", "NOOB put", "speedup", "NICE net", "NOOB net"
+    );
     println!("{}", "-".repeat(74));
     for size in [1u32 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20] {
         let mut nice_c = NiceCluster::build(ClusterCfg::new(15, 3, vec![ops(size, N)]));

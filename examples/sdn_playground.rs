@@ -10,9 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use nice::flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable, GroupBucket, GroupId};
-use nice::sim::{
-    App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Simulation, SwitchCfg, Time,
-};
+use nice::sim::{App, ChannelCfg, Ctx, HostCfg, Ipv4, Mac, Packet, Simulation, SwitchCfg, Time};
 
 /// Counts what it receives.
 #[derive(Default)]
@@ -31,7 +29,15 @@ struct Talker {
 }
 impl App for Talker {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        let pkt = Packet::udp(ctx.ip(), ctx.mac(), self.vaddr, 1111, 2222, 400, Rc::new("payload"));
+        let pkt = Packet::udp(
+            ctx.ip(),
+            ctx.mac(),
+            self.vaddr,
+            1111,
+            2222,
+            400,
+            Rc::new("payload"),
+        );
         ctx.send(pkt);
     }
 }
@@ -39,7 +45,10 @@ impl App for Talker {
 fn main() {
     let mut sim = Simulation::new(1);
     let table = Rc::new(RefCell::new(FlowTable::new()));
-    let sw = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), SwitchCfg::default());
+    let sw = sim.add_switch(
+        Box::new(FlowSwitch::new(Rc::clone(&table))),
+        SwitchCfg::default(),
+    );
 
     // Three servers and one client.
     let mut hosts = Vec::new();
@@ -47,7 +56,9 @@ fn main() {
         let ip = Ipv4::new(10, 0, 0, 1 + i);
         let mac = Mac(1 + i as u64);
         let app: Box<dyn App> = if i == 3 {
-            Box::new(Talker { vaddr: Ipv4::new(10, 10, 1, 99) })
+            Box::new(Talker {
+                vaddr: Ipv4::new(10, 10, 1, 99),
+            })
         } else {
             Box::new(Sink::default())
         };
@@ -65,7 +76,11 @@ fn main() {
             FlowRule::new(
                 prio::VRING,
                 FlowMatch::any().dst_prefix(Ipv4::new(10, 10, 1, 0), 24),
-                vec![Action::SetIpDst(h0_ip), Action::SetMacDst(h0_mac), Action::Output(h0_port)],
+                vec![
+                    Action::SetIpDst(h0_ip),
+                    Action::SetMacDst(h0_mac),
+                    Action::Output(h0_port),
+                ],
             ),
             Time::ZERO,
         );
@@ -87,14 +102,23 @@ fn main() {
 
     // 1. unicast: the talker sends to a vnode address...
     sim.run_until(Time::from_ms(1));
-    println!("unicast vring: server0 received {:?}", sim.app::<Sink>(hosts[0].0).got);
+    println!(
+        "unicast vring: server0 received {:?}",
+        sim.app::<Sink>(hosts[0].0).got
+    );
     assert_eq!(sim.app::<Sink>(hosts[0].0).got.len(), 1);
-    assert_eq!(sim.app::<Sink>(hosts[0].0).got[0].0, hosts[0].1, "dst was rewritten to the physical address");
+    assert_eq!(
+        sim.app::<Sink>(hosts[0].0).got[0].0,
+        hosts[0].1,
+        "dst was rewritten to the physical address"
+    );
 
     // 2. multicast: inject a packet to the multicast ring by reusing the
     //    talker (cheap trick: just add another talker host).
     let m = sim.add_host(
-        Box::new(Talker { vaddr: Ipv4::new(10, 11, 1, 5) }),
+        Box::new(Talker {
+            vaddr: Ipv4::new(10, 11, 1, 5),
+        }),
         HostCfg::new(Ipv4::new(10, 0, 0, 9), Mac(9)),
     );
     sim.connect(m, sw, ChannelCfg::gigabit());

@@ -5,6 +5,11 @@
 set -e
 cd "$(dirname "$0")"
 ARGS="$@"
+
+# Preflight: fmt, clippy, xtask lint, offline build + tests. Figures are
+# only regenerated from a tree that passes the full gate.
+./scripts/check.sh
+
 mkdir -p bench_results
 for fig in fig04_routing fig05_replication fig06_network_load fig07_load_ratio \
            fig08_quorum fig09_consistency fig10_load_balancing \

@@ -1,0 +1,27 @@
+#!/bin/bash
+# The full local gate: formatting, clippy (deny-level groups are set in
+# [workspace.lints]), the project-specific static-analysis suite, and the
+# offline build + tests. run_all_figures.sh runs this as a preflight so
+# figures are never regenerated from a tree that fails the gate.
+#
+# Everything runs --offline: the workspace has no external dependencies
+# (DESIGN.md §6) and must stay buildable without registry access.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "=== fmt ==="
+cargo fmt --all --check
+
+echo "=== clippy ==="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "=== xtask lint ==="
+cargo run -q -p xtask --offline -- lint
+
+echo "=== build (release) ==="
+cargo build --release --offline --workspace
+
+echo "=== tests ==="
+cargo test -q --offline --workspace
+
+echo "check.sh: all gates passed"

@@ -34,15 +34,23 @@ fn two_secondaries_fail_and_system_survives() {
     cfg.client_start = Time::from_ms(100);
     let mut c = NiceCluster::build(cfg);
     // both secondaries die before the workload starts
-    c.sim.schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
-    c.sim.schedule_crash(Time::from_ms(50), c.servers[replicas[2] as usize]);
-    assert!(c.run_until_done(Time::from_secs(60)), "workload survives two failures");
+    c.sim
+        .schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(50), c.servers[replicas[2] as usize]);
+    assert!(
+        c.run_until_done(Time::from_secs(60)),
+        "workload survives two failures"
+    );
     assert!(c.client(0).records.iter().all(|r| r.ok));
     // the view must now contain the primary + two handoffs
     let view = c.meta_app().view(p).expect("view");
     assert_eq!(view.members.len(), 3, "{view:?}");
     assert!(view.members.iter().any(|&(n, _)| n.0 == replicas[0]));
-    assert!(!view.members.iter().any(|&(n, _)| n.0 == replicas[1] || n.0 == replicas[2]));
+    assert!(!view
+        .members
+        .iter()
+        .any(|&(n, _)| n.0 == replicas[1] || n.0 == replicas[2]));
 }
 
 #[test]
@@ -66,8 +74,10 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
     let mut cfg = fast_cfg(8, 3, vec![ops]);
     cfg.client_start = Time::from_secs(2);
     let mut c = NiceCluster::build(cfg);
-    c.sim.schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
-    c.sim.schedule_restart(Time::from_secs(1), c.servers[victim as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
+    c.sim
+        .schedule_restart(Time::from_secs(1), c.servers[victim as usize]);
     // While the node recovers it is Rejoining (put ring only).
     c.sim.run_until(Time::from_ms(1300));
     let state_mid = c.meta_app().node_state(NodeIdx(victim));
@@ -79,11 +89,21 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
     // recovery completed before we sampled — either way the event log
     // must show the two-phase rejoin.
     let evs: Vec<&MetaEvent> = c.meta_app().events.iter().map(|(_, e)| e).collect();
-    assert!(evs.contains(&&MetaEvent::NodeRejoining(NodeIdx(victim))), "{evs:?}");
+    assert!(
+        evs.contains(&&MetaEvent::NodeRejoining(NodeIdx(victim))),
+        "{evs:?}"
+    );
     assert!(evs.contains(&&MetaEvent::NodeRecovered(NodeIdx(victim))));
-    let rejoin_pos = evs.iter().position(|e| **e == MetaEvent::NodeRejoining(NodeIdx(victim)));
-    let recover_pos = evs.iter().position(|e| **e == MetaEvent::NodeRecovered(NodeIdx(victim)));
-    assert!(rejoin_pos < recover_pos, "put ring strictly before get ring");
+    let rejoin_pos = evs
+        .iter()
+        .position(|e| **e == MetaEvent::NodeRejoining(NodeIdx(victim)));
+    let recover_pos = evs
+        .iter()
+        .position(|e| **e == MetaEvent::NodeRecovered(NodeIdx(victim)));
+    assert!(
+        rejoin_pos < recover_pos,
+        "put ring strictly before get ring"
+    );
     let _ = state_mid;
     // never served a get while inconsistent
     assert_eq!(c.server(victim as usize).counters().gets_served, 0);
@@ -100,28 +120,39 @@ fn handoff_failure_is_replaced() {
     drop(probe);
 
     let mut c = NiceCluster::build(fast_cfg(10, 3, vec![]));
-    c.sim.schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
     c.sim.run_until(Time::from_secs(1));
     let first_handoff = c
         .meta_app()
         .events
         .iter()
         .find_map(|(_, e)| match e {
-            MetaEvent::HandoffAssigned { partition, failed, handoff } if *partition == p && failed.0 == victim => {
-                Some(handoff.0)
-            }
+            MetaEvent::HandoffAssigned {
+                partition,
+                failed,
+                handoff,
+            } if *partition == p && failed.0 == victim => Some(handoff.0),
             _ => None,
         })
         .expect("first handoff");
     // kill the handoff too
-    c.sim.schedule_crash(Time::from_secs(1), c.servers[first_handoff as usize]);
+    c.sim
+        .schedule_crash(Time::from_secs(1), c.servers[first_handoff as usize]);
     c.sim.run_until(Time::from_secs(3));
     let view = c.meta_app().view(p).expect("view");
     assert!(
-        !view.members.iter().any(|&(n, _)| n.0 == first_handoff || n.0 == victim),
+        !view
+            .members
+            .iter()
+            .any(|&(n, _)| n.0 == first_handoff || n.0 == victim),
         "dead nodes out of the view: {view:?}"
     );
-    assert_eq!(view.members.len(), 3, "replacement handoff installed: {view:?}");
+    assert_eq!(
+        view.members.len(),
+        3,
+        "replacement handoff installed: {view:?}"
+    );
 }
 
 #[test]
@@ -143,8 +174,10 @@ fn primary_and_secondary_fail_together() {
     let mut cfg = fast_cfg(10, 3, vec![ops]);
     cfg.client_start = Time::from_ms(100);
     let mut c = NiceCluster::build(cfg);
-    c.sim.schedule_crash(Time::from_ms(30), c.servers[replicas[0] as usize]);
-    c.sim.schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(30), c.servers[replicas[0] as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
     assert!(c.run_until_done(Time::from_secs(60)));
     assert!(c.client(0).records.iter().all(|r| r.ok));
     // the remaining original secondary must be the new primary
@@ -183,12 +216,16 @@ fn cluster_keeps_serving_unrelated_partitions_during_failure() {
     let mut cfg = fast_cfg(10, 3, vec![ops]);
     cfg.client_start = Time::from_ms(100);
     let mut c = NiceCluster::build(cfg);
-    c.sim.schedule_crash(Time::from_ms(120), c.servers[replicas[0] as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(120), c.servers[replicas[0] as usize]);
     assert!(c.run_until_done(Time::from_secs(30)));
     let recs = &c.client(0).records;
     assert!(recs.iter().all(|r| r.ok));
     // ops to the unrelated partition needed no retries
-    assert!(recs.iter().all(|r| r.attempts == 1), "unrelated partition saw disruption");
+    assert!(
+        recs.iter().all(|r| r.attempts == 1),
+        "unrelated partition saw disruption"
+    );
 }
 
 #[test]
@@ -285,7 +322,11 @@ fn admin_add_node_expands_ring_with_synced_data() {
         if let Some(v) = meta.view(p) {
             if v.members.iter().any(|&(n, _)| n == spare) {
                 serves += 1;
-                assert!(!v.syncing.contains(&spare), "partition {} still syncing", p.0);
+                assert!(
+                    !v.syncing.contains(&spare),
+                    "partition {} still syncing",
+                    p.0
+                );
             }
         }
     }
@@ -305,11 +346,17 @@ fn admin_add_node_expands_ring_with_synced_data() {
     let _ = holds;
 
     // and reads of the pre-existing data still succeed end-to-end
-    c.sim.app_mut::<nice::kv::ClientApp>(c.clients[0])
-        .push_ops((0..30).map(|i| ClientOp::Get { key: format!("pre{i}") }));
+    c.sim
+        .app_mut::<nice::kv::ClientApp>(c.clients[0])
+        .push_ops((0..30).map(|i| ClientOp::Get {
+            key: format!("pre{i}"),
+        }));
     assert!(c.run_until_done(Time::from_secs(30)));
     let recs = &c.client(0).records;
-    assert!(recs[30..].iter().all(|r| r.ok), "post-reconfig reads succeed");
+    assert!(
+        recs[30..].iter().all(|r| r.ok),
+        "post-reconfig reads succeed"
+    );
 }
 
 #[test]
@@ -347,8 +394,11 @@ fn admin_remove_node_keeps_data_available() {
         assert!(holders >= 3, "{key} has only {holders} live replicas");
     }
     // reads still work
-    c.sim.app_mut::<nice::kv::ClientApp>(c.clients[0])
-        .push_ops((0..30).map(|i| ClientOp::Get { key: format!("rm{i}") }));
+    c.sim
+        .app_mut::<nice::kv::ClientApp>(c.clients[0])
+        .push_ops((0..30).map(|i| ClientOp::Get {
+            key: format!("rm{i}"),
+        }));
     assert!(c.run_until_done(Time::from_secs(30)));
     assert!(c.client(0).records[30..].iter().all(|r| r.ok));
 }
@@ -385,9 +435,13 @@ fn metadata_standby_takes_over() {
     c.sim.schedule_crash(Time::from_ms(200), c.meta);
     // 2. then kill a storage secondary — only the promoted standby can
     //    orchestrate the handoff
-    c.sim.schedule_crash(Time::from_secs(3), c.servers[victim as usize]);
+    c.sim
+        .schedule_crash(Time::from_secs(3), c.servers[victim as usize]);
 
-    assert!(c.run_until_done(Time::from_secs(60)), "initial workload finishes");
+    assert!(
+        c.run_until_done(Time::from_secs(60)),
+        "initial workload finishes"
+    );
     // run through the failover + storage-failure timeline, then push a
     // second wave of ops that only a working (promoted) metadata path can
     // serve
@@ -395,7 +449,10 @@ fn metadata_standby_takes_over() {
     c.sim
         .app_mut::<nice::kv::ClientApp>(c.clients[0])
         .push_ops(keys.iter().map(|k| ClientOp::Get { key: k.clone() }));
-    assert!(c.run_until_done(Time::from_secs(60)), "post-failover workload finishes");
+    assert!(
+        c.run_until_done(Time::from_secs(60)),
+        "post-failover workload finishes"
+    );
     assert!(c.client(0).records.iter().all(|r| r.ok));
 
     let sb = c.sim.app::<MetadataApp>(standby);
@@ -406,14 +463,16 @@ fn metadata_standby_takes_over() {
         sb.events
     );
     assert!(
-        sb.events.iter().any(|(_, e)| *e == MetaEvent::NodeFailed(NodeIdx(victim))),
+        sb.events
+            .iter()
+            .any(|(_, e)| *e == MetaEvent::NodeFailed(NodeIdx(victim))),
         "the promoted standby detected the storage failure: {:?}",
         sb.events
     );
     assert!(
-        sb.events
-            .iter()
-            .any(|(_, e)| matches!(e, MetaEvent::HandoffAssigned { failed, .. } if failed.0 == victim)),
+        sb.events.iter().any(
+            |(_, e)| matches!(e, MetaEvent::HandoffAssigned { failed, .. } if failed.0 == victim)
+        ),
         "and installed a handoff"
     );
 }
@@ -443,7 +502,8 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
     let mut cfg = fast_cfg(10, 3, vec![ops]);
     cfg.client_start = Time::from_secs(1); // after f's failure is handled
     let mut c = NiceCluster::build(cfg);
-    c.sim.schedule_crash(Time::from_ms(100), c.servers[f as usize]);
+    c.sim
+        .schedule_crash(Time::from_ms(100), c.servers[f as usize]);
     // let the first batch of writes land on the first handoff
     assert!(c.run_until_done(Time::from_secs(30)));
     let first_handoff = c
@@ -451,16 +511,17 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
         .events
         .iter()
         .find_map(|(_, e)| match e {
-            MetaEvent::HandoffAssigned { partition, failed, handoff }
-                if *partition == p && failed.0 == f =>
-            {
-                Some(handoff.0)
-            }
+            MetaEvent::HandoffAssigned {
+                partition,
+                failed,
+                handoff,
+            } if *partition == p && failed.0 == f => Some(handoff.0),
             _ => None,
         })
         .expect("handoff for f");
     // now the handoff itself dies, then f comes back
-    c.sim.schedule_crash(c.sim.now(), c.servers[first_handoff as usize]);
+    c.sim
+        .schedule_crash(c.sim.now(), c.servers[first_handoff as usize]);
     c.sim.run_for(Time::from_secs(2));
     c.sim.schedule_restart(c.sim.now(), c.servers[f as usize]);
     c.sim.run_for(Time::from_secs(5));

@@ -15,7 +15,9 @@ fn workload(n: usize) -> Vec<ClientOp> {
         });
     }
     for i in 0..n {
-        ops.push(ClientOp::Get { key: format!("k{i}") });
+        ops.push(ClientOp::Get {
+            key: format!("k{i}"),
+        });
     }
     ops
 }
@@ -110,7 +112,12 @@ fn deterministic_across_runs() {
     let build = || {
         let mut c = NiceCluster::build(ClusterCfg::new(8, 3, vec![workload(8)]));
         assert!(c.run_until_done(Time::from_secs(60)));
-        let lat: Vec<u64> = c.client(0).records.iter().map(|r| (r.end - r.start).as_ns()).collect();
+        let lat: Vec<u64> = c
+            .client(0)
+            .records
+            .iter()
+            .map(|r| (r.end - r.start).as_ns())
+            .collect();
         (lat, c.sim.total_link_bytes(), c.sim.events_processed())
     };
     assert_eq!(build(), build(), "same seed, same universe");
@@ -136,7 +143,12 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
     let probe = NiceCluster::build(ClusterCfg::new(10, 5, vec![]));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 5);
-    let replicas: Vec<usize> = probe.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
+    let replicas: Vec<usize> = probe
+        .ring
+        .replica_set(p)
+        .iter()
+        .map(|n| n.0 as usize)
+        .collect();
     drop(probe);
 
     let run = |mode: PutMode| {
@@ -151,7 +163,8 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
         cfg.kv.put_mode = mode;
         let mut c = NiceCluster::build(cfg);
         for &i in &replicas[3..] {
-            c.sim.schedule_link_rate(Time::ZERO, c.servers[i], 50_000_000);
+            c.sim
+                .schedule_link_rate(Time::ZERO, c.servers[i], 50_000_000);
         }
         assert!(c.run_until_done(Time::from_secs(120)));
         c.client(0).mean_latency(true).expect("puts ran")

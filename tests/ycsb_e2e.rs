@@ -4,9 +4,8 @@
 use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::Time;
+use nice::workload::XorShiftRng;
 use nice::workload::{OpKind, Workload, WorkloadRun};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Build per-client op lists: striped load phase + generated run phase.
 fn build_ops(wl: &Workload, clients: usize, run_ops: usize, seed: u64) -> Vec<Vec<ClientOp>> {
@@ -19,7 +18,7 @@ fn build_ops(wl: &Workload, clients: usize, run_ops: usize, seed: u64) -> Vec<Ve
     }
     for (j, ops) in per_client.iter_mut().enumerate() {
         let before = ops.len();
-        let mut rng = StdRng::seed_from_u64(seed ^ (j as u64 + 1));
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ (j as u64 + 1));
         let mut gen = WorkloadRun::new(wl.clone());
         while ops.len() - before < run_ops {
             for op in gen.next_ops(&mut rng) {
@@ -48,7 +47,11 @@ fn ycsb_c_on_nice_returns_valid_records() {
             if !r.is_put {
                 // C never updates, so every get returns the load value
                 let b = r.bytes.as_ref().expect("value");
-                assert!(b.starts_with(b"record-"), "{:?}", String::from_utf8_lossy(b));
+                assert!(
+                    b.starts_with(b"record-"),
+                    "{:?}",
+                    String::from_utf8_lossy(b)
+                );
             }
         }
     }
@@ -98,10 +101,11 @@ fn ycsb_d_inserts_new_records() {
     // D inserts ~5% new keys beyond the loaded 20: at least one server
     // must hold a key user>=20.
     let fresh = (0..8).any(|i| {
-        c.server(i)
-            .store()
-            .iter()
-            .any(|(k, _)| k.strip_prefix("user").and_then(|n| n.parse::<u64>().ok()).is_some_and(|n| n >= 20))
+        c.server(i).store().iter().any(|(k, _)| {
+            k.strip_prefix("user")
+                .and_then(|n| n.parse::<u64>().ok())
+                .is_some_and(|n| n >= 20)
+        })
     });
     assert!(fresh, "inserts created new records");
 }
