@@ -58,18 +58,17 @@ fn main() {
         spec.skip = *loads.iter().max().unwrap();
         spec.seed = args.seed;
         spec.retry_not_found = true;
-        let mut c = {
-            let mut cfg = nice_kv::ClusterCfg::new(
-                spec.storage_nodes,
-                spec.replication,
-                spec.client_ops.clone(),
-            );
-            cfg.seed = spec.seed;
-            cfg.retry_not_found = true;
-            cfg.kv.load_balancing = mode > 0;
-            cfg.kv.adaptive_lb = mode == 2;
-            nice_kv::NiceCluster::build(cfg)
-        };
+        let mut c = nice_kv::ClusterBuilder::new()
+            .nodes(spec.storage_nodes)
+            .replication(spec.replication)
+            .clients(spec.client_ops.clone())
+            .seed(spec.seed)
+            .retry_not_found()
+            .kv(|kv| {
+                kv.load_balancing = mode > 0;
+                kv.adaptive_lb = mode == 2;
+            })
+            .build();
         let done = c.run_until_done(Time::from_secs(3600));
         assert!(done, "mode={mode} clients={clients}");
         let mut lats = Vec::new();
@@ -77,7 +76,7 @@ fn main() {
         let mut finish = Time::ZERO;
         for i in 0..c.clients.len() {
             for r in c.client(i).records.iter().skip(spec.skip) {
-                if r.ok && !r.is_put {
+                if r.ok() && !r.is_put {
                     lats.push(r.end - r.start);
                     start = start.min(r.start);
                     finish = finish.max(r.end);

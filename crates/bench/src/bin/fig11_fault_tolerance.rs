@@ -90,7 +90,7 @@ fn main() {
             for r in recs {
                 if r.is_put {
                     // a put only counts when it committed
-                    if r.ok {
+                    if r.ok() {
                         puts += 1;
                     }
                 } else {

@@ -1,9 +1,9 @@
 //! Drivers that run one experiment configuration on either system and
 //! collect the measurements every figure needs.
 
-use nice_kv::{ClientOp, ClusterCfg, NiceCluster, PutMode};
+use nice_kv::{ClientOp, ClusterBuilder, NiceCluster, PutMode};
 use nice_noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
-use nice_sim::{HostStats, Time};
+use nice_sim::{FaultPlan, FaultStats, HostStats, Time};
 
 /// Which system (and configuration) an experiment runs on. Labels match
 /// the paper's legends.
@@ -75,6 +75,9 @@ pub struct RunSpec {
     pub throttled: Vec<(usize, u64)>,
     /// Clients retry NotFound gets (hot-object benchmarks).
     pub retry_not_found: bool,
+    /// Deterministic fault plan (loss/dup/delay/partitions/outages)
+    /// applied identically to either system.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -90,7 +93,25 @@ impl RunSpec {
             deadline: Time::from_secs(600),
             throttled: Vec::new(),
             retry_not_found: false,
+            fault_plan: None,
         }
+    }
+
+    /// The shared cluster builder this spec describes (system-specific
+    /// knobs are layered on top by `nice_cluster` / `noob_cluster`).
+    fn builder(&self) -> ClusterBuilder {
+        let mut b = ClusterBuilder::new()
+            .nodes(self.storage_nodes)
+            .replication(self.replication)
+            .clients(self.client_ops.clone())
+            .seed(self.seed);
+        if self.retry_not_found {
+            b = b.retry_not_found();
+        }
+        if let Some(plan) = self.fault_plan.clone() {
+            b = b.fault_plan(plan);
+        }
+        b
     }
 }
 
@@ -114,6 +135,8 @@ pub struct ExpResult {
     pub finish: Time,
     /// All measured ops completed?
     pub done: bool,
+    /// Injector counters when the spec carried a fault plan.
+    pub fault: Option<FaultStats>,
 }
 
 impl ExpResult {
@@ -132,25 +155,17 @@ impl ExpResult {
 /// Build a NICE cluster for a spec (callers may inspect the ring before
 /// running, e.g. to pin keys).
 pub fn nice_cluster(spec: &RunSpec) -> NiceCluster {
-    let mut cfg = ClusterCfg::new(
-        spec.storage_nodes,
-        spec.replication,
-        spec.client_ops.clone(),
-    );
-    cfg.seed = spec.seed;
-    cfg.retry_not_found = spec.retry_not_found;
-    match spec.system {
-        System::Nice { lb } => {
-            cfg.kv.put_mode = PutMode::TwoPc;
-            cfg.kv.load_balancing = lb;
-        }
-        System::NiceQuorum { k } => {
-            cfg.kv.put_mode = PutMode::Quorum { k };
-            cfg.kv.load_balancing = false;
-        }
+    let (put_mode, lb) = match spec.system {
+        System::Nice { lb } => (PutMode::TwoPc, lb),
+        System::NiceQuorum { k } => (PutMode::Quorum { k }, false),
         System::Noob { .. } => panic!("use noob_cluster for NOOB systems"),
-    }
-    NiceCluster::build(cfg)
+    };
+    spec.builder()
+        .kv(|kv| {
+            kv.put_mode = put_mode;
+            kv.load_balancing = lb;
+        })
+        .build()
 }
 
 /// Build a NOOB cluster for a spec.
@@ -163,16 +178,8 @@ pub fn noob_cluster(spec: &RunSpec) -> NoobCluster {
     else {
         panic!("use nice_cluster for NICE systems");
     };
-    let mut cfg = NoobClusterCfg::new(
-        spec.storage_nodes,
-        spec.replication,
-        access,
-        mode,
-        spec.client_ops.clone(),
-    );
-    cfg.seed = spec.seed;
+    let mut cfg = NoobClusterCfg::from_builder(spec.builder(), access, mode);
     cfg.lb_gets = lb_gets;
-    cfg.retry_not_found = spec.retry_not_found;
     NoobCluster::build(cfg)
 }
 
@@ -184,7 +191,7 @@ fn collect_lat(
     failures: &mut usize,
 ) {
     for r in records.iter().skip(skip) {
-        if !r.ok {
+        if !r.ok() {
             *failures += 1;
             continue;
         }
@@ -232,6 +239,7 @@ pub fn run_nice(spec: &RunSpec) -> ExpResult {
         },
         finish,
         done,
+        fault: c.sim.fault_stats(),
     }
 }
 
@@ -270,6 +278,7 @@ pub fn run_noob(spec: &RunSpec) -> ExpResult {
         },
         finish,
         done,
+        fault: c.sim.fault_stats(),
     }
 }
 

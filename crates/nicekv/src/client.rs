@@ -15,6 +15,7 @@ use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, MsgToken, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::{KvConfig, PutMode};
+use crate::error::KvError;
 use crate::msg::{KvMsg, OpId, Value};
 
 const TOK_START: u64 = 1;
@@ -64,14 +65,27 @@ pub struct OpRecord {
     pub start: Time,
     /// When the final reply arrived.
     pub end: Time,
-    /// Success?
-    pub ok: bool,
+    /// The typed outcome: `Ok(())` on success, or the [`KvError`] that
+    /// ended the operation (not found, rejected, retries exhausted).
+    pub result: Result<(), KvError>,
     /// Attempts used (1 = no retries).
     pub attempts: u32,
     /// Value size moved (put: sent; get: received).
     pub size: u32,
     /// For gets: the returned bytes (tests assert on these).
     pub bytes: Option<Vec<u8>>,
+}
+
+impl OpRecord {
+    /// Did the operation succeed?
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The error that ended the operation, if it failed.
+    pub fn err(&self) -> Option<&KvError> {
+        self.result.as_ref().err()
+    }
 }
 
 struct InFlight {
@@ -137,7 +151,7 @@ impl ClientApp {
         let lats: Vec<u64> = self
             .records
             .iter()
-            .filter(|r| r.is_put == puts && r.ok)
+            .filter(|r| r.is_put == puts && r.ok())
             .map(|r| (r.end - r.start).as_ns())
             .collect();
         if lats.is_empty() {
@@ -232,7 +246,13 @@ impl ClientApp {
         ctx.set_timer(self.cfg.client_retry, TOK_RETRY_BASE | seq);
     }
 
-    fn complete(&mut self, ok: bool, size: u32, bytes: Option<Vec<u8>>, ctx: &mut Ctx) {
+    fn complete(
+        &mut self,
+        result: Result<(), KvError>,
+        size: u32,
+        bytes: Option<Vec<u8>>,
+        ctx: &mut Ctx,
+    ) {
         let Some(inf) = self.inflight.take() else {
             return;
         };
@@ -241,7 +261,7 @@ impl ClientApp {
             key: inf.op.key().to_owned(),
             start: inf.start,
             end: ctx.now(),
-            ok,
+            result,
             attempts: inf.attempts,
             size,
             bytes,
@@ -263,7 +283,11 @@ impl ClientApp {
                 ClientOp::Put { value, .. } => value.size(),
                 ClientOp::Get { .. } => 0,
             };
-            self.complete(false, size, None, ctx);
+            let err = KvError::RetriesExhausted {
+                key: inf.op.key().to_owned(),
+                attempts: inf.attempts,
+            };
+            self.complete(Err(err), size, None, ctx);
             return;
         }
         self.attempt(ctx);
@@ -291,19 +315,26 @@ impl ClientApp {
                                         ClientOp::Put { value, .. } => value.size(),
                                         _ => 0,
                                     };
-                                    self.complete(ok, size, None, ctx);
+                                    let result = if ok {
+                                        Ok(())
+                                    } else {
+                                        Err(KvError::PutRejected {
+                                            key: inf.op.key().to_owned(),
+                                        })
+                                    };
+                                    self.complete(result, size, None, ctx);
                                 }
                             }
                         }
                         KvMsg::GetReply { op, value, .. } => {
                             let op = *op;
-                            let (ok, size, bytes) = match value {
+                            let (found, size, bytes) = match value {
                                 Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
                                 None => (false, 0, None),
                             };
                             if let Some(inf) = self.inflight.as_ref() {
                                 if inf.id == op {
-                                    if !ok
+                                    if !found
                                         && self.retry_not_found
                                         && inf.attempts < self.max_attempts
                                     {
@@ -313,7 +344,14 @@ impl ClientApp {
                                         );
                                         continue;
                                     }
-                                    self.complete(ok, size, bytes, ctx);
+                                    let result = if found {
+                                        Ok(())
+                                    } else {
+                                        Err(KvError::NotFound {
+                                            key: inf.op.key().to_owned(),
+                                        })
+                                    };
+                                    self.complete(result, size, bytes, ctx);
                                 }
                             }
                         }
@@ -328,7 +366,7 @@ impl ClientApp {
                                 ClientOp::Put { value, .. } => value.size(),
                                 _ => 0,
                             };
-                            self.complete(true, size, None, ctx);
+                            self.complete(Ok(()), size, None, ctx);
                         }
                     }
                 }

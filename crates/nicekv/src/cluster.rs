@@ -8,7 +8,9 @@ use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable, L3Learner};
 use nice_ring::{hash_str, NodeIdx, PartitionId, PhysicalRing};
-use nice_sim::{ChannelCfg, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time};
+use nice_sim::{
+    ChannelCfg, FaultPlan, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time,
+};
 
 use crate::client::{ClientApp, ClientOp};
 use crate::config::KvConfig;
@@ -51,6 +53,9 @@ pub struct ClusterCfg {
     /// Clients retry NotFound gets with a short backoff (hot-object
     /// benchmarks where readers race the first write).
     pub retry_not_found: bool,
+    /// Deterministic fault plan, applied at the simulator's packet
+    /// delivery choke point. Outage indices address storage nodes.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterCfg {
@@ -71,7 +76,132 @@ impl ClusterCfg {
             client_start: Time::from_ms(50),
             client_ops,
             retry_not_found: false,
+            fault_plan: None,
         }
+    }
+}
+
+/// Fluent cluster construction — the one setup API the NICE and NOOB
+/// harnesses share. NICE callers finish with [`ClusterBuilder::build`];
+/// NOOB callers hand the same builder to `NoobClusterCfg::from_builder`,
+/// so an A/B experiment configures both systems identically and differs
+/// only in access mechanism:
+///
+/// ```
+/// use nice_kv::ClusterBuilder;
+/// let c = ClusterBuilder::new().nodes(5).replication(3).build();
+/// assert_eq!(c.servers.len(), 5);
+/// ```
+#[derive(Clone)]
+pub struct ClusterBuilder {
+    cfg: ClusterCfg,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// The default deployment shape: 8 storage nodes, R = 3, no clients.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder {
+            cfg: ClusterCfg::new(8, 3, Vec::new()),
+        }
+    }
+
+    /// Storage node count.
+    pub fn nodes(mut self, n: usize) -> ClusterBuilder {
+        self.cfg.storage_nodes = n;
+        self
+    }
+
+    /// Provisioned-but-idle spare nodes (§4.4 ring reconfiguration).
+    pub fn spares(mut self, n: usize) -> ClusterBuilder {
+        self.cfg.spare_nodes = n;
+        self
+    }
+
+    /// Replication level R.
+    pub fn replication(mut self, r: usize) -> ClusterBuilder {
+        self.cfg.replication = r;
+        self.cfg.kv.replication = r;
+        self
+    }
+
+    /// Determinism seed.
+    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Partition count override (default: nodes rounded up to a power of
+    /// two, min 16).
+    pub fn partitions(mut self, parts: u32) -> ClusterBuilder {
+        self.cfg.partitions = Some(parts);
+        self
+    }
+
+    /// Deploy a hot-standby metadata replica (§4.1).
+    pub fn metadata_standby(mut self) -> ClusterBuilder {
+        self.cfg.metadata_standby = true;
+        self
+    }
+
+    /// Inject faults from `plan`: loss, duplication, extra delay,
+    /// partitions, and node outages, all applied deterministically at the
+    /// packet-delivery choke point. Outage indices address storage nodes.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> ClusterBuilder {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    /// Adjust KV-level knobs in place (timeouts, put mode, LB).
+    pub fn kv(mut self, f: impl FnOnce(&mut KvConfig)) -> ClusterBuilder {
+        f(&mut self.cfg.kv);
+        self
+    }
+
+    /// Storage device model.
+    pub fn storage(mut self, storage: StorageCfg) -> ClusterBuilder {
+        self.cfg.storage = storage;
+        self
+    }
+
+    /// When clients start issuing operations.
+    pub fn client_start(mut self, at: Time) -> ClusterBuilder {
+        self.cfg.client_start = at;
+        self
+    }
+
+    /// Replace the per-client op lists (one entry per client host).
+    pub fn clients(mut self, ops: Vec<Vec<ClientOp>>) -> ClusterBuilder {
+        self.cfg.client_ops = ops;
+        self
+    }
+
+    /// Append one more client running `ops`.
+    pub fn client(mut self, ops: Vec<ClientOp>) -> ClusterBuilder {
+        self.cfg.client_ops.push(ops);
+        self
+    }
+
+    /// Retry NotFound gets with a short backoff.
+    pub fn retry_not_found(mut self) -> ClusterBuilder {
+        self.cfg.retry_not_found = true;
+        self
+    }
+
+    /// The assembled configuration (NOOB conversion, or field-level
+    /// tweaks the fluent surface does not cover).
+    pub fn into_cfg(self) -> ClusterCfg {
+        self.cfg
+    }
+
+    /// Build and wire the NICE deployment.
+    pub fn build(self) -> NiceCluster {
+        NiceCluster::build(self.cfg)
     }
 }
 
@@ -246,6 +376,12 @@ impl NiceCluster {
             None
         };
 
+        // Fault injection: one plan at the delivery choke point; outage
+        // indices map onto the storage-node slice.
+        if let Some(plan) = cfg.fault_plan {
+            sim.install_fault_plan(plan, &servers);
+        }
+
         NiceCluster {
             sim,
             cfg: kv,
@@ -345,6 +481,23 @@ mod tests {
         for k in &keys {
             assert_eq!((hash_str(k) >> (64 - bits)) as u32, 5);
         }
+    }
+
+    #[test]
+    fn fluent_builder_matches_cfg_and_installs_faults() {
+        let c = ClusterBuilder::new()
+            .nodes(6)
+            .replication(3)
+            .seed(7)
+            .client(vec![])
+            .fault_plan(FaultPlan::new(7).loss(0.5))
+            .build();
+        assert_eq!(c.servers.len(), 6);
+        assert_eq!(c.clients.len(), 1);
+        assert!(
+            c.sim.fault_stats().is_some(),
+            "fault plan reached the simulator"
+        );
     }
 
     #[test]

@@ -1,23 +1,30 @@
-//! Typed internal errors for the NICEKV request paths.
+//! Typed errors for the NICEKV request paths and public client API.
 //!
-//! The server request path must never panic (`xtask lint` rule
+//! The request paths must never panic (`xtask lint` rule
 //! `panic-path`): lookups that "cannot fail" under correct operation are
 //! still total functions here. When one does fail — a coordinator record
-//! vanishing mid-2PC, an in-flight slot missing while a token arrives —
-//! the failure surfaces as a [`KvError`] that is counted
-//! ([`crate::Counters::internal_errors`]) and retained
-//! ([`crate::ServerApp::last_internal_error`]) so the node degrades one
-//! operation instead of crashing the process.
+//! vanishing mid-2PC, an in-flight slot missing while a token arrives, a
+//! partition view evaporating under the metadata service — the failure
+//! surfaces as a [`KvError`] that is counted and retained so the node
+//! degrades one operation instead of crashing the process.
+//!
+//! The same enum is the public operation-outcome type: a completed
+//! client operation carries `Result<(), KvError>`
+//! ([`crate::OpRecord::result`]) instead of a bare bool, so callers can
+//! distinguish "key absent" from "cluster unreachable".
 
 use crate::msg::OpId;
+use nice_ring::{NodeIdx, PartitionId};
 use std::error::Error;
 use std::fmt;
 
-/// An internal invariant violation in the KV request path.
+/// A typed failure in the KV request path or client API.
 ///
-/// Every variant describes a state that is unreachable when the protocol
-/// state machines are correct; producing one is a bug, but a bug that
-/// should fail a single operation, not the node.
+/// The `*Missing` variants describe states that are unreachable when the
+/// protocol state machines are correct; producing one is a bug, but a
+/// bug that should fail a single operation, not the node. The remaining
+/// variants are ordinary operation outcomes (not found, retries
+/// exhausted, rejected) surfaced to callers as typed errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvError {
     /// The 2PC coordinator record for `(key, op)` disappeared while the
@@ -35,6 +42,44 @@ pub enum KvError {
         /// Operation id the token was issued for.
         op: OpId,
     },
+    /// A get found no committed value under the key.
+    NotFound {
+        /// The key that was read.
+        key: String,
+    },
+    /// The server rejected a put (lock conflict that never healed within
+    /// the client's retry budget).
+    PutRejected {
+        /// The key that was written.
+        key: String,
+    },
+    /// The client used its whole retry budget without a conclusive reply.
+    RetriesExhausted {
+        /// The key of the abandoned operation.
+        key: String,
+        /// Attempts used before giving up.
+        attempts: u32,
+    },
+    /// The metadata service has no view for a partition it was asked to
+    /// mutate — the partition map and the ring disagree.
+    ViewMissing {
+        /// The partition without a view.
+        partition: PartitionId,
+    },
+    /// A membership change found no eligible node to take over a role
+    /// (promotion, handoff, or division assignment).
+    NoEligibleNode {
+        /// The partition needing a member, if the failure is per-partition.
+        partition: Option<PartitionId>,
+    },
+    /// The metadata service was asked about a node index outside the
+    /// cluster it manages.
+    UnknownNode {
+        /// The out-of-range node.
+        node: NodeIdx,
+    },
+    /// A gateway had no live backend to forward a request to.
+    NoBackend,
 }
 
 impl fmt::Display for KvError {
@@ -49,6 +94,22 @@ impl fmt::Display for KvError {
             KvError::InflightMissing { op } => {
                 write!(f, "no in-flight client operation for op {op:?}")
             }
+            KvError::NotFound { key } => write!(f, "key {key:?} not found"),
+            KvError::PutRejected { key } => write!(f, "put of key {key:?} rejected"),
+            KvError::RetriesExhausted { key, attempts } => {
+                write!(f, "gave up on key {key:?} after {attempts} attempts")
+            }
+            KvError::ViewMissing { partition } => {
+                write!(f, "no view for partition {}", partition.0)
+            }
+            KvError::NoEligibleNode { partition } => match partition {
+                Some(p) => write!(f, "no eligible node for partition {}", p.0),
+                None => write!(f, "no eligible node"),
+            },
+            KvError::UnknownNode { node } => {
+                write!(f, "node index {} outside the cluster", node.0)
+            }
+            KvError::NoBackend => write!(f, "gateway has no live backend"),
         }
     }
 }

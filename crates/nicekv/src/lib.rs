@@ -19,7 +19,7 @@
 //! let mut cluster = NiceCluster::build(ClusterCfg::new(5, 3, vec![ops]));
 //! assert!(cluster.run_until_done(Time::from_secs(10)));
 //! let records = &cluster.client(0).records;
-//! assert!(records.iter().all(|r| r.ok));
+//! assert!(records.iter().all(|r| r.ok()));
 //! assert_eq!(records[1].bytes.as_deref(), Some(b"world".as_slice()));
 //! ```
 
@@ -35,7 +35,7 @@ pub mod server;
 pub mod storage;
 
 pub use client::{ClientApp, ClientOp, OpRecord};
-pub use cluster::{ClusterCfg, NiceCluster};
+pub use cluster::{ClusterBuilder, ClusterCfg, NiceCluster};
 pub use config::{KvConfig, PutMode};
 pub use error::KvError;
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};

@@ -22,6 +22,7 @@ use nice_sim::{App, Ctx, Ipv4, Mac, Packet, Port, SwitchId, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::KvConfig;
+use crate::error::KvError;
 use crate::msg::{HandoffRecord, KvMsg, LoadStats, PartitionView};
 
 const TOK_HBCHECK: u64 = 1;
@@ -132,6 +133,11 @@ pub struct MetadataApp {
     standby: Option<Ipv4>,
     /// Sync messages missed (standby side).
     missed_syncs: u32,
+    /// Internal invariant violations absorbed instead of panicking
+    /// (mirrors the server's degradation policy).
+    pub internal_errors: u64,
+    /// The most recent absorbed error, for diagnostics.
+    pub last_internal_error: Option<KvError>,
 }
 
 /// A queued administrator command.
@@ -186,7 +192,16 @@ impl MetadataApp {
             role: MetaRole::Active,
             standby: None,
             missed_syncs: 0,
+            internal_errors: 0,
+            last_internal_error: None,
         }
+    }
+
+    /// Record an internal invariant violation: the service degrades the
+    /// one membership operation instead of crashing the control plane.
+    fn note_internal(&mut self, e: KvError) {
+        self.internal_errors += 1;
+        self.last_internal_error = Some(e);
     }
 
     /// Make this instance a hot standby shadowing `active` (§4.1).
@@ -217,9 +232,27 @@ impl MetadataApp {
         self.views.get(&p)
     }
 
+    /// Current view of a partition, as a typed result.
+    pub fn try_view(&self, p: PartitionId) -> Result<&PartitionView, KvError> {
+        self.views
+            .get(&p)
+            .ok_or(KvError::ViewMissing { partition: p })
+    }
+
     /// Liveness state of a node.
+    ///
+    /// # Panics
+    /// If `n` is outside the cluster; see [`try_node_state`](Self::try_node_state).
     pub fn node_state(&self, n: NodeIdx) -> NodeState {
         self.nodes[n.0 as usize].state
+    }
+
+    /// Liveness state of a node, as a typed result.
+    pub fn try_node_state(&self, n: NodeIdx) -> Result<NodeState, KvError> {
+        self.nodes
+            .get(n.0 as usize)
+            .map(|info| info.state)
+            .ok_or(KvError::UnknownNode { node: n })
     }
 
     /// Live flow-table entries on the first switch (the §4.6 occupancy).
@@ -243,7 +276,10 @@ impl MetadataApp {
 
     /// (Re-)install all rules for one partition across every switch.
     fn install_partition(&mut self, p: PartitionId, now: Time) {
-        let view = self.views.get(&p).expect("view exists").clone();
+        let Some(view) = self.views.get(&p).cloned() else {
+            self.note_internal(KvError::ViewMissing { partition: p });
+            return;
+        };
         // Get-eligible targets: live members only (failure hiding +
         // rejoining nodes stay invisible to gets).
         let get_targets: Vec<(NodeIdx, Ipv4)> = view
@@ -362,7 +398,10 @@ impl MetadataApp {
     // -----------------------------------------------------------------
 
     fn push_view(&mut self, p: PartitionId, extra: &[NodeIdx], ctx: &mut Ctx) {
-        let view = self.views.get(&p).expect("view").clone();
+        let Some(view) = self.views.get(&p).cloned() else {
+            self.note_internal(KvError::ViewMissing { partition: p });
+            return;
+        };
         let mut recipients: Vec<NodeIdx> = view.members.iter().map(|&(n, _)| n).collect();
         for &e in extra {
             if !recipients.contains(&e) {
@@ -397,7 +436,10 @@ impl MetadataApp {
             .map(|(&p, _)| p)
             .collect();
         for p in affected {
-            let mut view = self.views.get(&p).expect("view").clone();
+            let Some(mut view) = self.views.get(&p).cloned() else {
+                self.note_internal(KvError::ViewMissing { partition: p });
+                continue;
+            };
             view.members.retain(|&(m, _)| m != n);
             let mut new_primary = None;
             if view.primary == n {
@@ -539,7 +581,10 @@ impl MetadataApp {
         let mut sources: Vec<(PartitionId, Option<Ipv4>)> = Vec::new();
         let parts = self.ring.partitions_of(n);
         for p in parts {
-            let mut view = self.views.get(&p).expect("view").clone();
+            let Some(mut view) = self.views.get(&p).cloned() else {
+                self.note_internal(KvError::ViewMissing { partition: p });
+                continue;
+            };
             if !view.members.iter().any(|&(m, _)| m == n) {
                 view.members.push((n, self.addr(n)));
             }
@@ -559,10 +604,11 @@ impl MetadataApp {
             // while we were gone — drain the full range from the primary
             // (correct even when the handoff chain was broken).
             let source_ip = handoff_ip.or_else(|| {
-                let view = self.views.get(&p).expect("view");
-                let pr = view.primary;
-                (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down)
-                    .then(|| self.addr(pr))
+                self.views.get(&p).and_then(|view| {
+                    let pr = view.primary;
+                    (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down)
+                        .then(|| self.addr(pr))
+                })
             });
             sources.push((p, source_ip));
             let now = ctx.now();
@@ -607,7 +653,10 @@ impl MetadataApp {
         // Per-node sync plans accumulated across affected partitions.
         let mut plans: BTreeMap<NodeIdx, Vec<(PartitionId, Option<Ipv4>)>> = BTreeMap::new();
         for p in changed {
-            let old = self.views.get(&p).expect("view").clone();
+            let Some(old) = self.views.get(&p).cloned() else {
+                self.note_internal(KvError::ViewMissing { partition: p });
+                continue;
+            };
             let new_set = self.ring.replica_set(p).to_vec();
             let mut view = PartitionView {
                 partition: p,
@@ -675,7 +724,10 @@ impl MetadataApp {
                 .map(|(&p, _)| p)
                 .collect();
             for p in parts {
-                let mut view = self.views.get(&p).expect("view").clone();
+                let Some(mut view) = self.views.get(&p).cloned() else {
+                    self.note_internal(KvError::ViewMissing { partition: p });
+                    continue;
+                };
                 view.syncing.retain(|&m| m != n);
                 self.views.insert(p, view);
                 let now = ctx.now();
@@ -706,7 +758,10 @@ impl MetadataApp {
                     }
                 }
             }
-            let mut view = self.views.get(&p).expect("view").clone();
+            let Some(mut view) = self.views.get(&p).cloned() else {
+                self.note_internal(KvError::ViewMissing { partition: p });
+                continue;
+            };
             view.members.retain(|&(m, _)| !retired.contains(&m));
             view.handoffs = self
                 .handoffs
@@ -809,7 +864,10 @@ impl MetadataApp {
     fn rebalance(&mut self, ctx: &mut Ctx) {
         let parts: Vec<PartitionId> = self.views.keys().copied().collect();
         for p in parts {
-            let view = self.views.get(&p).expect("view");
+            let Some(view) = self.views.get(&p) else {
+                self.note_internal(KvError::ViewMissing { partition: p });
+                continue;
+            };
             let targets: Vec<NodeIdx> = view
                 .members
                 .iter()
@@ -1003,9 +1061,7 @@ pub fn assign_divisions_lpt(loads: &[u64], targets: usize) -> Vec<usize> {
     let mut acc = vec![0u64; targets];
     let mut out = vec![0usize; loads.len()];
     for d in order {
-        let t = (0..targets)
-            .min_by_key(|&t| (acc[t], t))
-            .expect("targets > 0");
+        let t = (0..targets).min_by_key(|&t| (acc[t], t)).unwrap_or(0);
         out[d] = t;
         acc[t] += loads[d];
     }

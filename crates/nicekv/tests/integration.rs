@@ -2,7 +2,7 @@
 //! load balancing, failure handling, and recovery — the mechanisms of
 //! §3–§4 exercised through the full simulated fabric.
 
-use nice_kv::{ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, PutMode, Value};
+use nice_kv::{ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, OpRecord, PutMode, Value};
 use nice_ring::{NodeIdx, PartitionId};
 use nice_sim::Time;
 
@@ -30,7 +30,7 @@ fn put_get_roundtrip_many_keys() {
     assert!(c.run_until_done(Time::from_secs(30)));
     let recs = &c.client(0).records;
     assert_eq!(recs.len(), 40);
-    assert!(recs.iter().all(|r| r.ok), "all ops succeed");
+    assert!(recs.iter().all(OpRecord::ok), "all ops succeed");
     for i in 0..20 {
         let r = &recs[20 + i];
         assert_eq!(r.bytes.as_deref(), Some(format!("value-{i}").as_bytes()));
@@ -77,7 +77,7 @@ fn overwrite_returns_latest_value() {
     let mut c = NiceCluster::build(ClusterCfg::new(6, 3, vec![ops]));
     assert!(c.run_until_done(Time::from_secs(10)));
     let recs = &c.client(0).records;
-    assert!(recs.iter().all(|r| r.ok));
+    assert!(recs.iter().all(OpRecord::ok));
     assert_eq!(recs[3].bytes.as_deref(), Some(b"v3".as_slice()));
 }
 
@@ -88,7 +88,7 @@ fn get_of_missing_key_fails_cleanly() {
     assert!(c.run_until_done(Time::from_secs(10)));
     let recs = &c.client(0).records;
     assert_eq!(recs.len(), 1);
-    assert!(!recs[0].ok);
+    assert!(!recs[0].ok());
     assert!(recs[0].bytes.is_none());
 }
 
@@ -110,7 +110,7 @@ fn concurrent_clients_with_disjoint_keys() {
     for cl in 0..4 {
         let recs = &c.client(cl).records;
         assert_eq!(recs.len(), 20);
-        assert!(recs.iter().all(|r| r.ok), "client {cl}");
+        assert!(recs.iter().all(OpRecord::ok), "client {cl}");
         for (i, r) in recs.iter().enumerate() {
             if !r.is_put {
                 let k = i / 2;
@@ -132,8 +132,8 @@ fn concurrent_writers_same_key_converge() {
         .collect();
     let mut c = NiceCluster::build(ClusterCfg::new(6, 3, vec![ops_a, ops_b]));
     assert!(c.run_until_done(Time::from_secs(30)));
-    assert!(c.client(0).records.iter().all(|r| r.ok));
-    assert!(c.client(1).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
+    assert!(c.client(1).records.iter().all(OpRecord::ok));
     let p = c.ring.partition_of_key(b"contended");
     let replicas: Vec<usize> = c.ring.replica_set(p).iter().map(|n| n.0 as usize).collect();
     let versions: Vec<(Vec<u8>, nice_kv::Timestamp)> = replicas
@@ -217,7 +217,7 @@ fn quorum_mode_completes_puts() {
     assert!(c.run_until_done(Time::from_secs(10)));
     let recs = &c.client(0).records;
     assert_eq!(recs.len(), 5);
-    assert!(recs.iter().all(|r| r.ok));
+    assert!(recs.iter().all(OpRecord::ok));
 }
 
 #[test]
@@ -288,9 +288,9 @@ fn secondary_failure_handoff_and_recovery() {
     // every op eventually succeeded
     let recs = &c.client(0).records;
     assert!(
-        recs.iter().all(|r| r.ok),
+        recs.iter().all(OpRecord::ok),
         "ops failed: {:?}",
-        recs.iter().filter(|r| !r.ok).count()
+        recs.iter().filter(|r| !r.ok()).count()
     );
     // some put needed a retry (the <2 s unavailability window)
     let events: Vec<&MetaEvent> = c.meta_app().events.iter().map(|(_, e)| e).collect();
@@ -367,7 +367,7 @@ fn handoff_forwards_gets_for_objects_it_lacks() {
     assert!(done, "post-failure gets must finish");
     let recs = &c.client(0).records;
     let post: Vec<_> = recs.iter().skip(keys.len()).collect();
-    assert!(post.iter().all(|r| r.ok), "gets after failure succeed");
+    assert!(post.iter().all(|r| r.ok()), "gets after failure succeed");
     // if the handoff ever saw one of those gets, it forwarded (it has no
     // pre-failure objects)
     let fwd = c.server(handoff as usize).counters().gets_forwarded;
@@ -407,7 +407,7 @@ fn primary_failure_promotes_secondary_and_work_continues() {
         "workload survives primary failure"
     );
     let recs = &c.client(0).records;
-    let failed = recs.iter().filter(|r| !r.ok).count();
+    let failed = recs.iter().filter(|r| !r.ok()).count();
     assert_eq!(failed, 0, "every op eventually succeeded");
     let events = &c.meta_app().events;
     assert!(
@@ -445,7 +445,7 @@ fn writes_during_failure_reach_rejoined_node() {
     c.sim
         .schedule_restart(Time::from_secs(6), c.servers[victim as usize]);
     assert!(c.run_until_done(Time::from_secs(30)));
-    assert!(c.client(0).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
     // give recovery time to drain the handoff
     c.sim.run_for(Time::from_secs(4));
     assert_eq!(c.meta_app().node_state(NodeIdx(victim)), NodeState::Up);

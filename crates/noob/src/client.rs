@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use nice_kv::{ClientOp, OpId, OpRecord};
+use nice_kv::{ClientOp, KvError, OpId, OpRecord};
 use nice_sim::Rng;
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
@@ -104,7 +104,7 @@ impl NoobClientApp {
         let lats: Vec<u64> = self
             .records
             .iter()
-            .filter(|r| r.is_put == puts && r.ok)
+            .filter(|r| r.is_put == puts && r.ok())
             .map(|r| (r.end - r.start).as_ns())
             .collect();
         if lats.is_empty() {
@@ -196,7 +196,13 @@ impl NoobClientApp {
         ctx.set_timer(self.retry, TOK_RETRY_BASE | id.client_seq);
     }
 
-    fn complete(&mut self, ok: bool, size: u32, bytes: Option<Vec<u8>>, ctx: &mut Ctx) {
+    fn complete(
+        &mut self,
+        result: Result<(), KvError>,
+        size: u32,
+        bytes: Option<Vec<u8>>,
+        ctx: &mut Ctx,
+    ) {
         let Some(inf) = self.inflight.take() else {
             return;
         };
@@ -205,7 +211,7 @@ impl NoobClientApp {
             key: inf.op.key().to_owned(),
             start: inf.start,
             end: ctx.now(),
-            ok,
+            result,
             attempts: inf.attempts,
             size,
             bytes,
@@ -238,23 +244,37 @@ impl NoobClientApp {
                                 ClientOp::Put { value, .. } => value.size(),
                                 _ => 0,
                             };
-                            self.complete(ok, size, None, ctx);
+                            let result = if ok {
+                                Ok(())
+                            } else {
+                                Err(KvError::PutRejected {
+                                    key: inf.op.key().to_owned(),
+                                })
+                            };
+                            self.complete(result, size, None, ctx);
                         }
                     }
                 }
                 NoobMsg::GetReply { op, value } => {
                     let op = *op;
-                    let (ok, size, bytes) = match value {
+                    let (found, size, bytes) = match value {
                         Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
                         None => (false, 0, None),
                     };
                     if let Some(inf) = self.inflight.as_ref() {
                         if inf.id == op {
-                            if !ok && self.retry_not_found && inf.attempts < self.max_attempts {
+                            if !found && self.retry_not_found && inf.attempts < self.max_attempts {
                                 ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
                                 continue;
                             }
-                            self.complete(ok, size, bytes, ctx);
+                            let result = if found {
+                                Ok(())
+                            } else {
+                                Err(KvError::NotFound {
+                                    key: inf.op.key().to_owned(),
+                                })
+                            };
+                            self.complete(result, size, bytes, ctx);
                         }
                     }
                 }
@@ -286,14 +306,20 @@ impl App for NoobClientApp {
         }
         if token >= TOK_RETRY_BASE {
             let seq = token & 0xFFFF_FFFF;
-            let retry_now = match self.inflight.as_ref() {
-                Some(inf) if inf.id.client_seq == seq => inf.attempts < self.max_attempts,
+            let (retry_now, err) = match self.inflight.as_ref() {
+                Some(inf) if inf.id.client_seq == seq => (
+                    inf.attempts < self.max_attempts,
+                    KvError::RetriesExhausted {
+                        key: inf.op.key().to_owned(),
+                        attempts: inf.attempts,
+                    },
+                ),
                 _ => return,
             };
             if retry_now {
                 self.attempt(ctx);
             } else {
-                self.complete(false, 0, None, ctx);
+                self.complete(Err(err), 0, None, ctx);
             }
         }
     }

@@ -9,7 +9,9 @@ use std::rc::Rc;
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable};
 use nice_kv::{ClientOp, StorageCfg};
 use nice_ring::{NodeIdx, PhysicalRing};
-use nice_sim::{ChannelCfg, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time};
+use nice_sim::{
+    ChannelCfg, FaultPlan, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time,
+};
 
 use crate::client::{ClientRoute, NoobClientApp};
 use crate::gateway::{GatewayApp, GatewayPolicy};
@@ -51,6 +53,9 @@ pub struct NoobClusterCfg {
     pub client_ops: Vec<Vec<ClientOp>>,
     /// Clients retry NotFound gets with a short backoff.
     pub retry_not_found: bool,
+    /// Deterministic fault plan, applied at the simulator's packet
+    /// delivery choke point. Outage indices address storage nodes.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl NoobClusterCfg {
@@ -78,7 +83,36 @@ impl NoobClusterCfg {
             client_start: Time::from_ms(50),
             client_ops,
             retry_not_found: false,
+            fault_plan: None,
         }
+    }
+
+    /// Derive a NOOB deployment from the shared [`nice_kv::ClusterBuilder`]:
+    /// nodes, replication, seed, clients, and the fault plan carry over
+    /// unchanged, so an A/B experiment against NICE differs only in the
+    /// access mechanism and consistency mode chosen here.
+    pub fn from_builder(
+        b: nice_kv::ClusterBuilder,
+        access: Access,
+        mode: NoobMode,
+    ) -> NoobClusterCfg {
+        let shared = b.into_cfg();
+        let mut cfg = NoobClusterCfg::new(
+            shared.storage_nodes,
+            shared.replication,
+            access,
+            mode,
+            shared.client_ops,
+        );
+        cfg.seed = shared.seed;
+        cfg.partitions = shared.partitions;
+        cfg.storage = shared.storage;
+        cfg.link = shared.link;
+        cfg.switch = shared.switch;
+        cfg.client_start = shared.client_start;
+        cfg.retry_not_found = shared.retry_not_found;
+        cfg.fault_plan = shared.fault_plan;
+        cfg
     }
 }
 
@@ -192,6 +226,12 @@ impl NoobCluster {
                 ),
                 Time::ZERO,
             );
+        }
+
+        // Fault injection: one plan at the delivery choke point; outage
+        // indices map onto the storage-node slice.
+        if let Some(plan) = cfg.fault_plan {
+            sim.install_fault_plan(plan, &servers);
         }
 
         NoobCluster {

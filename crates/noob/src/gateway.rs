@@ -5,6 +5,9 @@
 //! per-message costs, which is exactly why ROG costs two extra hops and
 //! RAG one.
 
+use std::collections::BTreeMap;
+
+use nice_kv::KvError;
 use nice_sim::Rng;
 use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
@@ -36,10 +39,16 @@ pub struct GatewayApp {
     ring: NoobRing,
     policy: GatewayPolicy,
     tp: Transport,
-    pending: std::collections::HashMap<u64, NoobMsg>,
+    /// Deferred forwards keyed by continuation token. Ordered map: the
+    /// `unordered_iter` lint bans hash-ordered state in protocol crates.
+    pending: BTreeMap<u64, NoobMsg>,
     next_tok: u64,
     /// Requests forwarded.
     pub forwarded: u64,
+    /// Requests dropped because no backend was available.
+    pub dropped_no_backend: u64,
+    /// The most recent forwarding error, for diagnostics.
+    pub last_error: Option<KvError>,
 }
 
 impl GatewayApp {
@@ -49,26 +58,34 @@ impl GatewayApp {
             tp: Transport::new(ring.port),
             ring,
             policy,
-            pending: std::collections::HashMap::new(),
+            pending: BTreeMap::new(),
             next_tok: TOK_FWD_BASE,
             forwarded: 0,
+            dropped_no_backend: 0,
+            last_error: None,
         }
     }
 
-    fn target(&self, key: &str, is_get: bool, ctx: &mut Ctx) -> nice_sim::Ipv4 {
+    fn target(&self, key: &str, is_get: bool, ctx: &mut Ctx) -> Result<nice_sim::Ipv4, KvError> {
         match self.policy {
             GatewayPolicy::RandomNode => {
+                if self.ring.addrs.is_empty() {
+                    return Err(KvError::NoBackend);
+                }
                 let i = ctx.rng().random_range(0..self.ring.addrs.len());
-                self.ring.addrs[i]
+                Ok(self.ring.addrs[i])
             }
-            GatewayPolicy::Primary => self.ring.primary_addr(key),
+            GatewayPolicy::Primary => Ok(self.ring.primary_addr(key)),
             GatewayPolicy::BalancedReplicas => {
                 if is_get {
                     let replicas = self.ring.replica_addrs(key);
+                    if replicas.is_empty() {
+                        return Err(KvError::NoBackend);
+                    }
                     let i = ctx.rng().random_range(0..replicas.len());
-                    replicas[i]
+                    Ok(replicas[i])
                 } else {
-                    self.ring.primary_addr(key)
+                    Ok(self.ring.primary_addr(key))
                 }
             }
         }
@@ -98,7 +115,14 @@ impl GatewayApp {
                 op,
                 hops,
             } => {
-                let dst = self.target(&key, false, ctx);
+                let dst = match self.target(&key, false, ctx) {
+                    Ok(dst) => dst,
+                    Err(e) => {
+                        self.dropped_no_backend += 1;
+                        self.last_error = Some(e);
+                        return;
+                    }
+                };
                 let size = value.size() + key.len() as u32 + 64;
                 self.forwarded += 1;
                 self.tp.tcp_send(
@@ -117,7 +141,14 @@ impl GatewayApp {
                 );
             }
             NoobMsg::Get { key, op, hops } => {
-                let dst = self.target(&key, true, ctx);
+                let dst = match self.target(&key, true, ctx) {
+                    Ok(dst) => dst,
+                    Err(e) => {
+                        self.dropped_no_backend += 1;
+                        self.last_error = Some(e);
+                        return;
+                    }
+                };
                 let size = key.len() as u32 + 64;
                 self.forwarded += 1;
                 self.tp.tcp_send(

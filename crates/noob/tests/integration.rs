@@ -1,7 +1,7 @@
 //! End-to-end tests of every NOOB configuration: ROG/RAG/RAC access ×
 //! primary-only/2PC/quorum/chain replication.
 
-use nice_kv::{ClientOp, Value};
+use nice_kv::{ClientOp, OpRecord, Value};
 use nice_noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice_sim::Time;
 
@@ -28,7 +28,7 @@ fn roundtrip_ops(n: usize) -> Vec<ClientOp> {
 fn assert_roundtrip(c: &NoobCluster, client: usize, n: usize) {
     let recs = &c.client(client).records;
     assert_eq!(recs.len(), 2 * n);
-    assert!(recs.iter().all(|r| r.ok), "ops failed");
+    assert!(recs.iter().all(OpRecord::ok), "ops failed");
     for i in 0..n {
         let r = &recs[2 * i + 1];
         assert_eq!(r.bytes.as_deref(), Some(format!("v{i}").as_bytes()));
@@ -104,7 +104,7 @@ fn quorum_replies_early_and_replicates_fully() {
         vec![ops],
     ));
     assert!(c.run_until_done(Time::from_secs(30)));
-    assert!(c.client(0).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
     // background replication still completes everywhere
     c.sim.run_for(Time::from_secs(1));
     for i in 0..5 {
@@ -265,7 +265,7 @@ fn caching_rac_warms_up() {
     let mut c = NoobCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(60)));
     let recs = &c.client(0).records;
-    assert!(recs.iter().all(|r| r.ok));
+    assert!(recs.iter().all(OpRecord::ok));
     let (hits, misses) = c.client(0).cache_stats;
     // 10 puts + 30 gets = 40 routing decisions; at most one miss per key
     assert_eq!(hits + misses, 40);

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod ids;
 pub mod link;
@@ -57,6 +58,7 @@ pub mod switch;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultPlan, FaultRecord, FaultStats};
 pub use host::{App, CpuCfg, Ctx, HostCfg};
 pub use ids::{ChannelId, Endpoint, HostId, Port, SwitchId};
 pub use link::{Channel, ChannelCfg, ChannelStats};

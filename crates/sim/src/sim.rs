@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use nice_workload::XorShiftRng;
 
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::host::{App, Ctx, Effect, HostCfg};
 use crate::ids::{ChannelId, Endpoint, HostId, Port, SwitchId};
 use crate::link::{Channel, ChannelCfg, ChannelStats, Enqueue};
@@ -142,6 +143,7 @@ pub struct Simulation {
     seed: u64,
     effects: Vec<Effect>,
     events_processed: u64,
+    faults: Option<FaultState>,
 }
 
 impl Simulation {
@@ -157,6 +159,7 @@ impl Simulation {
             seed,
             effects: Vec::new(),
             events_processed: 0,
+            faults: None,
         }
     }
 
@@ -300,6 +303,46 @@ impl Simulation {
     /// Is the host currently up?
     pub fn is_up(&self, host: HostId) -> bool {
         self.hosts[host.0 as usize].up
+    }
+
+    /// Install a [`FaultPlan`]: from now on every packet enqueue — host
+    /// NIC sends, switch forwards/floods, controller injections — passes
+    /// the plan's choke-point filter. The plan's node outages are NOT
+    /// scheduled (they need a host mapping); use
+    /// [`install_fault_plan`](Simulation::install_fault_plan) for that.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Install a [`FaultPlan`] and schedule its node outages: each
+    /// [`Outage`](crate::fault::Outage) indexes into `nodes`, crashing
+    /// (and optionally restarting) the corresponding host. Outage
+    /// entries pointing past the end of `nodes` are ignored.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, nodes: &[HostId]) {
+        for o in plan.outages() {
+            let Some(&host) = nodes.get(o.node) else {
+                continue;
+            };
+            self.schedule_crash(o.down, host);
+            if let Some(up) = o.up {
+                self.schedule_restart(up, host);
+            }
+        }
+        self.set_fault_plan(plan);
+    }
+
+    /// Counters of the installed fault plan, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultState::stats)
+    }
+
+    /// The rendered fault trace: one line per fault fired, byte-identical
+    /// across same-seed runs. Empty when no plan is installed.
+    pub fn fault_trace(&self) -> String {
+        self.faults
+            .as_ref()
+            .map(FaultState::render_trace)
+            .unwrap_or_default()
     }
 
     // ---------------------------------------------------------------
@@ -563,14 +606,44 @@ impl Simulation {
 
     fn channel_send(&mut self, ch: ChannelId, pkt: Packet) {
         let now = self.now;
-        let c = &mut self.channels[ch.0 as usize];
-        let dst = c.dst;
-        match c.enqueue(now, &pkt) {
-            Enqueue::Arrives(at) => match dst {
-                Endpoint::Host(h) => self.push(at, Ev::NicArrive { host: h, pkt }),
-                Endpoint::Switch(sw, port) => self.push(at, Ev::SwitchArrive { sw, port, pkt }),
-            },
-            Enqueue::Dropped => {}
+        self.channel_enqueue(ch, pkt, now);
+    }
+
+    /// The single packet-delivery choke point: every channel enqueue —
+    /// host NIC sends, switch forwards/floods, controller injections —
+    /// funnels through here, so an installed [`FaultPlan`] sees (and may
+    /// drop, duplicate, or delay) every packet in the simulation.
+    fn channel_enqueue(&mut self, ch: ChannelId, pkt: Packet, at: Time) {
+        let verdict = match self.faults.as_mut() {
+            Some(f) => f.judge(at, &pkt),
+            None => crate::fault::Verdict::CLEAN,
+        };
+        let dst = self.channels[ch.0 as usize].dst;
+        for _ in 0..verdict.copies {
+            let c = &mut self.channels[ch.0 as usize];
+            match c.enqueue(at, &pkt) {
+                Enqueue::Arrives(t) => {
+                    let t = t + verdict.extra_delay;
+                    match dst {
+                        Endpoint::Host(h) => self.push(
+                            t,
+                            Ev::NicArrive {
+                                host: h,
+                                pkt: pkt.clone(),
+                            },
+                        ),
+                        Endpoint::Switch(sw, port) => self.push(
+                            t,
+                            Ev::SwitchArrive {
+                                sw,
+                                port,
+                                pkt: pkt.clone(),
+                            },
+                        ),
+                    }
+                }
+                Enqueue::Dropped => {}
+            }
         }
     }
 
@@ -657,22 +730,7 @@ impl Simulation {
         };
         // Channels refuse enqueues in the past; the forwarding latency is
         // modeled by offsetting the enqueue clock.
-        let c = &mut self.channels[ch.0 as usize];
-        let dst = c.dst;
-        match c.enqueue(at, &pkt) {
-            Enqueue::Arrives(t) => match dst {
-                Endpoint::Host(h) => self.push(t, Ev::NicArrive { host: h, pkt }),
-                Endpoint::Switch(s2, p2) => self.push(
-                    t,
-                    Ev::SwitchArrive {
-                        sw: s2,
-                        port: p2,
-                        pkt,
-                    },
-                ),
-            },
-            Enqueue::Dropped => {}
-        }
+        self.channel_enqueue(ch, pkt, at);
     }
 
     fn switch_flood(&mut self, sw: SwitchId, except: Option<Port>, pkt: Packet, at: Time) {
@@ -871,6 +929,84 @@ mod tests {
         sim.run_until(Time::from_ms(1));
         // token 1 fired at 10us; token 2 (20us) died with the crash.
         assert_eq!(sim.app::<Ticker>(h).fired, vec![1]);
+    }
+
+    #[test]
+    fn fault_plan_total_loss_blackholes_udp() {
+        let (mut sim, _a, b) = two_hosts();
+        sim.set_fault_plan(crate::fault::FaultPlan::new(3).loss(1.0));
+        sim.run_until(Time::from_ms(10));
+        // ARP is spared, so the GARPs flow; the UDP kick never arrives.
+        assert!(sim.app::<Echo>(b).got.is_empty());
+        let stats = sim.fault_stats().expect("plan installed");
+        assert!(stats.lost >= 1, "{stats:?}");
+        assert!(!sim.fault_trace().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_duplication_delivers_twice() {
+        let (mut sim, _a, b) = two_hosts();
+        sim.set_fault_plan(crate::fault::FaultPlan::new(3).duplication(1.0));
+        sim.run_until(Time::from_ms(10));
+        // Every UDP packet doubles at each hop (uplink + downlink), so b
+        // sees the kick 4x; it replies to each copy < 3.
+        let got = &sim.app::<Echo>(b).got;
+        assert!(got.iter().filter(|&&v| v == 0).count() >= 2, "{got:?}");
+        assert!(sim.fault_stats().expect("plan").duplicated >= 2);
+    }
+
+    #[test]
+    fn fault_plan_partition_blocks_pair() {
+        let (mut sim, _a, b) = two_hosts();
+        let a_ip = Ipv4::new(10, 0, 0, 1);
+        let b_ip = Ipv4::new(10, 0, 0, 2);
+        sim.set_fault_plan(crate::fault::FaultPlan::new(0).partition(
+            vec![a_ip],
+            vec![b_ip],
+            Time::ZERO,
+            Time::MAX,
+        ));
+        sim.run_until(Time::from_ms(10));
+        assert!(sim.app::<Echo>(b).got.is_empty());
+        assert!(sim.fault_stats().expect("plan").partitioned >= 1);
+    }
+
+    #[test]
+    fn fault_plan_replay_is_byte_identical() {
+        // The tentpole replay guarantee: same seed, same plan → the fault
+        // trace renders byte-identical and the simulation outcome matches.
+        let run = |seed: u64| {
+            let (mut sim, a, b) = two_hosts();
+            sim.set_fault_plan(
+                crate::fault::FaultPlan::new(seed)
+                    .loss(0.3)
+                    .duplication(0.2)
+                    .extra_delay(0.2, Time::from_us(40)),
+            );
+            sim.run_until(Time::from_ms(50));
+            (
+                sim.fault_trace(),
+                sim.events_processed(),
+                sim.app::<Kick>(a).got.clone(),
+                sim.app::<Echo>(b).got.clone(),
+            )
+        };
+        let first = run(11);
+        assert!(!first.0.is_empty(), "plan with faults produced a trace");
+        assert_eq!(first, run(11));
+        assert_ne!(first.0, run(12).0, "different seed, different trace");
+    }
+
+    #[test]
+    fn install_fault_plan_schedules_outages() {
+        let (mut sim, _a, b) = two_hosts();
+        let plan =
+            crate::fault::FaultPlan::new(1).outage(0, Time::from_us(1), Some(Time::from_ms(5)));
+        sim.install_fault_plan(plan, &[b]);
+        sim.run_until(Time::from_ms(1));
+        assert!(!sim.is_up(b));
+        sim.run_until(Time::from_ms(6));
+        assert!(sim.is_up(b));
     }
 
     #[test]

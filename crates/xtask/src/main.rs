@@ -9,12 +9,17 @@
 //!    and no OS randomness (`thread_rng`, `OsRng`, `getrandom`,
 //!    `from_entropy`) inside the simulator and protocol decision paths
 //!    (`crates/sim`, `crates/flow`, `crates/nicekv`). The discrete-event
-//!    simulator must replay bit-for-bit from a seed.
+//!    simulator must replay bit-for-bit from a seed; even the fault
+//!    injector (`sim/src/fault.rs`) draws loss, duplication, and delay
+//!    from its plan's own seeded PRNG so a `FaultPlan` replays to a
+//!    byte-identical trace.
 //! 2. **panic_path** — no `unwrap()` / `expect()` / `panic!` /
-//!    `unreachable!` / `todo!` / `unimplemented!` in server request paths
-//!    (`nicekv/src/server.rs`, `noob/src/server.rs`, all of
-//!    `crates/transport`). A malformed or re-ordered message must degrade
-//!    to a counter bump, never a crash.
+//!    `unreachable!` / `todo!` / `unimplemented!` in request paths:
+//!    `nicekv/src/server.rs`, `nicekv/src/client.rs`,
+//!    `nicekv/src/metadata.rs`, `noob/src/server.rs`,
+//!    `noob/src/gateway.rs`, and all of `crates/transport`. A malformed
+//!    or re-ordered message must degrade to a typed `KvError` or a
+//!    counter bump, never a crash.
 //! 3. **unordered_iter** — no iteration over `HashMap` / `HashSet` in
 //!    protocol crates: iteration order is randomized per process, so any
 //!    protocol decision fed by it silently breaks determinism. Use
@@ -23,10 +28,17 @@
 //!    (`noob/src/msg.rs`) message enums implement the same 2PC wire
 //!    protocol; paired variants must carry the same fields so the two
 //!    systems stay comparable in every benchmark.
+//! 5. **unbounded_queue** — a `push` onto a `self.*` collection inside an
+//!    `on_packet` handler without any drain of that collection elsewhere
+//!    in the file is a remote-triggered memory leak: every received
+//!    packet grows state that nothing ever shrinks.
+//! 6. **allow_reason** — every `lint:allow(<rule>)` waiver must carry a
+//!    reason on the same line (`lint:allow(rule) — why this is safe`); a
+//!    bare waiver is itself a violation.
 //!
 //! A violation that is intentional can be waived with a trailing or
 //! preceding comment `lint:allow(<rule>) — <reason>`; the reason is
-//! mandatory by convention and enforced in review, not by the tool.
+//! mandatory and enforced by the `allow_reason` rule.
 //!
 //! Exit status: 0 when clean, 1 with `file:line` diagnostics otherwise.
 
@@ -80,6 +92,8 @@ fn run_lint(root: &Path) -> ExitCode {
     panic_path_lint(root, &mut findings);
     unordered_iter_lint(root, &mut findings);
     enum_parity_lint(root, &mut findings);
+    unbounded_queue_lint(root, &mut findings);
+    allow_reason_lint(root, &mut findings);
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     for f in &findings {
@@ -437,7 +451,10 @@ const PANIC_TOKENS: &[&str] = &[
 fn panic_path_files(root: &Path) -> Vec<String> {
     let mut files = vec![
         "crates/nicekv/src/server.rs".to_string(),
+        "crates/nicekv/src/client.rs".to_string(),
+        "crates/nicekv/src/metadata.rs".to_string(),
         "crates/noob/src/server.rs".to_string(),
+        "crates/noob/src/gateway.rs".to_string(),
     ];
     files.extend(rs_files(
         root,
@@ -632,6 +649,204 @@ fn iterates_name(line: &str, name: &str) -> bool {
         from = abs + name.len().max(1);
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: unbounded_queue
+// ---------------------------------------------------------------------------
+
+/// Tokens that shrink a collection (or replace it wholesale). A `self.*`
+/// push inside `on_packet` is fine as long as the same field sees one of
+/// these somewhere in the file.
+const DRAIN_TOKENS: &[&str] = &[
+    ".pop(",
+    ".pop_front(",
+    ".pop_back(",
+    ".drain(",
+    ".drain(..)",
+    ".clear(",
+    ".remove(",
+    ".retain(",
+    ".truncate(",
+    ".swap_remove(",
+    ".split_off(",
+];
+
+fn unbounded_queue_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in UNORDERED_DIRS {
+        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
+            let Some(sf) = SourceFile::load(root, &rel) else {
+                continue;
+            };
+            for (i, path) in on_packet_self_pushes(&sf) {
+                let field = path.rsplit('.').next().unwrap_or(&path).to_string();
+                if field_is_drained(&sf, &field) || sf.allowed(i, "unbounded_queue") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: sf.rel.clone(),
+                    line: i + 1,
+                    rule: "unbounded_queue",
+                    msg: format!(
+                        "`{path}.push(..)` in an on_packet path with no drain of \
+                         `{field}` anywhere in this file: every received packet \
+                         grows it forever; drain it, bound it, or waive with a reason"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `(line, self-path)` for every `self.<path>.push(` inside a function
+/// named `on_packet` (tracked by brace depth from the `fn on_packet`
+/// header). Pushes onto locals are per-packet scratch and stay exempt.
+fn on_packet_self_pushes(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // (depth at which the on_packet body opened)
+    let mut body_until: Option<i64> = None;
+    let mut in_header = false;
+    for (i, line) in sf.code.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if body_until.is_none() && contains_token(line, "fn on_packet") {
+            in_header = true;
+        }
+        if in_header && opens > 0 {
+            body_until = Some(depth);
+            in_header = false;
+        }
+        if body_until.is_some() && !sf.in_test[i] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(".push(") {
+                let abs = from + pos;
+                if let Some(path) = self_path_before(&line[..abs]) {
+                    out.push((i, path));
+                }
+                from = abs + ".push(".len();
+            }
+        }
+        depth += opens - closes;
+        if let Some(d) = body_until {
+            if depth <= d {
+                body_until = None;
+            }
+        }
+    }
+    out
+}
+
+/// The `self.a.b` path ending at `prefix`'s tail, if the receiver of the
+/// following method call is reached through `self`.
+fn self_path_before(prefix: &str) -> Option<String> {
+    let t = prefix.trim_end();
+    let start = t
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == '.')
+        .map(|(i, _)| i)
+        .last()?;
+    let path = &t[start..];
+    if path.starts_with("self.") && path.len() > "self.".len() {
+        Some(path.to_string())
+    } else {
+        None
+    }
+}
+
+/// Does any non-test line shrink or replace `field`? Reassignment
+/// (`field = ...`) and `mem::take(&mut ...field)` both count.
+fn field_is_drained(sf: &SourceFile, field: &str) -> bool {
+    for (i, line) in sf.code.iter().enumerate() {
+        if sf.in_test[i] {
+            continue;
+        }
+        for tok in DRAIN_TOKENS {
+            let pat = format!("{field}{tok}");
+            if contains_token(line, &pat) {
+                return true;
+            }
+        }
+        if contains_token(line, &format!("{field} =")) && !line.contains("==") {
+            return true;
+        }
+        if line.contains("take(&mut") && contains_token(line, field) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: allow_reason
+// ---------------------------------------------------------------------------
+
+const ALL_RULES: &[&str] = &[
+    "determinism",
+    "panic_path",
+    "unordered_iter",
+    "enum_parity",
+    "unbounded_queue",
+    "allow_reason",
+];
+
+/// Directories whose waiver markers are checked. `crates/xtask` is
+/// excluded: it mentions markers in its own diagnostics and tests.
+const ALLOW_REASON_DIRS: &[&str] = &[
+    "crates/sim/src",
+    "crates/flow/src",
+    "crates/ring/src",
+    "crates/transport/src",
+    "crates/nicekv/src",
+    "crates/noob/src",
+    "crates/workload/src",
+    "crates/bench/src",
+];
+
+fn allow_reason_lint(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in ALLOW_REASON_DIRS {
+        for rel in rs_files(root, dir, &[]) {
+            let Some(sf) = SourceFile::load(root, &rel) else {
+                continue;
+            };
+            for (i, raw) in sf.raw.iter().enumerate() {
+                let mut from = 0;
+                while let Some(pos) = raw[from..].find("lint:allow(") {
+                    let abs = from + pos;
+                    let rest = &raw[abs + "lint:allow(".len()..];
+                    from = abs + "lint:allow(".len();
+                    let Some(close) = rest.find(')') else {
+                        continue;
+                    };
+                    let rule = &rest[..close];
+                    if !ALL_RULES.contains(&rule) {
+                        findings.push(Finding {
+                            file: sf.rel.clone(),
+                            line: i + 1,
+                            rule: "allow_reason",
+                            msg: format!("waiver names unknown rule `{rule}`"),
+                        });
+                        continue;
+                    }
+                    let reason = rest[close + 1..]
+                        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+                        .trim();
+                    if reason.chars().filter(|c| c.is_alphanumeric()).count() < 8 {
+                        findings.push(Finding {
+                            file: sf.rel.clone(),
+                            line: i + 1,
+                            rule: "allow_reason",
+                            msg: format!(
+                                "`lint:allow({rule})` without a reason; write \
+                                 `lint:allow({rule}) — <why this is safe>`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -969,6 +1184,62 @@ mod tests {
         };
         let names = hash_container_names(&sf);
         assert_eq!(names, vec!["coords".to_string(), "seen".to_string()]);
+    }
+
+    fn sf_from_code(lines: &[&str]) -> SourceFile {
+        let code: Vec<String> = lines.iter().map(std::string::ToString::to_string).collect();
+        let n = code.len();
+        SourceFile {
+            rel: "x".into(),
+            raw: vec![String::new(); n],
+            code,
+            in_test: vec![false; n],
+        }
+    }
+
+    #[test]
+    fn self_path_extraction() {
+        assert_eq!(
+            self_path_before("        self.inbox"),
+            Some("self.inbox".to_string())
+        );
+        assert_eq!(
+            self_path_before("let v = self.a.b"),
+            Some("self.a.b".to_string())
+        );
+        assert_eq!(self_path_before("local_vec"), None);
+        assert_eq!(self_path_before("self."), None);
+    }
+
+    #[test]
+    fn on_packet_pushes_detected_only_in_body() {
+        let sf = sf_from_code(&[
+            "impl App {",
+            "    fn setup(&mut self) {",
+            "        self.ready.push(1);",
+            "    }",
+            "    fn on_packet(&mut self, b: u8) {",
+            "        let mut scratch = Vec::new();",
+            "        scratch.push(b);",
+            "        self.inbox.push(b);",
+            "    }",
+            "}",
+        ]);
+        let pushes = on_packet_self_pushes(&sf);
+        assert_eq!(pushes, vec![(7, "self.inbox".to_string())]);
+    }
+
+    #[test]
+    fn drained_fields_recognized() {
+        let sf = sf_from_code(&[
+            "self.inbox.push(b);",
+            "let x = self.inbox.pop();",
+            "self.log.push(e);",
+            "self.backlog = Vec::new();",
+        ]);
+        assert!(field_is_drained(&sf, "inbox"));
+        assert!(!field_is_drained(&sf, "log"));
+        assert!(field_is_drained(&sf, "backlog"));
     }
 
     #[test]

@@ -87,7 +87,7 @@ fn main() {
 
     let recs = &cluster.client(0).records;
     let retried = recs.iter().filter(|r| r.attempts > 1).count();
-    let failed = recs.iter().filter(|r| !r.ok).count();
+    let failed = recs.iter().filter(|r| !r.ok()).count();
     println!(
         "\nclient: {} ops, {} needed retries (the <2s unavailability window), {} failed",
         recs.len(),

@@ -37,7 +37,7 @@ fn run(lb: bool) -> (Vec<u64>, f64) {
         let mut lats = Vec::new();
         for i in 1..7 {
             for r in &c.client(i).records {
-                if r.ok && !r.is_put {
+                if r.ok() && !r.is_put {
                     lats.push((r.end - r.start).as_ns() as f64 / 1000.0);
                 }
             }

@@ -23,7 +23,7 @@ fn ops(size: u32, n: usize) -> Vec<ClientOp> {
 fn mean_us(records: &[nice::kv::OpRecord]) -> f64 {
     let lats: Vec<f64> = records
         .iter()
-        .filter(|r| r.ok)
+        .filter(|r| r.ok())
         .map(|r| (r.end - r.start).as_ns() as f64 / 1e3)
         .collect();
     lats.iter().sum::<f64>() / lats.len() as f64

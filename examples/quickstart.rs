@@ -35,7 +35,7 @@ fn main() {
         println!(
             "  {kind} {:<6} ok={} latency={}{}",
             r.key,
-            r.ok,
+            r.ok(),
             r.end - r.start,
             val
         );

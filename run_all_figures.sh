@@ -6,15 +6,16 @@ set -e
 cd "$(dirname "$0")"
 ARGS="$@"
 
-# Preflight: fmt, clippy, xtask lint, offline build + tests. Figures are
-# only regenerated from a tree that passes the full gate.
-./scripts/check.sh
+# Preflight: fmt, clippy, xtask lint, offline build + tests, plus the
+# slow failure suites in release. Figures are only regenerated from a
+# tree that passes the full gate.
+./scripts/check.sh --release
 
 mkdir -p bench_results
 for fig in fig04_routing fig05_replication fig06_network_load fig07_load_ratio \
            fig08_quorum fig09_consistency fig10_load_balancing \
-           fig11_fault_tolerance fig12_ycsb switch_scalability membership_scalability \
-           ablation_replication ablation_lb; do
+           fig11_fault_tolerance fig12_ycsb fault_sweep switch_scalability \
+           membership_scalability ablation_replication ablation_lb; do
   echo "=== $fig ==="
   cargo run --release -p nice-bench --bin $fig -- $ARGS 2>&1 | tee bench_results/$fig.log
 done

@@ -6,8 +6,21 @@
 #
 # Everything runs --offline: the workspace has no external dependencies
 # (DESIGN.md §6) and must stay buildable without registry access.
+#
+# --release additionally runs the slow suites (the exhaustive 2PC
+# interleaving checker, the fault-injection sweeps, and the failure
+# tests) as optimized builds; run_all_figures.sh uses this mode so
+# figures are never regenerated from a tree whose failure paths regress.
 set -e
 cd "$(dirname "$0")/.."
+
+RELEASE=0
+for arg in "$@"; do
+  case "$arg" in
+    --release) RELEASE=1 ;;
+    *) echo "check.sh: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "=== fmt ==="
 cargo fmt --all --check
@@ -23,5 +36,12 @@ cargo build --release --offline --workspace
 
 echo "=== tests ==="
 cargo test -q --offline --workspace
+
+if [ "$RELEASE" = 1 ]; then
+  echo "=== slow suites (release) ==="
+  cargo test -q --offline --release -p nice-kv --test lock_interleavings
+  cargo test -q --offline --release -p nice-sim
+  cargo test -q --offline --release -p nice --test failures
+fi
 
 echo "check.sh: all gates passed"

@@ -36,7 +36,7 @@
 //! ];
 //! let mut cluster = NiceCluster::build(ClusterCfg::new(5, 3, vec![ops]));
 //! assert!(cluster.run_until_done(Time::from_secs(10)));
-//! assert!(cluster.client(0).records.iter().all(|r| r.ok));
+//! assert!(cluster.client(0).records.iter().all(|r| r.ok()));
 //! ```
 
 #![warn(missing_docs)]

@@ -2,21 +2,27 @@
 //! chains, metadata-service behavior, and the consistency-aware
 //! visibility rules of §3.3/§4.4.
 
-use nice::kv::{ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, Value};
+use nice::kv::{ClientOp, ClusterBuilder, MetaEvent, NodeState, OpRecord, Value};
 use nice::ring::{NodeIdx, PartitionId};
-use nice::sim::Time;
+use nice::sim::{FaultPlan, Ipv4, Time};
 
-fn fast_cfg(nodes: usize, r: usize, ops: Vec<Vec<ClientOp>>) -> ClusterCfg {
-    let mut cfg = ClusterCfg::new(nodes, r, ops);
-    cfg.kv.hb_interval = Time::from_ms(100);
-    cfg.kv.op_timeout = Time::from_ms(100);
-    cfg.kv.client_retry = Time::from_ms(400);
-    cfg
+/// A cluster builder with failure-detection timers tightened so crash /
+/// rejoin tests converge in simulated seconds instead of minutes.
+fn fast(nodes: usize, r: usize, ops: Vec<Vec<ClientOp>>) -> ClusterBuilder {
+    ClusterBuilder::new()
+        .nodes(nodes)
+        .replication(r)
+        .clients(ops)
+        .kv(|kv| {
+            kv.hb_interval = Time::from_ms(100);
+            kv.op_timeout = Time::from_ms(100);
+            kv.client_retry = Time::from_ms(400);
+        })
 }
 
 #[test]
 fn two_secondaries_fail_and_system_survives() {
-    let probe = NiceCluster::build(ClusterCfg::new(10, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 20);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -30,9 +36,9 @@ fn two_secondaries_fail_and_system_survives() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut cfg = fast_cfg(10, 3, vec![ops]);
-    cfg.client_start = Time::from_ms(100);
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(10, 3, vec![ops])
+        .client_start(Time::from_ms(100))
+        .build();
     // both secondaries die before the workload starts
     c.sim
         .schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
@@ -42,7 +48,7 @@ fn two_secondaries_fail_and_system_survives() {
         c.run_until_done(Time::from_secs(60)),
         "workload survives two failures"
     );
-    assert!(c.client(0).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
     // the view must now contain the primary + two handoffs
     let view = c.meta_app().view(p).expect("view");
     assert_eq!(view.members.len(), 3, "{view:?}");
@@ -57,7 +63,7 @@ fn two_secondaries_fail_and_system_survives() {
 fn failed_node_is_invisible_to_gets_until_recovered() {
     // The consistency-aware fault tolerance core claim (§3.3): a
     // rejoining node must receive puts but never gets while inconsistent.
-    let probe = NiceCluster::build(ClusterCfg::new(8, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -71,9 +77,9 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
             value: Value::from_bytes(b"x".to_vec()),
         })
         .collect();
-    let mut cfg = fast_cfg(8, 3, vec![ops]);
-    cfg.client_start = Time::from_secs(2);
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(8, 3, vec![ops])
+        .client_start(Time::from_secs(2))
+        .build();
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
     c.sim
@@ -113,13 +119,13 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
 fn handoff_failure_is_replaced() {
     // The handoff node itself fails: the metadata service must stand up a
     // replacement for the original failed node.
-    let probe = NiceCluster::build(ClusterCfg::new(10, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
     let p = PartitionId(0);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
     let victim = replicas[1];
     drop(probe);
 
-    let mut c = NiceCluster::build(fast_cfg(10, 3, vec![]));
+    let mut c = fast(10, 3, vec![]).build();
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
     c.sim.run_until(Time::from_secs(1));
@@ -157,7 +163,7 @@ fn handoff_failure_is_replaced() {
 
 #[test]
 fn primary_and_secondary_fail_together() {
-    let probe = NiceCluster::build(ClusterCfg::new(10, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -171,15 +177,15 @@ fn primary_and_secondary_fail_together() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut cfg = fast_cfg(10, 3, vec![ops]);
-    cfg.client_start = Time::from_ms(100);
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(10, 3, vec![ops])
+        .client_start(Time::from_ms(100))
+        .build();
     c.sim
         .schedule_crash(Time::from_ms(30), c.servers[replicas[0] as usize]);
     c.sim
         .schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
     assert!(c.run_until_done(Time::from_secs(60)));
-    assert!(c.client(0).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
     // the remaining original secondary must be the new primary
     let view = c.meta_app().view(p).expect("view");
     assert_eq!(view.primary.0, replicas[2]);
@@ -188,7 +194,7 @@ fn primary_and_secondary_fail_together() {
 #[test]
 fn cluster_keeps_serving_unrelated_partitions_during_failure() {
     // A failure in one partition must not disturb puts/gets elsewhere.
-    let probe = NiceCluster::build(ClusterCfg::new(10, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
     let p_fail = PartitionId(0);
     let replicas: Vec<u32> = probe.ring.replica_set(p_fail).iter().map(|n| n.0).collect();
     // find a partition that shares no nodes with p_fail
@@ -213,14 +219,14 @@ fn cluster_keeps_serving_unrelated_partitions_during_failure() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut cfg = fast_cfg(10, 3, vec![ops]);
-    cfg.client_start = Time::from_ms(100);
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(10, 3, vec![ops])
+        .client_start(Time::from_ms(100))
+        .build();
     c.sim
         .schedule_crash(Time::from_ms(120), c.servers[replicas[0] as usize]);
     assert!(c.run_until_done(Time::from_secs(30)));
     let recs = &c.client(0).records;
-    assert!(recs.iter().all(|r| r.ok));
+    assert!(recs.iter().all(OpRecord::ok));
     // ops to the unrelated partition needed no retries
     assert!(
         recs.iter().all(|r| r.attempts == 1),
@@ -240,7 +246,7 @@ fn full_cluster_crash_converges() {
     // is committed with one timestamp everywhere, or it is gone
     // everywhere — never a mix visible to gets.
     for crash_offset_us in [800u64, 1300, 1500] {
-        let probe = NiceCluster::build(ClusterCfg::new(8, 3, vec![]));
+        let probe = ClusterBuilder::new().nodes(8).replication(3).build();
         let p = PartitionId(0);
         let key = probe.keys_in_partition(p, 1).remove(0);
         let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -250,10 +256,10 @@ fn full_cluster_crash_converges() {
             key: key.clone(),
             value: Value::from_bytes(vec![7u8; 64 * 1024]),
         }];
-        let mut cfg = fast_cfg(8, 3, vec![ops]);
-        cfg.kv.hb_interval = Time::from_ms(300);
-        cfg.client_start = Time::from_ms(100);
-        let mut c = NiceCluster::build(cfg);
+        let mut c = fast(8, 3, vec![ops])
+            .kv(|kv| kv.hb_interval = Time::from_ms(300))
+            .client_start(Time::from_ms(100))
+            .build();
         let crash_at = Time::from_ms(100) + Time::from_us(crash_offset_us);
         for &s in &c.servers.clone() {
             c.sim.schedule_crash(crash_at, s);
@@ -284,7 +290,7 @@ fn full_cluster_crash_converges() {
         // normally succeed once the cluster is back.
         let recs = &c.client(0).records;
         if let Some(r) = recs.first() {
-            if r.ok {
+            if r.ok() {
                 // success implies every surviving committed copy is this put
                 assert!(!versions.is_empty(), "client success but nothing committed");
             }
@@ -304,9 +310,7 @@ fn admin_add_node_expands_ring_with_synced_data() {
             value: Value::from_bytes(format!("v{i}").into_bytes()),
         });
     }
-    let mut cfg = fast_cfg(6, 3, vec![ops]);
-    cfg.spare_nodes = 1;
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(6, 3, vec![ops]).spares(1).build();
     assert!(c.run_until_done(Time::from_secs(30)));
 
     let spare = NodeIdx(6);
@@ -354,7 +358,7 @@ fn admin_add_node_expands_ring_with_synced_data() {
     assert!(c.run_until_done(Time::from_secs(30)));
     let recs = &c.client(0).records;
     assert!(
-        recs[30..].iter().all(|r| r.ok),
+        recs[30..].iter().all(OpRecord::ok),
         "post-reconfig reads succeed"
     );
 }
@@ -369,7 +373,7 @@ fn admin_remove_node_keeps_data_available() {
             value: Value::from_bytes(format!("v{i}").into_bytes()),
         });
     }
-    let mut c = NiceCluster::build(fast_cfg(8, 3, vec![ops]));
+    let mut c = fast(8, 3, vec![ops]).build();
     assert!(c.run_until_done(Time::from_secs(30)));
 
     let victim = NodeIdx(2);
@@ -400,7 +404,7 @@ fn admin_remove_node_keeps_data_available() {
             key: format!("rm{i}"),
         }));
     assert!(c.run_until_done(Time::from_secs(30)));
-    assert!(c.client(0).records[30..].iter().all(|r| r.ok));
+    assert!(c.client(0).records[30..].iter().all(OpRecord::ok));
 }
 
 #[test]
@@ -410,7 +414,7 @@ fn metadata_standby_takes_over() {
     // dies mid-run; the standby promotes itself, redirects node
     // reporting, and continues to handle failures (a storage node crash
     // AFTER the failover still gets a handoff).
-    let probe = NiceCluster::build(ClusterCfg::new(8, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 30);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -425,10 +429,10 @@ fn metadata_standby_takes_over() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut cfg = fast_cfg(8, 3, vec![ops]);
-    cfg.metadata_standby = true;
-    cfg.client_start = Time::from_ms(100);
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(8, 3, vec![ops])
+        .metadata_standby()
+        .client_start(Time::from_ms(100))
+        .build();
     let standby = c.meta_standby.expect("standby deployed");
 
     // 1. kill the active metadata service early
@@ -453,7 +457,7 @@ fn metadata_standby_takes_over() {
         c.run_until_done(Time::from_secs(60)),
         "post-failover workload finishes"
     );
-    assert!(c.client(0).records.iter().all(|r| r.ok));
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
 
     let sb = c.sim.app::<MetadataApp>(standby);
     assert_eq!(sb.role(), MetaRole::Active, "standby promoted itself");
@@ -483,7 +487,7 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
     // fails and is replaced. When f rejoins, its drain source chain was
     // broken — it must still recover every object written during its
     // outage (via the replacement handoff or the primary fallback).
-    let probe = NiceCluster::build(ClusterCfg::new(10, 3, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 12);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -499,9 +503,9 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
             value: Value::from_bytes(b"during-outage".to_vec()),
         })
         .collect();
-    let mut cfg = fast_cfg(10, 3, vec![ops]);
-    cfg.client_start = Time::from_secs(1); // after f's failure is handled
-    let mut c = NiceCluster::build(cfg);
+    let mut c = fast(10, 3, vec![ops])
+        .client_start(Time::from_secs(1)) // after f's failure is handled
+        .build();
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[f as usize]);
     // let the first batch of writes land on the first handoff
@@ -534,4 +538,70 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
         "rejoined node missing {} objects written during its outage: {missing:?}",
         missing.len()
     );
+}
+
+#[test]
+fn rejoining_node_with_lost_catchup_stays_off_get_ring() {
+    // §3.3 under injected faults: the victim restarts onto the put vring,
+    // but a fault-plan partition swallows its consistency-catch-up
+    // traffic (HandoffFetch/HandoffData never cross). The node must stay
+    // in the rejoining state — on the put vring, never on the get vring —
+    // and serve zero gets. The outage itself is driven by the same plan.
+    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
+    let p = PartitionId(0);
+    let keys = probe.keys_in_partition(p, 10);
+    let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
+    let victim = replicas[1] as usize;
+    let victim_ip = probe.server_ips[victim];
+    let others: Vec<Ipv4> = probe
+        .server_ips
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, &ip)| ip)
+        .collect();
+    drop(probe);
+
+    // Every object is written while the victim is down, so its store can
+    // only become get-consistent through the catch-up we then block.
+    let ops: Vec<ClientOp> = keys
+        .iter()
+        .map(|k| ClientOp::Put {
+            key: k.clone(),
+            value: Value::from_bytes(b"x".to_vec()),
+        })
+        .collect();
+    let plan = FaultPlan::new(9)
+        .outage(victim, Time::from_ms(100), Some(Time::from_secs(2)))
+        .partition(
+            vec![victim_ip],
+            others,
+            Time::from_secs(2),
+            Time::from_secs(600),
+        );
+    let mut c = fast(8, 3, vec![ops])
+        .client_start(Time::from_ms(500))
+        .fault_plan(plan)
+        .build();
+    assert!(c.run_until_done(Time::from_secs(30)), "puts drain");
+    assert!(c.client(0).records.iter().all(OpRecord::ok));
+    c.sim.run_until(Time::from_secs(12));
+
+    let v = NodeIdx(victim as u32);
+    let evs: Vec<&MetaEvent> = c.meta_app().events.iter().map(|(_, e)| e).collect();
+    assert!(
+        evs.contains(&&MetaEvent::NodeRejoining(v)),
+        "victim never re-entered the put ring: {evs:?}"
+    );
+    assert!(
+        !evs.contains(&&MetaEvent::NodeRecovered(v)),
+        "victim reached the get ring without its catch-up data: {evs:?}"
+    );
+    assert_ne!(
+        c.meta_app().node_state(v),
+        NodeState::Up,
+        "victim must stay hidden from gets while inconsistent"
+    );
+    assert_eq!(c.server(victim).counters().gets_served, 0);
+    assert!(c.sim.fault_stats().expect("plan installed").partitioned > 0);
 }

@@ -2,7 +2,7 @@
 //! (NICE and NOOB) run the same workloads and must agree on results while
 //! differing in network behavior exactly the way the paper says they do.
 
-use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
+use nice::kv::{ClientOp, ClusterBuilder, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::Time;
 
@@ -34,14 +34,13 @@ fn get_results(records: &[nice::kv::OpRecord]) -> Vec<(String, Option<Vec<u8>>)>
 #[test]
 fn both_systems_return_identical_data() {
     let n = 12;
-    let mut nice_c = NiceCluster::build(ClusterCfg::new(10, 3, vec![workload(n)]));
+    let shared = ClusterBuilder::new().nodes(10).replication(3);
+    let mut nice_c = shared.clone().client(workload(n)).build();
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::new(
-        10,
-        3,
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
+        shared.client(workload(n)),
         Access::Rac,
         NoobMode::TwoPc,
-        vec![workload(n)],
     ));
     assert!(noob_c.run_until_done(Time::from_secs(60)));
     let a = get_results(&nice_c.client(0).records);
@@ -61,14 +60,13 @@ fn nice_moves_fewer_bytes_than_noob_for_replicated_puts() {
             value: Value::synthetic(size),
         })
         .collect();
-    let mut nice_c = NiceCluster::build(ClusterCfg::new(10, 3, vec![ops.clone()]));
+    let shared = ClusterBuilder::new().nodes(10).replication(3);
+    let mut nice_c = shared.clone().client(ops.clone()).build();
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::new(
-        10,
-        3,
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
+        shared.client(ops),
         Access::Rog,
         NoobMode::PrimaryOnly,
-        vec![ops],
     ));
     assert!(noob_c.run_until_done(Time::from_secs(60)));
     let nice_bytes = nice_c.sim.total_link_bytes();
@@ -89,14 +87,13 @@ fn nice_puts_beat_noob_puts_at_large_sizes() {
             value: Value::synthetic(1 << 20),
         })
         .collect();
-    let mut nice_c = NiceCluster::build(ClusterCfg::new(10, 3, vec![ops.clone()]));
+    let shared = ClusterBuilder::new().nodes(10).replication(3);
+    let mut nice_c = shared.clone().client(ops.clone()).build();
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::new(
-        10,
-        3,
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
+        shared.client(ops),
         Access::Rac,
         NoobMode::PrimaryOnly,
-        vec![ops],
     ));
     assert!(noob_c.run_until_done(Time::from_secs(60)));
     let nice_put = nice_c.client(0).mean_latency(true).expect("puts ran");
@@ -110,7 +107,11 @@ fn nice_puts_beat_noob_puts_at_large_sizes() {
 #[test]
 fn deterministic_across_runs() {
     let build = || {
-        let mut c = NiceCluster::build(ClusterCfg::new(8, 3, vec![workload(8)]));
+        let mut c = ClusterBuilder::new()
+            .nodes(8)
+            .replication(3)
+            .client(workload(8))
+            .build();
         assert!(c.run_until_done(Time::from_secs(60)));
         let lat: Vec<u64> = c
             .client(0)
@@ -126,9 +127,12 @@ fn deterministic_across_runs() {
 #[test]
 fn seed_changes_timings_but_not_results() {
     let run_seed = |seed| {
-        let mut cfg = ClusterCfg::new(8, 3, vec![workload(6)]);
-        cfg.seed = seed;
-        let mut c = NiceCluster::build(cfg);
+        let mut c = ClusterBuilder::new()
+            .nodes(8)
+            .replication(3)
+            .client(workload(6))
+            .seed(seed)
+            .build();
         assert!(c.run_until_done(Time::from_secs(60)));
         get_results(&c.client(0).records)
     };
@@ -140,7 +144,7 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
     use nice::kv::PutMode;
     use nice::ring::PartitionId;
     // Mini Figure 8: R=5, 2 slow replicas, any-2 must beat all-5.
-    let probe = NiceCluster::build(ClusterCfg::new(10, 5, vec![]));
+    let probe = ClusterBuilder::new().nodes(10).replication(5).build();
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 5);
     let replicas: Vec<usize> = probe
@@ -159,9 +163,12 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
                 value: Value::synthetic(1 << 20),
             })
             .collect();
-        let mut cfg = ClusterCfg::new(10, 5, vec![ops]);
-        cfg.kv.put_mode = mode;
-        let mut c = NiceCluster::build(cfg);
+        let mut c = ClusterBuilder::new()
+            .nodes(10)
+            .replication(5)
+            .client(ops)
+            .kv(|kv| kv.put_mode = mode)
+            .build();
         for &i in &replicas[3..] {
             c.sim
                 .schedule_link_rate(Time::ZERO, c.servers[i], 50_000_000);

@@ -1,7 +1,7 @@
 //! YCSB workloads end-to-end through the facade: generator → clients →
 //! cluster → verified results on both systems.
 
-use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
+use nice::kv::{ClientOp, ClusterBuilder, OpRecord, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::Time;
 use nice::workload::XorShiftRng;
@@ -39,11 +39,15 @@ fn build_ops(wl: &Workload, clients: usize, run_ops: usize, seed: u64) -> Vec<Ve
 fn ycsb_c_on_nice_returns_valid_records() {
     let wl = Workload::c(40);
     let ops = build_ops(&wl, 4, 30, 7);
-    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    let mut c = ClusterBuilder::new()
+        .nodes(8)
+        .replication(3)
+        .clients(ops)
+        .build();
     assert!(c.run_until_done(Time::from_secs(120)));
     for cl in 0..4 {
         for r in &c.client(cl).records {
-            assert!(r.ok, "client {cl} op on {} failed", r.key);
+            assert!(r.ok(), "client {cl} op on {} failed", r.key);
             if !r.is_put {
                 // C never updates, so every get returns the load value
                 let b = r.bytes.as_ref().expect("value");
@@ -61,12 +65,16 @@ fn ycsb_c_on_nice_returns_valid_records() {
 fn ycsb_a_on_nice_mixes_reads_and_updates() {
     let wl = Workload::a(40);
     let ops = build_ops(&wl, 4, 30, 11);
-    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    let mut c = ClusterBuilder::new()
+        .nodes(8)
+        .replication(3)
+        .clients(ops)
+        .build();
     assert!(c.run_until_done(Time::from_secs(120)));
     let mut updated_seen = false;
     for cl in 0..4 {
         for r in &c.client(cl).records {
-            assert!(r.ok);
+            assert!(r.ok());
             if let Some(b) = &r.bytes {
                 // every returned value is either the load value or an update
                 assert!(b.starts_with(b"record-") || b == b"updated");
@@ -83,12 +91,16 @@ fn ycsb_a_on_nice_mixes_reads_and_updates() {
 fn ycsb_f_on_noob_2pc_completes() {
     let wl = Workload::f(40);
     let ops = build_ops(&wl, 4, 30, 13);
-    let mut cfg = NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::TwoPc, ops);
+    let mut cfg = NoobClusterCfg::from_builder(
+        ClusterBuilder::new().nodes(8).replication(3).clients(ops),
+        Access::Rac,
+        NoobMode::TwoPc,
+    );
     cfg.lb_gets = true;
     let mut c = NoobCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(240)));
     for cl in 0..4 {
-        assert!(c.client(cl).records.iter().all(|r| r.ok), "client {cl}");
+        assert!(c.client(cl).records.iter().all(OpRecord::ok), "client {cl}");
     }
 }
 
@@ -96,7 +108,11 @@ fn ycsb_f_on_noob_2pc_completes() {
 fn ycsb_d_inserts_new_records() {
     let wl = Workload::d(20);
     let ops = build_ops(&wl, 2, 40, 17);
-    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
+    let mut c = ClusterBuilder::new()
+        .nodes(8)
+        .replication(3)
+        .clients(ops)
+        .build();
     assert!(c.run_until_done(Time::from_secs(120)));
     // D inserts ~5% new keys beyond the loaded 20: at least one server
     // must hold a key user>=20.
