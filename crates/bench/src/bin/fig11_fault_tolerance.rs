@@ -101,7 +101,7 @@ fn main() {
             }
         }
         let handoff_fwd: u64 = (0..c.servers.len())
-            .map(|i| c.server(i).counters().gets_forwarded)
+            .map(|i| c.server(i).counters().forwarded)
             .sum();
         let victim_objects = c.server(victim).store().len();
         out.row(&[

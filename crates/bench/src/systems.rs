@@ -269,7 +269,7 @@ pub fn run_noob(spec: &RunSpec) -> ExpResult {
         total_link_bytes: c.sim.total_link_bytes(),
         server_stats: c.servers.iter().map(|&h| c.sim.host_stats(h)).collect(),
         server_gets: (0..c.servers.len())
-            .map(|i| c.server(i).counters.gets_served)
+            .map(|i| c.server(i).counters().gets_served)
             .collect(),
         start: if start == Time::MAX {
             Time::ZERO

@@ -1,0 +1,486 @@
+//! The system-agnostic client core: closed-loop operation issue, the
+//! retry/timeout engine, and completion records.
+//!
+//! Both systems' clients run the same loop — pop an op, stamp an
+//! [`OpId`], send an attempt, arm a retry timer, classify the reply —
+//! and differ only in *where* the attempt goes (NICE: reliable-UDP to a
+//! vnode address; NOOB: TCP to a gateway or storage node). This module
+//! owns the loop; the client adapters own the wire. Core methods return
+//! small verdict enums ([`Issue`], [`ReplyAction`], [`RetryAction`])
+//! instead of sending anything.
+
+use std::collections::VecDeque;
+
+use nice_sim::{Ipv4, Time};
+
+use crate::error::KvError;
+use crate::types::{OpId, Value};
+
+/// Timer token for the start/idle-poll timer.
+pub const TOK_START: u64 = 1;
+/// Idle poll period: a drained client re-checks its queue at this rate so
+/// harnesses can push more work mid-run.
+pub const IDLE_POLL: Time = Time::from_ms(10);
+/// Retry timers carry the op sequence in the low bits.
+pub const TOK_RETRY_BASE: u64 = 1 << 32;
+/// Backoff before re-asking for a key that was not found (only with
+/// [`ClientCore::retry_not_found`]).
+pub const NOT_FOUND_BACKOFF: Time = Time::from_ms(5);
+
+/// One client operation.
+#[derive(Debug, Clone)]
+pub enum ClientOp {
+    /// Write `value` under `key`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Value,
+    },
+    /// Read `key`.
+    Get {
+        /// The key.
+        key: String,
+    },
+}
+
+impl ClientOp {
+    /// The key this op touches.
+    pub fn key(&self) -> &str {
+        match self {
+            ClientOp::Put { key, .. } | ClientOp::Get { key } => key,
+        }
+    }
+}
+
+/// The completion record of one operation.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Was it a put?
+    pub is_put: bool,
+    /// The key.
+    pub key: String,
+    /// When the first attempt was issued.
+    pub start: Time,
+    /// When the final reply arrived.
+    pub end: Time,
+    /// The typed outcome: `Ok(())` on success, or the [`KvError`] that
+    /// ended the operation (not found, rejected, retries exhausted).
+    pub result: Result<(), KvError>,
+    /// Attempts used (1 = no retries).
+    pub attempts: u32,
+    /// Value size moved (put: sent; get: received).
+    pub size: u32,
+    /// For gets: the returned bytes (tests assert on these).
+    pub bytes: Option<Vec<u8>>,
+}
+
+impl OpRecord {
+    /// Did the operation succeed?
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The error that ended the operation, if it failed.
+    pub fn err(&self) -> Option<&KvError> {
+        self.result.as_ref().err()
+    }
+}
+
+/// One attempt the adapter must put on the wire (and arm
+/// [`ClientCore::retry`] for, under token `TOK_RETRY_BASE |
+/// id.client_seq`).
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The operation.
+    pub op: ClientOp,
+    /// Its id (stable across retries of the same op).
+    pub id: OpId,
+    /// Attempt number (1 = first try).
+    pub attempts: u32,
+}
+
+/// What [`ClientCore::issue_next`] decided.
+#[derive(Debug)]
+pub enum Issue {
+    /// Send this attempt.
+    Attempt(Attempt),
+    /// The queue is empty; `done_at` is set. Arm an [`IDLE_POLL`] timer
+    /// to pick up work pushed later.
+    Drained,
+    /// An operation is already in flight; do nothing.
+    Busy,
+}
+
+/// What a reply means for the in-flight operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyAction {
+    /// Not for the in-flight op (stale or duplicate); ignore.
+    NotMine,
+    /// A failed put mid-retry-budget: keep waiting, the armed retry
+    /// timer will re-attempt (the partition is healing).
+    AwaitRetry,
+    /// A NotFound get under `retry_not_found`: arm a short
+    /// [`NOT_FOUND_BACKOFF`] timer (token `TOK_RETRY_BASE |
+    /// op.client_seq`) and keep the op in flight.
+    Backoff,
+    /// The operation completed (recorded); issue the next one.
+    Done,
+}
+
+/// What a retry-timer firing means.
+#[derive(Debug)]
+pub enum RetryAction {
+    /// Re-send this attempt.
+    Resend(Attempt),
+    /// Retry budget exhausted: the op completed with
+    /// [`KvError::RetriesExhausted`] (recorded); issue the next one.
+    GaveUp,
+    /// Stale timer for an already-completed op; ignore.
+    Stale,
+}
+
+struct InFlight {
+    op: ClientOp,
+    id: OpId,
+    start: Time,
+    attempts: u32,
+}
+
+/// The shared closed-loop client state machine. The NICE and NOOB client
+/// apps deref to this and translate its verdicts into their transports.
+pub struct ClientCore {
+    ops: VecDeque<ClientOp>,
+    inflight: Option<InFlight>,
+    next_seq: u64,
+    max_attempts: u32,
+    /// Retry period armed per attempt ("the client will retry after
+    /// waiting for 2 seconds", §6.6).
+    pub retry: Time,
+    /// When the client starts issuing.
+    pub start_at: Time,
+    /// Treat a NotFound get as transient and retry with a short backoff
+    /// (hot-object workloads where the reader races the first writer).
+    pub retry_not_found: bool,
+    /// Completed operations, in completion order.
+    pub records: Vec<OpRecord>,
+    /// Set once the queue drains.
+    pub done_at: Option<Time>,
+}
+
+impl ClientCore {
+    /// A core that runs `ops` once, starting at `start_at`, re-attempting
+    /// every `retry`.
+    pub fn new(ops: Vec<ClientOp>, retry: Time, start_at: Time) -> ClientCore {
+        ClientCore {
+            ops: ops.into(),
+            inflight: None,
+            next_seq: 1,
+            max_attempts: 25,
+            retry,
+            start_at,
+            retry_not_found: false,
+            records: Vec::new(),
+            done_at: None,
+        }
+    }
+
+    /// Queue more operations (the driver may extend work mid-run); the
+    /// idle poll picks them up within [`IDLE_POLL`].
+    pub fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>) {
+        self.ops.extend(ops);
+        if !self.ops.is_empty() {
+            self.done_at = None;
+        }
+    }
+
+    /// Operations finished so far.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean latency of successful ops of one kind.
+    pub fn mean_latency(&self, puts: bool) -> Option<Time> {
+        let lats: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_put == puts && r.ok())
+            .map(|r| (r.end - r.start).as_ns())
+            .collect();
+        if lats.is_empty() {
+            None
+        } else {
+            Some(Time(lats.iter().sum::<u64>() / lats.len() as u64))
+        }
+    }
+
+    /// The in-flight operation, if any (adapters use this to size
+    /// transport-level completions).
+    pub fn inflight_op(&self) -> Option<(&ClientOp, OpId)> {
+        self.inflight.as_ref().map(|inf| (&inf.op, inf.id))
+    }
+
+    /// Start the next queued operation, if idle.
+    pub fn issue_next(&mut self, me: Ipv4, now: Time) -> Issue {
+        if self.inflight.is_some() {
+            return Issue::Busy;
+        }
+        let Some(op) = self.ops.pop_front() else {
+            if self.done_at.is_none() {
+                self.done_at = Some(now);
+            }
+            return Issue::Drained;
+        };
+        let id = OpId {
+            client: me,
+            client_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.inflight = Some(InFlight {
+            op: op.clone(),
+            id,
+            start: now,
+            attempts: 1,
+        });
+        Issue::Attempt(Attempt {
+            op,
+            id,
+            attempts: 1,
+        })
+    }
+
+    /// Size accounted for the in-flight op when it completes (put: bytes
+    /// sent; get replies carry their own size).
+    fn inflight_put_size(&self) -> u32 {
+        match self.inflight.as_ref().map(|inf| &inf.op) {
+            Some(ClientOp::Put { value, .. }) => value.size(),
+            _ => 0,
+        }
+    }
+
+    /// Record the in-flight operation as completed. Most paths go
+    /// through the `on_*` verdict methods; adapters with transport-level
+    /// completions (quorum-mode Sent tokens) call this directly, then
+    /// issue the next op.
+    pub fn complete(
+        &mut self,
+        result: Result<(), KvError>,
+        size: u32,
+        bytes: Option<Vec<u8>>,
+        now: Time,
+    ) {
+        let Some(inf) = self.inflight.take() else {
+            return;
+        };
+        self.records.push(OpRecord {
+            is_put: matches!(inf.op, ClientOp::Put { .. }),
+            key: inf.op.key().to_owned(),
+            start: inf.start,
+            end: now,
+            result,
+            attempts: inf.attempts,
+            size,
+            bytes,
+        });
+    }
+
+    /// Classify a put reply.
+    pub fn on_put_reply(&mut self, op: OpId, ok: bool, now: Time) -> ReplyAction {
+        let Some(inf) = self.inflight.as_ref() else {
+            return ReplyAction::NotMine;
+        };
+        if inf.id != op {
+            return ReplyAction::NotMine;
+        }
+        if !ok && inf.attempts < self.max_attempts {
+            return ReplyAction::AwaitRetry;
+        }
+        let size = self.inflight_put_size();
+        let result = if ok {
+            Ok(())
+        } else {
+            Err(KvError::PutRejected {
+                key: inf.op.key().to_owned(),
+            })
+        };
+        self.complete(result, size, None, now);
+        ReplyAction::Done
+    }
+
+    /// Classify a get reply.
+    pub fn on_get_reply(
+        &mut self,
+        op: OpId,
+        found: bool,
+        size: u32,
+        bytes: Option<Vec<u8>>,
+        now: Time,
+    ) -> ReplyAction {
+        let Some(inf) = self.inflight.as_ref() else {
+            return ReplyAction::NotMine;
+        };
+        if inf.id != op {
+            return ReplyAction::NotMine;
+        }
+        if !found && self.retry_not_found && inf.attempts < self.max_attempts {
+            return ReplyAction::Backoff;
+        }
+        let result = if found {
+            Ok(())
+        } else {
+            Err(KvError::NotFound {
+                key: inf.op.key().to_owned(),
+            })
+        };
+        self.complete(result, size, bytes, now);
+        ReplyAction::Done
+    }
+
+    /// Classify a retry-timer firing for op sequence `seq`.
+    pub fn on_retry_timer(&mut self, seq: u64, now: Time) -> RetryAction {
+        let Some(inf) = self.inflight.as_mut() else {
+            return RetryAction::Stale;
+        };
+        if inf.id.client_seq != seq {
+            return RetryAction::Stale; // for a completed op
+        }
+        if inf.attempts >= self.max_attempts {
+            // Give up (keeps benchmarks bounded; the paper's clients retry
+            // until the partition becomes available again).
+            let err = KvError::RetriesExhausted {
+                key: inf.op.key().to_owned(),
+                attempts: inf.attempts,
+            };
+            let size = self.inflight_put_size();
+            self.complete(Err(err), size, None, now);
+            return RetryAction::GaveUp;
+        }
+        inf.attempts += 1;
+        RetryAction::Resend(Attempt {
+            op: inf.op.clone(),
+            id: inf.id,
+            attempts: inf.attempts,
+        })
+    }
+
+    /// Crash: the in-flight op (and its pending timers' meaning) dies
+    /// with the process.
+    pub fn on_crash(&mut self) {
+        self.inflight = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ME: Ipv4 = Ipv4::new(10, 0, 1, 1);
+
+    fn core(ops: Vec<ClientOp>) -> ClientCore {
+        ClientCore::new(ops, Time::from_secs(2), Time::ZERO)
+    }
+
+    fn put(key: &str, n: u32) -> ClientOp {
+        ClientOp::Put {
+            key: key.to_owned(),
+            value: Value::synthetic(n),
+        }
+    }
+
+    #[test]
+    fn issues_serially_and_records_completion() {
+        let mut c = core(vec![put("a", 100), ClientOp::Get { key: "a".into() }]);
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        assert_eq!(a.id.client_seq, 1);
+        assert!(matches!(c.issue_next(ME, Time::ZERO), Issue::Busy));
+        assert_eq!(
+            c.on_put_reply(a.id, true, Time::from_ms(3)),
+            ReplyAction::Done
+        );
+        assert_eq!(c.records[0].size, 100, "put size from the op itself");
+        let Issue::Attempt(g) = c.issue_next(ME, Time::from_ms(3)) else {
+            panic!("expected the get");
+        };
+        assert_eq!(
+            c.on_get_reply(g.id, true, 7, Some(vec![1]), Time::from_ms(5)),
+            ReplyAction::Done
+        );
+        assert!(matches!(c.issue_next(ME, Time::from_ms(5)), Issue::Drained));
+        assert_eq!(c.done_at, Some(Time::from_ms(5)));
+        assert_eq!(c.completed(), 2);
+    }
+
+    #[test]
+    fn failed_put_waits_for_retry_timer_then_resends() {
+        let mut c = core(vec![put("a", 10)]);
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        assert_eq!(
+            c.on_put_reply(a.id, false, Time::from_ms(1)),
+            ReplyAction::AwaitRetry,
+            "mid-budget failure does not complete the op"
+        );
+        let RetryAction::Resend(r) = c.on_retry_timer(a.id.client_seq, Time::from_secs(2)) else {
+            panic!("expected a resend");
+        };
+        assert_eq!(r.attempts, 2);
+        assert!(matches!(
+            c.on_retry_timer(999, Time::from_secs(2)),
+            RetryAction::Stale
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_records_the_typed_error() {
+        let mut c = core(vec![put("a", 10)]);
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        let mut now = Time::ZERO;
+        loop {
+            now += Time::from_secs(2);
+            match c.on_retry_timer(a.id.client_seq, now) {
+                RetryAction::Resend(_) => {}
+                RetryAction::GaveUp => break,
+                RetryAction::Stale => panic!("live op cannot be stale"),
+            }
+        }
+        let r = &c.records[0];
+        assert_eq!(r.attempts, 25);
+        assert_eq!(r.size, 10, "gave-up puts still account their size");
+        assert!(matches!(
+            r.err(),
+            Some(KvError::RetriesExhausted { attempts: 25, .. })
+        ));
+    }
+
+    #[test]
+    fn not_found_backoff_keeps_the_op_inflight() {
+        let mut c = core(vec![ClientOp::Get { key: "a".into() }]);
+        c.retry_not_found = true;
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        assert_eq!(
+            c.on_get_reply(a.id, false, 0, None, Time::from_ms(1)),
+            ReplyAction::Backoff
+        );
+        assert!(c.inflight_op().is_some());
+        assert_eq!(
+            c.on_get_reply(
+                OpId {
+                    client: ME,
+                    client_seq: 42
+                },
+                true,
+                1,
+                None,
+                Time::from_ms(2)
+            ),
+            ReplyAction::NotMine
+        );
+    }
+}

@@ -1,0 +1,1193 @@
+//! The shared replication engine beneath NICEKV and NOOB.
+//!
+//! Both systems run the *same* put state machines — NICE-2PC of §4.3 /
+//! Figure 3 (lock, forced log write, object write, timestamp round) and
+//! the primary-only / quorum direct path — and differ only in how the
+//! network routes the messages between replicas. This module owns that
+//! system-agnostic half: the [`ObjectStore`] mutations, the in-memory
+//! lock/coordinator tables, the waiting-writer queue, the §4.4 lock
+//! resolution rules, and the unified [`Counters`].
+//!
+//! The engine is transport-free. Every state transition returns its
+//! outward-visible consequences as [`Effect`]s that the policy adapter
+//! (vring multicast for NICE, unicast fan-out for NOOB) turns into wire
+//! messages and timers. The adapters therefore cannot drift apart on
+//! protocol logic — the invariant the old textual `enum_parity` lint
+//! approximated is now enforced by this shared type.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nice_sim::{Ipv4, Time};
+
+use crate::error::KvError;
+use crate::store::{ObjectStore, StorageCfg};
+use crate::types::{NodeIdx, OpId, Timestamp, Value};
+
+/// Unified observable counters for both systems' storage nodes.
+///
+/// The engine itself bumps `puts_committed` / `puts_aborted` /
+/// `internal_errors`; the policy adapters bump the routing-dependent
+/// ones (`gets_served`, `forwarded`, `replica_writes`,
+/// `puts_coordinated`, `failure_reports`) through
+/// [`TwoPcEngine::counters_mut`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Gets served from the local store.
+    pub gets_served: u64,
+    /// Requests forwarded to the responsible node (NICE: handoff get
+    /// misses; NOOB: ROG/RAC extra hops).
+    pub forwarded: u64,
+    /// Puts committed locally.
+    pub puts_committed: u64,
+    /// Puts aborted.
+    pub puts_aborted: u64,
+    /// Puts coordinated as primary.
+    pub puts_coordinated: u64,
+    /// Replica writes performed as secondary.
+    pub replica_writes: u64,
+    /// Failure reports sent.
+    pub failure_reports: u64,
+    /// Internal invariant violations survived without panicking
+    /// (see [`KvError`]); nonzero indicates a protocol bug.
+    pub internal_errors: u64,
+}
+
+/// Policy knobs fixed per system at construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCfg {
+    /// Storage device model.
+    pub storage: StorageCfg,
+    /// 2PC coordination deadline. `Some` arms a [`Effect::Deadline`] per
+    /// coordination round (NICE, §4.4 failure handling); `None` runs
+    /// without coordinator timeouts (the NOOB baseline has none).
+    pub op_timeout: Option<Time>,
+    /// Where the coordinator applies its own commit. `true`: inline, the
+    /// moment the timestamp is generated (NOOB's primary commits before
+    /// fanning the timestamp out). `false`: when its own copy of the
+    /// commit message loops back (NICE's primary receives its own switch
+    /// multicast like any replica).
+    pub inline_commit: bool,
+    /// Model the W step of Figure 3 as durable: a pending put whose
+    /// local write finished survives a crash as an in-doubt entry for
+    /// §4.4 lock resolution. The NOOB baseline keeps tentative values in
+    /// memory only.
+    pub durable_pending: bool,
+}
+
+/// The replica group for one key, from the engine's point of view:
+/// everyone who must acknowledge, excluding the local node.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The other members that must ack (primary excluded).
+    pub peers: Vec<NodeIdx>,
+    /// The local node's address (becomes `Timestamp::primary` when this
+    /// node generates a commit timestamp).
+    pub self_addr: Ipv4,
+}
+
+/// The calling node's role for one key, per call — roles change under
+/// membership churn, so the adapter derives it fresh from its routing
+/// state each time.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineRole<'a> {
+    /// Coordinator for the key's partition.
+    Primary(&'a Group),
+    /// Replica that acknowledges to a coordinator.
+    Peer,
+    /// Holds the data but participates in no ack round (e.g. a node
+    /// outside the current view applying a late commit).
+    Observer,
+}
+
+/// An outward-visible consequence of an engine transition. The policy
+/// adapter interprets each one — sending a wire message, arming a timer,
+/// or re-entering its own put path — in its system's idiom.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// The local object write (W) completes at `at`; feed
+    /// [`ReplicationEngine::on_written`] back then.
+    WriteDone {
+        /// Device completion time.
+        at: Time,
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+    },
+    /// Tell the coordinator this replica holds the data (phase-1 ack).
+    Ack1 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+    },
+    /// Tell the coordinator this replica committed (phase-2 ack).
+    Ack2 {
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+    },
+    /// Distribute the commit timestamp to every replica (Figure 3's
+    /// "timestamp" message).
+    Commit {
+        /// The key.
+        key: String,
+        /// The attempt being committed.
+        op: OpId,
+        /// The commit timestamp.
+        ts: Timestamp,
+    },
+    /// Distribute an abort for a failed round.
+    Abort {
+        /// The key.
+        key: String,
+        /// The attempt being aborted.
+        op: OpId,
+    },
+    /// Answer the client.
+    Reply {
+        /// The client's address.
+        client: Ipv4,
+        /// The attempt this answers.
+        op: OpId,
+        /// Whether the put committed.
+        ok: bool,
+    },
+    /// Arm (or re-arm) the coordination deadline for `at`.
+    Deadline {
+        /// When the deadline fires.
+        at: Time,
+        /// The key.
+        key: String,
+        /// The attempt.
+        op: OpId,
+    },
+    /// These members never acknowledged within two deadlines — report
+    /// them to the failure detector (§4.4).
+    Unresponsive {
+        /// The silent members.
+        members: Vec<NodeIdx>,
+    },
+    /// A queued writer's turn came up: re-enter the put path with it.
+    Redrive {
+        /// The key.
+        key: String,
+        /// The queued attempt.
+        op: OpId,
+        /// Its value.
+        value: Value,
+    },
+}
+
+/// How one coordinated put completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoordKind {
+    /// Two rounds: ack1 from all peers → commit timestamp → ack2 from
+    /// all peers → reply.
+    TwoPc,
+    /// One round: reply once `quorum` copies (including the local one)
+    /// exist; retire the record when every peer acked.
+    Direct {
+        /// Copies needed before the client reply.
+        quorum: usize,
+    },
+}
+
+/// Coordinator-side state of one in-flight put.
+#[derive(Debug)]
+struct Coord {
+    client: Ipv4,
+    acks1: BTreeSet<NodeIdx>,
+    acks2: BTreeSet<NodeIdx>,
+    self_written: bool,
+    committed: bool,
+    replied: bool,
+    timeouts: u32,
+    kind: CoordKind,
+}
+
+impl Coord {
+    fn new(client: Ipv4, kind: CoordKind) -> Coord {
+        Coord {
+            client,
+            acks1: BTreeSet::new(),
+            acks2: BTreeSet::new(),
+            self_written: false,
+            committed: false,
+            replied: false,
+            timeouts: 0,
+            kind,
+        }
+    }
+}
+
+/// The replication protocol surface both systems program against.
+///
+/// Every store mutation and every lock/coordinator-table transition of
+/// the put path goes through these methods — the `layering` lint bans
+/// the raw [`ObjectStore`] mutators from the adapter crates, so protocol
+/// logic cannot be reimplemented (or drift) per system.
+pub trait ReplicationEngine {
+    /// Coordinator/replica 2PC phase 1: lock `key` for `op`, append the
+    /// forced log entry (+L), and start the object write (W). Returns
+    /// false when another attempt holds the lock — the op is queued and
+    /// will come back as an [`Effect::Redrive`] once the lock clears.
+    fn prepare(
+        &mut self,
+        key: &str,
+        value: Value,
+        op: OpId,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    ) -> bool;
+
+    /// Replica-side 2PC data receive that never queues: lock if free
+    /// (ignored otherwise — the commit round resolves conflicts), then
+    /// log and write. Always emits [`Effect::WriteDone`].
+    fn accept(&mut self, key: &str, value: Value, op: OpId, now: Time, fx: &mut Vec<Effect>);
+
+    /// Open a coordinator record for `(key, op)` (idempotent). `quorum`
+    /// `None` runs two-phase commit; `Some(q)` runs the direct path,
+    /// replying once `q` copies (including the local one) exist.
+    fn coordinate(&mut self, key: &str, op: OpId, client: Ipv4, quorum: Option<usize>);
+
+    /// The local object write for `(key, op)` finished. A primary
+    /// advances its coordination round (arming a deadline when the
+    /// engine runs with `op_timeout`); a peer acks; an observer only
+    /// records the write.
+    fn on_written(
+        &mut self,
+        key: &str,
+        op: OpId,
+        role: EngineRole<'_>,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    );
+
+    /// A phase-1 ack from `from` arrived at the coordinator.
+    fn on_ack1(
+        &mut self,
+        key: &str,
+        op: OpId,
+        from: NodeIdx,
+        g: &Group,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    );
+
+    /// A phase-2 ack from `from` arrived at the coordinator. `g` may be
+    /// `None` when the membership view vanished meanwhile: the ack is
+    /// still recorded but the round cannot advance.
+    fn on_ack2(
+        &mut self,
+        key: &str,
+        op: OpId,
+        from: NodeIdx,
+        g: Option<&Group>,
+        fx: &mut Vec<Effect>,
+    );
+
+    /// A commit timestamp arrived (including the coordinator's own copy
+    /// looping back under NICE's switch multicast). Applies the commit,
+    /// advances the failover sequence floor, and — on any role — gives a
+    /// queued writer its turn. Returns whether the commit applied.
+    fn on_commit(
+        &mut self,
+        key: &str,
+        op: OpId,
+        ts: Timestamp,
+        role: EngineRole<'_>,
+        fx: &mut Vec<Effect>,
+    ) -> bool;
+
+    /// An abort arrived: release the lock if `op` holds it and give a
+    /// queued writer its turn. Returns whether state changed.
+    fn on_abort(&mut self, key: &str, op: OpId, fx: &mut Vec<Effect>) -> bool;
+
+    /// A coordination deadline fired. The first timeout re-arms; the
+    /// second gives up: report silent members, and — if no commit
+    /// decision was reached — abort the round and fail the client
+    /// (§4.4 "Failures during Put Operation"). `g` may be `None` when
+    /// the membership view vanished meanwhile.
+    fn on_deadline(
+        &mut self,
+        key: &str,
+        op: OpId,
+        g: Option<&Group>,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    );
+
+    /// Generate the next commit timestamp from this node's sequence.
+    fn next_ts(&mut self, op: OpId, self_addr: Ipv4) -> Timestamp;
+
+    /// Store a replica copy directly (no lock round): one forced device
+    /// write plus an ordered commit. Returns the write completion time.
+    fn apply_copy(&mut self, key: &str, value: Value, ts: Timestamp, now: Time) -> Time;
+
+    /// Pay the device cost of a logged object write (+L then W) without
+    /// touching the object map; returns the completion time. (Chain
+    /// heads stage the write before passing the baton.)
+    fn stage_write(&mut self, now: Time, size: u32) -> Time;
+
+    /// Apply one object version without device cost or counting
+    /// (ordered; stale versions are ignored).
+    fn sync_object(&mut self, key: &str, value: Value, ts: Timestamp);
+
+    /// Bulk-apply recovered objects (handoff drain): one forced device
+    /// write for the batch, then ordered commits.
+    fn ingest(&mut self, now: Time, objects: Vec<(String, Value, Timestamp)>);
+
+    /// Drop a committed object (handoff cleanup after the owner drained
+    /// it).
+    fn forget(&mut self, key: &str);
+
+    /// The §4.4 lock report for keys matching `filter`: every pending
+    /// lock with the commit timestamp *of that attempt* if this node
+    /// already applied it, plus this node's sequence floor.
+    fn lock_report(
+        &self,
+        filter: &dyn Fn(&str) -> bool,
+    ) -> (Vec<(String, OpId, Option<Timestamp>)>, u64);
+
+    /// Raise the local sequence floor (new primary finishing lock
+    /// resolution).
+    fn observe_seq(&mut self, seq: u64);
+
+    /// Is a coordinator record open for `(key, op)`? (duplicate-request
+    /// detection)
+    fn coordinating(&self, key: &str, op: OpId) -> bool;
+
+    /// Crash: volatile protocol state (locks whose write never
+    /// completed, coordinator records, queued writers) dies; committed
+    /// objects, the persistent log, and the sequence floor survive.
+    fn reset(&mut self);
+}
+
+/// The one implementation of [`ReplicationEngine`] both systems share.
+#[derive(Debug)]
+pub struct TwoPcEngine {
+    cfg: EngineCfg,
+    store: ObjectStore,
+    coords: BTreeMap<(String, OpId), Coord>,
+    /// Writers queued behind a lock, FIFO per key.
+    waiting: BTreeMap<String, Vec<(OpId, Value)>>,
+    primary_seq: u64,
+    counters: Counters,
+    last_internal_error: Option<KvError>,
+}
+
+impl TwoPcEngine {
+    /// An empty engine with the given policy.
+    pub fn new(cfg: EngineCfg) -> TwoPcEngine {
+        TwoPcEngine {
+            store: ObjectStore::new(cfg.storage),
+            cfg,
+            coords: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            primary_seq: 0,
+            counters: Counters::default(),
+            last_internal_error: None,
+        }
+    }
+
+    /// The local object store (read-only inspection; mutation goes
+    /// through the protocol methods).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable store access for tests and offline tooling. Adapter
+    /// crates must not mutate the store directly (`layering` lint).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Observable counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Mutable counter access for the routing-dependent counters the
+    /// adapter owns (`gets_served`, `forwarded`, …).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Most recent internal invariant violation, if any (a correct run
+    /// keeps this `None`).
+    pub fn last_internal_error(&self) -> Option<&KvError> {
+        self.last_internal_error.as_ref()
+    }
+
+    /// Record an internal invariant violation instead of panicking: the
+    /// affected operation is dropped (its client times out and retries)
+    /// and the node keeps serving.
+    pub fn note_internal(&mut self, err: KvError) {
+        self.counters.internal_errors += 1;
+        self.last_internal_error = Some(err);
+    }
+
+    /// Dispatch on the coordinator kind after new information arrived.
+    fn advance(&mut self, key: &str, op: OpId, g: &Group, fx: &mut Vec<Effect>) {
+        let kind = match self.coords.get(&(key.to_owned(), op)) {
+            Some(c) => c.kind,
+            None => return,
+        };
+        match kind {
+            CoordKind::TwoPc => {
+                self.check_commit(key, op, g, fx);
+                self.check_done(key, op, g, fx);
+            }
+            CoordKind::Direct { quorum } => self.direct_advance(key, op, quorum, g, fx),
+        }
+    }
+
+    /// All replicas hold the data and so does the coordinator: generate
+    /// the timestamp quadruplet and distribute it.
+    fn check_commit(&mut self, key: &str, op: OpId, g: &Group, fx: &mut Vec<Effect>) {
+        let k = (key.to_owned(), op);
+        let Some(c) = self.coords.get(&k) else {
+            return;
+        };
+        if c.committed || !c.self_written {
+            return;
+        }
+        if !g.peers.iter().all(|n| c.acks1.contains(n)) {
+            return;
+        }
+        self.primary_seq += 1;
+        let ts = Timestamp {
+            primary_seq: self.primary_seq,
+            primary: g.self_addr,
+            client_seq: op.client_seq,
+            client: op.client,
+        };
+        match self.coords.get_mut(&k) {
+            Some(c) => c.committed = true,
+            None => return self.note_internal(KvError::CoordinatorMissing { key: k.0, op }),
+        }
+        if self.cfg.inline_commit && self.store.commit(key, op, ts) {
+            self.counters.puts_committed += 1;
+        }
+        fx.push(Effect::Commit {
+            key: key.to_owned(),
+            op,
+            ts,
+        });
+    }
+
+    /// Every replica committed: retire the round and answer the client.
+    fn check_done(&mut self, key: &str, op: OpId, g: &Group, fx: &mut Vec<Effect>) {
+        let k = (key.to_owned(), op);
+        let Some(c) = self.coords.get(&k) else {
+            return;
+        };
+        if !c.committed {
+            return;
+        }
+        if !g.peers.iter().all(|n| c.acks2.contains(n)) {
+            return;
+        }
+        let (client, replied) = (c.client, c.replied);
+        self.coords.remove(&k);
+        if !replied {
+            fx.push(Effect::Reply {
+                client,
+                op,
+                ok: true,
+            });
+        }
+        if self.cfg.inline_commit {
+            self.drain(key, fx);
+        }
+    }
+
+    /// Direct path: reply at quorum, retire once every peer acked.
+    fn direct_advance(
+        &mut self,
+        key: &str,
+        op: OpId,
+        quorum: usize,
+        g: &Group,
+        fx: &mut Vec<Effect>,
+    ) {
+        let k = (key.to_owned(), op);
+        let Some(c) = self.coords.get_mut(&k) else {
+            return;
+        };
+        if !c.self_written {
+            return;
+        }
+        // The local copy counts toward the quorum.
+        let have = c.acks1.len() + 1;
+        if have >= quorum && !c.replied {
+            c.replied = true;
+            let client = c.client;
+            fx.push(Effect::Reply {
+                client,
+                op,
+                ok: true,
+            });
+        }
+        if let Some(c) = self.coords.get(&k) {
+            if c.acks1.len() >= g.peers.len() {
+                self.coords.remove(&k);
+            }
+        }
+    }
+
+    /// Give the next queued writer its turn once the lock is free.
+    fn drain(&mut self, key: &str, fx: &mut Vec<Effect>) {
+        if self.store.locked(key) {
+            return;
+        }
+        if let Some(mut q) = self.waiting.remove(key) {
+            if !q.is_empty() {
+                let (op, value) = q.remove(0);
+                if !q.is_empty() {
+                    self.waiting.insert(key.to_owned(), q);
+                }
+                fx.push(Effect::Redrive {
+                    key: key.to_owned(),
+                    op,
+                    value,
+                });
+            }
+        }
+    }
+}
+
+impl ReplicationEngine for TwoPcEngine {
+    fn prepare(
+        &mut self,
+        key: &str,
+        value: Value,
+        op: OpId,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    ) -> bool {
+        if !self.store.lock(key, op, value.clone(), now) {
+            // Locked by another op: queue behind it.
+            let q = self.waiting.entry(key.to_owned()).or_default();
+            if !q.iter().any(|(o, _)| *o == op) {
+                q.push((op, value));
+            }
+            return false;
+        }
+        // +L (forced) then W: both on the storage device.
+        let size = self.store.pending(key).map_or(0, |p| p.value.size());
+        self.store.write_delay(now, 100, true);
+        let done = self.store.write_delay(now, size, false);
+        fx.push(Effect::WriteDone {
+            at: done,
+            key: key.to_owned(),
+            op,
+        });
+        true
+    }
+
+    fn accept(&mut self, key: &str, value: Value, op: OpId, now: Time, fx: &mut Vec<Effect>) {
+        // Lock if free; a conflict is left for the commit round to
+        // resolve (the coordinator's timestamp decides).
+        self.store.lock(key, op, value.clone(), now);
+        self.store.write_delay(now, 100, true);
+        let done = self.store.write_delay(now, value.size(), false);
+        fx.push(Effect::WriteDone {
+            at: done,
+            key: key.to_owned(),
+            op,
+        });
+    }
+
+    fn coordinate(&mut self, key: &str, op: OpId, client: Ipv4, quorum: Option<usize>) {
+        let k = (key.to_owned(), op);
+        if self.coords.contains_key(&k) {
+            return;
+        }
+        let kind = match quorum {
+            Some(q) => CoordKind::Direct { quorum: q },
+            None => CoordKind::TwoPc,
+        };
+        self.coords.insert(k, Coord::new(client, kind));
+    }
+
+    fn on_written(
+        &mut self,
+        key: &str,
+        op: OpId,
+        role: EngineRole<'_>,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    ) {
+        let durable = self.cfg.durable_pending;
+        match self.store.pending_mut(key) {
+            Some(p) if p.op == op => {
+                if durable {
+                    p.written = true;
+                }
+            }
+            Some(_) => return, // superseded: another attempt holds the lock
+            None => {
+                // No lock: only direct-path coordinators (which never
+                // lock) advance; a 2PC write that lost its pending state
+                // was already committed or aborted meanwhile.
+                let direct = matches!(
+                    self.coords.get(&(key.to_owned(), op)).map(|c| c.kind),
+                    Some(CoordKind::Direct { .. })
+                );
+                if !direct {
+                    return;
+                }
+            }
+        }
+        match role {
+            EngineRole::Primary(g) => {
+                let k = (key.to_owned(), op);
+                if !self.coords.contains_key(&k) {
+                    // NICE-style engines coordinate implicitly on the
+                    // first primary-side event and arm the deadline.
+                    let Some(t) = self.cfg.op_timeout else {
+                        return;
+                    };
+                    self.coords
+                        .insert(k.clone(), Coord::new(op.client, CoordKind::TwoPc));
+                    fx.push(Effect::Deadline {
+                        at: now + t,
+                        key: key.to_owned(),
+                        op,
+                    });
+                }
+                match self.coords.get_mut(&k) {
+                    Some(c) => c.self_written = true,
+                    None => {
+                        return self.note_internal(KvError::CoordinatorMissing { key: k.0, op })
+                    }
+                }
+                self.advance(key, op, g, fx);
+            }
+            EngineRole::Peer => fx.push(Effect::Ack1 {
+                key: key.to_owned(),
+                op,
+            }),
+            EngineRole::Observer => {}
+        }
+    }
+
+    fn on_ack1(
+        &mut self,
+        key: &str,
+        op: OpId,
+        from: NodeIdx,
+        g: &Group,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    ) {
+        let k = (key.to_owned(), op);
+        if !self.coords.contains_key(&k) {
+            // An ack can outrun the primary's own write completion: a
+            // deadline-running engine opens the record here (NICE); the
+            // NOOB baseline only tracks explicitly coordinated puts.
+            let Some(t) = self.cfg.op_timeout else {
+                return;
+            };
+            self.coords
+                .insert(k.clone(), Coord::new(op.client, CoordKind::TwoPc));
+            fx.push(Effect::Deadline {
+                at: now + t,
+                key: key.to_owned(),
+                op,
+            });
+        }
+        match self.coords.get_mut(&k) {
+            Some(c) => {
+                c.acks1.insert(from);
+            }
+            None => return self.note_internal(KvError::CoordinatorMissing { key: k.0, op }),
+        }
+        self.advance(key, op, g, fx);
+    }
+
+    fn on_ack2(
+        &mut self,
+        key: &str,
+        op: OpId,
+        from: NodeIdx,
+        g: Option<&Group>,
+        fx: &mut Vec<Effect>,
+    ) {
+        if let Some(c) = self.coords.get_mut(&(key.to_owned(), op)) {
+            c.acks2.insert(from);
+        }
+        if let Some(g) = g {
+            self.advance(key, op, g, fx);
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        key: &str,
+        op: OpId,
+        ts: Timestamp,
+        role: EngineRole<'_>,
+        fx: &mut Vec<Effect>,
+    ) -> bool {
+        let applied = self.store.commit(key, op, ts);
+        if applied {
+            self.counters.puts_committed += 1;
+        }
+        // Track the highest primary sequence seen (failover floor).
+        self.primary_seq = self.primary_seq.max(ts.primary_seq);
+        match role {
+            EngineRole::Primary(g) => self.check_done(key, op, g, fx),
+            EngineRole::Peer => fx.push(Effect::Ack2 {
+                key: key.to_owned(),
+                op,
+            }),
+            EngineRole::Observer => {}
+        }
+        self.drain(key, fx);
+        applied
+    }
+
+    fn on_abort(&mut self, key: &str, op: OpId, fx: &mut Vec<Effect>) -> bool {
+        let applied = self.store.abort(key, op);
+        if applied {
+            self.counters.puts_aborted += 1;
+        }
+        self.drain(key, fx);
+        applied
+    }
+
+    fn on_deadline(
+        &mut self,
+        key: &str,
+        op: OpId,
+        g: Option<&Group>,
+        now: Time,
+        fx: &mut Vec<Effect>,
+    ) {
+        let k = (key.to_owned(), op);
+        {
+            let Some(c) = self.coords.get_mut(&k) else {
+                return; // completed
+            };
+            c.timeouts += 1;
+            if c.timeouts < 2 {
+                if let Some(t) = self.cfg.op_timeout {
+                    fx.push(Effect::Deadline {
+                        at: now + t,
+                        key: key.to_owned(),
+                        op,
+                    });
+                }
+                return;
+            }
+        }
+        // Two timeouts: report the unresponsive members, abort, fail the
+        // client (§4.4 "Failures during Put Operation").
+        let Some(c) = self.coords.remove(&k) else {
+            return self.note_internal(KvError::CoordinatorMissing { key: k.0, op });
+        };
+        let Some(g) = g else {
+            return;
+        };
+        let acks = if c.committed { &c.acks2 } else { &c.acks1 };
+        let missing: Vec<NodeIdx> = g
+            .peers
+            .iter()
+            .copied()
+            .filter(|n| !acks.contains(n))
+            .collect();
+        if !missing.is_empty() {
+            fx.push(Effect::Unresponsive { members: missing });
+        }
+        if !c.committed {
+            self.store.abort(key, op);
+            self.counters.puts_aborted += 1;
+            fx.push(Effect::Abort {
+                key: key.to_owned(),
+                op,
+            });
+            fx.push(Effect::Reply {
+                client: c.client,
+                op,
+                ok: false,
+            });
+            self.drain(key, fx);
+        }
+    }
+
+    fn next_ts(&mut self, op: OpId, self_addr: Ipv4) -> Timestamp {
+        self.primary_seq += 1;
+        Timestamp {
+            primary_seq: self.primary_seq,
+            primary: self_addr,
+            client_seq: op.client_seq,
+            client: op.client,
+        }
+    }
+
+    fn apply_copy(&mut self, key: &str, value: Value, ts: Timestamp, now: Time) -> Time {
+        let done = self.store.write_delay(now, value.size(), true);
+        self.store.commit_direct(key, value, ts);
+        self.counters.puts_committed += 1;
+        done
+    }
+
+    fn stage_write(&mut self, now: Time, size: u32) -> Time {
+        self.store.write_delay(now, 100, true);
+        self.store.write_delay(now, size, false)
+    }
+
+    fn sync_object(&mut self, key: &str, value: Value, ts: Timestamp) {
+        self.store.commit_direct(key, value, ts);
+    }
+
+    fn ingest(&mut self, now: Time, objects: Vec<(String, Value, Timestamp)>) {
+        let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
+        self.store.write_delay(now, total, true);
+        for (k, v, ts) in objects {
+            self.store.commit_direct(&k, v, ts);
+        }
+    }
+
+    fn forget(&mut self, key: &str) {
+        self.store.remove(key);
+    }
+
+    fn lock_report(
+        &self,
+        filter: &dyn Fn(&str) -> bool,
+    ) -> (Vec<(String, OpId, Option<Timestamp>)>, u64) {
+        let locked: Vec<(String, OpId, Option<Timestamp>)> = self
+            .store
+            .pending_iter()
+            .filter(|(k, _)| filter(k))
+            .map(|(k, p)| {
+                // "committed" must mean THIS attempt committed somewhere,
+                // not that some earlier version of the key exists.
+                let cts = self
+                    .store
+                    .get(k)
+                    .filter(|c| c.ts.client == p.op.client && c.ts.client_seq == p.op.client_seq)
+                    .map(|c| c.ts);
+                (k.clone(), p.op, cts)
+            })
+            .collect();
+        (locked, self.primary_seq.max(self.store.max_primary_seq()))
+    }
+
+    fn observe_seq(&mut self, seq: u64) {
+        self.primary_seq = self.primary_seq.max(seq);
+    }
+
+    fn coordinating(&self, key: &str, op: OpId) -> bool {
+        self.coords.contains_key(&(key.to_owned(), op))
+    }
+
+    fn reset(&mut self) {
+        self.store.on_crash();
+        self.coords.clear();
+        self.waiting.clear();
+    }
+}
+
+/// Lock-resolution state on a freshly promoted primary (§4.4): "if the
+/// object is committed on any secondary node … The primary will commit
+/// and unlock the object. If an object is locked on all secondary nodes,
+/// then the new primary will abort."
+#[derive(Debug)]
+pub struct LockResolution {
+    waiting: BTreeSet<NodeIdx>,
+    /// key -> (op, committed_ts anywhere?, lock count)
+    locked: BTreeMap<String, (OpId, Option<Timestamp>, usize)>,
+    max_seq: u64,
+}
+
+impl LockResolution {
+    /// Start a resolution waiting on reports from `waiting`, seeded with
+    /// the new primary's own [`ReplicationEngine::lock_report`].
+    pub fn new(
+        waiting: BTreeSet<NodeIdx>,
+        seed: Vec<(String, OpId, Option<Timestamp>)>,
+        max_seq: u64,
+    ) -> LockResolution {
+        let mut locked = BTreeMap::new();
+        for (k, op, cts) in seed {
+            locked.insert(k, (op, cts, 1));
+        }
+        LockResolution {
+            waiting,
+            locked,
+            max_seq,
+        }
+    }
+
+    /// Merge one member's lock report. Returns true once every awaited
+    /// member reported.
+    pub fn absorb(
+        &mut self,
+        from: NodeIdx,
+        locked: Vec<(String, OpId, Option<Timestamp>)>,
+        max_seq: u64,
+    ) -> bool {
+        self.max_seq = self.max_seq.max(max_seq);
+        for (k, op, cts) in locked {
+            let e = self.locked.entry(k).or_insert((op, None, 0));
+            e.2 += 1;
+            if let Some(t) = cts {
+                e.1 = Some(e.1.map_or(t, |x: Timestamp| x.max(t)));
+            }
+        }
+        self.waiting.remove(&from);
+        self.complete()
+    }
+
+    /// Has every awaited member reported?
+    pub fn complete(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// The verdicts: the sequence floor for the new primary, and per key
+    /// the attempt plus `Some(ts)` (commit everywhere with `ts`) or
+    /// `None` (locked everywhere, committed nowhere: abort).
+    pub fn settle(self) -> (u64, Vec<(String, OpId, Option<Timestamp>)>) {
+        let verdicts = self
+            .locked
+            .into_iter()
+            .map(|(k, (op, cts, _count))| (k, op, cts))
+            .collect();
+        (self.max_seq, verdicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT: Ipv4 = Ipv4::new(10, 0, 1, 1);
+    const PRIMARY: Ipv4 = Ipv4::new(10, 0, 0, 1);
+
+    fn op(seq: u64) -> OpId {
+        OpId {
+            client: CLIENT,
+            client_seq: seq,
+        }
+    }
+
+    fn nice_cfg() -> EngineCfg {
+        EngineCfg {
+            storage: StorageCfg::default(),
+            op_timeout: Some(Time::from_ms(500)),
+            inline_commit: false,
+            durable_pending: true,
+        }
+    }
+
+    fn noob_cfg() -> EngineCfg {
+        EngineCfg {
+            storage: StorageCfg::default(),
+            op_timeout: None,
+            inline_commit: true,
+            durable_pending: false,
+        }
+    }
+
+    fn group(peers: &[u32]) -> Group {
+        Group {
+            peers: peers.iter().map(|&n| NodeIdx(n)).collect(),
+            self_addr: PRIMARY,
+        }
+    }
+
+    fn commit_effect(fx: &[Effect]) -> Option<Timestamp> {
+        fx.iter().find_map(|e| match e {
+            Effect::Commit { ts, .. } => Some(*ts),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn nice_style_round_commits_on_loopback() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let g = group(&[1, 2]);
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![7]), op(1), Time::ZERO, &mut fx));
+        assert!(matches!(fx[0], Effect::WriteDone { .. }));
+        fx.clear();
+        e.on_written("k", op(1), EngineRole::Primary(&g), Time::ZERO, &mut fx);
+        assert!(
+            matches!(fx[0], Effect::Deadline { .. }),
+            "first primary event arms the deadline"
+        );
+        fx.clear();
+        e.on_ack1("k", op(1), NodeIdx(1), &g, Time::ZERO, &mut fx);
+        assert!(commit_effect(&fx).is_none(), "one ack short");
+        e.on_ack1("k", op(1), NodeIdx(2), &g, Time::ZERO, &mut fx);
+        let ts = commit_effect(&fx).expect("commit after all acks");
+        assert_eq!(ts.primary, PRIMARY);
+        assert!(
+            e.store().get("k").is_none(),
+            "loopback engine commits only when its own copy arrives"
+        );
+        fx.clear();
+        assert!(e.on_commit("k", op(1), ts, EngineRole::Primary(&g), &mut fx));
+        assert_eq!(*e.store().get("k").unwrap().value.bytes, vec![7]);
+        assert_eq!(e.counters().puts_committed, 1);
+        fx.clear();
+        e.on_ack2("k", op(1), NodeIdx(1), Some(&g), &mut fx);
+        assert!(fx.is_empty());
+        e.on_ack2("k", op(1), NodeIdx(2), Some(&g), &mut fx);
+        assert!(
+            matches!(fx[0], Effect::Reply { ok: true, .. }),
+            "reply once every peer committed"
+        );
+        assert!(!e.coordinating("k", op(1)));
+    }
+
+    #[test]
+    fn inline_engine_commits_at_timestamp_generation() {
+        let mut e = TwoPcEngine::new(noob_cfg());
+        let g = group(&[1]);
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![9]), op(1), Time::ZERO, &mut fx));
+        e.coordinate("k", op(1), CLIENT, None);
+        fx.clear();
+        e.on_written("k", op(1), EngineRole::Primary(&g), Time::ZERO, &mut fx);
+        assert!(fx.is_empty(), "no deadline without op_timeout");
+        e.on_ack1("k", op(1), NodeIdx(1), &g, Time::ZERO, &mut fx);
+        assert!(commit_effect(&fx).is_some());
+        assert_eq!(
+            *e.store().get("k").unwrap().value.bytes,
+            vec![9],
+            "inline commit applied before the timestamp fan-out"
+        );
+        fx.clear();
+        e.on_ack2("k", op(1), NodeIdx(1), Some(&g), &mut fx);
+        assert!(matches!(fx[0], Effect::Reply { ok: true, .. }));
+    }
+
+    #[test]
+    fn direct_path_replies_at_quorum_and_retires_when_full() {
+        let mut e = TwoPcEngine::new(noob_cfg());
+        let g = group(&[1, 2]);
+        e.coordinate("k", op(1), CLIENT, Some(2));
+        let ts = e.next_ts(op(1), PRIMARY);
+        e.apply_copy("k", Value::from_bytes(vec![1]), ts, Time::ZERO);
+        let mut fx = Vec::new();
+        e.on_written("k", op(1), EngineRole::Primary(&g), Time::ZERO, &mut fx);
+        assert!(fx.is_empty(), "self copy alone is below quorum 2");
+        e.on_ack1("k", op(1), NodeIdx(1), &g, Time::ZERO, &mut fx);
+        assert!(matches!(fx[0], Effect::Reply { ok: true, .. }));
+        assert!(e.coordinating("k", op(1)), "still waiting for the tail ack");
+        fx.clear();
+        e.on_ack1("k", op(1), NodeIdx(2), &g, Time::ZERO, &mut fx);
+        assert!(fx.is_empty(), "no second reply");
+        assert!(!e.coordinating("k", op(1)));
+    }
+
+    #[test]
+    fn second_deadline_aborts_and_fails_the_client() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let g = group(&[1, 2]);
+        let mut fx = Vec::new();
+        e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx);
+        fx.clear();
+        e.on_written("k", op(1), EngineRole::Primary(&g), Time::ZERO, &mut fx);
+        fx.clear();
+        e.on_deadline("k", op(1), Some(&g), Time::from_ms(500), &mut fx);
+        assert!(matches!(fx[0], Effect::Deadline { .. }), "first re-arms");
+        fx.clear();
+        e.on_deadline("k", op(1), Some(&g), Time::from_secs(1), &mut fx);
+        assert!(matches!(&fx[0], Effect::Unresponsive { members } if members.len() == 2));
+        assert!(matches!(fx[1], Effect::Abort { .. }));
+        assert!(matches!(fx[2], Effect::Reply { ok: false, .. }));
+        assert!(!e.store().locked("k"), "lock released");
+        assert_eq!(e.counters().puts_aborted, 1);
+    }
+
+    #[test]
+    fn conflicting_writer_queues_and_redrives() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx));
+        assert!(!e.prepare("k", Value::from_bytes(vec![2]), op(2), Time::ZERO, &mut fx));
+        fx.clear();
+        let ts = Timestamp {
+            primary_seq: 1,
+            primary: PRIMARY,
+            client_seq: 1,
+            client: CLIENT,
+        };
+        e.on_commit("k", op(1), ts, EngineRole::Observer, &mut fx);
+        let redrive = fx
+            .iter()
+            .any(|e| matches!(e, Effect::Redrive { op: o, .. } if o.client_seq == 2));
+        assert!(redrive, "queued writer gets its turn after the commit");
+    }
+
+    #[test]
+    fn lock_report_matches_attempt_not_key_history() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        // op 1 commits, then op 2 locks the same key.
+        e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx);
+        let ts = Timestamp {
+            primary_seq: 1,
+            primary: PRIMARY,
+            client_seq: 1,
+            client: CLIENT,
+        };
+        e.on_commit("k", op(1), ts, EngineRole::Observer, &mut fx);
+        e.prepare("k", Value::from_bytes(vec![2]), op(2), Time::ZERO, &mut fx);
+        let (locked, max_seq) = e.lock_report(&|_| true);
+        assert_eq!(locked.len(), 1);
+        assert_eq!(locked[0].1, op(2));
+        assert!(
+            locked[0].2.is_none(),
+            "op 1's commit must not vouch for op 2's lock"
+        );
+        assert_eq!(max_seq, 1);
+    }
+
+    #[test]
+    fn resolution_commits_anywhere_aborts_everywhere() {
+        let seed = vec![("a".to_owned(), op(1), None), ("b".to_owned(), op(2), None)];
+        let mut r = LockResolution::new([NodeIdx(1), NodeIdx(2)].into(), seed, 3);
+        let cts = Timestamp {
+            primary_seq: 9,
+            primary: PRIMARY,
+            client_seq: 1,
+            client: CLIENT,
+        };
+        assert!(!r.absorb(NodeIdx(1), vec![("a".to_owned(), op(1), Some(cts))], 9));
+        assert!(r.absorb(NodeIdx(2), vec![("b".to_owned(), op(2), None)], 0));
+        let (max_seq, verdicts) = r.settle();
+        assert_eq!(max_seq, 9);
+        assert_eq!(
+            verdicts,
+            vec![
+                ("a".to_owned(), op(1), Some(cts)),
+                ("b".to_owned(), op(2), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_keeps_sequence_floor_and_committed_objects() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx);
+        let ts = e.next_ts(op(1), PRIMARY);
+        e.on_commit("k", op(1), ts, EngineRole::Observer, &mut fx);
+        e.prepare("x", Value::from_bytes(vec![2]), op(2), Time::ZERO, &mut fx);
+        e.coordinate("x", op(2), CLIENT, None);
+        e.reset();
+        assert!(e.store().get("k").is_some(), "committed survives");
+        assert!(!e.store().locked("x"), "unwritten pending is volatile");
+        assert!(!e.coordinating("x", op(2)));
+        assert_eq!(e.next_ts(op(3), PRIMARY).primary_seq, 2, "floor kept");
+    }
+}

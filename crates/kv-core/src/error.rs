@@ -1,4 +1,4 @@
-//! Typed errors for the NICEKV request paths and public client API.
+//! Typed errors for the KV request paths and public client API.
 //!
 //! The request paths must never panic (`xtask lint` rule
 //! `panic-path`): lookups that "cannot fail" under correct operation are
@@ -13,8 +13,7 @@
 //! ([`crate::OpRecord::result`]) instead of a bare bool, so callers can
 //! distinguish "key absent" from "cluster unreachable".
 
-use crate::msg::OpId;
-use nice_ring::{NodeIdx, PartitionId};
+use crate::types::{NodeIdx, OpId, PartitionId};
 use std::error::Error;
 use std::fmt;
 

@@ -1,0 +1,47 @@
+//! kv-core — the system-agnostic KV substrate shared by NICEKV and NOOB.
+//!
+//! The two systems in this workspace differ in *routing policy*: NICE
+//! addresses replicas through switch-resident virtual rings and
+//! multicast; the NOOB baseline runs full-membership end-host
+//! replication over unicast. Everything else — the object store and
+//! persistent log, the 2PC and direct replication state machines, §4.4
+//! lock resolution, the client retry engine, the counters — is protocol,
+//! not policy, and lives here exactly once.
+//!
+//! Layering (enforced by `cargo xtask lint` rule `layering`):
+//!
+//! ```text
+//!   nicekv, noob        policy adapters: wire formats, routing, timers
+//!        │                 (no store mutation, no lock tables)
+//!        ▼
+//!   kv-core             protocol: ObjectStore, TwoPcEngine, ClientCore
+//!        │                 (no dependency on nice-flow / nice-ring)
+//!        ▼
+//!   nice-sim            deterministic discrete-event substrate
+//! ```
+//!
+//! The engine is transport-free: transitions return [`Effect`]s the
+//! adapter turns into wire messages and timers, so the systems cannot
+//! drift apart on protocol logic.
+
+#![warn(missing_docs)]
+
+mod client;
+mod engine;
+mod error;
+mod store;
+mod types;
+
+pub use client::{
+    Attempt, ClientCore, ClientOp, Issue, OpRecord, ReplyAction, RetryAction, IDLE_POLL,
+    NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
+};
+pub use engine::{
+    Counters, Effect, EngineCfg, EngineRole, Group, LockResolution, ReplicationEngine, TwoPcEngine,
+};
+pub use error::KvError;
+pub use store::{Committed, LogEntry, ObjectStore, Pending, StorageCfg};
+pub use types::{
+    NodeIdx, OpId, PartitionId, Timestamp, Value, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,
+    DATA_SEND_THRESHOLD, REQ_COST,
+};

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 use nice_sim::Time;
 
-use crate::msg::{OpId, Timestamp, Value};
+use crate::types::{OpId, Timestamp, Value};
 
 /// Storage device cost model.
 #[derive(Debug, Clone, Copy)]

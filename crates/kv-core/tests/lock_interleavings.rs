@@ -1,23 +1,26 @@
-//! Exhaustive interleaving checker for the storage-layer 2PC put path.
+//! Exhaustive interleaving checker for the shared 2PC put state machine.
 //!
 //! NICE's put protocol (§4.3, Figure 3) serializes concurrent puts to one
 //! object through per-replica in-memory locks plus the primary's
 //! timestamp quadruplet. The event-driven simulation exercises only the
 //! schedules its configuration happens to produce; this harness instead
-//! *enumerates* schedules. Each concurrent put is modeled as its visible
-//! storage-layer step sequence —
+//! *enumerates* schedules against the production [`TwoPcEngine`] — the
+//! same state machine both NICE and NOOB adapt. Each concurrent put is
+//! modeled as its visible step sequence —
 //!
 //! ```text
 //!   Lock(r0) … Lock(rN)  →  Decide  →  Finish(r0) … Finish(rN)
 //! ```
 //!
-//! — where `Lock` is [`ObjectStore::lock`] on replica `r`, `Decide` is
-//! the primary's commit/abort choice (commit with the next timestamp iff
-//! every replica lock was acquired, mirroring `check_commit` in
-//! `server.rs`), and `Finish` applies [`ObjectStore::commit`] or
-//! [`ObjectStore::abort`] on replica `r`. All interleavings of the
-//! per-put sequences (which preserve each put's internal order) are run
-//! against real [`ObjectStore`] replicas, and every schedule must uphold:
+//! — where `Lock(r)` is the data multicast arriving at replica `r`
+//! ([`ReplicationEngine::accept`], with write-completion and PutAck1
+//! effects pumped through the engine as they would be on the wire),
+//! `Decide` is the coordinator's decision point (the engine has either
+//! emitted its `Commit` effect by then, or the put deadline fires twice
+//! and aborts, mirroring §4.3), and `Finish(r)` delivers the buffered
+//! commit/abort to replica `r` ([`ReplicationEngine::on_commit`] /
+//! [`ReplicationEngine::on_abort`]). Replica 0 hosts the coordinator.
+//! Every schedule must uphold:
 //!
 //! 1. **no stranded locks / no deadlock** — at quiescence no replica
 //!    holds a pending lock, the persistent log is drained (every +L got
@@ -31,31 +34,38 @@
 //!
 //! The two-put × three-replica and three-put × one-replica spaces are
 //! covered exhaustively (3432 + 1680 schedules); the three-put ×
-//! two-replica space (756 756 schedules) is covered by a deterministic
-//! 10 000-schedule prefix to keep the suite fast.
+//! two-replica space (756 756 schedules) runs as a deterministic 10 000
+//! schedule prefix in the fast tier and in full under `--include-ignored`
+//! (`scripts/check.sh --release` wires it in).
 //!
 //! On top of the fault-free sweeps, three failure dimensions are
 //! enumerated: **primary failover mid-2PC** (every schedule × every
-//! crash point, followed by the §4.4 resolution and the two-phase rejoin
-//! catch-up), **message loss** (every wire message of every schedule
-//! dropped in turn), and **message duplication** (every wire message
-//! delivered twice, asserting byte-identical outcomes). A seeded
-//! lock-release mutation test confirms the invariants still have teeth.
+//! crash point, followed by client retries, the production
+//! [`LockResolution`] settlement, and the two-phase rejoin catch-up),
+//! **message loss** (every wire message of every schedule dropped in
+//! turn), and **message duplication** (every wire message delivered
+//! twice, asserting byte-identical outcomes). A seeded lock-release
+//! mutation test confirms the invariants still have teeth.
 
-use nice_kv::{ObjectStore, OpId, StorageCfg, Timestamp, Value};
+use std::collections::{BTreeSet, VecDeque};
+
+use kv_core::{
+    Effect, EngineCfg, EngineRole, Group, LockResolution, NodeIdx, OpId, ReplicationEngine,
+    StorageCfg, Timestamp, TwoPcEngine, Value,
+};
 use nice_sim::{Ipv4, Time};
 
 const KEY: &str = "obj";
 const PRIMARY: Ipv4 = Ipv4::new(10, 0, 0, 1);
 
-/// The storage-visible steps of one put, in program order.
+/// The protocol-visible steps of one put, in program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Step {
-    /// `lock()` on replica `r` (data arrived, +L forced to the log).
+    /// The data multicast arrives at replica `r` (lock + forced +L/W).
     Lock(usize),
-    /// The primary's commit/abort decision over its collected acks.
+    /// The coordinator's commit/abort decision point.
     Decide,
-    /// `commit()`/`abort()` on replica `r` (timestamp or abort arrived).
+    /// The commit/abort notice arrives at replica `r`.
     Finish(usize),
 }
 
@@ -80,6 +90,24 @@ fn value_of(o: usize) -> Value {
     Value::from_bytes(vec![b'A' + o as u8; 8])
 }
 
+fn group(replicas: usize) -> Group {
+    Group {
+        peers: (1..replicas as u32).map(NodeIdx).collect(),
+        self_addr: PRIMARY,
+    }
+}
+
+/// The NICE-style engine configuration: armed put deadlines, commit on
+/// delivery (not inline), durable pending writes.
+fn engine() -> TwoPcEngine {
+    TwoPcEngine::new(EngineCfg {
+        storage: StorageCfg::default(),
+        op_timeout: Some(Time::from_ms(500)),
+        inline_commit: false,
+        durable_pending: true,
+    })
+}
+
 /// Everything observable after one schedule has run to quiescence.
 struct Outcome {
     /// Committed timestamp per put (`None` = aborted).
@@ -90,9 +118,9 @@ struct Outcome {
     stranded: bool,
 }
 
-/// Wire-level fate of one step's message. `Decide` is primary-local and
-/// is never faulted — loss and duplication act on the messages that
-/// carry locks and commit/abort notices.
+/// Wire-level fate of one step's message. `Decide` is coordinator-local
+/// and is never faulted — loss and duplication act on the messages that
+/// carry data and commit/abort notices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Fault {
     /// The message arrives once (the fault-free path).
@@ -108,34 +136,93 @@ enum Fault {
 enum Mutation {
     /// The faithful protocol.
     None,
-    /// The abort path forgets to release the replica lock.
+    /// The abort path forgets to deliver the release to the replicas.
     SkipAbortRelease,
 }
 
-/// A single live execution: real [`ObjectStore`] replicas plus the
-/// bookkeeping the abstract primary keeps.
+/// A single live execution: one production [`TwoPcEngine`] per replica
+/// (replica 0 hosts the coordinator) plus the schedule's bookkeeping.
 struct Run {
-    stores: Vec<ObjectStore>,
+    engines: Vec<TwoPcEngine>,
     cursor: Vec<usize>,
     locked: Vec<Vec<bool>>,
     /// None = undecided; Some(Some(ts)) = commit; Some(None) = abort.
     decision: Vec<Option<Option<Timestamp>>>,
+    /// Puts whose client received a PutReply (ok or failed).
+    replied: Vec<bool>,
     /// Puts whose commit reached at least one replica store.
     applied: Vec<bool>,
-    primary_seq: u64,
 }
 
 impl Run {
     fn new(ops: usize, replicas: usize) -> Run {
         Run {
-            stores: (0..replicas)
-                .map(|_| ObjectStore::new(StorageCfg::default()))
-                .collect(),
+            engines: (0..replicas).map(|_| engine()).collect(),
             cursor: vec![0; ops],
             locked: vec![vec![false; replicas]; ops],
             decision: vec![None; ops],
+            replied: vec![false; ops],
             applied: vec![false; ops],
-            primary_seq: 0,
+        }
+    }
+
+    fn idx(&self, op: OpId) -> usize {
+        (0..self.decision.len())
+            .find(|&o| op_id(o) == op)
+            .expect("effect for an unknown op")
+    }
+
+    /// Deliver engine effects as the wire would: write completions back
+    /// into their engine, acks to the coordinator, and buffer the
+    /// coordinator's Commit/Abort/Reply outcomes for the schedule's
+    /// Finish steps.
+    fn pump(&mut self, source: usize, fx: Vec<Effect>) {
+        let replicas = self.engines.len();
+        let mut q: VecDeque<(usize, Effect)> = fx.into_iter().map(|e| (source, e)).collect();
+        while let Some((r, e)) = q.pop_front() {
+            let mut fx = Vec::new();
+            match e {
+                Effect::WriteDone { key, op, .. } => {
+                    if r == 0 {
+                        let g = group(replicas);
+                        self.engines[0].on_written(
+                            &key,
+                            op,
+                            EngineRole::Primary(&g),
+                            Time::ZERO,
+                            &mut fx,
+                        );
+                    } else {
+                        self.engines[r].on_written(&key, op, EngineRole::Peer, Time::ZERO, &mut fx);
+                    }
+                    q.extend(fx.into_iter().map(|e| (r, e)));
+                }
+                Effect::Ack1 { key, op } => {
+                    let g = group(replicas);
+                    self.engines[0].on_ack1(&key, op, NodeIdx(r as u32), &g, Time::ZERO, &mut fx);
+                    q.extend(fx.into_iter().map(|e| (0, e)));
+                }
+                Effect::Ack2 { key, op } => {
+                    let g = group(replicas);
+                    self.engines[0].on_ack2(&key, op, NodeIdx(r as u32), Some(&g), &mut fx);
+                    q.extend(fx.into_iter().map(|e| (0, e)));
+                }
+                Effect::Commit { op, ts, .. } => {
+                    let o = self.idx(op);
+                    self.decision[o] = Some(Some(ts));
+                }
+                Effect::Abort { op, .. } => {
+                    let o = self.idx(op);
+                    if self.decision[o].is_none() {
+                        self.decision[o] = Some(None);
+                    }
+                }
+                Effect::Reply { op, .. } => {
+                    let o = self.idx(op);
+                    self.replied[o] = true;
+                }
+                Effect::Deadline { .. } | Effect::Unresponsive { .. } | Effect::Redrive { .. } => {}
+            }
         }
     }
 
@@ -143,63 +230,74 @@ impl Run {
     /// fault-free invariant that a fully locked put's first commit is
     /// accepted by every replica.
     fn exec(&mut self, o: usize, fault: Fault, mutation: Mutation, strict: bool) {
-        let replicas = self.stores.len();
+        let replicas = self.engines.len();
         let step = step_of(self.cursor[o], replicas);
         self.cursor[o] += 1;
         if fault == Fault::Drop && step != Step::Decide {
             return;
         }
         let copies = if fault == Fault::Dup { 2 } else { 1 };
+        let op = op_id(o);
         match step {
             Step::Lock(r) => {
                 for _ in 0..copies {
-                    self.locked[o][r] = self.stores[r].lock(KEY, op_id(o), value_of(o), Time::ZERO);
+                    let mut fx = Vec::new();
+                    self.engines[r].accept(KEY, value_of(o), op, Time::ZERO, &mut fx);
+                    self.pump(r, fx);
                 }
-                if self.locked[o][r] {
-                    // Lock models "data arrived and W was forced": the
-                    // tentative value is on disk, so it survives a node
-                    // crash as an in-doubt entry.
-                    if let Some(p) = self.stores[r].pending_mut(KEY) {
-                        p.written = true;
-                    }
-                }
+                self.locked[o][r] = self.engines[r]
+                    .store()
+                    .pending(KEY)
+                    .is_some_and(|p| p.op == op);
             }
             Step::Decide => {
-                // Mirrors `check_commit`: commit only once every replica
-                // holds the lock (all PutAck1s in), else the deadline
-                // fires and the put aborts.
-                if self.locked[o].iter().all(|&l| l) {
-                    self.primary_seq += 1;
-                    self.decision[o] = Some(Some(Timestamp {
-                        primary_seq: self.primary_seq,
-                        primary: PRIMARY,
-                        client_seq: op_id(o).client_seq,
-                        client: op_id(o).client,
-                    }));
-                } else {
-                    self.decision[o] = Some(None);
+                if self.decision[o].is_none() {
+                    // Undecided by now: the coordinator's put deadline
+                    // fires twice (§4.3 — the first re-arms, the second
+                    // aborts and fails the client).
+                    for _ in 0..2 {
+                        let g = group(replicas);
+                        let mut fx = Vec::new();
+                        self.engines[0].on_deadline(KEY, op, Some(&g), Time::ZERO, &mut fx);
+                        self.pump(0, fx);
+                    }
+                    if self.decision[o].is_none() {
+                        // No replica ever locked or acked, so no
+                        // coordinator record exists: nothing to settle.
+                        self.decision[o] = Some(None);
+                    }
                 }
             }
             Step::Finish(r) => match self.decision[o] {
                 Some(Some(ts)) => {
                     for dup in 0..copies {
-                        let accepted = self.stores[r].commit(KEY, op_id(o), ts);
-                        if accepted {
+                        let mut fx = Vec::new();
+                        let applied = if r == 0 {
+                            let g = group(replicas);
+                            self.engines[0].on_commit(KEY, op, ts, EngineRole::Primary(&g), &mut fx)
+                        } else {
+                            self.engines[r].on_commit(KEY, op, ts, EngineRole::Peer, &mut fx)
+                        };
+                        self.pump(r, fx);
+                        if applied {
                             self.applied[o] = true;
                         }
                         if strict && dup == 0 {
                             assert!(
-                                accepted,
+                                applied,
                                 "replica {r} rejected the commit of a fully locked put {o}"
                             );
                         }
                     }
                 }
                 Some(None) => {
-                    if self.locked[o][r] && mutation != Mutation::SkipAbortRelease {
-                        for _ in 0..copies {
-                            self.stores[r].abort(KEY, op_id(o));
-                        }
+                    if mutation == Mutation::SkipAbortRelease {
+                        return;
+                    }
+                    for _ in 0..copies {
+                        let mut fx = Vec::new();
+                        self.engines[r].on_abort(KEY, op, &mut fx);
+                        self.pump(r, fx);
                     }
                 }
                 None => unreachable!("schedule violated program order"),
@@ -211,14 +309,14 @@ impl Run {
         Outcome {
             committed: self.decision.iter().map(|d| d.flatten()).collect(),
             finals: self
-                .stores
+                .engines
                 .iter()
-                .map(|s| s.get(KEY).map(|c| (c.value.bytes.to_vec(), c.ts)))
+                .map(|e| e.store().get(KEY).map(|c| (c.value.bytes.to_vec(), c.ts)))
                 .collect(),
-            stranded: self
-                .stores
-                .iter()
-                .any(|s| s.locked(KEY) || !s.log().is_empty() || !s.in_doubt().is_empty()),
+            stranded: self.engines.iter().any(|e| {
+                let s = e.store();
+                s.locked(KEY) || !s.log().is_empty() || !s.in_doubt().is_empty()
+            }),
         }
     }
 }
@@ -353,82 +451,144 @@ fn three_puts_one_replica_exhaustive() {
 #[test]
 fn three_puts_two_replicas_prefix() {
     // The full space is 15!/(5!)^3 = 756 756 schedules; a deterministic
-    // lexicographic prefix keeps the runtime bounded while still mixing
+    // lexicographic prefix keeps the fast tier bounded while still mixing
     // all three puts (the prefix varies the tails of puts 1 and 2 first).
     let t = sweep(3, 2, 10_000);
     assert_eq!(t.schedules, 10_000);
     assert!(t.commits > 0);
 }
 
+#[test]
+#[ignore = "full 756,756-schedule sweep; wired into scripts/check.sh --release"]
+fn three_puts_two_replicas_full() {
+    // The complete 15!/(5!)^3 space, release-tier only.
+    let t = sweep(3, 2, usize::MAX);
+    assert_eq!(t.schedules, 756_756);
+    assert!(t.all_committed > 0, "no schedule committed all three puts");
+    assert!(t.aborts > 0, "no schedule aborted a put");
+    assert!(t.none_committed > 0, "no schedule aborted every put");
+}
+
 // ---------------------------------------------------------------------
 // Failure dimensions: primary failover mid-2PC, message loss, and
-// message duplication. Every faulted run ends with the §4.4 resolution
-// (the new primary settles surviving locks) plus the two-phase rejoin
-// catch-up, and must then satisfy the same quiescence and convergence
-// invariants as the fault-free sweeps.
+// message duplication. Every faulted run ends with client retries plus
+// the production §4.4 resolution (the new primary settles surviving
+// locks through `LockResolution`) and the two-phase rejoin catch-up,
+// and must then satisfy the same quiescence and convergence invariants
+// as the fault-free sweeps.
 // ---------------------------------------------------------------------
 
-/// What the §4.4 lock resolution settled.
+/// What the §4.4 settlement decided, per verdict.
 struct Settled {
-    /// Locks settled by commit (commit-if-committed-anywhere fired).
+    /// Verdicts settled by commit (commit-if-committed-anywhere fired).
     commits: usize,
-    /// Locks settled by abort (no committed copy existed anywhere).
+    /// Verdicts settled by abort (no committed copy was reported).
     aborts: usize,
 }
 
-/// The new primary's resolution: every surviving lock is committed if
-/// any replica already holds that put's committed copy, aborted
-/// otherwise ("the persistent logs on the nodes will identify the latest
-/// put operations. The new primary will check them all").
-fn resolve_locks(run: &mut Run, ops: usize) -> Settled {
+/// Run the production §4.4 resolution until no lock is left anywhere:
+/// each round the acting primary seeds a [`LockResolution`] with its own
+/// [`ReplicationEngine::lock_report`], absorbs every other member's, and
+/// applies the settled verdicts (commit with the reported timestamp, or
+/// abort) to every member. One round settles one attempt per key, so
+/// stacked lock states (different ops locked on different replicas)
+/// drain over successive rounds — exactly how the secondary lock-timeout
+/// path re-triggers resolution in the live system.
+fn settle_all(run: &mut Run, acting: usize) -> Settled {
     let mut settled = Settled {
         commits: 0,
         aborts: 0,
     };
-    for o in 0..ops {
-        let id = op_id(o);
-        let evidence = run.stores.iter().find_map(|s| {
-            s.get(KEY)
-                .filter(|c| c.ts.client == id.client && c.ts.client_seq == id.client_seq)
-                .map(|c| c.ts)
-        });
-        for r in 0..run.stores.len() {
-            if run.stores[r].pending(KEY).is_some_and(|p| p.op == id) {
-                match evidence {
-                    Some(ts) => {
-                        run.stores[r].commit(KEY, id, ts);
-                        run.applied[o] = true;
-                        settled.commits += 1;
+    let replicas = run.engines.len();
+    for _round in 0..8 {
+        let (seed, floor) = run.engines[acting].lock_report(&|k| k == KEY);
+        let waiting: BTreeSet<NodeIdx> = (0..replicas)
+            .filter(|&r| r != acting)
+            .map(|r| NodeIdx(r as u32))
+            .collect();
+        let mut res = LockResolution::new(waiting, seed, floor);
+        for r in (0..replicas).filter(|&r| r != acting) {
+            let (locked, max_seq) = run.engines[r].lock_report(&|k| k == KEY);
+            res.absorb(NodeIdx(r as u32), locked, max_seq);
+        }
+        assert!(res.complete(), "every member reported synchronously");
+        let (max_seq, verdicts) = res.settle();
+        run.engines[acting].observe_seq(max_seq);
+        if verdicts.is_empty() {
+            return settled;
+        }
+        for (key, op, verdict) in verdicts {
+            let o = run.idx(op);
+            match verdict {
+                Some(ts) => {
+                    settled.commits += 1;
+                    for r in 0..replicas {
+                        let mut fx = Vec::new();
+                        if run.engines[r].on_commit(&key, op, ts, EngineRole::Observer, &mut fx) {
+                            run.applied[o] = true;
+                        }
                     }
-                    None => {
-                        run.stores[r].abort(KEY, id);
-                        settled.aborts += 1;
+                }
+                None => {
+                    settled.aborts += 1;
+                    for r in 0..replicas {
+                        let mut fx = Vec::new();
+                        run.engines[r].on_abort(&key, op, &mut fx);
                     }
                 }
             }
         }
     }
-    settled
+    panic!("§4.4 resolution failed to quiesce within 8 rounds");
+}
+
+/// §4.3 client retries after a coordinator failure: every put whose
+/// client never received a reply re-multicasts its data to the surviving
+/// replicas. A retry re-locks wherever the key is free — including on a
+/// replica that already committed the attempt, which is what hands the
+/// §4.4 resolution its commit-if-committed-anywhere evidence.
+fn client_retries(run: &mut Run, survivors: std::ops::Range<usize>) {
+    for o in 0..run.replied.len() {
+        if run.replied[o] {
+            continue;
+        }
+        for r in survivors.clone() {
+            let mut fx = Vec::new();
+            run.engines[r].accept(KEY, value_of(o), op_id(o), Time::ZERO, &mut fx);
+            for e in fx {
+                if let Effect::WriteDone { key, op, .. } = e {
+                    let mut sink = Vec::new();
+                    run.engines[r].on_written(
+                        &key,
+                        op,
+                        EngineRole::Observer,
+                        Time::ZERO,
+                        &mut sink,
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The winning committed copy after resolution, if any.
 fn winner_of(run: &Run) -> Option<(Vec<u8>, Timestamp)> {
-    run.stores
+    run.engines
         .iter()
-        .filter_map(|s| s.get(KEY))
+        .filter_map(|e| e.store().get(KEY))
         .map(|c| (c.value.bytes.to_vec(), c.ts))
         .max_by(|a, b| a.1.cmp(&b.1))
 }
 
 /// Phase two of the rejoin: replicas behind the winning copy sync via
-/// the recovery path before they may serve gets again. Returns which
-/// replicas needed the sync.
+/// the recovery path ([`ReplicationEngine::sync_object`]) before they
+/// may serve gets again. Returns which replicas needed the sync.
 fn catch_up(run: &mut Run, winner: &Option<(Vec<u8>, Timestamp)>) -> Vec<usize> {
     let mut resynced = Vec::new();
     if let Some((bytes, ts)) = winner {
-        for r in 0..run.stores.len() {
-            if run.stores[r].get(KEY).is_none_or(|c| c.ts < *ts) {
-                run.stores[r].commit_direct(KEY, Value::from_bytes(bytes.clone()), *ts);
+        for r in 0..run.engines.len() {
+            if run.engines[r].store().get(KEY).is_none_or(|c| c.ts < *ts) {
+                run.engines[r].sync_object(KEY, Value::from_bytes(bytes.clone()), *ts);
                 resynced.push(r);
             }
         }
@@ -441,7 +601,8 @@ fn catch_up(run: &mut Run, winner: &Option<(Vec<u8>, Timestamp)>) -> Vec<usize> 
 /// update (a commit that reached any replica before the fault survives
 /// with a final timestamp at least as new).
 fn assert_resolved(run: &Run, applied_pre: &[bool], what: &str) {
-    for (r, s) in run.stores.iter().enumerate() {
+    for (r, e) in run.engines.iter().enumerate() {
+        let s = e.store();
         assert!(!s.locked(KEY), "stranded lock on replica {r} after {what}");
         assert!(
             s.log().is_empty(),
@@ -453,9 +614,9 @@ fn assert_resolved(run: &Run, applied_pre: &[bool], what: &str) {
         );
     }
     let finals: Vec<Option<(Vec<u8>, Timestamp)>> = run
-        .stores
+        .engines
         .iter()
-        .map(|s| s.get(KEY).map(|c| (c.value.bytes.to_vec(), c.ts)))
+        .map(|e| e.store().get(KEY).map(|c| (c.value.bytes.to_vec(), c.ts)))
         .collect();
     assert!(
         finals.windows(2).all(|w| w[0] == w[1]),
@@ -478,47 +639,50 @@ fn assert_resolved(run: &Run, applied_pre: &[bool], what: &str) {
 }
 
 /// A put accepted by the new primary while the crashed node is still
-/// down: it locks, decides, and commits on the surviving replicas only,
+/// down: it locks and commits on the surviving replicas only (the new
+/// primary's sequence floor comes from the resolution's `observe_seq`),
 /// so the rejoiner lags the winning copy until phase two of the rejoin
 /// syncs it. Post-resolution the lock must be free everywhere.
-fn put_while_down(run: &mut Run, o: usize) {
+fn put_while_down(run: &mut Run) {
+    let o = run.decision.len();
     let id = op_id(o);
-    for r in 1..run.stores.len() {
+    let replicas = run.engines.len();
+    for r in 1..replicas {
+        let mut fx = Vec::new();
+        run.engines[r].accept(KEY, value_of(o), id, Time::ZERO, &mut fx);
         assert!(
-            run.stores[r].lock(KEY, id, value_of(o), Time::ZERO),
+            run.engines[r]
+                .store()
+                .pending(KEY)
+                .is_some_and(|p| p.op == id),
             "post-resolution lock held on surviving replica {r}"
         );
-        if let Some(p) = run.stores[r].pending_mut(KEY) {
-            p.written = true;
-        }
     }
-    run.primary_seq += 1;
-    let ts = Timestamp {
-        primary_seq: run.primary_seq,
-        primary: PRIMARY,
-        client_seq: id.client_seq,
-        client: id.client,
-    };
-    for r in 1..run.stores.len() {
+    let ts = run.engines[1].next_ts(id, PRIMARY);
+    for r in 1..replicas {
+        let mut fx = Vec::new();
         assert!(
-            run.stores[r].commit(KEY, id, ts),
+            run.engines[r].on_commit(KEY, id, ts, EngineRole::Observer, &mut fx),
             "surviving replica {r} rejected the new primary's commit"
         );
     }
     run.decision.push(Some(Some(ts)));
+    run.replied.push(true);
     run.applied.push(true);
 }
 
 /// One primary-failover run: the prefix of `sched` before `crash_at`
-/// executes, then the primary's node (hosting replica 0's store) crashes
-/// — its in-memory locks vanish, its written pendings survive as
+/// executes, then the coordinator's node (hosting replica 0's engine)
+/// crashes — its in-memory locks and coordinator records vanish
+/// ([`ReplicationEngine::reset`]), its written pendings survive as
 /// in-doubt entries, and every in-flight step dies with it. With
 /// `write_durable` false the crash lands after the lock ack but before
 /// the node's object write (W) completed, so its pending does NOT
-/// survive. With `down_put` true the new primary accepts one more put on
-/// the surviving replicas while the node is down, so the rejoin must
-/// recover the newer object in phase two. The new primary resolves, the
-/// crashed node rejoins through both phases.
+/// survive. Unreplied clients retry against the survivors, the new
+/// primary (replica 1) runs the production resolution — absorbing the
+/// rejoiner's persistent-log report too — and with `down_put` true
+/// accepts one more put on the surviving replicas while the node is
+/// down, so the rejoin must recover the newer object in phase two.
 fn check_failover_schedule(
     ops: usize,
     replicas: usize,
@@ -532,22 +696,23 @@ fn check_failover_schedule(
         run.exec(o, Fault::Deliver, Mutation::None, false);
     }
     if !write_durable {
-        if let Some(p) = run.stores[0].pending_mut(KEY) {
+        if let Some(p) = run.engines[0].store_mut().pending_mut(KEY) {
             p.written = false;
         }
     }
-    run.stores[0].on_crash();
+    run.engines[0].reset();
     let mut applied_pre = run.applied.clone();
 
-    let settled = resolve_locks(&mut run, ops);
+    client_retries(&mut run, 1..replicas);
+    let settled = settle_all(&mut run, 1);
     if down_put {
-        put_while_down(&mut run, ops);
+        put_while_down(&mut run);
         applied_pre.push(true);
     }
     let winner = winner_of(&run);
     let behind: Vec<usize> = (0..replicas)
         .filter(|&r| match &winner {
-            Some((_, ts)) => run.stores[r].get(KEY).is_none_or(|c| c.ts < *ts),
+            Some((_, ts)) => run.engines[r].store().get(KEY).is_none_or(|c| c.ts < *ts),
             None => false,
         })
         .collect();
@@ -567,12 +732,13 @@ fn check_failover_schedule(
 #[test]
 fn primary_failover_mid_2pc_exhaustive() {
     // Every interleaving of two 2-replica puts × every crash point. The
-    // sweep must exercise both resolution rules and make phase two of
-    // the rejoin load-bearing.
+    // sweep must exercise the abort rule and make phase two of the
+    // rejoin load-bearing. (With a single peer, a commit that reached
+    // any survivor has always also been acknowledged, so the
+    // commit-resolution rule is exercised by the 3-replica sweep below.)
     let (ops, replicas) = (2, 2);
     let steps = 2 * replicas + 1;
     let mut runs = 0usize;
-    let mut resolution_commits = 0usize;
     let mut resolution_aborts = 0usize;
     let mut primary_rejoined_behind = 0usize;
     enumerate(ops, steps, usize::MAX, &mut |sched| {
@@ -582,7 +748,6 @@ fn primary_failover_mid_2pc_exhaustive() {
                     let (settled, resynced) =
                         check_failover_schedule(ops, replicas, sched, crash_at, durable, down_put);
                     runs += 1;
-                    resolution_commits += settled.commits;
                     resolution_aborts += settled.aborts;
                     primary_rejoined_behind += usize::from(resynced.contains(&0));
                 }
@@ -593,10 +758,6 @@ fn primary_failover_mid_2pc_exhaustive() {
         runs,
         252 * 11 * 4,
         "C(10,5) schedules x 11 crash points x W durability x down-put"
-    );
-    assert!(
-        resolution_commits > 0,
-        "commit-if-committed-anywhere never fired"
     );
     assert!(resolution_aborts > 0, "abort-of-undecided-puts never fired");
     assert!(
@@ -609,23 +770,33 @@ fn primary_failover_mid_2pc_exhaustive() {
 fn primary_failover_three_replicas_prefix() {
     // A deterministic prefix of the 2-put x 3-replica space under every
     // crash point keeps a wider replica set covered without blowing up
-    // the runtime.
+    // the runtime. With two peers, a commit can land on one peer while
+    // the other is still locked and the client unreplied — the retry
+    // re-lock then carries committed evidence, so this sweep is where
+    // commit-if-committed-anywhere must fire.
     let (ops, replicas) = (2, 3);
     let steps = 2 * replicas + 1;
     let mut runs = 0usize;
+    let mut resolution_commits = 0usize;
     enumerate(ops, steps, 1000, &mut |sched| {
         for crash_at in 0..=sched.len() {
             for (durable, down_put) in [(true, false), (true, true), (false, true)] {
-                check_failover_schedule(ops, replicas, sched, crash_at, durable, down_put);
+                let (settled, _) =
+                    check_failover_schedule(ops, replicas, sched, crash_at, durable, down_put);
+                resolution_commits += settled.commits;
                 runs += 1;
             }
         }
     });
     assert_eq!(runs, 1000 * 15 * 3);
+    assert!(
+        resolution_commits > 0,
+        "commit-if-committed-anywhere never fired"
+    );
 }
 
 /// The step a schedule position carries (for skipping `Decide`, which is
-/// primary-local and has no wire message to fault).
+/// coordinator-local and has no wire message to fault).
 fn step_at(sched: &[usize], pos: usize, replicas: usize) -> Step {
     let o = sched[pos];
     let idx = sched[..pos].iter().filter(|&&x| x == o).count();
@@ -634,9 +805,10 @@ fn step_at(sched: &[usize], pos: usize, replicas: usize) -> Step {
 
 #[test]
 fn single_message_loss_resolves_without_stranding() {
-    // Drop each wire message of each schedule in turn. A lost lock means
-    // the put aborts (its PutAck1 never arrives); a lost commit/abort
-    // strands a lock that the §4.4 resolution must settle.
+    // Drop each wire message of each schedule in turn. A lost data copy
+    // means the put aborts (its PutAck1 never arrives); a lost
+    // commit/abort strands a lock that the production §4.4 resolution
+    // must settle, with the phase-two catch-up restoring convergence.
     let (ops, replicas) = (2, 2);
     let steps = 2 * replicas + 1;
     let mut stranded_then_resolved = 0usize;
@@ -655,10 +827,10 @@ fn single_message_loss_resolves_without_stranding() {
                 run.exec(o, fault, Mutation::None, false);
             }
             let applied_pre = run.applied.clone();
-            if run.stores.iter().any(|s| s.locked(KEY)) {
+            if run.engines.iter().any(|e| e.store().locked(KEY)) {
                 stranded_then_resolved += 1;
             }
-            resolve_locks(&mut run, ops);
+            settle_all(&mut run, 0);
             let winner = winner_of(&run);
             catch_up(&mut run, &winner);
             assert_resolved(&run, &applied_pre, &format!("{sched:?} drop@{pos}"));
@@ -709,8 +881,8 @@ fn duplicated_messages_are_idempotent() {
 #[test]
 fn seeded_lock_release_mutation_is_caught() {
     // Sanity check of the checker itself: mutate the abort path to
-    // forget the lock release and the stranded-lock invariant must fire
-    // on some schedule.
+    // forget the release deliveries and the stranded-lock invariant must
+    // fire on some schedule.
     let caught = std::panic::catch_unwind(|| {
         let (ops, replicas) = (2, 3);
         let steps = 2 * replicas + 1;

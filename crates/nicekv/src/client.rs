@@ -6,113 +6,51 @@
 //! key's *unicast* vnode address; replies arrive on the client's TCP side
 //! (§5). Operations run closed-loop with a retry timer ("the client will
 //! retry after waiting for 2 seconds", §6.6).
+//!
+//! The closed-loop engine (queue, retries, timeout bookkeeping, records)
+//! is the shared [`kv_core::ClientCore`]; this file maps its attempts
+//! onto the NICE transport: vring addressing, switch multicast for puts,
+//! and any-k transport acks for quorum mode.
 
-use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
 
-use nice_ring::hash_str;
-use nice_ring::PartitionId;
+use kv_core::{
+    Attempt, ClientCore, Issue, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
+    NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
+};
+use nice_ring::{hash_str, PartitionId};
 use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, MsgToken, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::{KvConfig, PutMode};
-use crate::error::KvError;
-use crate::msg::{KvMsg, OpId, Value};
+use crate::msg::KvMsg;
 
-const TOK_START: u64 = 1;
-/// Idle poll period: a drained client re-checks its queue at this rate so
-/// harnesses can push more work mid-run.
-const IDLE_POLL: Time = Time::from_ms(10);
-/// Retry timers carry the op sequence in the low bits.
-const TOK_RETRY_BASE: u64 = 1 << 32;
-/// Backoff before re-asking for a key that was not found (only with
-/// [`ClientApp::retry_not_found`]).
-const NOT_FOUND_BACKOFF: Time = Time::from_ms(5);
+pub use kv_core::{ClientOp, OpRecord};
 
-/// One client operation.
-#[derive(Debug, Clone)]
-pub enum ClientOp {
-    /// Write `value` under `key`.
-    Put {
-        /// The key.
-        key: String,
-        /// The value.
-        value: Value,
-    },
-    /// Read `key`.
-    Get {
-        /// The key.
-        key: String,
-    },
-}
-
-impl ClientOp {
-    /// The key this op touches.
-    pub fn key(&self) -> &str {
-        match self {
-            ClientOp::Put { key, .. } | ClientOp::Get { key } => key,
-        }
-    }
-}
-
-/// The completion record of one operation.
-#[derive(Debug, Clone)]
-pub struct OpRecord {
-    /// Was it a put?
-    pub is_put: bool,
-    /// The key.
-    pub key: String,
-    /// When the first attempt was issued.
-    pub start: Time,
-    /// When the final reply arrived.
-    pub end: Time,
-    /// The typed outcome: `Ok(())` on success, or the [`KvError`] that
-    /// ended the operation (not found, rejected, retries exhausted).
-    pub result: Result<(), KvError>,
-    /// Attempts used (1 = no retries).
-    pub attempts: u32,
-    /// Value size moved (put: sent; get: received).
-    pub size: u32,
-    /// For gets: the returned bytes (tests assert on these).
-    pub bytes: Option<Vec<u8>>,
-}
-
-impl OpRecord {
-    /// Did the operation succeed?
-    pub fn ok(&self) -> bool {
-        self.result.is_ok()
-    }
-
-    /// The error that ended the operation, if it failed.
-    pub fn err(&self) -> Option<&KvError> {
-        self.result.as_ref().err()
-    }
-}
-
-struct InFlight {
-    op: ClientOp,
-    id: OpId,
-    start: Time,
-    attempts: u32,
+/// The client application: issues a queue of operations closed-loop.
+///
+/// Derefs to the shared [`ClientCore`] for records, completion state, and
+/// workload management.
+pub struct ClientApp {
+    cfg: KvConfig,
+    tp: Transport,
+    core: ClientCore,
     /// Outstanding quorum-mode transport token (completion = Sent).
     quorum_token: Option<MsgToken>,
 }
 
-/// The client application: issues a queue of operations closed-loop.
-pub struct ClientApp {
-    cfg: KvConfig,
-    tp: Transport,
-    ops: VecDeque<ClientOp>,
-    start_at: Time,
-    inflight: Option<InFlight>,
-    next_seq: u64,
-    max_attempts: u32,
-    /// Treat a NotFound get as transient and retry with a short backoff
-    /// (hot-object workloads where the reader races the first writer).
-    pub retry_not_found: bool,
-    /// Completed operations, in completion order.
-    pub records: Vec<OpRecord>,
-    /// Set once the queue drains.
-    pub done_at: Option<Time>,
+impl Deref for ClientApp {
+    type Target = ClientCore;
+
+    fn deref(&self) -> &ClientCore {
+        &self.core
+    }
+}
+
+impl DerefMut for ClientApp {
+    fn deref_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
 }
 
 impl ClientApp {
@@ -120,44 +58,9 @@ impl ClientApp {
     pub fn new(cfg: KvConfig, ops: Vec<ClientOp>, start_at: Time) -> ClientApp {
         ClientApp {
             tp: Transport::new(cfg.port),
+            core: ClientCore::new(ops, cfg.client_retry, start_at),
             cfg,
-            ops: ops.into(),
-            start_at,
-            inflight: None,
-            next_seq: 1,
-            max_attempts: 25,
-            retry_not_found: false,
-            records: Vec::new(),
-            done_at: None,
-        }
-    }
-
-    /// Queue more operations (the driver may extend work mid-run); the
-    /// idle poll picks them up within [`IDLE_POLL`].
-    pub fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>) {
-        self.ops.extend(ops);
-        if !self.ops.is_empty() {
-            self.done_at = None;
-        }
-    }
-
-    /// Operations finished so far.
-    pub fn completed(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Mean latency of successful ops of one kind.
-    pub fn mean_latency(&self, puts: bool) -> Option<Time> {
-        let lats: Vec<u64> = self
-            .records
-            .iter()
-            .filter(|r| r.is_put == puts && r.ok())
-            .map(|r| (r.end - r.start).as_ns())
-            .collect();
-        if lats.is_empty() {
-            None
-        } else {
-            Some(Time(lats.iter().sum::<u64>() / lats.len() as u64))
+            quorum_token: None,
         }
     }
 
@@ -165,53 +68,33 @@ impl ClientApp {
         PartitionId((hash_str(key) >> (64 - self.cfg.partitions.trailing_zeros())) as u32)
     }
 
-    fn issue_next(&mut self, ctx: &mut Ctx) {
-        if self.inflight.is_some() {
-            return;
-        }
-        let Some(op) = self.ops.pop_front() else {
-            if self.done_at.is_none() {
-                self.done_at = Some(ctx.now());
+    /// Ask the core for the next attempt and put it on the wire.
+    fn pump(&mut self, ctx: &mut Ctx) {
+        match self.core.issue_next(ctx.ip(), ctx.now()) {
+            Issue::Attempt(at) => self.send_attempt(at, ctx),
+            Issue::Drained => {
+                // Idle: poll for work pushed by the harness.
+                ctx.set_timer(IDLE_POLL, TOK_START);
             }
-            // Idle: poll for work pushed by the harness.
-            ctx.set_timer(IDLE_POLL, TOK_START);
-            return;
-        };
-        let id = OpId {
-            client: ctx.ip(),
-            client_seq: self.next_seq,
-        };
-        self.next_seq += 1;
-        self.inflight = Some(InFlight {
-            op,
-            id,
-            start: ctx.now(),
-            attempts: 0,
-            quorum_token: None,
-        });
-        self.attempt(ctx);
+            Issue::Busy => {}
+        }
     }
 
-    fn attempt(&mut self, ctx: &mut Ctx) {
-        let Some(inf) = self.inflight.as_mut() else {
-            return;
-        };
-        inf.attempts += 1;
-        let id = inf.id;
-        let seq = id.client_seq;
-        let (op, quorum_mode) = (inf.op.clone(), self.cfg.put_mode);
-        match &op {
+    fn send_attempt(&mut self, at: Attempt, ctx: &mut Ctx) {
+        self.quorum_token = None;
+        let seq = at.id.client_seq;
+        match &at.op {
             ClientOp::Put { key, value } => {
                 let p = self.partition_of(key);
                 let group = self.cfg.multicast.vnode_for_key(p, key.as_bytes());
                 let msg = KvMsg::PutRequest {
                     key: key.clone(),
                     value: value.clone(),
-                    op: id,
+                    op: at.id,
                 };
-                let size = value.size() + key.len() as u32 + 64;
+                let size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
                 let r = self.cfg.replication;
-                match quorum_mode {
+                match self.cfg.put_mode {
                     PutMode::Quorum { k } => {
                         let tok = self.tp.anyk_send(
                             ctx,
@@ -221,9 +104,7 @@ impl ClientApp {
                             r,
                             k.min(r),
                         );
-                        if let Some(inf) = self.inflight.as_mut() {
-                            inf.quorum_token = Some(tok);
-                        }
+                        self.quorum_token = Some(tok);
                     }
                     PutMode::TwoPc => {
                         self.tp
@@ -236,61 +117,22 @@ impl ClientApp {
                 let vnode = self.cfg.unicast.vnode_for_key(p, key.as_bytes());
                 let msg = KvMsg::GetRequest {
                     key: key.clone(),
-                    op: id,
+                    op: at.id,
                 };
-                let size = key.len() as u32 + 64;
+                let size = key.len() as u32 + CTRL_MSG_BYTES;
                 self.tp
                     .rudp_send(ctx, vnode, self.cfg.port, Msg::new(msg, size));
             }
         }
-        ctx.set_timer(self.cfg.client_retry, TOK_RETRY_BASE | seq);
-    }
-
-    fn complete(
-        &mut self,
-        result: Result<(), KvError>,
-        size: u32,
-        bytes: Option<Vec<u8>>,
-        ctx: &mut Ctx,
-    ) {
-        let Some(inf) = self.inflight.take() else {
-            return;
-        };
-        self.records.push(OpRecord {
-            is_put: matches!(inf.op, ClientOp::Put { .. }),
-            key: inf.op.key().to_owned(),
-            start: inf.start,
-            end: ctx.now(),
-            result,
-            attempts: inf.attempts,
-            size,
-            bytes,
-        });
-        self.issue_next(ctx);
+        ctx.set_timer(self.core.retry, TOK_RETRY_BASE | seq);
     }
 
     fn on_retry_timer(&mut self, seq: u64, ctx: &mut Ctx) {
-        let Some(inf) = self.inflight.as_ref() else {
-            return;
-        };
-        if inf.id.client_seq != seq {
-            return; // stale timer for a completed op
+        match self.core.on_retry_timer(seq, ctx.now()) {
+            RetryAction::Resend(at) => self.send_attempt(at, ctx),
+            RetryAction::GaveUp => self.pump(ctx),
+            RetryAction::Stale => {}
         }
-        if inf.attempts >= self.max_attempts {
-            // Give up (keeps benchmarks bounded; the paper's clients retry
-            // until the partition becomes available again).
-            let size = match &inf.op {
-                ClientOp::Put { value, .. } => value.size(),
-                ClientOp::Get { .. } => 0,
-            };
-            let err = KvError::RetriesExhausted {
-                key: inf.op.key().to_owned(),
-                attempts: inf.attempts,
-            };
-            self.complete(Err(err), size, None, ctx);
-            return;
-        }
-        self.attempt(ctx);
     }
 
     fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
@@ -302,57 +144,27 @@ impl ClientApp {
                     };
                     match kv {
                         KvMsg::PutReply { op, ok } => {
-                            let ok = *ok;
-                            let op = *op;
-                            if let Some(inf) = self.inflight.as_ref() {
-                                if inf.id == op {
-                                    if !ok && inf.attempts < self.max_attempts {
-                                        // failed put: wait for the retry
-                                        // timer (the partition is healing)
-                                        continue;
-                                    }
-                                    let size = match &inf.op {
-                                        ClientOp::Put { value, .. } => value.size(),
-                                        _ => 0,
-                                    };
-                                    let result = if ok {
-                                        Ok(())
-                                    } else {
-                                        Err(KvError::PutRejected {
-                                            key: inf.op.key().to_owned(),
-                                        })
-                                    };
-                                    self.complete(result, size, None, ctx);
-                                }
+                            match self.core.on_put_reply(*op, *ok, ctx.now()) {
+                                ReplyAction::Done => self.pump(ctx),
+                                ReplyAction::NotMine
+                                | ReplyAction::AwaitRetry
+                                | ReplyAction::Backoff => {}
                             }
                         }
                         KvMsg::GetReply { op, value, .. } => {
-                            let op = *op;
                             let (found, size, bytes) = match value {
                                 Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
                                 None => (false, 0, None),
                             };
-                            if let Some(inf) = self.inflight.as_ref() {
-                                if inf.id == op {
-                                    if !found
-                                        && self.retry_not_found
-                                        && inf.attempts < self.max_attempts
-                                    {
-                                        ctx.set_timer(
-                                            NOT_FOUND_BACKOFF,
-                                            TOK_RETRY_BASE | op.client_seq,
-                                        );
-                                        continue;
-                                    }
-                                    let result = if found {
-                                        Ok(())
-                                    } else {
-                                        Err(KvError::NotFound {
-                                            key: inf.op.key().to_owned(),
-                                        })
-                                    };
-                                    self.complete(result, size, bytes, ctx);
+                            match self.core.on_get_reply(*op, found, size, bytes, ctx.now()) {
+                                ReplyAction::Done => self.pump(ctx),
+                                ReplyAction::Backoff => {
+                                    ctx.set_timer(
+                                        NOT_FOUND_BACKOFF,
+                                        TOK_RETRY_BASE | op.client_seq,
+                                    );
                                 }
+                                ReplyAction::NotMine | ReplyAction::AwaitRetry => {}
                             }
                         }
                         _ => {}
@@ -360,23 +172,18 @@ impl ClientApp {
                 }
                 TransportEvent::Sent { token, .. } => {
                     // Quorum-mode puts complete at transport level.
-                    if let Some(inf) = self.inflight.as_ref() {
-                        if inf.quorum_token == Some(token) {
-                            let size = match &inf.op {
-                                ClientOp::Put { value, .. } => value.size(),
-                                _ => 0,
-                            };
-                            self.complete(Ok(()), size, None, ctx);
-                        }
+                    if self.quorum_token == Some(token) {
+                        let size = match self.core.inflight_op() {
+                            Some((ClientOp::Put { value, .. }, _)) => value.size(),
+                            _ => 0,
+                        };
+                        self.core.complete(Ok(()), size, None, ctx.now());
+                        self.quorum_token = None;
+                        self.pump(ctx);
                     }
                 }
-                TransportEvent::Failed { token } => {
-                    if let Some(inf) = self.inflight.as_ref() {
-                        if inf.quorum_token == Some(token) {
-                            // let the retry timer drive the re-attempt
-                            let _ = token;
-                        }
-                    }
+                TransportEvent::Failed { .. } => {
+                    // let the retry timer drive the re-attempt
                 }
             }
         }
@@ -385,7 +192,7 @@ impl ClientApp {
 
 impl App for ClientApp {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        ctx.set_timer(self.start_at.saturating_sub(ctx.now()), TOK_START);
+        ctx.set_timer(self.core.start_at.saturating_sub(ctx.now()), TOK_START);
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
@@ -400,7 +207,7 @@ impl App for ClientApp {
             return;
         }
         if token == TOK_START {
-            self.issue_next(ctx);
+            self.pump(ctx);
             return;
         }
         if token >= TOK_RETRY_BASE {
@@ -410,6 +217,7 @@ impl App for ClientApp {
 
     fn on_crash(&mut self) {
         self.tp.on_crash();
-        self.inflight = None;
+        self.core.on_crash();
+        self.quorum_token = None;
     }
 }

@@ -16,7 +16,7 @@ use crate::client::{ClientApp, ClientOp};
 use crate::config::KvConfig;
 use crate::metadata::{MetadataApp, SwitchHandle};
 use crate::server::ServerApp;
-use crate::storage::StorageCfg;
+use kv_core::StorageCfg;
 
 /// Everything needed to build a cluster.
 #[derive(Clone)]

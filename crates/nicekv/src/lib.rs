@@ -28,18 +28,15 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
-pub mod error;
 pub mod metadata;
 pub mod msg;
 pub mod server;
-pub mod storage;
 
 pub use client::{ClientApp, ClientOp, OpRecord};
 pub use cluster::{ClusterBuilder, ClusterCfg, NiceCluster};
 pub use config::{KvConfig, PutMode};
-pub use error::KvError;
+pub use kv_core::{Counters, KvError, ObjectStore, StorageCfg};
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};
 pub use msg::{HandoffRecord, NodeState};
 pub use msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
-pub use server::{Counters, ServerApp};
-pub use storage::{ObjectStore, StorageCfg};
+pub use server::ServerApp;

@@ -22,8 +22,8 @@ use nice_sim::{App, Ctx, Ipv4, Mac, Packet, Port, SwitchId, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::KvConfig;
-use crate::error::KvError;
 use crate::msg::{HandoffRecord, KvMsg, LoadStats, PartitionView};
+use kv_core::KvError;
 
 const TOK_HBCHECK: u64 = 1;
 /// Rebalance the adaptive load balancer every this many heartbeat ticks.

@@ -1,7 +1,13 @@
-//! The NICEKV storage node.
+//! The NICEKV storage node — the *policy adapter* over the shared
+//! [`kv_core::ReplicationEngine`].
 //!
-//! A state machine implementing the paper's network-centric mechanisms
-//! from the server side:
+//! All protocol state (object store, locks, 2PC coordinator records,
+//! waiting writers, lock resolution) lives in the engine; this file owns
+//! what makes NICE *NICE*: vring addressing, switch multicast for data
+//! and timestamp distribution, partition views from the metadata
+//! service, handoff get-forwarding, failure reports, heartbeats, and
+//! node recovery (§4.2–§4.5). Engine transitions return
+//! [`Effect`]s that this adapter turns into wire messages and timers:
 //!
 //! * the NICE-2PC put protocol of §4.3 / Figure 3 (multicast data, lock,
 //!   forced log write, object write, timestamp round, client reply),
@@ -18,36 +24,21 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use kv_core::{
+    Counters, Effect, EngineCfg, EngineRole, Group, KvError, LockResolution, ObjectStore,
+    ReplicationEngine, StorageCfg, TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,
+    DATA_SEND_THRESHOLD, REQ_COST,
+};
 use nice_ring::{hash_str, NodeIdx, PartitionId};
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::config::{KvConfig, PutMode};
-use crate::error::KvError;
 use crate::msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
-use crate::storage::{ObjectStore, StorageCfg};
 
 const TOK_HEARTBEAT: u64 = 1;
 const TOK_SWEEP: u64 = 2;
 const TOK_CONT_BASE: u64 = 1000;
-
-/// Approximate wire size of small protocol messages (acks, queries).
-const CTRL_MSG_BYTES: u32 = 64;
-/// App-level CPU cost of serving one client request (parse, hash, index,
-/// buffer management, reply serialization). Calibrated to a Swift-class
-/// 2017 storage stack (§6: "NOOB-RAG performance was equivalent or
-/// slightly better than Swift storage").
-const REQ_COST: Time = Time::from_us(300);
-/// App-level CPU cost of handling one small protocol/control message
-/// (acks, timestamps, membership).
-const CTRL_COST: Time = Time::from_us(15);
-/// App-level CPU cost of *sending* one value-carrying message (socket
-/// write, stack traversal, segmentation). This is what makes a NOOB
-/// primary that fans out R-1 object copies a CPU hotspot as well as a
-/// network one (Figures 7 and 12).
-const DATA_SEND_COST: Time = Time::from_us(100);
-/// Messages larger than this pay [`DATA_SEND_COST`] on send.
-const DATA_SEND_THRESHOLD: u32 = 512;
 
 /// Deferred work resumed by a timer (storage-write completions and
 /// coordination deadlines).
@@ -61,66 +52,22 @@ enum Cont {
     Process { msg: Box<KvMsg>, src: Ipv4 },
 }
 
-/// Primary-side state of one in-flight put.
-struct Coord {
-    partition: PartitionId,
-    client: Ipv4,
-    acks1: BTreeSet<NodeIdx>,
-    acks2: BTreeSet<NodeIdx>,
-    self_written: bool,
-    committed: bool,
-    timeouts: u32,
-}
-
-/// Lock-resolution state on a freshly promoted primary.
-struct Resolve {
-    waiting: BTreeSet<NodeIdx>,
-    /// key -> (op, committed_ts anywhere?, lock count)
-    locked: BTreeMap<String, (OpId, Option<Timestamp>, usize)>,
-    max_seq: u64,
-}
-
 /// The storage-node application.
 pub struct ServerApp {
     cfg: KvConfig,
     node: NodeIdx,
     meta: Ipv4,
     tp: Transport,
-    store: ObjectStore,
+    engine: TwoPcEngine,
     views: BTreeMap<PartitionId, PartitionView>,
-    coords: BTreeMap<(String, OpId), Coord>,
-    waiting: BTreeMap<String, Vec<(OpId, Value)>>,
     conts: BTreeMap<u64, Cont>,
     next_cont: u64,
-    primary_seq: u64,
-    resolves: BTreeMap<PartitionId, Resolve>,
+    resolves: BTreeMap<PartitionId, LockResolution>,
     /// Outstanding rejoin syncs: partitions we still owe a handoff fetch.
     rejoin_pending: BTreeSet<PartitionId>,
     rejoining: bool,
     stats: LoadStats,
     reported_down: BTreeSet<NodeIdx>,
-    /// Totals for tests/benches.
-    pub_counters: Counters,
-    /// Most recent internal invariant violation, kept for diagnostics.
-    last_internal_error: Option<KvError>,
-}
-
-/// Observable server counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Counters {
-    /// Gets served locally.
-    pub gets_served: u64,
-    /// Gets forwarded to the primary (handoff misses).
-    pub gets_forwarded: u64,
-    /// Puts committed locally.
-    pub puts_committed: u64,
-    /// Puts aborted.
-    pub puts_aborted: u64,
-    /// Failure reports sent.
-    pub failure_reports: u64,
-    /// Internal invariant violations survived without panicking
-    /// (see [`KvError`]); nonzero indicates a protocol bug.
-    pub internal_errors: u64,
 }
 
 impl ServerApp {
@@ -128,23 +75,26 @@ impl ServerApp {
     pub fn new(cfg: KvConfig, node: NodeIdx, meta: Ipv4, storage: StorageCfg) -> ServerApp {
         ServerApp {
             tp: Transport::new(cfg.port),
+            engine: TwoPcEngine::new(EngineCfg {
+                storage,
+                // NICE runs the coordinator deadlines of §4.4, commits on
+                // its own multicast loopback, and keeps written pendings
+                // durable for lock resolution.
+                op_timeout: Some(cfg.op_timeout),
+                inline_commit: false,
+                durable_pending: true,
+            }),
             cfg,
             node,
             meta,
-            store: ObjectStore::new(storage),
             views: BTreeMap::new(),
-            coords: BTreeMap::new(),
-            waiting: BTreeMap::new(),
             conts: BTreeMap::new(),
             next_cont: TOK_CONT_BASE,
-            primary_seq: 0,
             resolves: BTreeMap::new(),
             rejoin_pending: BTreeSet::new(),
             rejoining: false,
             stats: LoadStats::default(),
             reported_down: BTreeSet::new(),
-            pub_counters: Counters::default(),
-            last_internal_error: None,
         }
     }
 
@@ -155,12 +105,12 @@ impl ServerApp {
 
     /// The local object store (inspection).
     pub fn store(&self) -> &ObjectStore {
-        &self.store
+        self.engine.store()
     }
 
     /// Observable counters.
     pub fn counters(&self) -> Counters {
-        self.pub_counters
+        self.engine.counters()
     }
 
     /// Current partition views (inspection).
@@ -171,15 +121,7 @@ impl ServerApp {
     /// Most recent internal invariant violation, if any (inspection; a
     /// correct run keeps this `None`).
     pub fn last_internal_error(&self) -> Option<&KvError> {
-        self.last_internal_error.as_ref()
-    }
-
-    /// Record an internal invariant violation instead of panicking: the
-    /// affected operation is dropped (its client times out and retries)
-    /// and the node keeps serving.
-    fn note_internal(&mut self, err: KvError) {
-        self.pub_counters.internal_errors += 1;
-        self.last_internal_error = Some(err);
+        self.engine.last_internal_error()
     }
 
     fn partition_of(&self, key: &str) -> PartitionId {
@@ -195,6 +137,20 @@ impl ServerApp {
             Some(Role::Secondary)
         } else {
             None
+        }
+    }
+
+    /// The engine's view of a partition's replica group: every member
+    /// that must ack, excluding this node.
+    fn group_of(&self, view: &PartitionView, ctx: &Ctx) -> Group {
+        Group {
+            peers: view
+                .members
+                .iter()
+                .map(|&(n, _)| n)
+                .filter(|&n| n != self.node)
+                .collect(),
+            self_addr: ctx.ip(),
         }
     }
 
@@ -217,6 +173,105 @@ impl ServerApp {
             .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
     }
 
+    fn report_failure(&mut self, suspect: NodeIdx, ctx: &mut Ctx) {
+        if self.reported_down.insert(suspect) {
+            self.engine.counters_mut().failure_reports += 1;
+            let from = self.node;
+            self.send_kv(
+                ctx,
+                self.meta,
+                KvMsg::FailureReport { suspect, from },
+                CTRL_MSG_BYTES,
+            );
+        }
+    }
+
+    /// Turn engine effects into NICE wire traffic and timers. Acks go
+    /// point-to-point to the primary; commit/abort distribution rides the
+    /// partition's *multicast* vring so the switch replicates it (§4.2).
+    fn apply_effects(&mut self, fx: Vec<Effect>, ctx: &mut Ctx) {
+        for e in fx {
+            match e {
+                Effect::WriteDone { at, key, op } => {
+                    self.defer(ctx, at, Cont::Written { key, op });
+                }
+                Effect::Deadline { at, key, op } => {
+                    self.defer(ctx, at, Cont::CoordDeadline { key, op });
+                }
+                Effect::Ack1 { key, op } => {
+                    let p = self.partition_of(&key);
+                    if let Some(view) = self.views.get(&p) {
+                        let primary = view.primary_addr();
+                        let from = self.node;
+                        self.send_kv(
+                            ctx,
+                            primary,
+                            KvMsg::PutAck1 { key, op, from },
+                            CTRL_MSG_BYTES,
+                        );
+                    }
+                }
+                Effect::Ack2 { key, op } => {
+                    let p = self.partition_of(&key);
+                    if let Some(view) = self.views.get(&p) {
+                        let primary = view.primary_addr();
+                        let from = self.node;
+                        self.send_kv(
+                            ctx,
+                            primary,
+                            KvMsg::PutAck2 { key, op, from },
+                            CTRL_MSG_BYTES,
+                        );
+                    }
+                }
+                Effect::Commit { key, op, ts } => {
+                    // Figure 3's "timestamp" message: multicast to the
+                    // whole replica group (including ourselves).
+                    let p = self.partition_of(&key);
+                    if let Some(view) = self.views.get(&p) {
+                        let members = view.len();
+                        let group = self.cfg.multicast.vnode_for_key(p, key.as_bytes());
+                        let msg = KvMsg::Commit { key, op, ts };
+                        ctx.cpu_work(CTRL_COST);
+                        self.tp.mcast_send(
+                            ctx,
+                            group,
+                            self.cfg.port,
+                            Msg::new(msg, CTRL_MSG_BYTES),
+                            members,
+                        );
+                    }
+                }
+                Effect::Abort { key, op } => {
+                    let p = self.partition_of(&key);
+                    if let Some(view) = self.views.get(&p) {
+                        let n = view.len();
+                        let group = self.cfg.multicast.vnode_for_key(p, key.as_bytes());
+                        let msg = KvMsg::Abort { key, op };
+                        self.tp.mcast_send(
+                            ctx,
+                            group,
+                            self.cfg.port,
+                            Msg::new(msg, CTRL_MSG_BYTES),
+                            n,
+                        );
+                    }
+                }
+                Effect::Reply { client, op, ok } => {
+                    self.send_kv(ctx, client, KvMsg::PutReply { op, ok }, CTRL_MSG_BYTES);
+                }
+                Effect::Unresponsive { members } => {
+                    for m in members {
+                        self.report_failure(m, ctx);
+                    }
+                }
+                Effect::Redrive { key, op, value } => {
+                    self.on_put_request(key, value, op, ctx);
+                }
+            }
+        }
+    }
+
     // -----------------------------------------------------------------
     // Put path (Figure 3)
     // -----------------------------------------------------------------
@@ -232,34 +287,22 @@ impl ServerApp {
         if let PutMode::Quorum { .. } = self.cfg.put_mode {
             // Quorum replication (§6.3): store directly; the any-k
             // transport acks give the client its completion signal.
-            let size = value.size();
-            let done = self.store.write_delay(ctx.now(), size, true);
             let ts = Timestamp {
                 primary_seq: op.client_seq,
                 primary: view.primary_addr(),
                 client_seq: op.client_seq,
                 client: op.client,
             };
-            self.store.commit_direct(&key, value, ts);
-            self.pub_counters.puts_committed += 1;
+            // Device model advanced; no protocol round.
+            self.engine.apply_copy(&key, value, ts, ctx.now());
             self.stats.puts += 1;
-            let _ = done; // device model advanced; no protocol round
             return;
         }
-        if !self.store.lock(&key, op, value.clone(), ctx.now()) {
-            // Locked by another op: queue behind it.
-            let q = self.waiting.entry(key.clone()).or_default();
-            if !q.iter().any(|(o, _)| *o == op) {
-                q.push((op, value));
-            }
-            return;
+        let mut fx = Vec::new();
+        if self.engine.prepare(&key, value, op, ctx.now(), &mut fx) {
+            self.stats.puts += 1;
         }
-        self.stats.puts += 1;
-        // +L (forced) then W: both on the storage device.
-        let size = self.store.pending(&key).map_or(0, |pd| pd.value.size());
-        self.store.write_delay(ctx.now(), 100, true);
-        let done = self.store.write_delay(ctx.now(), size, false);
-        self.defer(ctx, done, Cont::Written { key, op });
+        self.apply_effects(fx, ctx);
     }
 
     fn on_written(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
@@ -267,76 +310,23 @@ impl ServerApp {
         let Some(view) = self.views.get(&p).cloned() else {
             return;
         };
-        let Some(pending) = self.store.pending_mut(&key) else {
-            return; // already committed/aborted meanwhile
-        };
-        if pending.op != op {
-            return;
-        }
-        pending.written = true;
+        let mut fx = Vec::new();
         match self.my_role(&view) {
             Some(Role::Primary) => {
-                match self.ensure_coord(&key, op, p, view.primary_addr(), ctx) {
-                    Ok(coord) => coord.self_written = true,
-                    Err(e) => return self.note_internal(e),
-                }
-                self.check_commit(&key, op, ctx);
+                let g = self.group_of(&view, ctx);
+                self.engine
+                    .on_written(&key, op, EngineRole::Primary(&g), ctx.now(), &mut fx);
             }
             Some(Role::Secondary) | Some(Role::Handoff) => {
-                let primary = view.primary_addr();
-                let from = self.node;
-                self.send_kv(
-                    ctx,
-                    primary,
-                    KvMsg::PutAck1 { key, op, from },
-                    CTRL_MSG_BYTES,
-                );
+                self.engine
+                    .on_written(&key, op, EngineRole::Peer, ctx.now(), &mut fx);
             }
-            None => {}
+            None => {
+                self.engine
+                    .on_written(&key, op, EngineRole::Observer, ctx.now(), &mut fx);
+            }
         }
-    }
-
-    /// Ensure a 2PC coordinator record exists for `(key, op)`, arming its
-    /// first deadline when newly created. Total: a map that refuses the
-    /// insert yields a typed [`KvError`] instead of a panic.
-    fn ensure_coord(
-        &mut self,
-        key: &str,
-        op: OpId,
-        p: PartitionId,
-        _self_ip: Ipv4,
-        ctx: &mut Ctx,
-    ) -> Result<&mut Coord, KvError> {
-        let k = (key.to_owned(), op);
-        if !self.coords.contains_key(&k) {
-            self.coords.insert(
-                k.clone(),
-                Coord {
-                    partition: p,
-                    client: op.client,
-                    acks1: BTreeSet::new(),
-                    acks2: BTreeSet::new(),
-                    self_written: false,
-                    committed: false,
-                    timeouts: 0,
-                },
-            );
-            let deadline = ctx.now() + self.cfg.op_timeout;
-            self.defer(
-                ctx,
-                deadline,
-                Cont::CoordDeadline {
-                    key: key.to_owned(),
-                    op,
-                },
-            );
-        }
-        self.coords
-            .get_mut(&k)
-            .ok_or_else(|| KvError::CoordinatorMissing {
-                key: key.to_owned(),
-                op,
-            })
+        self.apply_effects(fx, ctx);
     }
 
     fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
@@ -347,64 +337,10 @@ impl ServerApp {
         if self.my_role(&view) != Some(Role::Primary) {
             return; // stale: we are no longer primary
         }
-        match self.ensure_coord(&key, op, p, view.primary_addr(), ctx) {
-            Ok(coord) => {
-                coord.acks1.insert(from);
-            }
-            Err(e) => return self.note_internal(e),
-        }
-        self.check_commit(&key, op, ctx);
-    }
-
-    fn check_commit(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
-        let k = (key.to_owned(), op);
-        let Some(coord) = self.coords.get(&k) else {
-            return;
-        };
-        if coord.committed || !coord.self_written {
-            return;
-        }
-        let Some(view) = self.views.get(&coord.partition) else {
-            return;
-        };
-        let needed: Vec<NodeIdx> = view
-            .members
-            .iter()
-            .map(|&(n, _)| n)
-            .filter(|&n| n != self.node)
-            .collect();
-        if !needed.iter().all(|n| coord.acks1.contains(n)) {
-            return;
-        }
-        // All replicas hold the data: generate the timestamp quadruplet
-        // and multicast it (Figure 3's "timestamp" message).
-        self.primary_seq += 1;
-        let ts = Timestamp {
-            primary_seq: self.primary_seq,
-            primary: ctx.ip(),
-            client_seq: op.client_seq,
-            client: op.client,
-        };
-        let partition = coord.partition;
-        let members = view.len();
-        match self.coords.get_mut(&k) {
-            Some(coord) => coord.committed = true,
-            None => return self.note_internal(KvError::CoordinatorMissing { key: k.0, op }),
-        }
-        let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
-        let msg = KvMsg::Commit {
-            key: key.to_owned(),
-            op,
-            ts,
-        };
-        ctx.cpu_work(CTRL_COST);
-        self.tp.mcast_send(
-            ctx,
-            group,
-            self.cfg.port,
-            Msg::new(msg, CTRL_MSG_BYTES),
-            members,
-        );
+        let g = self.group_of(&view, ctx);
+        let mut fx = Vec::new();
+        self.engine.on_ack1(&key, op, from, &g, ctx.now(), &mut fx);
+        self.apply_effects(fx, ctx);
     }
 
     fn on_commit(&mut self, key: String, op: OpId, ts: Timestamp, ctx: &mut Ctx) {
@@ -412,153 +348,43 @@ impl ServerApp {
         let Some(view) = self.views.get(&p).cloned() else {
             return;
         };
-        let applied = self.store.commit(&key, op, ts);
-        if applied {
-            self.pub_counters.puts_committed += 1;
-        }
-        // Track the highest primary sequence we have seen (failover floor).
-        self.primary_seq = self.primary_seq.max(ts.primary_seq);
+        let mut fx = Vec::new();
         match self.my_role(&view) {
             Some(Role::Primary) => {
-                // our own multicast copy: count as ack2 path via check_done
-                self.check_done(&key, op, ctx);
+                // our own multicast copy: counts as the ack2 path
+                let g = self.group_of(&view, ctx);
+                self.engine
+                    .on_commit(&key, op, ts, EngineRole::Primary(&g), &mut fx);
             }
             Some(Role::Secondary) | Some(Role::Handoff) => {
-                let primary = view.primary_addr();
-                let from = self.node;
-                self.send_kv(
-                    ctx,
-                    primary,
-                    KvMsg::PutAck2 {
-                        key: key.clone(),
-                        op,
-                        from,
-                    },
-                    CTRL_MSG_BYTES,
-                );
+                self.engine
+                    .on_commit(&key, op, ts, EngineRole::Peer, &mut fx);
             }
-            None => {}
+            None => {
+                self.engine
+                    .on_commit(&key, op, ts, EngineRole::Observer, &mut fx);
+            }
         }
-        self.drain_waiting(&key, ctx);
+        self.apply_effects(fx, ctx);
     }
 
     fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
-        let k = (key.clone(), op);
-        if let Some(coord) = self.coords.get_mut(&k) {
-            coord.acks2.insert(from);
-        }
-        self.check_done(&key, op, ctx);
-    }
-
-    fn check_done(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
-        let k = (key.to_owned(), op);
-        let Some(coord) = self.coords.get(&k) else {
-            return;
-        };
-        if !coord.committed {
-            return;
-        }
-        let Some(view) = self.views.get(&coord.partition) else {
-            return;
-        };
-        let needed: Vec<NodeIdx> = view
-            .members
-            .iter()
-            .map(|&(n, _)| n)
-            .filter(|&n| n != self.node)
-            .collect();
-        if !needed.iter().all(|n| coord.acks2.contains(n)) {
-            return;
-        }
-        let client = coord.client;
-        self.coords.remove(&k);
-        self.send_kv(
-            ctx,
-            client,
-            KvMsg::PutReply { op, ok: true },
-            CTRL_MSG_BYTES,
-        );
+        let p = self.partition_of(&key);
+        let view = self.views.get(&p).cloned();
+        let g = view.as_ref().map(|v| self.group_of(v, ctx));
+        let mut fx = Vec::new();
+        self.engine.on_ack2(&key, op, from, g.as_ref(), &mut fx);
+        self.apply_effects(fx, ctx);
     }
 
     fn on_coord_deadline(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
-        let k = (key.clone(), op);
-        let Some(coord) = self.coords.get_mut(&k) else {
-            return; // completed
-        };
-        coord.timeouts += 1;
-        if coord.timeouts < 2 {
-            let deadline = ctx.now() + self.cfg.op_timeout;
-            self.defer(ctx, deadline, Cont::CoordDeadline { key, op });
-            return;
-        }
-        // Two timeouts: report the unresponsive members, abort, fail the
-        // client (§4.4 "Failures during Put Operation").
-        let Some(coord) = self.coords.remove(&k) else {
-            return self.note_internal(KvError::CoordinatorMissing { key: k.0, op });
-        };
-        let Some(view) = self.views.get(&coord.partition).cloned() else {
-            return;
-        };
-        let acks = if coord.committed {
-            &coord.acks2
-        } else {
-            &coord.acks1
-        };
-        let missing: Vec<NodeIdx> = view
-            .members
-            .iter()
-            .map(|&(n, _)| n)
-            .filter(|&n| n != self.node && !acks.contains(&n))
-            .collect();
-        for m in missing {
-            if self.reported_down.insert(m) {
-                self.pub_counters.failure_reports += 1;
-                let from = self.node;
-                self.send_kv(
-                    ctx,
-                    self.meta,
-                    KvMsg::FailureReport { suspect: m, from },
-                    CTRL_MSG_BYTES,
-                );
-            }
-        }
-        if !coord.committed {
-            self.store.abort(&key, op);
-            self.pub_counters.puts_aborted += 1;
-            let group = self
-                .cfg
-                .multicast
-                .vnode_for_key(coord.partition, key.as_bytes());
-            let msg = KvMsg::Abort {
-                key: key.clone(),
-                op,
-            };
-            let n = view.len();
-            self.tp
-                .mcast_send(ctx, group, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES), n);
-            self.send_kv(
-                ctx,
-                coord.client,
-                KvMsg::PutReply { op, ok: false },
-                CTRL_MSG_BYTES,
-            );
-            self.drain_waiting(&key, ctx);
-        }
-    }
-
-    fn drain_waiting(&mut self, key: &str, ctx: &mut Ctx) {
-        if self.store.locked(key) {
-            return;
-        }
-        if let Some(mut q) = self.waiting.remove(key) {
-            if !q.is_empty() {
-                let (op, value) = q.remove(0);
-                if !q.is_empty() {
-                    self.waiting.insert(key.to_owned(), q);
-                }
-                self.on_put_request(key.to_owned(), value, op, ctx);
-            }
-        }
+        let p = self.partition_of(&key);
+        let view = self.views.get(&p).cloned();
+        let g = view.as_ref().map(|v| self.group_of(v, ctx));
+        let mut fx = Vec::new();
+        self.engine
+            .on_deadline(&key, op, g.as_ref(), ctx.now(), &mut fx);
+        self.apply_effects(fx, ctx);
     }
 
     // -----------------------------------------------------------------
@@ -585,14 +411,14 @@ impl ServerApp {
         let p = self.partition_of(&key);
         self.record_get_source(p, op.client);
         let view = self.views.get(&p).cloned();
-        if let Some(c) = self.store.get(&key) {
+        if let Some(c) = self.engine.store().get(&key) {
             let size = c.value.size() + CTRL_MSG_BYTES;
             let reply = KvMsg::GetReply {
                 op,
                 value: Some(c.value.clone()),
                 ts: Some(c.ts),
             };
-            self.pub_counters.gets_served += 1;
+            self.engine.counters_mut().gets_served += 1;
             self.stats.gets += 1;
             self.stats.bytes_out += size as u64;
             self.send_kv(ctx, op.client, reply, size);
@@ -601,7 +427,7 @@ impl ServerApp {
         // Miss: a handoff node forwards to the primary (§4.4).
         if let Some(view) = view {
             if self.my_role(&view) == Some(Role::Handoff) && view.primary != self.node {
-                self.pub_counters.gets_forwarded += 1;
+                self.engine.counters_mut().forwarded += 1;
                 let primary = view.primary_addr();
                 self.send_kv(ctx, primary, KvMsg::GetForward { key, op }, CTRL_MSG_BYTES);
                 return;
@@ -621,7 +447,7 @@ impl ServerApp {
     }
 
     fn on_get_forward(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
-        let (reply, size) = match self.store.get(&key) {
+        let (reply, size) = match self.engine.store().get(&key) {
             Some(c) => (
                 KvMsg::GetReply {
                     op,
@@ -639,7 +465,7 @@ impl ServerApp {
                 CTRL_MSG_BYTES,
             ),
         };
-        self.pub_counters.gets_served += 1;
+        self.engine.counters_mut().gets_served += 1;
         self.stats.gets += 1;
         self.stats.bytes_out += size as u64;
         self.send_kv(ctx, op.client, reply, size);
@@ -669,7 +495,8 @@ impl ServerApp {
                 // rules.
                 if am_primary && !self.resolves.contains_key(&p) {
                     let in_doubt = self
-                        .store
+                        .engine
+                        .store()
                         .in_doubt()
                         .into_iter()
                         .any(|(k, _)| PartitionId((hash_str(&k) >> (64 - bits)) as u32) == p);
@@ -681,15 +508,15 @@ impl ServerApp {
                 // Removed from the partition: if we were the handoff, drop
                 // the objects we temporarily held (drained by the owner).
                 self.views.remove(&p);
-                let bits = self.cfg.partitions.trailing_zeros();
                 let gone: Vec<String> = self
-                    .store
+                    .engine
+                    .store()
                     .iter()
                     .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == p)
                     .map(|(k, _)| k.clone())
                     .collect();
                 for k in gone {
-                    self.store.remove(&k);
+                    self.engine.forget(&k);
                 }
             }
         }
@@ -725,7 +552,8 @@ impl ServerApp {
     ) {
         let bits = self.cfg.partitions.trailing_zeros();
         let objects: Vec<(String, Value, Timestamp)> = self
-            .store
+            .engine
+            .store()
             .iter()
             .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
             .map(|(k, c)| (k.clone(), c.value.clone(), c.ts))
@@ -744,12 +572,7 @@ impl ServerApp {
         objects: Vec<(String, Value, Timestamp)>,
         ctx: &mut Ctx,
     ) {
-        let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
-        let done = self.store.write_delay(ctx.now(), total, true);
-        let _ = done;
-        for (k, v, ts) in objects {
-            self.store.commit_direct(&k, v, ts);
-        }
+        self.engine.ingest(ctx.now(), objects);
         self.rejoin_pending.remove(&partition);
         self.maybe_recovery_done(ctx);
     }
@@ -774,29 +597,12 @@ impl ServerApp {
             .collect();
         // Seed with our own lock table.
         let bits = self.cfg.partitions.trailing_zeros();
-        let mut locked: BTreeMap<String, (OpId, Option<Timestamp>, usize)> = BTreeMap::new();
-        for (k, pd) in self.store.pending_iter() {
-            if PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition {
-                // "committed" must mean THIS attempt committed somewhere,
-                // not that some earlier version of the key exists.
-                let cts = self
-                    .store
-                    .get(k)
-                    .filter(|c| c.ts.client == pd.op.client && c.ts.client_seq == pd.op.client_seq)
-                    .map(|c| c.ts);
-                locked.insert(k.clone(), (pd.op, cts, 1));
-            }
-        }
-        let max_seq = self.primary_seq.max(self.store.max_primary_seq());
-        if others.is_empty() {
-            self.resolves.insert(
-                partition,
-                Resolve {
-                    waiting: others,
-                    locked,
-                    max_seq,
-                },
-            );
+        let (seed, max_seq) = self
+            .engine
+            .lock_report(&|k| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition);
+        let res = LockResolution::new(others.clone(), seed, max_seq);
+        if res.complete() {
+            self.resolves.insert(partition, res);
             self.finish_resolution(partition, ctx);
             return;
         }
@@ -805,33 +611,15 @@ impl ServerApp {
                 self.send_kv(ctx, ip, KvMsg::LockQuery { partition }, CTRL_MSG_BYTES);
             }
         }
-        self.resolves.insert(
-            partition,
-            Resolve {
-                waiting: others,
-                locked,
-                max_seq,
-            },
-        );
+        self.resolves.insert(partition, res);
     }
 
     fn on_lock_query(&mut self, partition: PartitionId, src: Ipv4, ctx: &mut Ctx) {
         let bits = self.cfg.partitions.trailing_zeros();
-        let locked: Vec<(String, OpId, Option<Timestamp>)> = self
-            .store
-            .pending_iter()
-            .filter(|(k, _)| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
-            .map(|(k, pd)| {
-                let cts = self
-                    .store
-                    .get(k)
-                    .filter(|c| c.ts.client == pd.op.client && c.ts.client_seq == pd.op.client_seq)
-                    .map(|c| c.ts);
-                (k.clone(), pd.op, cts)
-            })
-            .collect();
+        let (locked, max_seq) = self
+            .engine
+            .lock_report(&|k| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition);
         let from = self.node;
-        let max_seq = self.primary_seq.max(self.store.max_primary_seq());
         self.send_kv(
             ctx,
             src,
@@ -856,16 +644,7 @@ impl ServerApp {
         let Some(res) = self.resolves.get_mut(&partition) else {
             return;
         };
-        res.max_seq = res.max_seq.max(max_seq);
-        for (k, op, cts) in locked {
-            let e = res.locked.entry(k).or_insert((op, None, 0));
-            e.2 += 1;
-            if let Some(t) = cts {
-                e.1 = Some(e.1.map_or(t, |x: Timestamp| x.max(t)));
-            }
-        }
-        res.waiting.remove(&from);
-        if res.waiting.is_empty() {
+        if res.absorb(from, locked, max_seq) {
             self.finish_resolution(partition, ctx);
         }
     }
@@ -877,38 +656,28 @@ impl ServerApp {
         let Some(res) = self.resolves.remove(&partition) else {
             return;
         };
-        self.primary_seq = self.primary_seq.max(res.max_seq);
+        let (max_seq, verdicts) = res.settle();
+        self.engine.observe_seq(max_seq);
         let Some(view) = self.views.get(&partition).cloned() else {
             return;
         };
         let members = view.len();
-        for (key, (op, committed_ts, _count)) in res.locked {
+        for (key, op, committed_ts) in verdicts {
             let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
-            match committed_ts {
-                Some(ts) => {
-                    // Committed somewhere: the old primary had decided to
-                    // commit; finish the job everywhere.
-                    let msg = KvMsg::Commit { key, op, ts };
-                    self.tp.mcast_send(
-                        ctx,
-                        group,
-                        self.cfg.port,
-                        Msg::new(msg, CTRL_MSG_BYTES),
-                        members,
-                    );
-                }
-                None => {
-                    // Locked everywhere, committed nowhere: abort.
-                    let msg = KvMsg::Abort { key, op };
-                    self.tp.mcast_send(
-                        ctx,
-                        group,
-                        self.cfg.port,
-                        Msg::new(msg, CTRL_MSG_BYTES),
-                        members,
-                    );
-                }
-            }
+            let msg = match committed_ts {
+                // Committed somewhere: the old primary had decided to
+                // commit; finish the job everywhere.
+                Some(ts) => KvMsg::Commit { key, op, ts },
+                // Locked everywhere, committed nowhere: abort.
+                None => KvMsg::Abort { key, op },
+            };
+            self.tp.mcast_send(
+                ctx,
+                group,
+                self.cfg.port,
+                Msg::new(msg, CTRL_MSG_BYTES),
+                members,
+            );
         }
     }
 
@@ -934,7 +703,7 @@ impl ServerApp {
         let threshold = self.cfg.op_timeout * 2;
         let bits = self.cfg.partitions.trailing_zeros();
         let mut suspects: Vec<NodeIdx> = Vec::new();
-        for (k, pd) in self.store.pending_iter() {
+        for (k, pd) in self.engine.store().pending_iter() {
             if now.saturating_sub(pd.locked_at) < threshold {
                 continue;
             }
@@ -946,16 +715,7 @@ impl ServerApp {
             }
         }
         for s in suspects {
-            if self.reported_down.insert(s) {
-                self.pub_counters.failure_reports += 1;
-                let from = self.node;
-                self.send_kv(
-                    ctx,
-                    self.meta,
-                    KvMsg::FailureReport { suspect: s, from },
-                    CTRL_MSG_BYTES,
-                );
-            }
+            self.report_failure(s, ctx);
         }
         ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
     }
@@ -972,10 +732,9 @@ impl ServerApp {
             KvMsg::Commit { key, op, ts } => self.on_commit(key, op, ts, ctx),
             KvMsg::PutAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
             KvMsg::Abort { key, op } => {
-                if self.store.abort(&key, op) {
-                    self.pub_counters.puts_aborted += 1;
-                }
-                self.drain_waiting(&key, ctx);
+                let mut fx = Vec::new();
+                self.engine.on_abort(&key, op, &mut fx);
+                self.apply_effects(fx, ctx);
             }
             KvMsg::Membership { views } => self.on_membership(views, ctx),
             KvMsg::MetaFailover { new_meta } => {
@@ -1081,9 +840,7 @@ impl App for ServerApp {
     fn on_crash(&mut self) {
         // Volatile state dies; committed objects and the log survive.
         self.tp.on_crash();
-        self.store.on_crash();
-        self.coords.clear();
-        self.waiting.clear();
+        self.engine.reset();
         self.conts.clear();
         self.views.clear();
         self.resolves.clear();

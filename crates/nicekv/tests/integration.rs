@@ -370,7 +370,7 @@ fn handoff_forwards_gets_for_objects_it_lacks() {
     assert!(post.iter().all(|r| r.ok()), "gets after failure succeed");
     // if the handoff ever saw one of those gets, it forwarded (it has no
     // pre-failure objects)
-    let fwd = c.server(handoff as usize).counters().gets_forwarded;
+    let fwd = c.server(handoff as usize).counters().forwarded;
     let served_direct = c.server(handoff as usize).counters().gets_served;
     assert_eq!(
         served_direct, 0,

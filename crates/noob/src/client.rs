@@ -1,20 +1,24 @@
 //! The NOOB client: drives operations through one of the three access
 //! mechanisms of §2.1 (ROG gateway, RAG gateway, or RAC direct routing).
+//!
+//! The closed-loop engine (queue, retries, records) is the shared
+//! [`kv_core::ClientCore`]; this file maps its attempts onto NOOB
+//! routing: gateway indirection, client-side placement knowledge, or the
+//! caching RAC of §2.1.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 
-use nice_kv::{ClientOp, KvError, OpId, OpRecord};
-use nice_sim::Rng;
-use nice_sim::{App, Ctx, Ipv4, Packet, Time};
+use kv_core::{
+    Attempt, ClientCore, Issue, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
+    NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
+};
+use nice_kv::ClientOp;
+use nice_sim::{App, Ctx, Ipv4, Packet, Rng, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 
 use crate::msg::NoobMsg;
 use crate::server::NoobRing;
-
-const TOK_START: u64 = 1;
-const IDLE_POLL: Time = Time::from_ms(10);
-const TOK_RETRY_BASE: u64 = 1 << 32;
-const NOT_FOUND_BACKOFF: Time = Time::from_ms(5);
 
 /// Where this client sends its requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,34 +39,33 @@ pub enum ClientRoute {
     CachingRac,
 }
 
-struct InFlight {
-    op: ClientOp,
-    id: OpId,
-    start: Time,
-    attempts: u32,
-}
-
 /// The NOOB client application (closed-loop, like the NICE client).
+///
+/// Derefs to the shared [`ClientCore`] for records, completion state,
+/// and workload management.
 pub struct NoobClientApp {
     ring: NoobRing,
     route: ClientRoute,
     /// key → responsible node, learned from replies (CachingRac).
-    cache: std::collections::HashMap<String, Ipv4>,
+    cache: HashMap<String, Ipv4>,
     /// Cache statistics: (hits, misses).
     pub cache_stats: (u64, u64),
     tp: Transport,
-    ops: VecDeque<ClientOp>,
-    start_at: Time,
-    inflight: Option<InFlight>,
-    next_seq: u64,
-    retry: Time,
-    max_attempts: u32,
-    /// Treat NotFound gets as transient and retry with a short backoff.
-    pub retry_not_found: bool,
-    /// Completed operations.
-    pub records: Vec<OpRecord>,
-    /// Set when the queue drains.
-    pub done_at: Option<Time>,
+    core: ClientCore,
+}
+
+impl Deref for NoobClientApp {
+    type Target = ClientCore;
+
+    fn deref(&self) -> &ClientCore {
+        &self.core
+    }
+}
+
+impl DerefMut for NoobClientApp {
+    fn deref_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
 }
 
 impl NoobClientApp {
@@ -77,76 +80,24 @@ impl NoobClientApp {
             tp: Transport::new(ring.port),
             ring,
             route,
-            cache: std::collections::HashMap::new(),
+            cache: HashMap::new(),
             cache_stats: (0, 0),
-            ops: ops.into(),
-            start_at,
-            inflight: None,
-            next_seq: 1,
-            retry: Time::from_secs(2),
-            max_attempts: 25,
-            retry_not_found: false,
-            records: Vec::new(),
-            done_at: None,
+            core: ClientCore::new(ops, Time::from_secs(2), start_at),
         }
     }
 
-    /// Queue more operations.
-    pub fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>) {
-        self.ops.extend(ops);
-        if !self.ops.is_empty() {
-            self.done_at = None;
+    /// Ask the core for the next attempt and put it on the wire.
+    fn pump(&mut self, ctx: &mut Ctx) {
+        match self.core.issue_next(ctx.ip(), ctx.now()) {
+            Issue::Attempt(at) => self.send_attempt(at, ctx),
+            Issue::Drained => ctx.set_timer(IDLE_POLL, TOK_START),
+            Issue::Busy => {}
         }
     }
 
-    /// Mean latency of successful ops of one kind.
-    pub fn mean_latency(&self, puts: bool) -> Option<Time> {
-        let lats: Vec<u64> = self
-            .records
-            .iter()
-            .filter(|r| r.is_put == puts && r.ok())
-            .map(|r| (r.end - r.start).as_ns())
-            .collect();
-        if lats.is_empty() {
-            None
-        } else {
-            Some(Time(lats.iter().sum::<u64>() / lats.len() as u64))
-        }
-    }
-
-    fn issue_next(&mut self, ctx: &mut Ctx) {
-        if self.inflight.is_some() {
-            return;
-        }
-        let Some(op) = self.ops.pop_front() else {
-            if self.done_at.is_none() {
-                self.done_at = Some(ctx.now());
-            }
-            ctx.set_timer(IDLE_POLL, TOK_START);
-            return;
-        };
-        let id = OpId {
-            client: ctx.ip(),
-            client_seq: self.next_seq,
-        };
-        self.next_seq += 1;
-        self.inflight = Some(InFlight {
-            op,
-            id,
-            start: ctx.now(),
-            attempts: 0,
-        });
-        self.attempt(ctx);
-    }
-
-    fn attempt(&mut self, ctx: &mut Ctx) {
-        let Some(inf) = self.inflight.as_mut() else {
-            return;
-        };
-        inf.attempts += 1;
-        let id = inf.id;
-        let op = inf.op.clone();
-        let dst = match (&self.route, &op) {
+    fn send_attempt(&mut self, at: Attempt, ctx: &mut Ctx) {
+        let id = at.id;
+        let dst = match (&self.route, &at.op) {
             (ClientRoute::Gateway(gw), _) => *gw,
             (ClientRoute::Direct { .. }, ClientOp::Put { key, .. }) => self.ring.primary_addr(key),
             (ClientRoute::Direct { lb_gets }, ClientOp::Get { key }) => {
@@ -157,7 +108,7 @@ impl NoobClientApp {
                     self.ring.primary_addr(key)
                 }
             }
-            (ClientRoute::CachingRac, _) => match self.cache.get(op.key()) {
+            (ClientRoute::CachingRac, _) => match self.cache.get(at.op.key()) {
                 Some(&addr) => {
                     self.cache_stats.0 += 1;
                     addr
@@ -170,9 +121,9 @@ impl NoobClientApp {
                 }
             },
         };
-        match op {
+        match at.op {
             ClientOp::Put { key, value } => {
-                let size = value.size() + key.len() as u32 + 64;
+                let size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
                 let msg = NoobMsg::Put {
                     key,
                     value,
@@ -183,7 +134,7 @@ impl NoobClientApp {
                     .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
             }
             ClientOp::Get { key } => {
-                let size = key.len() as u32 + 64;
+                let size = key.len() as u32 + CTRL_MSG_BYTES;
                 let msg = NoobMsg::Get {
                     key,
                     op: id,
@@ -193,30 +144,7 @@ impl NoobClientApp {
                     .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
             }
         }
-        ctx.set_timer(self.retry, TOK_RETRY_BASE | id.client_seq);
-    }
-
-    fn complete(
-        &mut self,
-        result: Result<(), KvError>,
-        size: u32,
-        bytes: Option<Vec<u8>>,
-        ctx: &mut Ctx,
-    ) {
-        let Some(inf) = self.inflight.take() else {
-            return;
-        };
-        self.records.push(OpRecord {
-            is_put: matches!(inf.op, ClientOp::Put { .. }),
-            key: inf.op.key().to_owned(),
-            start: inf.start,
-            end: ctx.now(),
-            result,
-            attempts: inf.attempts,
-            size,
-            bytes,
-        });
-        self.issue_next(ctx);
+        ctx.set_timer(self.core.retry, TOK_RETRY_BASE | id.client_seq);
     }
 
     fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
@@ -226,9 +154,10 @@ impl NoobClientApp {
             };
             // CachingRac: the responder is the responsible node — cache it.
             if self.route == ClientRoute::CachingRac {
-                if let Some(inf) = self.inflight.as_ref() {
+                if let Some((op, _)) = self.core.inflight_op() {
                     if msg.downcast::<NoobMsg>().is_some() {
-                        self.cache.insert(inf.op.key().to_owned(), from.0);
+                        let key = op.key().to_owned();
+                        self.cache.insert(key, from.0);
                     }
                 }
             }
@@ -236,46 +165,21 @@ impl NoobClientApp {
                 continue;
             };
             match m {
-                NoobMsg::PutReply { op, ok } => {
-                    let (op, ok) = (*op, *ok);
-                    if let Some(inf) = self.inflight.as_ref() {
-                        if inf.id == op {
-                            let size = match &inf.op {
-                                ClientOp::Put { value, .. } => value.size(),
-                                _ => 0,
-                            };
-                            let result = if ok {
-                                Ok(())
-                            } else {
-                                Err(KvError::PutRejected {
-                                    key: inf.op.key().to_owned(),
-                                })
-                            };
-                            self.complete(result, size, None, ctx);
-                        }
-                    }
-                }
+                NoobMsg::PutReply { op, ok } => match self.core.on_put_reply(*op, *ok, ctx.now()) {
+                    ReplyAction::Done => self.pump(ctx),
+                    ReplyAction::NotMine | ReplyAction::AwaitRetry | ReplyAction::Backoff => {}
+                },
                 NoobMsg::GetReply { op, value } => {
-                    let op = *op;
                     let (found, size, bytes) = match value {
                         Some(v) => (true, v.size(), Some(v.bytes.as_ref().clone())),
                         None => (false, 0, None),
                     };
-                    if let Some(inf) = self.inflight.as_ref() {
-                        if inf.id == op {
-                            if !found && self.retry_not_found && inf.attempts < self.max_attempts {
-                                ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
-                                continue;
-                            }
-                            let result = if found {
-                                Ok(())
-                            } else {
-                                Err(KvError::NotFound {
-                                    key: inf.op.key().to_owned(),
-                                })
-                            };
-                            self.complete(result, size, bytes, ctx);
+                    match self.core.on_get_reply(*op, found, size, bytes, ctx.now()) {
+                        ReplyAction::Done => self.pump(ctx),
+                        ReplyAction::Backoff => {
+                            ctx.set_timer(NOT_FOUND_BACKOFF, TOK_RETRY_BASE | op.client_seq);
                         }
+                        ReplyAction::NotMine | ReplyAction::AwaitRetry => {}
                     }
                 }
                 _ => {}
@@ -286,7 +190,7 @@ impl NoobClientApp {
 
 impl App for NoobClientApp {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        ctx.set_timer(self.start_at.saturating_sub(ctx.now()), TOK_START);
+        ctx.set_timer(self.core.start_at.saturating_sub(ctx.now()), TOK_START);
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
@@ -301,31 +205,20 @@ impl App for NoobClientApp {
             return;
         }
         if token == TOK_START {
-            self.issue_next(ctx);
+            self.pump(ctx);
             return;
         }
         if token >= TOK_RETRY_BASE {
-            let seq = token & 0xFFFF_FFFF;
-            let (retry_now, err) = match self.inflight.as_ref() {
-                Some(inf) if inf.id.client_seq == seq => (
-                    inf.attempts < self.max_attempts,
-                    KvError::RetriesExhausted {
-                        key: inf.op.key().to_owned(),
-                        attempts: inf.attempts,
-                    },
-                ),
-                _ => return,
-            };
-            if retry_now {
-                self.attempt(ctx);
-            } else {
-                self.complete(Err(err), 0, None, ctx);
+            match self.core.on_retry_timer(token & 0xFFFF_FFFF, ctx.now()) {
+                RetryAction::Resend(at) => self.send_attempt(at, ctx),
+                RetryAction::GaveUp => self.pump(ctx),
+                RetryAction::Stale => {}
             }
         }
     }
 
     fn on_crash(&mut self) {
         self.tp.on_crash();
-        self.inflight = None;
+        self.core.on_crash();
     }
 }

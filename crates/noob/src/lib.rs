@@ -27,4 +27,4 @@ pub use client::{ClientRoute, NoobClientApp};
 pub use cluster::{NoobCluster, NoobClusterCfg};
 pub use gateway::{GatewayApp, GatewayPolicy};
 pub use msg::{Access, NoobMode, NoobMsg};
-pub use server::{NoobCounters, NoobRing, NoobServerApp};
+pub use server::{NoobRing, NoobServerApp};

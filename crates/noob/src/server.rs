@@ -5,10 +5,20 @@
 //! copied to each secondary over a separate TCP stream — the same data
 //! leaves the primary's NIC R-1 times, which is exactly the inefficiency
 //! the paper's Figures 5–7 quantify.
+//!
+//! The put state machines (2PC, primary-only, quorum) are the shared
+//! [`kv_core::ReplicationEngine`] — identical to NICEKV's by
+//! construction. This file owns what makes NOOB the baseline: full ring
+//! knowledge, request forwarding hops, R-1 unicast data fan-out, and
+//! chain replication.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use nice_kv::{ObjectStore, OpId, StorageCfg, Timestamp, Value};
+use kv_core::{
+    Counters, Effect, EngineCfg, EngineRole, Group, ObjectStore, ReplicationEngine, StorageCfg,
+    TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST, DATA_SEND_THRESHOLD, REQ_COST,
+};
+use nice_kv::{OpId, Timestamp, Value};
 use nice_ring::{NodeIdx, PartitionId, PhysicalRing};
 use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
@@ -16,17 +26,6 @@ use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
 use crate::msg::{NoobMode, NoobMsg};
 
 const TOK_CONT_BASE: u64 = 1000;
-const CTRL_MSG_BYTES: u32 = 64;
-/// App-level CPU cost of serving one client request (see
-/// `nice_kv::server` — calibrated identically so comparisons are fair).
-const REQ_COST: Time = Time::from_us(300);
-/// App-level CPU cost of one small control message.
-const CTRL_COST: Time = Time::from_us(15);
-/// App-level CPU cost of *sending* one value-carrying message (see
-/// `nice_kv::server`): the NOOB primary pays this R-1 times per put.
-const DATA_SEND_COST: Time = Time::from_us(100);
-/// Messages larger than this pay [`DATA_SEND_COST`] on send.
-const DATA_SEND_THRESHOLD: u32 = 512;
 
 /// Shared deployment knowledge: the full membership every NOOB node and
 /// RAC client holds.
@@ -71,7 +70,6 @@ enum Cont {
         key: String,
         op: OpId,
         primary: Ipv4,
-        two_pc: bool,
     },
     /// Chain write finished: pass the baton.
     ChainWritten {
@@ -82,49 +80,15 @@ enum Cont {
     },
 }
 
-struct PutState {
-    client: Ipv4,
-    acks1: HashSet<NodeIdx>,
-    acks2: HashSet<NodeIdx>,
-    self_written: bool,
-    ts_sent: bool,
-    replied: bool,
-    needed: usize,
-    quorum_k: usize,
-}
-
-/// Observable counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoobCounters {
-    /// Gets served from the local store.
-    pub gets_served: u64,
-    /// Requests forwarded to the responsible node (ROG extra hop).
-    pub forwarded: u64,
-    /// Puts coordinated as primary.
-    pub puts_coordinated: u64,
-    /// Replica writes performed as secondary.
-    pub replica_writes: u64,
-    /// Internal invariant violations survived without panicking;
-    /// nonzero indicates a protocol bug.
-    pub internal_errors: u64,
-}
-
 /// The NOOB storage node.
 pub struct NoobServerApp {
     ring: NoobRing,
     node: NodeIdx,
     mode: NoobMode,
     tp: Transport,
-    store: ObjectStore,
-    puts: HashMap<(String, OpId), PutState>,
-    /// Puts waiting for a lock on their key (2PC serializes conflicting
-    /// writers at the primary).
-    waiting: HashMap<String, Vec<(Value, OpId)>>,
+    engine: TwoPcEngine,
     conts: HashMap<u64, Cont>,
     next_cont: u64,
-    primary_seq: u64,
-    /// Counters for tests and Figure 7's load-ratio measurements.
-    pub counters: NoobCounters,
 }
 
 impl NoobServerApp {
@@ -140,19 +104,28 @@ impl NoobServerApp {
             ring,
             node,
             mode,
-            store: ObjectStore::new(storage),
-            puts: HashMap::new(),
-            waiting: HashMap::new(),
+            engine: TwoPcEngine::new(EngineCfg {
+                storage,
+                // The baseline runs no coordinator deadlines, commits
+                // inline the moment the primary generates the timestamp,
+                // and keeps tentative values in memory only.
+                op_timeout: None,
+                inline_commit: true,
+                durable_pending: false,
+            }),
             conts: HashMap::new(),
             next_cont: TOK_CONT_BASE,
-            primary_seq: 0,
-            counters: NoobCounters::default(),
         }
     }
 
     /// The local store (inspection).
     pub fn store(&self) -> &ObjectStore {
-        &self.store
+        self.engine.store()
+    }
+
+    /// Observable counters (tests and Figure 7's load-ratio measurements).
+    pub fn counters(&self) -> Counters {
+        self.engine.counters()
     }
 
     fn defer(&mut self, ctx: &mut Ctx, at: Time, cont: Cont) {
@@ -186,6 +159,67 @@ impl NoobServerApp {
             .is_replica(self.ring.partition_of(key), self.node)
     }
 
+    /// The engine's view of a key's replica group: every replica that
+    /// must ack, excluding this node.
+    fn group_for(&self, key: &str, ctx: &Ctx) -> Group {
+        Group {
+            peers: self
+                .ring
+                .ring
+                .replica_set(self.ring.partition_of(key))
+                .iter()
+                .copied()
+                .filter(|&n| n != self.node)
+                .collect(),
+            self_addr: ctx.ip(),
+        }
+    }
+
+    /// Turn engine effects into NOOB wire traffic: timestamp and reply
+    /// distribution is R-1 unicast TCP streams. `ack_dst` is where a
+    /// phase-2 ack goes (the coordinator we just heard from).
+    fn apply_effects(&mut self, fx: Vec<Effect>, ack_dst: Ipv4, ctx: &mut Ctx) {
+        for e in fx {
+            match e {
+                Effect::Commit { key, op, ts } => {
+                    let replicas = self.ring.replica_addrs(&key);
+                    for dst in &replicas[1..] {
+                        self.send(
+                            ctx,
+                            *dst,
+                            NoobMsg::RepTs {
+                                key: key.clone(),
+                                op,
+                                ts,
+                            },
+                            CTRL_MSG_BYTES,
+                        );
+                    }
+                }
+                Effect::Reply { client, op, ok } => {
+                    self.send(ctx, client, NoobMsg::PutReply { op, ok }, CTRL_MSG_BYTES);
+                }
+                Effect::Ack2 { key, op } => {
+                    let from = self.node;
+                    self.send(
+                        ctx,
+                        ack_dst,
+                        NoobMsg::RepAck2 { key, op, from },
+                        CTRL_MSG_BYTES,
+                    );
+                }
+                Effect::Redrive { key, op, value } => self.on_put(key, value, op, 0, ctx),
+                // No deadlines, no multicast loopback, no failure
+                // detector in the baseline.
+                Effect::WriteDone { .. }
+                | Effect::Ack1 { .. }
+                | Effect::Abort { .. }
+                | Effect::Deadline { .. }
+                | Effect::Unresponsive { .. } => {}
+            }
+        }
+    }
+
     // ---------------------------------------------------------------
     // Put path
     // ---------------------------------------------------------------
@@ -196,8 +230,8 @@ impl NoobServerApp {
             // (the second extra hop).
             if hops < 2 {
                 let dst = self.ring.primary_addr(&key);
-                let size = value.size() + key.len() as u32 + 64;
-                self.counters.forwarded += 1;
+                let size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
+                self.engine.counters_mut().forwarded += 1;
                 self.send(
                     ctx,
                     dst,
@@ -212,9 +246,8 @@ impl NoobServerApp {
             }
             return;
         }
-        self.counters.puts_coordinated += 1;
-        let k = (key.clone(), op);
-        if self.puts.contains_key(&k) {
+        self.engine.counters_mut().puts_coordinated += 1;
+        if self.engine.coordinating(&key, op) {
             return; // duplicate (client retry while in flight)
         }
         let replicas = self
@@ -222,37 +255,20 @@ impl NoobServerApp {
             .ring
             .replica_set(self.ring.partition_of(&key))
             .to_vec();
-        let (needed, quorum_k) = match self.mode {
-            NoobMode::PrimaryOnly | NoobMode::TwoPc | NoobMode::Chain => {
-                (replicas.len() - 1, replicas.len())
-            }
-            NoobMode::Quorum { k } => (replicas.len() - 1, k.clamp(1, replicas.len())),
-        };
-        self.puts.insert(
-            k,
-            PutState {
-                client: op.client,
-                acks1: HashSet::new(),
-                acks2: HashSet::new(),
-                self_written: false,
-                ts_sent: false,
-                replied: false,
-                needed,
-                quorum_k,
-            },
-        );
         match self.mode {
             NoobMode::Chain => {
-                // Write locally, then forward down the chain.
+                // Write locally, then forward down the chain. The inert
+                // coordinator record only absorbs duplicate retries.
+                self.engine
+                    .coordinate(&key, op, op.client, Some(usize::MAX));
                 let size = value.size();
-                self.store.write_delay(ctx.now(), 100, true);
-                let done = self.store.write_delay(ctx.now(), size, false);
+                let done = self.engine.stage_write(ctx.now(), size);
                 let remaining: Vec<Ipv4> = replicas[1..]
                     .iter()
                     .map(|n| self.ring.addrs[n.0 as usize])
                     .collect();
-                let ts = self.next_ts(op, ctx);
-                self.store.commit_direct(&key, value.clone(), ts);
+                let ts = self.engine.next_ts(op, ctx.ip());
+                self.engine.sync_object(&key, value, ts);
                 self.defer(
                     ctx,
                     done,
@@ -264,29 +280,42 @@ impl NoobServerApp {
                     },
                 );
             }
-            _ => {
-                let two_pc = self.mode == NoobMode::TwoPc;
-                // Local write (2PC: lock+log first; conflicting writers
-                // queue until the current put commits).
-                if two_pc {
-                    if !self.store.lock(&key, op, value.clone(), ctx.now()) {
-                        self.puts.remove(&(key.clone(), op));
-                        let q = self.waiting.entry(key).or_default();
-                        if !q.iter().any(|(_, o)| *o == op) {
-                            q.push((value, op));
-                        }
-                        return;
+            NoobMode::TwoPc => {
+                // 2PC: lock+log first; conflicting writers queue until the
+                // current put commits, then come back as a Redrive.
+                let mut fx = Vec::new();
+                if !self
+                    .engine
+                    .prepare(&key, value.clone(), op, ctx.now(), &mut fx)
+                {
+                    return;
+                }
+                self.engine.coordinate(&key, op, op.client, None);
+                for e in &fx {
+                    if let Effect::WriteDone { at, .. } = e {
+                        let at = *at;
+                        self.defer(
+                            ctx,
+                            at,
+                            Cont::PrimaryWritten {
+                                key: key.clone(),
+                                op,
+                            },
+                        );
                     }
-                    self.store.write_delay(ctx.now(), 100, true);
                 }
-                let size = value.size();
-                // Durable before acking: non-2PC modes force the object
-                // write itself (2PC already forced the log entry).
-                let done = self.store.write_delay(ctx.now(), size, !two_pc);
-                if !two_pc {
-                    let ts = self.next_ts(op, ctx);
-                    self.store.commit_direct(&key, value.clone(), ts);
-                }
+                self.fan_out(&key, &value, op, true, &replicas, ctx);
+            }
+            NoobMode::PrimaryOnly | NoobMode::Quorum { .. } => {
+                let quorum = match self.mode {
+                    NoobMode::Quorum { k } => k.clamp(1, replicas.len()),
+                    _ => replicas.len(),
+                };
+                self.engine.coordinate(&key, op, op.client, Some(quorum));
+                // Durable before acking: the direct path forces the object
+                // write itself (2PC forces the log entry instead).
+                let ts = self.engine.next_ts(op, ctx.ip());
+                let done = self.engine.apply_copy(&key, value.clone(), ts, ctx.now());
                 self.defer(
                     ctx,
                     done,
@@ -295,34 +324,36 @@ impl NoobServerApp {
                         op,
                     },
                 );
-                // Fan the data out to every secondary over unicast TCP —
-                // the NOOB network inefficiency.
-                let msg_size = size + key.len() as u32 + 64;
-                for n in &replicas[1..] {
-                    let dst = self.ring.addrs[n.0 as usize];
-                    self.send(
-                        ctx,
-                        dst,
-                        NoobMsg::RepData {
-                            key: key.clone(),
-                            value: value.clone(),
-                            op,
-                            two_pc,
-                        },
-                        msg_size,
-                    );
-                }
+                self.fan_out(&key, &value, op, false, &replicas, ctx);
             }
         }
     }
 
-    fn next_ts(&mut self, op: OpId, ctx: &mut Ctx) -> Timestamp {
-        self.primary_seq += 1;
-        Timestamp {
-            primary_seq: self.primary_seq,
-            primary: ctx.ip(),
-            client_seq: op.client_seq,
-            client: op.client,
+    /// Fan the data out to every secondary over unicast TCP — the NOOB
+    /// network inefficiency.
+    fn fan_out(
+        &mut self,
+        key: &str,
+        value: &Value,
+        op: OpId,
+        two_pc: bool,
+        replicas: &[NodeIdx],
+        ctx: &mut Ctx,
+    ) {
+        let msg_size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
+        for n in &replicas[1..] {
+            let dst = self.ring.addrs[n.0 as usize];
+            self.send(
+                ctx,
+                dst,
+                NoobMsg::RepData {
+                    key: key.to_owned(),
+                    value: value.clone(),
+                    op,
+                    two_pc,
+                },
+                msg_size,
+            );
         }
     }
 
@@ -335,14 +366,17 @@ impl NoobServerApp {
         src: Ipv4,
         ctx: &mut Ctx,
     ) {
-        self.counters.replica_writes += 1;
-        if two_pc {
-            self.store.lock(&key, op, value.clone(), ctx.now());
-            self.store.write_delay(ctx.now(), 100, true);
-        }
-        let size = value.size();
-        let done = self.store.write_delay(ctx.now(), size, !two_pc);
-        if !two_pc {
+        self.engine.counters_mut().replica_writes += 1;
+        let done = if two_pc {
+            let mut fx = Vec::new();
+            self.engine.accept(&key, value, op, ctx.now(), &mut fx);
+            fx.iter()
+                .find_map(|e| match e {
+                    Effect::WriteDone { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .unwrap_or_else(|| ctx.now())
+        } else {
             // Plain replication: store immediately with the op's identity.
             let ts = Timestamp {
                 primary_seq: op.client_seq,
@@ -350,8 +384,8 @@ impl NoobServerApp {
                 client_seq: op.client_seq,
                 client: op.client,
             };
-            self.store.commit_direct(&key, value, ts);
-        }
+            self.engine.apply_copy(&key, value, ts, ctx.now())
+        };
         self.defer(
             ctx,
             done,
@@ -359,133 +393,24 @@ impl NoobServerApp {
                 key,
                 op,
                 primary: src,
-                two_pc,
             },
         );
     }
 
     fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
-        let k = (key.clone(), op);
-        let Some(st) = self.puts.get_mut(&k) else {
-            return;
-        };
-        st.acks1.insert(from);
-        self.advance_put(&key, op, ctx);
+        let g = self.group_for(&key, ctx);
+        let me = ctx.ip();
+        let mut fx = Vec::new();
+        self.engine.on_ack1(&key, op, from, &g, ctx.now(), &mut fx);
+        self.apply_effects(fx, me, ctx);
     }
 
     fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
-        let k = (key.clone(), op);
-        let Some(st) = self.puts.get_mut(&k) else {
-            return;
-        };
-        st.acks2.insert(from);
-        self.advance_put(&key, op, ctx);
-    }
-
-    fn advance_put(&mut self, key: &str, op: OpId, ctx: &mut Ctx) {
-        let k = (key.to_owned(), op);
-        let Some(st) = self.puts.get(&k) else {
-            return;
-        };
-        if !st.self_written {
-            return;
-        }
-        match self.mode {
-            NoobMode::PrimaryOnly => {
-                if st.acks1.len() >= st.needed && !st.replied {
-                    let client = st.client;
-                    self.puts.remove(&k);
-                    self.send(
-                        ctx,
-                        client,
-                        NoobMsg::PutReply { op, ok: true },
-                        CTRL_MSG_BYTES,
-                    );
-                }
-            }
-            NoobMode::Quorum { .. } => {
-                // self counts toward the quorum
-                let have = st.acks1.len() + 1;
-                let reply_now = have >= st.quorum_k && !st.replied;
-                let finished = st.acks1.len() >= st.needed;
-                let client = st.client;
-                if reply_now {
-                    match self.puts.get_mut(&k) {
-                        Some(st) => st.replied = true,
-                        None => {
-                            self.counters.internal_errors += 1;
-                            return;
-                        }
-                    }
-                    self.send(
-                        ctx,
-                        client,
-                        NoobMsg::PutReply { op, ok: true },
-                        CTRL_MSG_BYTES,
-                    );
-                }
-                if finished {
-                    self.puts.remove(&k);
-                }
-            }
-            NoobMode::TwoPc => {
-                if st.acks1.len() >= st.needed && !st.ts_sent {
-                    let ts = self.next_ts(op, ctx);
-                    self.store.commit(key, op, ts);
-                    match self.puts.get_mut(&k) {
-                        Some(st) => st.ts_sent = true,
-                        None => {
-                            self.counters.internal_errors += 1;
-                            return;
-                        }
-                    }
-                    let replicas = self.ring.replica_addrs(key);
-                    for dst in &replicas[1..] {
-                        self.send(
-                            ctx,
-                            *dst,
-                            NoobMsg::RepTs {
-                                key: key.to_owned(),
-                                op,
-                                ts,
-                            },
-                            CTRL_MSG_BYTES,
-                        );
-                    }
-                }
-                let Some(st) = self.puts.get(&k) else {
-                    self.counters.internal_errors += 1;
-                    return;
-                };
-                if st.ts_sent && st.acks2.len() >= st.needed && !st.replied {
-                    let client = st.client;
-                    self.puts.remove(&k);
-                    self.send(
-                        ctx,
-                        client,
-                        NoobMsg::PutReply { op, ok: true },
-                        CTRL_MSG_BYTES,
-                    );
-                    self.drain_waiting(key, ctx);
-                }
-            }
-            NoobMode::Chain => {}
-        }
-    }
-
-    fn drain_waiting(&mut self, key: &str, ctx: &mut Ctx) {
-        if self.store.locked(key) {
-            return;
-        }
-        if let Some(mut q) = self.waiting.remove(key) {
-            if !q.is_empty() {
-                let (value, op) = q.remove(0);
-                if !q.is_empty() {
-                    self.waiting.insert(key.to_owned(), q);
-                }
-                self.on_put(key.to_owned(), value, op, 0, ctx);
-            }
-        }
+        let g = self.group_for(&key, ctx);
+        let me = ctx.ip();
+        let mut fx = Vec::new();
+        self.engine.on_ack2(&key, op, from, Some(&g), &mut fx);
+        self.apply_effects(fx, me, ctx);
     }
 
     // ---------------------------------------------------------------
@@ -493,15 +418,15 @@ impl NoobServerApp {
     // ---------------------------------------------------------------
 
     fn on_get(&mut self, key: String, op: OpId, hops: u8, ctx: &mut Ctx) {
-        if let Some(c) = self.store.get(&key) {
+        if let Some(c) = self.engine.store().get(&key) {
             let size = c.value.size() + CTRL_MSG_BYTES;
             let value = Some(c.value.clone());
-            self.counters.gets_served += 1;
+            self.engine.counters_mut().gets_served += 1;
             self.send(ctx, op.client, NoobMsg::GetReply { op, value }, size);
             return;
         }
         if !self.i_am_primary(&key) && hops < 2 {
-            self.counters.forwarded += 1;
+            self.engine.counters_mut().forwarded += 1;
             let dst = self.ring.primary_addr(&key);
             self.send(
                 ctx,
@@ -544,20 +469,10 @@ impl NoobServerApp {
             } => self.on_rep_data(key, value, op, two_pc, src, ctx),
             NoobMsg::RepAck1 { key, op, from } => self.on_ack1(key, op, from, ctx),
             NoobMsg::RepTs { key, op, ts } => {
-                self.store.commit(&key, op, ts);
-                self.primary_seq = self.primary_seq.max(ts.primary_seq);
-                let from = self.node;
-                self.send(
-                    ctx,
-                    src,
-                    NoobMsg::RepAck2 {
-                        key: key.clone(),
-                        op,
-                        from,
-                    },
-                    CTRL_MSG_BYTES,
-                );
-                self.drain_waiting(&key, ctx);
+                let mut fx = Vec::new();
+                self.engine
+                    .on_commit(&key, op, ts, EngineRole::Peer, &mut fx);
+                self.apply_effects(fx, src, ctx);
             }
             NoobMsg::RepAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
             NoobMsg::ChainPut {
@@ -567,16 +482,14 @@ impl NoobServerApp {
                 remaining,
                 client,
             } => {
-                self.counters.replica_writes += 1;
-                let size = value.size();
-                let done = self.store.write_delay(ctx.now(), size, true);
+                self.engine.counters_mut().replica_writes += 1;
                 let ts = Timestamp {
                     primary_seq: op.client_seq,
                     primary: client,
                     client_seq: op.client_seq,
                     client,
                 };
-                self.store.commit_direct(&key, value.clone(), ts);
+                let done = self.engine.apply_copy(&key, value, ts, ctx.now());
                 self.defer(
                     ctx,
                     done,
@@ -596,18 +509,14 @@ impl NoobServerApp {
         match cont {
             Cont::Process { msg, src } => self.on_noob(*msg, src, ctx),
             Cont::PrimaryWritten { key, op } => {
-                if let Some(st) = self.puts.get_mut(&(key.clone(), op)) {
-                    st.self_written = true;
-                }
-                self.advance_put(&key, op, ctx);
+                let g = self.group_for(&key, ctx);
+                let me = ctx.ip();
+                let mut fx = Vec::new();
+                self.engine
+                    .on_written(&key, op, EngineRole::Primary(&g), ctx.now(), &mut fx);
+                self.apply_effects(fx, me, ctx);
             }
-            Cont::SecondaryWritten {
-                key,
-                op,
-                primary,
-                two_pc,
-            } => {
-                let _ = two_pc;
+            Cont::SecondaryWritten { key, op, primary } => {
                 let from = self.node;
                 self.send(
                     ctx,
@@ -633,10 +542,11 @@ impl NoobServerApp {
                 } else {
                     let next = remaining.remove(0);
                     let value = self
-                        .store
+                        .engine
+                        .store()
                         .get(&key)
                         .map_or_else(|| Value::synthetic(0), |c| c.value.clone());
-                    let size = value.size() + key.len() as u32 + 64;
+                    let size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
                     self.send(
                         ctx,
                         next,
@@ -706,9 +616,7 @@ impl App for NoobServerApp {
 
     fn on_crash(&mut self) {
         self.tp.on_crash();
-        self.store.on_crash();
-        self.puts.clear();
-        self.waiting.clear();
+        self.engine.reset();
         self.conts.clear();
     }
 }

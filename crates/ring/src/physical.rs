@@ -15,13 +15,7 @@
 
 use crate::hash::hash_key;
 
-/// Index of a storage node (dense, assigned by the cluster builder).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeIdx(pub u32);
-
-/// A partition number in `0..num_partitions`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PartitionId(pub u32);
+pub use kv_core::{NodeIdx, PartitionId};
 
 /// The static placement: partitions, nodes, and replica sets.
 #[derive(Debug, Clone)]

@@ -24,10 +24,14 @@
 //!    protocol crates: iteration order is randomized per process, so any
 //!    protocol decision fed by it silently breaks determinism. Use
 //!    `BTreeMap` / `BTreeSet`, or sort before use.
-//! 4. **enum_parity** — the NICE (`nicekv/src/msg.rs`) and NOOB
-//!    (`noob/src/msg.rs`) message enums implement the same 2PC wire
-//!    protocol; paired variants must carry the same fields so the two
-//!    systems stay comparable in every benchmark.
+//! 4. **layering** — protocol logic lives in exactly one crate. The
+//!    policy adapters (`crates/nicekv`, `crates/noob`) must not mutate
+//!    the object store or reimplement lock/coordinator transitions —
+//!    those belong to `kv-core`'s `ReplicationEngine`; and `kv-core`
+//!    must not depend on the policy/topology crates (`nice-flow`,
+//!    `nice-ring`, `nice-transport`) — the engine is system- and
+//!    transport-agnostic. (This replaces the old textual `enum_parity`
+//!    rule: with one shared state machine, parity is type-enforced.)
 //! 5. **unbounded_queue** — a `push` onto a `self.*` collection inside an
 //!    `on_packet` handler without any drain of that collection elsewhere
 //!    in the file is a remote-triggered memory leak: every received
@@ -91,7 +95,7 @@ fn run_lint(root: &Path) -> ExitCode {
     determinism_lint(root, &mut findings);
     panic_path_lint(root, &mut findings);
     unordered_iter_lint(root, &mut findings);
-    enum_parity_lint(root, &mut findings);
+    layering_lint(root, &mut findings);
     unbounded_queue_lint(root, &mut findings);
     allow_reason_lint(root, &mut findings);
 
@@ -396,7 +400,12 @@ fn rs_files(root: &Path, dir: &str, skip: &[&str]) -> Vec<String> {
 // Rule 1: determinism
 // ---------------------------------------------------------------------------
 
-const DETERMINISM_DIRS: &[&str] = &["crates/sim/src", "crates/flow/src", "crates/nicekv/src"];
+const DETERMINISM_DIRS: &[&str] = &[
+    "crates/sim/src",
+    "crates/flow/src",
+    "crates/kv-core/src",
+    "crates/nicekv/src",
+];
 const DETERMINISM_TOKENS: &[(&str, &str)] = &[
     ("Instant::now", "wall-clock read"),
     ("SystemTime", "wall-clock read"),
@@ -458,6 +467,11 @@ fn panic_path_files(root: &Path) -> Vec<String> {
     ];
     files.extend(rs_files(
         root,
+        "crates/kv-core/src",
+        &["prop_tests.rs", "tests.rs"],
+    ));
+    files.extend(rs_files(
+        root,
         "crates/transport/src",
         &["prop_tests.rs", "tests.rs"],
     ));
@@ -498,6 +512,7 @@ fn panic_path_lint(root: &Path, findings: &mut Vec<Finding>) {
 const UNORDERED_DIRS: &[&str] = &[
     "crates/sim/src",
     "crates/flow/src",
+    "crates/kv-core/src",
     "crates/nicekv/src",
     "crates/noob/src",
     "crates/transport/src",
@@ -786,7 +801,7 @@ const ALL_RULES: &[&str] = &[
     "determinism",
     "panic_path",
     "unordered_iter",
-    "enum_parity",
+    "layering",
     "unbounded_queue",
     "allow_reason",
 ];
@@ -796,6 +811,7 @@ const ALL_RULES: &[&str] = &[
 const ALLOW_REASON_DIRS: &[&str] = &[
     "crates/sim/src",
     "crates/flow/src",
+    "crates/kv-core/src",
     "crates/ring/src",
     "crates/transport/src",
     "crates/nicekv/src",
@@ -850,233 +866,107 @@ fn allow_reason_lint(root: &Path, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 4: enum_parity
+// Rule 4: layering
 // ---------------------------------------------------------------------------
 
-/// Variant pairs that carry the same 2PC protocol step in both systems.
-/// Fields must match exactly (NICE name, NOOB name).
-const PAIRED_VARIANTS: &[(&str, &str)] = &[
-    ("PutAck1", "RepAck1"),
-    ("Commit", "RepTs"),
-    ("PutAck2", "RepAck2"),
-    ("PutReply", "PutReply"),
+/// `ObjectStore` mutators and protocol-state transitions that only the
+/// shared engine (`kv-core`) may invoke. A policy adapter calling one of
+/// these is reimplementing lock-table or commit logic the engine owns.
+/// (`.commit(`/`.abort(` match store calls only — the engine entry points
+/// are `.on_commit(`/`.on_abort(`.)
+const STORE_MUTATION_TOKENS: &[&str] = &[
+    ": ObjectStore",
+    "ObjectStore::new",
+    ".lock(",
+    ".pending_mut(",
+    ".commit(",
+    ".commit_direct(",
+    ".abort(",
+    ".write_delay(",
 ];
 
-/// (NICE variant, NOOB variant): the NOOB request may carry extra routing
-/// fields (`hops`), but must include every NICE field.
-const SUPERSET_VARIANTS: &[(&str, &str)] = &[("PutRequest", "Put"), ("GetRequest", "Get")];
+/// The policy-adapter source trees: addressing, transport, views and
+/// failure policy only — no store mutation, no 2PC transitions.
+const ADAPTER_DIRS: &[&str] = &["crates/nicekv/src", "crates/noob/src"];
 
-/// NOOB's `GetReply` is a subset of NICE's (no timestamp on the wire).
-const SUBSET_VARIANTS: &[(&str, &str)] = &[("GetReply", "GetReply")];
+/// Crates `kv-core` must not depend on: the engine sits beneath the
+/// policy and topology layers and stays system- and transport-agnostic.
+const CORE_FORBIDDEN_DEPS: &[&str] = &["nice-flow", "nice-ring", "nice-transport"];
 
-fn enum_parity_lint(root: &Path, findings: &mut Vec<Finding>) {
-    let kv_rel = "crates/nicekv/src/msg.rs";
-    let noob_rel = "crates/noob/src/msg.rs";
-    let (Some(kv_sf), Some(noob_sf)) = (
-        SourceFile::load(root, kv_rel),
-        SourceFile::load(root, noob_rel),
-    ) else {
-        findings.push(Finding {
-            file: kv_rel.to_string(),
+fn layering_lint(root: &Path, findings: &mut Vec<Finding>) {
+    // Adapters must not mutate the store or run protocol transitions.
+    for dir in ADAPTER_DIRS {
+        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
+            let Some(sf) = SourceFile::load(root, &rel) else {
+                continue;
+            };
+            for (i, line) in sf.code.iter().enumerate() {
+                if sf.in_test[i] {
+                    continue;
+                }
+                for tok in STORE_MUTATION_TOKENS {
+                    if line.contains(tok) && !sf.allowed(i, "layering") {
+                        findings.push(Finding {
+                            file: sf.rel.clone(),
+                            line: i + 1,
+                            rule: "layering",
+                            msg: format!(
+                                "`{}` in a policy adapter — store mutation and 2PC \
+                                 transitions belong to kv-core's ReplicationEngine",
+                                tok.trim()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // kv-core must not link the policy/topology crates...
+    let manifest_rel = "crates/kv-core/Cargo.toml";
+    match std::fs::read_to_string(root.join(manifest_rel)) {
+        Ok(manifest) => {
+            for (i, line) in manifest.lines().enumerate() {
+                for dep in CORE_FORBIDDEN_DEPS {
+                    if line.trim_start().starts_with(dep) {
+                        findings.push(Finding {
+                            file: manifest_rel.to_string(),
+                            line: i + 1,
+                            rule: "layering",
+                            msg: format!("kv-core must not depend on `{dep}`"),
+                        });
+                    }
+                }
+            }
+        }
+        Err(_) => findings.push(Finding {
+            file: manifest_rel.to_string(),
             line: 1,
-            rule: "enum_parity",
-            msg: "cannot read message enum sources".to_string(),
-        });
-        return;
-    };
-    let kv = parse_enum(&kv_sf, "KvMsg");
-    let noob = parse_enum(&noob_sf, "NoobMsg");
-    let (Some(kv), Some(noob)) = (kv, noob) else {
-        findings.push(Finding {
-            file: kv_rel.to_string(),
-            line: 1,
-            rule: "enum_parity",
-            msg: "failed to parse KvMsg/NoobMsg enum declarations".to_string(),
-        });
-        return;
-    };
+            rule: "layering",
+            msg: "cannot read the kv-core manifest".to_string(),
+        }),
+    }
 
-    let lookup =
-        |vs: &[(String, Vec<String>, usize)], name: &str| -> Option<(Vec<String>, usize)> {
-            vs.iter()
-                .find(|(n, _, _)| n == name)
-                .map(|(_, f, l)| (f.clone(), *l))
+    // ...nor name their modules in source (a `path =` workaround would
+    // slip past the manifest check above).
+    for rel in rs_files(root, "crates/kv-core/src", &[]) {
+        let Some(sf) = SourceFile::load(root, &rel) else {
+            continue;
         };
-
-    let mut check = |kv_name: &str, noob_name: &str, mode: &str| {
-        let kv_v = lookup(&kv, kv_name);
-        let noob_v = lookup(&noob, noob_name);
-        match (kv_v, noob_v) {
-            (None, _) => findings.push(Finding {
-                file: kv_rel.to_string(),
-                line: 1,
-                rule: "enum_parity",
-                msg: format!("KvMsg::{kv_name} missing (paired with NoobMsg::{noob_name})"),
-            }),
-            (_, None) => findings.push(Finding {
-                file: noob_rel.to_string(),
-                line: 1,
-                rule: "enum_parity",
-                msg: format!("NoobMsg::{noob_name} missing (paired with KvMsg::{kv_name})"),
-            }),
-            (Some((kf, _)), Some((nf, nline))) => {
-                let ok = match mode {
-                    "equal" => kf == nf,
-                    "kv_subset_of_noob" => kf.iter().all(|f| nf.contains(f)),
-                    "noob_subset_of_kv" => nf.iter().all(|f| kf.contains(f)),
-                    _ => unreachable!("unknown parity mode"),
-                };
-                if !ok {
+        for (i, line) in sf.code.iter().enumerate() {
+            for krate in &["nice_flow", "nice_ring", "nice_transport"] {
+                if contains_token(line, &format!("{krate}::")) && !sf.allowed(i, "layering") {
                     findings.push(Finding {
-                        file: noob_rel.to_string(),
-                        line: nline,
-                        rule: "enum_parity",
+                        file: sf.rel.clone(),
+                        line: i + 1,
+                        rule: "layering",
                         msg: format!(
-                            "NoobMsg::{noob_name} fields {nf:?} out of sync with \
-                             KvMsg::{kv_name} fields {kf:?} (expected {mode})"
+                            "kv-core references `{krate}` — the engine is layered beneath it"
                         ),
                     });
                 }
             }
         }
-    };
-
-    for (k, n) in PAIRED_VARIANTS {
-        check(k, n, "equal");
-    }
-    for (k, n) in SUPERSET_VARIANTS {
-        check(k, n, "kv_subset_of_noob");
-    }
-    for (k, n) in SUBSET_VARIANTS {
-        check(k, n, "noob_subset_of_kv");
-    }
-}
-
-/// Parse `enum <name> { ... }` from stripped source: returns
-/// `(variant, field_names, line)` per variant. Tuple variants get
-/// positional names `"0"`, `"1"`, ...
-#[allow(clippy::type_complexity)]
-fn parse_enum(sf: &SourceFile, name: &str) -> Option<Vec<(String, Vec<String>, usize)>> {
-    // Locate `enum <name>` then its opening brace.
-    let mut start_line = None;
-    for (i, line) in sf.code.iter().enumerate() {
-        if contains_token(line, &format!("enum {name}")) {
-            start_line = Some(i);
-            break;
-        }
-    }
-    let start_line = start_line?;
-    let text: String = sf.code[start_line..].join("\n");
-    let open = text.find('{')?;
-    let chars: Vec<char> = text.chars().collect();
-
-    let mut variants = Vec::new();
-    let mut depth = 0i32;
-    let mut i = open;
-    let mut line = start_line + text[..open].matches('\n').count();
-    let mut cur: Option<(String, Vec<String>, usize)> = None;
-    let mut tuple_idx = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            line += 1;
-        }
-        match c {
-            '{' | '(' => {
-                depth += 1;
-            }
-            '}' | ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    break; // end of enum body
-                }
-            }
-            '#' if depth == 1 => {
-                // attribute: skip to end of bracketed group
-                let mut d = 0;
-                while i < chars.len() {
-                    match chars[i] {
-                        '[' => d += 1,
-                        ']' => {
-                            d -= 1;
-                            if d == 0 {
-                                break;
-                            }
-                        }
-                        '\n' => line += 1,
-                        _ => {}
-                    }
-                    i += 1;
-                }
-            }
-            ch if ch.is_alphabetic() || ch == '_' => {
-                let mut j = i;
-                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
-                    j += 1;
-                }
-                let word: String = chars[i..j].iter().collect();
-                if depth == 1 {
-                    // a new variant name
-                    if let Some(v) = cur.take() {
-                        variants.push(v);
-                    }
-                    cur = Some((word, Vec::new(), line + 1));
-                    tuple_idx = 0;
-                } else if depth == 2 {
-                    // field name if followed by `:`; tuple type otherwise
-                    let mut k = j;
-                    while k < chars.len() && chars[k].is_whitespace() {
-                        k += 1;
-                    }
-                    if let Some(v) = cur.as_mut() {
-                        if chars.get(k) == Some(&':') {
-                            v.1.push(word);
-                        } else if v.1.is_empty() || v.1.last().is_none_or(|l| l != &word) {
-                            // tuple variant: record positional slots once per `,`
-                            let _ = tuple_idx;
-                        }
-                    }
-                    // skip the rest of the field (type may contain idents)
-                    let mut d = depth;
-                    i = k;
-                    while i < chars.len() {
-                        match chars[i] {
-                            '{' | '(' | '<' => d += 1,
-                            '}' | ')' | '>' => {
-                                if chars[i] != '>' || chars.get(i.wrapping_sub(1)) != Some(&'-') {
-                                    d -= 1;
-                                }
-                                if d < depth {
-                                    depth = d;
-                                    break;
-                                }
-                            }
-                            ',' if d == depth => break,
-                            '\n' => line += 1,
-                            _ => {}
-                        }
-                        i += 1;
-                    }
-                    if i < chars.len() && (chars[i] == '}' || chars[i] == ')') && depth == 1 {
-                        // variant body closed
-                    }
-                    i += 1;
-                    continue;
-                }
-                i = j;
-                continue;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    if let Some(v) = cur.take() {
-        variants.push(v);
-    }
-    if variants.is_empty() {
-        None
-    } else {
-        Some(variants)
     }
 }
 
@@ -1243,22 +1133,34 @@ mod tests {
     }
 
     #[test]
-    fn enum_parser_reads_fields() {
-        let src = "pub enum KvMsg {\n    /// doc\n    PutRequest { key: String, value: Value, op: OpId },\n    GetRequest { key: String, op: OpId },\n    Nothing,\n}\n";
-        let stripped = strip_comments_and_strings(src);
-        let code: Vec<String> = stripped.lines().map(str::to_string).collect();
-        let n = code.len();
-        let sf = SourceFile {
-            rel: "x".into(),
-            raw: vec![String::new(); n],
-            code,
-            in_test: vec![false; n],
-        };
-        let vs = parse_enum(&sf, "KvMsg").expect("parses");
-        assert_eq!(vs.len(), 3);
-        assert_eq!(vs[0].0, "PutRequest");
-        assert_eq!(vs[0].1, vec!["key", "value", "op"]);
-        assert_eq!(vs[1].1, vec!["key", "op"]);
-        assert!(vs[2].1.is_empty());
+    fn layering_tokens_hit_store_calls_not_engine_hooks() {
+        // Store mutators must trip the rule...
+        let banned = [
+            "self.store.lock(&key, op);",
+            "self.store.commit(&key, op, ts);",
+            "self.store.abort(&key, op);",
+            "let d = self.store.write_delay(size, true);",
+            "store: ObjectStore,",
+        ];
+        for line in banned {
+            assert!(
+                STORE_MUTATION_TOKENS.iter().any(|t| line.contains(t)),
+                "expected a layering hit in `{line}`"
+            );
+        }
+        // ...while the engine's own entry points must not.
+        let fine = [
+            "self.engine.on_commit(&key, op, ts, role);",
+            "self.engine.on_abort(&key, op);",
+            "self.engine.on_ack1(&key, op, from);",
+            "let r = self.engine.lock_report(|k| part(k) == pid);",
+            "pub fn store(&self) -> &ObjectStore {",
+        ];
+        for line in fine {
+            assert!(
+                !STORE_MUTATION_TOKENS.iter().any(|t| line.contains(t)),
+                "false layering hit in `{line}`"
+            );
+        }
     }
 }

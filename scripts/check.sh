@@ -34,12 +34,16 @@ cargo run -q -p xtask --offline -- lint
 echo "=== build (release) ==="
 cargo build --release --offline --workspace
 
+echo "=== kv-core (fast) ==="
+cargo test -q --offline -p kv-core
+
 echo "=== tests ==="
 cargo test -q --offline --workspace
 
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="
-  cargo test -q --offline --release -p nice-kv --test lock_interleavings
+  # --include-ignored adds the full 756,756-schedule 2PC sweep.
+  cargo test -q --offline --release -p kv-core --test lock_interleavings -- --include-ignored
   cargo test -q --offline --release -p nice-sim
   cargo test -q --offline --release -p nice --test failures
 fi

@@ -1,0 +1,180 @@
+//! Differential test: the same seeded YCSB workload and the same
+//! `FaultPlan` driven through NICE (2PC over switch multicast) and NOOB
+//! (2PC over unicast fan-out) must converge to the same committed
+//! object-store state. Both systems now share `kv_core`'s
+//! `ReplicationEngine`, so any divergence here is a policy-adapter bug,
+//! not a protocol fork.
+//!
+//! Each client owns a disjoint slice of the YCSB key space (ranks taken
+//! mod the client count, load and run phases both filtered to owned
+//! keys), so every key has a single serial writer and the final
+//! committed value is determined by the workload, not by cross-client
+//! message races — which is what makes byte-level comparison across two
+//! different transports meaningful.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nice::kv::{ClientOp, ClusterBuilder, NiceCluster, Value};
+use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
+use nice::sim::{FaultPlan, Time};
+use nice::workload::{OpKind, Workload, WorkloadRun, XorShiftRng};
+
+const CLIENTS: usize = 3;
+const RECORDS: u64 = 30;
+const RUN_OPS: usize = 25;
+
+/// A put whose value encodes the key and per-key version, so two runs
+/// committed the same value iff they committed the same write.
+fn versioned_put(key: &str, versions: &mut BTreeMap<String, u32>) -> ClientOp {
+    let v = versions.entry(key.to_string()).or_insert(0);
+    *v += 1;
+    ClientOp::Put {
+        key: key.to_string(),
+        value: Value::from_bytes(format!("{key}#v{v}").into_bytes()),
+    }
+}
+
+/// Per-client op lists over disjoint key sets: a striped load phase,
+/// then a YCSB-A run phase filtered to each client's own keys.
+fn build_ops(wl: &Workload, seed: u64) -> Vec<Vec<ClientOp>> {
+    let owned: Vec<BTreeSet<String>> = (0..CLIENTS)
+        .map(|c| {
+            (0..wl.records)
+                .filter(|r| (*r as usize) % CLIENTS == c)
+                .map(|r| wl.key(r))
+                .collect()
+        })
+        .collect();
+    let mut per_client = Vec::new();
+    for (c, mine) in owned.iter().enumerate() {
+        let mut ops = Vec::new();
+        let mut versions = BTreeMap::new();
+        for r in 0..wl.records {
+            if (r as usize) % CLIENTS == c {
+                ops.push(versioned_put(&wl.key(r), &mut versions));
+            }
+        }
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ (c as u64 + 1));
+        let mut gen = WorkloadRun::new(wl.clone());
+        let load_len = ops.len();
+        while ops.len() - load_len < RUN_OPS {
+            for op in gen.next_ops(&mut rng) {
+                if !mine.contains(&op.key) {
+                    continue;
+                }
+                ops.push(match op.kind {
+                    OpKind::Get => ClientOp::Get { key: op.key },
+                    OpKind::Put => versioned_put(&op.key, &mut versions),
+                });
+            }
+        }
+        per_client.push(ops);
+    }
+    per_client
+}
+
+fn builder(seed: u64, plan: &Option<FaultPlan>, ops: &[Vec<ClientOp>]) -> ClusterBuilder {
+    let mut b = ClusterBuilder::new()
+        .nodes(6)
+        .replication(3)
+        .seed(seed)
+        .clients(ops.to_vec());
+    if let Some(p) = plan {
+        b = b.fault_plan(p.clone());
+    }
+    b
+}
+
+/// Fold every server's committed objects into one `key → bytes` map,
+/// asserting replicas agree within the system and no 2PC state is left
+/// in doubt (no orphaned locks, no uncommitted pendings).
+fn committed_state<'a>(
+    system: &str,
+    stores: impl Iterator<Item = &'a nice::kv::ObjectStore>,
+) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for (i, store) in stores.enumerate() {
+        assert!(
+            store.in_doubt().is_empty(),
+            "{system} server {i} left in-doubt puts: {:?}",
+            store.in_doubt()
+        );
+        for (key, obj) in store.iter() {
+            let bytes = obj.value.bytes.as_ref().clone();
+            if let Some(prev) = out.insert(key.clone(), bytes.clone()) {
+                assert_eq!(prev, bytes, "{system} replicas disagree on `{key}`",);
+            }
+        }
+    }
+    out
+}
+
+fn nice_state(c: &NiceCluster) -> BTreeMap<String, Vec<u8>> {
+    committed_state("NICE", (0..c.servers.len()).map(|i| c.server(i).store()))
+}
+
+fn noob_state(c: &NoobCluster) -> BTreeMap<String, Vec<u8>> {
+    committed_state("NOOB", (0..c.servers.len()).map(|i| c.server(i).store()))
+}
+
+/// Drive the same workload + plan through both systems and compare the
+/// final committed stores byte for byte.
+fn assert_systems_agree(seed: u64, plan: Option<FaultPlan>) {
+    let wl = Workload::a(RECORDS);
+    let ops = build_ops(&wl, seed);
+    let deadline = Time::from_secs(300);
+    // The paper's system: 2PC over switch multicast, vring addressing.
+    let mut nice = builder(seed, &plan, &ops).build();
+    assert!(nice.run_until_done(deadline), "NICE did not drain");
+    // The baseline: 2PC over unicast fan-out, client-side routing (RAC).
+    let cfg =
+        NoobClusterCfg::from_builder(builder(seed, &plan, &ops), Access::Rac, NoobMode::TwoPc);
+    let mut noob = NoobCluster::build(cfg);
+    assert!(noob.run_until_done(deadline), "NOOB did not drain");
+    // Quiesce: let reliable-multicast retransmissions of the last
+    // commits land before inspecting replica state.
+    nice.sim.run_for(Time::from_secs(2));
+    noob.sim.run_for(Time::from_secs(2));
+
+    for c in 0..CLIENTS {
+        assert!(
+            nice.client(c).records.iter().all(nice::kv::OpRecord::ok),
+            "NICE client {c} had failed ops"
+        );
+        assert!(
+            noob.client(c).records.iter().all(nice::kv::OpRecord::ok),
+            "NOOB client {c} had failed ops"
+        );
+    }
+
+    let nice_map = nice_state(&nice);
+    let noob_map = noob_state(&noob);
+    assert_eq!(
+        nice_map.len(),
+        RECORDS as usize,
+        "NICE is missing committed keys"
+    );
+    assert_eq!(nice_map, noob_map, "final committed stores diverge");
+}
+
+#[test]
+fn nice_and_noob_converge_seed_11() {
+    assert_systems_agree(11, None);
+}
+
+#[test]
+fn nice_and_noob_converge_seed_12() {
+    assert_systems_agree(12, None);
+}
+
+#[test]
+fn nice_and_noob_converge_under_lossy_network() {
+    // Loss + duplication + jitter from client start onward: retries and
+    // RUDP retransmission must mask it all without forking state.
+    let plan = FaultPlan::new(11)
+        .loss(0.02)
+        .duplication(0.01)
+        .extra_delay(0.05, Time::from_us(200))
+        .window(Time::from_ms(50), Time::MAX);
+    assert_systems_agree(11, Some(plan));
+}
