@@ -13,7 +13,7 @@
 use nice_bench::harness::{ArgSpec, CsvOut};
 use nice_bench::systems::nice_cluster;
 use nice_bench::{RunSpec, System};
-use nice_kv::{ClientApp, ClientOp, Value};
+use nice_kv::{ClientApp, ClientOp, MetaEvent, MetadataApp, Value};
 use nice_ring::PartitionId;
 use nice_sim::Time;
 use nice_workload::{Rng, XorShiftRng};
@@ -115,10 +115,76 @@ fn main() {
         prev_gets = gets;
     }
 
-    // Summary: the unavailability window (seconds with zero puts).
+    // The paper's headline claim — "this process makes the partition
+    // unavailable for put for less than 2 seconds" — asserted from the
+    // run's own records rather than eyeballed off the plot. The three
+    // closed-loop clients cannot resolve the window by themselves: a
+    // put in flight at the crash sleeps the full fixed §6.6 2 s retry
+    // period before re-attempting, so every client-side completion gap
+    // straddling the failure is ~2 s even though the partition healed
+    // much earlier. The run's own failover timeline is the measurement:
+    // the partition is put-unavailable from the crash until the
+    // metadata service declares the failure (3 missed heartbeats) and
+    // installs the handoff view at the survivors (`HandoffAssigned`,
+    // logged for exactly this analysis).
+    let crash = Time::from_secs(FAIL_AT_S);
+    let healed = c
+        .sim
+        .app::<MetadataApp>(c.meta)
+        .events
+        .iter()
+        .filter(|&&(t, ref ev)| {
+            t >= crash
+                && matches!(ev, MetaEvent::HandoffAssigned { partition, failed, .. }
+                    if *partition == p && failed.0 as usize == victim)
+        })
+        .map(|&(t, _)| t)
+        .min()
+        .expect("the metadata service never assigned a handoff for the workload partition");
+    let unavail_ms = (healed - crash).as_ns() / 1_000_000;
+    assert!(
+        healed - crash < Time::from_secs(2),
+        "put-unavailability window was {unavail_ms} ms; the paper promises <2 s"
+    );
+
+    // Corroborate the bound end-to-end from the client records: every
+    // put that straddled the failure committed on its first retry — the
+    // first probe after the window found the partition writable again.
+    // A window ≥ the 2 s retry period would force a second retry.
+    let put_records: Vec<(Time, Time, u32)> = c
+        .clients
+        .iter()
+        .flat_map(|&cl| c.sim.app::<ClientApp>(cl).records.iter())
+        .filter(|r| r.is_put && r.ok())
+        .map(|r| (r.start, r.end, r.attempts))
+        .collect();
+    assert!(
+        put_records.len() > 100,
+        "too few committed puts ({}) to measure the window",
+        put_records.len()
+    );
+    let straddlers: Vec<u32> = put_records
+        .iter()
+        .filter(|&&(start, end, _)| start <= healed && end >= crash)
+        .map(|&(_, _, attempts)| attempts)
+        .collect();
+    assert!(
+        straddlers.iter().any(|&a| a > 1),
+        "no put was blocked by the failure; the workload cannot corroborate the window"
+    );
+    assert!(
+        straddlers.iter().all(|&a| a <= 2),
+        "a put straddling the failure needed {} attempts — the partition \
+         was still unavailable a full retry period after the crash",
+        straddlers.iter().max().unwrap()
+    );
+    assert!(
+        !c.server(victim).store().is_empty(),
+        "the rejoined node never drained its missed objects"
+    );
     eprintln!(
-        "note: rows where puts_per_sec drops to ~0 around t={FAIL_AT_S}s show the \
-         put-unavailability window (paper: <2s); the victim_objects column \
-         jumps at recovery (t={REJOIN_AT_S}s) as the handoff is drained."
+        "put-unavailability window across the t={FAIL_AT_S}s failure: {unavail_ms} ms \
+         (paper: <2s); victim holds {} objects after its t={REJOIN_AT_S}s rejoin.",
+        c.server(victim).store().len()
     );
 }

@@ -60,18 +60,22 @@ pub struct OpRecord {
     pub is_put: bool,
     /// The key.
     pub key: String,
+    /// The client sequence number ([`OpId::client_seq`]) of the op —
+    /// stable across retries, unique per client.
+    pub seq: u64,
     /// When the first attempt was issued.
     pub start: Time,
     /// When the final reply arrived.
     pub end: Time,
     /// The typed outcome: `Ok(())` on success, or the [`KvError`] that
-    /// ended the operation (not found, rejected, retries exhausted).
+    /// ended the operation (not found, rejected, timed out).
     pub result: Result<(), KvError>,
     /// Attempts used (1 = no retries).
     pub attempts: u32,
     /// Value size moved (put: sent; get: received).
     pub size: u32,
-    /// For gets: the returned bytes (tests assert on these).
+    /// Put: the bytes written; get: the bytes returned (the history
+    /// checker and tests assert on these).
     pub bytes: Option<Vec<u8>>,
 }
 
@@ -87,8 +91,8 @@ impl OpRecord {
     }
 }
 
-/// One attempt the adapter must put on the wire (and arm
-/// [`ClientCore::retry`] for, under token `TOK_RETRY_BASE |
+/// One attempt the adapter must put on the wire (and arm a
+/// [`ClientCore::retry_delay`] timer for, under token `TOK_RETRY_BASE |
 /// id.client_seq`).
 #[derive(Debug, Clone)]
 pub struct Attempt {
@@ -134,10 +138,81 @@ pub enum RetryAction {
     /// Re-send this attempt.
     Resend(Attempt),
     /// Retry budget exhausted: the op completed with
-    /// [`KvError::RetriesExhausted`] (recorded); issue the next one.
+    /// [`KvError::Timeout`] (recorded); issue the next one.
     GaveUp,
     /// Stale timer for an already-completed op; ignore.
     Stale,
+}
+
+/// The client's retry schedule: either the paper's fixed period ("the
+/// client will retry after waiting for 2 seconds", §6.6) or exponential
+/// backoff with deterministic seeded jitter.
+///
+/// The delay is a pure function of `(policy, op id, attempt)`, so a
+/// seeded run replays byte-for-byte: no RNG state is carried between
+/// calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry (and the fixed period when
+    /// `exponential` is off).
+    pub base: Time,
+    /// Upper bound on any single delay.
+    pub cap: Time,
+    /// Double the delay on every attempt (clamped to `cap`).
+    pub exponential: bool,
+    /// Jitter strength in percent: each delay is scaled by a factor
+    /// drawn deterministically from `[100 - jitter_pct, 100] / 100`.
+    /// `0` disables jitter.
+    pub jitter_pct: u32,
+    /// Seed mixed into the per-(op, attempt) jitter hash.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The classic fixed-period schedule: every retry waits `period`.
+    pub const fn fixed(period: Time) -> RetryPolicy {
+        RetryPolicy {
+            base: period,
+            cap: period,
+            exponential: false,
+            jitter_pct: 0,
+            seed: 0,
+        }
+    }
+
+    /// The delay to arm after attempt number `attempt` (1 = first try)
+    /// of operation `id` failed or went unanswered.
+    pub fn delay(&self, id: OpId, attempt: u32) -> Time {
+        let mut d = self.base.as_ns();
+        if self.exponential {
+            // base * 2^(attempt-1), saturating, clamped to the cap.
+            let shift = attempt.saturating_sub(1).min(20);
+            d = d.saturating_mul(1u64 << shift).min(self.cap.as_ns());
+        }
+        d = d.min(self.cap.as_ns()).max(1);
+        if self.jitter_pct > 0 {
+            let h = splitmix64(
+                self.seed
+                    ^ (u64::from(id.client.0) << 32)
+                    ^ id.client_seq.rotate_left(17)
+                    ^ u64::from(attempt),
+            );
+            let pct = u64::from(self.jitter_pct.min(99));
+            let scale = 100 - (h % (pct + 1)); // in [100 - pct, 100]
+            d = (d.saturating_mul(scale) / 100).max(1);
+        }
+        Time(d)
+    }
+}
+
+/// SplitMix64 finalizer: a stateless avalanche hash, good enough to
+/// decorrelate jitter across (client, op, attempt) without carrying RNG
+/// state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 struct InFlight {
@@ -154,9 +229,10 @@ pub struct ClientCore {
     inflight: Option<InFlight>,
     next_seq: u64,
     max_attempts: u32,
-    /// Retry period armed per attempt ("the client will retry after
-    /// waiting for 2 seconds", §6.6).
-    pub retry: Time,
+    /// Retry schedule armed per attempt (fixed period by default — "the
+    /// client will retry after waiting for 2 seconds", §6.6 — or
+    /// exponential backoff with seeded jitter).
+    pub retry: RetryPolicy,
     /// When the client starts issuing.
     pub start_at: Time,
     /// Treat a NotFound get as transient and retry with a short backoff
@@ -170,14 +246,15 @@ pub struct ClientCore {
 
 impl ClientCore {
     /// A core that runs `ops` once, starting at `start_at`, re-attempting
-    /// every `retry`.
+    /// every `retry` (swap in a different [`RetryPolicy`] via the public
+    /// `retry` field for backoff/jitter).
     pub fn new(ops: Vec<ClientOp>, retry: Time, start_at: Time) -> ClientCore {
         ClientCore {
             ops: ops.into(),
             inflight: None,
             next_seq: 1,
             max_attempts: 25,
-            retry,
+            retry: RetryPolicy::fixed(retry),
             start_at,
             retry_not_found: false,
             records: Vec::new(),
@@ -218,6 +295,23 @@ impl ClientCore {
     /// transport-level completions).
     pub fn inflight_op(&self) -> Option<(&ClientOp, OpId)> {
         self.inflight.as_ref().map(|inf| (&inf.op, inf.id))
+    }
+
+    /// The in-flight operation with its id, first-issue time, and
+    /// attempt count. History capture uses this to include an op that
+    /// never completed before the run ended (its effect window is still
+    /// open, so a put must be treated as "maybe applied").
+    pub fn inflight_detail(&self) -> Option<(&ClientOp, OpId, Time, u32)> {
+        self.inflight
+            .as_ref()
+            .map(|inf| (&inf.op, inf.id, inf.start, inf.attempts))
+    }
+
+    /// The retry delay to arm for attempt `attempt` of op `id`
+    /// (convenience over `self.retry.delay`, used by the adapters when
+    /// they put an attempt on the wire).
+    pub fn retry_delay(&self, id: OpId, attempt: u32) -> Time {
+        self.retry.delay(id, attempt)
     }
 
     /// Start the next queued operation, if idle.
@@ -272,9 +366,17 @@ impl ClientCore {
         let Some(inf) = self.inflight.take() else {
             return;
         };
+        // Puts record the bytes they wrote (successful or not: a failed
+        // put may still have taken effect, and the history checker needs
+        // the candidate value); gets record whatever the reply carried.
+        let bytes = match &inf.op {
+            ClientOp::Put { value, .. } => Some(value.bytes.as_ref().clone()),
+            ClientOp::Get { .. } => bytes,
+        };
         self.records.push(OpRecord {
             is_put: matches!(inf.op, ClientOp::Put { .. }),
             key: inf.op.key().to_owned(),
+            seq: inf.id.client_seq,
             start: inf.start,
             end: now,
             result,
@@ -345,9 +447,11 @@ impl ClientCore {
             return RetryAction::Stale; // for a completed op
         }
         if inf.attempts >= self.max_attempts {
-            // Give up (keeps benchmarks bounded; the paper's clients retry
-            // until the partition becomes available again).
-            let err = KvError::RetriesExhausted {
+            // Budget exhausted: complete with a typed client-side timeout
+            // so histories and benches see the failure (the paper's
+            // clients would retry until the partition heals; a bounded
+            // budget keeps runs finite without hiding the outcome).
+            let err = KvError::Timeout {
                 key: inf.op.key().to_owned(),
                 attempts: inf.attempts,
             };
@@ -453,8 +557,77 @@ mod tests {
         assert_eq!(r.size, 10, "gave-up puts still account their size");
         assert!(matches!(
             r.err(),
-            Some(KvError::RetriesExhausted { attempts: 25, .. })
+            Some(KvError::Timeout { attempts: 25, .. })
         ));
+    }
+
+    #[test]
+    fn fixed_policy_is_attempt_independent() {
+        let p = RetryPolicy::fixed(Time::from_secs(2));
+        let id = OpId {
+            client: ME,
+            client_seq: 3,
+        };
+        for attempt in 1..10 {
+            assert_eq!(p.delay(id, attempt), Time::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn exponential_policy_doubles_and_caps() {
+        let p = RetryPolicy {
+            base: Time::from_ms(100),
+            cap: Time::from_ms(1600),
+            exponential: true,
+            jitter_pct: 0,
+            seed: 0,
+        };
+        let id = OpId {
+            client: ME,
+            client_seq: 1,
+        };
+        assert_eq!(p.delay(id, 1), Time::from_ms(100));
+        assert_eq!(p.delay(id, 2), Time::from_ms(200));
+        assert_eq!(p.delay(id, 5), Time::from_ms(1600));
+        assert_eq!(p.delay(id, 24), Time::from_ms(1600), "stays capped");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_varied() {
+        let p = RetryPolicy {
+            base: Time::from_ms(1000),
+            cap: Time::from_ms(1000),
+            exponential: false,
+            jitter_pct: 30,
+            seed: 42,
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for seq in 1..40u64 {
+            let id = OpId {
+                client: ME,
+                client_seq: seq,
+            };
+            let d = p.delay(id, 1);
+            assert_eq!(d, p.delay(id, 1), "pure function of (policy, id, attempt)");
+            assert!(d >= Time::from_ms(700) && d <= Time::from_ms(1000), "{d:?}");
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 5, "jitter actually spreads the delays");
+    }
+
+    #[test]
+    fn record_carries_seq_and_put_bytes() {
+        let mut c = core(vec![ClientOp::Put {
+            key: "a".into(),
+            value: Value::from_bytes(vec![7, 8, 9]),
+        }]);
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        c.on_put_reply(a.id, true, Time::from_ms(1));
+        let r = &c.records[0];
+        assert_eq!(r.seq, 1);
+        assert_eq!(r.bytes.as_deref(), Some(&[7u8, 8, 9][..]));
     }
 
     #[test]

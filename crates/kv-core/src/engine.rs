@@ -61,17 +61,27 @@ pub struct EngineCfg {
     /// coordination round (NICE, §4.4 failure handling); `None` runs
     /// without coordinator timeouts (the NOOB baseline has none).
     pub op_timeout: Option<Time>,
-    /// Where the coordinator applies its own commit. `true`: inline, the
-    /// moment the timestamp is generated (NOOB's primary commits before
-    /// fanning the timestamp out). `false`: when its own copy of the
-    /// commit message loops back (NICE's primary receives its own switch
-    /// multicast like any replica).
+    /// Where the coordinator gives queued writers their turn. `true`:
+    /// when the round retires (NOOB's primary drains inline, having no
+    /// further self-delivery). `false`: when its own copy of the commit
+    /// message loops back (NICE's primary receives its own switch
+    /// multicast like any replica). The commit *itself* is always
+    /// applied locally the moment the timestamp is generated — a lossy
+    /// loopback must never be the only path to the primary's own
+    /// durability (see `check_commit`).
     pub inline_commit: bool,
     /// Model the W step of Figure 3 as durable: a pending put whose
     /// local write finished survives a crash as an in-doubt entry for
     /// §4.4 lock resolution. The NOOB baseline keeps tentative values in
     /// memory only.
     pub durable_pending: bool,
+    /// Break a conflicting lock whose holder has been silent this long.
+    /// NICE runs `None`: its deadline + failure-detector machinery (§4.4)
+    /// cleans up orphaned locks. The NOOB baseline has neither, so a lock
+    /// abandoned by a crashed peer or a given-up client would wedge the
+    /// key forever; a TTL longer than the client retry period is its only
+    /// liveness backstop.
+    pub stale_lock_ttl: Option<Time>,
 }
 
 /// The replica group for one key, from the engine's point of view:
@@ -144,6 +154,11 @@ pub enum Effect {
         key: String,
         /// The attempt being aborted.
         op: OpId,
+        /// When the abort was decided. Receivers drop the abort if their
+        /// lock for `op` is newer — a retry re-locks under the same
+        /// `OpId`, and a stale abort surfacing late (a healed partition
+        /// flushing queued traffic) must not tear down the live round.
+        issued: Time,
     },
     /// Answer the client.
     Reply {
@@ -202,6 +217,10 @@ struct Coord {
     acks2: BTreeSet<NodeIdx>,
     self_written: bool,
     committed: bool,
+    /// The timestamp generated when the round committed (drives re-sends
+    /// of the timestamp message for retried puts whose round is stuck in
+    /// phase 2).
+    ts: Option<Timestamp>,
     replied: bool,
     timeouts: u32,
     kind: CoordKind,
@@ -215,6 +234,7 @@ impl Coord {
             acks2: BTreeSet::new(),
             self_written: false,
             committed: false,
+            ts: None,
             replied: false,
             timeouts: 0,
             kind,
@@ -301,9 +321,12 @@ pub trait ReplicationEngine {
         fx: &mut Vec<Effect>,
     ) -> bool;
 
-    /// An abort arrived: release the lock if `op` holds it and give a
-    /// queued writer its turn. Returns whether state changed.
-    fn on_abort(&mut self, key: &str, op: OpId, fx: &mut Vec<Effect>) -> bool;
+    /// An abort arrived: release the lock if `op` holds it — and the
+    /// lock is not newer than the abort's decision time `issued` (a
+    /// retry re-locks under the same `OpId`; an abort from the abandoned
+    /// earlier round must not release the live round's lock) — then give
+    /// a queued writer its turn. Returns whether state changed.
+    fn on_abort(&mut self, key: &str, op: OpId, issued: Time, fx: &mut Vec<Effect>) -> bool;
 
     /// A coordination deadline fired. The first timeout re-arms; the
     /// second gives up: report silent members, and — if no commit
@@ -374,6 +397,14 @@ pub struct TwoPcEngine {
     /// Writers queued behind a lock, FIFO per key.
     waiting: BTreeMap<String, Vec<(OpId, Value)>>,
     primary_seq: u64,
+    /// Highest `client_seq` this node applied a commit for, per client.
+    /// Because clients are closed-loop (one op in flight at a time), a
+    /// floor at or above an attempt's sequence proves that attempt either
+    /// committed or was abandoned — either way, a retry of it must not
+    /// start a fresh round (re-committing an old value under a new, higher
+    /// timestamp would resurrect it over later writes). Rebuilt from the
+    /// committed objects after a crash.
+    client_floors: BTreeMap<Ipv4, u64>,
     counters: Counters,
     last_internal_error: Option<KvError>,
 }
@@ -387,6 +418,7 @@ impl TwoPcEngine {
             coords: BTreeMap::new(),
             waiting: BTreeMap::new(),
             primary_seq: 0,
+            client_floors: BTreeMap::new(),
             counters: Counters::default(),
             last_internal_error: None,
         }
@@ -419,6 +451,78 @@ impl TwoPcEngine {
     /// keeps this `None`).
     pub fn last_internal_error(&self) -> Option<&KvError> {
         self.last_internal_error.as_ref()
+    }
+
+    /// Put rounds this node is currently coordinating whose key matches
+    /// `filter`. A recovery drain must be ordered *after* these rounds:
+    /// their replica group was fixed before the drain's requester joined
+    /// the view, so a snapshot taken mid-round could miss their commit.
+    pub fn in_flight(&self, filter: &dyn Fn(&str) -> bool) -> Vec<(String, OpId)> {
+        self.coords
+            .keys()
+            .filter(|(k, _)| filter(k))
+            .cloned()
+            .collect()
+    }
+
+    /// Whether the coordination round for `(key, op)` is still open.
+    pub fn coord_live(&self, key: &str, op: OpId) -> bool {
+        self.coords.contains_key(&(key.to_owned(), op))
+    }
+
+    /// The commit timestamp of a still-open round, if it reached the
+    /// commit decision. A retried put whose round is stuck in phase 2
+    /// re-distributes this timestamp instead of minting a new one.
+    pub fn round_commit_ts(&self, key: &str, op: OpId) -> Option<Timestamp> {
+        self.coords.get(&(key.to_owned(), op)).and_then(|c| c.ts)
+    }
+
+    /// Has this attempt already been settled here — a commit with the
+    /// same client and an equal-or-higher sequence applied locally? True
+    /// means the put either committed (the reply was lost) or the client
+    /// has long moved past it; a closed-loop client never has two
+    /// attempts in flight, so answering `ok` to a settled retry is always
+    /// correct and starting a fresh round for it never is.
+    pub fn op_settled(&self, op: OpId) -> bool {
+        self.client_floors
+            .get(&op.client)
+            .is_some_and(|&floor| floor >= op.client_seq)
+    }
+
+    /// Record an applied commit timestamp: advances the failover sequence
+    /// floor and the per-client settled floor.
+    fn note_commit_ts(&mut self, ts: Timestamp) {
+        self.primary_seq = self.primary_seq.max(ts.primary_seq);
+        let floor = self.client_floors.entry(ts.client).or_insert(0);
+        *floor = (*floor).max(ts.client_seq);
+    }
+
+    /// Break the lock on `key` if its holder is provably stale relative
+    /// to the incoming attempt `op`: an older attempt by the *same*
+    /// client (closed-loop clients abandon an attempt before starting the
+    /// next), or — when the engine runs with a `stale_lock_ttl` — any
+    /// attempt whose lock went unrefreshed past the TTL. Aborting is safe
+    /// in both cases: a held lock means the round never committed here,
+    /// and a committed attempt's leftover lock releases without touching
+    /// the committed value.
+    fn break_stale_lock(&mut self, key: &str, op: OpId, now: Time) {
+        let Some(p) = self.store.pending(key) else {
+            return;
+        };
+        if p.op == op {
+            return;
+        }
+        let same_client_older = p.op.client == op.client && p.op.client_seq < op.client_seq;
+        let expired = self
+            .cfg
+            .stale_lock_ttl
+            .is_some_and(|ttl| now >= p.locked_at + ttl);
+        if same_client_older || expired {
+            let old = p.op;
+            self.store.abort(key, old, Time::MAX);
+            self.coords.remove(&(key.to_owned(), old));
+            self.counters.puts_aborted += 1;
+        }
     }
 
     /// Record an internal invariant violation instead of panicking: the
@@ -465,12 +569,23 @@ impl TwoPcEngine {
             client: op.client,
         };
         match self.coords.get_mut(&k) {
-            Some(c) => c.committed = true,
+            Some(c) => {
+                c.committed = true;
+                c.ts = Some(ts);
+            }
             None => return self.note_internal(KvError::CoordinatorMissing { key: k.0, op }),
         }
-        if self.cfg.inline_commit && self.store.commit(key, op, ts) {
+        // The coordinator applies its own commit at decision time
+        // (Figure 3: the primary commits, *then* distributes the
+        // timestamp message; re-delivery through the multicast loopback
+        // is idempotent). Relying on the loopback alone would let a
+        // lost self-delivery ack a put — the peers commit and ack2 —
+        // that the primary itself never applied, after which the
+        // primary serves stale gets for the key.
+        if self.store.commit(key, op, ts) {
             self.counters.puts_committed += 1;
         }
+        self.note_commit_ts(ts);
         fx.push(Effect::Commit {
             key: key.to_owned(),
             op,
@@ -568,6 +683,7 @@ impl ReplicationEngine for TwoPcEngine {
         now: Time,
         fx: &mut Vec<Effect>,
     ) -> bool {
+        self.break_stale_lock(key, op, now);
         if !self.store.lock(key, op, value.clone(), now) {
             // Locked by another op: queue behind it.
             let q = self.waiting.entry(key.to_owned()).or_default();
@@ -589,8 +705,11 @@ impl ReplicationEngine for TwoPcEngine {
     }
 
     fn accept(&mut self, key: &str, value: Value, op: OpId, now: Time, fx: &mut Vec<Effect>) {
-        // Lock if free; a conflict is left for the commit round to
-        // resolve (the coordinator's timestamp decides).
+        // Lock if free; a *live* conflict is left for the commit round to
+        // resolve (the coordinator's timestamp decides), but a provably
+        // stale holder is broken first so an abandoned attempt cannot
+        // wedge the replica.
+        self.break_stale_lock(key, op, now);
         self.store.lock(key, op, value.clone(), now);
         self.store.write_delay(now, 100, true);
         let done = self.store.write_delay(now, value.size(), false);
@@ -628,16 +747,17 @@ impl ReplicationEngine for TwoPcEngine {
                     p.written = true;
                 }
             }
-            Some(_) => return, // superseded: another attempt holds the lock
-            None => {
-                // No lock: only direct-path coordinators (which never
-                // lock) advance; a 2PC write that lost its pending state
-                // was already committed or aborted meanwhile.
+            // The attempt no longer holds the lock. Direct-path
+            // coordinators never lock, and a settled attempt (its commit
+            // already applied here) must still advance/ack so a stuck
+            // round of a retried put can complete; anything else was
+            // superseded or aborted meanwhile and is dropped.
+            Some(_) | None => {
                 let direct = matches!(
                     self.coords.get(&(key.to_owned(), op)).map(|c| c.kind),
                     Some(CoordKind::Direct { .. })
                 );
-                if !direct {
+                if !direct && !self.op_settled(op) {
                     return;
                 }
             }
@@ -737,8 +857,9 @@ impl ReplicationEngine for TwoPcEngine {
         if applied {
             self.counters.puts_committed += 1;
         }
-        // Track the highest primary sequence seen (failover floor).
-        self.primary_seq = self.primary_seq.max(ts.primary_seq);
+        // Track the failover sequence floor and the per-client settled
+        // floor: the timestamp is a globally decided commit.
+        self.note_commit_ts(ts);
         match role {
             EngineRole::Primary(g) => self.check_done(key, op, g, fx),
             EngineRole::Peer => fx.push(Effect::Ack2 {
@@ -751,8 +872,8 @@ impl ReplicationEngine for TwoPcEngine {
         applied
     }
 
-    fn on_abort(&mut self, key: &str, op: OpId, fx: &mut Vec<Effect>) -> bool {
-        let applied = self.store.abort(key, op);
+    fn on_abort(&mut self, key: &str, op: OpId, issued: Time, fx: &mut Vec<Effect>) -> bool {
+        let applied = self.store.abort(key, op, issued);
         if applied {
             self.counters.puts_aborted += 1;
         }
@@ -804,11 +925,12 @@ impl ReplicationEngine for TwoPcEngine {
             fx.push(Effect::Unresponsive { members: missing });
         }
         if !c.committed {
-            self.store.abort(key, op);
+            self.store.abort(key, op, Time::MAX);
             self.counters.puts_aborted += 1;
             fx.push(Effect::Abort {
                 key: key.to_owned(),
                 op,
+                issued: now,
             });
             fx.push(Effect::Reply {
                 client: c.client,
@@ -832,6 +954,7 @@ impl ReplicationEngine for TwoPcEngine {
     fn apply_copy(&mut self, key: &str, value: Value, ts: Timestamp, now: Time) -> Time {
         let done = self.store.write_delay(now, value.size(), true);
         self.store.commit_direct(key, value, ts);
+        self.note_commit_ts(ts);
         self.counters.puts_committed += 1;
         done
     }
@@ -843,13 +966,24 @@ impl ReplicationEngine for TwoPcEngine {
 
     fn sync_object(&mut self, key: &str, value: Value, ts: Timestamp) {
         self.store.commit_direct(key, value, ts);
+        // A synced commit raises the sequence floors exactly like a live
+        // one: a node that later becomes primary must never mint a
+        // timestamp below a commit it already holds, or the acked value
+        // silently loses to its own history.
+        self.note_commit_ts(ts);
     }
 
     fn ingest(&mut self, now: Time, objects: Vec<(String, Value, Timestamp)>) {
         let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
         self.store.write_delay(now, total, true);
         for (k, v, ts) in objects {
+            // A synced commit also settles a lock this node still holds
+            // for the same attempt: the commit message was lost while the
+            // node was out of the replica group, and an orphaned lock
+            // would otherwise trip the stale-lock sweep forever.
+            self.store.release_if_committed(&k, ts);
             self.store.commit_direct(&k, v, ts);
+            self.note_commit_ts(ts);
         }
     }
 
@@ -891,6 +1025,20 @@ impl ReplicationEngine for TwoPcEngine {
         self.store.on_crash();
         self.coords.clear();
         self.waiting.clear();
+        // The settled floors are derived state: rebuild them from the
+        // committed objects that survived the crash. Keeping stale
+        // in-memory floors would let a restarted node answer `ok` for an
+        // attempt whose commit never reached disk anywhere.
+        self.client_floors.clear();
+        let floors: Vec<(Ipv4, u64)> = self
+            .store
+            .iter()
+            .map(|(_, c)| (c.ts.client, c.ts.client_seq))
+            .collect();
+        for (client, seq) in floors {
+            let floor = self.client_floors.entry(client).or_insert(0);
+            *floor = (*floor).max(seq);
+        }
     }
 }
 
@@ -968,6 +1116,7 @@ mod tests {
     use super::*;
 
     const CLIENT: Ipv4 = Ipv4::new(10, 0, 1, 1);
+    const OTHER_CLIENT: Ipv4 = Ipv4::new(10, 0, 1, 2);
     const PRIMARY: Ipv4 = Ipv4::new(10, 0, 0, 1);
 
     fn op(seq: u64) -> OpId {
@@ -983,6 +1132,7 @@ mod tests {
             op_timeout: Some(Time::from_ms(500)),
             inline_commit: false,
             durable_pending: true,
+            stale_lock_ttl: None,
         }
     }
 
@@ -992,6 +1142,7 @@ mod tests {
             op_timeout: None,
             inline_commit: true,
             durable_pending: false,
+            stale_lock_ttl: Some(Time::from_secs(3)),
         }
     }
 
@@ -1010,7 +1161,7 @@ mod tests {
     }
 
     #[test]
-    fn nice_style_round_commits_on_loopback() {
+    fn nice_style_round_commits_at_decision_even_if_loopback_is_lost() {
         let mut e = TwoPcEngine::new(nice_cfg());
         let g = group(&[1, 2]);
         let mut fx = Vec::new();
@@ -1028,13 +1179,14 @@ mod tests {
         e.on_ack1("k", op(1), NodeIdx(2), &g, Time::ZERO, &mut fx);
         let ts = commit_effect(&fx).expect("commit after all acks");
         assert_eq!(ts.primary, PRIMARY);
-        assert!(
-            e.store().get("k").is_none(),
-            "loopback engine commits only when its own copy arrives"
-        );
-        fx.clear();
-        assert!(e.on_commit("k", op(1), ts, EngineRole::Primary(&g), &mut fx));
+        // The primary's own copy is applied the moment the timestamp is
+        // generated: a lost multicast loopback must never leave the
+        // acked value missing from the primary's store.
         assert_eq!(*e.store().get("k").unwrap().value.bytes, vec![7]);
+        assert_eq!(e.counters().puts_committed, 1);
+        fx.clear();
+        // The loopback re-delivery is a no-op (already applied).
+        assert!(!e.on_commit("k", op(1), ts, EngineRole::Primary(&g), &mut fx));
         assert_eq!(e.counters().puts_committed, 1);
         fx.clear();
         e.on_ack2("k", op(1), NodeIdx(1), Some(&g), &mut fx);
@@ -1109,11 +1261,72 @@ mod tests {
     }
 
     #[test]
+    fn stale_abort_does_not_tear_down_a_retried_round() {
+        // A coordinator gives up on a round (double deadline) and its
+        // Abort multicast is delayed in the network — e.g. trapped by a
+        // partition. The client retries the SAME op; the retry re-locks
+        // everywhere and the new round reaches commit. The old abort
+        // surfacing mid-round must not release the re-taken locks, or
+        // the commit finds nothing to apply and the acked value is lost.
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        // Attempt 1 lands on a peer at t=100ms.
+        e.accept(
+            "k",
+            Value::from_bytes(vec![1]),
+            op(1),
+            Time::from_ms(100),
+            &mut fx,
+        );
+        // The coordinator decided to abort at t=300ms (message delayed).
+        // Meanwhile the retry re-locks the same op at t=500ms.
+        e.accept(
+            "k",
+            Value::from_bytes(vec![1]),
+            op(1),
+            Time::from_ms(500),
+            &mut fx,
+        );
+        fx.clear();
+        // The stale abort finally arrives: dropped.
+        assert!(
+            !e.on_abort("k", op(1), Time::from_ms(300), &mut fx),
+            "abort older than the live lock is ignored"
+        );
+        assert!(e.store().locked("k"), "the retried round keeps its lock");
+        // The retried round's commit applies normally.
+        let ts = Timestamp {
+            primary_seq: 1,
+            primary: PRIMARY,
+            client_seq: 1,
+            client: CLIENT,
+        };
+        assert!(e.on_commit("k", op(1), ts, EngineRole::Observer, &mut fx));
+        assert_eq!(*e.store().get("k").unwrap().value.bytes, vec![1]);
+        // A current abort (issued after the lock) still works.
+        e.accept(
+            "k",
+            Value::from_bytes(vec![2]),
+            op(2),
+            Time::from_secs(2),
+            &mut fx,
+        );
+        assert!(e.on_abort("k", op(2), Time::from_secs(3), &mut fx));
+        assert!(!e.store().locked("k"));
+    }
+
+    #[test]
     fn conflicting_writer_queues_and_redrives() {
         let mut e = TwoPcEngine::new(nice_cfg());
         let mut fx = Vec::new();
+        // Conflicting writers are different clients: a newer op from the
+        // *same* client supersedes the old lock instead of queueing.
         assert!(e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx));
-        assert!(!e.prepare("k", Value::from_bytes(vec![2]), op(2), Time::ZERO, &mut fx));
+        let rival = OpId {
+            client: OTHER_CLIENT,
+            client_seq: 2,
+        };
+        assert!(!e.prepare("k", Value::from_bytes(vec![2]), rival, Time::ZERO, &mut fx));
         fx.clear();
         let ts = Timestamp {
             primary_seq: 1,
@@ -1126,6 +1339,159 @@ mod tests {
             .iter()
             .any(|e| matches!(e, Effect::Redrive { op: o, .. } if o.client_seq == 2));
         assert!(redrive, "queued writer gets its turn after the commit");
+    }
+
+    #[test]
+    fn newer_attempt_from_same_client_breaks_abandoned_lock() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx));
+        // The client gave up on op 1 and moved to op 2 (closed-loop
+        // clients never have two attempts in flight): the orphan lock
+        // must not block the client's own next put forever.
+        assert!(
+            e.prepare(
+                "k",
+                Value::from_bytes(vec![2]),
+                op(2),
+                Time::from_ms(1),
+                &mut fx
+            ),
+            "newer attempt from the same client supersedes the orphan"
+        );
+        assert_eq!(e.store().pending("k").unwrap().op, op(2));
+        assert_eq!(e.counters().puts_aborted, 1);
+    }
+
+    #[test]
+    fn ttl_breaks_stale_cross_client_lock() {
+        let mut e = TwoPcEngine::new(noob_cfg()); // 3 s stale-lock TTL
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx));
+        let rival = OpId {
+            client: OTHER_CLIENT,
+            client_seq: 1,
+        };
+        assert!(
+            !e.prepare(
+                "k",
+                Value::from_bytes(vec![2]),
+                rival,
+                Time::from_secs(2),
+                &mut fx
+            ),
+            "within the TTL the holder may still be live"
+        );
+        assert!(
+            e.prepare(
+                "k",
+                Value::from_bytes(vec![2]),
+                rival,
+                Time::from_secs(4),
+                &mut fx
+            ),
+            "past the TTL the orphan is broken"
+        );
+        assert_eq!(e.store().pending("k").unwrap().op, rival);
+    }
+
+    #[test]
+    fn retry_refreshes_lock_age() {
+        let mut e = TwoPcEngine::new(noob_cfg());
+        let mut fx = Vec::new();
+        assert!(e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx));
+        // The holder's client retried at 2 s: the lock is live again.
+        assert!(e.prepare(
+            "k",
+            Value::from_bytes(vec![1]),
+            op(1),
+            Time::from_secs(2),
+            &mut fx
+        ));
+        let rival = OpId {
+            client: OTHER_CLIENT,
+            client_seq: 1,
+        };
+        assert!(
+            !e.prepare(
+                "k",
+                Value::from_bytes(vec![2]),
+                rival,
+                Time::from_secs(4),
+                &mut fx
+            ),
+            "TTL counts from the last refresh, not the first lock"
+        );
+    }
+
+    #[test]
+    fn settled_floor_covers_committed_and_older_attempts() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        e.prepare("k", Value::from_bytes(vec![1]), op(3), Time::ZERO, &mut fx);
+        let ts = Timestamp {
+            primary_seq: 1,
+            primary: PRIMARY,
+            client_seq: 3,
+            client: CLIENT,
+        };
+        e.on_commit("k", op(3), ts, EngineRole::Observer, &mut fx);
+        assert!(e.op_settled(op(3)), "the committed attempt is settled");
+        assert!(e.op_settled(op(2)), "older attempts from the client too");
+        assert!(!e.op_settled(op(4)), "future attempts are not");
+        let other = OpId {
+            client: OTHER_CLIENT,
+            client_seq: 1,
+        };
+        assert!(!e.op_settled(other), "floors are per client");
+        // The floor is derived from durable state: a crash rebuilds it.
+        e.reset();
+        assert!(
+            e.op_settled(op(3)),
+            "floor survives via the committed object"
+        );
+    }
+
+    #[test]
+    fn settled_peer_still_acks_a_retried_round() {
+        let mut e = TwoPcEngine::new(nice_cfg());
+        let mut fx = Vec::new();
+        e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx);
+        let ts = Timestamp {
+            primary_seq: 1,
+            primary: PRIMARY,
+            client_seq: 1,
+            client: CLIENT,
+        };
+        e.on_commit("k", op(1), ts, EngineRole::Observer, &mut fx);
+        fx.clear();
+        // A retry of the already-committed attempt writes again (the
+        // primary never saw our ack): the peer must still ack1 so the
+        // round can complete, even though the pending state is gone.
+        e.on_written("k", op(1), EngineRole::Peer, Time::ZERO, &mut fx);
+        assert!(
+            matches!(fx[0], Effect::Ack1 { .. }),
+            "settled attempt acks instead of going silent"
+        );
+    }
+
+    #[test]
+    fn committed_round_exposes_its_timestamp() {
+        let mut e = TwoPcEngine::new(noob_cfg());
+        let g = group(&[1, 2]);
+        let mut fx = Vec::new();
+        e.prepare("k", Value::from_bytes(vec![1]), op(1), Time::ZERO, &mut fx);
+        e.coordinate("k", op(1), CLIENT, None);
+        e.on_written("k", op(1), EngineRole::Primary(&g), Time::ZERO, &mut fx);
+        assert!(e.round_commit_ts("k", op(1)).is_none(), "not yet decided");
+        e.on_ack1("k", op(1), NodeIdx(1), &g, Time::ZERO, &mut fx);
+        e.on_ack1("k", op(1), NodeIdx(2), &g, Time::ZERO, &mut fx);
+        let ts = e.round_commit_ts("k", op(1)).expect("decided");
+        assert_eq!(ts, commit_effect(&fx).unwrap());
+        // Phase 2 completes: the record retires and the getter goes dark.
+        e.on_ack2("k", op(1), NodeIdx(1), Some(&g), &mut fx);
+        e.on_ack2("k", op(1), NodeIdx(2), Some(&g), &mut fx);
+        assert!(e.round_commit_ts("k", op(1)).is_none());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use std::fmt;
 /// The `*Missing` variants describe states that are unreachable when the
 /// protocol state machines are correct; producing one is a bug, but a
 /// bug that should fail a single operation, not the node. The remaining
-/// variants are ordinary operation outcomes (not found, retries
-/// exhausted, rejected) surfaced to callers as typed errors.
+/// variants are ordinary operation outcomes (not found, timed out,
+/// rejected) surfaced to callers as typed errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvError {
     /// The 2PC coordinator record for `(key, op)` disappeared while the
@@ -52,8 +52,10 @@ pub enum KvError {
         /// The key that was written.
         key: String,
     },
-    /// The client used its whole retry budget without a conclusive reply.
-    RetriesExhausted {
+    /// The client used its whole retry budget without a conclusive reply
+    /// (a client-side timeout; the operation may or may not have taken
+    /// effect, which is why histories treat it as indeterminate).
+    Timeout {
         /// The key of the abandoned operation.
         key: String,
         /// Attempts used before giving up.
@@ -95,8 +97,8 @@ impl fmt::Display for KvError {
             }
             KvError::NotFound { key } => write!(f, "key {key:?} not found"),
             KvError::PutRejected { key } => write!(f, "put of key {key:?} rejected"),
-            KvError::RetriesExhausted { key, attempts } => {
-                write!(f, "gave up on key {key:?} after {attempts} attempts")
+            KvError::Timeout { key, attempts } => {
+                write!(f, "timed out on key {key:?} after {attempts} attempts")
             }
             KvError::ViewMissing { partition } => {
                 write!(f, "no view for partition {}", partition.0)

@@ -1,0 +1,596 @@
+//! Client-observed histories and a per-key linearizability checker.
+//!
+//! The chaos harness records every operation a client *invoked* and what
+//! it *observed* (value, not-found, timeout), then asks: is there a
+//! single total order of the operations on each key that (a) respects
+//! real time — an op that completed before another was invoked must be
+//! ordered first — and (b) is legal for a register: every read returns
+//! the latest preceding write, or nothing if there is none? This is
+//! Wing–Gong linearizability [Wing & Gong, JPDC '93] restricted to
+//! independent per-key put/get registers, which is exactly the
+//! consistency NICE claims in §3.3/§4.4 (two-phase commit per object,
+//! gets hidden from rejoining replicas until catch-up completes).
+//!
+//! Failed operations need care:
+//!
+//! - A put that timed out or was rejected is **indeterminate**: some
+//!   earlier attempt may still have committed (a coordinator that
+//!   committed but lost the reply re-drives the same timestamped value
+//!   on retry). Such a put *may* be linearized at any point from its
+//!   invocation onward — or never. It is an *optional* op with an
+//!   open-ended effect window.
+//! - A put still in flight when the run ends is likewise optional.
+//! - A get that observed NotFound is a real observation: it read the
+//!   initial (absent) register state and is mandatory.
+//! - A get that timed out or was still in flight observed nothing and
+//!   constrains nothing; it is dropped at ingestion.
+//!
+//! The checker runs an exhaustive DFS over per-key linearization orders
+//! with memoization on (set of applied ops, last written value). Keys
+//! are independent registers, so the search is per key and stays small
+//! as long as workloads keep per-key op counts modest (≤ 128 per key).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nice_sim::{Ipv4, Time};
+
+use crate::client::{ClientCore, ClientOp, OpRecord};
+use crate::error::KvError;
+
+/// How many ops a single key may carry before the checker refuses
+/// (the DFS bitmask is a `u128`).
+pub const MAX_OPS_PER_KEY: usize = 128;
+
+/// What an operation definitely did, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed successfully: it must appear in the linearization.
+    Ok,
+    /// A get that observed NotFound: a mandatory read of the initial
+    /// (absent) register value.
+    NotFound,
+    /// A put whose fate is unknown (timed out, rejected, or still in
+    /// flight at the end of the run): it may take effect at any point
+    /// after its invocation, or never.
+    Maybe,
+}
+
+/// One operation in a client-observed history.
+#[derive(Debug, Clone)]
+pub struct HistoryOp {
+    /// The invoking client.
+    pub client: Ipv4,
+    /// The client's sequence number for the op.
+    pub seq: u64,
+    /// Put or get?
+    pub is_put: bool,
+    /// The key (its own independent register).
+    pub key: String,
+    /// Invocation time.
+    pub invoke: Time,
+    /// Completion time; `None` for ops whose effect window never closed
+    /// (indeterminate puts — they may take effect arbitrarily late).
+    pub complete: Option<Time>,
+    /// Put: the bytes written. Get: the bytes observed (`None` =
+    /// NotFound).
+    pub bytes: Option<Vec<u8>>,
+    /// The op's definite outcome class.
+    pub outcome: Outcome,
+}
+
+impl HistoryOp {
+    /// Must this op appear in any linearization?
+    fn mandatory(&self) -> bool {
+        self.outcome != Outcome::Maybe
+    }
+}
+
+/// Why a history fails to linearize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A get observed a value no put on that key ever wrote.
+    PhantomRead,
+    /// A get observed NotFound after a put was already acknowledged:
+    /// the register can never return to "absent".
+    StaleRead,
+    /// No per-key linearization order exists (the general case the DFS
+    /// rules out).
+    Unlinearizable,
+}
+
+/// A machine-readable linearizability violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The key whose register history is broken.
+    pub key: String,
+    /// The client that observed the violation.
+    pub client: Ipv4,
+    /// That client's sequence number for the offending op.
+    pub seq: u64,
+    /// The violation class.
+    pub kind: ViolationKind,
+    /// Human-readable description with the evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} key={:?} client={} seq={}: {}",
+            self.kind, self.key, self.client, self.seq, self.detail
+        )
+    }
+}
+
+/// A client-observed history over many keys, with the checker.
+#[derive(Debug, Default)]
+pub struct History {
+    /// All recorded operations, in ingestion order.
+    pub ops: Vec<HistoryOp>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Append one operation.
+    pub fn push(&mut self, op: HistoryOp) {
+        self.ops.push(op);
+    }
+
+    /// Ingest everything one client observed: its completion records and
+    /// (if the run ended with an op still in flight) the open put.
+    ///
+    /// Timed-out gets and in-flight gets observed nothing and are
+    /// dropped; timed-out/rejected/open puts become [`Outcome::Maybe`].
+    pub fn record_client(&mut self, client: Ipv4, core: &ClientCore) {
+        for r in &core.records {
+            if let Some(op) = Self::classify(client, r) {
+                self.ops.push(op);
+            }
+        }
+        if let Some((ClientOp::Put { key, value }, id, start, _attempts)) = core.inflight_detail() {
+            self.ops.push(HistoryOp {
+                client,
+                seq: id.client_seq,
+                is_put: true,
+                key: key.clone(),
+                invoke: start,
+                complete: None,
+                bytes: Some(value.bytes.as_ref().clone()),
+                outcome: Outcome::Maybe,
+            });
+        }
+    }
+
+    fn classify(client: Ipv4, r: &OpRecord) -> Option<HistoryOp> {
+        let (outcome, complete, bytes) = if r.is_put {
+            match &r.result {
+                Ok(()) => (Outcome::Ok, Some(r.end), r.bytes.clone()),
+                // A failed put may still have taken effect (an earlier
+                // attempt can commit after the client gave up), so its
+                // window stays open past `end`.
+                Err(_) => (Outcome::Maybe, None, r.bytes.clone()),
+            }
+        } else {
+            match &r.result {
+                Ok(()) => (
+                    Outcome::Ok,
+                    Some(r.end),
+                    Some(r.bytes.clone().unwrap_or_default()),
+                ),
+                Err(KvError::NotFound { .. }) => (Outcome::NotFound, Some(r.end), None),
+                // A get that timed out observed nothing; it constrains
+                // nothing and is dropped.
+                Err(_) => return None,
+            }
+        };
+        Some(HistoryOp {
+            client,
+            seq: r.seq,
+            is_put: r.is_put,
+            key: r.key.clone(),
+            invoke: r.start,
+            complete,
+            bytes,
+            outcome,
+        })
+    }
+
+    /// Group ops by key (keys are independent registers).
+    fn by_key(&self) -> BTreeMap<&str, Vec<&HistoryOp>> {
+        let mut map: BTreeMap<&str, Vec<&HistoryOp>> = BTreeMap::new();
+        for op in &self.ops {
+            map.entry(op.key.as_str()).or_default().push(op);
+        }
+        map
+    }
+
+    /// Check every key's history; an empty result means the whole
+    /// history linearizes.
+    pub fn check(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (key, ops) in self.by_key() {
+            check_key(key, &ops, &mut out);
+        }
+        out
+    }
+
+    /// A deterministic one-line-per-op rendering (sorted by invocation
+    /// time, then client, then seq). Two same-seed chaos runs must
+    /// produce byte-identical renders.
+    pub fn render(&self) -> String {
+        let mut ops: Vec<&HistoryOp> = self.ops.iter().collect();
+        ops.sort_by_key(|o| (o.invoke, o.client.0, o.seq));
+        let mut s = String::new();
+        for o in ops {
+            let kind = if o.is_put { "put" } else { "get" };
+            let end = match o.complete {
+                Some(t) => format!("{}", t.as_ns()),
+                None => "open".to_string(),
+            };
+            let val = match &o.bytes {
+                Some(b) => String::from_utf8_lossy(b).into_owned(),
+                None => "-".to_string(),
+            };
+            s.push_str(&format!(
+                "{} {} seq={} {} key={} val={} end={} {:?}\n",
+                o.invoke.as_ns(),
+                o.client,
+                o.seq,
+                kind,
+                o.key,
+                val,
+                end,
+                o.outcome,
+            ));
+        }
+        s
+    }
+
+    /// Successful operations (for non-vacuity assertions in tests).
+    pub fn ok_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.outcome == Outcome::Ok).count()
+    }
+}
+
+/// Check one key's register history, appending any violations.
+fn check_key(key: &str, ops: &[&HistoryOp], out: &mut Vec<Violation>) {
+    // Cheap targeted pre-checks first: they pin the offending op and
+    // give far better diagnostics than a bare DFS failure.
+    let before = out.len();
+    phantom_reads(key, ops, out);
+    stale_nil_reads(key, ops, out);
+    if out.len() > before {
+        // The key is already known-broken; the DFS would only restate it.
+        return;
+    }
+    if ops.len() > MAX_OPS_PER_KEY {
+        out.push(Violation {
+            key: key.to_owned(),
+            client: Ipv4(0),
+            seq: 0,
+            kind: ViolationKind::Unlinearizable,
+            detail: format!(
+                "{} ops on one key exceeds the checker's {} cap; \
+                 shrink the per-key workload",
+                ops.len(),
+                MAX_OPS_PER_KEY
+            ),
+        });
+        return;
+    }
+    if !linearizes(ops) {
+        let culprit = ops
+            .iter()
+            .filter(|o| o.mandatory())
+            .max_by_key(|o| o.invoke)
+            .map_or((Ipv4(0), 0), |o| (o.client, o.seq));
+        out.push(Violation {
+            key: key.to_owned(),
+            client: culprit.0,
+            seq: culprit.1,
+            kind: ViolationKind::Unlinearizable,
+            detail: format!(
+                "no valid linearization order exists for the {} ops on this key",
+                ops.len()
+            ),
+        });
+    }
+}
+
+/// A successful get must return bytes some put on the same key wrote.
+fn phantom_reads(key: &str, ops: &[&HistoryOp], out: &mut Vec<Violation>) {
+    for o in ops {
+        if o.is_put || o.outcome != Outcome::Ok {
+            continue;
+        }
+        let Some(seen) = &o.bytes else { continue };
+        let written = ops
+            .iter()
+            .any(|p| p.is_put && p.bytes.as_ref() == Some(seen));
+        if !written {
+            out.push(Violation {
+                key: key.to_owned(),
+                client: o.client,
+                seq: o.seq,
+                kind: ViolationKind::PhantomRead,
+                detail: format!(
+                    "get observed {:?}, which no put on this key ever wrote",
+                    String::from_utf8_lossy(seen)
+                ),
+            });
+        }
+    }
+}
+
+/// Once any put is acknowledged, the register can never read as absent
+/// again (there are no deletes): a NotFound get invoked after a
+/// successful put completed is a definite stale read.
+fn stale_nil_reads(key: &str, ops: &[&HistoryOp], out: &mut Vec<Violation>) {
+    let first_ack = ops
+        .iter()
+        .filter(|p| p.is_put && p.outcome == Outcome::Ok)
+        .filter_map(|p| p.complete)
+        .min();
+    let Some(first_ack) = first_ack else { return };
+    for o in ops {
+        if !o.is_put && o.outcome == Outcome::NotFound && o.invoke > first_ack {
+            out.push(Violation {
+                key: key.to_owned(),
+                client: o.client,
+                seq: o.seq,
+                kind: ViolationKind::StaleRead,
+                detail: format!(
+                    "get invoked at {} observed NotFound, but a put was already \
+                     acknowledged at {}",
+                    o.invoke.as_ns(),
+                    first_ack.as_ns()
+                ),
+            });
+        }
+    }
+}
+
+/// Wing–Gong DFS over one key: does any linearization order exist?
+///
+/// State: the set of already-linearized ops (bitmask) and the index of
+/// the last linearized put (the register value). An op is *enabled* when
+/// every not-yet-linearized op that completed strictly before its
+/// invocation is... none — i.e. nothing unscheduled must precede it in
+/// real time. Mandatory ops must all be scheduled; `Maybe` puts may be
+/// scheduled (taking effect) or simply left out.
+fn linearizes(ops: &[&HistoryOp]) -> bool {
+    let all_mandatory: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.mandatory())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+    // Memoized states: (scheduled set, register index). `usize::MAX`
+    // encodes the initial (absent) register.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack: Vec<(u128, usize)> = vec![(0u128, usize::MAX)];
+    while let Some((mask, last)) = stack.pop() {
+        if mask & all_mandatory == all_mandatory {
+            return true;
+        }
+        if !seen.insert((mask, last)) {
+            continue;
+        }
+        // Runaway guard: a pathological history (very wide concurrency)
+        // could explode the state space. Give up without fabricating a
+        // violation — in practice concurrency per key is a handful of
+        // clients and the frontier keeps the space tiny.
+        if seen.len() > 4_000_000 {
+            return true;
+        }
+        // The real-time frontier: an op may go next only if no other
+        // unscheduled op's completion precedes its invocation.
+        let min_res = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1u128 << i) == 0)
+            .filter_map(|(_, o)| o.complete)
+            .min();
+        for (i, o) in ops.iter().enumerate() {
+            if mask & (1u128 << i) != 0 {
+                continue;
+            }
+            if let Some(frontier) = min_res {
+                if o.invoke > frontier {
+                    continue; // something unscheduled must come first
+                }
+            }
+            if o.is_put {
+                stack.push((mask | (1u128 << i), i));
+            } else {
+                // A get must observe the current register value.
+                let register = if last == usize::MAX {
+                    None
+                } else {
+                    ops[last].bytes.as_ref()
+                };
+                let legal = match o.outcome {
+                    Outcome::NotFound => register.is_none(),
+                    _ => register.is_some() && register == o.bytes.as_ref(),
+                };
+                if legal {
+                    stack.push((mask | (1u128 << i), last));
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: Ipv4 = Ipv4::new(10, 0, 1, 1);
+    const C2: Ipv4 = Ipv4::new(10, 0, 1, 2);
+
+    #[expect(clippy::too_many_arguments, reason = "test constructor")]
+    fn op(
+        client: Ipv4,
+        seq: u64,
+        is_put: bool,
+        key: &str,
+        invoke: u64,
+        complete: Option<u64>,
+        bytes: Option<&str>,
+        outcome: Outcome,
+    ) -> HistoryOp {
+        HistoryOp {
+            client,
+            seq,
+            is_put,
+            key: key.to_owned(),
+            invoke: Time::from_ms(invoke),
+            complete: complete.map(Time::from_ms),
+            bytes: bytes.map(|s| s.as_bytes().to_vec()),
+            outcome,
+        }
+    }
+
+    fn put(c: Ipv4, seq: u64, k: &str, inv: u64, res: u64, v: &str) -> HistoryOp {
+        op(c, seq, true, k, inv, Some(res), Some(v), Outcome::Ok)
+    }
+
+    fn get(c: Ipv4, seq: u64, k: &str, inv: u64, res: u64, v: &str) -> HistoryOp {
+        op(c, seq, false, k, inv, Some(res), Some(v), Outcome::Ok)
+    }
+
+    fn get_nil(c: Ipv4, seq: u64, k: &str, inv: u64, res: u64) -> HistoryOp {
+        op(c, seq, false, k, inv, Some(res), None, Outcome::NotFound)
+    }
+
+    fn maybe_put(c: Ipv4, seq: u64, k: &str, inv: u64, v: &str) -> HistoryOp {
+        op(c, seq, true, k, inv, None, Some(v), Outcome::Maybe)
+    }
+
+    fn check(ops: Vec<HistoryOp>) -> Vec<Violation> {
+        let mut h = History::new();
+        for o in ops {
+            h.push(o);
+        }
+        h.check()
+    }
+
+    #[test]
+    fn sequential_register_history_linearizes() {
+        let v = check(vec![
+            get_nil(C1, 1, "k", 0, 1),
+            put(C1, 2, "k", 2, 3, "a"),
+            get(C2, 1, "k", 4, 5, "a"),
+            put(C2, 2, "k", 6, 7, "b"),
+            get(C1, 3, "k", 8, 9, "b"),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn concurrent_puts_allow_either_order() {
+        // Both puts overlap; the get sees whichever "won".
+        let v = check(vec![
+            put(C1, 1, "k", 0, 10, "a"),
+            put(C2, 1, "k", 1, 9, "b"),
+            get(C1, 2, "k", 11, 12, "a"),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn phantom_read_is_flagged() {
+        let v = check(vec![
+            put(C1, 1, "k", 0, 1, "a"),
+            get(C2, 1, "k", 2, 3, "zz"),
+        ]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::PhantomRead);
+        assert_eq!(v[0].client, C2);
+    }
+
+    #[test]
+    fn stale_nil_read_is_flagged() {
+        let v = check(vec![put(C1, 1, "k", 0, 1, "a"), get_nil(C2, 1, "k", 5, 6)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StaleRead);
+    }
+
+    #[test]
+    fn read_inversion_is_unlinearizable() {
+        // The put is still in flight when one reader already sees it and
+        // a later reader does not: new-then-old value order can never
+        // linearize, and neither pre-check catches it (the put completes
+        // after both gets).
+        let v = check(vec![
+            put(C1, 1, "k", 0, 100, "a"),
+            get(C2, 1, "k", 2, 3, "a"),
+            get_nil(C2, 2, "k", 4, 5),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::Unlinearizable);
+    }
+
+    #[test]
+    fn maybe_put_may_take_effect() {
+        // The timed-out put's value is visible: legal, it may have
+        // committed.
+        let v = check(vec![
+            put(C1, 1, "k", 0, 1, "a"),
+            maybe_put(C1, 2, "k", 2, "b"),
+            get(C2, 1, "k", 10, 11, "b"),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn maybe_put_may_also_never_take_effect() {
+        let v = check(vec![
+            put(C1, 1, "k", 0, 1, "a"),
+            maybe_put(C1, 2, "k", 2, "b"),
+            get(C2, 1, "k", 10, 11, "a"),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn value_resurrection_after_maybe_put_is_flagged() {
+        // Once "b" (the maybe put) is observed, a later read of "a" means
+        // the register went b -> a with no put of "a" in between.
+        let v = check(vec![
+            put(C1, 1, "k", 0, 1, "a"),
+            maybe_put(C1, 2, "k", 2, "b"),
+            get(C2, 1, "k", 10, 11, "b"),
+            get(C2, 2, "k", 12, 13, "a"),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::Unlinearizable);
+    }
+
+    #[test]
+    fn keys_are_independent_registers() {
+        let v = check(vec![
+            put(C1, 1, "x", 0, 1, "a"),
+            put(C1, 2, "y", 2, 3, "b"),
+            get(C2, 1, "x", 4, 5, "a"),
+            get(C2, 2, "y", 6, 7, "b"),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut h = History::new();
+        h.push(put(C2, 1, "k", 5, 6, "b"));
+        h.push(put(C1, 1, "k", 0, 1, "a"));
+        let r1 = h.render();
+        assert!(r1.find("val=a") < r1.find("val=b"), "{r1}");
+        assert_eq!(r1, h.render());
+    }
+}

@@ -26,20 +26,24 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod client;
 mod engine;
 mod error;
+mod history;
 mod store;
 mod types;
 
+pub use chaos::{AdminEvent, ChaosPlan, ChaosSpec, CrashEvent, IsolationEvent};
 pub use client::{
-    Attempt, ClientCore, ClientOp, Issue, OpRecord, ReplyAction, RetryAction, IDLE_POLL,
-    NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
+    Attempt, ClientCore, ClientOp, Issue, OpRecord, ReplyAction, RetryAction, RetryPolicy,
+    IDLE_POLL, NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 pub use engine::{
     Counters, Effect, EngineCfg, EngineRole, Group, LockResolution, ReplicationEngine, TwoPcEngine,
 };
 pub use error::KvError;
+pub use history::{History, HistoryOp, Outcome, Violation, ViolationKind, MAX_OPS_PER_KEY};
 pub use store::{Committed, LogEntry, ObjectStore, Pending, StorageCfg};
 pub use types::{
     NodeIdx, OpId, PartitionId, Timestamp, Value, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,

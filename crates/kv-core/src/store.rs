@@ -135,11 +135,14 @@ impl ObjectStore {
 
     /// Lock `key` for `op` with tentative `value` and append the log
     /// entry (+L). Fails (returns false) if locked by a *different* op.
-    /// Re-locking by the same op (a client retry) refreshes the value.
+    /// Re-locking by the same op (a client retry) refreshes the value
+    /// and the lock time — a lock is only "stale" once its client went
+    /// silent.
     pub fn lock(&mut self, key: &str, op: OpId, value: Value, now: Time) -> bool {
         match self.pending.get_mut(key) {
             Some(p) if p.op == op => {
                 p.value = value;
+                p.locked_at = now;
                 true
             }
             Some(_) => false,
@@ -193,10 +196,33 @@ impl ObjectStore {
         }
     }
 
-    /// Abort the pending put on `key` (release lock, -L).
-    pub fn abort(&mut self, key: &str, op: OpId) -> bool {
+    /// Release a pending lock whose attempt `ts` proves committed (the
+    /// synced timestamp carries the committing client + sequence). A lock
+    /// held by a *different* attempt stays: its commit or abort is still
+    /// in flight. Returns true if a lock was released.
+    pub fn release_if_committed(&mut self, key: &str, ts: Timestamp) -> bool {
         match self.pending.get(key) {
-            Some(p) if p.op == op => {
+            Some(p) if p.op.client == ts.client && p.op.client_seq == ts.client_seq => {
+                let op = p.op;
+                self.pending.remove(key);
+                self.log.retain(|e| !(e.key == key && e.op == op));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Abort the pending put on `key` (release lock, -L) — but only if
+    /// the lock predates `issued`. A retry of the same op re-locks under
+    /// the same `OpId`, so an abort from an earlier, abandoned round can
+    /// arrive late (e.g. released by a healing partition) and must not
+    /// release the lock the *new* round is counting on: the commit that
+    /// follows would find nothing to apply and an acked value would
+    /// silently vanish. Callers aborting on their own authority (their
+    /// round, their stale-lock sweep) pass `Time::MAX`.
+    pub fn abort(&mut self, key: &str, op: OpId, issued: Time) -> bool {
+        match self.pending.get(key) {
+            Some(p) if p.op == op && p.locked_at <= issued => {
                 self.pending.remove(key);
                 self.log.retain(|e| !(e.key == key && e.op == op));
                 true
@@ -352,12 +378,28 @@ mod tests {
     fn abort_releases_without_commit() {
         let mut s = ObjectStore::new(StorageCfg::default());
         s.lock("k", op(1), Value::from_bytes(vec![1]), Time::ZERO);
-        assert!(s.abort("k", op(1)));
+        assert!(s.abort("k", op(1), Time::MAX));
         assert!(!s.locked("k"));
         assert!(s.get("k").is_none());
         assert!(s.log().is_empty());
         // aborting a non-pending key is a no-op
-        assert!(!s.abort("k", op(1)));
+        assert!(!s.abort("k", op(1), Time::MAX));
+    }
+
+    #[test]
+    fn stale_abort_spares_a_relocked_attempt() {
+        let mut s = ObjectStore::new(StorageCfg::default());
+        s.lock("k", op(1), Value::from_bytes(vec![1]), Time::from_ms(100));
+        // The round is abandoned; a retry of the SAME op re-locks later.
+        s.lock("k", op(1), Value::from_bytes(vec![1]), Time::from_ms(500));
+        // The abandoned round's abort surfaces late (decided at 200ms,
+        // delivered after the re-lock): it must not release the live
+        // round's lock, or the commit that follows finds nothing.
+        assert!(!s.abort("k", op(1), Time::from_ms(200)));
+        assert!(s.locked("k"), "the retried attempt keeps its lock");
+        // An abort decided after the re-lock applies normally.
+        assert!(s.abort("k", op(1), Time::from_ms(600)));
+        assert!(!s.locked("k"));
     }
 
     #[test]

@@ -105,6 +105,7 @@ fn engine() -> TwoPcEngine {
         op_timeout: Some(Time::from_ms(500)),
         inline_commit: false,
         durable_pending: true,
+        stale_lock_ttl: None,
     })
 }
 
@@ -210,6 +211,10 @@ impl Run {
                 Effect::Commit { op, ts, .. } => {
                     let o = self.idx(op);
                     self.decision[o] = Some(Some(ts));
+                    // The coordinator applies its own commit the moment
+                    // the timestamp is minted (see `check_commit`), so
+                    // the put is on a replica store from here on.
+                    self.applied[o] = true;
                 }
                 Effect::Abort { op, .. } => {
                     let o = self.idx(op);
@@ -228,7 +233,8 @@ impl Run {
 
     /// Execute put `o`'s next step under `fault`. `strict` keeps the
     /// fault-free invariant that a fully locked put's first commit is
-    /// accepted by every replica.
+    /// accepted by every peer replica (the coordinator applies it at
+    /// decision time instead).
     fn exec(&mut self, o: usize, fault: Fault, mutation: Mutation, strict: bool) {
         let replicas = self.engines.len();
         let step = step_of(self.cursor[o], replicas);
@@ -282,7 +288,10 @@ impl Run {
                         if applied {
                             self.applied[o] = true;
                         }
-                        if strict && dup == 0 {
+                        // Replica 0 is the coordinator: it committed at
+                        // decision time, so this delivery is the loopback
+                        // re-delivery and is an idempotent no-op.
+                        if strict && dup == 0 && r != 0 {
                             assert!(
                                 applied,
                                 "replica {r} rejected the commit of a fully locked put {o}"
@@ -296,7 +305,9 @@ impl Run {
                     }
                     for _ in 0..copies {
                         let mut fx = Vec::new();
-                        self.engines[r].on_abort(KEY, op, &mut fx);
+                        // No retries in this model: the abort is always
+                        // for the round that holds the lock.
+                        self.engines[r].on_abort(KEY, op, Time::MAX, &mut fx);
                         self.pump(r, fx);
                     }
                 }
@@ -444,8 +455,12 @@ fn three_puts_one_replica_exhaustive() {
     // 9! / (3!)^3 distinct interleavings of three 3-step puts.
     let t = sweep(3, 1, usize::MAX);
     assert_eq!(t.schedules, 1680);
-    assert!(t.all_committed > 0);
-    assert!(t.aborts > 0);
+    // With a single replica the whole round runs inside the Lock step:
+    // the sole ack1 arrives synchronously, the coordinator commits at
+    // decision time and releases the lock. No put can ever observe a
+    // held lock, so every schedule commits all three puts.
+    assert_eq!(t.all_committed, t.schedules);
+    assert_eq!(t.aborts, 0);
 }
 
 #[test]
@@ -533,7 +548,7 @@ fn settle_all(run: &mut Run, acting: usize) -> Settled {
                     settled.aborts += 1;
                     for r in 0..replicas {
                         let mut fx = Vec::new();
-                        run.engines[r].on_abort(&key, op, &mut fx);
+                        run.engines[r].on_abort(&key, op, Time::MAX, &mut fx);
                     }
                 }
             }

@@ -56,9 +56,11 @@ impl DerefMut for ClientApp {
 impl ClientApp {
     /// A client that runs `ops` once, starting at `start_at`.
     pub fn new(cfg: KvConfig, ops: Vec<ClientOp>, start_at: Time) -> ClientApp {
+        let mut core = ClientCore::new(ops, cfg.client_retry, start_at);
+        core.retry = cfg.retry_policy();
         ClientApp {
             tp: Transport::new(cfg.port),
-            core: ClientCore::new(ops, cfg.client_retry, start_at),
+            core,
             cfg,
             quorum_token: None,
         }
@@ -124,7 +126,10 @@ impl ClientApp {
                     .rudp_send(ctx, vnode, self.cfg.port, Msg::new(msg, size));
             }
         }
-        ctx.set_timer(self.core.retry, TOK_RETRY_BASE | seq);
+        ctx.set_timer(
+            self.core.retry_delay(at.id, at.attempts),
+            TOK_RETRY_BASE | seq,
+        );
     }
 
     fn on_retry_timer(&mut self, seq: u64, ctx: &mut Ctx) {

@@ -1,8 +1,22 @@
 //! System-wide configuration shared by clients, storage nodes, and the
 //! metadata service.
 
+use kv_core::RetryPolicy;
 use nice_ring::VRing;
 use nice_sim::{Ipv4, Time};
+
+/// Optional exponential-backoff upgrade for the client retry schedule.
+/// `None` keeps the paper's fixed period (§6.6), which is what fig11
+/// plots; the chaos harness switches it on to decorrelate retry storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBackoff {
+    /// Upper bound any single delay is clamped to.
+    pub cap: Time,
+    /// Jitter strength in percent (see [`RetryPolicy::jitter_pct`]).
+    pub jitter_pct: u32,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
 
 /// How puts replicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +55,14 @@ pub struct KvConfig {
     /// Client retry delay ("the client will retry after waiting for 2
     /// seconds", §6.6).
     pub client_retry: Time,
+    /// Exponential backoff + jitter on top of `client_retry`; `None`
+    /// (the default) keeps the fixed §6.6 period.
+    pub retry_backoff: Option<RetryBackoff>,
+    /// **Checker-validation fault, never enable outside tests**: break
+    /// the §3.3 get-ring-hiding rule by letting rejoining (not yet
+    /// caught-up) replicas serve gets. The chaos suite's mutation test
+    /// flips this on and asserts the linearizability checker notices.
+    pub break_rejoin_get_hiding: bool,
     /// Replication mode.
     pub put_mode: PutMode,
     /// Whether the in-network get load balancer (§4.5) is enabled.
@@ -66,10 +88,27 @@ impl KvConfig {
             hb_interval: Time::from_ms(500),
             op_timeout: Time::from_ms(500),
             client_retry: Time::from_secs(2),
+            retry_backoff: None,
+            break_rejoin_get_hiding: false,
             put_mode: PutMode::TwoPc,
             load_balancing: true,
             adaptive_lb: false,
             client_space: (Ipv4::new(10, 0, 1, 0), 24),
+        }
+    }
+
+    /// The client retry schedule this config describes: the fixed §6.6
+    /// period, or exponential backoff when `retry_backoff` is set.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        match self.retry_backoff {
+            None => RetryPolicy::fixed(self.client_retry),
+            Some(b) => RetryPolicy {
+                base: self.client_retry,
+                cap: b.cap,
+                exponential: true,
+                jitter_pct: b.jitter_pct,
+                seed: b.seed,
+            },
         }
     }
 }
@@ -88,5 +127,24 @@ mod tests {
         // three missed heartbeats must be under the client retry period,
         // or Figure 11's <2 s re-availability window cannot hold.
         assert!(c.hb_interval * 3 < c.client_retry);
+        // the chaos knobs must default off so fig11 keeps the paper's
+        // fixed-period retries and the §3.3 rule stays intact.
+        assert_eq!(c.retry_backoff, None);
+        assert!(!c.break_rejoin_get_hiding);
+        assert_eq!(c.retry_policy(), RetryPolicy::fixed(c.client_retry));
+    }
+
+    #[test]
+    fn backoff_knob_switches_the_policy() {
+        let mut c = KvConfig::new(16, 3);
+        c.retry_backoff = Some(RetryBackoff {
+            cap: Time::from_secs(8),
+            jitter_pct: 30,
+            seed: 5,
+        });
+        let p = c.retry_policy();
+        assert!(p.exponential);
+        assert_eq!(p.base, c.client_retry);
+        assert_eq!(p.cap, Time::from_secs(8));
     }
 }

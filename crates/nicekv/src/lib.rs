@@ -34,7 +34,7 @@ pub mod server;
 
 pub use client::{ClientApp, ClientOp, OpRecord};
 pub use cluster::{ClusterBuilder, ClusterCfg, NiceCluster};
-pub use config::{KvConfig, PutMode};
+pub use config::{KvConfig, PutMode, RetryBackoff};
 pub use kv_core::{Counters, KvError, ObjectStore, StorageCfg};
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};
 pub use msg::{HandoffRecord, NodeState};

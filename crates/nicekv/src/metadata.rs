@@ -13,7 +13,7 @@
 //! (§4.1 "This membership maintenance design is scalable").
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowTable, GroupBucket, GroupId, L3Learner};
@@ -119,6 +119,14 @@ pub struct MetadataApp {
     /// Administrator commands queued by the harness; processed at the
     /// next heartbeat tick (§4.4 "Ring Re-Configuration").
     pending_admin: Vec<AdminOp>,
+    /// Members removed from a partition by an admin reconfiguration
+    /// while the incoming replicas were still draining. They may hold
+    /// the only consistent copies, so their garbage collection is
+    /// deferred: once the view's `syncing` set empties, the view is
+    /// re-pushed to them and they drop their objects. (Not replicated
+    /// to the hot standby — losing it on failover leaks invisible
+    /// stale copies on ex-members, which is harmless.)
+    admin_gc: BTreeMap<PartitionId, Vec<NodeIdx>>,
     /// Observed get load per (partition, client /26 bucket), decayed on
     /// every rebalance.
     range_load: BTreeMap<(PartitionId, Ipv4), u64>,
@@ -129,6 +137,18 @@ pub struct MetadataApp {
     rebalance_in: u32,
     /// Role of this instance (active, or hot standby of another).
     role: MetaRole,
+    /// Set when this instance promoted itself: keep announcing the
+    /// takeover to `Down` nodes, which may restart at any time still
+    /// pointing their reports at the dead active.
+    took_over: bool,
+    /// Failure accusations not yet acted on: suspect → distinct
+    /// reporters. A node is only declared failed once two independent
+    /// witnesses accuse it (or its heartbeats stop); a lone accuser may
+    /// itself be the partitioned party, and acting on its stale
+    /// suspicion deposes healthy primaries and feeds a
+    /// failure→churn→failure loop. A fresh heartbeat from the suspect
+    /// clears its accusations.
+    suspicions: BTreeMap<NodeIdx, BTreeSet<NodeIdx>>,
     /// Address of our standby, if we run one (active side).
     standby: Option<Ipv4>,
     /// Sync messages missed (standby side).
@@ -188,8 +208,11 @@ impl MetadataApp {
             pending_admin: Vec::new(),
             range_load: BTreeMap::new(),
             lb_overrides: BTreeMap::new(),
+            admin_gc: BTreeMap::new(),
             rebalance_in: REBALANCE_EVERY,
             role: MetaRole::Active,
+            took_over: false,
+            suspicions: BTreeMap::new(),
             standby: None,
             missed_syncs: 0,
             internal_errors: 0,
@@ -267,7 +290,14 @@ impl MetadataApp {
     }
 
     fn is_get_eligible(&self, n: NodeIdx) -> bool {
-        self.nodes[n.0 as usize].state == NodeState::Up
+        let state = self.nodes[n.0 as usize].state;
+        // The deliberate §3.3 mutation (chaos-suite checker validation
+        // only): rejoining replicas serve gets before catch-up finishes,
+        // exposing stale/absent reads the checker must flag.
+        if self.cfg.break_rejoin_get_hiding && state == NodeState::Rejoining {
+            return true;
+        }
+        state == NodeState::Up
     }
 
     // -----------------------------------------------------------------
@@ -281,12 +311,23 @@ impl MetadataApp {
             return;
         };
         // Get-eligible targets: live members only (failure hiding +
-        // rejoining nodes stay invisible to gets).
+        // rejoining nodes stay invisible to gets). Handoffs additionally
+        // need a live original primary to forward their misses to — a
+        // handoff-only replica set lacks the pre-failure data, so it must
+        // stay hidden from the get ring entirely (§3.3: better
+        // unavailable than inconsistent).
+        let primary_can_sink_misses = view.members.iter().any(|&(m, _)| m == view.primary)
+            && !view.handoffs.contains(&view.primary)
+            && self.nodes[view.primary.0 as usize].state == NodeState::Up;
         let get_targets: Vec<(NodeIdx, Ipv4)> = view
             .members
             .iter()
             .copied()
-            .filter(|&(n, _)| self.is_get_eligible(n) && !view.syncing.contains(&n))
+            .filter(|&(n, _)| {
+                self.is_get_eligible(n)
+                    && !view.syncing.contains(&n)
+                    && (primary_can_sink_misses || !view.handoffs.contains(&n))
+            })
             .collect();
         // Primary target for the base unicast rule (fall back to any
         // get-eligible member if the primary is not eligible).
@@ -428,6 +469,7 @@ impl MetadataApp {
             return;
         }
         self.nodes[n.0 as usize].state = NodeState::Down;
+        self.suspicions.remove(&n);
         self.events.push((ctx.now(), MetaEvent::NodeFailed(n)));
         let affected: Vec<PartitionId> = self
             .views
@@ -526,6 +568,12 @@ impl MetadataApp {
                     },
                 ));
             }
+            // The handoff push above may have revived an otherwise-empty
+            // replica set whose recorded primary is dead: restore the
+            // primary-is-a-member invariant before publishing the view.
+            if new_primary.is_none() {
+                new_primary = self.fix_primary(p, &mut view, ctx.now());
+            }
             self.views.insert(p, view);
             let now = ctx.now();
             self.install_partition(p, now);
@@ -569,16 +617,49 @@ impl MetadataApp {
         Some(new_primary)
     }
 
+    /// The drain source for `n`'s rejoin on partition `p`: always the
+    /// partition primary. The primary participates in every put round for
+    /// the partition, so it holds all committed data — and, crucially, it
+    /// coordinates those rounds, so it can order the drain snapshot
+    /// *after* any round whose replica group predates `n`'s re-entry
+    /// (see `ServerApp::serve_fetch`). A handoff could serve the data it
+    /// holds but cannot see rounds still in flight at the coordinator,
+    /// which is exactly the window that produced stale post-recovery
+    /// gets under the chaos harness.
+    fn rejoin_source(&self, p: PartitionId, n: NodeIdx) -> Option<Ipv4> {
+        self.views.get(&p).and_then(|view| {
+            let pr = view.primary;
+            (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down).then(|| self.addr(pr))
+        })
+    }
+
+    /// (Re)send the rejoin plan for `n` from the current views/handoffs.
+    fn send_rejoin_plan(&mut self, n: NodeIdx, ctx: &mut Ctx) {
+        let sources: Vec<(PartitionId, Option<Ipv4>)> = self
+            .ring
+            .partitions_of(n)
+            .into_iter()
+            .map(|p| (p, self.rejoin_source(p, n)))
+            .collect();
+        let dst = self.addr(n);
+        let msg = KvMsg::RejoinPlan { sources };
+        self.tp
+            .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+    }
+
     /// A failed node asks to rejoin: phase 1 of §4.4 recovery — put ring
     /// only, plus a plan of handoff nodes to drain.
     fn rejoin(&mut self, n: NodeIdx, ctx: &mut Ctx) {
         if self.nodes[n.0 as usize].state == NodeState::Rejoining {
+            // A duplicate request — the original plan was lost (e.g. the
+            // node re-reported after learning of a metadata failover).
+            // The views already list the node; just resend the plan.
+            self.send_rejoin_plan(n, ctx);
             return;
         }
         self.nodes[n.0 as usize].state = NodeState::Rejoining;
         self.nodes[n.0 as usize].last_hb = ctx.now();
         self.events.push((ctx.now(), MetaEvent::NodeRejoining(n)));
-        let mut sources: Vec<(PartitionId, Option<Ipv4>)> = Vec::new();
         let parts = self.ring.partitions_of(n);
         for p in parts {
             let Some(mut view) = self.views.get(&p).cloned() else {
@@ -592,25 +673,6 @@ impl MetadataApp {
             // be dead: restore the invariant now that a member exists.
             let promoted = self.fix_primary(p, &mut view, ctx.now());
             self.views.insert(p, view);
-            let handoff_ip = self
-                .handoffs
-                .get(&p)
-                .and_then(|hs| hs.iter().find(|&&(f, _, _)| f == n))
-                .filter(|&&(_, h, complete)| {
-                    complete && self.nodes[h.0 as usize].state != NodeState::Down
-                })
-                .map(|&(_, h, _)| self.addr(h));
-            // No live *complete* handoff? Anything may have been written
-            // while we were gone — drain the full range from the primary
-            // (correct even when the handoff chain was broken).
-            let source_ip = handoff_ip.or_else(|| {
-                self.views.get(&p).and_then(|view| {
-                    let pr = view.primary;
-                    (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down)
-                        .then(|| self.addr(pr))
-                })
-            });
-            sources.push((p, source_ip));
             let now = ctx.now();
             self.install_partition(p, now); // updates the multicast group
             self.push_view(p, &[], ctx);
@@ -621,10 +683,7 @@ impl MetadataApp {
                     .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
             }
         }
-        let dst = self.addr(n);
-        let msg = KvMsg::RejoinPlan { sources };
-        self.tp
-            .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES + 64));
+        self.send_rejoin_plan(n, ctx);
     }
 
     /// Admin reconfiguration: apply a queued add/remove (§4.4 "Ring
@@ -665,18 +724,30 @@ impl MetadataApp {
                 handoffs: Vec::new(),
                 syncing: Vec::new(),
             };
+            // A surviving member that was still draining keeps its
+            // syncing status: back-to-back reconfigurations must not
+            // promote an inconsistent replica to get-visibility.
+            for &m in &new_set {
+                if old.syncing.contains(&m) {
+                    view.syncing.push(m);
+                }
+            }
             // Fresh members must drain their hash range before becoming
-            // get-visible. They fetch from a *surviving* old member
-            // (preferring the old primary) — a node leaving the ring may
-            // garbage-collect its partitions at any moment.
+            // get-visible. They fetch from a *consistent* old member —
+            // preferring survivors (and among them the old primary), but
+            // a still-syncing survivor holds an incomplete snapshot, so
+            // fall back to a consistent leaver: its garbage collection
+            // is deferred (`admin_gc`) precisely so it can serve here.
             let survives = |m: NodeIdx| new_set.contains(&m);
-            let source = if survives(old.primary) {
+            let consistent = |m: NodeIdx| !old.syncing.contains(&m);
+            let source = if survives(old.primary) && consistent(old.primary) {
                 old.primary
             } else {
                 old.members
                     .iter()
                     .map(|&(m, _)| m)
-                    .find(|&m| survives(m))
+                    .find(|&m| survives(m) && consistent(m))
+                    .or_else(|| old.members.iter().map(|&(m, _)| m).find(|&m| consistent(m)))
                     .unwrap_or(old.primary)
             };
             let source_ip = self.addr(source);
@@ -687,7 +758,7 @@ impl MetadataApp {
                     plans.entry(m).or_default().push((p, Some(source_ip)));
                 }
             }
-            if view.primary != old.primary {
+            let promoted = if view.primary != old.primary {
                 self.events.push((
                     ctx.now(),
                     MetaEvent::PrimaryChanged {
@@ -695,13 +766,55 @@ impl MetadataApp {
                         new_primary: view.primary,
                     },
                 ));
-            }
+                Some(view.primary)
+            } else {
+                None
+            };
+            let sync_pending = !view.syncing.is_empty();
             self.views.insert(p, view);
             let now = ctx.now();
             self.install_partition(p, now);
-            // inform current and former members
-            let formers: Vec<NodeIdx> = old.members.iter().map(|&(m, _)| m).collect();
-            self.push_view(p, &formers, ctx);
+            // Inform current and former members. Leavers only drop their
+            // objects once the view they receive has an empty syncing
+            // set (they may hold the only consistent copies until the
+            // incoming replicas drain); remember who still has to be
+            // re-notified when that happens.
+            let leavers: Vec<NodeIdx> = old
+                .members
+                .iter()
+                .map(|&(m, _)| m)
+                .filter(|m| !new_set.contains(m))
+                .collect();
+            let mut notify = leavers.clone();
+            if sync_pending {
+                let gc = self.admin_gc.entry(p).or_default();
+                for &m in &leavers {
+                    if !gc.contains(&m) {
+                        gc.push(m);
+                    }
+                }
+                // A node re-added by this reconfiguration is a member
+                // again and must keep (and re-drain) its data.
+                gc.retain(|m| !new_set.contains(m));
+            } else if let Some(gc) = self.admin_gc.remove(&p) {
+                for m in gc {
+                    if !notify.contains(&m) {
+                        notify.push(m);
+                    }
+                }
+            }
+            self.push_view(p, &notify, ctx);
+            // A reconfiguration that moves the primary must run §4.4 lock
+            // resolution like any other takeover: it settles orphaned
+            // locks AND floors the new primary's commit-sequence counter
+            // (via the members' max_seq reports) so it never mints
+            // timestamps an already-committed object would outrank.
+            if let Some(np) = promoted {
+                let dst = self.addr(np);
+                let msg = KvMsg::BecomePrimary { partition: p };
+                self.tp
+                    .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            }
         }
         for (n, sources) in plans {
             let dst = self.addr(n);
@@ -729,10 +842,19 @@ impl MetadataApp {
                     continue;
                 };
                 view.syncing.retain(|&m| m != n);
+                let safe = view.syncing.is_empty();
                 self.views.insert(p, view);
                 let now = ctx.now();
                 self.install_partition(p, now);
-                self.push_view(p, &[], ctx);
+                // Every incoming replica has drained: re-notify the
+                // leavers whose garbage collection was deferred so they
+                // finally drop their (now redundant) copies.
+                let formers = if safe {
+                    self.admin_gc.remove(&p).unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                self.push_view(p, &formers, ctx);
             }
             self.events.push((ctx.now(), MetaEvent::NodeRecovered(n)));
             return;
@@ -763,15 +885,27 @@ impl MetadataApp {
                 continue;
             };
             view.members.retain(|&(m, _)| !retired.contains(&m));
+            // A crash-rejoin drains the node's full hash ranges, which
+            // also completes any admin-reconfiguration sync it owed.
+            view.syncing.retain(|&m| m != n);
             view.handoffs = self
                 .handoffs
                 .get(&p)
                 .map(|hs| hs.iter().map(|&(_, h, _)| h).collect())
                 .unwrap_or_default();
+            // A retired handoff may have been the acting primary (the
+            // whole original set had died): hand the role back.
+            let promoted = self.fix_primary(p, &mut view, ctx.now());
             self.views.insert(p, view);
             let now = ctx.now();
             self.install_partition(p, now);
             self.push_view(p, &retired, ctx);
+            if let Some(np) = promoted {
+                let dst = self.addr(np);
+                let msg = KvMsg::BecomePrimary { partition: p };
+                self.tp
+                    .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            }
         }
     }
 
@@ -786,8 +920,33 @@ impl MetadataApp {
             ctx.set_timer(self.cfg.hb_interval, TOK_HBCHECK);
             return;
         }
-        for op in std::mem::take(&mut self.pending_admin) {
-            self.apply_admin(op, ctx);
+        // Ring reconfiguration recomputes replica sets from the raw ring,
+        // which assumes every listed node can actually sync and serve.
+        // Applying it mid-failure would resurrect Down members into put
+        // groups and orphan handoff chains — hold the queue until the
+        // membership is stable (§4.4 reconfiguration is an administrative
+        // action; deferring it under failures is the safe order).
+        if self.nodes.iter().all(|info| info.state == NodeState::Up) {
+            for op in std::mem::take(&mut self.pending_admin) {
+                self.apply_admin(op, ctx);
+            }
+        }
+        // After a takeover, down nodes still point their reports at the
+        // dead active; re-announce until they come back and hear us
+        // (their restart-time RejoinRequest goes to a black hole
+        // otherwise, and they would never re-enter the ring).
+        if self.took_over {
+            let down: Vec<Ipv4> = self
+                .nodes
+                .iter()
+                .filter(|info| info.state == NodeState::Down)
+                .map(|info| info.ip)
+                .collect();
+            for dst in down {
+                let msg = KvMsg::MetaFailover { new_meta: ctx.ip() };
+                self.tp
+                    .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
+            }
         }
         let now = ctx.now();
         let dead: Vec<NodeIdx> = self
@@ -822,6 +981,7 @@ impl MetadataApp {
                     .enumerate()
                     .map(|(i, info)| (NodeIdx(i as u32), info.state))
                     .collect(),
+                ring_nodes: self.ring.nodes().to_vec(),
             };
             let size = CTRL_MSG_BYTES + 48 * self.views.len() as u32;
             self.tp
@@ -834,6 +994,7 @@ impl MetadataApp {
     /// every rule (idempotent), and redirect node reporting to us.
     fn promote(&mut self, ctx: &mut Ctx) {
         self.role = MetaRole::Active;
+        self.took_over = true;
         self.events.push((ctx.now(), MetaEvent::Promoted));
         let now = ctx.now();
         // Avoid a mass false-failure storm: the replicated last_hb values
@@ -916,6 +1077,7 @@ impl MetadataApp {
             views,
             handoffs,
             states,
+            ring_nodes,
         } = msg
         {
             // Standby side: adopt the active's state wholesale.
@@ -927,6 +1089,17 @@ impl MetadataApp {
                     info.state = st;
                 }
             }
+            // Converge the local ring on the active's membership
+            // (consistent hashing is a pure function of the node set, so
+            // both instances end up with identical assignments).
+            let want: BTreeSet<NodeIdx> = ring_nodes.iter().copied().collect();
+            let have: BTreeSet<NodeIdx> = self.ring.nodes().iter().copied().collect();
+            for &n in want.difference(&have) {
+                self.ring.add_node(n);
+            }
+            for &n in have.difference(&want) {
+                self.ring.remove_node(n);
+            }
             return;
         }
         if let MetaRole::Standby { .. } = self.role {
@@ -936,6 +1109,7 @@ impl MetadataApp {
             KvMsg::Heartbeat { node, stats } => {
                 let info = &mut self.nodes[node.0 as usize];
                 info.last_hb = ctx.now();
+                let was_down = info.state == NodeState::Down;
                 let agg = self.load.entry(*node).or_default();
                 agg.gets += stats.gets;
                 agg.puts += stats.puts;
@@ -943,8 +1117,29 @@ impl MetadataApp {
                 for &(p, bucket, n) in &stats.gets_by_range {
                     *self.range_load.entry((p, bucket)).or_insert(0) += n;
                 }
+                // A heartbeat from a `Down` node means the declaration was
+                // wrong (e.g. a partitioned peer's failure reports) or the
+                // node restarted and its rejoin request was lost. Either
+                // way §4.4 applies: put it through the two-phase rejoin
+                // rather than leaving a live node exiled forever.
+                if was_down {
+                    self.rejoin(*node, ctx);
+                } else {
+                    // The node is demonstrably alive: drop any pending
+                    // accusations against it.
+                    self.suspicions.remove(node);
+                }
             }
-            KvMsg::FailureReport { suspect, .. } => self.fail_node(*suspect, ctx),
+            KvMsg::FailureReport { suspect, from } => {
+                let witnesses = self.suspicions.entry(*suspect).or_default();
+                witnesses.insert(*from);
+                // With fewer than three nodes a second witness cannot
+                // exist; otherwise insist on one.
+                let quorum = if self.nodes.len() < 3 { 1 } else { 2 };
+                if witnesses.len() >= quorum {
+                    self.fail_node(*suspect, ctx);
+                }
+            }
             KvMsg::RejoinRequest { node } => self.rejoin(*node, ctx),
             KvMsg::RecoveryDone { node } => self.recovered(*node, ctx),
             _ => {}

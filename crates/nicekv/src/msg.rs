@@ -5,7 +5,7 @@
 //! appear in the wire format.
 
 use nice_ring::{NodeIdx, PartitionId};
-use nice_sim::Ipv4;
+use nice_sim::{Ipv4, Time};
 
 pub use kv_core::{OpId, Timestamp, Value};
 
@@ -101,6 +101,10 @@ pub enum KvMsg {
         key: String,
         /// The attempt being aborted.
         op: OpId,
+        /// When the abort was decided: a replica whose lock for `op` is
+        /// newer (a client retry re-locked it) drops the abort — it
+        /// belongs to the abandoned earlier round.
+        issued: Time,
     },
 
     // -------------------- membership & fault tolerance ------------------
@@ -179,6 +183,12 @@ pub enum KvMsg {
         handoffs: Vec<(PartitionId, Vec<HandoffRecord>)>,
         /// Node liveness.
         states: Vec<(NodeIdx, NodeState)>,
+        /// Current hash-ring membership. Admin reconfigurations mutate
+        /// the ring, and a promoted standby computes `partitions_of` /
+        /// `replica_set` from *its* ring — without this the two rings
+        /// diverge after a failover and rejoins re-add nodes to the
+        /// wrong partitions.
+        ring_nodes: Vec<NodeIdx>,
     },
     /// Promoted standby → everyone: report to me from now on.
     MetaFailover {
@@ -191,6 +201,14 @@ pub enum KvMsg {
     /// partition; run lock resolution.
     BecomePrimary {
         /// Partition being taken over.
+        partition: PartitionId,
+    },
+    /// Secondary → primary: a prepared object's lock went stale (its
+    /// commit or abort never arrived, e.g. the node left the multicast
+    /// group mid-round) — please re-run lock resolution for the
+    /// partition so the orphan is settled one way or the other.
+    ResolveRequest {
+        /// Partition holding the stale lock.
         partition: PartitionId,
     },
     /// New primary → secondaries: report your locked objects.

@@ -38,6 +38,7 @@ use crate::msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
 
 const TOK_HEARTBEAT: u64 = 1;
 const TOK_SWEEP: u64 = 2;
+const TOK_REJOIN_RETRY: u64 = 3;
 const TOK_CONT_BASE: u64 = 1000;
 
 /// Deferred work resumed by a timer (storage-write completions and
@@ -50,6 +51,15 @@ enum Cont {
     /// A received message cleared the CPU queue: process it now. This is
     /// how request processing time becomes part of response latency.
     Process { msg: Box<KvMsg>, src: Ipv4 },
+    /// A recovery drain waiting for its gate: the fetcher must be in our
+    /// view and the put rounds that predate it must retire first.
+    FetchGate {
+        partition: PartitionId,
+        from: NodeIdx,
+        src: Ipv4,
+        barrier: Option<Vec<(String, OpId)>>,
+        tries: u32,
+    },
 }
 
 /// The storage-node application.
@@ -63,6 +73,10 @@ pub struct ServerApp {
     conts: BTreeMap<u64, Cont>,
     next_cont: u64,
     resolves: BTreeMap<PartitionId, LockResolution>,
+    /// When each in-flight resolution started: one whose queried member
+    /// died mid-protocol never completes, so the stale-lock sweep
+    /// restarts it against the current membership.
+    resolve_started: BTreeMap<PartitionId, Time>,
     /// Outstanding rejoin syncs: partitions we still owe a handoff fetch.
     rejoin_pending: BTreeSet<PartitionId>,
     rejoining: bool,
@@ -83,6 +97,9 @@ impl ServerApp {
                 op_timeout: Some(cfg.op_timeout),
                 inline_commit: false,
                 durable_pending: true,
+                // No TTL: the §4.4 deadline machinery plus the stale-lock
+                // sweep clean up orphaned locks.
+                stale_lock_ttl: None,
             }),
             cfg,
             node,
@@ -91,6 +108,7 @@ impl ServerApp {
             conts: BTreeMap::new(),
             next_cont: TOK_CONT_BASE,
             resolves: BTreeMap::new(),
+            resolve_started: BTreeMap::new(),
             rejoin_pending: BTreeSet::new(),
             rejoining: false,
             stats: LoadStats::default(),
@@ -106,6 +124,15 @@ impl ServerApp {
     /// The local object store (inspection).
     pub fn store(&self) -> &ObjectStore {
         self.engine.store()
+    }
+
+    /// Rejoin progress (inspection): are we mid-drain, and which
+    /// partitions still owe us handoff data.
+    pub fn rejoin_state(&self) -> (bool, Vec<PartitionId>) {
+        (
+            self.rejoining,
+            self.rejoin_pending.iter().copied().collect(),
+        )
     }
 
     /// Observable counters.
@@ -242,12 +269,12 @@ impl ServerApp {
                         );
                     }
                 }
-                Effect::Abort { key, op } => {
+                Effect::Abort { key, op, issued } => {
                     let p = self.partition_of(&key);
                     if let Some(view) = self.views.get(&p) {
                         let n = view.len();
                         let group = self.cfg.multicast.vnode_for_key(p, key.as_bytes());
-                        let msg = KvMsg::Abort { key, op };
+                        let msg = KvMsg::Abort { key, op, issued };
                         self.tp.mcast_send(
                             ctx,
                             group,
@@ -296,6 +323,24 @@ impl ServerApp {
             // Device model advanced; no protocol round.
             self.engine.apply_copy(&key, value, ts, ctx.now());
             self.stats.puts += 1;
+            return;
+        }
+        if self.engine.op_settled(op) {
+            // The attempt already committed here (its reply was lost, or
+            // the round expired between commit and the last ack2): the
+            // primary answers directly; everyone else drops the stale
+            // multicast. Re-preparing would re-commit the old value under
+            // a new, higher timestamp — resurrecting it over later writes.
+            if self.my_role(&view) == Some(Role::Primary) {
+                self.apply_effects(
+                    vec![Effect::Reply {
+                        client: op.client,
+                        op,
+                        ok: true,
+                    }],
+                    ctx,
+                );
+            }
             return;
         }
         let mut fx = Vec::new();
@@ -507,7 +552,15 @@ impl ServerApp {
             } else {
                 // Removed from the partition: if we were the handoff, drop
                 // the objects we temporarily held (drained by the owner).
+                // While the view still has syncing members we may hold the
+                // only consistent copies (admin reconfiguration replaced
+                // us before the incoming replicas drained) — keep them;
+                // the metadata service re-sends the view once the
+                // partition is consistent without us.
                 self.views.remove(&p);
+                if !view.syncing.is_empty() {
+                    continue;
+                }
                 let gone: Vec<String> = self
                     .engine
                     .store()
@@ -540,17 +593,123 @@ impl ServerApp {
                 );
             }
         }
+        // A drain source can die (or lose our fetch) before answering,
+        // which would wedge us in the rejoining state — and the whole
+        // partition with us — forever. Re-request a fresh plan from the
+        // metadata service until every pending partition drains; the
+        // plan is recomputed there, so a replacement source is picked up
+        // automatically.
+        ctx.set_timer(self.cfg.op_timeout * 8, TOK_REJOIN_RETRY);
         self.maybe_recovery_done(ctx);
+    }
+
+    fn rejoin_retry(&mut self, ctx: &mut Ctx) {
+        if !self.rejoining || self.rejoin_pending.is_empty() {
+            return;
+        }
+        let node = self.node;
+        self.send_kv(
+            ctx,
+            self.meta,
+            KvMsg::RejoinRequest { node },
+            CTRL_MSG_BYTES,
+        );
+        ctx.set_timer(self.cfg.op_timeout * 8, TOK_REJOIN_RETRY);
     }
 
     fn on_handoff_fetch(
         &mut self,
         partition: PartitionId,
-        _from: NodeIdx,
+        from: NodeIdx,
         src: Ipv4,
         ctx: &mut Ctx,
     ) {
+        self.serve_fetch(partition, from, src, None, 0, ctx);
+    }
+
+    /// Answer a recovery drain — but only once it is safe. The snapshot
+    /// races with put rounds whose replica group was fixed before the
+    /// fetcher joined the view: such a round can commit *after* we
+    /// snapshot yet never reach the fetcher, which would then serve
+    /// stale gets once recovered. Gate the response on (a) the fetcher
+    /// appearing in our view (every later round includes it) and (b) the
+    /// rounds in flight at that moment having retired. The gate is
+    /// bounded: a wedged round is settled by its own deadline long before
+    /// the retry budget runs out, and on exhaustion we answer anyway
+    /// (liveness over a theoretical straggler).
+    fn serve_fetch(
+        &mut self,
+        partition: PartitionId,
+        from: NodeIdx,
+        src: Ipv4,
+        barrier: Option<Vec<(String, OpId)>>,
+        tries: u32,
+        ctx: &mut Ctx,
+    ) {
+        const FETCH_GATE_TRIES: u32 = 64;
         let bits = self.cfg.partitions.trailing_zeros();
+        let retry_in = self.cfg.op_timeout / 8;
+        // We are ourselves mid-drain: answering now would propagate an
+        // incomplete snapshot (e.g. chained admin reconfigurations where
+        // the freshest member is named as the next sync source). Hold
+        // the reply until we are consistent.
+        if self.rejoining && tries < FETCH_GATE_TRIES {
+            self.defer(
+                ctx,
+                ctx.now() + retry_in,
+                Cont::FetchGate {
+                    partition,
+                    from,
+                    src,
+                    barrier: None,
+                    tries: tries + 1,
+                },
+            );
+            return;
+        }
+        // Gate (a) is vacuous when we no longer hold a view: we left the
+        // partition (deferred-GC sync source), so no new put round can
+        // reach us anyway — only the in-flight barrier below matters.
+        let in_view = self
+            .views
+            .get(&partition)
+            .is_none_or(|v| v.members.iter().any(|&(n, _)| n == from));
+        if !in_view && tries < FETCH_GATE_TRIES {
+            self.defer(
+                ctx,
+                ctx.now() + retry_in,
+                Cont::FetchGate {
+                    partition,
+                    from,
+                    src,
+                    barrier: None,
+                    tries: tries + 1,
+                },
+            );
+            return;
+        }
+        let barrier = barrier.unwrap_or_else(|| {
+            self.engine
+                .in_flight(&|k| PartitionId((hash_str(k) >> (64 - bits)) as u32) == partition)
+        });
+        let live: Vec<(String, OpId)> = barrier
+            .into_iter()
+            .filter(|(k, op)| self.engine.coord_live(k, *op))
+            .collect();
+        if !live.is_empty() && tries < FETCH_GATE_TRIES {
+            self.defer(
+                ctx,
+                ctx.now() + retry_in,
+                Cont::FetchGate {
+                    partition,
+                    from,
+                    src,
+                    barrier: Some(live),
+                    tries: tries + 1,
+                },
+            );
+            return;
+        }
         let objects: Vec<(String, Value, Timestamp)> = self
             .engine
             .store()
@@ -589,6 +748,7 @@ impl ServerApp {
         let Some(view) = self.views.get(&partition).cloned() else {
             return;
         };
+        self.resolve_started.insert(partition, ctx.now());
         let others: BTreeSet<NodeIdx> = view
             .members
             .iter()
@@ -653,6 +813,14 @@ impl ServerApp {
     /// primary will commit and unlock the object. If an object is locked
     /// on all secondary nodes, then the new primary will abort."
     fn finish_resolution(&mut self, partition: PartitionId, ctx: &mut Ctx) {
+        // Date resolution aborts at the moment the lock reports were
+        // requested: a lock re-taken by a client retry *after* that is
+        // part of a live round this resolution never saw, and must not
+        // be torn down by its verdict.
+        let started = self
+            .resolve_started
+            .remove(&partition)
+            .unwrap_or_else(|| ctx.now());
         let Some(res) = self.resolves.remove(&partition) else {
             return;
         };
@@ -663,13 +831,27 @@ impl ServerApp {
         };
         let members = view.len();
         for (key, op, committed_ts) in verdicts {
+            // §4.4's abort rule presumes the coordinator died. When *we*
+            // are still coordinating this round (a primary resolving its
+            // own partition after secondaries' ResolveRequests queued up
+            // behind a healed link), the round is in flight — leave it to
+            // commit or deadline-abort on its own. A coordinator record
+            // lives at most ~2x op_timeout, so a genuinely wedged lock is
+            // settled by the next sweep once the record is gone.
+            if committed_ts.is_none() && self.engine.coord_live(&key, op) {
+                continue;
+            }
             let group = self.cfg.multicast.vnode_for_key(partition, key.as_bytes());
             let msg = match committed_ts {
                 // Committed somewhere: the old primary had decided to
                 // commit; finish the job everywhere.
                 Some(ts) => KvMsg::Commit { key, op, ts },
                 // Locked everywhere, committed nowhere: abort.
-                None => KvMsg::Abort { key, op },
+                None => KvMsg::Abort {
+                    key,
+                    op,
+                    issued: started,
+                },
             };
             self.tp.mcast_send(
                 ctx,
@@ -702,20 +884,45 @@ impl ServerApp {
         let now = ctx.now();
         let threshold = self.cfg.op_timeout * 2;
         let bits = self.cfg.partitions.trailing_zeros();
-        let mut suspects: Vec<NodeIdx> = Vec::new();
+        let mut stale: BTreeSet<PartitionId> = BTreeSet::new();
         for (k, pd) in self.engine.store().pending_iter() {
             if now.saturating_sub(pd.locked_at) < threshold {
                 continue;
             }
-            let p = PartitionId((hash_str(k) >> (64 - bits)) as u32);
-            if let Some(view) = self.views.get(&p) {
-                if view.primary != self.node {
-                    suspects.push(view.primary);
-                }
-            }
+            stale.insert(PartitionId((hash_str(k) >> (64 - bits)) as u32));
         }
-        for s in suspects {
-            self.report_failure(s, ctx);
+        // Ask the partition primary to settle the orphan via §4.4 lock
+        // resolution rather than declaring it failed: the lock usually
+        // outlived its round because *this* node missed the commit or
+        // abort (it left the multicast group mid-round), and a healthy
+        // primary must not be deposed over it. A genuinely dead primary
+        // is caught by the metadata heartbeat-gap detector instead.
+        for p in stale {
+            let Some(view) = self.views.get(&p) else {
+                continue;
+            };
+            if view.primary == self.node {
+                // A resolution whose queried member died mid-protocol
+                // never completes; restart it against the current
+                // membership once it is clearly stuck.
+                let stuck = self
+                    .resolve_started
+                    .get(&p)
+                    .is_some_and(|&t0| now.saturating_sub(t0) > self.cfg.op_timeout * 4);
+                if stuck {
+                    self.resolves.remove(&p);
+                }
+                if !self.resolves.contains_key(&p) {
+                    self.on_become_primary(p, ctx);
+                }
+            } else if let Some(dst) = view.addr_of(view.primary) {
+                self.send_kv(
+                    ctx,
+                    dst,
+                    KvMsg::ResolveRequest { partition: p },
+                    CTRL_MSG_BYTES,
+                );
+            }
         }
         ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
     }
@@ -731,15 +938,27 @@ impl ServerApp {
             KvMsg::PutAck1 { key, op, from } => self.on_ack1(key, op, from, ctx),
             KvMsg::Commit { key, op, ts } => self.on_commit(key, op, ts, ctx),
             KvMsg::PutAck2 { key, op, from } => self.on_ack2(key, op, from, ctx),
-            KvMsg::Abort { key, op } => {
+            KvMsg::Abort { key, op, issued } => {
                 let mut fx = Vec::new();
-                self.engine.on_abort(&key, op, &mut fx);
+                self.engine.on_abort(&key, op, issued, &mut fx);
                 self.apply_effects(fx, ctx);
             }
             KvMsg::Membership { views } => self.on_membership(views, ctx),
             KvMsg::MetaFailover { new_meta } => {
                 // The hot standby took over (§4.1): report there from now.
+                // If we restarted while the old active was dead, our
+                // rejoin request went to a black hole — re-report to the
+                // new active so it sends us a drain plan.
                 self.meta = new_meta;
+                if self.rejoining {
+                    let node = self.node;
+                    self.send_kv(
+                        ctx,
+                        self.meta,
+                        KvMsg::RejoinRequest { node },
+                        CTRL_MSG_BYTES,
+                    );
+                }
             }
             KvMsg::RejoinPlan { sources } => self.on_rejoin_plan(sources, ctx),
             KvMsg::HandoffFetch { partition, from } => {
@@ -750,6 +969,18 @@ impl ServerApp {
             }
             KvMsg::GetForward { key, op } => self.on_get_forward(key, op, ctx),
             KvMsg::BecomePrimary { partition } => self.on_become_primary(partition, ctx),
+            KvMsg::ResolveRequest { partition } => {
+                // A secondary holds an orphaned lock: settle the
+                // partition's in-doubt entries if we really are its
+                // primary and no resolution is already running.
+                let am_primary = self
+                    .views
+                    .get(&partition)
+                    .is_some_and(|v| v.primary == self.node);
+                if am_primary && !self.resolves.contains_key(&partition) {
+                    self.on_become_primary(partition, ctx);
+                }
+            }
             KvMsg::LockQuery { partition } => self.on_lock_query(partition, src, ctx),
             KvMsg::LockReport {
                 partition,
@@ -825,12 +1056,20 @@ impl App for ServerApp {
         match token {
             TOK_HEARTBEAT => self.heartbeat(ctx),
             TOK_SWEEP => self.sweep_stale_locks(ctx),
+            TOK_REJOIN_RETRY => self.rejoin_retry(ctx),
             t => {
                 if let Some(cont) = self.conts.remove(&t) {
                     match cont {
                         Cont::Written { key, op } => self.on_written(key, op, ctx),
                         Cont::CoordDeadline { key, op } => self.on_coord_deadline(key, op, ctx),
                         Cont::Process { msg, src } => self.on_kv(&msg, src, ctx),
+                        Cont::FetchGate {
+                            partition,
+                            from,
+                            src,
+                            barrier,
+                            tries,
+                        } => self.serve_fetch(partition, from, src, barrier, tries, ctx),
                     }
                 }
             }

@@ -144,7 +144,10 @@ impl NoobClientApp {
                     .tcp_send(ctx, dst, self.ring.port, Msg::new(msg, size));
             }
         }
-        ctx.set_timer(self.core.retry, TOK_RETRY_BASE | id.client_seq);
+        ctx.set_timer(
+            self.core.retry_delay(id, at.attempts),
+            TOK_RETRY_BASE | id.client_seq,
+        );
     }
 
     fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {

@@ -53,6 +53,9 @@ pub struct NoobClusterCfg {
     pub client_ops: Vec<Vec<ClientOp>>,
     /// Clients retry NotFound gets with a short backoff.
     pub retry_not_found: bool,
+    /// Client retry schedule (fixed 2 s by default, like NICE's §6.6
+    /// clients; the chaos harness swaps in backoff + jitter).
+    pub retry: kv_core::RetryPolicy,
     /// Deterministic fault plan, applied at the simulator's packet
     /// delivery choke point. Outage indices address storage nodes.
     pub fault_plan: Option<FaultPlan>,
@@ -83,6 +86,7 @@ impl NoobClusterCfg {
             client_start: Time::from_ms(50),
             client_ops,
             retry_not_found: false,
+            retry: kv_core::RetryPolicy::fixed(Time::from_secs(2)),
             fault_plan: None,
         }
     }
@@ -111,6 +115,7 @@ impl NoobClusterCfg {
         cfg.switch = shared.switch;
         cfg.client_start = shared.client_start;
         cfg.retry_not_found = shared.retry_not_found;
+        cfg.retry = shared.kv.retry_policy();
         cfg.fault_plan = shared.fault_plan;
         cfg
     }
@@ -209,6 +214,7 @@ impl NoobCluster {
             let start = cfg.client_start + Time::from_us(97) * j as u64;
             let mut app = NoobClientApp::new(ring.clone(), route, ops.clone(), start);
             app.retry_not_found = cfg.retry_not_found;
+            app.retry = cfg.retry;
             let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);

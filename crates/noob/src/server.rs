@@ -108,10 +108,15 @@ impl NoobServerApp {
                 storage,
                 // The baseline runs no coordinator deadlines, commits
                 // inline the moment the primary generates the timestamp,
-                // and keeps tentative values in memory only.
+                // and keeps tentative values in memory only. With no
+                // deadline machinery, a lock abandoned by a crashed peer
+                // or a given-up client is only ever reclaimed by the TTL;
+                // it must outlast the longest client retry gap (2 s fixed,
+                // or the chaos harness's 1.6 s cap + 30 % jitter).
                 op_timeout: None,
                 inline_commit: true,
                 durable_pending: false,
+                stale_lock_ttl: Some(Time::from_secs(3)),
             }),
             conts: HashMap::new(),
             next_cont: TOK_CONT_BASE,
@@ -247,8 +252,18 @@ impl NoobServerApp {
             return;
         }
         self.engine.counters_mut().puts_coordinated += 1;
-        if self.engine.coordinating(&key, op) {
-            return; // duplicate (client retry while in flight)
+        if self.engine.op_settled(op) {
+            // The attempt already committed here (its reply was lost) or
+            // the client has long moved past it: answer directly. Starting
+            // a fresh round would re-commit the old value under a new,
+            // higher timestamp — resurrecting it over later writes.
+            self.send(
+                ctx,
+                op.client,
+                NoobMsg::PutReply { op, ok: true },
+                CTRL_MSG_BYTES,
+            );
+            return;
         }
         let replicas = self
             .ring
@@ -257,6 +272,9 @@ impl NoobServerApp {
             .to_vec();
         match self.mode {
             NoobMode::Chain => {
+                if self.engine.coordinating(&key, op) {
+                    return; // duplicate (client retry while in flight)
+                }
                 // Write locally, then forward down the chain. The inert
                 // coordinator record only absorbs duplicate retries.
                 self.engine
@@ -281,6 +299,29 @@ impl NoobServerApp {
                 );
             }
             NoobMode::TwoPc => {
+                // With no coordinator deadlines, client retries are the
+                // only thing that completes a round disturbed by a fault.
+                // A round stuck in phase 2 (a secondary restarted and lost
+                // its tentative copy, or an ack was lost) re-sends its
+                // commit timestamp; a round stuck in phase 1 falls through
+                // to re-prepare — the lock refreshes and the data fans out
+                // again.
+                if let Some(ts) = self.engine.round_commit_ts(&key, op) {
+                    for n in &replicas[1..] {
+                        let dst = self.ring.addrs[n.0 as usize];
+                        self.send(
+                            ctx,
+                            dst,
+                            NoobMsg::RepTs {
+                                key: key.clone(),
+                                op,
+                                ts,
+                            },
+                            CTRL_MSG_BYTES,
+                        );
+                    }
+                    return;
+                }
                 // 2PC: lock+log first; conflicting writers queue until the
                 // current put commits, then come back as a Redrive.
                 let mut fx = Vec::new();
@@ -307,6 +348,9 @@ impl NoobServerApp {
                 self.fan_out(&key, &value, op, true, &replicas, ctx);
             }
             NoobMode::PrimaryOnly | NoobMode::Quorum { .. } => {
+                if self.engine.coordinating(&key, op) {
+                    return; // duplicate (client retry while in flight)
+                }
                 let quorum = match self.mode {
                     NoobMode::Quorum { k } => k.clamp(1, replicas.len()),
                     _ => replicas.len(),

@@ -1138,7 +1138,7 @@ mod tests {
         let banned = [
             "self.store.lock(&key, op);",
             "self.store.commit(&key, op, ts);",
-            "self.store.abort(&key, op);",
+            "self.store.abort(&key, op, t);",
             "let d = self.store.write_delay(size, true);",
             "store: ObjectStore,",
         ];
@@ -1151,7 +1151,7 @@ mod tests {
         // ...while the engine's own entry points must not.
         let fine = [
             "self.engine.on_commit(&key, op, ts, role);",
-            "self.engine.on_abort(&key, op);",
+            "self.engine.on_abort(&key, op, t);",
             "self.engine.on_ack1(&key, op, from);",
             "let r = self.engine.lock_report(|k| part(k) == pid);",
             "pub fn store(&self) -> &ObjectStore {",

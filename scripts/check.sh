@@ -40,12 +40,20 @@ cargo test -q --offline -p kv-core
 echo "=== tests ==="
 cargo test -q --offline --workspace
 
+echo "=== chaos (fast seeds) ==="
+# Two fixed seeds across all four cells (NICE/NOOB x 2PC/primary),
+# linearizability-checked. CHAOS_SEED=<n> reruns any single seed.
+cargo test -q --offline --test chaos
+
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="
   # --include-ignored adds the full 756,756-schedule 2PC sweep.
   cargo test -q --offline --release -p kv-core --test lock_interleavings -- --include-ignored
   cargo test -q --offline --release -p nice-sim
   cargo test -q --offline --release -p nice --test failures
+  # The full seeded chaos matrix: 8 seeds x 4 cells, every history
+  # checked for per-key linearizability (DESIGN.md "Chaos harness").
+  cargo test -q --offline --release --test chaos -- --include-ignored
 fi
 
 echo "check.sh: all gates passed"

@@ -19,6 +19,7 @@
 //! | [`sim`] | deterministic packet-level network simulator (hosts, switches, links) |
 //! | [`flow`] | OpenFlow-style flow/group tables + learning controller |
 //! | [`ring`] | consistent hashing, virtual rings, client divisions |
+//! | [`kv_core`] | shared protocol engine: store, 2PC, client core, chaos plans, history checker |
 //! | [`transport`] | reliable UDP (multicast/any-k) and TCP-like transports |
 //! | [`kv`] | **NICEKV** — the paper's system (servers, metadata service, clients) |
 //! | [`noob`] | the network-oblivious baseline (ROG/RAG/RAC × primary/2PC/quorum/chain) |
@@ -41,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub use kv_core;
 pub use nice_flow as flow;
 pub use nice_kv as kv;
 pub use nice_noob as noob;
