@@ -288,9 +288,11 @@ impl PartitionView {
             .map(|&(_, ip)| ip)
     }
 
-    /// The primary's address.
-    pub fn primary_addr(&self) -> Ipv4 {
-        self.addr_of(self.primary).expect("primary is a member")
+    /// The primary's address. `None` when the primary is missing from
+    /// the member list — a malformed view, which callers treat like a
+    /// stale one (drop the message) rather than crashing the server.
+    pub fn primary_addr(&self) -> Option<Ipv4> {
+        self.addr_of(self.primary)
     }
 
     /// Number of active members.
@@ -320,7 +322,7 @@ mod tests {
             handoffs: Vec::new(),
             syncing: Vec::new(),
         };
-        assert_eq!(v.primary_addr(), Ipv4::new(10, 0, 0, 11));
+        assert_eq!(v.primary_addr(), Some(Ipv4::new(10, 0, 0, 11)));
         assert_eq!(v.addr_of(NodeIdx(2)), Some(Ipv4::new(10, 0, 0, 12)));
         assert_eq!(v.addr_of(NodeIdx(9)), None);
         assert_eq!(v.len(), 2);

@@ -227,8 +227,8 @@ impl ServerApp {
                 }
                 Effect::Ack1 { key, op } => {
                     let p = self.partition_of(&key);
-                    if let Some(view) = self.views.get(&p) {
-                        let primary = view.primary_addr();
+                    if let Some(primary) = self.views.get(&p).and_then(PartitionView::primary_addr)
+                    {
                         let from = self.node;
                         self.send_kv(
                             ctx,
@@ -240,8 +240,8 @@ impl ServerApp {
                 }
                 Effect::Ack2 { key, op } => {
                     let p = self.partition_of(&key);
-                    if let Some(view) = self.views.get(&p) {
-                        let primary = view.primary_addr();
+                    if let Some(primary) = self.views.get(&p).and_then(PartitionView::primary_addr)
+                    {
                         let from = self.node;
                         self.send_kv(
                             ctx,
@@ -314,9 +314,12 @@ impl ServerApp {
         if let PutMode::Quorum { .. } = self.cfg.put_mode {
             // Quorum replication (§6.3): store directly; the any-k
             // transport acks give the client its completion signal.
+            let Some(primary) = view.primary_addr() else {
+                return; // malformed view: treat like a stale one
+            };
             let ts = Timestamp {
                 primary_seq: op.client_seq,
-                primary: view.primary_addr(),
+                primary,
                 client_seq: op.client_seq,
                 client: op.client,
             };
@@ -472,10 +475,11 @@ impl ServerApp {
         // Miss: a handoff node forwards to the primary (§4.4).
         if let Some(view) = view {
             if self.my_role(&view) == Some(Role::Handoff) && view.primary != self.node {
-                self.engine.counters_mut().forwarded += 1;
-                let primary = view.primary_addr();
-                self.send_kv(ctx, primary, KvMsg::GetForward { key, op }, CTRL_MSG_BYTES);
-                return;
+                if let Some(primary) = view.primary_addr() {
+                    self.engine.counters_mut().forwarded += 1;
+                    self.send_kv(ctx, primary, KvMsg::GetForward { key, op }, CTRL_MSG_BYTES);
+                    return;
+                }
             }
         }
         self.stats.gets += 1;

@@ -538,6 +538,7 @@ impl Simulation {
             self.host_send(host, garp);
         }
         let Some(mut app) = self.hosts[idx].app.take() else {
+            // lint:allow(panic_path) — harness invariant: re-entrant dispatch is a simulator bug, crash loudly
             panic!("re-entrant app callback on {host}");
         };
         let mut effects = std::mem::take(&mut self.effects);
@@ -685,6 +686,7 @@ impl Simulation {
     fn switch_arrive(&mut self, sw: SwitchId, port: Port, pkt: Packet) {
         let idx = sw.0 as usize;
         let Some(mut logic) = self.switches[idx].logic.take() else {
+            // lint:allow(panic_path) — harness invariant: re-entrant dispatch is a simulator bug, crash loudly
             panic!("re-entrant switch callback on {sw}");
         };
         let view = SwitchView {

@@ -215,7 +215,11 @@ impl SendState {
         // Pad with zeros for expected-but-silent receivers.
         cums.resize(self.expected.max(cums.len()), 0);
         cums.sort_unstable_by(|a, b| b.cmp(a));
-        cums[self.quorum - 1]
+        // quorum >= 1 and cums.len() >= quorum here (early return above);
+        // written panic-free anyway so the whole tick path stays total.
+        cums.get(self.quorum.saturating_sub(1))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Transmit as many new chunks as the window allows.
@@ -373,21 +377,26 @@ impl RecvState {
     fn mark(&mut self, seq: u32) -> bool {
         let (w, b) = ((seq / 64) as usize, seq % 64);
         let bit = 1u64 << b;
-        if self.bitmap[w] & bit != 0 {
+        // A seq beyond the transfer's chunk count is a malformed or
+        // corrupted packet: drop it instead of panicking the receiver.
+        let Some(word) = self.bitmap.get_mut(w) else {
+            return false;
+        };
+        if *word & bit != 0 {
             return false;
         }
-        self.bitmap[w] |= bit;
+        *word |= bit;
         self.have += 1;
-        while self.cum < self.total
-            && self.bitmap[(self.cum / 64) as usize] & (1 << (self.cum % 64)) != 0
-        {
+        while self.cum < self.total && self.has(self.cum) {
             self.cum += 1;
         }
         true
     }
 
     fn has(&self, seq: u32) -> bool {
-        self.bitmap[(seq / 64) as usize] & (1 << (seq % 64)) != 0
+        self.bitmap
+            .get((seq / 64) as usize)
+            .is_some_and(|w| w & (1 << (seq % 64)) != 0)
     }
 
     /// The message is fully assembled.

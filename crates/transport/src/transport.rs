@@ -414,13 +414,11 @@ impl Transport {
             .map(|(&k, _)| k)
             .collect();
         incomplete.sort_unstable();
-        let allowed = if incomplete.is_empty() {
-            None
-        } else {
-            let pick = incomplete[(self.nack_rr % incomplete.len() as u64) as usize];
+        let rr_at = (self.nack_rr % incomplete.len().max(1) as u64) as usize;
+        let allowed = incomplete.get(rr_at).copied();
+        if allowed.is_some() {
             self.nack_rr += 1;
-            Some(pick)
-        };
+        }
         let mut drop_keys = Vec::new();
         for (&key, r) in self.recvs.iter_mut() {
             if r.on_tick(&self.cfg, ctx, self.port, allowed == Some(key)) {

@@ -1,0 +1,144 @@
+//! The findings baseline (`lint_baseline.json`) and the hand-rolled,
+//! byte-stable JSON it is written in (zero dependencies, so no serde).
+//!
+//! The baseline is a sorted list of finding *keys* — line-number-free
+//! identities of known findings (`rule|file|fn|detail#ordinal`). CI
+//! ratchets toward zero: a finding whose key is not in the baseline
+//! fails the build; a baselined finding that disappears auto-shrinks
+//! the file. The baseline never grows implicitly — only
+//! `--write-baseline` adds keys.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Read the baseline key set. `None` when the file is missing or not
+/// parsable (callers treat both as "no baseline").
+pub fn read(path: &Path) -> Option<BTreeSet<String>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse(&text)
+}
+
+/// Parse the baseline document: everything inside the `"findings"`
+/// array. Deliberately minimal — this parser reads only what
+/// [`render`] writes.
+pub fn parse(text: &str) -> Option<BTreeSet<String>> {
+    let arr_start = text.find("\"findings\"")?;
+    let rest = &text[arr_start..];
+    let open = rest.find('[')?;
+    let rest = &rest[open + 1..];
+    let mut keys = BTreeSet::new();
+    let b: Vec<char> = rest.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            ']' => return Some(keys),
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                        match b.get(i) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(&c) => s.push(c),
+                            None => return None,
+                        }
+                    } else {
+                        s.push(b[i]);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return None; // unterminated string
+                }
+                keys.insert(s);
+            }
+            c if c.is_whitespace() || c == ',' => {}
+            _ => return None,
+        }
+        i += 1;
+    }
+    None // unterminated array
+}
+
+/// Render the baseline document: 2-space indent, one key per line,
+/// sorted (the input set is already ordered), trailing newline — so
+/// diffs are one line per added/removed finding.
+pub fn render(keys: &BTreeSet<String>) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    let mut first = true;
+    for k in keys {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(&escape(k));
+        out.push('"');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Write the baseline to `path`.
+pub fn write(path: &Path, keys: &BTreeSet<String>) -> std::io::Result<()> {
+    std::fs::write(path, render(keys))
+}
+
+/// Minimal JSON string escaping.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_byte_stable() {
+        let keys: BTreeSet<String> = ["b|f.rs|X::g|unwrap()#1", "a|f.rs|-|tok#2"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let doc = render(&keys);
+        assert_eq!(parse(&doc), Some(keys.clone()));
+        assert_eq!(render(&parse(&doc).unwrap()), doc);
+        // Sorted output: "a|..." precedes "b|...".
+        assert!(doc.find("a|f.rs").unwrap() < doc.find("b|f.rs").unwrap());
+    }
+
+    #[test]
+    fn empty_baseline() {
+        let keys = BTreeSet::new();
+        let doc = render(&keys);
+        assert_eq!(doc, "{\n  \"version\": 1,\n  \"findings\": []\n}\n");
+        assert_eq!(parse(&doc), Some(keys));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let keys: BTreeSet<String> = [r#"rule|a"b\c|f|d#1"#.to_string()].into_iter().collect();
+        assert_eq!(parse(&render(&keys)), Some(keys));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert_eq!(parse("not json"), None);
+        assert_eq!(parse("{\"findings\": [\"unterminated"), None);
+    }
+}

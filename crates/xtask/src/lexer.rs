@@ -1,0 +1,371 @@
+//! A hand-rolled, zero-dependency Rust lexer.
+//!
+//! Produces a flat token stream with 1-based line numbers, which is all
+//! the call-graph pass (`callgraph.rs`) needs: item structure comes from
+//! matching brace/paren/bracket delimiters over this stream, never from
+//! regexes over raw text. Comments vanish; string/char literal *content*
+//! is dropped from the code stream but string text is preserved on the
+//! token (format strings like `"{:p}"` are a determinism-taint source).
+//!
+//! The lexer is deliberately lossy where the analysis does not care:
+//! numeric literals keep no value, multi-character operators arrive as
+//! single punctuation tokens (`::` is two `:` tokens), and identifiers
+//! are not split into keywords vs names — the parser matches on the
+//! ident text (`"fn"`, `"impl"`, ...) where it matters.
+
+/// One lexical token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+/// Token payloads. See module docs for what is deliberately dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `impl`, `self`, `unwrap`, ...).
+    Ident(String),
+    /// A lifetime (`'a`) — kept distinct so `'a` never looks like a
+    /// char literal or an ident.
+    Lifetime,
+    /// String literal (regular, raw, byte); `text` is the literal's
+    /// body so rules can inspect format strings.
+    Str {
+        /// Literal body, escapes left as written.
+        text: String,
+    },
+    /// Char or byte literal; content dropped.
+    Char,
+    /// Numeric literal; value dropped.
+    Num,
+    /// Single punctuation character (`{`, `}`, `(`, `)`, `[`, `]`, `.`,
+    /// `:`, `;`, `!`, `#`, `<`, `>`, `&`, ...).
+    Punct(char),
+}
+
+impl Token {
+    /// The ident text, if this token is an ident.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this token the punctuation `c`?
+    pub fn is(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unexpected bytes become
+/// punctuation tokens, unterminated literals run to end of input — for
+/// a linter, resilience beats strictness.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    match (b[i], b.get(i + 1).copied()) {
+                        ('\n', _) => line += 1,
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            i += 1;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            i += 1;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = line;
+                let mut text = String::new();
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => {
+                            text.push('\\');
+                            if let Some(&e) = b.get(i + 1) {
+                                text.push(e);
+                                if e == '\n' {
+                                    line += 1;
+                                }
+                                i += 1;
+                            }
+                        }
+                        '"' => break,
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            text.push(ch);
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1; // closing quote
+                out.push(Token {
+                    kind: Tok::Str { text },
+                    line: start,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&b, i) => {
+                let start = line;
+                let (tok, ni, nl) = lex_prefixed_literal(&b, i, line);
+                line = nl;
+                i = ni;
+                out.push(Token {
+                    kind: tok,
+                    line: start,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`, `'\u{1F600}'`).
+                let is_char = matches!(
+                    (b.get(i + 1), b.get(i + 2)),
+                    (Some('\\'), _) | (Some(_), Some('\''))
+                );
+                if is_char {
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'\\') {
+                        j += 2;
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1; // \u{...}
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part: `.` followed by a digit (so `0..n`
+                // and `1.max(x)` stay three tokens).
+                if b.get(j) == Some(&'.') && b.get(j + 1).is_some_and(char::is_ascii_digit) {
+                    j += 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let s: String = b[i..j].iter().collect();
+                out.push(Token {
+                    kind: Tok::Ident(s),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.push(Token {
+                    kind: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `r"`, `r#"`, `b"`, `br"`, `br#"`, or `b'` start at `i`?
+fn starts_raw_or_byte_literal(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'\'') {
+            return true; // byte char b'x'
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// Lex a raw/byte string (or byte char) starting at `i`. Returns the
+/// token, the index after the literal, and the updated line counter.
+fn lex_prefixed_literal(b: &[char], mut i: usize, mut line: usize) -> (Tok, usize, usize) {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+        if b.get(i) == Some(&'\'') {
+            // byte char literal b'x' / b'\n'
+            i += 1;
+            if b.get(i) == Some(&'\\') {
+                i += 1;
+            }
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            return (Tok::Char, i + 1, line);
+        }
+    }
+    let mut hashes = 0usize;
+    if b.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+        while b.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(b.get(i), Some(&'"'));
+    i += 1;
+    let mut text = String::new();
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+        }
+        if c == '\\' && !raw {
+            text.push('\\');
+            if let Some(&e) = b.get(i + 1) {
+                text.push(e);
+                i += 2;
+                continue;
+            }
+        }
+        if c == '"' {
+            if !raw {
+                return (Tok::Str { text }, i + 1, line);
+            }
+            let closes = (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#'));
+            if closes {
+                return (Tok::Str { text }, i + 1 + hashes, line);
+            }
+        }
+        text.push(c);
+        i += 1;
+    }
+    (Tok::Str { text }, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_disappear_from_idents() {
+        let src =
+            "let a = 1; // Instant::now()\nlet s = \"SystemTime\"; /* thread_rng */ let b = 2;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "s", "let", "b"]);
+    }
+
+    #[test]
+    fn string_text_is_preserved_on_the_token() {
+        let toks = lex("format!(\"p={:p}\", x)");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Str { text } if text.contains("{:p}"))));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let toks = lex(r##"let a = r#"quote " inside"#; let b = b"bytes";"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Str { .. }))
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(
+            idents(r##"let a = r#"fn fake() {"#;"##),
+            vec!["let", "a"],
+            "item keywords inside raw strings must not leak"
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            2,
+            "two lifetime uses"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n/* c\nc */ b\n\"s\ns\" d";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.ident() == Some(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 3);
+        assert_eq!(find("d"), 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_or_method_dots() {
+        assert_eq!(
+            idents("for i in 0..n { x.f(1.5); }")[..4],
+            ["for", "i", "in", "n"]
+        );
+        let toks = lex("0..n");
+        let dots = toks.iter().filter(|t| t.is('.')).count();
+        assert_eq!(dots, 2, "`..` survives as two dot tokens");
+    }
+}

@@ -1,1166 +1,9 @@
-//! Workspace automation for the NICE reproduction.
-//!
-//! `cargo run -p xtask -- lint` runs the project-specific static-analysis
-//! suite: invariants the compiler and clippy cannot express because they
-//! are about *this* codebase's correctness story (see DESIGN.md, "Static
-//! analysis & lint policy"):
-//!
-//! 1. **determinism** — no wall-clock time (`Instant::now`, `SystemTime`)
-//!    and no OS randomness (`thread_rng`, `OsRng`, `getrandom`,
-//!    `from_entropy`) inside the simulator and protocol decision paths
-//!    (`crates/sim`, `crates/flow`, `crates/nicekv`). The discrete-event
-//!    simulator must replay bit-for-bit from a seed; even the fault
-//!    injector (`sim/src/fault.rs`) draws loss, duplication, and delay
-//!    from its plan's own seeded PRNG so a `FaultPlan` replays to a
-//!    byte-identical trace.
-//! 2. **panic_path** — no `unwrap()` / `expect()` / `panic!` /
-//!    `unreachable!` / `todo!` / `unimplemented!` in request paths:
-//!    `nicekv/src/server.rs`, `nicekv/src/client.rs`,
-//!    `nicekv/src/metadata.rs`, `noob/src/server.rs`,
-//!    `noob/src/gateway.rs`, and all of `crates/transport`. A malformed
-//!    or re-ordered message must degrade to a typed `KvError` or a
-//!    counter bump, never a crash.
-//! 3. **unordered_iter** — no iteration over `HashMap` / `HashSet` in
-//!    protocol crates: iteration order is randomized per process, so any
-//!    protocol decision fed by it silently breaks determinism. Use
-//!    `BTreeMap` / `BTreeSet`, or sort before use.
-//! 4. **layering** — protocol logic lives in exactly one crate. The
-//!    policy adapters (`crates/nicekv`, `crates/noob`) must not mutate
-//!    the object store or reimplement lock/coordinator transitions —
-//!    those belong to `kv-core`'s `ReplicationEngine`; and `kv-core`
-//!    must not depend on the policy/topology crates (`nice-flow`,
-//!    `nice-ring`, `nice-transport`) — the engine is system- and
-//!    transport-agnostic. (This replaces the old textual `enum_parity`
-//!    rule: with one shared state machine, parity is type-enforced.)
-//! 5. **unbounded_queue** — a `push` onto a `self.*` collection inside an
-//!    `on_packet` handler without any drain of that collection elsewhere
-//!    in the file is a remote-triggered memory leak: every received
-//!    packet grows state that nothing ever shrinks.
-//! 6. **allow_reason** — every `lint:allow(<rule>)` waiver must carry a
-//!    reason on the same line (`lint:allow(rule) — why this is safe`); a
-//!    bare waiver is itself a violation.
-//!
-//! A violation that is intentional can be waived with a trailing or
-//! preceding comment `lint:allow(<rule>) — <reason>`; the reason is
-//! mandatory and enforced by the `allow_reason` rule.
-//!
-//! Exit status: 0 when clean, 1 with `file:line` diagnostics otherwise.
+//! Thin binary wrapper: all logic lives in the `xtask` library so the
+//! fixture-based integration tests can drive the rules directly.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let mut cmd = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--root" => {
-                i += 1;
-                match args.get(i) {
-                    Some(r) => root = PathBuf::from(r),
-                    None => {
-                        eprintln!("--root requires a path");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            c if cmd.is_none() => cmd = Some(c.to_string()),
-            other => {
-                eprintln!("unexpected argument: {other}");
-                return ExitCode::FAILURE;
-            }
-        }
-        i += 1;
-    }
-    match cmd.as_deref() {
-        Some("lint") => run_lint(&root),
-        Some(other) => {
-            eprintln!("unknown command: {other}\n{USAGE}");
-            ExitCode::FAILURE
-        }
-        None => {
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <workspace>]";
-
-fn run_lint(root: &Path) -> ExitCode {
-    let mut findings = Vec::new();
-    determinism_lint(root, &mut findings);
-    panic_path_lint(root, &mut findings);
-    unordered_iter_lint(root, &mut findings);
-    layering_lint(root, &mut findings);
-    unbounded_queue_lint(root, &mut findings);
-    allow_reason_lint(root, &mut findings);
-
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    for f in &findings {
-        println!("{f}");
-    }
-    if findings.is_empty() {
-        println!("xtask lint: clean");
-        ExitCode::SUCCESS
-    } else {
-        println!("xtask lint: {} violation(s)", findings.len());
-        ExitCode::FAILURE
-    }
-}
-
-struct Finding {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    msg: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.msg
-        )
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source model: a file split into lines with comments/strings blanked out,
-// plus a mask of lines that live inside `#[cfg(test)]` items.
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-    /// Workspace-relative path, for diagnostics.
-    rel: String,
-    /// Original lines (markers like `lint:allow` live in comments).
-    raw: Vec<String>,
-    /// Lines with comments, string and char literals blanked.
-    code: Vec<String>,
-    /// Per line: is it inside a `#[cfg(test)]` module/item?
-    in_test: Vec<bool>,
-}
-
-impl SourceFile {
-    fn load(root: &Path, rel: &str) -> Option<SourceFile> {
-        let text = std::fs::read_to_string(root.join(rel)).ok()?;
-        let code_text = strip_comments_and_strings(&text);
-        let raw: Vec<String> = text.lines().map(str::to_string).collect();
-        let code: Vec<String> = code_text.lines().map(str::to_string).collect();
-        let in_test = test_mask(&code);
-        Some(SourceFile {
-            rel: rel.to_string(),
-            raw,
-            code,
-            in_test,
-        })
-    }
-
-    /// Is line `i` (0-based) waived for `rule` by a `lint:allow` marker on
-    /// the same or the immediately preceding line?
-    fn allowed(&self, i: usize, rule: &str) -> bool {
-        let marker = format!("lint:allow({rule})");
-        if self.raw[i].contains(&marker) {
-            return true;
-        }
-        i > 0 && self.raw[i - 1].contains(&marker)
-    }
-}
-
-/// Blank out comments (`//`, nested `/* */`), string literals (incl. raw
-/// strings), and char literals, preserving the line structure so that
-/// byte offsets map to the same line numbers.
-fn strip_comments_and_strings(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize), // number of `#`s
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    out.push(' ');
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    out.push(' ');
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push(' ');
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // possible raw string r"..." / r#"..."#
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c);
-                }
-                '\'' => {
-                    // char literal vs lifetime: 'x' or '\..' is a literal
-                    let is_char = matches!(
-                        (b.get(i + 1), b.get(i + 2)),
-                        (Some('\\'), _) | (Some(_), Some('\''))
-                    );
-                    if is_char {
-                        // skip to the closing quote
-                        let mut j = i + 1;
-                        if b.get(j) == Some(&'\\') {
-                            j += 2; // escape + escaped char
-                            while j < b.len() && b[j] != '\'' {
-                                j += 1; // \u{...}
-                            }
-                        } else {
-                            j += 1;
-                        }
-                        for _ in i..=j.min(b.len() - 1) {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c); // lifetime tick
-                }
-                _ => out.push(c),
-            },
-            St::LineComment => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::BlockComment(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next == Some('\n') {
-                        out.push('\n');
-                    } else {
-                        out.push(' ');
-                    }
-                    i += 2;
-                    continue;
-                }
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '"' {
-                    st = St::Code;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if b.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        for _ in 0..hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        st = St::Code;
-                        continue;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Mark every line that is inside an item annotated `#[cfg(test)]`
-/// (typically `mod tests { ... }`), tracked by brace depth.
-fn test_mask(code: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; code.len()];
-    let mut depth: i64 = 0;
-    let mut pending_cfg = false;
-    // (depth at which the test item opened)
-    let mut test_until: Option<i64> = None;
-    for (i, line) in code.iter().enumerate() {
-        let opens = line.matches('{').count() as i64;
-        let closes = line.matches('}').count() as i64;
-        if test_until.is_some() {
-            mask[i] = true;
-        }
-        if line.contains("#[cfg(test)]") {
-            pending_cfg = true;
-            mask[i] = true;
-        } else if pending_cfg && test_until.is_none() {
-            mask[i] = true;
-            if opens > 0 {
-                test_until = Some(depth);
-                pending_cfg = false;
-            } else if line.trim().ends_with(';') {
-                // `#[cfg(test)] mod foo;` — out-of-line test module
-                pending_cfg = false;
-            }
-        }
-        depth += opens - closes;
-        if let Some(d) = test_until {
-            if depth <= d {
-                test_until = None;
-            }
-        }
-    }
-    mask
-}
-
-/// Recursively collect `.rs` files under `root/<dir>`, as workspace-
-/// relative path strings. `skip` entries are file names to ignore
-/// (out-of-line test modules).
-fn rs_files(root: &Path, dir: &str, skip: &[&str]) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.join(dir)];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                if skip.contains(&name) {
-                    continue;
-                }
-                if let Ok(rel) = p.strip_prefix(root) {
-                    out.push(rel.to_string_lossy().replace('\\', "/"));
-                }
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule 1: determinism
-// ---------------------------------------------------------------------------
-
-const DETERMINISM_DIRS: &[&str] = &[
-    "crates/sim/src",
-    "crates/flow/src",
-    "crates/kv-core/src",
-    "crates/nicekv/src",
-];
-const DETERMINISM_TOKENS: &[(&str, &str)] = &[
-    ("Instant::now", "wall-clock read"),
-    ("SystemTime", "wall-clock read"),
-    ("thread_rng", "OS-seeded randomness"),
-    ("OsRng", "OS randomness"),
-    ("from_entropy", "OS-seeded randomness"),
-    ("getrandom", "OS randomness"),
-    ("rand::", "external randomness crate"),
-];
-
-fn determinism_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in DETERMINISM_DIRS {
-        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
-            let Some(sf) = SourceFile::load(root, &rel) else {
-                continue;
-            };
-            for (i, line) in sf.code.iter().enumerate() {
-                if sf.in_test[i] {
-                    continue;
-                }
-                for (tok, why) in DETERMINISM_TOKENS {
-                    if contains_token(line, tok) && !sf.allowed(i, "determinism") {
-                        findings.push(Finding {
-                            file: sf.rel.clone(),
-                            line: i + 1,
-                            rule: "determinism",
-                            msg: format!(
-                                "`{tok}` ({why}) in a deterministic decision path; \
-                                 derive everything from the seeded simulation clock/PRNG"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 2: panic_path
-// ---------------------------------------------------------------------------
-
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-fn panic_path_files(root: &Path) -> Vec<String> {
-    let mut files = vec![
-        "crates/nicekv/src/server.rs".to_string(),
-        "crates/nicekv/src/client.rs".to_string(),
-        "crates/nicekv/src/metadata.rs".to_string(),
-        "crates/noob/src/server.rs".to_string(),
-        "crates/noob/src/gateway.rs".to_string(),
-    ];
-    files.extend(rs_files(
-        root,
-        "crates/kv-core/src",
-        &["prop_tests.rs", "tests.rs"],
-    ));
-    files.extend(rs_files(
-        root,
-        "crates/transport/src",
-        &["prop_tests.rs", "tests.rs"],
-    ));
-    files
-}
-
-fn panic_path_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for rel in panic_path_files(root) {
-        let Some(sf) = SourceFile::load(root, &rel) else {
-            continue;
-        };
-        for (i, line) in sf.code.iter().enumerate() {
-            if sf.in_test[i] {
-                continue;
-            }
-            for tok in PANIC_TOKENS {
-                if line.contains(tok) && !sf.allowed(i, "panic_path") {
-                    findings.push(Finding {
-                        file: sf.rel.clone(),
-                        line: i + 1,
-                        rule: "panic_path",
-                        msg: format!(
-                            "`{}` in a server request path; return a typed error \
-                             (nice_kv::KvError) and bump a counter instead",
-                            tok.trim_start_matches('.')
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 3: unordered_iter
-// ---------------------------------------------------------------------------
-
-const UNORDERED_DIRS: &[&str] = &[
-    "crates/sim/src",
-    "crates/flow/src",
-    "crates/kv-core/src",
-    "crates/nicekv/src",
-    "crates/noob/src",
-    "crates/transport/src",
-];
-
-const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain()",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
-];
-
-fn unordered_iter_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in UNORDERED_DIRS {
-        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
-            let Some(sf) = SourceFile::load(root, &rel) else {
-                continue;
-            };
-            let names = hash_container_names(&sf);
-            if names.is_empty() {
-                continue;
-            }
-            for (i, line) in sf.code.iter().enumerate() {
-                if sf.in_test[i] {
-                    continue;
-                }
-                for name in &names {
-                    if iterates_name(line, name) && !sf.allowed(i, "unordered_iter") {
-                        findings.push(Finding {
-                            file: sf.rel.clone(),
-                            line: i + 1,
-                            rule: "unordered_iter",
-                            msg: format!(
-                                "iteration over hash container `{name}` (randomized order) \
-                                 may feed an ordered protocol decision; use BTreeMap/BTreeSet \
-                                 or sort first"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Names declared in this file with a `HashMap`/`HashSet` type or
-/// initialized from one (fields, lets, fn params).
-fn hash_container_names(sf: &SourceFile) -> Vec<String> {
-    let mut names = Vec::new();
-    for (i, line) in sf.code.iter().enumerate() {
-        if sf.in_test[i] {
-            continue;
-        }
-        // `name: HashMap<...>` (field, param, or typed let)
-        for ty in ["HashMap<", "HashSet<"] {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(ty) {
-                let abs = from + pos;
-                if let Some(n) = ident_before_colon(&line[..abs]) {
-                    push_unique(&mut names, n);
-                }
-                from = abs + ty.len();
-            }
-        }
-        // `let [mut] name = HashMap::new()` / `::default()` / `::with_capacity`
-        for ctor in ["HashMap::", "HashSet::"] {
-            if let Some(pos) = line.find(ctor) {
-                if let Some(eq) = line[..pos].rfind('=') {
-                    if let Some(n) = last_ident(&line[..eq]) {
-                        push_unique(&mut names, n);
-                    }
-                }
-            }
-        }
-    }
-    names
-}
-
-fn push_unique(names: &mut Vec<String>, n: String) {
-    if !names.contains(&n) {
-        names.push(n);
-    }
-}
-
-/// The identifier immediately before a `:` at the end of `prefix`
-/// (ignoring whitespace), e.g. `    pub coords: ` → `coords`.
-fn ident_before_colon(prefix: &str) -> Option<String> {
-    let t = prefix.trim_end();
-    let t = t.strip_suffix(':')?;
-    last_ident(t)
-}
-
-/// The trailing identifier of `s`, if any.
-fn last_ident(s: &str) -> Option<String> {
-    let t = s.trim_end();
-    let end = t.len();
-    let start = t
-        .char_indices()
-        .rev()
-        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
-        .map(|(i, _)| i)
-        .last()?;
-    let id = &t[start..end];
-    let first = id.chars().next()?;
-    if first.is_alphabetic() || first == '_' {
-        Some(id.to_string())
-    } else {
-        None
-    }
-}
-
-/// True when `name` appears on this line with an ident boundary and is
-/// iterated: either `name.<iter-method>` or as the tail of a `for .. in`.
-fn iterates_name(line: &str, name: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(name) {
-        let abs = from + pos;
-        let before_ok = abs == 0
-            || !line[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = &line[abs + name.len()..];
-        let after_first = after.chars().next();
-        let boundary_ok = !after_first.is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && boundary_ok {
-            if ITER_METHODS.iter().any(|m| after.starts_with(m)) {
-                return true;
-            }
-            // `for x in [&[mut]] [self.]name {` — direct IntoIterator use
-            if let Some(in_pos) = line[..abs].rfind(" in ") {
-                let between = line[in_pos + 4..abs].trim();
-                let clean_tail = after.trim_start();
-                let tail_ends_expr = clean_tail.is_empty() || clean_tail.starts_with('{');
-                let between_ok = matches!(
-                    between,
-                    "" | "&" | "&mut" | "self." | "&self." | "&mut self."
-                );
-                if line[..in_pos].contains("for ") && between_ok && tail_ends_expr {
-                    return true;
-                }
-            }
-        }
-        from = abs + name.len().max(1);
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// Rule 5: unbounded_queue
-// ---------------------------------------------------------------------------
-
-/// Tokens that shrink a collection (or replace it wholesale). A `self.*`
-/// push inside `on_packet` is fine as long as the same field sees one of
-/// these somewhere in the file.
-const DRAIN_TOKENS: &[&str] = &[
-    ".pop(",
-    ".pop_front(",
-    ".pop_back(",
-    ".drain(",
-    ".drain(..)",
-    ".clear(",
-    ".remove(",
-    ".retain(",
-    ".truncate(",
-    ".swap_remove(",
-    ".split_off(",
-];
-
-fn unbounded_queue_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in UNORDERED_DIRS {
-        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
-            let Some(sf) = SourceFile::load(root, &rel) else {
-                continue;
-            };
-            for (i, path) in on_packet_self_pushes(&sf) {
-                let field = path.rsplit('.').next().unwrap_or(&path).to_string();
-                if field_is_drained(&sf, &field) || sf.allowed(i, "unbounded_queue") {
-                    continue;
-                }
-                findings.push(Finding {
-                    file: sf.rel.clone(),
-                    line: i + 1,
-                    rule: "unbounded_queue",
-                    msg: format!(
-                        "`{path}.push(..)` in an on_packet path with no drain of \
-                         `{field}` anywhere in this file: every received packet \
-                         grows it forever; drain it, bound it, or waive with a reason"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// `(line, self-path)` for every `self.<path>.push(` inside a function
-/// named `on_packet` (tracked by brace depth from the `fn on_packet`
-/// header). Pushes onto locals are per-packet scratch and stay exempt.
-fn on_packet_self_pushes(sf: &SourceFile) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    let mut depth: i64 = 0;
-    // (depth at which the on_packet body opened)
-    let mut body_until: Option<i64> = None;
-    let mut in_header = false;
-    for (i, line) in sf.code.iter().enumerate() {
-        let opens = line.matches('{').count() as i64;
-        let closes = line.matches('}').count() as i64;
-        if body_until.is_none() && contains_token(line, "fn on_packet") {
-            in_header = true;
-        }
-        if in_header && opens > 0 {
-            body_until = Some(depth);
-            in_header = false;
-        }
-        if body_until.is_some() && !sf.in_test[i] {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(".push(") {
-                let abs = from + pos;
-                if let Some(path) = self_path_before(&line[..abs]) {
-                    out.push((i, path));
-                }
-                from = abs + ".push(".len();
-            }
-        }
-        depth += opens - closes;
-        if let Some(d) = body_until {
-            if depth <= d {
-                body_until = None;
-            }
-        }
-    }
-    out
-}
-
-/// The `self.a.b` path ending at `prefix`'s tail, if the receiver of the
-/// following method call is reached through `self`.
-fn self_path_before(prefix: &str) -> Option<String> {
-    let t = prefix.trim_end();
-    let start = t
-        .char_indices()
-        .rev()
-        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == '.')
-        .map(|(i, _)| i)
-        .last()?;
-    let path = &t[start..];
-    if path.starts_with("self.") && path.len() > "self.".len() {
-        Some(path.to_string())
-    } else {
-        None
-    }
-}
-
-/// Does any non-test line shrink or replace `field`? Reassignment
-/// (`field = ...`) and `mem::take(&mut ...field)` both count.
-fn field_is_drained(sf: &SourceFile, field: &str) -> bool {
-    for (i, line) in sf.code.iter().enumerate() {
-        if sf.in_test[i] {
-            continue;
-        }
-        for tok in DRAIN_TOKENS {
-            let pat = format!("{field}{tok}");
-            if contains_token(line, &pat) {
-                return true;
-            }
-        }
-        if contains_token(line, &format!("{field} =")) && !line.contains("==") {
-            return true;
-        }
-        if line.contains("take(&mut") && contains_token(line, field) {
-            return true;
-        }
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// Rule 6: allow_reason
-// ---------------------------------------------------------------------------
-
-const ALL_RULES: &[&str] = &[
-    "determinism",
-    "panic_path",
-    "unordered_iter",
-    "layering",
-    "unbounded_queue",
-    "allow_reason",
-];
-
-/// Directories whose waiver markers are checked. `crates/xtask` is
-/// excluded: it mentions markers in its own diagnostics and tests.
-const ALLOW_REASON_DIRS: &[&str] = &[
-    "crates/sim/src",
-    "crates/flow/src",
-    "crates/kv-core/src",
-    "crates/ring/src",
-    "crates/transport/src",
-    "crates/nicekv/src",
-    "crates/noob/src",
-    "crates/workload/src",
-    "crates/bench/src",
-];
-
-fn allow_reason_lint(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in ALLOW_REASON_DIRS {
-        for rel in rs_files(root, dir, &[]) {
-            let Some(sf) = SourceFile::load(root, &rel) else {
-                continue;
-            };
-            for (i, raw) in sf.raw.iter().enumerate() {
-                let mut from = 0;
-                while let Some(pos) = raw[from..].find("lint:allow(") {
-                    let abs = from + pos;
-                    let rest = &raw[abs + "lint:allow(".len()..];
-                    from = abs + "lint:allow(".len();
-                    let Some(close) = rest.find(')') else {
-                        continue;
-                    };
-                    let rule = &rest[..close];
-                    if !ALL_RULES.contains(&rule) {
-                        findings.push(Finding {
-                            file: sf.rel.clone(),
-                            line: i + 1,
-                            rule: "allow_reason",
-                            msg: format!("waiver names unknown rule `{rule}`"),
-                        });
-                        continue;
-                    }
-                    let reason = rest[close + 1..]
-                        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
-                        .trim();
-                    if reason.chars().filter(|c| c.is_alphanumeric()).count() < 8 {
-                        findings.push(Finding {
-                            file: sf.rel.clone(),
-                            line: i + 1,
-                            rule: "allow_reason",
-                            msg: format!(
-                                "`lint:allow({rule})` without a reason; write \
-                                 `lint:allow({rule}) — <why this is safe>`"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 4: layering
-// ---------------------------------------------------------------------------
-
-/// `ObjectStore` mutators and protocol-state transitions that only the
-/// shared engine (`kv-core`) may invoke. A policy adapter calling one of
-/// these is reimplementing lock-table or commit logic the engine owns.
-/// (`.commit(`/`.abort(` match store calls only — the engine entry points
-/// are `.on_commit(`/`.on_abort(`.)
-const STORE_MUTATION_TOKENS: &[&str] = &[
-    ": ObjectStore",
-    "ObjectStore::new",
-    ".lock(",
-    ".pending_mut(",
-    ".commit(",
-    ".commit_direct(",
-    ".abort(",
-    ".write_delay(",
-];
-
-/// The policy-adapter source trees: addressing, transport, views and
-/// failure policy only — no store mutation, no 2PC transitions.
-const ADAPTER_DIRS: &[&str] = &["crates/nicekv/src", "crates/noob/src"];
-
-/// Crates `kv-core` must not depend on: the engine sits beneath the
-/// policy and topology layers and stays system- and transport-agnostic.
-const CORE_FORBIDDEN_DEPS: &[&str] = &["nice-flow", "nice-ring", "nice-transport"];
-
-fn layering_lint(root: &Path, findings: &mut Vec<Finding>) {
-    // Adapters must not mutate the store or run protocol transitions.
-    for dir in ADAPTER_DIRS {
-        for rel in rs_files(root, dir, &["prop_tests.rs", "tests.rs"]) {
-            let Some(sf) = SourceFile::load(root, &rel) else {
-                continue;
-            };
-            for (i, line) in sf.code.iter().enumerate() {
-                if sf.in_test[i] {
-                    continue;
-                }
-                for tok in STORE_MUTATION_TOKENS {
-                    if line.contains(tok) && !sf.allowed(i, "layering") {
-                        findings.push(Finding {
-                            file: sf.rel.clone(),
-                            line: i + 1,
-                            rule: "layering",
-                            msg: format!(
-                                "`{}` in a policy adapter — store mutation and 2PC \
-                                 transitions belong to kv-core's ReplicationEngine",
-                                tok.trim()
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    // kv-core must not link the policy/topology crates...
-    let manifest_rel = "crates/kv-core/Cargo.toml";
-    match std::fs::read_to_string(root.join(manifest_rel)) {
-        Ok(manifest) => {
-            for (i, line) in manifest.lines().enumerate() {
-                for dep in CORE_FORBIDDEN_DEPS {
-                    if line.trim_start().starts_with(dep) {
-                        findings.push(Finding {
-                            file: manifest_rel.to_string(),
-                            line: i + 1,
-                            rule: "layering",
-                            msg: format!("kv-core must not depend on `{dep}`"),
-                        });
-                    }
-                }
-            }
-        }
-        Err(_) => findings.push(Finding {
-            file: manifest_rel.to_string(),
-            line: 1,
-            rule: "layering",
-            msg: "cannot read the kv-core manifest".to_string(),
-        }),
-    }
-
-    // ...nor name their modules in source (a `path =` workaround would
-    // slip past the manifest check above).
-    for rel in rs_files(root, "crates/kv-core/src", &[]) {
-        let Some(sf) = SourceFile::load(root, &rel) else {
-            continue;
-        };
-        for (i, line) in sf.code.iter().enumerate() {
-            for krate in &["nice_flow", "nice_ring", "nice_transport"] {
-                if contains_token(line, &format!("{krate}::")) && !sf.allowed(i, "layering") {
-                    findings.push(Finding {
-                        file: sf.rel.clone(),
-                        line: i + 1,
-                        rule: "layering",
-                        msg: format!(
-                            "kv-core references `{krate}` — the engine is layered beneath it"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// `line.contains(tok)` with an identifier boundary on the left, so
-/// `grand::` does not match `rand::`.
-fn contains_token(line: &str, tok: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(tok) {
-        let abs = from + pos;
-        // A preceding identifier character means we matched the tail of a
-        // longer name (`operand::` vs `rand::`). A preceding `:` is fine:
-        // qualified paths (`std::time::Instant::now`) must still match.
-        let ok = abs == 0
-            || !line[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if ok {
-            return true;
-        }
-        from = abs + tok.len();
-    }
-    false
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stripping_removes_comments_and_strings() {
-        let src =
-            "let a = 1; // Instant::now()\nlet s = \"SystemTime\"; /* thread_rng */ let b = 2;\n";
-        let out = strip_comments_and_strings(src);
-        assert!(!out.contains("Instant::now"));
-        assert!(!out.contains("SystemTime"));
-        assert!(!out.contains("thread_rng"));
-        assert!(out.contains("let a = 1;"));
-        assert!(out.contains("let b = 2;"));
-        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
-    }
-
-    #[test]
-    fn stripping_handles_char_literals_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
-        let out = strip_comments_and_strings(src);
-        assert!(out.contains("fn f<'a>(x: &'a str)"));
-        assert!(!out.contains("'x'"));
-    }
-
-    #[test]
-    fn test_mask_covers_test_modules() {
-        let code: Vec<String> = [
-            "fn real() {",
-            "}",
-            "#[cfg(test)]",
-            "mod tests {",
-            "    fn t() {}",
-            "}",
-        ]
-        .iter()
-        .map(std::string::ToString::to_string)
-        .collect();
-        let mask = test_mask(&code);
-        assert_eq!(mask, vec![false, false, true, true, true, true]);
-    }
-
-    #[test]
-    fn token_boundary() {
-        assert!(contains_token("let x = rand::random();", "rand::"));
-        assert!(!contains_token("let x = grand::random();", "rand::"));
-        assert!(!contains_token("operand::foo", "rand::"));
-        // Fully qualified paths must still match.
-        assert!(contains_token(
-            "let t = std::time::Instant::now();",
-            "Instant::now"
-        ));
-        assert!(contains_token("use std::time::SystemTime;", "SystemTime"));
-    }
-
-    #[test]
-    fn iteration_detection() {
-        assert!(iterates_name("for (k, v) in &self.coords {", "coords"));
-        assert!(iterates_name(
-            "let v: Vec<_> = coords.values().collect();",
-            "coords"
-        ));
-        assert!(iterates_name("for k in coords.keys() {", "coords"));
-        assert!(!iterates_name("self.coords.insert(k, v);", "coords"));
-        assert!(!iterates_name("let x = coords.get(&k);", "coords"));
-        assert!(!iterates_name("for x in &self.records {", "coords"));
-    }
-
-    #[test]
-    fn declared_names_found() {
-        let sf = SourceFile {
-            rel: "x".into(),
-            raw: vec![String::new(); 3],
-            code: vec![
-                "    coords: HashMap<String, Coord>,".to_string(),
-                "    let mut seen = HashSet::new();".to_string(),
-                "    views: BTreeMap<PartitionId, View>,".to_string(),
-            ],
-            in_test: vec![false; 3],
-        };
-        let names = hash_container_names(&sf);
-        assert_eq!(names, vec!["coords".to_string(), "seen".to_string()]);
-    }
-
-    fn sf_from_code(lines: &[&str]) -> SourceFile {
-        let code: Vec<String> = lines.iter().map(std::string::ToString::to_string).collect();
-        let n = code.len();
-        SourceFile {
-            rel: "x".into(),
-            raw: vec![String::new(); n],
-            code,
-            in_test: vec![false; n],
-        }
-    }
-
-    #[test]
-    fn self_path_extraction() {
-        assert_eq!(
-            self_path_before("        self.inbox"),
-            Some("self.inbox".to_string())
-        );
-        assert_eq!(
-            self_path_before("let v = self.a.b"),
-            Some("self.a.b".to_string())
-        );
-        assert_eq!(self_path_before("local_vec"), None);
-        assert_eq!(self_path_before("self."), None);
-    }
-
-    #[test]
-    fn on_packet_pushes_detected_only_in_body() {
-        let sf = sf_from_code(&[
-            "impl App {",
-            "    fn setup(&mut self) {",
-            "        self.ready.push(1);",
-            "    }",
-            "    fn on_packet(&mut self, b: u8) {",
-            "        let mut scratch = Vec::new();",
-            "        scratch.push(b);",
-            "        self.inbox.push(b);",
-            "    }",
-            "}",
-        ]);
-        let pushes = on_packet_self_pushes(&sf);
-        assert_eq!(pushes, vec![(7, "self.inbox".to_string())]);
-    }
-
-    #[test]
-    fn drained_fields_recognized() {
-        let sf = sf_from_code(&[
-            "self.inbox.push(b);",
-            "let x = self.inbox.pop();",
-            "self.log.push(e);",
-            "self.backlog = Vec::new();",
-        ]);
-        assert!(field_is_drained(&sf, "inbox"));
-        assert!(!field_is_drained(&sf, "log"));
-        assert!(field_is_drained(&sf, "backlog"));
-    }
-
-    #[test]
-    fn layering_tokens_hit_store_calls_not_engine_hooks() {
-        // Store mutators must trip the rule...
-        let banned = [
-            "self.store.lock(&key, op);",
-            "self.store.commit(&key, op, ts);",
-            "self.store.abort(&key, op, t);",
-            "let d = self.store.write_delay(size, true);",
-            "store: ObjectStore,",
-        ];
-        for line in banned {
-            assert!(
-                STORE_MUTATION_TOKENS.iter().any(|t| line.contains(t)),
-                "expected a layering hit in `{line}`"
-            );
-        }
-        // ...while the engine's own entry points must not.
-        let fine = [
-            "self.engine.on_commit(&key, op, ts, role);",
-            "self.engine.on_abort(&key, op, t);",
-            "self.engine.on_ack1(&key, op, from);",
-            "let r = self.engine.lock_report(|k| part(k) == pid);",
-            "pub fn store(&self) -> &ObjectStore {",
-        ];
-        for line in fine {
-            assert!(
-                !STORE_MUTATION_TOKENS.iter().any(|t| line.contains(t)),
-                "false layering hit in `{line}`"
-            );
-        }
-    }
+    xtask::cli(&args)
 }

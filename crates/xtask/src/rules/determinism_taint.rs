@@ -1,0 +1,89 @@
+//! `determinism_taint`: nondeterminism sources must not flow into
+//! protocol state, message bytes, or replay output. Roots are the
+//! deterministic surfaces — every `ReplicationEngine` transition and
+//! every `render`/`render_*` fn (trace/replay output that must be
+//! byte-identical across runs) — and the rule walks everything they
+//! transitively call, looking for:
+//!
+//! * wall-clock reads (`Instant::now`, `SystemTime`),
+//! * iteration over `HashMap`/`HashSet` (order randomized per process),
+//! * pointer/address formatting (`{:p}`, `.as_ptr()`, `as *const` /
+//!   `as *mut` casts) — addresses differ across runs and ASLR.
+//!
+//! The textual `determinism`/`unordered_iter` rules ban some of these
+//! per-directory; this rule follows the *flow*, so a clock read in a
+//! helper crate the directory rules never look at is still caught the
+//! moment a render fn or engine transition can reach it.
+
+use crate::rules::textual::{hash_container_names, iterates_name};
+use crate::rules::{finding, RuleCtx};
+use crate::source::contains_token;
+use crate::Finding;
+
+/// Run the rule: BFS from render fns + engine transitions, scan each
+/// reached fn's body for nondeterminism sources.
+pub fn run(ctx: &RuleCtx, out: &mut Vec<Finding>) {
+    let g = &ctx.graph;
+    let roots: Vec<usize> = g
+        .production()
+        .filter(|&i| {
+            let f = &g.fns[i];
+            f.name == "render"
+                || f.name.starts_with("render_")
+                || f.trait_name.as_deref() == Some("ReplicationEngine")
+        })
+        .collect();
+    let parent = g.reach(&roots);
+    for &idx in parent.keys() {
+        let f = &g.fns[idx];
+        let Some(sf) = ctx.files.get(&f.file) else {
+            continue;
+        };
+        let hash_names = hash_container_names(sf);
+        for ln in f.line..=f.end_line.min(sf.code.len()) {
+            let i = ln - 1; // 0-based
+            if sf.in_test[i] {
+                continue;
+            }
+            let code = &sf.code[i];
+            let mut hit = |detail: &str, what: String| {
+                let chain = g.chain(&parent, idx);
+                finding(
+                    out,
+                    "determinism_taint",
+                    &f.file,
+                    ln,
+                    &f.qualname(),
+                    detail,
+                    format!(
+                        "{what} flows into deterministic output (via {chain}); \
+                         protocol state, message bytes and render/replay output \
+                         must be identical across runs"
+                    ),
+                );
+            };
+            for tok in ["Instant::now", "SystemTime"] {
+                if contains_token(code, tok) {
+                    hit(tok, format!("wall-clock read `{tok}`"));
+                }
+            }
+            for name in &hash_names {
+                if iterates_name(code, name) {
+                    hit(
+                        name,
+                        format!("randomized-order iteration over hash container `{name}`"),
+                    );
+                }
+            }
+            if sf.raw[i].contains("{:p}") {
+                hit("{:p}", "pointer formatting `{:p}`".to_string());
+            }
+            if code.contains(".as_ptr()") {
+                hit(".as_ptr()", "pointer value `.as_ptr()`".to_string());
+            }
+            if contains_token(code, "as *const") || contains_token(code, "as *mut") {
+                hit("ptr-cast", "pointer cast `as *const/*mut`".to_string());
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `stale_allow`: a `lint:allow(<rule>)` marker that no longer waives
+//! anything is itself a finding. Waivers rot — the code they excused
+//! gets fixed or deleted, the comment stays, and the next reader
+//! assumes the line below is still dangerous. This rule compares every
+//! marker against the *pre-waiver* finding set: if no finding of the
+//! named rule sits on the marker's line or the line below (the two
+//! positions a marker covers), the marker is dead and must go.
+
+use crate::rules::textual::{allow_markers, ALLOW_REASON_DIRS};
+use crate::rules::{finding, RuleCtx};
+use crate::Finding;
+
+/// Run the rule. `pre` is the full finding set *before* waiver
+/// filtering — a marker is live exactly when it suppresses one of
+/// these.
+pub fn run(ctx: &RuleCtx, pre: &[Finding], out: &mut Vec<Finding>) {
+    for sf in ctx.files_under(ALLOW_REASON_DIRS, false) {
+        for (m, rule) in allow_markers(sf) {
+            if !crate::rules::ALL_RULES.contains(&rule.as_str()) {
+                continue; // unknown rule name — allow_reason reports it
+            }
+            // A marker on 0-based line m waives findings on 1-based
+            // lines m+1 (same line) and m+2 (next line).
+            let live = pre.iter().any(|f| {
+                f.rule == rule && f.file == sf.rel && (f.line == m + 1 || f.line == m + 2)
+            });
+            if !live {
+                finding(
+                    out,
+                    "stale_allow",
+                    &sf.rel,
+                    m + 1,
+                    "-",
+                    &rule,
+                    format!(
+                        "`lint:allow({rule})` no longer suppresses any finding \
+                         on this or the next line; delete the stale waiver"
+                    ),
+                );
+            }
+        }
+    }
+}

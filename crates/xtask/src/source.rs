@@ -1,0 +1,385 @@
+//! Shared source model for the line-based rules: a file split into
+//! lines with comments/strings blanked out, plus a mask of lines that
+//! live inside `#[cfg(test)]` items, plus the directory walker.
+//!
+//! The graph-based rules use the token stream from [`crate::lexer`]
+//! instead; this module survives for the textual rules (whose
+//! single-line token scans are simpler to express over blanked lines)
+//! and for waiver (`lint:allow`) lookups, which must see comments.
+
+use std::path::Path;
+
+/// One loaded source file.
+pub struct SourceFile {
+    /// Workspace-relative path, for diagnostics.
+    pub rel: String,
+    /// Original lines (markers like `lint:allow` live in comments).
+    pub raw: Vec<String>,
+    /// Lines with comments, string and char literals blanked.
+    pub code: Vec<String>,
+    /// Per line: is it inside a `#[cfg(test)]` module/item?
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Load `root/rel`, blanking comments/strings and masking test
+    /// items.
+    pub fn load(root: &Path, rel: &str) -> Option<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel)).ok()?;
+        Some(SourceFile::from_text(rel, &text))
+    }
+
+    /// Build the model from in-memory text (fixtures, tests).
+    pub fn from_text(rel: &str, text: &str) -> SourceFile {
+        let code_text = strip_comments_and_strings(text);
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let code: Vec<String> = code_text.lines().map(str::to_string).collect();
+        let in_test = test_mask(&code);
+        SourceFile {
+            rel: rel.to_string(),
+            raw,
+            code,
+            in_test,
+        }
+    }
+
+    /// Is line `i` (0-based) waived for `rule` by a `lint:allow` marker
+    /// on the same or the immediately preceding line?
+    pub fn allowed(&self, i: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        if self.raw.get(i).is_some_and(|l| l.contains(&marker)) {
+            return true;
+        }
+        i > 0 && self.raw[i - 1].contains(&marker)
+    }
+}
+
+/// Blank out comments (`//`, nested `/* */`), string literals (incl.
+/// raw strings), and char literals, preserving the line structure so
+/// that byte offsets map to the same line numbers.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize), // number of `#`s
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // possible raw string r"..." / r#"..."#
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // char literal vs lifetime: 'x' or '\..' is a literal
+                    let is_char = matches!(
+                        (b.get(i + 1), b.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        // skip to the closing quote
+                        let mut j = i + 1;
+                        if b.get(j) == Some(&'\\') {
+                            j += 2; // escape + escaped char
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1; // \u{...}
+                            }
+                        } else {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(b.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c); // lifetime tick
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if b.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mark every line that is inside an item annotated `#[cfg(test)]`
+/// (typically `mod tests { ... }`), tracked by brace depth.
+pub fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg = false;
+    // (depth at which the test item opened)
+    let mut test_until: Option<i64> = None;
+    for (i, line) in code.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if test_until.is_some() {
+            mask[i] = true;
+        }
+        if line.contains("#[cfg(test)]") {
+            pending_cfg = true;
+            mask[i] = true;
+        } else if pending_cfg && test_until.is_none() {
+            mask[i] = true;
+            if opens > 0 {
+                test_until = Some(depth);
+                pending_cfg = false;
+            } else if line.trim().ends_with(';') {
+                // `#[cfg(test)] mod foo;` — out-of-line test module
+                pending_cfg = false;
+            }
+        }
+        depth += opens - closes;
+        if let Some(d) = test_until {
+            if depth <= d {
+                test_until = None;
+            }
+        }
+    }
+    mask
+}
+
+/// Recursively collect `.rs` files under `root/<dir>`, as workspace-
+/// relative path strings. `skip` entries are file names to ignore
+/// (out-of-line test modules).
+pub fn rs_files(root: &Path, dir: &str, skip: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if skip.contains(&name) {
+                    continue;
+                }
+                if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `line.contains(tok)` with an identifier boundary on the left, so
+/// `grand::` does not match `rand::`.
+pub fn contains_token(line: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(tok) {
+        let abs = from + pos;
+        // A preceding identifier character means we matched the tail of a
+        // longer name (`operand::` vs `rand::`). A preceding `:` is fine:
+        // qualified paths (`std::time::Instant::now`) must still match.
+        let ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok {
+            return true;
+        }
+        from = abs + tok.len();
+    }
+    false
+}
+
+/// The identifier immediately before a `:` at the end of `prefix`
+/// (ignoring whitespace), e.g. `    pub coords: ` → `coords`.
+pub fn ident_before_colon(prefix: &str) -> Option<String> {
+    let t = prefix.trim_end();
+    let t = t.strip_suffix(':')?;
+    last_ident(t)
+}
+
+/// The trailing identifier of `s`, if any.
+pub fn last_ident(s: &str) -> Option<String> {
+    let t = s.trim_end();
+    let end = t.len();
+    let start = t
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    let id = &t[start..end];
+    let first = id.chars().next()?;
+    if first.is_alphabetic() || first == '_' {
+        Some(id.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_removes_comments_and_strings() {
+        let src =
+            "let a = 1; // Instant::now()\nlet s = \"SystemTime\"; /* thread_rng */ let b = 2;\n";
+        let out = strip_comments_and_strings(src);
+        assert!(!out.contains("Instant::now"));
+        assert!(!out.contains("SystemTime"));
+        assert!(!out.contains("thread_rng"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let b = 2;"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn stripping_handles_char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let out = strip_comments_and_strings(src);
+        assert!(out.contains("fn f<'a>(x: &'a str)"));
+        assert!(!out.contains("'x'"));
+    }
+
+    #[test]
+    fn test_mask_covers_test_modules() {
+        let code: Vec<String> = [
+            "fn real() {",
+            "}",
+            "#[cfg(test)]",
+            "mod tests {",
+            "    fn t() {}",
+            "}",
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let mask = test_mask(&code);
+        assert_eq!(mask, vec![false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn token_boundary() {
+        assert!(contains_token("let x = rand::random();", "rand::"));
+        assert!(!contains_token("let x = grand::random();", "rand::"));
+        assert!(!contains_token("operand::foo", "rand::"));
+        // Fully qualified paths must still match.
+        assert!(contains_token(
+            "let t = std::time::Instant::now();",
+            "Instant::now"
+        ));
+        assert!(contains_token("use std::time::SystemTime;", "SystemTime"));
+    }
+}

@@ -1,0 +1,9 @@
+//! BAD: the waiver suppresses a real finding but gives no reason.
+
+pub fn wall_ms() -> u64 {
+    // lint:allow(determinism)
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

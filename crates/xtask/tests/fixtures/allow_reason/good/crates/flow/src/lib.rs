@@ -1,0 +1,10 @@
+//! GOOD: the waiver names a known rule, carries a reason, and sits on a
+//! line that still triggers that rule.
+
+pub fn wall_ms() -> u64 {
+    // lint:allow(determinism) — startup banner only, never feeds the simulation
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//! BAD: simulation code reads the wall clock directly.
+
+pub fn wall_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,11 @@
+//! GOOD: time is a logical counter owned by the harness.
+
+pub struct Clock {
+    pub now_ms: u64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, delta_ms: u64) {
+        self.now_ms += delta_ms;
+    }
+}

@@ -1,0 +1,15 @@
+//! BAD: a render helper stamps entries with the wall clock — replay
+//! output differs across runs.
+
+pub fn render(log: &[u64]) -> String {
+    let mut out = String::new();
+    for e in log {
+        out.push_str(&stamp(*e));
+    }
+    out
+}
+
+fn stamp(e: u64) -> String {
+    let t = std::time::SystemTime::now();
+    format!("{e}@{t:?}")
+}

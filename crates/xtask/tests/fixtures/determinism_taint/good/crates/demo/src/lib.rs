@@ -1,0 +1,14 @@
+//! GOOD: entries are stamped with their logical position — identical
+//! on every run.
+
+pub fn render(log: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, e) in log.iter().enumerate() {
+        out.push_str(&stamp(*e, i));
+    }
+    out
+}
+
+fn stamp(e: u64, i: usize) -> String {
+    format!("{i}:{e}")
+}

@@ -1,0 +1,22 @@
+//! BAD: an engine transition reaches a helper that does console I/O.
+
+pub enum Effect {
+    Send,
+}
+
+pub trait ReplicationEngine {
+    fn on_tick(&mut self) -> Vec<Effect>;
+}
+
+pub struct Engine;
+
+impl ReplicationEngine for Engine {
+    fn on_tick(&mut self) -> Vec<Effect> {
+        log_state();
+        vec![Effect::Send]
+    }
+}
+
+fn log_state() {
+    println!("tick");
+}

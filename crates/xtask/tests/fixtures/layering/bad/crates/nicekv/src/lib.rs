@@ -1,0 +1,12 @@
+//! BAD: a policy adapter holds the store and commits to it directly,
+//! bypassing the engine's 2PC state machine.
+
+pub struct Adapter {
+    store: ObjectStore,
+}
+
+impl Adapter {
+    pub fn apply(&mut self, key: &[u8], ts: u64) {
+        self.store.commit(key, 0, ts);
+    }
+}

@@ -1,0 +1,10 @@
+//! GOOD: the adapter drives the engine's entry points; the engine owns
+//! the store.
+
+pub struct Adapter;
+
+impl Adapter {
+    pub fn apply(&mut self, engine: &mut Engine, key: &[u8], ts: u64) {
+        engine.on_commit(key, 0, ts);
+    }
+}

@@ -1,0 +1,17 @@
+//! BAD: an `unwrap()` two calls below a request entry point.
+
+pub struct Server;
+
+impl Server {
+    pub fn on_request(&mut self, v: &[u8]) -> u8 {
+        decode(v)
+    }
+}
+
+fn decode(v: &[u8]) -> u8 {
+    first_byte(v)
+}
+
+fn first_byte(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,18 @@
+//! GOOD: the same shape, but the helper degrades to a default instead
+//! of panicking.
+
+pub struct Server;
+
+impl Server {
+    pub fn on_request(&mut self, v: &[u8]) -> u8 {
+        decode(v)
+    }
+}
+
+fn decode(v: &[u8]) -> u8 {
+    first_byte(v).unwrap_or(0)
+}
+
+fn first_byte(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

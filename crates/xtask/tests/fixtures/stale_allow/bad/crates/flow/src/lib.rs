@@ -1,0 +1,8 @@
+//! BAD: the waiver carries a reason, but the wall-clock read it once
+//! covered was removed — the marker is dead weight that would silently
+//! excuse a future regression.
+
+pub fn logical_ms(now: u64) -> u64 {
+    // lint:allow(determinism) — used to waive a wall-clock read, since removed
+    now
+}

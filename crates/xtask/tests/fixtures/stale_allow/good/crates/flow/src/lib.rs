@@ -1,0 +1,9 @@
+//! GOOD: the waiver still suppresses a live finding on the next line.
+
+pub fn wall_ms() -> u64 {
+    // lint:allow(determinism) — startup banner only, never feeds the simulation
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

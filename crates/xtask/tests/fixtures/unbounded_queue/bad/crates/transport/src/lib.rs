@@ -1,0 +1,12 @@
+//! BAD: every received packet is pushed onto a field that nothing ever
+//! drains — a remote-triggered memory leak.
+
+pub struct Endpoint {
+    inbox: Vec<u8>,
+}
+
+impl Endpoint {
+    pub fn on_packet(&mut self, b: u8) {
+        self.inbox.push(b);
+    }
+}

@@ -1,0 +1,15 @@
+//! GOOD: the same push, but the field is drained elsewhere in the file.
+
+pub struct Endpoint {
+    inbox: Vec<u8>,
+}
+
+impl Endpoint {
+    pub fn on_packet(&mut self, b: u8) {
+        self.inbox.push(b);
+    }
+
+    pub fn next(&mut self) -> Option<u8> {
+        self.inbox.pop()
+    }
+}

@@ -1,0 +1,18 @@
+//! BAD: iterating a HashMap in production code — visit order varies
+//! across runs.
+
+use std::collections::HashMap;
+
+pub struct Tracker {
+    pub coords: HashMap<u32, u32>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_, v) in self.coords.iter() {
+            sum += v;
+        }
+        sum
+    }
+}

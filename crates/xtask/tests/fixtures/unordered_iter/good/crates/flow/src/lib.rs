@@ -1,0 +1,17 @@
+//! GOOD: a BTreeMap iterates in key order — stable across runs.
+
+use std::collections::BTreeMap;
+
+pub struct Tracker {
+    pub coords: BTreeMap<u32, u32>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_, v) in self.coords.iter() {
+            sum += v;
+        }
+        sum
+    }
+}
