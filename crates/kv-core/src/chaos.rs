@@ -19,6 +19,8 @@ use std::fmt::Write as _;
 
 use nice_sim::Time;
 
+use crate::explore::{Choice, ChoiceKind, Schedule};
+
 /// What kinds and how much chaos to draw.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosSpec {
@@ -204,6 +206,41 @@ impl ChaosPlan {
         }
     }
 
+    /// The plan's fault timeline as a typed [`Schedule`]: every timed
+    /// event — crash, restart, isolation start/heal, metadata crash,
+    /// admin churn — as a [`Choice`] in time order (ties keep the
+    /// category order crashes < isolations < meta < admin). This is the
+    /// same vocabulary the DPOR explorer and the interleaving sweeps
+    /// use, so a chaos replay witness and an explored counterexample
+    /// render in one notation.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        let mut timed: Vec<(Time, Choice)> = Vec::new();
+        let choice = |kind, node: usize| Choice {
+            kind,
+            actor: node as u32,
+        };
+        for c in &self.crashes {
+            timed.push((c.down, choice(ChoiceKind::Crash, c.node)));
+            timed.push((c.up, choice(ChoiceKind::Restart, c.node)));
+        }
+        for i in &self.isolations {
+            timed.push((i.from, choice(ChoiceKind::Isolate, i.node)));
+            timed.push((i.until, choice(ChoiceKind::Heal, i.node)));
+        }
+        if let Some(t) = self.meta_crash {
+            timed.push((t, choice(ChoiceKind::MetaCrash, 0)));
+        }
+        for &(t, ev) in &self.admin {
+            timed.push(match ev {
+                AdminEvent::AddNode(n) => (t, choice(ChoiceKind::AddNode, n)),
+                AdminEvent::RemoveNode(n) => (t, choice(ChoiceKind::RemoveNode, n)),
+            });
+        }
+        timed.sort_by_key(|&(t, _)| t);
+        Schedule::from_choices(timed.into_iter().map(|(_, c)| c).collect())
+    }
+
     /// A deterministic, byte-stable rendering of the schedule (replay
     /// assertions compare these across runs).
     pub fn render(&self) -> String {
@@ -243,6 +280,10 @@ impl ChaosPlan {
         }
         for (t, ev) in &self.admin {
             let _ = writeln!(s, "admin at={}ns {:?}", t.as_ns(), ev);
+        }
+        let sched = self.schedule();
+        if !sched.is_empty() {
+            let _ = writeln!(s, "schedule {}", sched.render());
         }
         s
     }
@@ -296,6 +337,35 @@ mod tests {
                 crashed.len(),
                 "seed {seed}: crash nodes repeat"
             );
+        }
+    }
+
+    #[test]
+    fn schedule_is_the_typed_timeline_in_time_order() {
+        let p = ChaosPlan::generate(7, &spec());
+        let sched = p.schedule();
+        // Every drawn event appears exactly once: crash+restart per
+        // crash window, isolate+heal per isolation, meta, admin.
+        let expect = 2 * p.crashes.len()
+            + 2 * p.isolations.len()
+            + usize::from(p.meta_crash.is_some())
+            + p.admin.len();
+        assert_eq!(sched.len(), expect);
+        assert!(sched.step_actors().is_empty(), "fault-only timeline");
+        // Byte-stable and embedded in the replay witness.
+        assert_eq!(
+            sched.render(),
+            ChaosPlan::generate(7, &spec()).schedule().render()
+        );
+        assert!(p.render().contains(&format!("schedule {}", sched.render())));
+        // A node's restart renders after its crash (time order).
+        let r = sched.render();
+        for c in &p.crashes {
+            let crash = format!("!{}", c.node);
+            let restart = format!("^{}", c.node);
+            let ci = r.find(&crash).expect("crash rendered");
+            let ri = r.find(&restart).expect("restart rendered");
+            assert!(ci < ri, "{r}");
         }
     }
 

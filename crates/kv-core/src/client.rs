@@ -474,6 +474,59 @@ impl ClientCore {
     }
 }
 
+/// The shared client surface both systems' apps expose to harnesses.
+///
+/// NICE's `ClientApp` and NOOB's `NoobClientApp` differ only in how an
+/// attempt reaches the wire; everything a test driver needs — queueing
+/// work, reading completion records, capturing history — lives on the
+/// embedded [`ClientCore`]. Implementing this trait lets a harness be
+/// written once, generic over the app type, instead of as parallel
+/// per-system code paths (`tests/differential.rs` and `tests/chaos.rs`
+/// drive both systems through it).
+///
+/// Implementations only provide the two accessors; the drive-side
+/// conveniences are defined once here.
+pub trait KvClient {
+    /// The protocol-level client state machine.
+    fn core(&self) -> &ClientCore;
+    /// Mutable access to the client state machine.
+    fn core_mut(&mut self) -> &mut ClientCore;
+
+    /// Queue more operations mid-run (see [`ClientCore::push_ops`]).
+    fn push_ops(&mut self, ops: impl IntoIterator<Item = ClientOp>)
+    where
+        Self: Sized,
+    {
+        self.core_mut().push_ops(ops);
+    }
+
+    /// Completion records so far.
+    fn records(&self) -> &[OpRecord] {
+        &self.core().records
+    }
+
+    /// Operations finished so far.
+    fn completed(&self) -> usize {
+        self.core().completed()
+    }
+
+    /// True once the op queue drained with nothing in flight.
+    fn is_done(&self) -> bool {
+        self.core().done_at.is_some()
+    }
+}
+
+/// The core is trivially its own client surface (unit-test harnesses
+/// drive it without an adapter app around it).
+impl KvClient for ClientCore {
+    fn core(&self) -> &ClientCore {
+        self
+    }
+    fn core_mut(&mut self) -> &mut ClientCore {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

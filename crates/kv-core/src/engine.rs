@@ -210,7 +210,7 @@ enum CoordKind {
 }
 
 /// Coordinator-side state of one in-flight put.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Coord {
     client: Ipv4,
     acks1: BTreeSet<NodeIdx>,
@@ -389,7 +389,11 @@ pub trait ReplicationEngine {
 }
 
 /// The one implementation of [`ReplicationEngine`] both systems share.
-#[derive(Debug)]
+///
+/// `Clone` is an exploration hook: the DPOR explorer
+/// ([`explore`](crate::explore)) forks whole engine states to probe the
+/// footprint of a candidate step and to branch its schedule tree.
+#[derive(Debug, Clone)]
 pub struct TwoPcEngine {
     cfg: EngineCfg,
     store: ObjectStore,

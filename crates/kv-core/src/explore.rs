@@ -1,0 +1,1011 @@
+//! Deterministic schedule exploration with dynamic partial-order
+//! reduction (DPOR).
+//!
+//! The interleaving checkers enumerate every schedule of a set of
+//! concurrent protocol operations against the production
+//! [`TwoPcEngine`](crate::TwoPcEngine). Exhaustive enumeration is
+//! factorial; most schedules are equivalent — swapping two adjacent
+//! steps that touch disjoint state cannot change any observable
+//! outcome. This module explores exactly **one schedule per
+//! Mazurkiewicz trace-equivalence class** and *proves* the coverage
+//! arithmetic as it goes:
+//!
+//! * [`Footprint`] — a step's read/write sets over up to 64 abstract
+//!   state regions, observed dynamically at execution time (the model
+//!   reports what a step actually touched, not what it syntactically
+//!   could touch).
+//! * [`Model`] — the system under exploration: a fixed set of
+//!   processes, each a program-ordered sequence of steps; `Clone`
+//!   forks the state so the explorer can branch.
+//! * [`Explorer`] — sleep-set depth-first search. Every process is
+//!   always enabled in these models (a step is a message delivery that
+//!   never blocks), so sleep sets alone visit exactly the
+//!   lexicographically-least member of every class: after exploring
+//!   the subtree below step `p`, `p` is put to sleep, and any later
+//!   sibling subtree re-exploring an order equivalent to one already
+//!   seen is pruned.
+//! * [`Schedule`] / [`Choice`] — the typed schedule encoding shared by
+//!   the explorer, the legacy lexicographic sweeps
+//!   ([`Schedule::enumerate`] / [`Schedule::rank`]), and chaos-plan
+//!   replay rendering ([`ChaosPlan::schedule`](crate::ChaosPlan::schedule)).
+//!
+//! **Coverage proof.** For every explored class the explorer computes
+//! the exact number of schedules in that class — the linear extensions
+//! of the trace's happens-before partial order, built from vector
+//! clocks over the dependence relation. The sum over all classes must
+//! equal the multinomial count of the full schedule space
+//! ([`Schedule::space`]); callers assert this, which proves the
+//! exploration is an exactly-once partition of the space without ever
+//! running it exhaustively. See DESIGN.md §11 for the soundness
+//! argument.
+
+use std::collections::BTreeMap;
+
+/// A step's read/write footprint over at most 64 abstract state
+/// regions.
+///
+/// What a region *is* belongs to the model: the 2PC interleaving
+/// checker uses one region per replica; finer-grained models can use
+/// one per (replica, key). Two steps are *dependent* (their order can
+/// matter) when one's writes intersect the other's reads or writes —
+/// see [`conflict_dependence`]. A write subsumes a read of the same
+/// region for conflict purposes, so models only need to record reads
+/// for regions they did not also write.
+///
+/// Over-approximating a footprint (recording a region a step did not
+/// really touch) is always sound — it only splits equivalence classes
+/// finer. Under-approximating is not: a missed dependence lets the
+/// explorer prune a schedule whose outcome differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    reads: u64,
+    writes: u64,
+}
+
+impl Footprint {
+    /// The footprint of a step that touched nothing shared.
+    pub const EMPTY: Footprint = Footprint {
+        reads: 0,
+        writes: 0,
+    };
+
+    /// A footprint reading only `region`.
+    #[must_use]
+    pub fn read(region: usize) -> Footprint {
+        let mut f = Footprint::EMPTY;
+        f.add_read(region);
+        f
+    }
+
+    /// A footprint writing only `region`.
+    #[must_use]
+    pub fn write(region: usize) -> Footprint {
+        let mut f = Footprint::EMPTY;
+        f.add_write(region);
+        f
+    }
+
+    /// Record a read of `region` (0..64).
+    pub fn add_read(&mut self, region: usize) {
+        assert!(region < 64, "footprint region out of range");
+        self.reads |= 1 << region;
+    }
+
+    /// Record a write of `region` (0..64).
+    pub fn add_write(&mut self, region: usize) {
+        assert!(region < 64, "footprint region out of range");
+        self.writes |= 1 << region;
+    }
+
+    /// The union of two footprints (a step made of both accesses).
+    #[must_use]
+    pub fn union(self, other: Footprint) -> Footprint {
+        Footprint {
+            reads: self.reads | other.reads,
+            writes: self.writes | other.writes,
+        }
+    }
+
+    /// The read-region bitmask.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// The write-region bitmask.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Do the two footprints conflict (write/write or read/write
+    /// overlap on any region)?
+    #[must_use]
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        (self.writes & (other.reads | other.writes)) != 0 || (other.writes & self.reads) != 0
+    }
+}
+
+/// A dependence relation over observed footprints: `true` when the two
+/// steps must keep their relative order (swapping them could change an
+/// observable outcome).
+///
+/// Pluggable so tests can demonstrate that a *wrong* relation (one
+/// that claims commutativity it does not have) makes the explorer miss
+/// seeded protocol mutants the sound relation catches.
+pub type DepFn = fn(&Footprint, &Footprint) -> bool;
+
+/// The sound dependence relation: steps are dependent iff their
+/// footprints [`conflict`](Footprint::conflicts).
+#[must_use]
+pub fn conflict_dependence(a: &Footprint, b: &Footprint) -> bool {
+    a.conflicts(b)
+}
+
+// ---------------------------------------------------------------------
+// Typed schedules
+// ---------------------------------------------------------------------
+
+/// What one schedule position does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChoiceKind {
+    /// Deliver the next program-order step of process `actor`.
+    Step,
+    /// Drop the message the next step of `actor` would have delivered.
+    Drop,
+    /// Deliver the next step of `actor` twice (a retry raced the
+    /// original).
+    Dup,
+    /// Crash node `actor`.
+    Crash,
+    /// Restart node `actor`.
+    Restart,
+    /// Isolate node `actor` from the network.
+    Isolate,
+    /// Heal node `actor`'s isolation.
+    Heal,
+    /// Crash the metadata controller (`actor` unused, 0).
+    MetaCrash,
+    /// Add node `actor` to the membership.
+    AddNode,
+    /// Remove node `actor` from the membership.
+    RemoveNode,
+}
+
+impl ChoiceKind {
+    /// One-character tag used by [`Choice::render`].
+    fn tag(self) -> char {
+        match self {
+            ChoiceKind::Step => 's',
+            ChoiceKind::Drop => '-',
+            ChoiceKind::Dup => '+',
+            ChoiceKind::Crash => '!',
+            ChoiceKind::Restart => '^',
+            ChoiceKind::Isolate => '/',
+            ChoiceKind::Heal => '~',
+            ChoiceKind::MetaCrash => 'M',
+            ChoiceKind::AddNode => 'a',
+            ChoiceKind::RemoveNode => 'r',
+        }
+    }
+}
+
+/// One position of a [`Schedule`]: a kind plus the process/node it
+/// acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Choice {
+    /// What happens.
+    pub kind: ChoiceKind,
+    /// Which process (for [`ChoiceKind::Step`]/`Drop`/`Dup`) or node
+    /// (for the fault kinds) it happens to.
+    pub actor: u32,
+}
+
+impl Choice {
+    /// A plain protocol step of process `actor`.
+    #[must_use]
+    pub fn step(actor: usize) -> Choice {
+        Choice {
+            kind: ChoiceKind::Step,
+            actor: actor as u32,
+        }
+    }
+
+    /// A crash of node `actor`.
+    #[must_use]
+    pub fn crash(actor: usize) -> Choice {
+        Choice {
+            kind: ChoiceKind::Crash,
+            actor: actor as u32,
+        }
+    }
+
+    /// The compact stable rendering, e.g. `s0` (step of process 0) or
+    /// `!2` (crash of node 2).
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}{}", self.kind.tag(), self.actor)
+    }
+}
+
+/// A typed schedule: the ordered choices of one execution.
+///
+/// Replaces the ad-hoc `&[usize]` / lexicographic-index encodings the
+/// interleaving sweeps used to pass around. Step-only schedules over a
+/// fixed per-process step budget form a multiset-permutation space
+/// with exact counting ([`space`](Schedule::space)), lexicographic
+/// ranking ([`rank`](Schedule::rank) / [`from_rank`](Schedule::from_rank))
+/// and bounded enumeration ([`enumerate`](Schedule::enumerate)).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Schedule {
+    choices: Vec<Choice>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    #[must_use]
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// A schedule made of the given choices.
+    #[must_use]
+    pub fn from_choices(choices: Vec<Choice>) -> Schedule {
+        Schedule { choices }
+    }
+
+    /// A step-only schedule from a sequence of process indices.
+    #[must_use]
+    pub fn steps(actors: &[usize]) -> Schedule {
+        Schedule {
+            choices: actors.iter().map(|&a| Choice::step(a)).collect(),
+        }
+    }
+
+    /// Append a choice.
+    pub fn push(&mut self, c: Choice) {
+        self.choices.push(c);
+    }
+
+    /// Remove and return the last choice.
+    pub fn pop(&mut self) -> Option<Choice> {
+        self.choices.pop()
+    }
+
+    /// Number of choices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Is the schedule empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// The choices in order.
+    #[must_use]
+    pub fn choices(&self) -> &[Choice] {
+        &self.choices
+    }
+
+    /// The actor of every [`ChoiceKind::Step`] choice, in order — the
+    /// legacy `&[usize]` encoding, for model drivers.
+    #[must_use]
+    pub fn step_actors(&self) -> Vec<usize> {
+        self.choices
+            .iter()
+            .filter(|c| c.kind == ChoiceKind::Step)
+            .map(|c| c.actor as usize)
+            .collect()
+    }
+
+    /// The byte-stable rendering: space-separated [`Choice::render`]
+    /// tags, e.g. `s0 s0 s1 !0 s1`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.choices
+            .iter()
+            .map(Choice::render)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The size of the step-only schedule space where process `p` has
+    /// `counts[p]` steps: the multinomial `(Σcounts)! / Π counts[p]!`.
+    #[must_use]
+    pub fn space(counts: &[usize]) -> u128 {
+        // Product of binomials C(placed_so_far + c, c) stays integral
+        // at every intermediate step, unlike the factorial quotient.
+        let mut total: u128 = 1;
+        let mut placed: u128 = 0;
+        for &c in counts {
+            for i in 1..=c as u128 {
+                placed += 1;
+                total = total * placed / i;
+            }
+        }
+        total
+    }
+
+    /// The lexicographic rank (0-based) of this step-only schedule in
+    /// the `counts` space; `None` if the schedule has non-step choices
+    /// or does not use exactly the given step budget.
+    #[must_use]
+    pub fn rank(&self, counts: &[usize]) -> Option<u128> {
+        let mut rem: Vec<usize> = counts.to_vec();
+        let mut rank: u128 = 0;
+        for c in &self.choices {
+            if c.kind != ChoiceKind::Step {
+                return None;
+            }
+            let a = c.actor as usize;
+            if a >= rem.len() || rem[a] == 0 {
+                return None;
+            }
+            for (b, rb) in rem.iter().enumerate().take(a) {
+                if *rb > 0 {
+                    let mut sub = rem.clone();
+                    sub[b] -= 1;
+                    rank += Schedule::space(&sub);
+                }
+            }
+            rem[a] -= 1;
+        }
+        if rem.iter().any(|&r| r != 0) {
+            return None;
+        }
+        Some(rank)
+    }
+
+    /// The step-only schedule at lexicographic `rank` in the `counts`
+    /// space; `None` when `rank >= space(counts)`.
+    #[must_use]
+    pub fn from_rank(counts: &[usize], mut rank: u128) -> Option<Schedule> {
+        if rank >= Schedule::space(counts) {
+            return None;
+        }
+        let total: usize = counts.iter().sum();
+        let mut rem: Vec<usize> = counts.to_vec();
+        let mut sched = Schedule::new();
+        for _ in 0..total {
+            for a in 0..rem.len() {
+                if rem[a] == 0 {
+                    continue;
+                }
+                let mut sub = rem.clone();
+                sub[a] -= 1;
+                let below = Schedule::space(&sub);
+                if rank < below {
+                    sched.push(Choice::step(a));
+                    rem = sub;
+                    break;
+                }
+                rank -= below;
+            }
+        }
+        Some(sched)
+    }
+
+    /// Enumerate step-only schedules of the `counts` space in
+    /// lexicographic order, stopping after `cap` schedules. Returns
+    /// how many `f` saw.
+    pub fn enumerate(counts: &[usize], cap: u128, f: &mut impl FnMut(&Schedule)) -> u128 {
+        fn rec(
+            rem: &mut [usize],
+            sched: &mut Schedule,
+            total: usize,
+            cap: u128,
+            count: &mut u128,
+            f: &mut impl FnMut(&Schedule),
+        ) {
+            if *count >= cap {
+                return;
+            }
+            if sched.len() == total {
+                f(sched);
+                *count += 1;
+                return;
+            }
+            for a in 0..rem.len() {
+                if rem[a] == 0 {
+                    continue;
+                }
+                rem[a] -= 1;
+                sched.push(Choice::step(a));
+                rec(rem, sched, total, cap, count, f);
+                sched.pop();
+                rem[a] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let mut rem = counts.to_vec();
+        let mut sched = Schedule::new();
+        let mut count = 0;
+        rec(&mut rem, &mut sched, total, cap, &mut count, f);
+        count
+    }
+}
+
+// ---------------------------------------------------------------------
+// The exploration model
+// ---------------------------------------------------------------------
+
+/// A system the explorer can drive: a fixed set of processes, each a
+/// program-ordered sequence of steps. Steps never block — any process
+/// with remaining steps can always take its next one (message
+/// deliveries in the 2PC checker have this shape) — which is what
+/// makes sleep sets alone a complete reduction.
+pub trait Model: Clone {
+    /// Number of processes. Process indices are `0..procs()`.
+    fn procs(&self) -> usize;
+
+    /// Steps process `p` has left. `0` means `p` is finished.
+    fn remaining(&self, p: usize) -> usize;
+
+    /// Execute the next step of process `p`, returning the footprint
+    /// it was *observed* to touch. The footprint must cover every
+    /// shared region the step read (anything its behavior depended
+    /// on) or wrote (anything a later step could observe).
+    fn step(&mut self, p: usize) -> Footprint;
+}
+
+/// What the explorer shows the visitor at each point of the search.
+pub enum Visit<'a, M> {
+    /// A DFS node: the state after `schedule`, which is the
+    /// lexicographically-least representative of its *prefix* trace
+    /// class. Every node is visited exactly once per class, including
+    /// the root (empty schedule) and complete leaves — this is the
+    /// hook for grafting continuations (e.g. crash-at-this-point
+    /// failover runs) onto every reachable prefix class.
+    /// `class_size` is the number of schedules in the prefix class,
+    /// or `None` unless [`Explorer::prefix_sizes`] is on.
+    Prefix {
+        /// The model state after the prefix ran.
+        state: &'a M,
+        /// The prefix schedule (class representative).
+        schedule: &'a Schedule,
+        /// Schedules in this prefix class (`None` = not computed).
+        class_size: Option<u128>,
+    },
+    /// A complete schedule — one per Mazurkiewicz class of the full
+    /// space. `class_size` is always computed (it feeds the coverage
+    /// sum in [`ExploreStats`]).
+    Complete {
+        /// The final model state.
+        state: &'a M,
+        /// The complete schedule (class representative).
+        schedule: &'a Schedule,
+        /// Number of schedules in this class.
+        class_size: u128,
+    },
+}
+
+/// Byte-stable statistics of one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Complete schedules executed — one per equivalence class.
+    pub classes: u64,
+    /// Σ class sizes: schedules *covered*. Callers assert this equals
+    /// [`Schedule::space`] of the model, proving the classes partition
+    /// the space exactly once.
+    pub covered: u128,
+    /// DFS nodes visited (prefix classes, including root and leaves).
+    pub nodes: u64,
+    /// Steps executed (DFS edges).
+    pub steps: u64,
+    /// Children skipped because their process was asleep — schedules
+    /// whose class was already covered from an earlier sibling.
+    pub prunes: u64,
+    /// Smallest class size seen (0 when no class was).
+    pub class_min: u128,
+    /// Largest class size seen.
+    pub class_max: u128,
+    /// Length of a complete schedule.
+    pub depth: usize,
+}
+
+impl ExploreStats {
+    /// The one-line byte-stable rendering, identical across runs of
+    /// the same model + relation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "dpor: classes={} covered={} nodes={} steps={} prunes={} depth={} class-min={} class-max={}",
+            self.classes,
+            self.covered,
+            self.nodes,
+            self.steps,
+            self.prunes,
+            self.depth,
+            self.class_min,
+            self.class_max,
+        )
+    }
+}
+
+/// Sleep-set DPOR explorer over a [`Model`].
+///
+/// Children of every node are explored in ascending process order;
+/// after a child's subtree is done its process goes to sleep for the
+/// later siblings, and wakes below a sibling only when that sibling's
+/// step is dependent with it. With always-enabled processes this
+/// visits exactly the lexicographically-least linearization of every
+/// trace class (DESIGN.md §11).
+pub struct Explorer {
+    dependent: DepFn,
+    prefix_sizes: bool,
+}
+
+impl Explorer {
+    /// An explorer over the given dependence relation — use
+    /// [`conflict_dependence`] unless deliberately testing a wrong
+    /// relation.
+    #[must_use]
+    pub fn new(dependent: DepFn) -> Explorer {
+        Explorer {
+            dependent,
+            prefix_sizes: false,
+        }
+    }
+
+    /// Also compute the class size of every *prefix* node (passed to
+    /// [`Visit::Prefix`]); costs one counting pass per node.
+    #[must_use]
+    pub fn prefix_sizes(mut self, on: bool) -> Explorer {
+        self.prefix_sizes = on;
+        self
+    }
+
+    /// Run the exploration from `root`, invoking `visit` at every
+    /// node, and return the run statistics.
+    pub fn run<M: Model>(&self, root: &M, mut visit: impl FnMut(Visit<'_, M>)) -> ExploreStats {
+        let procs = root.procs();
+        let depth = (0..procs).map(|p| root.remaining(p)).sum();
+        let mut stats = ExploreStats {
+            classes: 0,
+            covered: 0,
+            nodes: 0,
+            steps: 0,
+            prunes: 0,
+            class_min: 0,
+            class_max: 0,
+            depth,
+        };
+        let mut trace: Vec<TraceEvent> = Vec::with_capacity(depth);
+        let mut sched = Schedule::new();
+        self.dfs(
+            root.clone(),
+            Vec::new(),
+            &mut trace,
+            &mut sched,
+            &mut stats,
+            &mut visit,
+        );
+        stats
+    }
+
+    fn dfs<M: Model>(
+        &self,
+        state: M,
+        sleep: Vec<(usize, Footprint)>,
+        trace: &mut Vec<TraceEvent>,
+        sched: &mut Schedule,
+        stats: &mut ExploreStats,
+        visit: &mut impl FnMut(Visit<'_, M>),
+    ) {
+        let procs = state.procs();
+        stats.nodes += 1;
+        let prefix_size = self.prefix_sizes.then(|| linear_extensions(trace, procs));
+        visit(Visit::Prefix {
+            state: &state,
+            schedule: sched,
+            class_size: prefix_size,
+        });
+        if (0..procs).all(|p| state.remaining(p) == 0) {
+            let size = prefix_size.unwrap_or_else(|| linear_extensions(trace, procs));
+            stats.classes += 1;
+            stats.covered += size;
+            stats.class_min = if stats.class_min == 0 {
+                size
+            } else {
+                stats.class_min.min(size)
+            };
+            stats.class_max = stats.class_max.max(size);
+            visit(Visit::Complete {
+                state: &state,
+                schedule: sched,
+                class_size: size,
+            });
+            return;
+        }
+        let mut slept = sleep;
+        for p in 0..procs {
+            if state.remaining(p) == 0 {
+                continue;
+            }
+            if slept.iter().any(|&(q, _)| q == p) {
+                stats.prunes += 1;
+                continue;
+            }
+            let mut child = state.clone();
+            let fp = child.step(p);
+            stats.steps += 1;
+            // The new event's vector clock: join of every
+            // happens-before predecessor (same process, or dependent
+            // footprints), then its own program-order index.
+            let mut clock = vec![0usize; procs];
+            let mut own = 0usize;
+            for ev in trace.iter() {
+                if ev.proc == p {
+                    own += 1;
+                }
+                if ev.proc == p || (self.dependent)(&ev.fp, &fp) {
+                    for (c, e) in clock.iter_mut().zip(&ev.clock) {
+                        *c = (*c).max(*e);
+                    }
+                }
+            }
+            clock[p] = own + 1;
+            trace.push(TraceEvent { proc: p, fp, clock });
+            sched.push(Choice::step(p));
+            // A sleeping process stays asleep below `p` only if its
+            // step is independent of `p`'s; a dependent one wakes (its
+            // orders relative to `p` are genuinely different).
+            let child_sleep: Vec<(usize, Footprint)> = slept
+                .iter()
+                .filter(|(_, fq)| !(self.dependent)(fq, &fp))
+                .copied()
+                .collect();
+            self.dfs(child, child_sleep, trace, sched, stats, visit);
+            sched.pop();
+            trace.pop();
+            slept.push((p, fp));
+        }
+    }
+}
+
+struct TraceEvent {
+    proc: usize,
+    fp: Footprint,
+    /// `clock[q]` = number of `q`-events that must precede this event
+    /// (for `q == proc`, its own 1-based program-order index).
+    clock: Vec<usize>,
+}
+
+/// Count the linear extensions of a trace's happens-before partial
+/// order — the exact number of schedules in its equivalence class.
+///
+/// Dynamic program over per-process progress tuples: a state is how
+/// many events of each process have been placed; event `(p, i)` can be
+/// placed when every process `q` has already placed `clock[q]` events.
+fn linear_extensions(trace: &[TraceEvent], procs: usize) -> u128 {
+    let mut counts = vec![0usize; procs];
+    // Per-process clocks in program order.
+    let mut req: Vec<Vec<&[usize]>> = vec![Vec::new(); procs];
+    for ev in trace {
+        counts[ev.proc] += 1;
+        req[ev.proc].push(&ev.clock);
+    }
+    let mut layer: BTreeMap<Vec<usize>, u128> = BTreeMap::new();
+    layer.insert(vec![0usize; procs], 1);
+    for _ in 0..trace.len() {
+        let mut next: BTreeMap<Vec<usize>, u128> = BTreeMap::new();
+        for (progress, ways) in &layer {
+            for p in 0..procs {
+                let i = progress[p];
+                if i >= counts[p] {
+                    continue;
+                }
+                let clock = req[p][i];
+                let ready = (0..procs).all(|q| q == p || progress[q] >= clock[q]);
+                if !ready {
+                    continue;
+                }
+                let mut adv = progress.clone();
+                adv[p] += 1;
+                *next.entry(adv).or_insert(0) += ways;
+            }
+        }
+        layer = next;
+    }
+    layer.values().sum()
+}
+
+/// The greedy lexicographically-least linearization of an executed
+/// schedule's trace: at every position, take the smallest process
+/// whose next event has all its happens-before predecessors placed.
+/// Exploration visits exactly these normal forms, so
+/// `normal_form(σ) ∈ explored` for every schedule σ — the test-side
+/// exactness check on small spaces.
+#[must_use]
+pub fn normal_form(actors: &[usize], fps: &[Footprint], dependent: DepFn) -> Schedule {
+    let procs = actors.iter().copied().max().map_or(0, |m| m + 1);
+    // Vector clocks of every event, in executed order.
+    let mut clocks: Vec<Vec<usize>> = Vec::with_capacity(actors.len());
+    let mut seen = vec![0usize; procs];
+    for (i, (&p, fp)) in actors.iter().zip(fps).enumerate() {
+        let mut clock = vec![0usize; procs];
+        for (j, (&q, fq)) in actors.iter().zip(fps).enumerate().take(i) {
+            if q == p || dependent(fq, fp) {
+                for (c, e) in clock.iter_mut().zip(&clocks[j]) {
+                    *c = (*c).max(*e);
+                }
+            }
+        }
+        seen[p] += 1;
+        clock[p] = seen[p];
+        clocks.push(clock);
+    }
+    // Per-process event clocks in program order.
+    let mut req: Vec<Vec<&[usize]>> = vec![Vec::new(); procs];
+    for (&p, clock) in actors.iter().zip(&clocks) {
+        req[p].push(clock);
+    }
+    let mut progress = vec![0usize; procs];
+    let mut out = Schedule::new();
+    for _ in 0..actors.len() {
+        let p = (0..procs)
+            .find(|&p| {
+                let i = progress[p];
+                i < req[p].len() && (0..procs).all(|q| q == p || progress[q] >= req[p][i][q])
+            })
+            .expect("happens-before order has a linearization");
+        progress[p] += 1;
+        out.push(Choice::step(p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A scripted toy model: each process emits a fixed footprint
+    /// sequence and owns no other state.
+    #[derive(Clone)]
+    struct Toy {
+        script: Vec<Vec<Footprint>>,
+        done: Vec<usize>,
+    }
+
+    impl Toy {
+        fn new(script: Vec<Vec<Footprint>>) -> Toy {
+            let done = vec![0; script.len()];
+            Toy { script, done }
+        }
+    }
+
+    impl Model for Toy {
+        fn procs(&self) -> usize {
+            self.script.len()
+        }
+        fn remaining(&self, p: usize) -> usize {
+            self.script[p].len() - self.done[p]
+        }
+        fn step(&mut self, p: usize) -> Footprint {
+            let fp = self.script[p][self.done[p]];
+            self.done[p] += 1;
+            fp
+        }
+    }
+
+    fn explore_toy(toy: &Toy) -> (ExploreStats, Vec<Schedule>) {
+        let mut reps = Vec::new();
+        let stats = Explorer::new(conflict_dependence).run(toy, |v| {
+            if let Visit::Complete { schedule, .. } = v {
+                reps.push(schedule.clone());
+            }
+        });
+        (stats, reps)
+    }
+
+    #[test]
+    fn footprint_conflicts() {
+        let w0 = Footprint::write(0);
+        let r0 = Footprint::read(0);
+        let w1 = Footprint::write(1);
+        let r1 = Footprint::read(1);
+        assert!(w0.conflicts(&w0), "write/write same region");
+        assert!(w0.conflicts(&r0) && r0.conflicts(&w0), "read/write");
+        assert!(!r0.conflicts(&r0), "read/read never conflicts");
+        assert!(!w0.conflicts(&w1) && !w0.conflicts(&r1), "disjoint regions");
+        let both = w0.union(r1);
+        assert!(both.conflicts(&w1), "union carries the read");
+    }
+
+    #[test]
+    fn independent_pair_explores_one_class() {
+        let toy = Toy::new(vec![vec![Footprint::write(0)], vec![Footprint::write(1)]]);
+        let (stats, reps) = explore_toy(&toy);
+        assert_eq!(stats.classes, 1);
+        assert_eq!(stats.covered, 2, "the one class holds both schedules");
+        assert_eq!(stats.prunes, 1, "the second-order sibling slept");
+        assert_eq!(reps, vec![Schedule::steps(&[0, 1])], "lex-least rep");
+    }
+
+    #[test]
+    fn dependent_pair_explores_both_orders() {
+        let toy = Toy::new(vec![vec![Footprint::write(0)], vec![Footprint::write(0)]]);
+        let (stats, reps) = explore_toy(&toy);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.covered, 2);
+        assert_eq!(stats.prunes, 0);
+        assert_eq!(
+            reps,
+            vec![Schedule::steps(&[0, 1]), Schedule::steps(&[1, 0])]
+        );
+    }
+
+    #[test]
+    fn read_read_is_independent() {
+        // Two reads of the same region commute (gets on one key).
+        let toy = Toy::new(vec![vec![Footprint::read(3)], vec![Footprint::read(3)]]);
+        let (stats, _) = explore_toy(&toy);
+        assert_eq!(stats.classes, 1);
+        assert_eq!(stats.covered, 2);
+    }
+
+    /// Brute-force exactness: on a mixed 3-process toy, the explored
+    /// representatives must be exactly the normal forms of the full
+    /// space, with class sizes matching the actual class populations.
+    #[test]
+    fn partition_matches_brute_force() {
+        let script = vec![
+            vec![Footprint::write(0), Footprint::write(1)],
+            vec![Footprint::write(1), Footprint::read(0)],
+            vec![Footprint::write(2), Footprint::write(0)],
+        ];
+        let toy = Toy::new(script.clone());
+        let (stats, reps) = explore_toy(&toy);
+        let counts = [2usize, 2, 2];
+        let space = Schedule::space(&counts);
+        assert_eq!(stats.covered, space, "classes must partition the space");
+
+        // Classify every schedule of the space by its normal form.
+        let mut by_nf: BTreeMap<Schedule, u128> = BTreeMap::new();
+        Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+            let actors = sched.step_actors();
+            let mut done = vec![0usize; script.len()];
+            let fps: Vec<Footprint> = actors
+                .iter()
+                .map(|&p| {
+                    let fp = script[p][done[p]];
+                    done[p] += 1;
+                    fp
+                })
+                .collect();
+            let nf = normal_form(&actors, &fps, conflict_dependence);
+            *by_nf.entry(nf).or_insert(0) += 1;
+        });
+        let explored: BTreeMap<Schedule, u128> = {
+            let mut m = BTreeMap::new();
+            let toy = Toy::new(script.clone());
+            Explorer::new(conflict_dependence).run(&toy, |v| {
+                if let Visit::Complete {
+                    schedule,
+                    class_size,
+                    ..
+                } = v
+                {
+                    m.insert(schedule.clone(), class_size);
+                }
+            });
+            m
+        };
+        assert_eq!(
+            explored, by_nf,
+            "explored reps+sizes == brute-force classes"
+        );
+        assert_eq!(reps.len() as u64, stats.classes);
+    }
+
+    #[test]
+    fn always_independent_relation_collapses_to_one_class() {
+        // The deliberately wrong relation: everything commutes. The
+        // explorer then runs a single serial schedule — the fixture
+        // the mutation tests use to show a wrong relation loses bugs.
+        fn never(_: &Footprint, _: &Footprint) -> bool {
+            false
+        }
+        let toy = Toy::new(vec![
+            vec![Footprint::write(0); 2],
+            vec![Footprint::write(0); 2],
+        ]);
+        let stats = Explorer::new(never).run(&toy, |_| {});
+        assert_eq!(stats.classes, 1);
+        assert_eq!(stats.covered, Schedule::space(&[2, 2]));
+    }
+
+    #[test]
+    fn prefix_visits_cover_every_depth() {
+        let toy = Toy::new(vec![vec![Footprint::write(0)], vec![Footprint::write(0)]]);
+        let mut depths = Vec::new();
+        let _ = Explorer::new(conflict_dependence)
+            .prefix_sizes(true)
+            .run(&toy, |v| {
+                if let Visit::Prefix {
+                    schedule,
+                    class_size,
+                    ..
+                } = v
+                {
+                    depths.push((schedule.len(), class_size.unwrap()));
+                }
+            });
+        // Root (1 class of size 1), two depth-1 prefixes, two leaves.
+        assert_eq!(depths, vec![(0, 1), (1, 1), (2, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn schedule_space_and_rank_roundtrip() {
+        let counts = [2usize, 2, 1];
+        assert_eq!(Schedule::space(&counts), 30);
+        let mut index: u128 = 0;
+        Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+            assert_eq!(sched.rank(&counts), Some(index), "{}", sched.render());
+            assert_eq!(
+                Schedule::from_rank(&counts, index).as_ref(),
+                Some(sched),
+                "roundtrip at {index}"
+            );
+            index += 1;
+        });
+        assert_eq!(index, 30);
+        assert_eq!(Schedule::from_rank(&counts, 30), None);
+        // Mis-shaped schedules have no rank in this space.
+        assert_eq!(Schedule::steps(&[0, 0, 0, 1, 2]).rank(&counts), None);
+        let mut with_crash = Schedule::steps(&[0, 0, 1, 1]);
+        with_crash.push(Choice::crash(2));
+        assert_eq!(with_crash.rank(&counts), None);
+    }
+
+    #[test]
+    fn schedule_render_is_stable() {
+        let mut s = Schedule::steps(&[0, 1]);
+        s.push(Choice::crash(0));
+        s.push(Choice {
+            kind: ChoiceKind::Restart,
+            actor: 0,
+        });
+        s.push(Choice {
+            kind: ChoiceKind::Drop,
+            actor: 1,
+        });
+        assert_eq!(s.render(), "s0 s1 !0 ^0 -1");
+        assert_eq!(s.step_actors(), vec![0, 1]);
+    }
+
+    #[test]
+    fn stats_render_is_byte_stable() {
+        let toy = Toy::new(vec![
+            vec![Footprint::write(0), Footprint::write(1)],
+            vec![Footprint::write(1), Footprint::write(2)],
+        ]);
+        let a = Explorer::new(conflict_dependence).run(&toy, |_| {});
+        let b = Explorer::new(conflict_dependence).run(&toy, |_| {});
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.covered, Schedule::space(&[2, 2]));
+    }
+
+    #[test]
+    fn linear_extension_counts_sum_to_space() {
+        // A chain-heavy toy: verify Σ class sizes across several shapes.
+        for script in [
+            vec![vec![Footprint::write(0); 3], vec![Footprint::write(0); 2]],
+            vec![vec![Footprint::write(0); 2], vec![Footprint::write(1); 3]],
+            vec![
+                vec![Footprint::write(0), Footprint::read(1)],
+                vec![Footprint::read(0), Footprint::write(1)],
+                vec![Footprint::read(0), Footprint::read(1)],
+            ],
+        ] {
+            let counts: Vec<usize> = script.iter().map(Vec::len).collect();
+            let toy = Toy::new(script);
+            let (stats, _) = explore_toy(&toy);
+            assert_eq!(stats.covered, Schedule::space(&counts));
+        }
+    }
+}

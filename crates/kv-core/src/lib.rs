@@ -30,19 +30,24 @@ mod chaos;
 mod client;
 mod engine;
 mod error;
+pub mod explore;
 mod history;
 mod store;
 mod types;
 
 pub use chaos::{AdminEvent, ChaosPlan, ChaosSpec, CrashEvent, IsolationEvent};
 pub use client::{
-    Attempt, ClientCore, ClientOp, Issue, OpRecord, ReplyAction, RetryAction, RetryPolicy,
-    IDLE_POLL, NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
+    Attempt, ClientCore, ClientOp, Issue, KvClient, OpRecord, ReplyAction, RetryAction,
+    RetryPolicy, IDLE_POLL, NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 pub use engine::{
     Counters, Effect, EngineCfg, EngineRole, Group, LockResolution, ReplicationEngine, TwoPcEngine,
 };
 pub use error::KvError;
+pub use explore::{
+    conflict_dependence, normal_form, Choice, ChoiceKind, DepFn, ExploreStats, Explorer, Footprint,
+    Model, Schedule, Visit,
+};
 pub use history::{History, HistoryOp, Outcome, Violation, ViolationKind, MAX_OPS_PER_KEY};
 pub use store::{Committed, LogEntry, ObjectStore, Pending, StorageCfg};
 pub use types::{

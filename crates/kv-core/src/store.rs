@@ -63,7 +63,11 @@ pub struct LogEntry {
 }
 
 /// The object store.
-#[derive(Debug, Default)]
+///
+/// `Clone` is part of the exploration API: the DPOR explorer forks the
+/// store (inside a cloned [`TwoPcEngine`](crate::TwoPcEngine)) to probe
+/// a step's read/write footprint without committing to the branch.
+#[derive(Debug, Default, Clone)]
 pub struct ObjectStore {
     cfg: StorageCfg,
     /// Committed objects (persistent).

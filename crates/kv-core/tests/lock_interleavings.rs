@@ -1,4 +1,5 @@
-//! Exhaustive interleaving checker for the shared 2PC put state machine.
+//! Interleaving checker for the shared 2PC put state machine, driven by
+//! the kv-core DPOR explorer.
 //!
 //! NICE's put protocol (§4.3, Figure 3) serializes concurrent puts to one
 //! object through per-replica in-memory locks plus the primary's
@@ -32,26 +33,41 @@
 //!    committed state;
 //! 4. **progress** — a put that acquired every replica lock commits.
 //!
-//! The two-put × three-replica and three-put × one-replica spaces are
-//! covered exhaustively (3432 + 1680 schedules); the three-put ×
-//! two-replica space (756 756 schedules) runs as a deterministic 10 000
-//! schedule prefix in the fast tier and in full under `--include-ignored`
-//! (`scripts/check.sh --release` wires it in).
+//! Schedules are [`Schedule`] values; small spaces (two puts × three
+//! replicas, three puts × one replica) are still swept exhaustively via
+//! [`Schedule::enumerate`] as ground truth. The big spaces run through
+//! the [`Explorer`]: [`StepModel`] adapts a live [`Run`] to the
+//! [`Model`] trait, observing each step's [`Footprint`] *empirically* —
+//! it diffs every replica engine's protocol-visible signature
+//! ([`rep_sig`]) across the step to find the write set, and models the
+//! read set as the step's home replica. With that relation the full
+//! 756,756-schedule three-put × two-replica space is covered in the
+//! debug fast tier by visiting one representative per Mazurkiewicz
+//! trace class, with the coverage arithmetic (Σ class sizes = full
+//! space) asserted exactly; the release tier re-runs the space
+//! exhaustively and cross-checks the partition class by class
+//! (`three_puts_two_replicas_full_cross_check`).
 //!
 //! On top of the fault-free sweeps, three failure dimensions are
-//! enumerated: **primary failover mid-2PC** (every schedule × every
-//! crash point, followed by client retries, the production
-//! [`LockResolution`] settlement, and the two-phase rejoin catch-up),
+//! enumerated: **primary failover mid-2PC** (the 2×2 space exhaustively
+//! at every crash point; the 2×3 space through the explorer's *prefix*
+//! classes — every crash prefix of all 3432 schedules is covered by one
+//! representative, with per-depth coverage sums proving the partition),
 //! **message loss** (every wire message of every schedule dropped in
 //! turn), and **message duplication** (every wire message delivered
-//! twice, asserting byte-identical outcomes). A seeded lock-release
-//! mutation test confirms the invariants still have teeth.
+//! twice, asserting byte-identical outcomes). Seeded protocol mutations
+//! (a forgotten abort release; a lock-stealing accept) confirm both the
+//! invariants and the independence relation have teeth: the reduced
+//! exploration must catch every mutant the exhaustive sweep catches,
+//! while a deliberately-wrong "everything commutes" relation provably
+//! misses one.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use kv_core::{
-    Effect, EngineCfg, EngineRole, Group, LockResolution, NodeIdx, OpId, ReplicationEngine,
-    StorageCfg, Timestamp, TwoPcEngine, Value,
+    conflict_dependence, normal_form, Effect, EngineCfg, EngineRole, Explorer, Footprint, Group,
+    LockResolution, LogEntry, Model, NodeIdx, OpId, ReplicationEngine, Schedule, StorageCfg,
+    Timestamp, TwoPcEngine, Value, Visit,
 };
 use nice_sim::{Ipv4, Time};
 
@@ -110,6 +126,7 @@ fn engine() -> TwoPcEngine {
 }
 
 /// Everything observable after one schedule has run to quiescence.
+#[derive(Debug, Clone, PartialEq)]
 struct Outcome {
     /// Committed timestamp per put (`None` = aborted).
     committed: Vec<Option<Timestamp>>,
@@ -139,10 +156,18 @@ enum Mutation {
     None,
     /// The abort path forgets to deliver the release to the replicas.
     SkipAbortRelease,
+    /// An arriving put forcibly releases another put's replica lock
+    /// before locking (a botched stale-lock heuristic). The stolen put
+    /// still believes it holds the replica set, so its commit silently
+    /// fails to apply wherever the thief squatted — an order-dependent
+    /// divergence only specific interleavings expose.
+    LockSteal,
 }
 
 /// A single live execution: one production [`TwoPcEngine`] per replica
 /// (replica 0 hosts the coordinator) plus the schedule's bookkeeping.
+/// `Clone` lets the DPOR explorer fork an execution mid-schedule.
+#[derive(Clone)]
 struct Run {
     engines: Vec<TwoPcEngine>,
     cursor: Vec<usize>,
@@ -246,6 +271,20 @@ impl Run {
         let op = op_id(o);
         match step {
             Step::Lock(r) => {
+                if mutation == Mutation::LockSteal {
+                    // The mutant "frees" a lock another put holds. The
+                    // release is local misbehavior, not wire traffic, so
+                    // its effects are discarded, not pumped.
+                    let victim = self.engines[r]
+                        .store()
+                        .pending(KEY)
+                        .map(|p| p.op)
+                        .filter(|&v| v != op);
+                    if let Some(victim) = victim {
+                        let mut sink = Vec::new();
+                        self.engines[r].on_abort(KEY, victim, Time::MAX, &mut sink);
+                    }
+                }
                 for _ in 0..copies {
                     let mut fx = Vec::new();
                     self.engines[r].accept(KEY, value_of(o), op, Time::ZERO, &mut fx);
@@ -332,25 +371,114 @@ impl Run {
     }
 }
 
-/// Run one schedule. `sched[i]` names the put that takes its next step
-/// at position `i`; each put's own steps execute in program order.
-fn run_schedule(ops: usize, replicas: usize, sched: &[usize]) -> Outcome {
+// ---------------------------------------------------------------------
+// The DPOR model: a Run adapted to kv_core::Model, with footprints
+// observed by diffing replica signatures across each step.
+// ---------------------------------------------------------------------
+
+/// One replica engine's protocol-visible signature: the lock holder (and
+/// whether its write completed), the committed copy, the persistent log,
+/// and the sequence floor. This is exactly the state a step of *another*
+/// put can observe — coordinator records, ack counts, and queued waiters
+/// are keyed per `(key, op)` and only ever touched by their own put's
+/// program-ordered steps, so they cannot carry cross-put dependences.
+/// Diffing signatures across a step yields its write footprint
+/// empirically; the read footprint is the step's home replica (a
+/// delivery consults that replica's lock/committed state to decide what
+/// to do).
+type RepSig = (
+    Option<(OpId, bool)>,
+    Option<(Vec<u8>, Timestamp)>,
+    Vec<LogEntry>,
+    u64,
+);
+
+fn rep_sig(e: &TwoPcEngine) -> RepSig {
+    let s = e.store();
+    (
+        s.pending(KEY).map(|p| (p.op, p.written)),
+        s.get(KEY).map(|c| (c.value.bytes.to_vec(), c.ts)),
+        s.log().to_vec(),
+        e.lock_report(&|_| false).1,
+    )
+}
+
+/// A live [`Run`] as a DPOR [`Model`]: process `p` is put `p`, its steps
+/// the `Lock… Decide Finish…` program. One footprint region per replica.
+#[derive(Clone)]
+struct StepModel {
+    run: Run,
+    mutation: Mutation,
+    strict: bool,
+}
+
+impl StepModel {
+    fn new(ops: usize, replicas: usize, mutation: Mutation, strict: bool) -> StepModel {
+        StepModel {
+            run: Run::new(ops, replicas),
+            mutation,
+            strict,
+        }
+    }
+}
+
+impl Model for StepModel {
+    fn procs(&self) -> usize {
+        self.run.cursor.len()
+    }
+
+    fn remaining(&self, p: usize) -> usize {
+        2 * self.run.engines.len() + 1 - self.run.cursor[p]
+    }
+
+    fn step(&mut self, p: usize) -> Footprint {
+        let replicas = self.run.engines.len();
+        let step = step_of(self.run.cursor[p], replicas);
+        let undecided = self.run.decision[p].is_none();
+        let before: Vec<RepSig> = self.run.engines.iter().map(rep_sig).collect();
+        self.run.exec(p, Fault::Deliver, self.mutation, self.strict);
+        // Reads: the step's home replica — `accept`/`on_commit`/
+        // `on_abort` branch on that replica's lock and committed state.
+        // A Decide over an already-buffered decision consults nothing
+        // outside its own put's bookkeeping.
+        let mut fp = match step {
+            Step::Lock(r) | Step::Finish(r) => Footprint::read(r),
+            Step::Decide if undecided => Footprint::read(0),
+            Step::Decide => Footprint::EMPTY,
+        };
+        // Writes: every replica whose signature the step changed —
+        // including the coordinator when a final ack mints the timestamp
+        // (sequence floor + self-applied commit), which is what orders
+        // two committing puts.
+        for (r, sig) in before.iter().enumerate() {
+            if *sig != rep_sig(&self.run.engines[r]) {
+                fp.add_write(r);
+            }
+        }
+        fp
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule execution + invariants
+// ---------------------------------------------------------------------
+
+/// Run one schedule. Each position names the put that takes its next
+/// step; each put's own steps execute in program order.
+fn run_schedule(ops: usize, replicas: usize, sched: &Schedule) -> Outcome {
     let mut run = Run::new(ops, replicas);
-    for &o in sched {
+    for o in sched.step_actors() {
         run.exec(o, Fault::Deliver, Mutation::None, true);
     }
     run.outcome()
 }
 
-fn check_schedule(ops: usize, replicas: usize, sched: &[usize]) -> Outcome {
-    let out = run_schedule(ops, replicas, sched);
-
+/// The invariant violated by an outcome, if any (None = all hold).
+fn outcome_violation(out: &Outcome) -> Option<String> {
     // 1. No stranded locks, log entries, or in-doubt puts.
-    assert!(
-        !out.stranded,
-        "stranded lock/log state after schedule {sched:?}"
-    );
-
+    if out.stranded {
+        return Some("stranded lock/log state".to_owned());
+    }
     // 2 + 3. Every replica converged on the max-timestamp committed put.
     let expect = out
         .committed
@@ -360,53 +488,27 @@ fn check_schedule(ops: usize, replicas: usize, sched: &[usize]) -> Outcome {
         .max()
         .map(|(ts, o)| (value_of(o).bytes.to_vec(), ts));
     for (r, fin) in out.finals.iter().enumerate() {
-        assert_eq!(
-            *fin, expect,
-            "replica {r} diverged from the winning put after schedule {sched:?}"
-        );
+        if *fin != expect {
+            return Some(format!("replica {r} diverged from the winning put"));
+        }
     }
+    None
+}
+
+fn check_outcome(out: &Outcome, what: &str) {
+    if let Some(v) = outcome_violation(out) {
+        panic!("{v} after schedule {what}");
+    }
+}
+
+fn check_schedule(ops: usize, replicas: usize, sched: &Schedule) -> Outcome {
+    let out = run_schedule(ops, replicas, sched);
+    check_outcome(&out, &sched.render());
     out
 }
 
-/// Enumerate distinct interleavings of `ops` sequences of `steps` steps
-/// each, in lexicographic order, invoking `f` on every complete schedule
-/// until `cap` schedules have been visited. Returns how many ran.
-fn enumerate(ops: usize, steps: usize, cap: usize, f: &mut impl FnMut(&[usize])) -> usize {
-    fn rec(
-        remaining: &mut [usize],
-        prefix: &mut Vec<usize>,
-        total: usize,
-        cap: usize,
-        count: &mut usize,
-        f: &mut impl FnMut(&[usize]),
-    ) {
-        if *count >= cap {
-            return;
-        }
-        if prefix.len() == total {
-            f(prefix);
-            *count += 1;
-            return;
-        }
-        for o in 0..remaining.len() {
-            if remaining[o] == 0 {
-                continue;
-            }
-            remaining[o] -= 1;
-            prefix.push(o);
-            rec(remaining, prefix, total, cap, count, f);
-            prefix.pop();
-            remaining[o] += 1;
-        }
-    }
-    let mut remaining = vec![steps; ops];
-    let mut prefix = Vec::with_capacity(ops * steps);
-    let mut count = 0;
-    rec(&mut remaining, &mut prefix, ops * steps, cap, &mut count, f);
-    count
-}
-
 /// Drive every schedule of a configuration and keep cross-schedule tallies.
+#[derive(Default)]
 struct Tally {
     schedules: usize,
     commits: usize,
@@ -415,26 +517,29 @@ struct Tally {
     none_committed: usize,
 }
 
-fn sweep(ops: usize, replicas: usize, cap: usize) -> Tally {
-    let steps = 2 * replicas + 1;
-    let mut t = Tally {
-        schedules: 0,
-        commits: 0,
-        aborts: 0,
-        all_committed: 0,
-        none_committed: 0,
-    };
-    t.schedules = enumerate(ops, steps, cap, &mut |sched| {
-        let out = check_schedule(ops, replicas, sched);
+impl Tally {
+    /// Absorb one outcome observed `weight` times (1 for exhaustive
+    /// sweeps; the class size for DPOR representatives).
+    fn absorb(&mut self, ops: usize, out: &Outcome, weight: usize) {
         let c = out.committed.iter().filter(|d| d.is_some()).count();
-        t.commits += c;
-        t.aborts += ops - c;
+        self.schedules += weight;
+        self.commits += c * weight;
+        self.aborts += (ops - c) * weight;
         if c == ops {
-            t.all_committed += 1;
+            self.all_committed += weight;
         }
         if c == 0 {
-            t.none_committed += 1;
+            self.none_committed += weight;
         }
+    }
+}
+
+fn sweep(ops: usize, replicas: usize, cap: u128) -> Tally {
+    let counts = vec![2 * replicas + 1; ops];
+    let mut t = Tally::default();
+    Schedule::enumerate(&counts, cap, &mut |sched| {
+        let out = check_schedule(ops, replicas, sched);
+        t.absorb(ops, &out, 1);
     });
     t
 }
@@ -442,7 +547,7 @@ fn sweep(ops: usize, replicas: usize, cap: usize) -> Tally {
 #[test]
 fn two_puts_three_replicas_exhaustive() {
     // C(14, 7) distinct interleavings of two 7-step puts.
-    let t = sweep(2, 3, usize::MAX);
+    let t = sweep(2, 3, u128::MAX);
     assert_eq!(t.schedules, 3432);
     // The serial schedules must let both puts commit...
     assert!(t.all_committed > 0, "no schedule committed both puts");
@@ -453,7 +558,7 @@ fn two_puts_three_replicas_exhaustive() {
 #[test]
 fn three_puts_one_replica_exhaustive() {
     // 9! / (3!)^3 distinct interleavings of three 3-step puts.
-    let t = sweep(3, 1, usize::MAX);
+    let t = sweep(3, 1, u128::MAX);
     assert_eq!(t.schedules, 1680);
     // With a single replica the whole round runs inside the Lock step:
     // the sole ack1 arrives synchronously, the coordinator commits at
@@ -464,24 +569,150 @@ fn three_puts_one_replica_exhaustive() {
 }
 
 #[test]
-fn three_puts_two_replicas_prefix() {
-    // The full space is 15!/(5!)^3 = 756 756 schedules; a deterministic
-    // lexicographic prefix keeps the fast tier bounded while still mixing
-    // all three puts (the prefix varies the tails of puts 1 and 2 first).
-    let t = sweep(3, 2, 10_000);
-    assert_eq!(t.schedules, 10_000);
-    assert!(t.commits > 0);
-}
-
-#[test]
-#[ignore = "full 756,756-schedule sweep; wired into scripts/check.sh --release"]
-fn three_puts_two_replicas_full() {
-    // The complete 15!/(5!)^3 space, release-tier only.
-    let t = sweep(3, 2, usize::MAX);
-    assert_eq!(t.schedules, 756_756);
+fn three_puts_two_replicas_dpor_full() {
+    // The tentpole: the full 15!/(5!)^3 = 756,756-schedule space, in the
+    // debug fast tier, by exploring one representative per Mazurkiewicz
+    // class. `stats.covered` is Σ (linear extensions of each class's
+    // happens-before order); equality with the multinomial proves the
+    // classes partition the space exactly once. Run twice: the stats
+    // must render byte-identically.
+    let (ops, replicas) = (3, 2);
+    let space = Schedule::space(&[2 * replicas + 1; 3]);
+    assert_eq!(space, 756_756);
+    let explore = || {
+        let root = StepModel::new(ops, replicas, Mutation::None, true);
+        let mut t = Tally::default();
+        let stats = Explorer::new(conflict_dependence).run(&root, |v| {
+            if let Visit::Complete {
+                state,
+                schedule,
+                class_size,
+            } = v
+            {
+                let out = state.run.outcome();
+                check_outcome(&out, &schedule.render());
+                t.absorb(ops, &out, class_size as usize);
+            }
+        });
+        (stats, t)
+    };
+    let (a, t) = explore();
+    let (b, _) = explore();
+    eprintln!("{}", a.render());
+    assert_eq!(a.render(), b.render(), "stats must be byte-stable");
+    assert_eq!(a.covered, space, "classes must partition the space");
+    assert_eq!(t.schedules as u128, space);
     assert!(t.all_committed > 0, "no schedule committed all three puts");
     assert!(t.aborts > 0, "no schedule aborted a put");
     assert!(t.none_committed > 0, "no schedule aborted every put");
+}
+
+#[test]
+fn two_puts_three_replicas_dpor_matches_exhaustive() {
+    // Partition exactness on a real engine space small enough to brute
+    // force: classify all 3432 schedules by the greedy normal form of
+    // their observed trace, assert every class is outcome-uniform, and
+    // assert the explorer visits exactly the normal forms with exactly
+    // the brute-force class populations.
+    let (ops, replicas) = (2, 3);
+    let counts = vec![2 * replicas + 1; ops];
+    let mut by_nf: BTreeMap<Schedule, (u128, Outcome)> = BTreeMap::new();
+    Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+        let actors = sched.step_actors();
+        let mut m = StepModel::new(ops, replicas, Mutation::None, true);
+        let fps: Vec<Footprint> = actors.iter().map(|&p| m.step(p)).collect();
+        let out = m.run.outcome();
+        let nf = normal_form(&actors, &fps, conflict_dependence);
+        let e = by_nf.entry(nf).or_insert_with(|| (0, out.clone()));
+        e.0 += 1;
+        assert_eq!(
+            e.1,
+            out,
+            "outcomes diverged within one class ({})",
+            sched.render()
+        );
+    });
+    let mut explored: BTreeMap<Schedule, (u128, Outcome)> = BTreeMap::new();
+    let root = StepModel::new(ops, replicas, Mutation::None, true);
+    Explorer::new(conflict_dependence).run(&root, |v| {
+        if let Visit::Complete {
+            state,
+            schedule,
+            class_size,
+        } = v
+        {
+            explored.insert(schedule.clone(), (class_size, state.run.outcome()));
+        }
+    });
+    assert_eq!(
+        explored, by_nf,
+        "explored representatives must equal brute-force classes"
+    );
+}
+
+#[test]
+#[ignore = "full 756,756-schedule exhaustive cross-check; wired into scripts/check.sh --release"]
+fn three_puts_two_replicas_full_cross_check() {
+    // The release-tier cross-check behind the fast tier's DPOR run: walk
+    // the complete space exhaustively, verify every schedule's
+    // invariants and classify it by normal form (asserting verdicts are
+    // identical within each class), then re-run the explorer and demand
+    // it produced exactly those classes with exactly those populations.
+    let (ops, replicas) = (3, 2);
+    let counts = vec![2 * replicas + 1; ops];
+    let mut by_nf: BTreeMap<Schedule, (u128, Outcome)> = BTreeMap::new();
+    let mut t = Tally::default();
+    let n = Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+        let actors = sched.step_actors();
+        let mut m = StepModel::new(ops, replicas, Mutation::None, true);
+        let fps: Vec<Footprint> = actors.iter().map(|&p| m.step(p)).collect();
+        let out = m.run.outcome();
+        check_outcome(&out, &sched.render());
+        t.absorb(ops, &out, 1);
+        let nf = normal_form(&actors, &fps, conflict_dependence);
+        let e = by_nf.entry(nf).or_insert_with(|| (0, out.clone()));
+        e.0 += 1;
+        assert_eq!(
+            e.1,
+            out,
+            "outcomes diverged within one class ({})",
+            sched.render()
+        );
+    });
+    assert_eq!(n, 756_756);
+    assert!(t.all_committed > 0, "no schedule committed all three puts");
+    assert!(t.aborts > 0, "no schedule aborted a put");
+    assert!(t.none_committed > 0, "no schedule aborted every put");
+
+    let root = StepModel::new(ops, replicas, Mutation::None, true);
+    let mut classes = 0usize;
+    let stats = Explorer::new(conflict_dependence).run(&root, |v| {
+        if let Visit::Complete {
+            state,
+            schedule,
+            class_size,
+        } = v
+        {
+            let (count, out) = by_nf
+                .get(schedule)
+                .expect("explorer visited a schedule that is not a normal form");
+            assert_eq!(
+                *count,
+                class_size,
+                "class population mismatch at {}",
+                schedule.render()
+            );
+            assert_eq!(
+                out,
+                &state.run.outcome(),
+                "exhaustive and reduced verdicts differ at {}",
+                schedule.render()
+            );
+            classes += 1;
+        }
+    });
+    assert_eq!(classes, by_nf.len(), "explorer missed brute-force classes");
+    assert_eq!(stats.covered, 756_756);
 }
 
 // ---------------------------------------------------------------------
@@ -686,9 +917,9 @@ fn put_while_down(run: &mut Run) {
     run.applied.push(true);
 }
 
-/// One primary-failover run: the prefix of `sched` before `crash_at`
-/// executes, then the coordinator's node (hosting replica 0's engine)
-/// crashes — its in-memory locks and coordinator records vanish
+/// The failover tail grafted onto an executed schedule prefix: the
+/// coordinator's node (hosting replica 0's engine) crashes — its
+/// in-memory locks and coordinator records vanish
 /// ([`ReplicationEngine::reset`]), its written pendings survive as
 /// in-doubt entries, and every in-flight step dies with it. With
 /// `write_durable` false the crash lands after the lock ack but before
@@ -698,18 +929,13 @@ fn put_while_down(run: &mut Run) {
 /// rejoiner's persistent-log report too — and with `down_put` true
 /// accepts one more put on the surviving replicas while the node is
 /// down, so the rejoin must recover the newer object in phase two.
-fn check_failover_schedule(
-    ops: usize,
-    replicas: usize,
-    sched: &[usize],
-    crash_at: usize,
+fn failover_continuation(
+    mut run: Run,
     write_durable: bool,
     down_put: bool,
+    what: &str,
 ) -> (Settled, Vec<usize>) {
-    let mut run = Run::new(ops, replicas);
-    for &o in &sched[..crash_at] {
-        run.exec(o, Fault::Deliver, Mutation::None, false);
-    }
+    let replicas = run.engines.len();
     if !write_durable {
         if let Some(p) = run.engines[0].store_mut().pending_mut(KEY) {
             p.written = false;
@@ -738,10 +964,28 @@ fn check_failover_schedule(
     // stale or missing object.
     assert_eq!(
         behind, resynced,
-        "rejoin phase two must sync exactly the lagging replicas ({sched:?} @ {crash_at})"
+        "rejoin phase two must sync exactly the lagging replicas ({what})"
     );
-    assert_resolved(&run, &applied_pre, &format!("{sched:?} @ crash {crash_at}"));
+    assert_resolved(&run, &applied_pre, what);
     (settled, resynced)
+}
+
+/// One primary-failover run: execute the prefix of `sched` before
+/// `crash_at`, then hand the state to [`failover_continuation`].
+fn check_failover_schedule(
+    ops: usize,
+    replicas: usize,
+    sched: &Schedule,
+    crash_at: usize,
+    write_durable: bool,
+    down_put: bool,
+) -> (Settled, Vec<usize>) {
+    let mut run = Run::new(ops, replicas);
+    for o in &sched.step_actors()[..crash_at] {
+        run.exec(*o, Fault::Deliver, Mutation::None, false);
+    }
+    let what = format!("{} @ crash {crash_at}", sched.render());
+    failover_continuation(run, write_durable, down_put, &what)
 }
 
 #[test]
@@ -752,11 +996,11 @@ fn primary_failover_mid_2pc_exhaustive() {
     // any survivor has always also been acknowledged, so the
     // commit-resolution rule is exercised by the 3-replica sweep below.)
     let (ops, replicas) = (2, 2);
-    let steps = 2 * replicas + 1;
+    let counts = vec![2 * replicas + 1; ops];
     let mut runs = 0usize;
     let mut resolution_aborts = 0usize;
     let mut primary_rejoined_behind = 0usize;
-    enumerate(ops, steps, usize::MAX, &mut |sched| {
+    Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
         for crash_at in 0..=sched.len() {
             for durable in [true, false] {
                 for down_put in [false, true] {
@@ -781,29 +1025,86 @@ fn primary_failover_mid_2pc_exhaustive() {
     );
 }
 
-#[test]
-fn primary_failover_three_replicas_prefix() {
-    // A deterministic prefix of the 2-put x 3-replica space under every
-    // crash point keeps a wider replica set covered without blowing up
-    // the runtime. With two peers, a commit can land on one peer while
-    // the other is still locked and the client unreplied — the retry
-    // re-lock then carries committed evidence, so this sweep is where
-    // commit-if-committed-anywhere must fire.
-    let (ops, replicas) = (2, 3);
-    let steps = 2 * replicas + 1;
-    let mut runs = 0usize;
-    let mut resolution_commits = 0usize;
-    enumerate(ops, steps, 1000, &mut |sched| {
-        for crash_at in 0..=sched.len() {
-            for (durable, down_put) in [(true, false), (true, true), (false, true)] {
-                let (settled, _) =
-                    check_failover_schedule(ops, replicas, sched, crash_at, durable, down_put);
-                resolution_commits += settled.commits;
-                runs += 1;
+/// The number of length-`len` delivery sequences over `ops` puts of
+/// `steps` steps each (each put contributing at most its budget): the
+/// full population the explorer's depth-`len` prefix classes must
+/// partition.
+fn sequences_of_len(ops: usize, steps: usize, len: usize) -> u128 {
+    fn binom(n: usize, k: usize) -> u128 {
+        let k = k.min(n - k);
+        let mut r: u128 = 1;
+        for i in 0..k {
+            r = r * (n - i) as u128 / (i + 1) as u128;
+        }
+        r
+    }
+    let mut ways = vec![0u128; len + 1];
+    ways[0] = 1;
+    for _ in 0..ops {
+        let mut next = vec![0u128; len + 1];
+        for d in 0..=len {
+            if ways[d] == 0 {
+                continue;
+            }
+            for c in 0..=steps.min(len - d) {
+                next[d + c] += ways[d] * binom(d + c, c);
             }
         }
-    });
-    assert_eq!(runs, 1000 * 15 * 3);
+        ways = next;
+    }
+    ways[len]
+}
+
+#[test]
+fn primary_failover_three_replicas_dpor_full() {
+    // The space the prefix sweep used to sample: two puts × three
+    // replicas under every crash point. The explorer's *prefix* classes
+    // make it tractable in full — a crash at depth `d` only observes
+    // the state the first `d` deliveries produced, so one
+    // representative per prefix class covers every (schedule,
+    // crash-point) pair. The per-depth coverage sums prove it: at every
+    // depth, Σ (prefix class sizes) must equal the total number of
+    // length-d delivery sequences. With two peers, a commit can land on
+    // one peer while the other is still locked and the client
+    // unreplied — the retry re-lock then carries committed evidence, so
+    // this sweep is where commit-if-committed-anywhere must fire.
+    let (ops, replicas) = (2, 3);
+    let steps = 2 * replicas + 1;
+    let root = StepModel::new(ops, replicas, Mutation::None, false);
+    let mut covered_by_depth = vec![0u128; ops * steps + 1];
+    let mut runs = 0usize;
+    let mut resolution_commits = 0usize;
+    let stats = Explorer::new(conflict_dependence)
+        .prefix_sizes(true)
+        .run(&root, |v| {
+            if let Visit::Prefix {
+                state,
+                schedule,
+                class_size,
+            } = v
+            {
+                let size = class_size.expect("prefix_sizes is on");
+                covered_by_depth[schedule.len()] += size;
+                let what = format!("{} @ crash {}", schedule.render(), schedule.len());
+                for (durable, down_put) in [(true, false), (true, true), (false, true)] {
+                    let (settled, _) =
+                        failover_continuation(state.run.clone(), durable, down_put, &what);
+                    resolution_commits += settled.commits;
+                    runs += 1;
+                }
+            }
+        });
+    assert_eq!(stats.covered, Schedule::space(&[steps; 2]));
+    for (d, &covered) in covered_by_depth.iter().enumerate() {
+        assert_eq!(
+            covered,
+            sequences_of_len(ops, steps, d),
+            "prefix classes must partition the depth-{d} sequences"
+        );
+    }
+    // The whole 3432 × 15 × 3 = 154,440-run space, from a fraction of
+    // the runs the old 1000-schedule prefix needed.
+    assert!(runs < 45_000, "reduction regressed: {runs} runs");
     assert!(
         resolution_commits > 0,
         "commit-if-committed-anywhere never fired"
@@ -812,9 +1113,9 @@ fn primary_failover_three_replicas_prefix() {
 
 /// The step a schedule position carries (for skipping `Decide`, which is
 /// coordinator-local and has no wire message to fault).
-fn step_at(sched: &[usize], pos: usize, replicas: usize) -> Step {
-    let o = sched[pos];
-    let idx = sched[..pos].iter().filter(|&&x| x == o).count();
+fn step_at(actors: &[usize], pos: usize, replicas: usize) -> Step {
+    let o = actors[pos];
+    let idx = actors[..pos].iter().filter(|&&x| x == o).count();
     step_of(idx, replicas)
 }
 
@@ -825,15 +1126,16 @@ fn single_message_loss_resolves_without_stranding() {
     // commit/abort strands a lock that the production §4.4 resolution
     // must settle, with the phase-two catch-up restoring convergence.
     let (ops, replicas) = (2, 2);
-    let steps = 2 * replicas + 1;
+    let counts = vec![2 * replicas + 1; ops];
     let mut stranded_then_resolved = 0usize;
-    enumerate(ops, steps, usize::MAX, &mut |sched| {
-        for pos in 0..sched.len() {
-            if step_at(sched, pos, replicas) == Step::Decide {
+    Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+        let actors = sched.step_actors();
+        for pos in 0..actors.len() {
+            if step_at(&actors, pos, replicas) == Step::Decide {
                 continue;
             }
             let mut run = Run::new(ops, replicas);
-            for (i, &o) in sched.iter().enumerate() {
+            for (i, &o) in actors.iter().enumerate() {
                 let fault = if i == pos {
                     Fault::Drop
                 } else {
@@ -848,7 +1150,11 @@ fn single_message_loss_resolves_without_stranding() {
             settle_all(&mut run, 0);
             let winner = winner_of(&run);
             catch_up(&mut run, &winner);
-            assert_resolved(&run, &applied_pre, &format!("{sched:?} drop@{pos}"));
+            assert_resolved(
+                &run,
+                &applied_pre,
+                &format!("{} drop@{pos}", sched.render()),
+            );
         }
     });
     assert!(
@@ -864,34 +1170,48 @@ fn duplicated_messages_are_idempotent() {
     // re-commit / re-abort is a no-op. The outcome must be
     // byte-identical to the clean run.
     let (ops, replicas) = (2, 2);
-    let steps = 2 * replicas + 1;
-    enumerate(ops, steps, usize::MAX, &mut |sched| {
+    let counts = vec![2 * replicas + 1; ops];
+    Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
         let clean = run_schedule(ops, replicas, sched);
-        for pos in 0..sched.len() {
-            if step_at(sched, pos, replicas) == Step::Decide {
+        let actors = sched.step_actors();
+        for pos in 0..actors.len() {
+            if step_at(&actors, pos, replicas) == Step::Decide {
                 continue;
             }
             let mut run = Run::new(ops, replicas);
-            for (i, &o) in sched.iter().enumerate() {
+            for (i, &o) in actors.iter().enumerate() {
                 let fault = if i == pos { Fault::Dup } else { Fault::Deliver };
                 run.exec(o, fault, Mutation::None, false);
             }
             let dup = run.outcome();
             assert_eq!(
-                dup.committed, clean.committed,
-                "duplication changed decisions ({sched:?} dup@{pos})"
+                dup.committed,
+                clean.committed,
+                "duplication changed decisions ({} dup@{pos})",
+                sched.render()
             );
             assert_eq!(
-                dup.finals, clean.finals,
-                "duplication changed replica state ({sched:?} dup@{pos})"
+                dup.finals,
+                clean.finals,
+                "duplication changed replica state ({} dup@{pos})",
+                sched.render()
             );
             assert!(
                 !dup.stranded,
-                "duplication stranded a lock ({sched:?} dup@{pos})"
+                "duplication stranded a lock ({} dup@{pos})",
+                sched.render()
             );
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Mutation verification: the invariants must catch seeded protocol
+// bugs, and the DPOR reduction must catch everything the exhaustive
+// sweep catches — while a deliberately-wrong independence relation
+// demonstrably loses a bug (so the Σ-coverage arithmetic alone is NOT
+// what makes the reduction sound; the relation is).
+// ---------------------------------------------------------------------
 
 #[test]
 fn seeded_lock_release_mutation_is_caught() {
@@ -900,19 +1220,124 @@ fn seeded_lock_release_mutation_is_caught() {
     // fire on some schedule.
     let caught = std::panic::catch_unwind(|| {
         let (ops, replicas) = (2, 3);
-        let steps = 2 * replicas + 1;
-        enumerate(ops, steps, usize::MAX, &mut |sched| {
+        let counts = vec![2 * replicas + 1; ops];
+        Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
             let mut run = Run::new(ops, replicas);
-            for &o in sched {
+            for o in sched.step_actors() {
                 run.exec(o, Fault::Deliver, Mutation::SkipAbortRelease, false);
             }
             let out = run.outcome();
-            assert!(!out.stranded, "stranded lock after {sched:?}");
+            assert!(!out.stranded, "stranded lock after {}", sched.render());
         });
     });
     assert!(
         caught.is_err(),
         "the checker failed to catch the seeded lock-release mutation"
+    );
+}
+
+#[test]
+fn dpor_catches_seeded_lock_release_mutation() {
+    // The reduced exploration must catch the same mutant the exhaustive
+    // sweep above catches: a stranded outcome is a property of the
+    // trace class, so some explored representative must exhibit it.
+    let caught = std::panic::catch_unwind(|| {
+        let root = StepModel::new(2, 3, Mutation::SkipAbortRelease, false);
+        Explorer::new(conflict_dependence).run(&root, |v| {
+            if let Visit::Complete {
+                state, schedule, ..
+            } = v
+            {
+                let out = state.run.outcome();
+                assert!(!out.stranded, "stranded lock after {}", schedule.render());
+            }
+        });
+    });
+    assert!(
+        caught.is_err(),
+        "the DPOR exploration failed to catch the seeded lock-release mutation"
+    );
+}
+
+#[test]
+fn seeded_lock_steal_mutation_is_caught() {
+    // The lock-steal mutant needs three replicas to diverge: put B
+    // steals A's locks on the peers while A's earlier acks still count,
+    // then A steals B's last lock back, mints the newer timestamp, and
+    // commits — but B's squat makes A's commit silently fail on one
+    // peer while B's older value lands there. Order-dependent, so only
+    // some schedules expose it; the exhaustive sweep must find one.
+    let caught = std::panic::catch_unwind(|| {
+        let (ops, replicas) = (2, 3);
+        let counts = vec![2 * replicas + 1; ops];
+        Schedule::enumerate(&counts, u128::MAX, &mut |sched| {
+            let mut run = Run::new(ops, replicas);
+            for o in sched.step_actors() {
+                run.exec(o, Fault::Deliver, Mutation::LockSteal, false);
+            }
+            check_outcome(&run.outcome(), &sched.render());
+        });
+    });
+    assert!(
+        caught.is_err(),
+        "the checker failed to catch the seeded lock-steal mutation"
+    );
+}
+
+#[test]
+fn dpor_catches_seeded_lock_steal_mutation() {
+    // The reduction must not lose the lock-steal divergence: the steal
+    // shows up in the stolen replica's signature diff, so the schedules
+    // that expose it are not merged into innocent classes.
+    let caught = std::panic::catch_unwind(|| {
+        let root = StepModel::new(2, 3, Mutation::LockSteal, false);
+        Explorer::new(conflict_dependence).run(&root, |v| {
+            if let Visit::Complete {
+                state, schedule, ..
+            } = v
+            {
+                check_outcome(&state.run.outcome(), &schedule.render());
+            }
+        });
+    });
+    assert!(
+        caught.is_err(),
+        "the DPOR exploration failed to catch the seeded lock-steal mutation"
+    );
+}
+
+#[test]
+fn wrong_independence_relation_misses_lock_steal() {
+    // The fixture a wrong relation would miss: declare every pair of
+    // steps independent and the explorer still *accounts* for the whole
+    // space (Σ class sizes is exactly the multinomial — the coverage
+    // arithmetic cannot tell the relation is bogus), but it executes
+    // only the one serial schedule, where no lock is ever contended and
+    // the lock-steal mutant never fires. This is why the mutation tests
+    // above exist: soundness lives in the dependence relation, and only
+    // mutants can falsify it.
+    fn never(_: &Footprint, _: &Footprint) -> bool {
+        false
+    }
+    let (ops, replicas) = (2, 3);
+    let root = StepModel::new(ops, replicas, Mutation::LockSteal, false);
+    let mut violations = 0usize;
+    let stats = Explorer::new(never).run(&root, |v| {
+        if let Visit::Complete { state, .. } = v {
+            if outcome_violation(&state.run.outcome()).is_some() {
+                violations += 1;
+            }
+        }
+    });
+    assert_eq!(
+        stats.covered,
+        Schedule::space(&[2 * replicas + 1; 2]),
+        "even the bogus relation passes the coverage arithmetic"
+    );
+    assert_eq!(stats.classes, 1, "everything-commutes collapses to serial");
+    assert_eq!(
+        violations, 0,
+        "the wrong relation was supposed to miss the lock-steal divergence"
     );
 }
 
@@ -923,11 +1348,11 @@ fn serial_schedules_always_commit_in_order() {
     for ops in [2usize, 3] {
         let replicas = 3;
         let steps = 2 * replicas + 1;
-        let mut sched = Vec::new();
+        let mut actors = Vec::new();
         for o in 0..ops {
-            sched.extend(std::iter::repeat_n(o, steps));
+            actors.extend(std::iter::repeat_n(o, steps));
         }
-        let out = check_schedule(ops, replicas, &sched);
+        let out = check_schedule(ops, replicas, &Schedule::steps(&actors));
         assert!(out.committed.iter().all(std::option::Option::is_some));
         for fin in &out.finals {
             let (bytes, _) = fin.as_ref().expect("value committed");

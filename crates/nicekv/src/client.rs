@@ -15,7 +15,7 @@
 use std::ops::{Deref, DerefMut};
 
 use kv_core::{
-    Attempt, ClientCore, Issue, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
+    Attempt, ClientCore, Issue, KvClient, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
     NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 use nice_ring::{hash_str, PartitionId};
@@ -49,6 +49,15 @@ impl Deref for ClientApp {
 
 impl DerefMut for ClientApp {
     fn deref_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+}
+
+impl KvClient for ClientApp {
+    fn core(&self) -> &ClientCore {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut ClientCore {
         &mut self.core
     }
 }

@@ -35,7 +35,7 @@ pub mod server;
 pub use client::{ClientApp, ClientOp, OpRecord};
 pub use cluster::{ClusterBuilder, ClusterCfg, NiceCluster};
 pub use config::{KvConfig, PutMode, RetryBackoff};
-pub use kv_core::{Counters, KvError, ObjectStore, StorageCfg};
+pub use kv_core::{Counters, KvClient, KvError, ObjectStore, StorageCfg};
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};
 pub use msg::{HandoffRecord, NodeState};
 pub use msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 
 use kv_core::{
-    Attempt, ClientCore, Issue, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
+    Attempt, ClientCore, Issue, KvClient, ReplyAction, RetryAction, CTRL_MSG_BYTES, IDLE_POLL,
     NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 use nice_kv::ClientOp;
@@ -64,6 +64,15 @@ impl Deref for NoobClientApp {
 
 impl DerefMut for NoobClientApp {
     fn deref_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+}
+
+impl KvClient for NoobClientApp {
+    fn core(&self) -> &ClientCore {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut ClientCore {
         &mut self.core
     }
 }

@@ -474,7 +474,9 @@ impl Simulation {
                 port,
                 pkt,
             } => {
-                let gen = self.hosts[ctrl.0 as usize].gen;
+                let Some(gen) = self.hosts.get(ctrl.0 as usize).map(|h| h.gen) else {
+                    return;
+                };
                 if self.host_live(ctrl, gen) {
                     self.with_app(ctrl, |app, ctx| app.on_packet_in(sw, port, pkt, ctx), false);
                 }
@@ -488,7 +490,9 @@ impl Simulation {
                 self.switch_flood(sw, except, pkt, now);
             }
             Ev::Crash { host } => {
-                let h = &mut self.hosts[host.0 as usize];
+                let Some(h) = self.hosts.get_mut(host.0 as usize) else {
+                    return;
+                };
                 if h.up {
                     h.up = false;
                     h.gen += 1;
@@ -499,7 +503,9 @@ impl Simulation {
                 }
             }
             Ev::Restart { host } => {
-                let h = &mut self.hosts[host.0 as usize];
+                let Some(h) = self.hosts.get_mut(host.0 as usize) else {
+                    return;
+                };
                 if !h.up {
                     h.up = true;
                     h.gen += 1;
@@ -508,18 +514,27 @@ impl Simulation {
                 }
             }
             Ev::SetRate { host, bps } => {
-                let h = &self.hosts[host.0 as usize];
-                if let (Some(up), Some(down)) = (h.uplink, h.downlink) {
-                    self.channels[up.0 as usize].set_rate(bps);
-                    self.channels[down.0 as usize].set_rate(bps);
+                let Some((up, down)) = self
+                    .hosts
+                    .get(host.0 as usize)
+                    .and_then(|h| h.uplink.zip(h.downlink))
+                else {
+                    return;
+                };
+                if let Some(c) = self.channels.get_mut(up.0 as usize) {
+                    c.set_rate(bps);
+                }
+                if let Some(c) = self.channels.get_mut(down.0 as usize) {
+                    c.set_rate(bps);
                 }
             }
         }
     }
 
     fn host_live(&self, host: HostId, gen: u32) -> bool {
-        let h = &self.hosts[host.0 as usize];
-        h.up && h.gen == gen
+        self.hosts
+            .get(host.0 as usize)
+            .is_some_and(|h| h.up && h.gen == gen)
     }
 
     /// Run an app callback with the borrow dance: take the app out, build a
@@ -531,22 +546,24 @@ impl Simulation {
         announce: bool,
     ) {
         let idx = host.0 as usize;
-        if announce && self.hosts[idx].cfg.announce_on_boot {
-            let (ip, mac) = (self.hosts[idx].cfg.ip, self.hosts[idx].cfg.mac);
+        let garp = self.hosts.get(idx).and_then(|h| {
             // Gratuitous ARP teaches the learning controller our binding.
-            let garp = Packet::arp_request(ip, mac, ip);
+            (announce && h.cfg.announce_on_boot)
+                .then(|| Packet::arp_request(h.cfg.ip, h.cfg.mac, h.cfg.ip))
+        });
+        if let Some(garp) = garp {
             self.host_send(host, garp);
         }
-        let Some(mut app) = self.hosts[idx].app.take() else {
+        let Some(mut app) = self.hosts.get_mut(idx).and_then(|h| h.app.take()) else {
             // lint:allow(panic_path) — harness invariant: re-entrant dispatch is a simulator bug, crash loudly
             panic!("re-entrant app callback on {host}");
         };
         let mut effects = std::mem::take(&mut self.effects);
         debug_assert!(effects.is_empty());
-        {
-            let h = &mut self.hosts[idx];
+        let now = self.now;
+        if let Some(h) = self.hosts.get_mut(idx) {
             let mut ctx = Ctx {
-                now: self.now,
+                now,
                 host,
                 ip: h.cfg.ip,
                 mac: h.cfg.mac,
@@ -554,8 +571,8 @@ impl Simulation {
                 rng: &mut h.rng,
             };
             f(&mut app, &mut ctx);
+            h.app = Some(app);
         }
-        self.hosts[idx].app = Some(app);
         self.apply_effects(host, &mut effects);
         self.effects = effects;
     }
@@ -566,42 +583,56 @@ impl Simulation {
             match eff {
                 Effect::Send(pkt) => self.host_send(host, pkt),
                 Effect::Timer { delay, token } => {
-                    let gen = self.hosts[host.0 as usize].gen;
+                    let Some(gen) = self.hosts.get(host.0 as usize).map(|h| h.gen) else {
+                        continue;
+                    };
                     self.push(now + delay, Ev::Timer { host, gen, token });
                 }
                 Effect::CpuWork(amount) => {
-                    let h = &mut self.hosts[host.0 as usize];
-                    h.cpu_busy = h.cpu_busy.max(now) + amount;
+                    if let Some(h) = self.hosts.get_mut(host.0 as usize) {
+                        h.cpu_busy = h.cpu_busy.max(now) + amount;
+                    }
                 }
                 Effect::CpuDefer { amount, token } => {
-                    let h = &mut self.hosts[host.0 as usize];
+                    let Some(h) = self.hosts.get_mut(host.0 as usize) else {
+                        continue;
+                    };
                     h.cpu_busy = h.cpu_busy.max(now) + amount;
-                    let at = h.cpu_busy;
-                    let gen = h.gen;
+                    let (at, gen) = (h.cpu_busy, h.gen);
                     self.push(at, Ev::Timer { host, gen, token });
                 }
                 Effect::SwitchInject { sw, port, pkt } => {
-                    let lat = self.switches[sw.0 as usize].cfg.ctrl_latency;
+                    let Some(lat) = self.switch_ctrl_latency(sw) else {
+                        continue;
+                    };
                     self.push(now + lat, Ev::Inject { sw, port, pkt });
                 }
                 Effect::SwitchFlood { sw, except, pkt } => {
-                    let lat = self.switches[sw.0 as usize].cfg.ctrl_latency;
+                    let Some(lat) = self.switch_ctrl_latency(sw) else {
+                        continue;
+                    };
                     self.push(now + lat, Ev::InjectFlood { sw, except, pkt });
                 }
             }
         }
     }
 
+    fn switch_ctrl_latency(&self, sw: SwitchId) -> Option<Time> {
+        self.switches.get(sw.0 as usize).map(|s| s.cfg.ctrl_latency)
+    }
+
     fn host_send(&mut self, host: HostId, pkt: Packet) {
-        let idx = host.0 as usize;
-        if !self.hosts[idx].up {
+        let Some(h) = self.hosts.get_mut(host.0 as usize) else {
+            return;
+        };
+        if !h.up {
             return;
         }
-        let Some(up) = self.hosts[idx].uplink else {
+        let Some(up) = h.uplink else {
             return; // disconnected host: packet vanishes
         };
-        self.hosts[idx].stats.bytes_sent += pkt.wire_size as u64;
-        self.hosts[idx].stats.pkts_sent += 1;
+        h.stats.bytes_sent += pkt.wire_size as u64;
+        h.stats.pkts_sent += 1;
         self.channel_send(up, pkt);
     }
 
@@ -619,9 +650,13 @@ impl Simulation {
             Some(f) => f.judge(at, &pkt),
             None => crate::fault::Verdict::CLEAN,
         };
-        let dst = self.channels[ch.0 as usize].dst;
+        let Some(dst) = self.channels.get(ch.0 as usize).map(|c| c.dst) else {
+            return;
+        };
         for _ in 0..verdict.copies {
-            let c = &mut self.channels[ch.0 as usize];
+            let Some(c) = self.channels.get_mut(ch.0 as usize) else {
+                return;
+            };
             match c.enqueue(at, &pkt) {
                 Enqueue::Arrives(t) => {
                     let t = t + verdict.extra_delay;
@@ -650,7 +685,9 @@ impl Simulation {
 
     fn nic_arrive(&mut self, host: HostId, pkt: Packet) {
         let idx = host.0 as usize;
-        let h = &mut self.hosts[idx];
+        let Some(h) = self.hosts.get_mut(idx) else {
+            return;
+        };
         if !h.up {
             h.stats.drops_down += 1;
             return;
@@ -684,19 +721,24 @@ impl Simulation {
     }
 
     fn switch_arrive(&mut self, sw: SwitchId, port: Port, pkt: Packet) {
-        let idx = sw.0 as usize;
-        let Some(mut logic) = self.switches[idx].logic.take() else {
+        let now = self.now;
+        let Some(node) = self.switches.get_mut(sw.0 as usize) else {
+            return;
+        };
+        let Some(mut logic) = node.logic.take() else {
             // lint:allow(panic_path) — harness invariant: re-entrant dispatch is a simulator bug, crash loudly
             panic!("re-entrant switch callback on {sw}");
         };
         let view = SwitchView {
             switch: sw.0,
-            num_ports: self.switches[idx].ports.len() as u16,
-            controller: self.switches[idx].controller,
+            num_ports: node.ports.len() as u16,
+            controller: node.controller,
         };
-        let actions = logic.handle(view, port, pkt, self.now);
-        self.switches[idx].logic = Some(logic);
-        let egress_at = self.now + self.switches[idx].cfg.fwd_latency;
+        let actions = logic.handle(view, port, pkt, now);
+        node.logic = Some(logic);
+        let egress_at = now + node.cfg.fwd_latency;
+        let ctrl_at = now + node.cfg.ctrl_latency;
+        let controller = node.controller;
         for act in actions {
             match act {
                 SwitchAction::Forward { port: out, pkt } => {
@@ -706,10 +748,9 @@ impl Simulation {
                     self.switch_flood(sw, except, pkt, egress_at);
                 }
                 SwitchAction::ToController { pkt } => {
-                    if let Some(ctrl) = self.switches[idx].controller {
-                        let at = self.now + self.switches[idx].cfg.ctrl_latency;
+                    if let Some(ctrl) = controller {
                         self.push(
-                            at,
+                            ctrl_at,
                             Ev::PacketIn {
                                 ctrl,
                                 sw,
@@ -726,8 +767,11 @@ impl Simulation {
     /// Enqueue `pkt` on the egress channel of `(sw, port)`; `at` is when
     /// the packet reaches that egress queue.
     fn switch_egress(&mut self, sw: SwitchId, port: Port, pkt: Packet, at: Time) {
-        let ports = &self.switches[sw.0 as usize].ports;
-        let Some(&ch) = ports.get(port.0 as usize) else {
+        let Some(&ch) = self
+            .switches
+            .get(sw.0 as usize)
+            .and_then(|s| s.ports.get(port.0 as usize))
+        else {
             return; // rule points at a disconnected port: packet dies
         };
         // Channels refuse enqueues in the past; the forwarding latency is
@@ -736,7 +780,10 @@ impl Simulation {
     }
 
     fn switch_flood(&mut self, sw: SwitchId, except: Option<Port>, pkt: Packet, at: Time) {
-        let nports = self.switches[sw.0 as usize].ports.len();
+        let nports = self
+            .switches
+            .get(sw.0 as usize)
+            .map_or(0, |s| s.ports.len());
         for p in 0..nports {
             let port = Port(p as u16);
             if Some(port) == except {

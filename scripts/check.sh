@@ -44,6 +44,9 @@ echo "=== build (release) ==="
 cargo build --release --offline --workspace
 
 echo "=== kv-core (fast) ==="
+# Includes the DPOR interleaving sweep: full 756,756-schedule coverage
+# of the 3-put x 2-replica space by equivalence classes, plus the
+# prefix-class failover space — in debug, every run (DESIGN.md §7).
 cargo test -q --offline -p kv-core
 
 echo "=== tests ==="
@@ -56,7 +59,8 @@ cargo test -q --offline --test chaos
 
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="
-  # --include-ignored adds the full 756,756-schedule 2PC sweep.
+  # --include-ignored adds the brute-force 756,756-schedule enumeration
+  # that cross-checks the fast tier's DPOR classes schedule for schedule.
   cargo test -q --offline --release -p kv-core --test lock_interleavings -- --include-ignored
   cargo test -q --offline --release -p nice-sim
   cargo test -q --offline --release -p nice --test failures

@@ -17,13 +17,13 @@
 //! Set `CHAOS_SEED=<n>` to replay one chosen seed through the sweep.
 
 use nice::kv::{
-    AdminOp, ClientApp, ClientOp, ClusterBuilder, MetaRole, MetadataApp, PutMode, RetryBackoff,
-    Value,
+    AdminOp, ClientApp, ClientOp, ClusterBuilder, KvClient, MetaRole, MetadataApp, PutMode,
+    RetryBackoff, Value,
 };
 use nice::kv_core::{AdminEvent, ChaosPlan, ChaosSpec, History, Violation, ViolationKind};
 use nice::noob::{Access, NoobClientApp, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::ring::{NodeIdx, PartitionId};
-use nice::sim::{FaultPlan, Ipv4, Time};
+use nice::sim::{App, FaultPlan, HostId, Ipv4, Simulation, Time};
 use nice::workload::{Rng, XorShiftRng};
 
 const NODES: usize = 8;
@@ -121,6 +121,75 @@ fn client_debug(j: usize, core: &kv_core::ClientCore) -> String {
         core.done_at,
         core.records.len()
     )
+}
+
+// ---------------------------------------------------------------------
+// The generic drive harness: everything a chaos run does to client apps
+// goes through `KvClient`, so NICE and NOOB share one code path instead
+// of mirrored per-system blocks.
+// ---------------------------------------------------------------------
+
+/// Push one wave of per-client op lists; returns how many ops were fed.
+fn push_wave<A: App + KvClient>(
+    sim: &mut Simulation,
+    clients: &[HostId],
+    per_client: &[Vec<ClientOp>],
+) -> usize {
+    let mut pushed = 0;
+    for (j, &h) in clients.iter().enumerate() {
+        let ops = per_client[j].clone();
+        pushed += ops.len();
+        sim.app_mut::<A>(h).push_ops(ops);
+    }
+    pushed
+}
+
+/// Per-client wedge report for drain-failure asserts.
+fn stuck_report<A: App + KvClient>(sim: &Simulation, clients: &[HostId]) -> String {
+    clients
+        .iter()
+        .enumerate()
+        .map(|(j, &h)| client_debug(j, sim.app::<A>(h).core()))
+        .collect()
+}
+
+/// Feed everything every client observed into one [`History`].
+fn record_history<A: App + KvClient>(
+    sim: &Simulation,
+    clients: &[HostId],
+    ips: &[Ipv4],
+) -> History {
+    let mut history = History::new();
+    for (j, &h) in clients.iter().enumerate() {
+        history.record_client(ips[j], sim.app::<A>(h).core());
+    }
+    history
+}
+
+/// The common tail of a chaos run: wedge report, history capture, and
+/// the byte-identity replay trace.
+fn finish_run<A: App + KvClient>(
+    sim: &Simulation,
+    clients: &[HostId],
+    ips: &[Ipv4],
+    plan: &ChaosPlan,
+    drained: bool,
+    pushed: usize,
+) -> RunOutcome {
+    let stuck = if drained {
+        String::new()
+    } else {
+        stuck_report::<A>(sim, clients)
+    };
+    let history = record_history::<A>(sim, clients, ips);
+    let trace = format!("{}{}{}", plan.render(), sim.fault_trace(), history.render());
+    RunOutcome {
+        history,
+        trace,
+        drained,
+        pushed_ops: pushed,
+        stuck,
+    }
 }
 
 /// The per-client operation waves for one seed: `[wave][client]` op
@@ -244,11 +313,7 @@ fn run_nice(seed: u64, mode: PutMode, spec: &ChaosSpec, shared: bool) -> RunOutc
         c.sim.run_until(t);
         match act {
             Act::Wave(w) => {
-                for (j, &h) in c.clients.clone().iter().enumerate() {
-                    let ops = wave_ops[w][j].clone();
-                    pushed += ops.len();
-                    c.sim.app_mut::<ClientApp>(h).push_ops(ops);
-                }
+                pushed += push_wave::<ClientApp>(&mut c.sim, &c.clients.clone(), &wave_ops[w]);
             }
             Act::Admin(ev) => {
                 // Queue on whichever metadata service is alive: the
@@ -268,30 +333,7 @@ fn run_nice(seed: u64, mode: PutMode, spec: &ChaosSpec, shared: bool) -> RunOutc
         }
     }
     let drained = c.run_until_done(DEADLINE);
-    let mut stuck = String::new();
-    if !drained {
-        for (j, &h) in c.clients.iter().enumerate() {
-            stuck.push_str(&client_debug(j, c.sim.app::<ClientApp>(h)));
-        }
-    }
-
-    let mut history = History::new();
-    for (j, &h) in c.clients.iter().enumerate() {
-        history.record_client(c.client_ips[j], c.sim.app::<ClientApp>(h));
-    }
-    let trace = format!(
-        "{}{}{}",
-        plan.render(),
-        c.sim.fault_trace(),
-        history.render()
-    );
-    RunOutcome {
-        history,
-        trace,
-        drained,
-        pushed_ops: pushed,
-        stuck,
-    }
+    finish_run::<ClientApp>(&c.sim, &c.clients, &c.client_ips, &plan, drained, pushed)
 }
 
 fn run_noob(seed: u64, mode: NoobMode, spec: &ChaosSpec, shared: bool) -> RunOutcome {
@@ -314,40 +356,15 @@ fn run_noob(seed: u64, mode: NoobMode, spec: &ChaosSpec, shared: bool) -> RunOut
     let mut pushed = 0usize;
     for (w, per_client) in wave_ops.iter().enumerate() {
         c.sim.run_until(wave_time(w));
-        for (j, &h) in c.clients.clone().iter().enumerate() {
-            let ops = per_client[j].clone();
-            pushed += ops.len();
-            c.sim.app_mut::<NoobClientApp>(h).push_ops(ops);
-        }
+        pushed += push_wave::<NoobClientApp>(&mut c.sim, &c.clients.clone(), per_client);
     }
     let drained = c.run_until_done(DEADLINE);
-    let mut stuck = String::new();
-    if !drained {
-        for (j, &h) in c.clients.iter().enumerate() {
-            stuck.push_str(&client_debug(j, c.sim.app::<NoobClientApp>(h)));
-        }
-    }
-
-    let mut history = History::new();
-    for (j, &h) in c.clients.iter().enumerate() {
-        // NOOB's builder assigns client addresses sequentially in
-        // 10.0.1.0/24 (no LB divisions to spread over).
-        let ip = Ipv4(Ipv4::new(10, 0, 1, 0).0 + 1 + j as u32);
-        history.record_client(ip, c.sim.app::<NoobClientApp>(h));
-    }
-    let trace = format!(
-        "{}{}{}",
-        plan.render(),
-        c.sim.fault_trace(),
-        history.render()
-    );
-    RunOutcome {
-        history,
-        trace,
-        drained,
-        pushed_ops: pushed,
-        stuck,
-    }
+    // NOOB's builder assigns client addresses sequentially in
+    // 10.0.1.0/24 (no LB divisions to spread over).
+    let ips: Vec<Ipv4> = (0..c.clients.len())
+        .map(|j| Ipv4(Ipv4::new(10, 0, 1, 0).0 + 1 + j as u32))
+        .collect();
+    finish_run::<NoobClientApp>(&c.sim, &c.clients, &ips, &plan, drained, pushed)
 }
 
 fn run_cell(cell: Cell, seed: u64) -> RunOutcome {
@@ -524,11 +541,7 @@ fn ring_hiding_violations(break_hiding: bool) -> Vec<Violation> {
     }
     assert!(c.run_until_done(Time::from_secs(40)), "gets drain");
 
-    let mut history = History::new();
-    for (j, &h) in c.clients.iter().enumerate() {
-        history.record_client(c.client_ips[j], c.sim.app::<ClientApp>(h));
-    }
-    history.check()
+    record_history::<ClientApp>(&c.sim, &c.clients, &c.client_ips).check()
 }
 
 #[test]
@@ -611,21 +624,14 @@ fn metadata_failover_mid_put_storm_linearizes() {
     for (w, per_client) in storm.iter().enumerate() {
         c.sim
             .run_until(Time::from_ms(500) + Time::from_ms(400) * w as u64);
-        for (j, &h) in c.clients.clone().iter().enumerate() {
-            let ops = per_client[j].clone();
-            pushed += ops.len();
-            c.sim.app_mut::<ClientApp>(h).push_ops(ops);
-        }
+        pushed += push_wave::<ClientApp>(&mut c.sim, &c.clients.clone(), per_client);
     }
     assert!(c.run_until_done(Time::from_secs(60)), "storm drains");
 
     let sb = c.sim.app::<MetadataApp>(standby);
     assert_eq!(sb.role(), MetaRole::Active, "standby promoted itself");
 
-    let mut history = History::new();
-    for (j, &h) in c.clients.iter().enumerate() {
-        history.record_client(c.client_ips[j], c.sim.app::<ClientApp>(h));
-    }
+    let history = record_history::<ClientApp>(&c.sim, &c.clients, &c.client_ips);
     let violations = history.check();
     assert!(
         violations.is_empty(),

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use nice::kv::{ClientOp, ClusterBuilder, NiceCluster, Value};
+use nice::kv::{ClientOp, ClusterBuilder, KvClient, NiceCluster, ObjectStore, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::{FaultPlan, Time};
 use nice::workload::{OpKind, Workload, WorkloadRun, XorShiftRng};
@@ -85,12 +85,93 @@ fn builder(seed: u64, plan: &Option<FaultPlan>, ops: &[Vec<ClientOp>]) -> Cluste
     b
 }
 
+/// The cluster surface the differential harness needs. Both systems
+/// expose the same shape (clients implementing [`KvClient`], servers
+/// owning an [`ObjectStore`]), so the drive-and-verify logic in
+/// [`drive`] exists once instead of as parallel per-system paths.
+trait System {
+    /// Name used in assertion messages.
+    const NAME: &'static str;
+    type Client: KvClient;
+    fn run_until_done(&mut self, deadline: Time) -> bool;
+    fn run_for(&mut self, t: Time);
+    fn client_count(&self) -> usize;
+    fn client(&self, i: usize) -> &Self::Client;
+    fn stores(&self) -> Vec<&ObjectStore>;
+}
+
+impl System for NiceCluster {
+    const NAME: &'static str = "NICE";
+    type Client = nice::kv::ClientApp;
+    fn run_until_done(&mut self, deadline: Time) -> bool {
+        NiceCluster::run_until_done(self, deadline)
+    }
+    fn run_for(&mut self, t: Time) {
+        self.sim.run_for(t);
+    }
+    fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+    fn client(&self, i: usize) -> &Self::Client {
+        NiceCluster::client(self, i)
+    }
+    fn stores(&self) -> Vec<&ObjectStore> {
+        (0..self.servers.len())
+            .map(|i| self.server(i).store())
+            .collect()
+    }
+}
+
+impl System for NoobCluster {
+    const NAME: &'static str = "NOOB";
+    type Client = nice::noob::NoobClientApp;
+    fn run_until_done(&mut self, deadline: Time) -> bool {
+        NoobCluster::run_until_done(self, deadline)
+    }
+    fn run_for(&mut self, t: Time) {
+        self.sim.run_for(t);
+    }
+    fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+    fn client(&self, i: usize) -> &Self::Client {
+        NoobCluster::client(self, i)
+    }
+    fn stores(&self) -> Vec<&ObjectStore> {
+        (0..self.servers.len())
+            .map(|i| self.server(i).store())
+            .collect()
+    }
+}
+
+/// Run one system to completion, quiesce it, assert every client op
+/// succeeded, and fold its committed state — the whole per-system half
+/// of the differential check, generic over which system it is.
+fn drive<S: System>(mut sys: S) -> BTreeMap<String, Vec<u8>> {
+    assert!(
+        sys.run_until_done(Time::from_secs(300)),
+        "{} did not drain",
+        S::NAME
+    );
+    // Quiesce: let reliable-transport retransmissions of the last
+    // commits land before inspecting replica state.
+    sys.run_for(Time::from_secs(2));
+    for c in 0..sys.client_count() {
+        assert!(
+            sys.client(c).records().iter().all(nice::kv::OpRecord::ok),
+            "{} client {c} had failed ops",
+            S::NAME
+        );
+    }
+    committed_state(S::NAME, sys.stores().into_iter())
+}
+
 /// Fold every server's committed objects into one `key → bytes` map,
 /// asserting replicas agree within the system and no 2PC state is left
 /// in doubt (no orphaned locks, no uncommitted pendings).
 fn committed_state<'a>(
     system: &str,
-    stores: impl Iterator<Item = &'a nice::kv::ObjectStore>,
+    stores: impl Iterator<Item = &'a ObjectStore>,
 ) -> BTreeMap<String, Vec<u8>> {
     let mut out = BTreeMap::new();
     for (i, store) in stores.enumerate() {
@@ -109,46 +190,17 @@ fn committed_state<'a>(
     out
 }
 
-fn nice_state(c: &NiceCluster) -> BTreeMap<String, Vec<u8>> {
-    committed_state("NICE", (0..c.servers.len()).map(|i| c.server(i).store()))
-}
-
-fn noob_state(c: &NoobCluster) -> BTreeMap<String, Vec<u8>> {
-    committed_state("NOOB", (0..c.servers.len()).map(|i| c.server(i).store()))
-}
-
 /// Drive the same workload + plan through both systems and compare the
 /// final committed stores byte for byte.
 fn assert_systems_agree(seed: u64, plan: Option<FaultPlan>) {
     let wl = Workload::a(RECORDS);
     let ops = build_ops(&wl, seed);
-    let deadline = Time::from_secs(300);
     // The paper's system: 2PC over switch multicast, vring addressing.
-    let mut nice = builder(seed, &plan, &ops).build();
-    assert!(nice.run_until_done(deadline), "NICE did not drain");
+    let nice_map = drive(builder(seed, &plan, &ops).build());
     // The baseline: 2PC over unicast fan-out, client-side routing (RAC).
     let cfg =
         NoobClusterCfg::from_builder(builder(seed, &plan, &ops), Access::Rac, NoobMode::TwoPc);
-    let mut noob = NoobCluster::build(cfg);
-    assert!(noob.run_until_done(deadline), "NOOB did not drain");
-    // Quiesce: let reliable-multicast retransmissions of the last
-    // commits land before inspecting replica state.
-    nice.sim.run_for(Time::from_secs(2));
-    noob.sim.run_for(Time::from_secs(2));
-
-    for c in 0..CLIENTS {
-        assert!(
-            nice.client(c).records.iter().all(nice::kv::OpRecord::ok),
-            "NICE client {c} had failed ops"
-        );
-        assert!(
-            noob.client(c).records.iter().all(nice::kv::OpRecord::ok),
-            "NOOB client {c} had failed ops"
-        );
-    }
-
-    let nice_map = nice_state(&nice);
-    let noob_map = noob_state(&noob);
+    let noob_map = drive(NoobCluster::build(cfg));
     assert_eq!(
         nice_map.len(),
         RECORDS as usize,
