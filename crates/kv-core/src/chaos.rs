@@ -17,7 +17,7 @@
 
 use std::fmt::Write as _;
 
-use nice_sim::Time;
+use node_rt::Time;
 
 use crate::explore::{Choice, ChoiceKind, Schedule};
 

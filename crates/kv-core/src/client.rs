@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 use crate::error::KvError;
 use crate::types::{OpId, Value};

@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 use crate::error::KvError;
 use crate::store::{ObjectStore, StorageCfg};

@@ -120,7 +120,7 @@ impl Error for KvError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nice_sim::Ipv4;
+    use node_rt::Ipv4;
 
     fn op() -> OpId {
         OpId {

@@ -33,7 +33,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 use crate::client::{ClientCore, ClientOp, OpRecord};
 use crate::error::KvError;
@@ -140,6 +140,13 @@ impl History {
     /// Append one operation.
     pub fn push(&mut self, op: HistoryOp) {
         self.ops.push(op);
+    }
+
+    /// Absorb another history's operations (used by harnesses that build
+    /// per-client fragments in separate node threads — `History` is
+    /// `Send`, a live [`ClientCore`] is not).
+    pub fn merge(&mut self, other: History) {
+        self.ops.extend(other.ops);
     }
 
     /// Ingest everything one client observed: its completion records and

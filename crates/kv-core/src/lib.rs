@@ -17,7 +17,8 @@
 //!   kv-core             protocol: ObjectStore, TwoPcEngine, ClientCore
 //!        │                 (no dependency on nice-flow / nice-ring)
 //!        ▼
-//!   nice-sim            deterministic discrete-event substrate
+//!   node-rt             host boundary: NodeIo, Time, packets
+//!                         (hosted by the simulator or the UDP runtime)
 //! ```
 //!
 //! The engine is transport-free: transitions return [`Effect`]s the

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use nice_sim::Time;
+use node_rt::Time;
 
 use crate::types::{OpId, Timestamp, Value};
 
@@ -319,7 +319,7 @@ impl ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nice_sim::Ipv4;
+    use node_rt::Ipv4;
 
     fn op(seq: u64) -> OpId {
         OpId {

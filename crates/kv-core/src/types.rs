@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 /// Index of a storage node (dense, assigned by the cluster builder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

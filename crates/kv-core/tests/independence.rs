@@ -18,7 +18,7 @@ use kv_core::{
     conflict_dependence, Effect, EngineCfg, EngineRole, Footprint, LogEntry, OpId,
     ReplicationEngine, StorageCfg, Timestamp, TwoPcEngine, Value,
 };
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 fn engine() -> TwoPcEngine {
     TwoPcEngine::new(EngineCfg {

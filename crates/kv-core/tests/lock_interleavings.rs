@@ -69,7 +69,7 @@ use kv_core::{
     LockResolution, LogEntry, Model, NodeIdx, OpId, ReplicationEngine, Schedule, StorageCfg,
     Timestamp, TwoPcEngine, Value, Visit,
 };
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 const KEY: &str = "obj";
 const PRIMARY: Ipv4 = Ipv4::new(10, 0, 0, 1);

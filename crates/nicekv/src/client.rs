@@ -19,8 +19,8 @@ use kv_core::{
     NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 use nice_ring::{hash_str, PartitionId};
-use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, MsgToken, Transport, TransportEvent, TRANSPORT_TICK};
+use node_rt::{NodeApp, NodeIo, Packet, Time};
 
 use crate::config::{KvConfig, PutMode};
 use crate::msg::KvMsg;
@@ -80,7 +80,7 @@ impl ClientApp {
     }
 
     /// Ask the core for the next attempt and put it on the wire.
-    fn pump(&mut self, ctx: &mut Ctx) {
+    fn pump(&mut self, ctx: &mut dyn NodeIo) {
         match self.core.issue_next(ctx.ip(), ctx.now()) {
             Issue::Attempt(at) => self.send_attempt(at, ctx),
             Issue::Drained => {
@@ -91,7 +91,7 @@ impl ClientApp {
         }
     }
 
-    fn send_attempt(&mut self, at: Attempt, ctx: &mut Ctx) {
+    fn send_attempt(&mut self, at: Attempt, ctx: &mut dyn NodeIo) {
         self.quorum_token = None;
         let seq = at.id.client_seq;
         match &at.op {
@@ -141,7 +141,7 @@ impl ClientApp {
         );
     }
 
-    fn on_retry_timer(&mut self, seq: u64, ctx: &mut Ctx) {
+    fn on_retry_timer(&mut self, seq: u64, ctx: &mut dyn NodeIo) {
         match self.core.on_retry_timer(seq, ctx.now()) {
             RetryAction::Resend(at) => self.send_attempt(at, ctx),
             RetryAction::GaveUp => self.pump(ctx),
@@ -149,7 +149,7 @@ impl ClientApp {
         }
     }
 
-    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut dyn NodeIo) {
         for ev in events {
             match ev {
                 TransportEvent::Delivered { msg, .. } => {
@@ -204,17 +204,17 @@ impl ClientApp {
     }
 }
 
-impl App for ClientApp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl NodeApp for ClientApp {
+    fn on_start(&mut self, ctx: &mut dyn NodeIo) {
         ctx.set_timer(self.core.start_at.saturating_sub(ctx.now()), TOK_START);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn NodeIo) {
         let events = self.tp.on_packet(&pkt, ctx);
         self.drive(events, ctx);
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) {
         if token == TRANSPORT_TICK {
             let events = self.tp.on_timer(token, ctx);
             self.drive(events, ctx);

@@ -259,7 +259,7 @@ impl NiceCluster {
             let ip = Ipv4::new(10, 0, 0, 10 + i as u8);
             let mac = Mac(0x200 + i as u64);
             let app = ServerApp::new(kv, NodeIdx(i as u32), meta_ip, cfg.storage);
-            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);
             servers.push(h);
@@ -282,7 +282,7 @@ impl NiceCluster {
             let start = cfg.client_start + Time::from_us(97) * j as u64;
             let mut app = ClientApp::new(kv, ops.clone(), start);
             app.retry_not_found = cfg.retry_not_found;
-            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);
             clients.push(h);

@@ -3,7 +3,7 @@
 
 use kv_core::RetryPolicy;
 use nice_ring::VRing;
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 /// Optional exponential-backoff upgrade for the client retry schedule.
 /// `None` keeps the paper's fixed period (§6.6), which is what fig11

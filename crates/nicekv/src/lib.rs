@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use nice_kv::{ClientOp, ClusterCfg, NiceCluster, Value};
-//! use nice_sim::Time;
+//! use node_rt::Time;
 //!
 //! let ops = vec![
 //!     ClientOp::Put { key: "hello".into(), value: Value::from_bytes(b"world".to_vec()) },

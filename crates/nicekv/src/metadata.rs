@@ -285,12 +285,30 @@ impl MetadataApp {
         (t.live_entries(now), t.live_groups(now))
     }
 
+    /// Address of `n`, total over arbitrary message content: an index
+    /// outside the cluster maps to the unroutable `0.0.0.0` (the switch
+    /// drops it), which beats unwinding the metadata service.
     fn addr(&self, n: NodeIdx) -> Ipv4 {
-        self.nodes[n.0 as usize].ip
+        self.nodes.get(n.0 as usize).map_or(Ipv4(0), |info| info.ip)
+    }
+
+    /// MAC of `n`, total like [`addr`](Self::addr).
+    fn mac_of(&self, n: NodeIdx) -> Mac {
+        self.nodes
+            .get(n.0 as usize)
+            .map_or(Mac::ZERO, |info| info.mac)
+    }
+
+    /// Liveness of `n`, total: an unknown index reads as `Down`, so a
+    /// malformed report can never route traffic or trigger a transition.
+    fn state_of(&self, n: NodeIdx) -> NodeState {
+        self.nodes
+            .get(n.0 as usize)
+            .map_or(NodeState::Down, |info| info.state)
     }
 
     fn is_get_eligible(&self, n: NodeIdx) -> bool {
-        let state = self.nodes[n.0 as usize].state;
+        let state = self.state_of(n);
         // The deliberate §3.3 mutation (chaos-suite checker validation
         // only): rejoining replicas serve gets before catch-up finishes,
         // exposing stale/absent reads the checker must flag.
@@ -318,7 +336,7 @@ impl MetadataApp {
         // unavailable than inconsistent).
         let primary_can_sink_misses = view.members.iter().any(|&(m, _)| m == view.primary)
             && !view.handoffs.contains(&view.primary)
-            && self.nodes[view.primary.0 as usize].state == NodeState::Up;
+            && self.state_of(view.primary) == NodeState::Up;
         let get_targets: Vec<(NodeIdx, Ipv4)> = view
             .members
             .iter()
@@ -355,7 +373,7 @@ impl MetadataApp {
                 .members
                 .iter()
                 .filter_map(|&(n, ip)| {
-                    let mac = self.nodes[n.0 as usize].mac;
+                    let mac = self.mac_of(n);
                     sw.ports
                         .get(&ip)
                         .map(|&port| GroupBucket::rewrite_to(ip, mac, port))
@@ -375,7 +393,7 @@ impl MetadataApp {
             t.remove_by_cookie(COOKIE_LB | p.0 as u64, at);
             match base_target {
                 Some((n, ip)) => {
-                    let mac = self.nodes[n.0 as usize].mac;
+                    let mac = self.mac_of(n);
                     if let Some(&port) = sw.ports.get(&ip) {
                         t.install(
                             FlowRule::new(
@@ -410,8 +428,12 @@ impl MetadataApp {
                 let overrides = self.lb_overrides.get(&p);
                 for (d, ((src_net, src_len), idx)) in lb.assignments().enumerate() {
                     let idx = overrides.and_then(|o| o.get(d).copied()).unwrap_or(idx);
-                    let (n, ip) = get_targets[idx % get_targets.len()];
-                    let mac = self.nodes[n.0 as usize].mac;
+                    // `lb` is only built for len > 1; `.max(1)` keeps the
+                    // modulus total anyway.
+                    let Some(&(n, ip)) = get_targets.get(idx % get_targets.len().max(1)) else {
+                        continue;
+                    };
+                    let mac = self.mac_of(n);
                     if let Some(&port) = sw.ports.get(&ip) {
                         t.install(
                             FlowRule::new(
@@ -450,7 +472,7 @@ impl MetadataApp {
             }
         }
         for n in recipients {
-            if self.nodes[n.0 as usize].state == NodeState::Down {
+            if self.state_of(n) == NodeState::Down {
                 continue;
             }
             let dst = self.addr(n);
@@ -465,10 +487,13 @@ impl MetadataApp {
     /// Declare `n` failed: hide it from both rings, select handoffs, and
     /// notify affected replicas (§4.4).
     pub fn fail_node(&mut self, n: NodeIdx, ctx: &mut Ctx) {
-        if self.nodes[n.0 as usize].state == NodeState::Down {
+        let Some(info) = self.nodes.get_mut(n.0 as usize) else {
+            return; // unknown node: nothing to fail
+        };
+        if info.state == NodeState::Down {
             return;
         }
-        self.nodes[n.0 as usize].state = NodeState::Down;
+        info.state = NodeState::Down;
         self.suspicions.remove(&n);
         self.events.push((ctx.now(), MetaEvent::NodeFailed(n)));
         let affected: Vec<PartitionId> = self
@@ -604,7 +629,8 @@ impl MetadataApp {
         let new_primary = if view.members.iter().any(|&(m, _)| m == preferred) {
             preferred
         } else {
-            view.members[0].0
+            // Non-empty is checked above; `?` keeps the path total anyway.
+            view.members.first().map(|&(m, _)| m)?
         };
         view.primary = new_primary;
         self.events.push((
@@ -629,7 +655,7 @@ impl MetadataApp {
     fn rejoin_source(&self, p: PartitionId, n: NodeIdx) -> Option<Ipv4> {
         self.views.get(&p).and_then(|view| {
             let pr = view.primary;
-            (pr != n && self.nodes[pr.0 as usize].state != NodeState::Down).then(|| self.addr(pr))
+            (pr != n && self.state_of(pr) != NodeState::Down).then(|| self.addr(pr))
         })
     }
 
@@ -650,16 +676,20 @@ impl MetadataApp {
     /// A failed node asks to rejoin: phase 1 of §4.4 recovery — put ring
     /// only, plus a plan of handoff nodes to drain.
     fn rejoin(&mut self, n: NodeIdx, ctx: &mut Ctx) {
-        if self.nodes[n.0 as usize].state == NodeState::Rejoining {
+        if self.state_of(n) == NodeState::Rejoining {
             // A duplicate request — the original plan was lost (e.g. the
             // node re-reported after learning of a metadata failover).
             // The views already list the node; just resend the plan.
             self.send_rejoin_plan(n, ctx);
             return;
         }
-        self.nodes[n.0 as usize].state = NodeState::Rejoining;
-        self.nodes[n.0 as usize].last_hb = ctx.now();
-        self.events.push((ctx.now(), MetaEvent::NodeRejoining(n)));
+        let now = ctx.now();
+        let Some(info) = self.nodes.get_mut(n.0 as usize) else {
+            return; // a rejoin request naming a node we never knew
+        };
+        info.state = NodeState::Rejoining;
+        info.last_hb = now;
+        self.events.push((now, MetaEvent::NodeRejoining(n)));
         let parts = self.ring.partitions_of(n);
         for p in parts {
             let Some(mut view) = self.views.get(&p).cloned() else {
@@ -694,8 +724,7 @@ impl MetadataApp {
     fn apply_admin(&mut self, op: AdminOp, ctx: &mut Ctx) {
         let changed = match op {
             AdminOp::AddNode(n) => {
-                if self.ring.nodes().contains(&n) || self.nodes[n.0 as usize].state != NodeState::Up
-                {
+                if self.ring.nodes().contains(&n) || self.state_of(n) != NodeState::Up {
                     return;
                 }
                 self.ring.add_node(n)
@@ -827,7 +856,7 @@ impl MetadataApp {
     /// Phase 2: the node holds consistent data — open the get path and
     /// retire its handoffs.
     fn recovered(&mut self, n: NodeIdx, ctx: &mut Ctx) {
-        if self.nodes[n.0 as usize].state == NodeState::Up {
+        if self.state_of(n) == NodeState::Up {
             // An admin-added replica finished draining its hash ranges:
             // make it get-visible everywhere it was syncing.
             let parts: Vec<PartitionId> = self
@@ -859,10 +888,12 @@ impl MetadataApp {
             self.events.push((ctx.now(), MetaEvent::NodeRecovered(n)));
             return;
         }
-        if self.nodes[n.0 as usize].state != NodeState::Rejoining {
+        if self.state_of(n) != NodeState::Rejoining {
             return;
         }
-        self.nodes[n.0 as usize].state = NodeState::Up;
+        if let Some(info) = self.nodes.get_mut(n.0 as usize) {
+            info.state = NodeState::Up;
+        }
         self.events.push((ctx.now(), MetaEvent::NodeRecovered(n)));
         for p in self.ring.partitions_of(n) {
             let mut retired: Vec<NodeIdx> = Vec::new();
@@ -1006,11 +1037,13 @@ impl MetadataApp {
         for p in parts {
             self.install_partition(p, now);
         }
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].state == NodeState::Down {
-                continue;
-            }
-            let dst = self.nodes[i].ip;
+        let live: Vec<Ipv4> = self
+            .nodes
+            .iter()
+            .filter(|info| info.state != NodeState::Down)
+            .map(|info| info.ip)
+            .collect();
+        for dst in live {
             let msg = KvMsg::MetaFailover { new_meta: ctx.ip() };
             self.tp
                 .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, CTRL_MSG_BYTES));
@@ -1107,7 +1140,9 @@ impl MetadataApp {
         }
         match msg {
             KvMsg::Heartbeat { node, stats } => {
-                let info = &mut self.nodes[node.0 as usize];
+                let Some(info) = self.nodes.get_mut(node.0 as usize) else {
+                    return; // heartbeat from outside the cluster roster
+                };
                 info.last_hb = ctx.now();
                 let was_down = info.state == NodeState::Down;
                 let agg = self.load.entry(*node).or_default();
@@ -1173,7 +1208,7 @@ impl App for MetadataApp {
                     .ring
                     .replica_set(p)
                     .iter()
-                    .map(|&n| (n, self.nodes[n.0 as usize].ip))
+                    .map(|&n| (n, self.addr(n)))
                     .collect();
                 self.views.insert(
                     p,
@@ -1196,7 +1231,7 @@ impl App for MetadataApp {
                 .ring
                 .replica_set(p)
                 .iter()
-                .map(|&n| (n, self.nodes[n.0 as usize].ip))
+                .map(|&n| (n, self.addr(n)))
                 .collect();
             let view = PartitionView {
                 partition: p,
@@ -1250,15 +1285,26 @@ impl App for MetadataApp {
 /// to the replica with the least accumulated load. Returns, per division
 /// index, the chosen replica index in `0..targets`.
 pub fn assign_divisions_lpt(loads: &[u64], targets: usize) -> Vec<usize> {
-    assert!(targets > 0);
+    // Total over any input: `targets == 0` degrades to one phantom
+    // replica (everything maps to 0) instead of panicking.
+    let targets = targets.max(1);
+    let load = |d: usize| loads.get(d).copied().unwrap_or(0);
     let mut order: Vec<usize> = (0..loads.len()).collect();
-    order.sort_by_key(|&d| std::cmp::Reverse(loads[d]));
+    order.sort_by_key(|&d| std::cmp::Reverse(load(d)));
     let mut acc = vec![0u64; targets];
     let mut out = vec![0usize; loads.len()];
     for d in order {
-        let t = (0..targets).min_by_key(|&t| (acc[t], t)).unwrap_or(0);
-        out[d] = t;
-        acc[t] += loads[d];
+        let t = acc
+            .iter()
+            .enumerate()
+            .min_by_key(|&(t, &a)| (a, t))
+            .map_or(0, |(t, _)| t);
+        if let Some(slot) = out.get_mut(d) {
+            *slot = t;
+        }
+        if let Some(a) = acc.get_mut(t) {
+            *a += load(d);
+        }
     }
     out
 }

@@ -5,7 +5,7 @@
 //! appear in the wire format.
 
 use nice_ring::{NodeIdx, PartitionId};
-use nice_sim::{Ipv4, Time};
+use node_rt::{Ipv4, Time};
 
 pub use kv_core::{OpId, Timestamp, Value};
 

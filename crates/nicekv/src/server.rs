@@ -30,8 +30,8 @@ use kv_core::{
     DATA_SEND_THRESHOLD, REQ_COST,
 };
 use nice_ring::{hash_str, NodeIdx, PartitionId};
-use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use node_rt::{Ipv4, NodeApp, NodeIo, Packet, Time};
 
 use crate::config::{KvConfig, PutMode};
 use crate::msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};
@@ -169,7 +169,7 @@ impl ServerApp {
 
     /// The engine's view of a partition's replica group: every member
     /// that must ack, excluding this node.
-    fn group_of(&self, view: &PartitionView, ctx: &Ctx) -> Group {
+    fn group_of(&self, view: &PartitionView, ctx: &dyn NodeIo) -> Group {
         Group {
             peers: view
                 .members
@@ -181,14 +181,14 @@ impl ServerApp {
         }
     }
 
-    fn defer(&mut self, ctx: &mut Ctx, at: Time, cont: Cont) {
+    fn defer(&mut self, ctx: &mut dyn NodeIo, at: Time, cont: Cont) {
         let tok = self.next_cont;
         self.next_cont += 1;
         self.conts.insert(tok, cont);
         ctx.set_timer(at.saturating_sub(ctx.now()), tok);
     }
 
-    fn send_kv(&mut self, ctx: &mut Ctx, dst: Ipv4, msg: KvMsg, size: u32) {
+    fn send_kv(&mut self, ctx: &mut dyn NodeIo, dst: Ipv4, msg: KvMsg, size: u32) {
         // Sending costs CPU too (syscall + copy), and materially more for
         // value-carrying messages than for small control messages.
         ctx.cpu_work(if size > DATA_SEND_THRESHOLD {
@@ -200,7 +200,7 @@ impl ServerApp {
             .tcp_send(ctx, dst, self.cfg.port, Msg::new(msg, size));
     }
 
-    fn report_failure(&mut self, suspect: NodeIdx, ctx: &mut Ctx) {
+    fn report_failure(&mut self, suspect: NodeIdx, ctx: &mut dyn NodeIo) {
         if self.reported_down.insert(suspect) {
             self.engine.counters_mut().failure_reports += 1;
             let from = self.node;
@@ -216,7 +216,7 @@ impl ServerApp {
     /// Turn engine effects into NICE wire traffic and timers. Acks go
     /// point-to-point to the primary; commit/abort distribution rides the
     /// partition's *multicast* vring so the switch replicates it (§4.2).
-    fn apply_effects(&mut self, fx: Vec<Effect>, ctx: &mut Ctx) {
+    fn apply_effects(&mut self, fx: Vec<Effect>, ctx: &mut dyn NodeIo) {
         for e in fx {
             match e {
                 Effect::WriteDone { at, key, op } => {
@@ -303,7 +303,7 @@ impl ServerApp {
     // Put path (Figure 3)
     // -----------------------------------------------------------------
 
-    fn on_put_request(&mut self, key: String, value: Value, op: OpId, ctx: &mut Ctx) {
+    fn on_put_request(&mut self, key: String, value: Value, op: OpId, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let Some(view) = self.views.get(&p).cloned() else {
             return; // not (or no longer) a member: stale multicast rule
@@ -353,7 +353,7 @@ impl ServerApp {
         self.apply_effects(fx, ctx);
     }
 
-    fn on_written(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+    fn on_written(&mut self, key: String, op: OpId, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let Some(view) = self.views.get(&p).cloned() else {
             return;
@@ -377,7 +377,7 @@ impl ServerApp {
         self.apply_effects(fx, ctx);
     }
 
-    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let Some(view) = self.views.get(&p).cloned() else {
             return;
@@ -391,7 +391,7 @@ impl ServerApp {
         self.apply_effects(fx, ctx);
     }
 
-    fn on_commit(&mut self, key: String, op: OpId, ts: Timestamp, ctx: &mut Ctx) {
+    fn on_commit(&mut self, key: String, op: OpId, ts: Timestamp, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let Some(view) = self.views.get(&p).cloned() else {
             return;
@@ -416,7 +416,7 @@ impl ServerApp {
         self.apply_effects(fx, ctx);
     }
 
-    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let view = self.views.get(&p).cloned();
         let g = view.as_ref().map(|v| self.group_of(v, ctx));
@@ -425,7 +425,7 @@ impl ServerApp {
         self.apply_effects(fx, ctx);
     }
 
-    fn on_coord_deadline(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+    fn on_coord_deadline(&mut self, key: String, op: OpId, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         let view = self.views.get(&p).cloned();
         let g = view.as_ref().map(|v| self.group_of(v, ctx));
@@ -455,7 +455,7 @@ impl ServerApp {
         }
     }
 
-    fn on_get_request(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+    fn on_get_request(&mut self, key: String, op: OpId, ctx: &mut dyn NodeIo) {
         let p = self.partition_of(&key);
         self.record_get_source(p, op.client);
         let view = self.views.get(&p).cloned();
@@ -495,7 +495,7 @@ impl ServerApp {
         );
     }
 
-    fn on_get_forward(&mut self, key: String, op: OpId, ctx: &mut Ctx) {
+    fn on_get_forward(&mut self, key: String, op: OpId, ctx: &mut dyn NodeIo) {
         let (reply, size) = match self.engine.store().get(&key) {
             Some(c) => (
                 KvMsg::GetReply {
@@ -524,7 +524,7 @@ impl ServerApp {
     // Membership, recovery, failover
     // -----------------------------------------------------------------
 
-    fn on_membership(&mut self, views: Vec<PartitionView>, ctx: &mut Ctx) {
+    fn on_membership(&mut self, views: Vec<PartitionView>, ctx: &mut dyn NodeIo) {
         let bits = self.cfg.partitions.trailing_zeros();
         for view in views {
             let p = view.partition;
@@ -579,7 +579,7 @@ impl ServerApp {
         }
     }
 
-    fn on_rejoin_plan(&mut self, sources: Vec<(PartitionId, Option<Ipv4>)>, ctx: &mut Ctx) {
+    fn on_rejoin_plan(&mut self, sources: Vec<(PartitionId, Option<Ipv4>)>, ctx: &mut dyn NodeIo) {
         // A plan can arrive for a restart rejoin or for an admin
         // reconfiguration (we were added to new replica sets): either way
         // we drain the listed sources then report consistency.
@@ -607,7 +607,7 @@ impl ServerApp {
         self.maybe_recovery_done(ctx);
     }
 
-    fn rejoin_retry(&mut self, ctx: &mut Ctx) {
+    fn rejoin_retry(&mut self, ctx: &mut dyn NodeIo) {
         if !self.rejoining || self.rejoin_pending.is_empty() {
             return;
         }
@@ -626,7 +626,7 @@ impl ServerApp {
         partition: PartitionId,
         from: NodeIdx,
         src: Ipv4,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         self.serve_fetch(partition, from, src, None, 0, ctx);
     }
@@ -648,7 +648,7 @@ impl ServerApp {
         src: Ipv4,
         barrier: Option<Vec<(String, OpId)>>,
         tries: u32,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         const FETCH_GATE_TRIES: u32 = 64;
         let bits = self.cfg.partitions.trailing_zeros();
@@ -658,9 +658,10 @@ impl ServerApp {
         // the freshest member is named as the next sync source). Hold
         // the reply until we are consistent.
         if self.rejoining && tries < FETCH_GATE_TRIES {
+            let at = ctx.now() + retry_in;
             self.defer(
                 ctx,
-                ctx.now() + retry_in,
+                at,
                 Cont::FetchGate {
                     partition,
                     from,
@@ -679,9 +680,10 @@ impl ServerApp {
             .get(&partition)
             .is_none_or(|v| v.members.iter().any(|&(n, _)| n == from));
         if !in_view && tries < FETCH_GATE_TRIES {
+            let at = ctx.now() + retry_in;
             self.defer(
                 ctx,
-                ctx.now() + retry_in,
+                at,
                 Cont::FetchGate {
                     partition,
                     from,
@@ -701,9 +703,10 @@ impl ServerApp {
             .filter(|(k, op)| self.engine.coord_live(k, *op))
             .collect();
         if !live.is_empty() && tries < FETCH_GATE_TRIES {
+            let at = ctx.now() + retry_in;
             self.defer(
                 ctx,
-                ctx.now() + retry_in,
+                at,
                 Cont::FetchGate {
                     partition,
                     from,
@@ -733,14 +736,14 @@ impl ServerApp {
         &mut self,
         partition: PartitionId,
         objects: Vec<(String, Value, Timestamp)>,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         self.engine.ingest(ctx.now(), objects);
         self.rejoin_pending.remove(&partition);
         self.maybe_recovery_done(ctx);
     }
 
-    fn maybe_recovery_done(&mut self, ctx: &mut Ctx) {
+    fn maybe_recovery_done(&mut self, ctx: &mut dyn NodeIo) {
         if self.rejoining && self.rejoin_pending.is_empty() {
             self.rejoining = false;
             let node = self.node;
@@ -748,7 +751,7 @@ impl ServerApp {
         }
     }
 
-    fn on_become_primary(&mut self, partition: PartitionId, ctx: &mut Ctx) {
+    fn on_become_primary(&mut self, partition: PartitionId, ctx: &mut dyn NodeIo) {
         let Some(view) = self.views.get(&partition).cloned() else {
             return;
         };
@@ -778,7 +781,7 @@ impl ServerApp {
         self.resolves.insert(partition, res);
     }
 
-    fn on_lock_query(&mut self, partition: PartitionId, src: Ipv4, ctx: &mut Ctx) {
+    fn on_lock_query(&mut self, partition: PartitionId, src: Ipv4, ctx: &mut dyn NodeIo) {
         let bits = self.cfg.partitions.trailing_zeros();
         let (locked, max_seq) = self
             .engine
@@ -803,7 +806,7 @@ impl ServerApp {
         from: NodeIdx,
         locked: Vec<(String, OpId, Option<Timestamp>)>,
         max_seq: u64,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         let Some(res) = self.resolves.get_mut(&partition) else {
             return;
@@ -816,7 +819,7 @@ impl ServerApp {
     /// §4.4: "if the object is committed on any secondary node … The
     /// primary will commit and unlock the object. If an object is locked
     /// on all secondary nodes, then the new primary will abort."
-    fn finish_resolution(&mut self, partition: PartitionId, ctx: &mut Ctx) {
+    fn finish_resolution(&mut self, partition: PartitionId, ctx: &mut dyn NodeIo) {
         // Date resolution aborts at the moment the lock reports were
         // requested: a lock re-taken by a client retry *after* that is
         // part of a live round this resolution never saw, and must not
@@ -871,7 +874,7 @@ impl ServerApp {
     // Timers
     // -----------------------------------------------------------------
 
-    fn heartbeat(&mut self, ctx: &mut Ctx) {
+    fn heartbeat(&mut self, ctx: &mut dyn NodeIo) {
         let msg = KvMsg::Heartbeat {
             node: self.node,
             stats: std::mem::take(&mut self.stats),
@@ -884,7 +887,7 @@ impl ServerApp {
     /// Detect a dead primary: a lock nobody commits within 2x op_timeout
     /// means the timestamp message never came (§4.4 "the secondary nodes
     /// will detect the failure by timing out on the replication message").
-    fn sweep_stale_locks(&mut self, ctx: &mut Ctx) {
+    fn sweep_stale_locks(&mut self, ctx: &mut dyn NodeIo) {
         let now = ctx.now();
         let threshold = self.cfg.op_timeout * 2;
         let bits = self.cfg.partitions.trailing_zeros();
@@ -935,7 +938,7 @@ impl ServerApp {
     // Event plumbing
     // -----------------------------------------------------------------
 
-    fn on_kv(&mut self, msg: &KvMsg, src: Ipv4, ctx: &mut Ctx) {
+    fn on_kv(&mut self, msg: &KvMsg, src: Ipv4, ctx: &mut dyn NodeIo) {
         match msg.clone() {
             KvMsg::PutRequest { key, value, op } => self.on_put_request(key, value, op, ctx),
             KvMsg::GetRequest { key, op } => self.on_get_request(key, op, ctx),
@@ -1016,7 +1019,7 @@ impl ServerApp {
         }
     }
 
-    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut dyn NodeIo) {
         for ev in events {
             if let TransportEvent::Delivered { from, msg, .. } = ev {
                 if let Some(kv) = msg.downcast::<KvMsg>() {
@@ -1040,18 +1043,18 @@ impl ServerApp {
     }
 }
 
-impl App for ServerApp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl NodeApp for ServerApp {
+    fn on_start(&mut self, ctx: &mut dyn NodeIo) {
         self.heartbeat(ctx);
         ctx.set_timer(self.cfg.op_timeout, TOK_SWEEP);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn NodeIo) {
         let events = self.tp.on_packet(&pkt, ctx);
         self.drive(events, ctx);
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) {
         if token == TRANSPORT_TICK {
             let events = self.tp.on_timer(token, ctx);
             self.drive(events, ctx);
@@ -1092,7 +1095,7 @@ impl App for ServerApp {
         self.reported_down.clear();
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx) {
+    fn on_restart(&mut self, ctx: &mut dyn NodeIo) {
         self.rejoining = true;
         let node = self.node;
         self.send_kv(

@@ -1,0 +1,306 @@
+//! Wire codecs: the serialization boundary between opaque in-memory
+//! payloads and real UDP datagrams.
+//!
+//! Inside a single process (simulator or loopback runtime) payloads are
+//! `Rc<dyn Any>` and never serialized. The real runtime still frames
+//! every packet onto the wire, so each protocol family provides a
+//! [`WireCodec`] that turns its payload type into bytes and back. Packet
+//! *headers* are framed once, here, by [`encode_frame`]/[`decode_frame`];
+//! codecs only handle the payload.
+
+use std::any::Any;
+
+use crate::net::{Ipv4, Mac, Packet, Payload, Proto};
+
+/// Serializes one protocol family's payloads for the real UDP runtime.
+///
+/// `encode` returns `None` for payload types the codec does not know
+/// (the runtime drops the packet — mirroring a NIC with no route);
+/// `decode` returns `None` for malformed bytes (the datagram is
+/// dropped, exactly like a corrupt frame).
+pub trait WireCodec: Send + Sync + 'static {
+    /// Serialize a payload, or `None` if the type is not wire-encodable.
+    fn encode(&self, payload: &dyn Any) -> Option<Vec<u8>>;
+    /// Deserialize a payload previously produced by `encode`.
+    fn decode(&self, bytes: &[u8]) -> Option<Payload>;
+}
+
+/// An append-only byte sink with fixed-width big-endian primitives.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a `u32` length prefix followed by the bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// The accumulated buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor over received bytes; every read is checked and returns
+/// `None` past the end (malformed datagrams are dropped, never panic).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s.first().copied().unwrap_or_default())
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).and_then(|s| {
+            let arr: [u8; 2] = s.try_into().ok()?;
+            Some(u16::from_be_bytes(arr))
+        })
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).and_then(|s| {
+            let arr: [u8; 4] = s.try_into().ok()?;
+            Some(u32::from_be_bytes(arr))
+        })
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).and_then(|s| {
+            let arr: [u8; 8] = s.try_into().ok()?;
+            Some(u64::from_be_bytes(arr))
+        })
+    }
+
+    /// Read a `u32`-length-prefixed byte run.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = self.buf.get(self.pos..).unwrap_or_default();
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// True once the buffer is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+fn proto_tag(p: Proto) -> u8 {
+    match p {
+        Proto::Udp => 0,
+        Proto::Tcp => 1,
+        Proto::Arp => 2,
+    }
+}
+
+fn proto_from(tag: u8) -> Option<Proto> {
+    match tag {
+        0 => Some(Proto::Udp),
+        1 => Some(Proto::Tcp),
+        2 => Some(Proto::Arp),
+        _ => None,
+    }
+}
+
+/// Frame a packet for the wire: fixed header fields, then the
+/// codec-encoded payload. `None` if the codec does not know the payload
+/// type (the caller drops the packet).
+pub fn encode_frame(pkt: &Packet, codec: &dyn WireCodec) -> Option<Vec<u8>> {
+    let payload = codec.encode(pkt.payload.as_ref())?;
+    let mut w = ByteWriter::new();
+    w.u32(pkt.src.0);
+    w.u32(pkt.dst.0);
+    w.u8(proto_tag(pkt.proto));
+    w.u16(pkt.src_port);
+    w.u16(pkt.dst_port);
+    w.u32(pkt.wire_size);
+    w.bytes(&payload);
+    Some(w.into_vec())
+}
+
+/// Reconstruct a packet from a framed datagram. MACs are zero: the real
+/// runtime routes purely on IP addresses.
+pub fn decode_frame(bytes: &[u8], codec: &dyn WireCodec) -> Option<Packet> {
+    let mut r = ByteReader::new(bytes);
+    let src = Ipv4(r.u32()?);
+    let dst = Ipv4(r.u32()?);
+    let proto = proto_from(r.u8()?)?;
+    let src_port = r.u16()?;
+    let dst_port = r.u16()?;
+    let wire_size = r.u32()?;
+    let payload = codec.decode(r.bytes()?)?;
+    Some(Packet {
+        src,
+        dst,
+        src_mac: Mac::ZERO,
+        dst_mac: Mac::ZERO,
+        proto,
+        src_port,
+        dst_port,
+        wire_size,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.str("hello");
+        w.bytes(&[1, 2, 3]);
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(0xBEEF));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.str().as_deref(), Some("hello"));
+        assert_eq!(r.bytes(), Some(&[1u8, 2, 3][..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u32(), None);
+        let mut r = ByteReader::new(&[0, 0, 0, 10, 1]);
+        assert_eq!(r.bytes(), None, "length prefix exceeds buffer");
+    }
+
+    struct U64Codec;
+    impl WireCodec for U64Codec {
+        fn encode(&self, payload: &dyn std::any::Any) -> Option<Vec<u8>> {
+            payload
+                .downcast_ref::<u64>()
+                .map(|v| v.to_be_bytes().into())
+        }
+        fn decode(&self, bytes: &[u8]) -> Option<Payload> {
+            let arr: [u8; 8] = bytes.try_into().ok()?;
+            Some(Rc::new(u64::from_be_bytes(arr)))
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let pkt = Packet::udp(
+            Ipv4::new(127, 0, 0, 1),
+            Mac(3),
+            Ipv4::new(10, 0, 0, 7),
+            1234,
+            9000,
+            8,
+            Rc::new(77u64),
+        );
+        let wire = encode_frame(&pkt, &U64Codec).expect("encodable");
+        let back = decode_frame(&wire, &U64Codec).expect("decodable");
+        assert_eq!(back.src, pkt.src);
+        assert_eq!(back.dst, pkt.dst);
+        assert_eq!(back.proto, Proto::Udp);
+        assert_eq!(back.src_port, 1234);
+        assert_eq!(back.dst_port, 9000);
+        assert_eq!(back.wire_size, pkt.wire_size);
+        assert_eq!(back.payload_as::<u64>(), Some(&77));
+    }
+
+    #[test]
+    fn unknown_payload_is_unencodable() {
+        let pkt = Packet::udp(
+            Ipv4::UNSPECIFIED,
+            Mac(0),
+            Ipv4::UNSPECIFIED,
+            0,
+            0,
+            0,
+            Rc::new("not a u64"),
+        );
+        assert!(encode_frame(&pkt, &U64Codec).is_none());
+    }
+
+    #[test]
+    fn corrupt_frames_are_dropped() {
+        assert!(decode_frame(&[1, 2, 3], &U64Codec).is_none());
+        // Valid header, bogus proto tag.
+        let mut w = ByteWriter::new();
+        w.u32(0);
+        w.u32(0);
+        w.u8(9);
+        w.u16(0);
+        w.u16(0);
+        w.u32(0);
+        w.bytes(&[]);
+        assert!(decode_frame(&w.into_vec(), &U64Codec).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! The `NodeIo` host boundary: everything a node application may ask of
+//! whatever is hosting it.
+//!
+//! NICE and NOOB node logic (transport, servers, gateways, clients) is
+//! written against [`NodeIo`] + [`NodeApp`] only. Two hosts implement the
+//! contract: the deterministic discrete-event simulator (`nice-sim`'s
+//! `Ctx`) and the real threaded UDP runtime in [`crate::runtime`]. The
+//! SDN-only surface (switch `packet_out`, host identifiers) deliberately
+//! does *not* appear here — in-switch anycast is sim-only, so apps that
+//! need it stay sim-hosted.
+
+use std::any::Any;
+
+use nice_workload::XorShiftRng;
+
+use crate::net::{Ipv4, Mac, Packet};
+use crate::time::Time;
+
+/// The host-facing surface node applications run against.
+///
+/// Semantics every host must provide:
+///
+/// - [`now`](NodeIo::now) is monotonically non-decreasing across
+///   callbacks (virtual time in the simulator, wall-clock-since-epoch in
+///   the real runtime).
+/// - [`send`](NodeIo::send) is asynchronous and unreliable: delivery may
+///   fail silently (reliability lives in the transport layer above).
+/// - [`set_timer`](NodeIo::set_timer) delivers `token` back through
+///   [`NodeApp::on_timer`] no earlier than `delay` from now. Timers are
+///   not cancelable; apps treat stale tokens as no-ops.
+/// - [`cpu_work`](NodeIo::cpu_work) accounts synchronous CPU cost. The
+///   simulator charges it to the host's core model; the real runtime
+///   spends actual CPU time implicitly and treats this as a no-op.
+/// - [`cpu_defer`](NodeIo::cpu_defer) models "finish this after the CPU
+///   has chewed `amount`": the token comes back via
+///   [`NodeApp::on_timer`] once the cost is paid.
+/// - [`rng`](NodeIo::rng) is a per-node deterministic generator, seeded
+///   by the host from the run seed and the node identity.
+pub trait NodeIo {
+    /// The current time.
+    fn now(&self) -> Time;
+    /// This node's IPv4 address.
+    fn ip(&self) -> Ipv4;
+    /// This node's MAC address.
+    fn mac(&self) -> Mac;
+    /// Transmit a packet (fire-and-forget).
+    fn send(&mut self, pkt: Packet);
+    /// Arm a one-shot timer: `token` arrives via `on_timer` after `delay`.
+    fn set_timer(&mut self, delay: Time, token: u64);
+    /// Account `amount` of synchronous CPU work.
+    fn cpu_work(&mut self, amount: Time);
+    /// Defer completion behind `amount` of CPU work; `token` arrives via
+    /// `on_timer` once it is paid.
+    fn cpu_defer(&mut self, amount: Time, token: u64);
+    /// The node's deterministic random-number generator.
+    fn rng(&mut self) -> &mut XorShiftRng;
+}
+
+/// A node application: the protocol state machine a host drives.
+///
+/// All hooks take `&mut dyn NodeIo` so one compiled app body runs under
+/// the simulator and the real UDP runtime alike. `Any` is a supertrait so
+/// harnesses can downcast a hosted app back to its concrete type.
+pub trait NodeApp: Any {
+    /// The node booted (or the run started).
+    fn on_start(&mut self, io: &mut dyn NodeIo) {
+        let _ = io;
+    }
+
+    /// A packet addressed to this node arrived.
+    fn on_packet(&mut self, pkt: Packet, io: &mut dyn NodeIo) {
+        let _ = (pkt, io);
+    }
+
+    /// A timer armed via [`NodeIo::set_timer`]/[`NodeIo::cpu_defer`]
+    /// fired.
+    fn on_timer(&mut self, token: u64, io: &mut dyn NodeIo) {
+        let _ = (token, io);
+    }
+
+    /// The node crashed: volatile state is gone, no IO is possible.
+    fn on_crash(&mut self) {}
+
+    /// The node restarted after a crash.
+    fn on_restart(&mut self, io: &mut dyn NodeIo) {
+        let _ = io;
+    }
+}

@@ -1,0 +1,364 @@
+//! Network primitives: addresses, protocols, and packets.
+//!
+//! Packets carry real IPv4/MAC headers (which the OpenFlow-style switch
+//! logic matches and rewrites, exactly as the paper's §3.2 virtual-ring
+//! mapping requires) but an *opaque* payload: a reference-counted `dyn Any`
+//! that the application-level transports downcast on delivery. This keeps
+//! the data plane honest — switches can only see headers — while avoiding
+//! byte-level serialization inside the simulator. The real UDP runtime
+//! serializes payloads at the host boundary through a
+//! [`crate::codec::WireCodec`] instead.
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// An IPv4 address, stored as a big-endian `u32` so prefix arithmetic is a
+/// mask away.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4 = Ipv4(0);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4 = Ipv4(u32::MAX);
+
+    /// Build from dotted-quad octets.
+    #[inline]
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    #[inline]
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The network mask for a prefix of `len` bits (`/0` → all-zero mask).
+    #[inline]
+    pub const fn prefix_mask(len: u8) -> u32 {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Does this address fall inside `net/len`?
+    #[inline]
+    pub const fn in_prefix(self, net: Ipv4, len: u8) -> bool {
+        let m = Ipv4::prefix_mask(len);
+        self.0 & m == net.0 & m
+    }
+
+    /// The address with the host bits below `len` cleared.
+    #[inline]
+    pub const fn network(self, len: u8) -> Ipv4 {
+        Ipv4(self.0 & Ipv4::prefix_mask(len))
+    }
+
+    /// Offset within the enclosing `len`-bit prefix.
+    #[inline]
+    pub const fn host_bits(self, len: u8) -> u32 {
+        self.0 & !Ipv4::prefix_mask(len)
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A MAC address, abstracted as a `u64` (only equality, learning, and
+/// rewriting matter to the data plane).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mac(pub u64);
+
+impl Mac {
+    /// The all-ones broadcast MAC.
+    pub const BROADCAST: Mac = Mac(u64::MAX);
+    /// The all-zero "unknown" MAC.
+    pub const ZERO: Mac = Mac(0);
+
+    /// True if this is the broadcast address.
+    #[inline]
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl fmt::Debug for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mac:{:x}", self.0)
+    }
+}
+
+/// Transport protocol carried by a packet. Matches what OpenFlow can
+/// discriminate on (the `ip_proto` field) plus ARP, which the paper's
+/// controller handles specially (§5, "Mapping Service").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// User datagrams — client requests and the reliable-multicast data
+    /// path (§5: "We use UDP to send client requests").
+    Udp,
+    /// Reliable streams — replies and inter-node communication
+    /// (§5: "TCP for all other communications").
+    Tcp,
+    /// Address resolution; handled by the host "kernel" and punted to the
+    /// SDN controller by the default switch logic.
+    Arp,
+}
+
+/// Link-layer + IP + transport header overhead, in bytes, charged on every
+/// packet in addition to its payload.
+pub const HDR_UDP: u32 = 42;
+/// Header overhead for TCP segments (larger due to TCP options/acks).
+pub const HDR_TCP: u32 = 54;
+/// Wire size of an ARP frame.
+pub const ARP_WIRE_SIZE: u32 = 64;
+/// Maximum transmission unit for payload data, as in the paper (§5:
+/// "each less than a single network MTU (1400 bytes)").
+pub const MTU: u32 = 1400;
+
+/// Opaque application payload. Cloning is cheap (an `Rc` bump), which is
+/// what makes switch-level multicast replication nearly free to simulate.
+pub type Payload = Rc<dyn Any>;
+
+/// The ARP payload understood by host kernels and the learning controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// "Who has `target`? Tell `sender`."
+    Request {
+        /// The IP being resolved.
+        target: Ipv4,
+    },
+    /// "`sender` (src_ip/src_mac of the packet) is at this MAC."
+    Reply,
+}
+
+/// A packet: real headers, opaque payload.
+#[derive(Clone)]
+pub struct Packet {
+    /// Source IPv4 address.
+    pub src: Ipv4,
+    /// Destination IPv4 address (possibly a *virtual* ring address that
+    /// the switch will rewrite).
+    pub dst: Ipv4,
+    /// Source MAC.
+    pub src_mac: Mac,
+    /// Destination MAC (rewritten alongside `dst` by vring rules).
+    pub dst_mac: Mac,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Total wire size in bytes (headers + payload); this is what links
+    /// serialize and what the byte counters account.
+    pub wire_size: u32,
+    /// The opaque application payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Construct a UDP packet carrying `payload_bytes` of application data.
+    pub fn udp(
+        src: Ipv4,
+        src_mac: Mac,
+        dst: Ipv4,
+        src_port: u16,
+        dst_port: u16,
+        payload_bytes: u32,
+        payload: Payload,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            src_mac,
+            // The sender does not know the destination MAC behind a virtual
+            // address; the switch rewrite (or learning path) fills it in.
+            dst_mac: Mac::ZERO,
+            proto: Proto::Udp,
+            src_port,
+            dst_port,
+            wire_size: HDR_UDP + payload_bytes,
+            payload,
+        }
+    }
+
+    /// Construct a TCP segment carrying `payload_bytes` of stream data.
+    pub fn tcp(
+        src: Ipv4,
+        src_mac: Mac,
+        dst: Ipv4,
+        src_port: u16,
+        dst_port: u16,
+        payload_bytes: u32,
+        payload: Payload,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            src_mac,
+            dst_mac: Mac::ZERO,
+            proto: Proto::Tcp,
+            src_port,
+            dst_port,
+            wire_size: HDR_TCP + payload_bytes,
+            payload,
+        }
+    }
+
+    /// Construct an ARP request for `target`, broadcast at L2.
+    pub fn arp_request(sender_ip: Ipv4, sender_mac: Mac, target: Ipv4) -> Packet {
+        Packet {
+            src: sender_ip,
+            dst: target,
+            src_mac: sender_mac,
+            dst_mac: Mac::BROADCAST,
+            proto: Proto::Arp,
+            src_port: 0,
+            dst_port: 0,
+            wire_size: ARP_WIRE_SIZE,
+            payload: Rc::new(ArpOp::Request { target }),
+        }
+    }
+
+    /// Construct an ARP reply from `sender` to `requester`.
+    pub fn arp_reply(
+        sender_ip: Ipv4,
+        sender_mac: Mac,
+        requester_ip: Ipv4,
+        requester_mac: Mac,
+    ) -> Packet {
+        Packet {
+            src: sender_ip,
+            dst: requester_ip,
+            src_mac: sender_mac,
+            dst_mac: requester_mac,
+            proto: Proto::Arp,
+            src_port: 0,
+            dst_port: 0,
+            wire_size: ARP_WIRE_SIZE,
+            payload: Rc::new(ArpOp::Reply),
+        }
+    }
+
+    /// Downcast the payload to a concrete type, if it is one.
+    #[inline]
+    pub fn payload_as<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// Application payload bytes (wire size minus the header overhead for
+    /// this protocol).
+    #[inline]
+    pub fn payload_bytes(&self) -> u32 {
+        let hdr = match self.proto {
+            Proto::Udp => HDR_UDP,
+            Proto::Tcp => HDR_TCP,
+            Proto::Arp => ARP_WIRE_SIZE,
+        };
+        self.wire_size.saturating_sub(hdr)
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}:{} -> {}:{} ({}B)",
+            self.proto, self.src, self.src_port, self.dst, self.dst_port, self.wire_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_octets_roundtrip() {
+        let ip = Ipv4::new(10, 10, 1, 7);
+        assert_eq!(ip.octets(), [10, 10, 1, 7]);
+        assert_eq!(format!("{ip}"), "10.10.1.7");
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let net = Ipv4::new(10, 10, 1, 0);
+        assert!(Ipv4::new(10, 10, 1, 200).in_prefix(net, 24));
+        assert!(!Ipv4::new(10, 10, 2, 1).in_prefix(net, 24));
+        // /0 matches everything.
+        assert!(Ipv4::new(1, 2, 3, 4).in_prefix(Ipv4::UNSPECIFIED, 0));
+        // /32 is exact match.
+        assert!(Ipv4::new(10, 10, 1, 1).in_prefix(Ipv4::new(10, 10, 1, 1), 32));
+        assert!(!Ipv4::new(10, 10, 1, 2).in_prefix(Ipv4::new(10, 10, 1, 1), 32));
+    }
+
+    #[test]
+    fn network_and_host_bits() {
+        let ip = Ipv4::new(10, 11, 3, 200);
+        assert_eq!(ip.network(16), Ipv4::new(10, 11, 0, 0));
+        assert_eq!(ip.host_bits(16), (3 << 8) | 200);
+    }
+
+    #[test]
+    fn packet_sizes() {
+        let p = Packet::udp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            9,
+            10,
+            100,
+            Rc::new(()),
+        );
+        assert_eq!(p.wire_size, 142);
+        assert_eq!(p.payload_bytes(), 100);
+        let t = Packet::tcp(
+            Ipv4::new(1, 0, 0, 1),
+            Mac(1),
+            Ipv4::new(1, 0, 0, 2),
+            9,
+            10,
+            0,
+            Rc::new(()),
+        );
+        assert_eq!(t.wire_size, HDR_TCP);
+        assert_eq!(t.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn payload_downcast() {
+        let p = Packet::udp(
+            Ipv4::UNSPECIFIED,
+            Mac(0),
+            Ipv4::UNSPECIFIED,
+            0,
+            0,
+            4,
+            Rc::new(42u32),
+        );
+        assert_eq!(p.payload_as::<u32>(), Some(&42));
+        assert_eq!(p.payload_as::<u64>(), None);
+    }
+
+    #[test]
+    fn broadcast_mac() {
+        assert!(Mac::BROADCAST.is_broadcast());
+        assert!(!Mac(7).is_broadcast());
+    }
+}

@@ -1,0 +1,585 @@
+//! A real multi-threaded UDP runtime: the second [`NodeIo`] host.
+//!
+//! Every node becomes an OS thread owning one `std::net::UdpSocket`
+//! bound on loopback. The thread runs a recv-or-timer event loop:
+//! `recv_timeout`-style blocking reads (via `set_read_timeout`) bounded
+//! by the earliest deadline in a per-node timer heap. Packets are framed
+//! through the cluster's [`WireCodec`] on send and reconstructed on
+//! receive, so the node apps execute the same state machines they run
+//! under the simulator — over actual sockets.
+//!
+//! Scope (DESIGN.md § Runtimes): this host serves NOOB's gateway routing
+//! and NICE's *direct* (non-SDN) routing. Virtual addresses are resolved
+//! sender-side from a static route table ([`RuntimeBuilder::alias`] for
+//! unicast vnode subgroups, [`RuntimeBuilder::group`] for multicast
+//! fan-out); the in-switch anycast/failover path needs a programmable
+//! switch and stays sim-only.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nice_workload::XorShiftRng;
+
+use crate::codec::{decode_frame, encode_frame, WireCodec};
+use crate::io::{NodeApp, NodeIo};
+use crate::net::{Ipv4, Mac, Packet};
+use crate::time::Time;
+
+/// How long a node blocks in `recv` when it has nothing else to do.
+/// Bounds control-channel latency (kills, [`UdpRuntime::with`] calls).
+const IDLE_WAIT: Duration = Duration::from_millis(5);
+/// Receive buffer size: comfortably above any framed chunk (chunks are
+/// MTU-bounded on the logical wire; the frame carries the full encoded
+/// message, which stays far below this for the supported protocols).
+const RECV_BUF: usize = 64 * 1024;
+
+/// Builds an app inside its node thread (apps hold `Rc` payloads and are
+/// not `Send`; the factory is).
+type AppFactory = Box<dyn FnOnce() -> Box<dyn NodeApp> + Send>;
+
+/// A closure shipped into a node thread by [`UdpRuntime::with`].
+type AppVisit = Box<dyn FnOnce(&mut dyn NodeApp) + Send>;
+
+enum Ctl {
+    /// Run a closure against the hosted app (state extraction).
+    Run(AppVisit),
+    /// Crash the node: `on_crash`, then stop serving.
+    Crash,
+    /// Stop the thread without crashing the app.
+    Stop,
+}
+
+/// Sender-side route tables: every thread shares one immutable copy.
+struct Routes {
+    unicast: BTreeMap<Ipv4, SocketAddr>,
+    groups: BTreeMap<Ipv4, Vec<SocketAddr>>,
+}
+
+/// Declarative cluster description; [`RuntimeBuilder::spawn`] boots it.
+pub struct RuntimeBuilder {
+    seed: u64,
+    codec: Arc<dyn WireCodec>,
+    nodes: Vec<(Ipv4, AppFactory)>,
+    aliases: Vec<(Ipv4, Ipv4)>,
+    groups: Vec<(Ipv4, Vec<Ipv4>)>,
+}
+
+impl RuntimeBuilder {
+    /// A cluster using `codec` for the wire, deterministically seeded
+    /// per node from `seed`.
+    pub fn new(seed: u64, codec: Arc<dyn WireCodec>) -> RuntimeBuilder {
+        RuntimeBuilder {
+            seed,
+            codec,
+            nodes: Vec::new(),
+            aliases: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add a node with logical address `ip`; `factory` builds its app
+    /// inside the node thread.
+    pub fn node(
+        &mut self,
+        ip: Ipv4,
+        factory: impl FnOnce() -> Box<dyn NodeApp> + Send + 'static,
+    ) -> &mut RuntimeBuilder {
+        self.nodes.push((ip, Box::new(factory)));
+        self
+    }
+
+    /// Route the extra address `addr` (e.g. a unicast vnode subgroup
+    /// address) to `node` — the real-runtime stand-in for a switch
+    /// rewrite rule.
+    pub fn alias(&mut self, addr: Ipv4, node: Ipv4) -> &mut RuntimeBuilder {
+        self.aliases.push((addr, node));
+        self
+    }
+
+    /// Register a multicast group: a packet sent to `addr` is fanned out
+    /// to every member (sender-side replication, standing in for
+    /// in-switch multicast).
+    pub fn group(&mut self, addr: Ipv4, members: Vec<Ipv4>) -> &mut RuntimeBuilder {
+        self.groups.push((addr, members));
+        self
+    }
+
+    /// Bind every socket, build the route table, and start one event
+    /// loop thread per node. Apps receive `on_start` inside their
+    /// threads before the first packet.
+    ///
+    /// # Panics
+    /// If a loopback socket cannot be bound or an alias/group references
+    /// an unknown node.
+    pub fn spawn(self) -> UdpRuntime {
+        let epoch = Instant::now();
+        let mut bound: Vec<(Ipv4, UdpSocket, AppFactory)> = Vec::new();
+        let mut unicast: BTreeMap<Ipv4, SocketAddr> = BTreeMap::new();
+        for (ip, factory) in self.nodes {
+            let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback UDP socket");
+            let addr = socket.local_addr().expect("bound socket has an address");
+            unicast.insert(ip, addr);
+            bound.push((ip, socket, factory));
+        }
+        for (alias, node) in self.aliases {
+            let addr = *unicast.get(&node).expect("alias target must be a node");
+            unicast.insert(alias, addr);
+        }
+        let mut groups: BTreeMap<Ipv4, Vec<SocketAddr>> = BTreeMap::new();
+        for (addr, members) in self.groups {
+            let fan: Vec<SocketAddr> = members
+                .iter()
+                .map(|m| *unicast.get(m).expect("group member must be a node"))
+                .collect();
+            groups.insert(addr, fan);
+        }
+        let routes = Arc::new(Routes { unicast, groups });
+
+        let mut nodes = BTreeMap::new();
+        for (i, (ip, socket, factory)) in bound.into_iter().enumerate() {
+            let (ctl_tx, ctl_rx) = mpsc::channel();
+            let io = HostIo {
+                ip,
+                mac: Mac(0x1000 + i as u64),
+                socket,
+                routes: Arc::clone(&routes),
+                codec: Arc::clone(&self.codec),
+                epoch,
+                rng: XorShiftRng::seed_from_u64(node_seed(self.seed, ip)),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("node-{ip}"))
+                .spawn(move || run_node(io, factory(), &ctl_rx))
+                .expect("spawn node thread");
+            nodes.insert(
+                ip,
+                NodeHandle {
+                    ctl: ctl_tx,
+                    join: Some(handle),
+                },
+            );
+        }
+        UdpRuntime { nodes }
+    }
+}
+
+/// Per-node RNG seeding: same construction as the simulator's per-host
+/// stream split, keyed by address instead of host id.
+fn node_seed(seed: u64, ip: Ipv4) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(ip.0) + 1)
+}
+
+struct NodeHandle {
+    ctl: mpsc::Sender<Ctl>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A running loopback cluster: one thread + socket per node.
+pub struct UdpRuntime {
+    nodes: BTreeMap<Ipv4, NodeHandle>,
+}
+
+impl UdpRuntime {
+    /// The logical addresses of all nodes ever spawned.
+    pub fn node_addrs(&self) -> Vec<Ipv4> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Run `f` against the app hosted at `ip`, inside its own thread,
+    /// and return the result. This is how harnesses extract state
+    /// (records, histories) from live nodes.
+    ///
+    /// # Panics
+    /// If the node was killed or never existed.
+    pub fn with<R: Send + 'static>(
+        &self,
+        ip: Ipv4,
+        f: impl FnOnce(&mut dyn NodeApp) -> R + Send + 'static,
+    ) -> R {
+        let node = self.nodes.get(&ip).expect("with: unknown node");
+        let (tx, rx) = mpsc::channel();
+        node.ctl
+            .send(Ctl::Run(Box::new(move |app| {
+                let _ = tx.send(f(app));
+            })))
+            .expect("with: node is not running");
+        rx.recv().expect("with: node died mid-call")
+    }
+
+    /// Crash the node at `ip`: its app sees `on_crash`, its thread exits,
+    /// and its socket closes (in-flight datagrams to it are lost — real
+    /// packet loss, not simulated).
+    pub fn kill(&mut self, ip: Ipv4) {
+        if let Some(node) = self.nodes.get_mut(&ip) {
+            let _ = node.ctl.send(Ctl::Crash);
+            if let Some(handle) = node.join.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Stop every remaining node thread and join them.
+    pub fn shutdown(&mut self) {
+        for node in self.nodes.values() {
+            let _ = node.ctl.send(Ctl::Stop);
+        }
+        for node in self.nodes.values_mut() {
+            if let Some(handle) = node.join.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for UdpRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-thread [`NodeIo`] host: wall-clock time, a real socket, and a
+/// deadline heap for timers.
+struct HostIo {
+    ip: Ipv4,
+    mac: Mac,
+    socket: UdpSocket,
+    routes: Arc<Routes>,
+    codec: Arc<dyn WireCodec>,
+    epoch: Instant,
+    rng: XorShiftRng,
+    /// Min-heap of `(deadline ns, arm order, token)`; arm order keeps
+    /// same-deadline timers FIFO.
+    timers: BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
+    timer_seq: u64,
+}
+
+impl HostIo {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Pop every timer whose deadline has passed.
+    fn due_timers(&mut self) -> Vec<u64> {
+        let now = self.now_ns();
+        let mut due = Vec::new();
+        while let Some(std::cmp::Reverse((deadline, _, token))) = self.timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.timers.pop();
+            due.push(token);
+        }
+        due
+    }
+
+    /// How long the socket may block before the next timer is due.
+    fn wait_budget(&self) -> Duration {
+        match self.timers.peek() {
+            Some(std::cmp::Reverse((deadline, _, _))) => {
+                let now = self.now_ns();
+                let ns = deadline.saturating_sub(now).clamp(1_000, 5_000_000);
+                Duration::from_nanos(ns)
+            }
+            None => IDLE_WAIT,
+        }
+    }
+}
+
+impl NodeIo for HostIo {
+    fn now(&self) -> Time {
+        Time(self.now_ns())
+    }
+
+    fn ip(&self) -> Ipv4 {
+        self.ip
+    }
+
+    fn mac(&self) -> Mac {
+        self.mac
+    }
+
+    fn send(&mut self, pkt: Packet) {
+        let Some(frame) = encode_frame(&pkt, self.codec.as_ref()) else {
+            return; // payload type not wire-encodable: drop, like a NIC with no route
+        };
+        if let Some(addr) = self.routes.unicast.get(&pkt.dst) {
+            let _ = self.socket.send_to(&frame, addr);
+        } else if let Some(members) = self.routes.groups.get(&pkt.dst) {
+            // Sender-side fan-out stands in for in-switch multicast.
+            for addr in members {
+                let _ = self.socket.send_to(&frame, addr);
+            }
+        }
+        // Unroutable destinations drop silently: real UDP.
+    }
+
+    fn set_timer(&mut self, delay: Time, token: u64) {
+        let deadline = self.now_ns().saturating_add(delay.as_ns());
+        self.timer_seq += 1;
+        self.timers
+            .push(std::cmp::Reverse((deadline, self.timer_seq, token)));
+    }
+
+    fn cpu_work(&mut self, _amount: Time) {
+        // Real CPUs charge themselves.
+    }
+
+    fn cpu_defer(&mut self, amount: Time, token: u64) {
+        // Deferred completions become plain timers: the real CPU does the
+        // work when the callback runs; the deadline models the queueing.
+        self.set_timer(amount, token);
+    }
+
+    fn rng(&mut self) -> &mut XorShiftRng {
+        &mut self.rng
+    }
+}
+
+/// One node's event loop: control messages, due timers, then a bounded
+/// blocking receive.
+fn run_node(mut io: HostIo, mut app: Box<dyn NodeApp>, ctl: &mpsc::Receiver<Ctl>) {
+    let mut buf = vec![0u8; RECV_BUF];
+    app.on_start(&mut io);
+    loop {
+        loop {
+            match ctl.try_recv() {
+                Ok(Ctl::Run(f)) => f(app.as_mut()),
+                Ok(Ctl::Crash) => {
+                    app.on_crash();
+                    return;
+                }
+                Ok(Ctl::Stop) => return,
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => return,
+            }
+        }
+        for token in io.due_timers() {
+            app.on_timer(token, &mut io);
+        }
+        let _ = io.socket.set_read_timeout(Some(io.wait_budget()));
+        match io.socket.recv_from(&mut buf) {
+            Ok((n, _peer)) => {
+                let frame = buf.get(..n).unwrap_or_default();
+                if let Some(pkt) = decode_frame(frame, io.codec.as_ref()) {
+                    app.on_packet(pkt, &mut io);
+                }
+            }
+            Err(_) => {
+                // Timeout or transient error: fall through to the next
+                // control/timer sweep.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::any::Any;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::net::Payload;
+
+    /// Payloads are plain u64s; the codec is the identity framing.
+    struct U64Codec;
+    impl WireCodec for U64Codec {
+        fn encode(&self, payload: &dyn Any) -> Option<Vec<u8>> {
+            payload
+                .downcast_ref::<u64>()
+                .map(|v| v.to_be_bytes().into())
+        }
+        fn decode(&self, bytes: &[u8]) -> Option<Payload> {
+            let arr: [u8; 8] = bytes.try_into().ok()?;
+            Some(Rc::new(u64::from_be_bytes(arr)))
+        }
+    }
+
+    /// Echoes every payload back to the sender, +1.
+    struct Echo;
+    impl NodeApp for Echo {
+        fn on_packet(&mut self, pkt: Packet, io: &mut dyn NodeIo) {
+            let Some(&v) = pkt.payload_as::<u64>() else {
+                return;
+            };
+            let me = io.ip();
+            let mac = io.mac();
+            io.send(Packet::udp(
+                me,
+                mac,
+                pkt.src,
+                pkt.dst_port,
+                pkt.src_port,
+                8,
+                Rc::new(v + 1),
+            ));
+        }
+    }
+
+    /// Sends `0` to the echo node on start, collects replies.
+    struct Pinger {
+        peer: Ipv4,
+        got: Vec<u64>,
+    }
+    impl NodeApp for Pinger {
+        fn on_start(&mut self, io: &mut dyn NodeIo) {
+            let me = io.ip();
+            let mac = io.mac();
+            io.send(Packet::udp(me, mac, self.peer, 1, 1, 8, Rc::new(0u64)));
+        }
+        fn on_packet(&mut self, pkt: Packet, _io: &mut dyn NodeIo) {
+            if let Some(&v) = pkt.payload_as::<u64>() {
+                self.got.push(v);
+            }
+        }
+    }
+
+    /// Counts timer firings.
+    struct Ticker {
+        fired: Vec<u64>,
+    }
+    impl NodeApp for Ticker {
+        fn on_start(&mut self, io: &mut dyn NodeIo) {
+            io.set_timer(Time::from_ms(1), 7);
+            io.cpu_defer(Time::from_ms(2), 9);
+        }
+        fn on_timer(&mut self, token: u64, _io: &mut dyn NodeIo) {
+            self.fired.push(token);
+        }
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(start.elapsed() < Duration::from_secs(5), "timed out");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn packets_flow_between_node_threads() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 0, 2);
+        let mut rb = RuntimeBuilder::new(1, Arc::new(U64Codec));
+        rb.node(a, || Box::new(Echo));
+        rb.node(b, move || {
+            Box::new(Pinger {
+                peer: a,
+                got: vec![],
+            })
+        });
+        let rt = rb.spawn();
+        wait_until(|| {
+            rt.with(b, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Pinger>()
+                    .is_some_and(|p| !p.got.is_empty())
+            })
+        });
+        let got = rt.with(b, |app| {
+            let any: &mut dyn Any = app;
+            any.downcast_mut::<Pinger>().map(|p| p.got.clone())
+        });
+        assert_eq!(got, Some(vec![1]), "echo added one");
+    }
+
+    #[test]
+    fn group_addresses_fan_out() {
+        let members = [Ipv4::new(10, 0, 0, 1), Ipv4::new(10, 0, 0, 2)];
+        let group = Ipv4::new(10, 11, 0, 1);
+        let sender = Ipv4::new(10, 0, 1, 1);
+        struct Collect {
+            got: Vec<u64>,
+        }
+        impl NodeApp for Collect {
+            fn on_packet(&mut self, pkt: Packet, _io: &mut dyn NodeIo) {
+                if let Some(&v) = pkt.payload_as::<u64>() {
+                    self.got.push(v);
+                }
+            }
+        }
+        struct SendOnce {
+            group: Ipv4,
+        }
+        impl NodeApp for SendOnce {
+            fn on_start(&mut self, io: &mut dyn NodeIo) {
+                let me = io.ip();
+                let mac = io.mac();
+                io.send(Packet::udp(me, mac, self.group, 1, 1, 8, Rc::new(5u64)));
+            }
+        }
+        let mut rb = RuntimeBuilder::new(2, Arc::new(U64Codec));
+        for m in members {
+            rb.node(m, || Box::new(Collect { got: vec![] }));
+        }
+        rb.node(sender, move || Box::new(SendOnce { group }));
+        rb.group(group, members.to_vec());
+        let rt = rb.spawn();
+        for m in members {
+            wait_until(|| {
+                rt.with(m, |app| {
+                    let any: &mut dyn Any = app;
+                    any.downcast_mut::<Collect>()
+                        .is_some_and(|c| !c.got.is_empty())
+                })
+            });
+        }
+    }
+
+    #[test]
+    fn timers_and_deferred_work_fire_in_order() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let mut rb = RuntimeBuilder::new(3, Arc::new(U64Codec));
+        rb.node(a, || Box::new(Ticker { fired: vec![] }));
+        let rt = rb.spawn();
+        wait_until(|| {
+            rt.with(a, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Ticker>()
+                    .is_some_and(|t| t.fired.len() == 2)
+            })
+        });
+        let fired = rt.with(a, |app| {
+            let any: &mut dyn Any = app;
+            any.downcast_mut::<Ticker>().map(|t| t.fired.clone())
+        });
+        assert_eq!(fired, Some(vec![7, 9]), "earlier deadline first");
+    }
+
+    #[test]
+    fn killed_nodes_stop_answering() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 0, 2);
+        let mut rb = RuntimeBuilder::new(4, Arc::new(U64Codec));
+        rb.node(a, || Box::new(Echo));
+        rb.node(b, move || {
+            Box::new(Pinger {
+                peer: a,
+                got: vec![],
+            })
+        });
+        let mut rt = rb.spawn();
+        wait_until(|| {
+            rt.with(b, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Pinger>()
+                    .is_some_and(|p| !p.got.is_empty())
+            })
+        });
+        rt.kill(a);
+        // Another ping from b must go unanswered now.
+        rt.with(b, |_app| ());
+        std::thread::sleep(Duration::from_millis(20));
+        let got = rt.with(b, |app| {
+            let any: &mut dyn Any = app;
+            any.downcast_mut::<Pinger>().map(|p| p.got.len())
+        });
+        assert_eq!(got, Some(1));
+    }
+}

@@ -14,8 +14,8 @@ use kv_core::{
     NOT_FOUND_BACKOFF, TOK_RETRY_BASE, TOK_START,
 };
 use nice_kv::ClientOp;
-use nice_sim::{App, Ctx, Ipv4, Packet, Rng, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use node_rt::{Ipv4, NodeApp, NodeIo, Packet, Rng, Time};
 
 use crate::msg::NoobMsg;
 use crate::server::NoobRing;
@@ -96,7 +96,7 @@ impl NoobClientApp {
     }
 
     /// Ask the core for the next attempt and put it on the wire.
-    fn pump(&mut self, ctx: &mut Ctx) {
+    fn pump(&mut self, ctx: &mut dyn NodeIo) {
         match self.core.issue_next(ctx.ip(), ctx.now()) {
             Issue::Attempt(at) => self.send_attempt(at, ctx),
             Issue::Drained => ctx.set_timer(IDLE_POLL, TOK_START),
@@ -104,7 +104,7 @@ impl NoobClientApp {
         }
     }
 
-    fn send_attempt(&mut self, at: Attempt, ctx: &mut Ctx) {
+    fn send_attempt(&mut self, at: Attempt, ctx: &mut dyn NodeIo) {
         let id = at.id;
         let dst = match (&self.route, &at.op) {
             (ClientRoute::Gateway(gw), _) => *gw,
@@ -159,7 +159,7 @@ impl NoobClientApp {
         );
     }
 
-    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut dyn NodeIo) {
         for ev in events {
             let TransportEvent::Delivered { from, msg, .. } = ev else {
                 continue;
@@ -200,17 +200,17 @@ impl NoobClientApp {
     }
 }
 
-impl App for NoobClientApp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl NodeApp for NoobClientApp {
+    fn on_start(&mut self, ctx: &mut dyn NodeIo) {
         ctx.set_timer(self.core.start_at.saturating_sub(ctx.now()), TOK_START);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn NodeIo) {
         let events = self.tp.on_packet(&pkt, ctx);
         self.drive(events, ctx);
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) {
         if token == TRANSPORT_TICK {
             let events = self.tp.on_timer(token, ctx);
             self.drive(events, ctx);

@@ -168,7 +168,7 @@ impl NoobCluster {
         for (i, &ip) in server_ips.iter().enumerate() {
             let mac = Mac(0x200 + i as u64);
             let app = NoobServerApp::new(ring.clone(), NodeIdx(i as u32), cfg.mode, cfg.storage);
-            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));
@@ -192,7 +192,7 @@ impl NoobCluster {
             let ip = Ipv4::new(10, 0, 2, 1 + g as u8);
             let mac = Mac(0x400 + g as u64);
             let app = GatewayApp::new(ring.clone(), policy);
-            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));
@@ -215,7 +215,7 @@ impl NoobCluster {
             let mut app = NoobClientApp::new(ring.clone(), route, ops.clone(), start);
             app.retry_not_found = cfg.retry_not_found;
             app.retry = cfg.retry;
-            let h = sim.add_host(Box::new(app), HostCfg::new(ip, mac));
+            let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
             let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));

@@ -8,9 +8,9 @@
 use std::collections::BTreeMap;
 
 use nice_kv::KvError;
-use nice_sim::Rng;
-use nice_sim::{App, Ctx, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use node_rt::Rng;
+use node_rt::{NodeApp, NodeIo, Packet, Time};
 
 use crate::msg::NoobMsg;
 use crate::server::NoobRing;
@@ -66,7 +66,12 @@ impl GatewayApp {
         }
     }
 
-    fn target(&self, key: &str, is_get: bool, ctx: &mut Ctx) -> Result<nice_sim::Ipv4, KvError> {
+    fn target(
+        &self,
+        key: &str,
+        is_get: bool,
+        ctx: &mut dyn NodeIo,
+    ) -> Result<node_rt::Ipv4, KvError> {
         match self.policy {
             GatewayPolicy::RandomNode => {
                 if self.ring.addrs.is_empty() {
@@ -91,7 +96,7 @@ impl GatewayApp {
         }
     }
 
-    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut dyn NodeIo) {
         for ev in events {
             let TransportEvent::Delivered { msg, .. } = ev else {
                 continue;
@@ -107,7 +112,7 @@ impl GatewayApp {
         }
     }
 
-    fn forward(&mut self, m: NoobMsg, ctx: &mut Ctx) {
+    fn forward(&mut self, m: NoobMsg, ctx: &mut dyn NodeIo) {
         match m {
             NoobMsg::Put {
                 key,
@@ -163,12 +168,12 @@ impl GatewayApp {
     }
 }
 
-impl App for GatewayApp {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+impl NodeApp for GatewayApp {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn NodeIo) {
         let events = self.tp.on_packet(&pkt, ctx);
         self.drive(events, ctx);
     }
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) {
         if token == TRANSPORT_TICK {
             let events = self.tp.on_timer(token, ctx);
             self.drive(events, ctx);

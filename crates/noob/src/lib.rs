@@ -21,10 +21,14 @@ pub mod client;
 pub mod cluster;
 pub mod gateway;
 pub mod msg;
+pub mod real;
 pub mod server;
+pub mod wire;
 
 pub use client::{ClientRoute, NoobClientApp};
 pub use cluster::{NoobCluster, NoobClusterCfg};
 pub use gateway::{GatewayApp, GatewayPolicy};
 pub use msg::{Access, NoobMode, NoobMsg};
+pub use real::{RealNoobCfg, RealNoobCluster, RealOp};
 pub use server::{NoobRing, NoobServerApp};
+pub use wire::NoobCodec;

@@ -4,7 +4,7 @@
 
 pub use nice_kv::{OpId, Timestamp, Value};
 use nice_ring::NodeIdx;
-use nice_sim::Ipv4;
+use node_rt::Ipv4;
 
 /// Access-mechanism configuration (§2.1 "Access Mechanism").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,259 @@
+//! Boot a NOOB cluster as real OS threads serving UDP on loopback.
+//!
+//! The same [`NoobServerApp`], [`GatewayApp`], and [`NoobClientApp`]
+//! state machines that run on simulated hosts are spawned here onto
+//! `node_rt`'s threaded UDP runtime: one thread + one `127.0.0.1` socket
+//! per node, wall-clock timers, real datagrams framed by
+//! [`TpCodec`]`<`[`NoobCodec`]`>`. Only the routing differs from a
+//! production deployment — every address lives on loopback.
+//!
+//! Scope: gateway routing (ROG/RAG) and direct replica-aware-client
+//! routing. There is no switch on loopback, so anything that needs
+//! in-network cooperation (NICE's in-switch anycast and multicast) stays
+//! simulator-only.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use kv_core::{ClientOp, History, KvClient, OpRecord, RetryPolicy, StorageCfg, Value};
+use nice_ring::{NodeIdx, PhysicalRing};
+use nice_transport::TpCodec;
+use node_rt::{Ipv4, RuntimeBuilder, Time, UdpRuntime};
+
+use crate::client::{ClientRoute, NoobClientApp};
+use crate::gateway::{GatewayApp, GatewayPolicy};
+use crate::msg::NoobMode;
+use crate::server::{NoobRing, NoobServerApp};
+use crate::wire::NoobCodec;
+
+/// A `Send`-able operation spec. [`ClientOp`] carries an `Rc`-backed
+/// [`Value`], so the real ops are materialized inside each client's node
+/// thread from this description.
+#[derive(Debug, Clone)]
+pub enum RealOp {
+    /// Write `bytes` under `key`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value bytes.
+        bytes: Vec<u8>,
+    },
+    /// Read `key`.
+    Get {
+        /// The key.
+        key: String,
+    },
+}
+
+impl RealOp {
+    fn materialize(self) -> ClientOp {
+        match self {
+            RealOp::Put { key, bytes } => ClientOp::Put {
+                key,
+                value: Value::from_bytes(bytes),
+            },
+            RealOp::Get { key } => ClientOp::Get { key },
+        }
+    }
+}
+
+/// Loopback NOOB deployment configuration.
+#[derive(Clone)]
+pub struct RealNoobCfg {
+    /// Determinism seed for per-node RNGs.
+    pub seed: u64,
+    /// Storage node count.
+    pub servers: usize,
+    /// Partition count (power of two, at least `servers`).
+    pub partitions: u32,
+    /// Replication level.
+    pub replication: usize,
+    /// Replication/consistency mode.
+    pub mode: NoobMode,
+    /// Route via one gateway with this policy; `None` = direct
+    /// replica-aware clients.
+    pub gateway: Option<GatewayPolicy>,
+    /// Direct clients balance gets over replicas.
+    pub lb_gets: bool,
+    /// Storage device model (drives write-latency timers).
+    pub storage: StorageCfg,
+    /// Client retry schedule — wall-clock now, keep it short in tests.
+    pub retry: RetryPolicy,
+    /// Per-client operation lists.
+    pub client_ops: Vec<Vec<RealOp>>,
+}
+
+impl RealNoobCfg {
+    /// A small primary-only cluster serving `client_ops`.
+    pub fn new(servers: usize, replication: usize, client_ops: Vec<Vec<RealOp>>) -> RealNoobCfg {
+        RealNoobCfg {
+            seed: 7,
+            servers,
+            partitions: (servers as u32).next_power_of_two().max(16),
+            replication,
+            mode: NoobMode::PrimaryOnly,
+            gateway: Some(GatewayPolicy::Primary),
+            lb_gets: false,
+            storage: StorageCfg::default(),
+            retry: RetryPolicy::fixed(Time::from_ms(500)),
+            client_ops,
+        }
+    }
+}
+
+/// Address of server `i` (same plan as the simulated cluster builder).
+pub fn server_ip(i: usize) -> Ipv4 {
+    Ipv4::new(10, 0, 0, 10 + i as u8)
+}
+
+/// Address of client `j`.
+pub fn client_ip(j: usize) -> Ipv4 {
+    Ipv4(Ipv4::new(10, 0, 1, 0).0 + 1 + j as u32)
+}
+
+/// The gateway's address.
+pub const GATEWAY_IP: Ipv4 = Ipv4::new(10, 0, 2, 1);
+
+/// A running loopback NOOB cluster.
+pub struct RealNoobCluster {
+    /// The underlying thread-per-node runtime.
+    pub runtime: UdpRuntime,
+    /// Placement (same ring every node uses), for key-targeted tests.
+    pub ring: NoobRing,
+    /// Storage node addresses, index-aligned with [`NodeIdx`].
+    pub server_ips: Vec<Ipv4>,
+    /// Client addresses, index-aligned with `client_ops`.
+    pub client_ips: Vec<Ipv4>,
+}
+
+impl RealNoobCluster {
+    /// Bind sockets, spawn every node thread, and start serving. Clients
+    /// begin issuing immediately.
+    pub fn build(cfg: RealNoobCfg) -> RealNoobCluster {
+        let server_ips: Vec<Ipv4> = (0..cfg.servers).map(server_ip).collect();
+        let ring = NoobRing {
+            ring: PhysicalRing::new(
+                cfg.partitions,
+                (0..cfg.servers as u32).map(NodeIdx).collect(),
+                cfg.replication,
+            ),
+            addrs: server_ips.clone(),
+            port: 9000,
+        };
+
+        let codec = Arc::new(TpCodec::new(NoobCodec));
+        let mut b = RuntimeBuilder::new(cfg.seed, codec);
+        for (i, &ip) in server_ips.iter().enumerate() {
+            let ring = ring.clone();
+            let (mode, storage) = (cfg.mode, cfg.storage);
+            b.node(ip, move || {
+                Box::new(NoobServerApp::new(ring, NodeIdx(i as u32), mode, storage))
+            });
+        }
+        if let Some(policy) = cfg.gateway {
+            let ring = ring.clone();
+            b.node(GATEWAY_IP, move || Box::new(GatewayApp::new(ring, policy)));
+        }
+        let route = match cfg.gateway {
+            Some(_) => ClientRoute::Gateway(GATEWAY_IP),
+            None => ClientRoute::Direct {
+                lb_gets: cfg.lb_gets,
+            },
+        };
+        let mut client_ips = Vec::new();
+        for (j, ops) in cfg.client_ops.iter().cloned().enumerate() {
+            let ip = client_ip(j);
+            client_ips.push(ip);
+            let ring = ring.clone();
+            let retry = cfg.retry;
+            b.node(ip, move || {
+                let ops: Vec<ClientOp> = ops.into_iter().map(RealOp::materialize).collect();
+                let mut app = NoobClientApp::new(ring, route, ops, Time::from_ms(5));
+                app.retry = retry;
+                Box::new(app)
+            });
+        }
+
+        RealNoobCluster {
+            runtime: b.spawn(),
+            ring,
+            server_ips,
+            client_ips,
+        }
+    }
+
+    /// Run `f` against client `j`'s app inside its node thread.
+    pub fn with_client<R: Send + 'static>(
+        &self,
+        j: usize,
+        f: impl FnOnce(&mut NoobClientApp) -> R + Send + 'static,
+    ) -> R {
+        self.runtime.with(client_ip(j), move |app| {
+            let any: &mut dyn Any = app;
+            let client = any
+                .downcast_mut::<NoobClientApp>()
+                .expect("node hosts a NoobClientApp");
+            f(client)
+        })
+    }
+
+    /// Queue more work on a live client (picked up by its idle poll).
+    pub fn push_client_ops(&self, j: usize, ops: Vec<RealOp>) {
+        self.with_client(j, move |c| {
+            c.core_mut()
+                .push_ops(ops.into_iter().map(RealOp::materialize));
+        });
+    }
+
+    /// `(attempt count, key)` of client `j`'s in-flight op, if any.
+    pub fn client_inflight(&self, j: usize) -> Option<(u32, String)> {
+        self.with_client(j, |c| {
+            c.core()
+                .inflight_detail()
+                .map(|(op, _, _, attempts)| (attempts, op.key().to_string()))
+        })
+    }
+
+    /// Completed-op count for client `j`.
+    pub fn client_completed(&self, j: usize) -> usize {
+        self.with_client(j, |c| c.completed())
+    }
+
+    /// True once every client has drained its op list.
+    pub fn all_done(&self) -> bool {
+        (0..self.client_ips.len()).all(|j| self.with_client(j, |c| c.is_done()))
+    }
+
+    /// Completion records of client `j` (cloned out of the node thread;
+    /// the raw bytes survive for value assertions).
+    pub fn client_records(&self, j: usize) -> Vec<OpRecord> {
+        self.with_client(j, |c| c.records.clone())
+    }
+
+    /// One [`History`] over everything every client observed, built
+    /// fragment-by-fragment inside the client threads.
+    pub fn history(&self) -> History {
+        let mut history = History::new();
+        for j in 0..self.client_ips.len() {
+            let ip = client_ip(j);
+            let fragment = self.with_client(j, move |c| {
+                let mut h = History::new();
+                h.record_client(ip, c.core());
+                h
+            });
+            history.merge(fragment);
+        }
+        history
+    }
+
+    /// Crash storage node `i` (thread exits, socket closes; in-flight
+    /// datagrams to it are really lost).
+    pub fn kill_server(&mut self, i: usize) {
+        self.runtime.kill(server_ip(i));
+    }
+
+    /// Stop all node threads.
+    pub fn shutdown(&mut self) {
+        self.runtime.shutdown();
+    }
+}

@@ -20,8 +20,8 @@ use kv_core::{
 };
 use nice_kv::{OpId, Timestamp, Value};
 use nice_ring::{NodeIdx, PartitionId, PhysicalRing};
-use nice_sim::{App, Ctx, Ipv4, Packet, Time};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
+use node_rt::{Ipv4, NodeApp, NodeIo, Packet, Time};
 
 use crate::msg::{NoobMode, NoobMsg};
 
@@ -135,14 +135,14 @@ impl NoobServerApp {
         self.engine.counters()
     }
 
-    fn defer(&mut self, ctx: &mut Ctx, at: Time, cont: Cont) {
+    fn defer(&mut self, ctx: &mut dyn NodeIo, at: Time, cont: Cont) {
         let tok = self.next_cont;
         self.next_cont += 1;
         self.conts.insert(tok, cont);
         ctx.set_timer(at.saturating_sub(ctx.now()), tok);
     }
 
-    fn send(&mut self, ctx: &mut Ctx, dst: Ipv4, msg: NoobMsg, size: u32) {
+    fn send(&mut self, ctx: &mut dyn NodeIo, dst: Ipv4, msg: NoobMsg, size: u32) {
         // Symmetric with nice-kv: every sent message costs CPU, and a
         // value-carrying send costs much more than a control message. A
         // NOOB primary pays the data cost R-1 times per put.
@@ -168,7 +168,7 @@ impl NoobServerApp {
 
     /// The engine's view of a key's replica group: every replica that
     /// must ack, excluding this node.
-    fn group_for(&self, key: &str, ctx: &Ctx) -> Group {
+    fn group_for(&self, key: &str, ctx: &dyn NodeIo) -> Group {
         Group {
             peers: self
                 .ring
@@ -185,7 +185,7 @@ impl NoobServerApp {
     /// Turn engine effects into NOOB wire traffic: timestamp and reply
     /// distribution is R-1 unicast TCP streams. `ack_dst` is where a
     /// phase-2 ack goes (the coordinator we just heard from).
-    fn apply_effects(&mut self, fx: Vec<Effect>, ack_dst: Ipv4, ctx: &mut Ctx) {
+    fn apply_effects(&mut self, fx: Vec<Effect>, ack_dst: Ipv4, ctx: &mut dyn NodeIo) {
         for e in fx {
             match e {
                 Effect::Commit { key, op, ts } => {
@@ -231,7 +231,7 @@ impl NoobServerApp {
     // Put path
     // ---------------------------------------------------------------
 
-    fn on_put(&mut self, key: String, value: Value, op: OpId, hops: u8, ctx: &mut Ctx) {
+    fn on_put(&mut self, key: String, value: Value, op: OpId, hops: u8, ctx: &mut dyn NodeIo) {
         if !self.i_am_primary(&key) {
             // ROG delivered this to a random node: forward to the primary
             // (the second extra hop).
@@ -384,7 +384,7 @@ impl NoobServerApp {
         op: OpId,
         two_pc: bool,
         replicas: &[NodeIdx],
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         let msg_size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
         for n in &replicas[1..] {
@@ -410,7 +410,7 @@ impl NoobServerApp {
         op: OpId,
         two_pc: bool,
         src: Ipv4,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
     ) {
         self.engine.counters_mut().replica_writes += 1;
         let done = if two_pc {
@@ -443,7 +443,7 @@ impl NoobServerApp {
         );
     }
 
-    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+    fn on_ack1(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut dyn NodeIo) {
         let g = self.group_for(&key, ctx);
         let me = ctx.ip();
         let mut fx = Vec::new();
@@ -451,7 +451,7 @@ impl NoobServerApp {
         self.apply_effects(fx, me, ctx);
     }
 
-    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut Ctx) {
+    fn on_ack2(&mut self, key: String, op: OpId, from: NodeIdx, ctx: &mut dyn NodeIo) {
         let g = self.group_for(&key, ctx);
         let me = ctx.ip();
         let mut fx = Vec::new();
@@ -463,7 +463,7 @@ impl NoobServerApp {
     // Get path
     // ---------------------------------------------------------------
 
-    fn on_get(&mut self, key: String, op: OpId, hops: u8, ctx: &mut Ctx) {
+    fn on_get(&mut self, key: String, op: OpId, hops: u8, ctx: &mut dyn NodeIo) {
         if let Some(c) = self.engine.store().get(&key) {
             let size = c.value.size() + CTRL_MSG_BYTES;
             let value = Some(c.value.clone());
@@ -498,7 +498,7 @@ impl NoobServerApp {
     // Plumbing
     // ---------------------------------------------------------------
 
-    fn on_noob(&mut self, msg: NoobMsg, src: Ipv4, ctx: &mut Ctx) {
+    fn on_noob(&mut self, msg: NoobMsg, src: Ipv4, ctx: &mut dyn NodeIo) {
         match msg {
             NoobMsg::Put {
                 key,
@@ -551,7 +551,7 @@ impl NoobServerApp {
         }
     }
 
-    fn on_cont(&mut self, cont: Cont, ctx: &mut Ctx) {
+    fn on_cont(&mut self, cont: Cont, ctx: &mut dyn NodeIo) {
         match cont {
             Cont::Process { msg, src } => self.on_noob(*msg, src, ctx),
             Cont::PrimaryWritten { key, op } => {
@@ -621,7 +621,7 @@ impl NoobServerApp {
         }
     }
 
-    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut Ctx) {
+    fn drive(&mut self, events: Vec<TransportEvent>, ctx: &mut dyn NodeIo) {
         for ev in events {
             if let TransportEvent::Delivered { from, msg, .. } = ev {
                 if let Some(m) = msg.downcast::<NoobMsg>() {
@@ -643,13 +643,13 @@ impl NoobServerApp {
     }
 }
 
-impl App for NoobServerApp {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+impl NodeApp for NoobServerApp {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn NodeIo) {
         let events = self.tp.on_packet(&pkt, ctx);
         self.drive(events, ctx);
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) {
         if token == TRANSPORT_TICK {
             let events = self.tp.on_timer(token, ctx);
             self.drive(events, ctx);

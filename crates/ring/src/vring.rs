@@ -13,7 +13,7 @@
 //! to a per-client-division replica), and a *multicast* ring (e.g.
 //! `10.11.0.0/16`) whose subgroups map to the whole replica set.
 
-use nice_sim::Ipv4;
+use node_rt::Ipv4;
 
 use crate::hash::hash_key;
 use crate::physical::PartitionId;

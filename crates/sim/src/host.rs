@@ -184,6 +184,74 @@ impl Ctx<'_> {
     }
 }
 
+/// The simulator's side of the host-runtime boundary: a `&mut Ctx`
+/// coerces to `&mut dyn NodeIo`, so protocol crates written against
+/// `node-rt` run unmodified on simulated hosts. The SDN-only surface
+/// ([`Ctx::packet_out`], [`Ctx::host`]) stays off the trait — apps that
+/// need it are sim-only by design.
+impl node_rt::NodeIo for Ctx<'_> {
+    fn now(&self) -> Time {
+        Ctx::now(self)
+    }
+
+    fn ip(&self) -> Ipv4 {
+        Ctx::ip(self)
+    }
+
+    fn mac(&self) -> Mac {
+        Ctx::mac(self)
+    }
+
+    fn send(&mut self, pkt: Packet) {
+        Ctx::send(self, pkt);
+    }
+
+    fn set_timer(&mut self, delay: Time, token: u64) {
+        Ctx::set_timer(self, delay, token);
+    }
+
+    fn cpu_work(&mut self, amount: Time) {
+        Ctx::cpu_work(self, amount);
+    }
+
+    fn cpu_defer(&mut self, amount: Time, token: u64) {
+        Ctx::cpu_defer(self, amount, token);
+    }
+
+    fn rng(&mut self) -> &mut XorShiftRng {
+        self.rng
+    }
+}
+
+/// Hosts a [`node_rt::NodeApp`] on a simulated host by forwarding every
+/// [`App`] hook across the NodeIo boundary (`Simulation::add_node` wraps
+/// apps in this; `Simulation::app` sees through it).
+pub(crate) struct SimNode {
+    pub(crate) inner: Box<dyn node_rt::NodeApp>,
+}
+
+impl App for SimNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        self.inner.on_packet(pkt, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        self.inner.on_timer(token, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.inner.on_crash();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        self.inner.on_restart(ctx);
+    }
+}
+
 /// An application running on a host.
 ///
 /// Implementations are plain state machines: the kernel calls these hooks

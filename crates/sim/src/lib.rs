@@ -64,6 +64,7 @@ pub use ids::{ChannelId, Endpoint, HostId, Port, SwitchId};
 pub use link::{Channel, ChannelCfg, ChannelStats};
 pub use net::{ArpOp, Ipv4, Mac, Packet, Payload, Proto, HDR_TCP, HDR_UDP, MTU};
 pub use nice_workload::{Rng, XorShiftRng};
+pub use node_rt::{NodeApp, NodeIo};
 pub use sim::{HostStats, Simulation};
 pub use switch::{SwitchAction, SwitchCfg, SwitchLogic, SwitchView};
 pub use time::Time;

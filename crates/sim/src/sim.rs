@@ -221,6 +221,14 @@ impl Simulation {
         id
     }
 
+    /// Add a host running a [`node_rt::NodeApp`] — protocol logic written
+    /// against the NodeIo boundary rather than the simulator's [`App`].
+    /// `Simulation::app::<T>()` sees through the wrapper, so harnesses
+    /// downcast to the concrete app type exactly as for native apps.
+    pub fn add_node(&mut self, app: Box<dyn node_rt::NodeApp>, cfg: HostCfg) -> HostId {
+        self.add_host(Box::new(crate::host::SimNode { inner: app }), cfg)
+    }
+
     /// Connect a host to a switch with an asymmetric full-duplex link:
     /// `up` configures host→switch (typically a large kernel send buffer),
     /// `down` configures switch→host (a real, finite switch egress queue —
@@ -353,22 +361,40 @@ impl Simulation {
     ///
     /// # Panics
     /// If the app is not a `T`.
-    pub fn app<T: App>(&self, host: HostId) -> &T {
+    pub fn app<T: Any>(&self, host: HostId) -> &T {
         let app = self.hosts[host.0 as usize]
             .app
             .as_ref()
             .expect("app taken (called from within a callback?)");
         let any: &dyn Any = app.as_ref();
-        any.downcast_ref::<T>().expect("app type mismatch")
+        if let Some(t) = any.downcast_ref::<T>() {
+            return t;
+        }
+        // NodeIo-hosted apps sit behind the SimNode wrapper.
+        any.downcast_ref::<crate::host::SimNode>()
+            .and_then(|node| {
+                let inner: &dyn Any = node.inner.as_ref();
+                inner.downcast_ref::<T>()
+            })
+            .expect("app type mismatch")
     }
 
     /// Mutably borrow the app on `host`, downcast to `T`.
-    pub fn app_mut<T: App>(&mut self, host: HostId) -> &mut T {
+    pub fn app_mut<T: Any>(&mut self, host: HostId) -> &mut T {
         let app = self.hosts[host.0 as usize]
             .app
             .as_mut()
             .expect("app taken (called from within a callback?)");
         let any: &mut dyn Any = app.as_mut();
+        // NodeIo-hosted apps sit behind the SimNode wrapper; a two-branch
+        // borrow fights the checker, so peel the wrapper first.
+        if any.downcast_ref::<crate::host::SimNode>().is_some() {
+            let node = any
+                .downcast_mut::<crate::host::SimNode>()
+                .expect("checked just above");
+            let inner: &mut dyn Any = node.inner.as_mut();
+            return inner.downcast_mut::<T>().expect("app type mismatch");
+        }
         any.downcast_mut::<T>().expect("app type mismatch")
     }
 

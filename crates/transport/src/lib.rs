@@ -1,4 +1,4 @@
-//! # nice-transport — message transports over the simulated fabric
+//! # nice-transport — message transports over the NodeIo boundary
 //!
 //! Implements the transport layer the NICEKV prototype describes in §5:
 //! UDP for client requests (so vnode addresses can be rewritten freely and
@@ -15,10 +15,12 @@
 pub mod msg;
 pub mod rudp;
 pub mod transport;
+pub mod wire;
 
 pub use msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
 pub use rudp::{chunk_bytes, num_chunks, RudpCfg};
 pub use transport::{Transport, TRANSPORT_TICK};
+pub use wire::TpCodec;
 
 #[cfg(test)]
 mod prop_tests;

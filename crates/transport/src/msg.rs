@@ -3,7 +3,7 @@
 use std::any::Any;
 use std::rc::Rc;
 
-use nice_sim::Ipv4;
+use node_rt::Ipv4;
 
 /// An application message: an opaque value plus its logical size in bytes
 /// (the size drives chunking, serialization delay, and byte accounting).
@@ -84,7 +84,7 @@ pub enum TransportEvent {
 }
 
 /// Wire payloads the transport exchanges. These ride inside
-/// `nice_sim::Packet::payload`.
+/// `node_rt::Packet::payload`.
 #[derive(Debug, Clone)]
 pub enum TpPayload {
     /// One MTU-sized chunk of a reliable message. Every chunk carries the

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use nice_sim::{Ctx, Ipv4, Packet, Proto, Time, HDR_TCP, HDR_UDP, MTU};
+use node_rt::{Ipv4, NodeIo, Packet, Proto, Time, HDR_TCP, HDR_UDP, MTU};
 
 use crate::msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
 
@@ -131,7 +131,7 @@ impl SendState {
     #[allow(clippy::too_many_arguments)]
     pub fn start(
         cfg: &RudpCfg,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         msg_id: u64,
         token: MsgToken,
         dst: Ipv4,
@@ -167,7 +167,14 @@ impl SendState {
         s
     }
 
-    fn chunk_packet(&self, seq: u32, src_port: u16, dst: Ipv4, ctx: &Ctx, retx: bool) -> Packet {
+    fn chunk_packet(
+        &self,
+        seq: u32,
+        src_port: u16,
+        dst: Ipv4,
+        ctx: &dyn NodeIo,
+        retx: bool,
+    ) -> Packet {
         let body = chunk_bytes(self.msg.size, seq) + CTRL_BYTES;
         let payload = Rc::new(TpPayload::Chunk {
             sender: ctx.ip(),
@@ -223,7 +230,7 @@ impl SendState {
     }
 
     /// Transmit as many new chunks as the window allows.
-    fn pump(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16) {
+    fn pump(&mut self, cfg: &RudpCfg, ctx: &mut dyn NodeIo, src_port: u16) {
         let limit = self
             .window_base()
             .saturating_add(cfg.window)
@@ -239,7 +246,7 @@ impl SendState {
     pub fn on_ack(
         &mut self,
         cfg: &RudpCfg,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         src_port: u16,
         from: Ipv4,
         cum: u32,
@@ -260,7 +267,7 @@ impl SendState {
     }
 
     /// Handle a NACK: repair the listed chunks over unicast to `from`.
-    pub fn on_nack(&mut self, ctx: &mut Ctx, src_port: u16, from: Ipv4, missing: &[u32]) {
+    pub fn on_nack(&mut self, ctx: &mut dyn NodeIo, src_port: u16, from: Ipv4, missing: &[u32]) {
         for &seq in missing {
             if seq < self.total {
                 let pkt = self.chunk_packet(seq, src_port, from, ctx, true);
@@ -276,7 +283,12 @@ impl SendState {
 
     /// Periodic tick: stall detection, probe retransmission, lingering.
     /// Returns the outcome plus whether the state should be dropped.
-    pub fn on_tick(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, src_port: u16) -> (SendOutcome, bool) {
+    pub fn on_tick(
+        &mut self,
+        cfg: &RudpCfg,
+        ctx: &mut dyn NodeIo,
+        src_port: u16,
+    ) -> (SendOutcome, bool) {
         if self.done {
             if self.fully_acked() {
                 return (SendOutcome::Quiet, true);
@@ -404,7 +416,7 @@ impl RecvState {
         self.have >= self.total
     }
 
-    fn send_ack(&self, ctx: &mut Ctx, my_port: u16) {
+    fn send_ack(&self, ctx: &mut dyn NodeIo, my_port: u16) {
         let payload = Rc::new(TpPayload::Ack {
             msg_id: self.msg_id,
             cum: self.cum,
@@ -439,7 +451,7 @@ impl RecvState {
     pub fn on_chunk(
         &mut self,
         cfg: &RudpCfg,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         my_port: u16,
         seq: u32,
     ) -> Option<TransportEvent> {
@@ -468,7 +480,13 @@ impl RecvState {
     /// paces repair: the owning [`crate::Transport`] permits only one
     /// reassembly state to request repair per tick, bounding repair
     /// injection per receiver regardless of how many transfers lag.
-    pub fn on_tick(&mut self, cfg: &RudpCfg, ctx: &mut Ctx, my_port: u16, may_nack: bool) -> bool {
+    pub fn on_tick(
+        &mut self,
+        cfg: &RudpCfg,
+        ctx: &mut dyn NodeIo,
+        my_port: u16,
+        may_nack: bool,
+    ) -> bool {
         if self.complete() {
             self.linger_left = self.linger_left.saturating_sub(1);
             return self.linger_left == 0;
@@ -535,7 +553,7 @@ impl RecvState {
     }
 
     /// Re-acknowledge (used when a duplicate chunk arrives after delivery).
-    pub fn reack(&self, ctx: &mut Ctx, my_port: u16) {
+    pub fn reack(&self, ctx: &mut dyn NodeIo, my_port: u16) {
         self.send_ack(ctx, my_port);
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use nice_sim::{Ctx, Ipv4, Packet, Proto, HDR_TCP, HDR_UDP, MTU};
+use node_rt::{Ipv4, NodeIo, Packet, Proto, HDR_TCP, HDR_UDP, MTU};
 
 use crate::msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
 use crate::rudp::{RecvState, RudpCfg, SendOutcome, SendState};
@@ -89,7 +89,7 @@ impl Transport {
         self.senders.len()
     }
 
-    fn arm(&mut self, ctx: &mut Ctx) {
+    fn arm(&mut self, ctx: &mut dyn NodeIo) {
         if !self.tick_armed {
             self.tick_armed = true;
             ctx.set_timer(self.cfg.tick, TRANSPORT_TICK);
@@ -107,7 +107,7 @@ impl Transport {
     // -----------------------------------------------------------------
 
     /// Fire-and-forget datagram (must fit one MTU).
-    pub fn udp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) {
+    pub fn udp_send(&mut self, ctx: &mut dyn NodeIo, dst: Ipv4, dst_port: u16, msg: Msg) {
         assert!(msg.size <= MTU, "datagram exceeds MTU; use rudp_send");
         let body = msg.size;
         let payload = Rc::new(TpPayload::Datagram {
@@ -121,7 +121,13 @@ impl Transport {
 
     /// Reliable UDP message to a single destination (physical or unicast
     /// vnode address).
-    pub fn rudp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) -> MsgToken {
+    pub fn rudp_send(
+        &mut self,
+        ctx: &mut dyn NodeIo,
+        dst: Ipv4,
+        dst_port: u16,
+        msg: Msg,
+    ) -> MsgToken {
         self.start_send(ctx, dst, dst_port, Proto::Udp, msg, 1, 1)
     }
 
@@ -129,7 +135,7 @@ impl Transport {
     /// the message.
     pub fn mcast_send(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         group: Ipv4,
         dst_port: u16,
         msg: Msg,
@@ -143,7 +149,7 @@ impl Transport {
     /// stragglers are served until the linger timeout (§5).
     pub fn anyk_send(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         group: Ipv4,
         dst_port: u16,
         msg: Msg,
@@ -155,7 +161,13 @@ impl Transport {
 
     /// Reliable message over a TCP-like stream; performs (and caches) the
     /// connection handshake to `dst` on first use.
-    pub fn tcp_send(&mut self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, msg: Msg) -> MsgToken {
+    pub fn tcp_send(
+        &mut self,
+        ctx: &mut dyn NodeIo,
+        dst: Ipv4,
+        dst_port: u16,
+        msg: Msg,
+    ) -> MsgToken {
         self.arm(ctx);
         let token = MsgToken(self.next_id());
         match self.conns.get_mut(&dst) {
@@ -205,7 +217,7 @@ impl Transport {
     #[allow(clippy::too_many_arguments)]
     fn start_send(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut dyn NodeIo,
         dst: Ipv4,
         dst_port: u16,
         proto: Proto,
@@ -223,7 +235,7 @@ impl Transport {
         token
     }
 
-    fn send_ctl(&self, ctx: &mut Ctx, dst: Ipv4, dst_port: u16, payload: TpPayload) {
+    fn send_ctl(&self, ctx: &mut dyn NodeIo, dst: Ipv4, dst_port: u16, payload: TpPayload) {
         let mut pkt = Packet::tcp(
             ctx.ip(),
             ctx.mac(),
@@ -243,7 +255,7 @@ impl Transport {
 
     /// Feed a received packet through the stack. Packets not destined to
     /// our port (or not transport-shaped) are ignored.
-    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) -> Vec<TransportEvent> {
+    pub fn on_packet(&mut self, pkt: &Packet, ctx: &mut dyn NodeIo) -> Vec<TransportEvent> {
         let mut events = Vec::new();
         if pkt.dst_port != self.port {
             return events;
@@ -376,7 +388,7 @@ impl Transport {
 
     /// Drive the stack's periodic work. Call from the app's `on_timer`
     /// when the token is [`TRANSPORT_TICK`].
-    pub fn on_timer(&mut self, token: u64, ctx: &mut Ctx) -> Vec<TransportEvent> {
+    pub fn on_timer(&mut self, token: u64, ctx: &mut dyn NodeIo) -> Vec<TransportEvent> {
         let mut events = Vec::new();
         if token != TRANSPORT_TICK {
             return events;

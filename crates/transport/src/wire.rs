@@ -1,0 +1,243 @@
+//! Wire serialization of [`TpPayload`] for the real UDP runtime.
+//!
+//! In the simulator, transport payloads travel as `Rc<dyn Any>` and are
+//! never serialized. The threaded UDP runtime ([`node_rt::runtime`])
+//! frames every packet onto a real socket, so [`TpCodec`] turns the
+//! transport's control vocabulary (chunks, acks, nacks, handshakes) into
+//! bytes, delegating the opaque application payload inside `Chunk` and
+//! `Datagram` frames to an inner application codec.
+//!
+//! One deliberate loopback simplification: a `Chunk` frame carries the
+//! *entire* encoded application message (exactly like the simulator's
+//! `Rc` chunks, which all alias the same message). Reassembly semantics,
+//! acks, windowing, and repair behave identically; only the per-chunk
+//! wire volume differs, which the loopback runtime does not meter.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use node_rt::{ByteReader, ByteWriter, Payload, WireCodec};
+
+use crate::msg::TpPayload;
+
+const TAG_CHUNK: u8 = 0;
+const TAG_ACK: u8 = 1;
+const TAG_NACK: u8 = 2;
+const TAG_SYN: u8 = 3;
+const TAG_SYNACK: u8 = 4;
+const TAG_DATAGRAM: u8 = 5;
+
+/// Serializes [`TpPayload`] frames, delegating application payloads to
+/// the inner codec `C` (e.g. a codec for a KV store's message enum).
+pub struct TpCodec<C> {
+    inner: C,
+}
+
+impl<C> TpCodec<C> {
+    /// A transport codec around an application-payload codec.
+    pub fn new(inner: C) -> TpCodec<C> {
+        TpCodec { inner }
+    }
+}
+
+impl<C: WireCodec> WireCodec for TpCodec<C> {
+    fn encode(&self, payload: &dyn Any) -> Option<Vec<u8>> {
+        let tp = payload.downcast_ref::<TpPayload>()?;
+        let mut w = ByteWriter::new();
+        match tp {
+            TpPayload::Chunk {
+                sender,
+                msg_id,
+                seq,
+                total,
+                msg_size,
+                data,
+                retx,
+            } => {
+                w.u8(TAG_CHUNK);
+                w.u32(sender.0);
+                w.u64(*msg_id);
+                w.u32(*seq);
+                w.u32(*total);
+                w.u32(*msg_size);
+                w.u8(u8::from(*retx));
+                w.bytes(&self.inner.encode(data.as_ref())?);
+            }
+            TpPayload::Ack {
+                msg_id,
+                cum,
+                complete,
+            } => {
+                w.u8(TAG_ACK);
+                w.u64(*msg_id);
+                w.u32(*cum);
+                w.u8(u8::from(*complete));
+            }
+            TpPayload::Nack { msg_id, missing } => {
+                w.u8(TAG_NACK);
+                w.u64(*msg_id);
+                w.u32(missing.len() as u32);
+                for &seq in missing {
+                    w.u32(seq);
+                }
+            }
+            TpPayload::Syn => w.u8(TAG_SYN),
+            TpPayload::SynAck => w.u8(TAG_SYNACK),
+            TpPayload::Datagram { data, size } => {
+                w.u8(TAG_DATAGRAM);
+                w.u32(*size);
+                w.bytes(&self.inner.encode(data.as_ref())?);
+            }
+        }
+        Some(w.into_vec())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<Payload> {
+        let mut r = ByteReader::new(bytes);
+        let tp = match r.u8()? {
+            TAG_CHUNK => {
+                let sender = node_rt::Ipv4(r.u32()?);
+                let msg_id = r.u64()?;
+                let seq = r.u32()?;
+                let total = r.u32()?;
+                let msg_size = r.u32()?;
+                let retx = r.u8()? != 0;
+                let data = self.inner.decode(r.bytes()?)?;
+                TpPayload::Chunk {
+                    sender,
+                    msg_id,
+                    seq,
+                    total,
+                    msg_size,
+                    data,
+                    retx,
+                }
+            }
+            TAG_ACK => TpPayload::Ack {
+                msg_id: r.u64()?,
+                cum: r.u32()?,
+                complete: r.u8()? != 0,
+            },
+            TAG_NACK => {
+                let msg_id = r.u64()?;
+                let n = r.u32()? as usize;
+                // A NACK datagram is small; a huge count is corruption.
+                if n > 4096 {
+                    return None;
+                }
+                let mut missing = Vec::with_capacity(n);
+                for _ in 0..n {
+                    missing.push(r.u32()?);
+                }
+                TpPayload::Nack { msg_id, missing }
+            }
+            TAG_SYN => TpPayload::Syn,
+            TAG_SYNACK => TpPayload::SynAck,
+            TAG_DATAGRAM => {
+                let size = r.u32()?;
+                let data = self.inner.decode(r.bytes()?)?;
+                TpPayload::Datagram { data, size }
+            }
+            _ => return None,
+        };
+        Some(Rc::new(tp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Inner codec for plain `String` app payloads.
+    struct StrCodec;
+    impl WireCodec for StrCodec {
+        fn encode(&self, payload: &dyn Any) -> Option<Vec<u8>> {
+            payload
+                .downcast_ref::<String>()
+                .map(|s| s.clone().into_bytes())
+        }
+        fn decode(&self, bytes: &[u8]) -> Option<Payload> {
+            Some(Rc::new(String::from_utf8(bytes.to_vec()).ok()?))
+        }
+    }
+
+    fn roundtrip(tp: &TpPayload) -> TpPayload {
+        let codec = TpCodec::new(StrCodec);
+        let wire = codec.encode(tp).expect("encodable");
+        let back = codec.decode(&wire).expect("decodable");
+        back.downcast_ref::<TpPayload>()
+            .expect("a TpPayload")
+            .clone()
+    }
+
+    #[test]
+    fn chunk_roundtrips_with_inner_payload() {
+        let tp = TpPayload::Chunk {
+            sender: node_rt::Ipv4::new(10, 0, 0, 3),
+            msg_id: 42,
+            seq: 7,
+            total: 9,
+            msg_size: 12_000,
+            data: Rc::new("hello".to_string()),
+            retx: true,
+        };
+        match roundtrip(&tp) {
+            TpPayload::Chunk {
+                sender,
+                msg_id,
+                seq,
+                total,
+                msg_size,
+                data,
+                retx,
+            } => {
+                assert_eq!(sender, node_rt::Ipv4::new(10, 0, 0, 3));
+                assert_eq!(
+                    (msg_id, seq, total, msg_size, retx),
+                    (42, 7, 9, 12_000, true)
+                );
+                assert_eq!(
+                    data.downcast_ref::<String>().map(String::as_str),
+                    Some("hello")
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        assert!(matches!(roundtrip(&TpPayload::Syn), TpPayload::Syn));
+        assert!(matches!(roundtrip(&TpPayload::SynAck), TpPayload::SynAck));
+        match roundtrip(&TpPayload::Ack {
+            msg_id: 9,
+            cum: 3,
+            complete: false,
+        }) {
+            TpPayload::Ack {
+                msg_id,
+                cum,
+                complete,
+            } => assert_eq!((msg_id, cum, complete), (9, 3, false)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match roundtrip(&TpPayload::Nack {
+            msg_id: 5,
+            missing: vec![1, 4, 6],
+        }) {
+            TpPayload::Nack { msg_id, missing } => {
+                assert_eq!(msg_id, 5);
+                assert_eq!(missing, vec![1, 4, 6]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_dropped() {
+        let codec = TpCodec::new(StrCodec);
+        assert!(codec.decode(&[]).is_none());
+        assert!(codec.decode(&[99]).is_none());
+        assert!(codec.decode(&[TAG_ACK, 1]).is_none());
+    }
+}

@@ -33,8 +33,11 @@
 //! 8. **determinism_taint** — clock reads, hash-order iteration, and
 //!    pointer formatting must not flow into protocol state or
 //!    `render()`/replay output.
-//! 9. **stale_allow** — a waiver that no longer suppresses a finding
-//!    is itself a finding.
+//! 9. **dead_effect** — every `Effect` enum variant must be matched by
+//!    some host adapter outside its defining file; an effect nobody
+//!    interprets is a silently dropped side effect.
+//! 10. **stale_allow** — a waiver that no longer suppresses a finding
+//!     is itself a finding.
 //!
 //! Findings are compared against the committed `lint_baseline.json`
 //! ([`baseline`]): new findings fail, fixed findings auto-shrink the
@@ -101,6 +104,7 @@ pub fn collect_findings(root: &Path) -> Vec<Finding> {
     rules::panic_path::run(&ctx, &mut pre);
     rules::effect_purity::run(&ctx, &mut pre);
     rules::determinism_taint::run(&ctx, &mut pre);
+    rules::dead_effect::run(&ctx, &mut pre);
 
     // Waiver pass: rules emit unconditionally; `lint:allow` markers are
     // applied here so stale_allow can see the pre-waiver set.

@@ -1,0 +1,114 @@
+//! `dead_effect`: every variant of an `Effect` enum must be interpreted
+//! by some host adapter. The engine's only output channel is emitted
+//! `Effect` values (see `effect_purity`) — a variant no adapter matches
+//! is a silently dropped side effect: the transition *believes* it
+//! replied/armed a timer/sent an ack, and nothing happens.
+//!
+//! A variant counts as interpreted when `Effect::<Variant>` appears in
+//! production code of some file *other than* the defining one. An
+//! explicit ignore arm (`Effect::Foo { .. } => {}`) counts — that is a
+//! per-host decision on the record; a `_ =>` wildcard does not, because
+//! it swallows future variants without review (which is exactly the bug
+//! this rule exists to surface).
+
+use crate::rules::{finding, RuleCtx, GRAPH_EXCLUDED};
+use crate::source::contains_token;
+use crate::Finding;
+
+/// Is this line the start of an `Effect` enum declaration?
+fn is_effect_enum_decl(code: &str) -> bool {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let Some(rest) = t.strip_prefix("enum Effect") else {
+        return false;
+    };
+    !rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Variant name on a depth-1 enum-body line, if any. Attributes, blanked
+/// doc comments, and field lines of brace variants don't match.
+fn variant_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if !name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return None;
+    }
+    let rest = t[name.len()..].trim_start();
+    (rest.is_empty() || rest.starts_with(',') || rest.starts_with('{') || rest.starts_with('('))
+        .then_some(name)
+}
+
+fn excluded(rel: &str) -> bool {
+    GRAPH_EXCLUDED
+        .iter()
+        .any(|ex| rel.starts_with(&format!("{ex}/")))
+}
+
+/// Run the rule: collect every `Effect` variant declaration, then demand
+/// a qualified `Effect::<Variant>` reference in production code outside
+/// the defining file.
+pub fn run(ctx: &RuleCtx, out: &mut Vec<Finding>) {
+    // (defining file, declaration line, variant name)
+    let mut defs: Vec<(String, usize, String)> = Vec::new();
+    for (rel, sf) in &ctx.files {
+        if excluded(rel) || rel.ends_with("/tests.rs") || rel.ends_with("/prop_tests.rs") {
+            continue;
+        }
+        let mut i = 0;
+        while i < sf.code.len() {
+            if sf.in_test[i] || !is_effect_enum_decl(&sf.code[i]) {
+                i += 1;
+                continue;
+            }
+            let mut depth =
+                sf.code[i].matches('{').count() as i32 - sf.code[i].matches('}').count() as i32;
+            let mut j = i + 1;
+            while j < sf.code.len() && depth > 0 {
+                let line = &sf.code[j];
+                if depth == 1 {
+                    if let Some(v) = variant_name(line) {
+                        defs.push((rel.clone(), j + 1, v));
+                    }
+                }
+                depth += line.matches('{').count() as i32;
+                depth -= line.matches('}').count() as i32;
+                j += 1;
+            }
+            i = j;
+        }
+    }
+    for (def_file, line, v) in defs {
+        let tok = format!("Effect::{v}");
+        let interpreted = ctx.files.iter().any(|(rel, sf)| {
+            rel != &def_file
+                && !excluded(rel)
+                && sf
+                    .code
+                    .iter()
+                    .enumerate()
+                    .any(|(i, l)| !sf.in_test[i] && contains_token(l, &tok))
+        });
+        if !interpreted {
+            finding(
+                out,
+                "dead_effect",
+                &def_file,
+                line,
+                &tok,
+                &v,
+                format!(
+                    "Effect variant `{v}` is interpreted by no host: no file \
+                     besides {def_file} mentions `{tok}`. An emitted effect \
+                     nobody matches is a silently dropped side effect — handle \
+                     it in every adapter, even if only as an explicit ignore arm"
+                ),
+            );
+        }
+    }
+}

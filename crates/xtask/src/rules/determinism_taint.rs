@@ -14,11 +14,30 @@
 //! per-directory; this rule follows the *flow*, so a clock read in a
 //! helper crate the directory rules never look at is still caught the
 //! moment a render fn or engine transition can reach it.
+//!
+//! One scope carve-out: the walk stops at [`REAL_RUNTIME_DIRS`] — the
+//! threaded UDP runtime's internals are wall-clock by design and need
+//! no waivers.
 
 use crate::rules::textual::{hash_container_names, iterates_name};
 use crate::rules::{finding, RuleCtx};
 use crate::source::contains_token;
 use crate::Finding;
+
+/// The real-runtime host on the far side of the `NodeIo` boundary.
+/// Wall clocks, OS threads, and sockets are that crate's *job* — it
+/// implements `now()` with `Instant` by design — so the taint walk
+/// stops at its door instead of demanding a per-line waiver for every
+/// legitimate clock read. Protocol code stays covered: it only reaches
+/// a wall clock through `NodeIo`, and under the simulator host that
+/// same call is virtual time.
+pub const REAL_RUNTIME_DIRS: &[&str] = &["crates/node-rt/src"];
+
+fn in_real_runtime(file: &str) -> bool {
+    REAL_RUNTIME_DIRS
+        .iter()
+        .any(|d| file.starts_with(&format!("{d}/")))
+}
 
 /// Run the rule: BFS from render fns + engine transitions, scan each
 /// reached fn's body for nondeterminism sources.
@@ -36,6 +55,9 @@ pub fn run(ctx: &RuleCtx, out: &mut Vec<Finding>) {
     let parent = g.reach(&roots);
     for &idx in parent.keys() {
         let f = &g.fns[idx];
+        if in_real_runtime(&f.file) {
+            continue;
+        }
         let Some(sf) = ctx.files.get(&f.file) else {
             continue;
         };

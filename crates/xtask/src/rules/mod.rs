@@ -6,6 +6,8 @@
 //! * [`panic_path`], [`effect_purity`], [`determinism_taint`] — the
 //!   call-graph rules, propagating leaf facts transitively from
 //!   request-path / engine / render roots over [`crate::callgraph`].
+//! * [`dead_effect`] — cross-file reference rule: every `Effect` enum
+//!   variant must be interpreted by some host adapter.
 //! * [`stale_allow`] — meta-rule: a waiver whose line no longer
 //!   triggers the waived rule is itself a finding.
 //!
@@ -13,6 +15,7 @@
 //! the orchestrator in `lib.rs` applies `lint:allow` waivers afterward,
 //! which is what lets `stale_allow` see the pre-waiver finding set.
 
+pub mod dead_effect;
 pub mod determinism_taint;
 pub mod effect_purity;
 pub mod panic_path;
@@ -36,13 +39,14 @@ pub const ALL_RULES: &[&str] = &[
     "allow_reason",
     "effect_purity",
     "determinism_taint",
+    "dead_effect",
     "stale_allow",
 ];
 
 /// Crate source dirs excluded from the call graph: `xtask` is the lint
 /// itself, `bench` is measurement harness code that drives the system
 /// from outside any request path.
-const GRAPH_EXCLUDED: &[&str] = &["crates/xtask", "crates/bench"];
+pub(crate) const GRAPH_EXCLUDED: &[&str] = &["crates/xtask", "crates/bench"];
 
 /// Shared per-run state: every loaded source file plus the parsed
 /// workspace call graph.

@@ -213,6 +213,25 @@ const ADAPTER_DIRS: &[&str] = &["crates/nicekv/src", "crates/noob/src"];
 /// policy and topology layers and stays system- and transport-agnostic.
 const CORE_FORBIDDEN_DEPS: &[&str] = &["nice-flow", "nice-ring", "nice-transport"];
 
+/// Crates whose production code must be host-agnostic: everything the
+/// apps need from their host comes through `node_rt::NodeIo`.
+const NODEIO_DIRS: &[&str] = &[
+    "crates/transport/src",
+    "crates/noob/src",
+    "crates/nicekv/src",
+    "crates/kv-core/src",
+    "crates/ring/src",
+];
+
+/// Sim-side files inside those crates: cluster builders wire apps onto
+/// simulated hosts, and the metadata service programs simulated switch
+/// tables (the in-network half of NICE has no real-runtime analogue).
+const NODEIO_EXEMPT: &[&str] = &[
+    "crates/noob/src/cluster.rs",
+    "crates/nicekv/src/cluster.rs",
+    "crates/nicekv/src/metadata.rs",
+];
+
 /// Protocol logic lives in exactly one crate: adapters must not mutate
 /// the store or rerun 2PC transitions, and kv-core must not depend on
 /// the policy/topology crates.
@@ -293,6 +312,37 @@ pub fn layering(ctx: &RuleCtx, out: &mut Vec<Finding>) {
                         format!("kv-core references `{krate}` — the engine is layered beneath it"),
                     );
                 }
+            }
+        }
+    }
+
+    // Protocol logic talks to its host only through `NodeIo` — naming
+    // the simulator directly would silently tie an app to one host and
+    // break the real-runtime deployment. The sim-side harness files
+    // (cluster builders, the SDN metadata service that programs
+    // simulated switch tables) are the deliberate exceptions; in-crate
+    // test modules may also drive the simulator (skip_tests).
+    for sf in ctx.files_under(NODEIO_DIRS, true) {
+        if NODEIO_EXEMPT.contains(&sf.rel.as_str()) {
+            continue;
+        }
+        for (i, line) in sf.code.iter().enumerate() {
+            if sf.in_test[i] {
+                continue;
+            }
+            if contains_token(line, "nice_sim") {
+                finding(
+                    out,
+                    "layering",
+                    &sf.rel,
+                    i + 1,
+                    "-",
+                    "nice_sim",
+                    "protocol code names the simulator — host access goes through \
+                     node_rt::NodeIo so the same app runs on the sim and the real \
+                     UDP runtime"
+                        .to_string(),
+                );
             }
         }
     }

@@ -1,0 +1,18 @@
+//! BAD: the engine emits `Effect::Retire`, but no host adapter matches
+//! it — the retirement silently never happens.
+
+pub enum Effect {
+    Send { dst: u32 },
+    Retire { key: String },
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn on_tick(&mut self) -> Vec<Effect> {
+        vec![
+            Effect::Send { dst: 1 },
+            Effect::Retire { key: "k".to_string() },
+        ]
+    }
+}

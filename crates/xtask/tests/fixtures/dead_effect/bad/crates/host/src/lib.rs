@@ -1,0 +1,13 @@
+//! The host adapter: interprets `Send` but swallows everything else in
+//! a wildcard — `Retire` is never acted on anywhere.
+
+pub fn apply(effects: Vec<engine::Effect>) {
+    for e in effects {
+        match e {
+            engine::Effect::Send { dst } => deliver(dst),
+            _ => {}
+        }
+    }
+}
+
+fn deliver(_dst: u32) {}

@@ -1,0 +1,18 @@
+//! GOOD: both emitted effects are interpreted by the host adapter —
+//! `Retire` with an explicit (reviewed) ignore arm.
+
+pub enum Effect {
+    Send { dst: u32 },
+    Retire { key: String },
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn on_tick(&mut self) -> Vec<Effect> {
+        vec![
+            Effect::Send { dst: 1 },
+            Effect::Retire { key: "k".to_string() },
+        ]
+    }
+}

@@ -1,0 +1,13 @@
+//! The host adapter: every variant handled by name — the ignore of
+//! `Retire` is an explicit per-host decision, not a wildcard accident.
+
+pub fn apply(effects: Vec<engine::Effect>) {
+    for e in effects {
+        match e {
+            engine::Effect::Send { dst } => deliver(dst),
+            engine::Effect::Retire { .. } => {}
+        }
+    }
+}
+
+fn deliver(_dst: u32) {}

@@ -1,0 +1,13 @@
+//! BOUNDARY: a render fn reaches wall-clock code, but only inside the
+//! real-runtime crate (`crates/node-rt/src`), which is exempt by scope
+//! — its internals are wall-clock by design, no waiver needed.
+
+pub fn render(log: &[u64]) -> String {
+    node_rt::wait_quiesced();
+    format!("{} entries", log.len())
+}
+
+pub fn render_debug(log: &[u64]) -> String {
+    let t = other::stamp();
+    format!("{} entries at {t}", log.len())
+}

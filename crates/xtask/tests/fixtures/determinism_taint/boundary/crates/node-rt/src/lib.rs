@@ -1,0 +1,7 @@
+//! The real-runtime host: wall clocks and OS threads are its job.
+
+use std::time::Instant;
+
+pub fn wait_quiesced() {
+    let _deadline = Instant::now();
+}

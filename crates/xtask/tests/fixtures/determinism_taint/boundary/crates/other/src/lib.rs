@@ -1,0 +1,10 @@
+//! Control: an ordinary helper crate with a clock read. Unlike
+//! `node-rt`, this one gets NO scope exemption — the taint walk must
+//! still flag it, proving the carve-out is boundary-specific.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let _t = Instant::now();
+    0
+}

@@ -1,0 +1,8 @@
+//! BAD: protocol code names the simulator directly instead of going
+//! through the NodeIo host boundary.
+
+use nice_sim::Ctx;
+
+pub fn send_hello(ctx: &mut Ctx) {
+    let _ = ctx;
+}

@@ -1,0 +1,8 @@
+//! GOOD: the sim-side cluster builder is the deliberate exception —
+//! wiring apps onto simulated hosts is its whole purpose.
+
+use nice_sim::Simulation;
+
+pub fn build() -> Simulation {
+    Simulation::new(7)
+}

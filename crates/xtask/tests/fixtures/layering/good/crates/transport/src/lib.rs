@@ -1,0 +1,7 @@
+//! GOOD: protocol code reaches its host only through the NodeIo trait.
+
+use node_rt::NodeIo;
+
+pub fn send_hello(ctx: &mut dyn NodeIo) {
+    let _ = ctx;
+}

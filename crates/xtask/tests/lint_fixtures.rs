@@ -88,6 +88,28 @@ fn determinism_taint_silent_on_good() {
 }
 
 #[test]
+fn determinism_taint_stops_at_the_real_runtime_boundary() {
+    // Two render fns reach clock reads: one through `crates/node-rt/src`
+    // (the real runtime — exempt by scope), one through an ordinary
+    // helper crate (the control — must still fire). The control proves
+    // the cross-crate edge resolves, so the node-rt silence is the
+    // carve-out working and not the walk going blind.
+    let found = fixture("determinism_taint", "boundary");
+    let hits: Vec<&Finding> = found
+        .iter()
+        .filter(|f| f.rule == "determinism_taint")
+        .collect();
+    assert!(
+        hits.iter().any(|f| f.file.contains("crates/other/")),
+        "control clock read was not flagged; findings: {found:?}"
+    );
+    assert!(
+        hits.iter().all(|f| !f.file.contains("node-rt")),
+        "real-runtime internals must be exempt, got: {hits:?}"
+    );
+}
+
+#[test]
 fn determinism_fires_on_bad() {
     assert_fires("determinism");
 }
@@ -109,7 +131,17 @@ fn unordered_iter_silent_on_good() {
 
 #[test]
 fn layering_fires_on_bad() {
-    assert_fires("layering");
+    let hits = assert_fires("layering");
+    // Both halves: the adapter store-mutation AND the protocol crate
+    // naming the simulator instead of NodeIo.
+    assert!(
+        hits.iter().any(|f| f.detail == "nice_sim"),
+        "nice_sim host-boundary violation not flagged: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.detail != "nice_sim"),
+        "adapter store-mutation violation not flagged: {hits:?}"
+    );
 }
 
 #[test]
@@ -146,6 +178,22 @@ fn allow_reason_silent_on_good() {
         found.is_empty(),
         "expected a fully clean run (waiver applied, reason accepted), got: {found:?}"
     );
+}
+
+#[test]
+fn dead_effect_fires_on_bad_and_names_the_variant() {
+    let hits = assert_fires("dead_effect");
+    assert_eq!(hits.len(), 1, "only `Retire` is dead: {hits:?}");
+    assert!(
+        hits[0].msg.contains("`Retire`") && hits[0].file.contains("engine"),
+        "expected the finding on Retire's declaration, got: {:?}",
+        hits[0]
+    );
+}
+
+#[test]
+fn dead_effect_silent_on_good() {
+    assert_silent("dead_effect");
 }
 
 #[test]

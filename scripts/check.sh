@@ -57,6 +57,13 @@ echo "=== chaos (fast seeds) ==="
 # linearizability-checked. CHAOS_SEED=<n> reruns any single seed.
 cargo test -q --offline --test chaos
 
+echo "=== runtime-smoke (real loopback UDP) ==="
+# The real threaded runtime end to end: a 3-node NOOB cluster as OS
+# threads + loopback sockets serves 1,000+ ops and a kill-one-node run;
+# every history goes through the per-key linearizability checker
+# (DESIGN.md §11). Release-built: wall-clock retries make debug too slow.
+timeout 300 cargo test -q --offline --release --test real_cluster
+
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="
   # --include-ignored adds the brute-force 756,756-schedule enumeration

@@ -16,6 +16,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`rt`] | the NodeIo host boundary + the real threaded UDP loopback runtime |
 //! | [`sim`] | deterministic packet-level network simulator (hosts, switches, links) |
 //! | [`flow`] | OpenFlow-style flow/group tables + learning controller |
 //! | [`ring`] | consistent hashing, virtual rings, client divisions |
@@ -50,3 +51,4 @@ pub use nice_ring as ring;
 pub use nice_sim as sim;
 pub use nice_transport as transport;
 pub use nice_workload as workload;
+pub use node_rt as rt;

@@ -23,7 +23,7 @@ use nice::kv::{
 use nice::kv_core::{AdminEvent, ChaosPlan, ChaosSpec, History, Violation, ViolationKind};
 use nice::noob::{Access, NoobClientApp, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::ring::{NodeIdx, PartitionId};
-use nice::sim::{App, FaultPlan, HostId, Ipv4, Simulation, Time};
+use nice::sim::{FaultPlan, HostId, Ipv4, Simulation, Time};
 use nice::workload::{Rng, XorShiftRng};
 
 const NODES: usize = 8;
@@ -130,7 +130,7 @@ fn client_debug(j: usize, core: &kv_core::ClientCore) -> String {
 // ---------------------------------------------------------------------
 
 /// Push one wave of per-client op lists; returns how many ops were fed.
-fn push_wave<A: App + KvClient>(
+fn push_wave<A: KvClient + std::any::Any>(
     sim: &mut Simulation,
     clients: &[HostId],
     per_client: &[Vec<ClientOp>],
@@ -145,7 +145,7 @@ fn push_wave<A: App + KvClient>(
 }
 
 /// Per-client wedge report for drain-failure asserts.
-fn stuck_report<A: App + KvClient>(sim: &Simulation, clients: &[HostId]) -> String {
+fn stuck_report<A: KvClient + std::any::Any>(sim: &Simulation, clients: &[HostId]) -> String {
     clients
         .iter()
         .enumerate()
@@ -154,7 +154,7 @@ fn stuck_report<A: App + KvClient>(sim: &Simulation, clients: &[HostId]) -> Stri
 }
 
 /// Feed everything every client observed into one [`History`].
-fn record_history<A: App + KvClient>(
+fn record_history<A: KvClient + std::any::Any>(
     sim: &Simulation,
     clients: &[HostId],
     ips: &[Ipv4],
@@ -168,7 +168,7 @@ fn record_history<A: App + KvClient>(
 
 /// The common tail of a chaos run: wedge report, history capture, and
 /// the byte-identity replay trace.
-fn finish_run<A: App + KvClient>(
+fn finish_run<A: KvClient + std::any::Any>(
     sim: &Simulation,
     clients: &[HostId],
     ips: &[Ipv4],
