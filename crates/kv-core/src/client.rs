@@ -238,6 +238,13 @@ pub struct ClientCore {
     /// Treat a NotFound get as transient and retry with a short backoff
     /// (hot-object workloads where the reader races the first writer).
     pub retry_not_found: bool,
+    /// Total wall-clock budget per operation, measured from its first
+    /// attempt. When a retry timer fires past this deadline the op
+    /// completes with [`KvError::Timeout`] even if the attempt budget
+    /// remains — the knob that keeps real-runtime clients from retrying
+    /// into a crashed node for `max_attempts × period`. `None` (the
+    /// default) keeps the attempt budget as the only bound.
+    pub op_deadline: Option<Time>,
     /// Completed operations, in completion order.
     pub records: Vec<OpRecord>,
     /// Set once the queue drains.
@@ -257,6 +264,7 @@ impl ClientCore {
             retry: RetryPolicy::fixed(retry),
             start_at,
             retry_not_found: false,
+            op_deadline: None,
             records: Vec::new(),
             done_at: None,
         }
@@ -446,11 +454,15 @@ impl ClientCore {
         if inf.id.client_seq != seq {
             return RetryAction::Stale; // for a completed op
         }
-        if inf.attempts >= self.max_attempts {
-            // Budget exhausted: complete with a typed client-side timeout
-            // so histories and benches see the failure (the paper's
-            // clients would retry until the partition heals; a bounded
-            // budget keeps runs finite without hiding the outcome).
+        let past_deadline = self
+            .op_deadline
+            .is_some_and(|d| now.saturating_sub(inf.start) >= d);
+        if inf.attempts >= self.max_attempts || past_deadline {
+            // Budget exhausted (attempts or total deadline): complete with
+            // a typed client-side timeout so histories and benches see the
+            // failure (the paper's clients would retry until the partition
+            // heals; a bounded budget keeps runs finite without hiding the
+            // outcome).
             let err = KvError::Timeout {
                 key: inf.op.key().to_owned(),
                 attempts: inf.attempts,
@@ -612,6 +624,33 @@ mod tests {
             r.err(),
             Some(KvError::Timeout { attempts: 25, .. })
         ));
+    }
+
+    #[test]
+    fn op_deadline_times_out_before_the_attempt_budget() {
+        let mut c = core(vec![put("a", 10)]);
+        c.op_deadline = Some(Time::from_secs(5));
+        let Issue::Attempt(a) = c.issue_next(ME, Time::ZERO) else {
+            panic!("expected an attempt");
+        };
+        // First two retry firings are inside the deadline: resends.
+        assert!(matches!(
+            c.on_retry_timer(a.id.client_seq, Time::from_secs(2)),
+            RetryAction::Resend(_)
+        ));
+        assert!(matches!(
+            c.on_retry_timer(a.id.client_seq, Time::from_secs(4)),
+            RetryAction::Resend(_)
+        ));
+        // The next firing is past the total budget: typed timeout, well
+        // before the 25-attempt budget would have.
+        assert!(matches!(
+            c.on_retry_timer(a.id.client_seq, Time::from_secs(6)),
+            RetryAction::GaveUp
+        ));
+        let r = &c.records[0];
+        assert_eq!(r.attempts, 3);
+        assert!(matches!(r.err(), Some(KvError::Timeout { .. })));
     }
 
     #[test]

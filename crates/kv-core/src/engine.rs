@@ -416,8 +416,40 @@ pub struct TwoPcEngine {
 impl TwoPcEngine {
     /// An empty engine with the given policy.
     pub fn new(cfg: EngineCfg) -> TwoPcEngine {
-        TwoPcEngine {
-            store: ObjectStore::new(cfg.storage),
+        TwoPcEngine::with_store(cfg, ObjectStore::new(cfg.storage))
+    }
+
+    /// An engine recovered from (or newly backed by) the file WAL at
+    /// `path`: opens the log, replays every intact record into a fresh
+    /// store, and returns the engine plus the number of records
+    /// replayed. The parent directory is created if missing. If the WAL
+    /// cannot be opened (I/O error), the engine degrades to the
+    /// memory-only model — a node that serves without crash-safety
+    /// beats one that refuses to serve.
+    pub fn recover(cfg: EngineCfg, path: &std::path::Path) -> (TwoPcEngine, usize) {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match crate::wal::FileWal::open(path) {
+            Ok((wal, records)) => {
+                let mut store = ObjectStore::with_wal(cfg.storage, Box::new(wal));
+                store.replay(&records);
+                let recovered = records.len();
+                (TwoPcEngine::with_store(cfg, store), recovered)
+            }
+            Err(_) => (TwoPcEngine::new(cfg), 0),
+        }
+    }
+
+    /// An engine over a pre-built store — the WAL recovery path: the
+    /// caller replays its durable log into a store, then hands it here.
+    /// The derived floors (failover sequence, per-client settled
+    /// sequences) are rebuilt from the recovered committed objects, so
+    /// a restarted node neither re-mints a timestamp below a commit it
+    /// already holds nor reruns an attempt that already settled.
+    pub fn with_store(cfg: EngineCfg, store: ObjectStore) -> TwoPcEngine {
+        let mut e = TwoPcEngine {
+            store,
             cfg,
             coords: BTreeMap::new(),
             waiting: BTreeMap::new(),
@@ -425,6 +457,35 @@ impl TwoPcEngine {
             client_floors: BTreeMap::new(),
             counters: Counters::default(),
             last_internal_error: None,
+        };
+        e.rebuild_floors();
+        e
+    }
+
+    /// Recompute the derived floors from the committed objects.
+    fn rebuild_floors(&mut self) {
+        self.primary_seq = self.primary_seq.max(self.store.max_primary_seq());
+        self.client_floors.clear();
+        let floors: Vec<(Ipv4, u64)> = self
+            .store
+            .iter()
+            .map(|(_, c)| (c.ts.client, c.ts.client_seq))
+            .collect();
+        for (client, seq) in floors {
+            let floor = self.client_floors.entry(client).or_insert(0);
+            *floor = (*floor).max(seq);
+        }
+    }
+
+    /// Force the WAL before an acknowledgement leaves the node; a
+    /// failed sync is an internal error (the ack still goes out — the
+    /// protocol must progress — but the node records that it is no
+    /// longer crash-safe).
+    fn wal_barrier(&mut self, key: &str) {
+        if !self.store.wal_sync() {
+            self.note_internal(KvError::WalFailed {
+                key: key.to_owned(),
+            });
         }
     }
 
@@ -590,6 +651,7 @@ impl TwoPcEngine {
             self.counters.puts_committed += 1;
         }
         self.note_commit_ts(ts);
+        self.wal_barrier(key);
         fx.push(Effect::Commit {
             key: key.to_owned(),
             op,
@@ -644,6 +706,9 @@ impl TwoPcEngine {
         if have >= quorum && !c.replied {
             c.replied = true;
             let client = c.client;
+            // The client-visible ack of the direct path: the local copy
+            // it counts on must be on stable storage first.
+            self.wal_barrier(key);
             fx.push(Effect::Reply {
                 client,
                 op,
@@ -791,10 +856,15 @@ impl ReplicationEngine for TwoPcEngine {
                 }
                 self.advance(key, op, g, fx);
             }
-            EngineRole::Peer => fx.push(Effect::Ack1 {
-                key: key.to_owned(),
-                op,
-            }),
+            EngineRole::Peer => {
+                // The ack vouches for the +L lock record: force it down
+                // before telling the coordinator this replica holds it.
+                self.wal_barrier(key);
+                fx.push(Effect::Ack1 {
+                    key: key.to_owned(),
+                    op,
+                });
+            }
             EngineRole::Observer => {}
         }
     }
@@ -866,10 +936,15 @@ impl ReplicationEngine for TwoPcEngine {
         self.note_commit_ts(ts);
         match role {
             EngineRole::Primary(g) => self.check_done(key, op, g, fx),
-            EngineRole::Peer => fx.push(Effect::Ack2 {
-                key: key.to_owned(),
-                op,
-            }),
+            EngineRole::Peer => {
+                // The ack vouches for the commit record: force it down
+                // before the coordinator counts this replica committed.
+                self.wal_barrier(key);
+                fx.push(Effect::Ack2 {
+                    key: key.to_owned(),
+                    op,
+                });
+            }
             EngineRole::Observer => {}
         }
         self.drain(key, fx);
@@ -960,6 +1035,9 @@ impl ReplicationEngine for TwoPcEngine {
         self.store.commit_direct(key, value, ts);
         self.note_commit_ts(ts);
         self.counters.puts_committed += 1;
+        // A directly applied copy is acked (or served) the moment this
+        // returns: force it down now.
+        self.wal_barrier(key);
         done
     }
 
@@ -989,6 +1067,8 @@ impl ReplicationEngine for TwoPcEngine {
             self.store.commit_direct(&k, v, ts);
             self.note_commit_ts(ts);
         }
+        // One barrier for the whole drained batch.
+        self.wal_barrier("<ingest>");
     }
 
     fn forget(&mut self, key: &str) {
@@ -1033,16 +1113,7 @@ impl ReplicationEngine for TwoPcEngine {
         // committed objects that survived the crash. Keeping stale
         // in-memory floors would let a restarted node answer `ok` for an
         // attempt whose commit never reached disk anywhere.
-        self.client_floors.clear();
-        let floors: Vec<(Ipv4, u64)> = self
-            .store
-            .iter()
-            .map(|(_, c)| (c.ts.client, c.ts.client_seq))
-            .collect();
-        for (client, seq) in floors {
-            let floor = self.client_floors.entry(client).or_insert(0);
-            *floor = (*floor).max(seq);
-        }
+        self.rebuild_floors();
     }
 }
 

@@ -81,6 +81,14 @@ pub enum KvError {
     },
     /// A gateway had no live backend to forward a request to.
     NoBackend,
+    /// The durable log could not force appended records to stable
+    /// storage before an acknowledgement (an I/O error on the WAL):
+    /// the ack discipline is broken and the node is no longer
+    /// crash-safe.
+    WalFailed {
+        /// The key whose acknowledgement lacked durability.
+        key: String,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -111,6 +119,9 @@ impl fmt::Display for KvError {
                 write!(f, "node index {} outside the cluster", node.0)
             }
             KvError::NoBackend => write!(f, "gateway has no live backend"),
+            KvError::WalFailed { key } => {
+                write!(f, "WAL sync failed before acknowledging key {key:?}")
+            }
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod explore;
 mod history;
 mod store;
 mod types;
+mod wal;
 
 pub use chaos::{AdminEvent, ChaosPlan, ChaosSpec, CrashEvent, IsolationEvent};
 pub use client::{
@@ -55,3 +56,4 @@ pub use types::{
     NodeIdx, OpId, PartitionId, Timestamp, Value, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,
     DATA_SEND_THRESHOLD, REQ_COST,
 };
+pub use wal::{crc32, DurableLog, FileWal, MemLog, WalRecord};

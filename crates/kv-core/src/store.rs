@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use node_rt::Time;
 
 use crate::types::{OpId, Timestamp, Value};
+use crate::wal::{DurableLog, MemLog, WalRecord};
 
 /// Storage device cost model.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +68,7 @@ pub struct LogEntry {
 /// `Clone` is part of the exploration API: the DPOR explorer forks the
 /// store (inside a cloned [`TwoPcEngine`](crate::TwoPcEngine)) to probe
 /// a step's read/write footprint without committing to the branch.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct ObjectStore {
     cfg: StorageCfg,
     /// Committed objects (persistent).
@@ -81,6 +82,41 @@ pub struct ObjectStore {
     /// Counters.
     writes: u64,
     bytes_written: u64,
+    /// The durable log behind the persistent write path: a [`MemLog`]
+    /// model in the simulator, a file-backed WAL on real hosts.
+    wal: Box<dyn DurableLog>,
+}
+
+impl Default for ObjectStore {
+    fn default() -> ObjectStore {
+        ObjectStore {
+            cfg: StorageCfg::default(),
+            committed: BTreeMap::new(),
+            log: Vec::new(),
+            pending: BTreeMap::new(),
+            busy_until: Time::ZERO,
+            writes: 0,
+            bytes_written: 0,
+            wal: Box::new(MemLog::default()),
+        }
+    }
+}
+
+impl Clone for ObjectStore {
+    fn clone(&self) -> ObjectStore {
+        ObjectStore {
+            cfg: self.cfg,
+            committed: self.committed.clone(),
+            log: self.log.clone(),
+            pending: self.pending.clone(),
+            busy_until: self.busy_until,
+            writes: self.writes,
+            bytes_written: self.bytes_written,
+            // Clones are exploration branches: they fork the durable log
+            // into a throwaway in-memory copy, never a second file writer.
+            wal: self.wal.fork(),
+        }
+    }
 }
 
 impl Default for StorageCfg {
@@ -98,6 +134,92 @@ impl ObjectStore {
         ObjectStore {
             cfg,
             ..ObjectStore::default()
+        }
+    }
+
+    /// An empty store whose persistent write path appends to `wal`
+    /// (real hosts pass a [`FileWal`](crate::FileWal) here).
+    pub fn with_wal(cfg: StorageCfg, wal: Box<dyn DurableLog>) -> ObjectStore {
+        ObjectStore {
+            cfg,
+            wal,
+            ..ObjectStore::default()
+        }
+    }
+
+    /// Force every appended WAL record to stable storage. Must be
+    /// called before any acknowledgement of the appended writes leaves
+    /// the node (`fsync_discipline` lint rule). Returns false when the
+    /// backing log can no longer guarantee durability.
+    pub fn wal_sync(&mut self) -> bool {
+        self.wal.sync()
+    }
+
+    /// The durable log (stats inspection).
+    pub fn wal(&self) -> &dyn DurableLog {
+        self.wal.as_ref()
+    }
+
+    /// Rebuild store state from recovered WAL `records`, in order,
+    /// without re-appending them. Recovered pending locks are marked
+    /// `written` — their +L reached stable storage by definition — so
+    /// they surface as in-doubt entries for §4.4 lock resolution;
+    /// `locked_at` restarts at `Time::ZERO`, letting the stale-lock TTL
+    /// clear any orphan whose round died with the crash. Replaying the
+    /// same records onto the same starting state twice is idempotent.
+    pub fn replay(&mut self, records: &[WalRecord]) {
+        for rec in records {
+            match rec {
+                WalRecord::Lock { key, op, value } => {
+                    self.pending.insert(
+                        key.clone(),
+                        Pending {
+                            op: *op,
+                            value: value.clone(),
+                            written: true,
+                            locked_at: Time::ZERO,
+                        },
+                    );
+                    if !self.log.iter().any(|e| e.key == *key && e.op == *op) {
+                        self.log.push(LogEntry {
+                            key: key.clone(),
+                            op: *op,
+                        });
+                    }
+                }
+                WalRecord::Commit { key, op, ts } => {
+                    let Some(p) = self.pending.get(key) else {
+                        continue;
+                    };
+                    if p.op != *op {
+                        continue;
+                    }
+                    let value = p.value.clone();
+                    self.pending.remove(key);
+                    self.log.retain(|e| !(e.key == *key && e.op == *op));
+                    if self.committed.get(key).is_none_or(|c| *ts > c.ts) {
+                        self.committed
+                            .insert(key.clone(), Committed { value, ts: *ts });
+                    }
+                }
+                WalRecord::Apply { key, value, ts } => {
+                    if self.committed.get(key).is_none_or(|c| *ts > c.ts) {
+                        self.committed.insert(
+                            key.clone(),
+                            Committed {
+                                value: value.clone(),
+                                ts: *ts,
+                            },
+                        );
+                    }
+                }
+                WalRecord::Release { key, op } => {
+                    if self.pending.get(key).is_some_and(|p| p.op == *op) {
+                        self.pending.remove(key);
+                        self.log.retain(|e| !(e.key == *key && e.op == *op));
+                    }
+                }
+            }
         }
     }
 
@@ -145,8 +267,13 @@ impl ObjectStore {
     pub fn lock(&mut self, key: &str, op: OpId, value: Value, now: Time) -> bool {
         match self.pending.get_mut(key) {
             Some(p) if p.op == op => {
-                p.value = value;
+                p.value = value.clone();
                 p.locked_at = now;
+                self.wal.append(&WalRecord::Lock {
+                    key: key.to_owned(),
+                    op,
+                    value,
+                });
                 true
             }
             Some(_) => false,
@@ -155,7 +282,7 @@ impl ObjectStore {
                     key.to_owned(),
                     Pending {
                         op,
-                        value,
+                        value: value.clone(),
                         written: false,
                         locked_at: now,
                     },
@@ -163,6 +290,11 @@ impl ObjectStore {
                 self.log.push(LogEntry {
                     key: key.to_owned(),
                     op,
+                });
+                self.wal.append(&WalRecord::Lock {
+                    key: key.to_owned(),
+                    op,
+                    value,
                 });
                 true
             }
@@ -188,6 +320,11 @@ impl ObjectStore {
             self.committed
                 .insert(key.to_owned(), Committed { value: p.value, ts });
         }
+        self.wal.append(&WalRecord::Commit {
+            key: key.to_owned(),
+            op,
+            ts,
+        });
         true
     }
 
@@ -195,6 +332,11 @@ impl ObjectStore {
     pub fn commit_direct(&mut self, key: &str, value: Value, ts: Timestamp) {
         let newer = self.committed.get(key).is_none_or(|c| ts > c.ts);
         if newer {
+            self.wal.append(&WalRecord::Apply {
+                key: key.to_owned(),
+                value: value.clone(),
+                ts,
+            });
             self.committed
                 .insert(key.to_owned(), Committed { value, ts });
         }
@@ -210,6 +352,10 @@ impl ObjectStore {
                 let op = p.op;
                 self.pending.remove(key);
                 self.log.retain(|e| !(e.key == key && e.op == op));
+                self.wal.append(&WalRecord::Release {
+                    key: key.to_owned(),
+                    op,
+                });
                 true
             }
             _ => false,
@@ -229,6 +375,10 @@ impl ObjectStore {
             Some(p) if p.op == op && p.locked_at <= issued => {
                 self.pending.remove(key);
                 self.log.retain(|e| !(e.key == key && e.op == op));
+                self.wal.append(&WalRecord::Release {
+                    key: key.to_owned(),
+                    op,
+                });
                 true
             }
             _ => false,
@@ -454,6 +604,53 @@ mod tests {
         s.lock("b", op(2), Value::from_bytes(vec![2]), Time::ZERO);
         s.commit("b", op(2), ts(3, 2));
         assert_eq!(s.max_primary_seq(), 7);
+    }
+
+    #[test]
+    fn wal_roundtrip_recovers_committed_and_in_doubt_state() {
+        use crate::wal::FileWal;
+        let path = std::env::temp_dir().join(format!("nice-store-wal-{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let (wal, recovered) = FileWal::open(&path).expect("fresh wal");
+            assert!(recovered.is_empty());
+            let mut s = ObjectStore::with_wal(StorageCfg::default(), Box::new(wal));
+            s.lock("a", op(1), Value::from_bytes(vec![1]), Time::ZERO);
+            s.commit("a", op(1), ts(1, 1));
+            s.commit_direct("b", Value::from_bytes(vec![2]), ts(2, 2));
+            // "c" stays locked: an in-doubt put at crash time.
+            s.lock("c", op(3), Value::from_bytes(vec![3]), Time::ZERO);
+            assert!(s.wal_sync());
+        }
+        let recover = |path: &std::path::Path| {
+            let (wal, records) = FileWal::open(path).expect("recover");
+            let mut s = ObjectStore::with_wal(StorageCfg::default(), Box::new(wal));
+            s.replay(&records);
+            s
+        };
+        let once = recover(&path);
+        assert_eq!(*once.get("a").unwrap().value.bytes, vec![1]);
+        assert_eq!(*once.get("b").unwrap().value.bytes, vec![2]);
+        assert!(once.locked("c"), "in-doubt lock survives recovery");
+        assert!(
+            once.pending("c").unwrap().written,
+            "recovered pending counts as written (its +L is on disk)"
+        );
+        assert_eq!(once.in_doubt(), vec![("c".to_string(), op(3))]);
+        assert_eq!(
+            once.log().len(),
+            1,
+            "log identifies exactly the in-doubt put"
+        );
+        // Recover → recover again ⇒ identical store (replay idempotence;
+        // recovery appends nothing, so the file is unchanged too).
+        let twice = recover(&path);
+        assert_eq!(
+            format!("{:?}", (once.iter().collect::<Vec<_>>(), once.log())),
+            format!("{:?}", (twice.iter().collect::<Vec<_>>(), twice.log())),
+        );
+        assert_eq!(twice.in_doubt(), once.in_doubt());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -28,12 +28,14 @@
 
 pub mod codec;
 mod io;
+pub mod nemesis;
 pub mod net;
 pub mod runtime;
 pub mod time;
 
 pub use codec::{ByteReader, ByteWriter, WireCodec};
 pub use io::{NodeApp, NodeIo};
+pub use nemesis::{FaultPlan, FaultStats, NemesisUdp, PartitionWindow, Verdict};
 pub use net::{ArpOp, Ipv4, Mac, Packet, Payload, Proto, ARP_WIRE_SIZE, HDR_TCP, HDR_UDP, MTU};
 pub use nice_workload::{Rng, XorShiftRng};
 pub use runtime::{RuntimeBuilder, UdpRuntime};

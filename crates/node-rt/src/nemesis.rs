@@ -1,0 +1,406 @@
+//! Socket-level fault injection for the real UDP runtime.
+//!
+//! The simulator injects faults at its single delivery choke point; the
+//! real runtime has no such point — every node thread writes straight
+//! to its own socket. [`NemesisUdp`] restores one: it wraps the
+//! loopback socket and applies a seeded [`FaultPlan`] on the send side,
+//! deterministically per `(src, dst, payload-hash)` — the same frame
+//! between the same pair always draws the same verdict — so a storm is
+//! reproducible up to thread scheduling while remaining real UDP on the
+//! wire (loss means the datagram is never written, duplication means
+//! two writes, delay means a deferred write).
+//!
+//! The plan is a pure value: rendering the seeded schedule
+//! (`kv_core::ChaosPlan::render`) is byte-stable and independent of
+//! this module; [`FaultStats`] counts what the verdicts actually did.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::net::Ipv4;
+use crate::time::Time;
+
+/// One symmetric link cut: packets between `a` and `b` (either
+/// direction) are dropped while `from <= now < until`.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionWindow {
+    /// One side of the cut.
+    pub a: Ipv4,
+    /// The other side.
+    pub b: Ipv4,
+    /// Window start (runtime-relative, like [`crate::NodeIo::now`]).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+}
+
+/// A seeded fault plan for the real runtime.
+///
+/// Probabilities are parts-per-million so the verdict is pure integer
+/// arithmetic on the hash draw. Loss/duplication/delay apply only
+/// inside `[active_from, active_until)`; partitions carry their own
+/// windows. `Default` is a no-fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Verdict seed.
+    pub seed: u64,
+    /// Drop probability (ppm) inside the active window.
+    pub loss_ppm: u32,
+    /// Duplication probability (ppm) inside the active window.
+    pub dup_ppm: u32,
+    /// Delay probability (ppm) inside the active window.
+    pub delay_ppm: u32,
+    /// Maximum injected delay (uniform in `1..=delay_max` ns).
+    pub delay_max: Time,
+    /// Start of the loss/dup/delay window.
+    pub active_from: Time,
+    /// End of the loss/dup/delay window (exclusive).
+    pub active_until: Time,
+    /// Symmetric link cuts.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            loss_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_max: Time::ZERO,
+            active_from: Time::ZERO,
+            active_until: Time::ZERO,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// What the plan decided for one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Write it to the socket.
+    Deliver,
+    /// Never write it.
+    Drop,
+    /// Write it twice.
+    Duplicate,
+    /// Write it after this extra delay.
+    Delay(Time),
+}
+
+/// 64-bit FNV-1a over the frame bytes: the payload half of the
+/// `(src, dst, payload-hash)` verdict key.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: decorrelates the combined verdict key.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The plan's verdict for one frame from `src` to `dst` at `now`.
+    /// Pure: the same `(seed, src, dst, frame)` always draws the same
+    /// verdict; `now` only gates the fault windows.
+    pub fn verdict(&self, now: Time, src: Ipv4, dst: Ipv4, frame: &[u8]) -> Verdict {
+        for p in &self.partitions {
+            let cut = (p.a == src && p.b == dst) || (p.a == dst && p.b == src);
+            if cut && now >= p.from && now < p.until {
+                return Verdict::Drop;
+            }
+        }
+        if now < self.active_from || now >= self.active_until {
+            return Verdict::Deliver;
+        }
+        let key = mix(self.seed
+            ^ mix(u64::from(src.0))
+            ^ mix(u64::from(dst.0).rotate_left(32))
+            ^ fnv1a64(frame));
+        let draw = (key % 1_000_000) as u32;
+        if draw < self.loss_ppm {
+            return Verdict::Drop;
+        }
+        if draw < self.loss_ppm.saturating_add(self.dup_ppm) {
+            return Verdict::Duplicate;
+        }
+        let delay_edge = self
+            .loss_ppm
+            .saturating_add(self.dup_ppm)
+            .saturating_add(self.delay_ppm);
+        if draw < delay_edge && self.delay_max > Time::ZERO {
+            let ns = 1 + mix(key) % self.delay_max.as_ns().max(1);
+            return Verdict::Delay(Time(ns));
+        }
+        Verdict::Deliver
+    }
+}
+
+/// Shared counters of what the nemesis actually did (all node threads
+/// bump the same instance).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Datagrams written to a socket (including duplicates).
+    pub sent: AtomicU64,
+    /// Datagrams dropped by verdict or partition.
+    pub dropped: AtomicU64,
+    /// Datagrams written twice.
+    pub duplicated: AtomicU64,
+    /// Datagrams deferred by a delay verdict.
+    pub delayed: AtomicU64,
+}
+
+impl FaultStats {
+    /// Render the counters as one stable `key=value` line (archived by
+    /// the `runtime-chaos` check tier).
+    pub fn render(&self) -> String {
+        format!(
+            "nemesis sent={} dropped={} duplicated={} delayed={}",
+            self.sent.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+            self.duplicated.load(Ordering::Relaxed),
+            self.delayed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The loopback socket behind one node, with the fault plan applied on
+/// every send. Without a plan it is a transparent passthrough.
+#[derive(Debug)]
+pub struct NemesisUdp {
+    socket: UdpSocket,
+    plan: Option<Arc<FaultPlan>>,
+    stats: Arc<FaultStats>,
+    /// Delay-verdict frames awaiting their deadline, keyed by
+    /// `(deliver-at ns, arm order)`.
+    delayed: BTreeMap<(u64, u64), (Vec<u8>, SocketAddr)>,
+    delay_seq: u64,
+}
+
+impl NemesisUdp {
+    /// Wrap `socket`; `plan = None` disables injection entirely.
+    pub fn new(
+        socket: UdpSocket,
+        plan: Option<Arc<FaultPlan>>,
+        stats: Arc<FaultStats>,
+    ) -> NemesisUdp {
+        NemesisUdp {
+            socket,
+            plan,
+            stats,
+            delayed: BTreeMap::new(),
+            delay_seq: 0,
+        }
+    }
+
+    /// Send `frame` from `src` to the resolved `addr` of `dst`, subject
+    /// to the plan's verdict at `now`.
+    pub fn send_to(&mut self, frame: &[u8], addr: SocketAddr, src: Ipv4, dst: Ipv4, now: Time) {
+        let verdict = match &self.plan {
+            None => Verdict::Deliver,
+            Some(p) => p.verdict(now, src, dst, frame),
+        };
+        match verdict {
+            Verdict::Deliver => {
+                self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                let _ = self.socket.send_to(frame, addr);
+            }
+            Verdict::Drop => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::Duplicate => {
+                self.stats.sent.fetch_add(2, Ordering::Relaxed);
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                let _ = self.socket.send_to(frame, addr);
+                let _ = self.socket.send_to(frame, addr);
+            }
+            Verdict::Delay(d) => {
+                self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.delay_seq += 1;
+                let at = now.as_ns().saturating_add(d.as_ns());
+                self.delayed
+                    .insert((at, self.delay_seq), (frame.to_vec(), addr));
+            }
+        }
+    }
+
+    /// Write every delayed frame whose deadline has passed.
+    pub fn flush_due(&mut self, now: Time) {
+        loop {
+            let Some((&(at, seq), _)) = self.delayed.first_key_value() else {
+                return;
+            };
+            if at > now.as_ns() {
+                return;
+            }
+            if let Some((frame, addr)) = self.delayed.remove(&(at, seq)) {
+                self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                let _ = self.socket.send_to(&frame, addr);
+            }
+        }
+    }
+
+    /// Deadline (ns) of the earliest delayed frame, if any — the event
+    /// loop bounds its blocking receive by this.
+    pub fn next_due(&self) -> Option<u64> {
+        self.delayed.first_key_value().map(|(&(at, _), _)| at)
+    }
+
+    /// Receive into `buf` (plain passthrough; faults are send-side).
+    pub fn recv_from(&self, buf: &mut [u8]) -> std::io::Result<(usize, SocketAddr)> {
+        self.socket.recv_from(buf)
+    }
+
+    /// Bound the next blocking receive.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.socket.set_read_timeout(dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            loss_ppm: 200_000,
+            dup_ppm: 100_000,
+            delay_ppm: 100_000,
+            delay_max: Time::from_ms(2),
+            active_from: Time::from_ms(100),
+            active_until: Time::from_secs(10),
+            partitions: vec![],
+        }
+    }
+
+    fn addrs() -> (Ipv4, Ipv4) {
+        (Ipv4::new(10, 0, 0, 1), Ipv4::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_per_key() {
+        let p = plan();
+        let (a, b) = addrs();
+        let now = Time::from_secs(1);
+        for frame in [b"hello".as_slice(), b"world", b"x", b""] {
+            let v1 = p.verdict(now, a, b, frame);
+            let v2 = p.verdict(now, a, b, frame);
+            assert_eq!(v1, v2, "same key, same verdict");
+        }
+    }
+
+    #[test]
+    fn verdicts_outside_the_window_deliver() {
+        let p = plan();
+        let (a, b) = addrs();
+        for i in 0..200u32 {
+            let frame = i.to_be_bytes();
+            assert_eq!(
+                p.verdict(Time::from_ms(1), a, b, &frame),
+                Verdict::Deliver,
+                "before the window"
+            );
+            assert_eq!(
+                p.verdict(Time::from_secs(11), a, b, &frame),
+                Verdict::Deliver,
+                "after the window"
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_mix_covers_all_outcomes_at_plan_rates() {
+        let p = plan();
+        let (a, b) = addrs();
+        let now = Time::from_secs(1);
+        let (mut drops, mut dups, mut delays, mut delivers) = (0u32, 0u32, 0u32, 0u32);
+        for i in 0..2_000u32 {
+            match p.verdict(now, a, b, &i.to_be_bytes()) {
+                Verdict::Drop => drops += 1,
+                Verdict::Duplicate => dups += 1,
+                Verdict::Delay(d) => {
+                    assert!(d > Time::ZERO && d <= p.delay_max);
+                    delays += 1;
+                }
+                Verdict::Deliver => delivers += 1,
+            }
+        }
+        // 20% / 10% / 10% nominal rates over 2,000 draws: generous bands.
+        assert!((200..=600).contains(&drops), "drops={drops}");
+        assert!((80..=350).contains(&dups), "dups={dups}");
+        assert!((80..=350).contains(&delays), "delays={delays}");
+        assert!(delivers >= 1000, "delivers={delivers}");
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_within_their_window() {
+        let (a, b) = addrs();
+        let mut p = FaultPlan::default();
+        p.partitions.push(PartitionWindow {
+            a,
+            b,
+            from: Time::from_secs(1),
+            until: Time::from_secs(2),
+        });
+        let frame = b"payload";
+        let inside = Time::from_ms(1_500);
+        assert_eq!(p.verdict(inside, a, b, frame), Verdict::Drop);
+        assert_eq!(p.verdict(inside, b, a, frame), Verdict::Drop);
+        let c = Ipv4::new(10, 0, 0, 3);
+        assert_eq!(p.verdict(inside, a, c, frame), Verdict::Deliver);
+        assert_eq!(
+            p.verdict(Time::from_ms(500), a, b, frame),
+            Verdict::Deliver,
+            "before the cut"
+        );
+        assert_eq!(
+            p.verdict(Time::from_secs(3), a, b, frame),
+            Verdict::Deliver,
+            "after it healed"
+        );
+    }
+
+    #[test]
+    fn delayed_frames_flush_in_deadline_order() {
+        let rx = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+        let rx_addr = rx.local_addr().expect("rx addr");
+        let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+        let stats = Arc::new(FaultStats::default());
+        // A plan that delays everything inside its window.
+        let plan = FaultPlan {
+            seed: 7,
+            delay_ppm: 1_000_000,
+            delay_max: Time::from_ms(1),
+            active_until: Time::from_secs(100),
+            ..FaultPlan::default()
+        };
+        let (a, b) = addrs();
+        let mut nem = NemesisUdp::new(tx, Some(Arc::new(plan)), Arc::clone(&stats));
+        nem.send_to(b"first", rx_addr, a, b, Time::from_ms(10));
+        assert_eq!(stats.delayed.load(Ordering::Relaxed), 1);
+        assert!(nem.next_due().is_some());
+        // Not due yet: nothing flushes.
+        nem.flush_due(Time::from_ms(10));
+        assert!(nem.next_due().is_some());
+        // Past every possible deadline: the frame goes out.
+        nem.flush_due(Time::from_ms(20));
+        assert!(nem.next_due().is_none());
+        rx.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        let mut buf = [0u8; 16];
+        let (n, _) = rx.recv_from(&mut buf).expect("delayed frame arrives");
+        assert_eq!(&buf[..n], b"first");
+        assert_eq!(stats.sent.load(Ordering::Relaxed), 1);
+    }
+}

@@ -26,6 +26,7 @@ use nice_workload::XorShiftRng;
 
 use crate::codec::{decode_frame, encode_frame, WireCodec};
 use crate::io::{NodeApp, NodeIo};
+use crate::nemesis::{FaultPlan, FaultStats, NemesisUdp};
 use crate::net::{Ipv4, Mac, Packet};
 use crate::time::Time;
 
@@ -38,8 +39,11 @@ const IDLE_WAIT: Duration = Duration::from_millis(5);
 const RECV_BUF: usize = 64 * 1024;
 
 /// Builds an app inside its node thread (apps hold `Rc` payloads and are
-/// not `Send`; the factory is).
-type AppFactory = Box<dyn FnOnce() -> Box<dyn NodeApp> + Send>;
+/// not `Send`; the factory is). `Fn`, not `FnOnce`: a restart rebuilds
+/// the app from scratch with the same factory, so volatile state is
+/// genuinely lost and only what the app recovers (e.g. from its WAL
+/// directory) survives.
+type AppFactory = Box<dyn Fn() -> Box<dyn NodeApp> + Send>;
 
 /// A closure shipped into a node thread by [`UdpRuntime::with`].
 type AppVisit = Box<dyn FnOnce(&mut dyn NodeApp) + Send>;
@@ -47,16 +51,22 @@ type AppVisit = Box<dyn FnOnce(&mut dyn NodeApp) + Send>;
 enum Ctl {
     /// Run a closure against the hosted app (state extraction).
     Run(AppVisit),
-    /// Crash the node: `on_crash`, then stop serving.
+    /// Crash the node: `on_crash`, drop the app (volatile state is
+    /// gone), keep the thread and socket alive in a down state.
     Crash,
+    /// Rebuild the app from its factory under the same identity
+    /// (address, socket, RNG stream). No-op if the node is up.
+    Restart,
     /// Stop the thread without crashing the app.
     Stop,
 }
 
 /// Sender-side route tables: every thread shares one immutable copy.
+/// Group members keep their logical address so the nemesis can judge
+/// each fan-out leg as its own `(src, member)` link.
 struct Routes {
     unicast: BTreeMap<Ipv4, SocketAddr>,
-    groups: BTreeMap<Ipv4, Vec<SocketAddr>>,
+    groups: BTreeMap<Ipv4, Vec<(Ipv4, SocketAddr)>>,
 }
 
 /// Declarative cluster description; [`RuntimeBuilder::spawn`] boots it.
@@ -66,6 +76,7 @@ pub struct RuntimeBuilder {
     nodes: Vec<(Ipv4, AppFactory)>,
     aliases: Vec<(Ipv4, Ipv4)>,
     groups: Vec<(Ipv4, Vec<Ipv4>)>,
+    nemesis: Option<Arc<FaultPlan>>,
 }
 
 impl RuntimeBuilder {
@@ -78,17 +89,26 @@ impl RuntimeBuilder {
             nodes: Vec::new(),
             aliases: Vec::new(),
             groups: Vec::new(),
+            nemesis: None,
         }
     }
 
     /// Add a node with logical address `ip`; `factory` builds its app
-    /// inside the node thread.
+    /// inside the node thread — and rebuilds it there on
+    /// [`UdpRuntime::restart`].
     pub fn node(
         &mut self,
         ip: Ipv4,
-        factory: impl FnOnce() -> Box<dyn NodeApp> + Send + 'static,
+        factory: impl Fn() -> Box<dyn NodeApp> + Send + 'static,
     ) -> &mut RuntimeBuilder {
         self.nodes.push((ip, Box::new(factory)));
+        self
+    }
+
+    /// Inject faults on every send according to `plan` (see
+    /// [`FaultPlan`]); without this call the sockets are clean.
+    pub fn nemesis(&mut self, plan: FaultPlan) -> &mut RuntimeBuilder {
+        self.nemesis = Some(Arc::new(plan));
         self
     }
 
@@ -129,15 +149,16 @@ impl RuntimeBuilder {
             let addr = *unicast.get(&node).expect("alias target must be a node");
             unicast.insert(alias, addr);
         }
-        let mut groups: BTreeMap<Ipv4, Vec<SocketAddr>> = BTreeMap::new();
+        let mut groups: BTreeMap<Ipv4, Vec<(Ipv4, SocketAddr)>> = BTreeMap::new();
         for (addr, members) in self.groups {
-            let fan: Vec<SocketAddr> = members
+            let fan: Vec<(Ipv4, SocketAddr)> = members
                 .iter()
-                .map(|m| *unicast.get(m).expect("group member must be a node"))
+                .map(|m| (*m, *unicast.get(m).expect("group member must be a node")))
                 .collect();
             groups.insert(addr, fan);
         }
         let routes = Arc::new(Routes { unicast, groups });
+        let stats = Arc::new(FaultStats::default());
 
         let mut nodes = BTreeMap::new();
         for (i, (ip, socket, factory)) in bound.into_iter().enumerate() {
@@ -145,7 +166,7 @@ impl RuntimeBuilder {
             let io = HostIo {
                 ip,
                 mac: Mac(0x1000 + i as u64),
-                socket,
+                socket: NemesisUdp::new(socket, self.nemesis.clone(), Arc::clone(&stats)),
                 routes: Arc::clone(&routes),
                 codec: Arc::clone(&self.codec),
                 epoch,
@@ -155,7 +176,7 @@ impl RuntimeBuilder {
             };
             let handle = std::thread::Builder::new()
                 .name(format!("node-{ip}"))
-                .spawn(move || run_node(io, factory(), &ctl_rx))
+                .spawn(move || run_node(io, factory, &ctl_rx))
                 .expect("spawn node thread");
             nodes.insert(
                 ip,
@@ -165,7 +186,7 @@ impl RuntimeBuilder {
                 },
             );
         }
-        UdpRuntime { nodes }
+        UdpRuntime { nodes, stats }
     }
 }
 
@@ -183,6 +204,7 @@ struct NodeHandle {
 /// A running loopback cluster: one thread + socket per node.
 pub struct UdpRuntime {
     nodes: BTreeMap<Ipv4, NodeHandle>,
+    stats: Arc<FaultStats>,
 }
 
 impl UdpRuntime {
@@ -212,16 +234,65 @@ impl UdpRuntime {
         rx.recv().expect("with: node died mid-call")
     }
 
-    /// Crash the node at `ip`: its app sees `on_crash`, its thread exits,
-    /// and its socket closes (in-flight datagrams to it are lost — real
-    /// packet loss, not simulated).
+    /// Like [`UdpRuntime::with`], but tolerant of crashed or killed
+    /// nodes: returns `None` instead of panicking when the node cannot
+    /// run the closure. Storm harnesses poll nodes with this while a
+    /// nemesis is crashing them.
+    pub fn try_with<R: Send + 'static>(
+        &self,
+        ip: Ipv4,
+        f: impl FnOnce(&mut dyn NodeApp) -> R + Send + 'static,
+    ) -> Option<R> {
+        let node = self.nodes.get(&ip)?;
+        let (tx, rx) = mpsc::channel();
+        node.ctl
+            .send(Ctl::Run(Box::new(move |app| {
+                let _ = tx.send(f(app));
+            })))
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    /// Kill the node at `ip` for good: its app sees `on_crash`, its
+    /// thread exits, and its socket closes (in-flight datagrams to it
+    /// are lost — real packet loss, not simulated). Unlike
+    /// [`UdpRuntime::crash`] there is no way back.
     pub fn kill(&mut self, ip: Ipv4) {
         if let Some(node) = self.nodes.get_mut(&ip) {
             let _ = node.ctl.send(Ctl::Crash);
+            let _ = node.ctl.send(Ctl::Stop);
             if let Some(handle) = node.join.take() {
                 let _ = handle.join();
             }
         }
+    }
+
+    /// Crash the node at `ip` without losing its identity: the app sees
+    /// `on_crash` and is dropped (all volatile state is gone), pending
+    /// timers are cleared, but the thread and socket stay alive in a
+    /// down state — arriving datagrams are drained and discarded, and
+    /// anything durable the app kept on disk (its WAL directory)
+    /// survives for [`UdpRuntime::restart`].
+    pub fn crash(&self, ip: Ipv4) {
+        if let Some(node) = self.nodes.get(&ip) {
+            let _ = node.ctl.send(Ctl::Crash);
+        }
+    }
+
+    /// Restart a crashed node under the same identity: the factory
+    /// rebuilds the app inside the node thread, which then sees
+    /// `on_start` followed by `on_restart`. No-op if the node is up or
+    /// was [`UdpRuntime::kill`]ed.
+    pub fn restart(&self, ip: Ipv4) {
+        if let Some(node) = self.nodes.get(&ip) {
+            let _ = node.ctl.send(Ctl::Restart);
+        }
+    }
+
+    /// The shared nemesis counters (all zero when no fault plan was
+    /// installed).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.stats
     }
 
     /// Stop every remaining node thread and join them.
@@ -248,7 +319,7 @@ impl Drop for UdpRuntime {
 struct HostIo {
     ip: Ipv4,
     mac: Mac,
-    socket: UdpSocket,
+    socket: NemesisUdp,
     routes: Arc<Routes>,
     codec: Arc<dyn WireCodec>,
     epoch: Instant,
@@ -278,10 +349,19 @@ impl HostIo {
         due
     }
 
-    /// How long the socket may block before the next timer is due.
+    /// How long the socket may block before the next timer or delayed
+    /// (nemesis-held) frame is due.
     fn wait_budget(&self) -> Duration {
-        match self.timers.peek() {
-            Some(std::cmp::Reverse((deadline, _, _))) => {
+        let timer = self
+            .timers
+            .peek()
+            .map(|std::cmp::Reverse((deadline, _, _))| *deadline);
+        let deadline = match (timer, self.socket.next_due()) {
+            (Some(t), Some(d)) => Some(t.min(d)),
+            (t, d) => t.or(d),
+        };
+        match deadline {
+            Some(deadline) => {
                 let now = self.now_ns();
                 let ns = deadline.saturating_sub(now).clamp(1_000, 5_000_000);
                 Duration::from_nanos(ns)
@@ -308,12 +388,16 @@ impl NodeIo for HostIo {
         let Some(frame) = encode_frame(&pkt, self.codec.as_ref()) else {
             return; // payload type not wire-encodable: drop, like a NIC with no route
         };
-        if let Some(addr) = self.routes.unicast.get(&pkt.dst) {
-            let _ = self.socket.send_to(&frame, addr);
-        } else if let Some(members) = self.routes.groups.get(&pkt.dst) {
-            // Sender-side fan-out stands in for in-switch multicast.
-            for addr in members {
-                let _ = self.socket.send_to(&frame, addr);
+        let now = Time(self.now_ns());
+        let src = self.ip;
+        let routes = Arc::clone(&self.routes);
+        if let Some(addr) = routes.unicast.get(&pkt.dst) {
+            self.socket.send_to(&frame, *addr, src, pkt.dst, now);
+        } else if let Some(members) = routes.groups.get(&pkt.dst) {
+            // Sender-side fan-out stands in for in-switch multicast;
+            // the nemesis judges each leg as its own (src, member) link.
+            for (member, addr) in members {
+                self.socket.send_to(&frame, *addr, src, *member, now);
             }
         }
         // Unroutable destinations drop silently: real UDP.
@@ -343,16 +427,42 @@ impl NodeIo for HostIo {
 
 /// One node's event loop: control messages, due timers, then a bounded
 /// blocking receive.
-fn run_node(mut io: HostIo, mut app: Box<dyn NodeApp>, ctl: &mpsc::Receiver<Ctl>) {
+///
+/// `app` is `None` while the node is crashed-but-restartable: the
+/// thread keeps draining its socket (arriving datagrams are real loss)
+/// and waits for `Ctl::Restart` to rebuild the app from `factory`.
+fn run_node(mut io: HostIo, factory: AppFactory, ctl: &mpsc::Receiver<Ctl>) {
     let mut buf = vec![0u8; RECV_BUF];
-    app.on_start(&mut io);
+    let mut app: Option<Box<dyn NodeApp>> = Some(factory());
+    if let Some(a) = app.as_mut() {
+        a.on_start(&mut io);
+    }
     loop {
         loop {
             match ctl.try_recv() {
-                Ok(Ctl::Run(f)) => f(app.as_mut()),
+                Ok(Ctl::Run(f)) => {
+                    if let Some(a) = app.as_mut() {
+                        f(a.as_mut());
+                    }
+                    // Down: drop the visit; the caller's reply channel
+                    // closes and `with` reports the node as dead.
+                }
                 Ok(Ctl::Crash) => {
-                    app.on_crash();
-                    return;
+                    if let Some(mut a) = app.take() {
+                        a.on_crash();
+                    }
+                    // Volatile state dies with the app; timers are
+                    // armed state, so they die too. The socket stays
+                    // bound: identity survives for a restart.
+                    io.timers.clear();
+                }
+                Ok(Ctl::Restart) => {
+                    if app.is_none() {
+                        let mut a = factory();
+                        a.on_start(&mut io);
+                        a.on_restart(&mut io);
+                        app = Some(a);
+                    }
                 }
                 Ok(Ctl::Stop) => return,
                 Err(mpsc::TryRecvError::Empty) => break,
@@ -360,14 +470,22 @@ fn run_node(mut io: HostIo, mut app: Box<dyn NodeApp>, ctl: &mpsc::Receiver<Ctl>
             }
         }
         for token in io.due_timers() {
-            app.on_timer(token, &mut io);
+            if let Some(a) = app.as_mut() {
+                a.on_timer(token, &mut io);
+            }
         }
-        let _ = io.socket.set_read_timeout(Some(io.wait_budget()));
+        io.socket.flush_due(Time(io.now_ns()));
+        let budget = io.wait_budget();
+        let _ = io.socket.set_read_timeout(Some(budget));
         match io.socket.recv_from(&mut buf) {
             Ok((n, _peer)) => {
                 let frame = buf.get(..n).unwrap_or_default();
                 if let Some(pkt) = decode_frame(frame, io.codec.as_ref()) {
-                    app.on_packet(pkt, &mut io);
+                    if let Some(a) = app.as_mut() {
+                        a.on_packet(pkt, &mut io);
+                    }
+                    // Down: the datagram was consumed and discarded —
+                    // exactly what a dead host does to the wire.
                 }
             }
             Err(_) => {
@@ -550,6 +668,112 @@ mod tests {
             any.downcast_mut::<Ticker>().map(|t| t.fired.clone())
         });
         assert_eq!(fired, Some(vec![7, 9]), "earlier deadline first");
+    }
+
+    #[test]
+    fn crash_then_restart_rebuilds_the_app_under_the_same_identity() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 0, 2);
+        /// Records its lifecycle; pings on demand via a timer.
+        struct Reborn {
+            restarted: bool,
+            crashes_seen: Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl NodeApp for Reborn {
+            fn on_crash(&mut self) {
+                self.crashes_seen
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            fn on_restart(&mut self, _io: &mut dyn NodeIo) {
+                self.restarted = true;
+            }
+        }
+        let crashes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let crashes_in_app = Arc::clone(&crashes);
+        let mut rb = RuntimeBuilder::new(5, Arc::new(U64Codec));
+        rb.node(a, move || {
+            Box::new(Reborn {
+                restarted: false,
+                crashes_seen: Arc::clone(&crashes_in_app),
+            })
+        });
+        rb.node(b, || Box::new(Echo));
+        let rt = rb.spawn();
+        assert_eq!(
+            rt.try_with(a, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Reborn>().map(|r| r.restarted)
+            }),
+            Some(Some(false))
+        );
+        rt.crash(a);
+        // Down: visits fail instead of reaching an app.
+        wait_until(|| rt.try_with(a, |_app| ()).is_none());
+        assert_eq!(crashes.load(std::sync::atomic::Ordering::SeqCst), 1);
+        rt.restart(a);
+        wait_until(|| rt.try_with(a, |_app| ()).is_some());
+        // The factory rebuilt it (fresh state) and on_restart ran.
+        assert_eq!(
+            rt.with(a, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Reborn>().map(|r| r.restarted)
+            }),
+            Some(true)
+        );
+        // Identity survived: b can still reach a's socket (no route churn).
+        // A second crash is also clean.
+        rt.crash(a);
+        wait_until(|| rt.try_with(a, |_app| ()).is_none());
+        assert_eq!(crashes.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nemesis_loss_drops_sends_and_counts_them() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 0, 2);
+        /// Fires N pings spaced by timers so each frame differs.
+        struct Burst {
+            peer: Ipv4,
+            left: u64,
+        }
+        impl NodeApp for Burst {
+            fn on_start(&mut self, io: &mut dyn NodeIo) {
+                io.set_timer(Time::from_us(100), 1);
+            }
+            fn on_timer(&mut self, _token: u64, io: &mut dyn NodeIo) {
+                if self.left == 0 {
+                    return;
+                }
+                self.left -= 1;
+                let me = io.ip();
+                let mac = io.mac();
+                let seq = self.left;
+                io.send(Packet::udp(me, mac, self.peer, 1, 1, 8, Rc::new(seq)));
+                io.set_timer(Time::from_us(100), 1);
+            }
+        }
+        let mut rb = RuntimeBuilder::new(6, Arc::new(U64Codec));
+        rb.node(a, || Box::new(Echo));
+        rb.node(b, move || Box::new(Burst { peer: a, left: 400 }));
+        rb.nemesis(crate::nemesis::FaultPlan {
+            seed: 99,
+            loss_ppm: 300_000,
+            active_until: Time::from_secs(3600),
+            ..crate::nemesis::FaultPlan::default()
+        });
+        let rt = rb.spawn();
+        wait_until(|| {
+            rt.with(b, |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<Burst>().is_some_and(|p| p.left == 0)
+            })
+        });
+        let s = rt.fault_stats();
+        let dropped = s.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        let sent = s.sent.load(std::sync::atomic::Ordering::Relaxed);
+        // 400 pings at 30% nominal loss (echo replies are judged too).
+        assert!(dropped >= 50, "dropped={dropped}");
+        assert!(sent >= 100, "sent={sent}");
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl NoobClientApp {
             (ClientRoute::Direct { lb_gets }, ClientOp::Get { key }) => {
                 if *lb_gets {
                     let replicas = self.ring.replica_addrs(key);
-                    replicas[ctx.rng().random_range(0..replicas.len())]
+                    let i = ctx.rng().random_range(0..replicas.len().max(1));
+                    replicas
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| self.ring.primary_addr(key))
                 } else {
                     self.ring.primary_addr(key)
                 }
@@ -125,8 +129,10 @@ impl NoobClientApp {
                 None => {
                     // Cold: any node will forward to the responsible one.
                     self.cache_stats.1 += 1;
-                    let i = ctx.rng().random_range(0..self.ring.addrs.len());
-                    self.ring.addrs[i]
+                    let i = ctx.rng().random_range(0..self.ring.addrs.len().max(1));
+                    // An empty membership routes to the unroutable zero
+                    // address: the attempt drops and retries, not panics.
+                    self.ring.addrs.get(i).copied().unwrap_or(Ipv4(0))
                 }
             },
         };

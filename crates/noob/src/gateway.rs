@@ -78,7 +78,7 @@ impl GatewayApp {
                     return Err(KvError::NoBackend);
                 }
                 let i = ctx.rng().random_range(0..self.ring.addrs.len());
-                Ok(self.ring.addrs[i])
+                self.ring.addrs.get(i).copied().ok_or(KvError::NoBackend)
             }
             GatewayPolicy::Primary => Ok(self.ring.primary_addr(key)),
             GatewayPolicy::BalancedReplicas => {
@@ -88,7 +88,7 @@ impl GatewayApp {
                         return Err(KvError::NoBackend);
                     }
                     let i = ctx.rng().random_range(0..replicas.len());
-                    Ok(replicas[i])
+                    replicas.get(i).copied().ok_or(KvError::NoBackend)
                 } else {
                     Ok(self.ring.primary_addr(key))
                 }

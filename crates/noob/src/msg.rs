@@ -131,4 +131,19 @@ pub enum NoobMsg {
         /// Who to acknowledge when the chain ends.
         client: Ipv4,
     },
+    /// Restarted node → peer: the data-sync phase of the two-phase
+    /// rejoin. The requester replayed its WAL and now asks each peer for
+    /// committed objects it replicates, to catch up on everything acked
+    /// while it was down.
+    SyncReq {
+        /// The rejoining node.
+        from: NodeIdx,
+    },
+    /// Peer → restarted node: every committed object (with its commit
+    /// timestamp) in partitions the requester replicates. Ordered apply
+    /// on the receiver keeps newer local versions.
+    SyncResp {
+        /// `(key, value, commit timestamp)` triples.
+        items: Vec<(String, Value, Timestamp)>,
+    },
 }

@@ -13,12 +13,13 @@
 //! simulator-only.
 
 use std::any::Any;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use kv_core::{ClientOp, History, KvClient, OpRecord, RetryPolicy, StorageCfg, Value};
 use nice_ring::{NodeIdx, PhysicalRing};
 use nice_transport::TpCodec;
-use node_rt::{Ipv4, RuntimeBuilder, Time, UdpRuntime};
+use node_rt::{FaultPlan, Ipv4, RuntimeBuilder, Time, UdpRuntime};
 
 use crate::client::{ClientRoute, NoobClientApp};
 use crate::gateway::{GatewayApp, GatewayPolicy};
@@ -79,8 +80,21 @@ pub struct RealNoobCfg {
     pub storage: StorageCfg,
     /// Client retry schedule — wall-clock now, keep it short in tests.
     pub retry: RetryPolicy,
+    /// Total per-operation deadline: a retry firing past this budget
+    /// completes the op with `KvError::Timeout` instead of burning the
+    /// whole attempt budget against a crashed node. `None` = attempts
+    /// only.
+    pub op_deadline: Option<Time>,
     /// Per-client operation lists.
     pub client_ops: Vec<Vec<RealOp>>,
+    /// Give every server a file WAL under `<wal_root>/node-<i>.wal`:
+    /// acks become fsync-gated, and [`RealNoobCluster::restart_server`]
+    /// recovers from the surviving file. `None` = memory-only servers
+    /// (crash loses everything, like the simulator's volatile model).
+    pub wal_root: Option<PathBuf>,
+    /// Seeded socket-level fault injection for every node (loss,
+    /// duplication, delay, partitions). `None` = clean loopback.
+    pub nemesis: Option<FaultPlan>,
 }
 
 impl RealNoobCfg {
@@ -96,7 +110,10 @@ impl RealNoobCfg {
             lb_gets: false,
             storage: StorageCfg::default(),
             retry: RetryPolicy::fixed(Time::from_ms(500)),
+            op_deadline: None,
             client_ops,
+            wal_root: None,
+            nemesis: None,
         }
     }
 }
@@ -143,16 +160,36 @@ impl RealNoobCluster {
 
         let codec = Arc::new(TpCodec::new(NoobCodec));
         let mut b = RuntimeBuilder::new(cfg.seed, codec);
+        if let Some(plan) = cfg.nemesis.clone() {
+            b.nemesis(plan);
+        }
         for (i, &ip) in server_ips.iter().enumerate() {
             let ring = ring.clone();
             let (mode, storage) = (cfg.mode, cfg.storage);
-            b.node(ip, move || {
-                Box::new(NoobServerApp::new(ring, NodeIdx(i as u32), mode, storage))
+            let wal_root = cfg.wal_root.clone();
+            // The factory reruns on every restart: with a WAL root, each
+            // incarnation replays what the previous one synced.
+            b.node(ip, move || match &wal_root {
+                Some(root) => Box::new(NoobServerApp::with_wal(
+                    ring.clone(),
+                    NodeIdx(i as u32),
+                    mode,
+                    storage,
+                    root,
+                )),
+                None => Box::new(NoobServerApp::new(
+                    ring.clone(),
+                    NodeIdx(i as u32),
+                    mode,
+                    storage,
+                )),
             });
         }
         if let Some(policy) = cfg.gateway {
             let ring = ring.clone();
-            b.node(GATEWAY_IP, move || Box::new(GatewayApp::new(ring, policy)));
+            b.node(GATEWAY_IP, move || {
+                Box::new(GatewayApp::new(ring.clone(), policy))
+            });
         }
         let route = match cfg.gateway {
             Some(_) => ClientRoute::Gateway(GATEWAY_IP),
@@ -166,10 +203,12 @@ impl RealNoobCluster {
             client_ips.push(ip);
             let ring = ring.clone();
             let retry = cfg.retry;
+            let op_deadline = cfg.op_deadline;
             b.node(ip, move || {
-                let ops: Vec<ClientOp> = ops.into_iter().map(RealOp::materialize).collect();
-                let mut app = NoobClientApp::new(ring, route, ops, Time::from_ms(5));
+                let ops: Vec<ClientOp> = ops.iter().cloned().map(RealOp::materialize).collect();
+                let mut app = NoobClientApp::new(ring.clone(), route, ops, Time::from_ms(5));
                 app.retry = retry;
+                app.op_deadline = op_deadline;
                 Box::new(app)
             });
         }
@@ -246,10 +285,45 @@ impl RealNoobCluster {
         history
     }
 
-    /// Crash storage node `i` (thread exits, socket closes; in-flight
-    /// datagrams to it are really lost).
+    /// Kill storage node `i` for good (thread exits, socket closes;
+    /// in-flight datagrams to it are really lost).
     pub fn kill_server(&mut self, i: usize) {
         self.runtime.kill(server_ip(i));
+    }
+
+    /// Crash storage node `i` restartably: volatile state is dropped,
+    /// the WAL directory (if configured) survives, and the socket stays
+    /// bound so [`RealNoobCluster::restart_server`] resumes the same
+    /// identity.
+    pub fn crash_server(&self, i: usize) {
+        self.runtime.crash(server_ip(i));
+    }
+
+    /// Restart a crashed storage node: the factory rebuilds the app,
+    /// WAL replay restores acked state, and the rejoin sync phase
+    /// catches up on the rest before it serves gets again.
+    pub fn restart_server(&self, i: usize) {
+        self.runtime.restart(server_ip(i));
+    }
+
+    /// WAL records server `i`'s current incarnation replayed at boot
+    /// (`None` while the node is down).
+    pub fn server_recovered(&self, i: usize) -> Option<usize> {
+        self.runtime.try_with(server_ip(i), |app| {
+            let any: &mut dyn Any = app;
+            any.downcast_mut::<NoobServerApp>().map(|s| s.recovered())
+        })?
+    }
+
+    /// Is server `i` up and past its rejoin sync phase?
+    pub fn server_ready(&self, i: usize) -> bool {
+        self.runtime
+            .try_with(server_ip(i), |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<NoobServerApp>()
+                    .is_some_and(|s| !s.is_syncing())
+            })
+            .unwrap_or(false)
     }
 
     /// Stop all node threads.

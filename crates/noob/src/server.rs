@@ -12,7 +12,8 @@
 //! knowledge, request forwarding hops, R-1 unicast data fan-out, and
 //! chain replication.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
 
 use kv_core::{
     Counters, Effect, EngineCfg, EngineRole, Group, ObjectStore, ReplicationEngine, StorageCfg,
@@ -26,6 +27,11 @@ use node_rt::{Ipv4, NodeApp, NodeIo, Packet, Time};
 use crate::msg::{NoobMode, NoobMsg};
 
 const TOK_CONT_BASE: u64 = 1000;
+/// Timer token for abandoning the rejoin sync phase.
+const TOK_SYNC_GIVEUP: u64 = 900;
+/// How long a rejoining node waits for peer sync responses before
+/// serving gets from its own store anyway (every peer may be down).
+const SYNC_GIVEUP: Time = Time::from_secs(2);
 
 /// Shared deployment knowledge: the full membership every NOOB node and
 /// RAC client holds.
@@ -45,10 +51,16 @@ impl NoobRing {
         self.ring.partition_of_key(key.as_bytes())
     }
 
+    /// Address of node `n`; falls back to the unroutable zero address
+    /// (a send to it drops silently, degrading one request) if the index
+    /// is somehow outside the membership.
+    pub fn addr_of(&self, n: NodeIdx) -> Ipv4 {
+        self.addrs.get(n.0 as usize).copied().unwrap_or(Ipv4(0))
+    }
+
     /// Primary address for a key.
     pub fn primary_addr(&self, key: &str) -> Ipv4 {
-        // lint:allow(panic_path) — ring nodes and addrs are built from the same membership; NodeIdx < addrs.len() by construction
-        self.addrs[self.ring.primary(self.partition_of(key)).0 as usize]
+        self.addr_of(self.ring.primary(self.partition_of(key)))
     }
 
     /// All replica addresses for a key (primary first).
@@ -56,8 +68,7 @@ impl NoobRing {
         self.ring
             .replica_set(self.partition_of(key))
             .iter()
-            // lint:allow(panic_path) — ring nodes and addrs are built from the same membership; NodeIdx < addrs.len() by construction
-            .map(|n| self.addrs[n.0 as usize])
+            .map(|&n| self.addr_of(n))
             .collect()
     }
 }
@@ -91,43 +102,95 @@ pub struct NoobServerApp {
     engine: TwoPcEngine,
     conts: HashMap<u64, Cont>,
     next_cont: u64,
+    /// Peers whose rejoin sync response is still outstanding; while
+    /// non-empty, gets are forwarded instead of served locally.
+    sync_pending: BTreeSet<NodeIdx>,
+    /// WAL records replayed at construction (0 on a cold start).
+    recovered: usize,
 }
 
 impl NoobServerApp {
-    /// A node `node` in the deployment `ring`.
-    pub fn new(
+    fn engine_cfg(storage: StorageCfg) -> EngineCfg {
+        EngineCfg {
+            storage,
+            // The baseline runs no coordinator deadlines, commits
+            // inline the moment the primary generates the timestamp,
+            // and keeps tentative values in memory only. With no
+            // deadline machinery, a lock abandoned by a crashed peer
+            // or a given-up client is only ever reclaimed by the TTL;
+            // it must outlast the longest client retry gap (2 s fixed,
+            // or the chaos harness's 1.6 s cap + 30 % jitter).
+            op_timeout: None,
+            inline_commit: true,
+            durable_pending: false,
+            stale_lock_ttl: Some(Time::from_secs(3)),
+        }
+    }
+
+    fn from_engine(
         ring: NoobRing,
         node: NodeIdx,
         mode: NoobMode,
-        storage: StorageCfg,
+        engine: TwoPcEngine,
+        recovered: usize,
     ) -> NoobServerApp {
         NoobServerApp {
             tp: Transport::new(ring.port),
             ring,
             node,
             mode,
-            engine: TwoPcEngine::new(EngineCfg {
-                storage,
-                // The baseline runs no coordinator deadlines, commits
-                // inline the moment the primary generates the timestamp,
-                // and keeps tentative values in memory only. With no
-                // deadline machinery, a lock abandoned by a crashed peer
-                // or a given-up client is only ever reclaimed by the TTL;
-                // it must outlast the longest client retry gap (2 s fixed,
-                // or the chaos harness's 1.6 s cap + 30 % jitter).
-                op_timeout: None,
-                inline_commit: true,
-                durable_pending: false,
-                stale_lock_ttl: Some(Time::from_secs(3)),
-            }),
+            engine,
             conts: HashMap::new(),
             next_cont: TOK_CONT_BASE,
+            sync_pending: BTreeSet::new(),
+            recovered,
         }
+    }
+
+    /// A node `node` in the deployment `ring` (memory-only durability
+    /// model: the simulator's crash semantics).
+    pub fn new(
+        ring: NoobRing,
+        node: NodeIdx,
+        mode: NoobMode,
+        storage: StorageCfg,
+    ) -> NoobServerApp {
+        let engine = TwoPcEngine::new(Self::engine_cfg(storage));
+        Self::from_engine(ring, node, mode, engine, 0)
+    }
+
+    /// A node backed by a file WAL under `wal_dir`: every ack reaches
+    /// stable storage first, and constructing the app replays whatever
+    /// the previous incarnation synced — committed objects, the 2PC
+    /// persistent-log entries, and in-doubt locks.
+    ///
+    /// If the WAL cannot be opened (I/O error) the node degrades to the
+    /// memory-only model rather than refusing to serve.
+    pub fn with_wal(
+        ring: NoobRing,
+        node: NodeIdx,
+        mode: NoobMode,
+        storage: StorageCfg,
+        wal_dir: &Path,
+    ) -> NoobServerApp {
+        let path = wal_dir.join(format!("node-{}.wal", node.0));
+        let (engine, recovered) = TwoPcEngine::recover(Self::engine_cfg(storage), &path);
+        Self::from_engine(ring, node, mode, engine, recovered)
     }
 
     /// The local store (inspection).
     pub fn store(&self) -> &ObjectStore {
         self.engine.store()
+    }
+
+    /// WAL records replayed when this incarnation was built.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// Still in the rejoin sync phase (gets are forwarded meanwhile)?
+    pub fn is_syncing(&self) -> bool {
+        !self.sync_pending.is_empty()
     }
 
     /// Observable counters (tests and Figure 7's load-ratio measurements).
@@ -190,7 +253,7 @@ impl NoobServerApp {
             match e {
                 Effect::Commit { key, op, ts } => {
                     let replicas = self.ring.replica_addrs(&key);
-                    for dst in &replicas[1..] {
+                    for dst in replicas.get(1..).unwrap_or(&[]) {
                         self.send(
                             ctx,
                             *dst,
@@ -283,9 +346,11 @@ impl NoobServerApp {
                     .coordinate(&key, op, op.client, Some(usize::MAX));
                 let size = value.size();
                 let done = self.engine.stage_write(ctx.now(), size);
-                let remaining: Vec<Ipv4> = replicas[1..]
+                let remaining: Vec<Ipv4> = replicas
+                    .get(1..)
+                    .unwrap_or(&[])
                     .iter()
-                    .map(|n| self.ring.addrs[n.0 as usize])
+                    .map(|&n| self.ring.addr_of(n))
                     .collect();
                 let ts = self.engine.next_ts(op, ctx.ip());
                 self.engine.sync_object(&key, value, ts);
@@ -309,8 +374,8 @@ impl NoobServerApp {
                 // to re-prepare — the lock refreshes and the data fans out
                 // again.
                 if let Some(ts) = self.engine.round_commit_ts(&key, op) {
-                    for n in &replicas[1..] {
-                        let dst = self.ring.addrs[n.0 as usize];
+                    for n in replicas.get(1..).unwrap_or(&[]) {
+                        let dst = self.ring.addr_of(*n);
                         self.send(
                             ctx,
                             dst,
@@ -387,8 +452,8 @@ impl NoobServerApp {
         ctx: &mut dyn NodeIo,
     ) {
         let msg_size = value.size() + key.len() as u32 + CTRL_MSG_BYTES;
-        for n in &replicas[1..] {
-            let dst = self.ring.addrs[n.0 as usize];
+        for n in replicas.get(1..).unwrap_or(&[]) {
+            let dst = self.ring.addr_of(*n);
             self.send(
                 ctx,
                 dst,
@@ -464,6 +529,26 @@ impl NoobServerApp {
     // ---------------------------------------------------------------
 
     fn on_get(&mut self, key: String, op: OpId, hops: u8, ctx: &mut dyn NodeIo) {
+        if !self.sync_pending.is_empty() && hops < 2 {
+            // Mid-rejoin: the local store may be missing writes acked
+            // while this node was down. Push the read to a peer replica
+            // until the sync phase completes (§4.4 two-phase rejoin —
+            // no reads from a node still catching up).
+            if let Some(dst) = self.peer_replica_addr(&key) {
+                self.engine.counters_mut().forwarded += 1;
+                self.send(
+                    ctx,
+                    dst,
+                    NoobMsg::Get {
+                        key,
+                        op,
+                        hops: hops + 1,
+                    },
+                    CTRL_MSG_BYTES,
+                );
+                return;
+            }
+        }
         if let Some(c) = self.engine.store().get(&key) {
             let size = c.value.size() + CTRL_MSG_BYTES;
             let value = Some(c.value.clone());
@@ -492,6 +577,52 @@ impl NoobServerApp {
             NoobMsg::GetReply { op, value: None },
             CTRL_MSG_BYTES,
         );
+    }
+
+    // ---------------------------------------------------------------
+    // Rejoin sync
+    // ---------------------------------------------------------------
+
+    /// The first replica of `key` that is not this node, if any.
+    fn peer_replica_addr(&self, key: &str) -> Option<Ipv4> {
+        self.ring
+            .ring
+            .replica_set(self.ring.partition_of(key))
+            .iter()
+            .find(|&&n| n != self.node)
+            .map(|&n| self.ring.addr_of(n))
+    }
+
+    /// A rejoining peer asks for everything it replicates: answer with
+    /// this node's committed objects in the requester's partitions.
+    fn on_sync_req(&mut self, from: NodeIdx, src: Ipv4, ctx: &mut dyn NodeIo) {
+        let items: Vec<(String, Value, Timestamp)> = self
+            .engine
+            .store()
+            .iter()
+            .filter(|(k, _)| self.ring.ring.is_replica(self.ring.partition_of(k), from))
+            .map(|(k, c)| (k.clone(), c.value.clone(), c.ts))
+            .collect();
+        let size = items
+            .iter()
+            .map(|(k, v, _)| v.size() + k.len() as u32)
+            .sum::<u32>()
+            + CTRL_MSG_BYTES;
+        self.send(ctx, src, NoobMsg::SyncResp { items }, size);
+    }
+
+    /// A peer's sync answer: ordered bulk apply (newer local versions
+    /// win), then mark that peer caught-up.
+    fn on_sync_resp(
+        &mut self,
+        items: Vec<(String, Value, Timestamp)>,
+        src: Ipv4,
+        ctx: &mut dyn NodeIo,
+    ) {
+        self.engine.ingest(ctx.now(), items);
+        if let Some(pos) = self.ring.addrs.iter().position(|&a| a == src) {
+            self.sync_pending.remove(&NodeIdx(pos as u32));
+        }
     }
 
     // ---------------------------------------------------------------
@@ -547,6 +678,8 @@ impl NoobServerApp {
                     },
                 );
             }
+            NoobMsg::SyncReq { from } => self.on_sync_req(from, src, ctx),
+            NoobMsg::SyncResp { items } => self.on_sync_resp(items, src, ctx),
             NoobMsg::PutReply { .. } | NoobMsg::GetReply { .. } => {}
         }
     }
@@ -655,6 +788,13 @@ impl NodeApp for NoobServerApp {
             self.drive(events, ctx);
             return;
         }
+        if token == TOK_SYNC_GIVEUP {
+            // Peers never answered (all down, or the nemesis ate every
+            // exchange): stop forwarding and serve what the WAL replay
+            // restored rather than going silent forever.
+            self.sync_pending.clear();
+            return;
+        }
         if let Some(cont) = self.conts.remove(&token) {
             self.on_cont(cont, ctx);
         }
@@ -664,5 +804,30 @@ impl NodeApp for NoobServerApp {
         self.tp.on_crash();
         self.engine.reset();
         self.conts.clear();
+        self.sync_pending.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut dyn NodeIo) {
+        // Two-phase rejoin, data phase: ask every peer for the committed
+        // objects this node replicates. WAL replay already restored
+        // everything this node acked; the sync fills in what the cluster
+        // acked while it was down. Gets are forwarded until the answers
+        // arrive (or the give-up timer concedes the peers are gone).
+        let me = self.node;
+        let peers: Vec<(NodeIdx, Ipv4)> = self
+            .ring
+            .addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| (NodeIdx(i as u32), addr))
+            .filter(|&(n, _)| n != me)
+            .collect();
+        for (n, addr) in peers {
+            self.sync_pending.insert(n);
+            self.send(ctx, addr, NoobMsg::SyncReq { from: me }, CTRL_MSG_BYTES);
+        }
+        if !self.sync_pending.is_empty() {
+            ctx.set_timer(SYNC_GIVEUP, TOK_SYNC_GIVEUP);
+        }
     }
 }

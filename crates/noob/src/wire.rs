@@ -21,6 +21,12 @@ const TAG_REP_ACK1: u8 = 5;
 const TAG_REP_TS: u8 = 6;
 const TAG_REP_ACK2: u8 = 7;
 const TAG_CHAIN_PUT: u8 = 8;
+const TAG_SYNC_REQ: u8 = 9;
+const TAG_SYNC_RESP: u8 = 10;
+
+/// Corruption bound on [`NoobMsg::SyncResp`] item counts: rejoin
+/// transfers are store-sized, never larger than this.
+const MAX_SYNC_ITEMS: u32 = 1 << 20;
 
 fn put_value(w: &mut ByteWriter, v: &Value) {
     w.bytes(&v.bytes);
@@ -153,6 +159,19 @@ impl WireCodec for NoobCodec {
                 }
                 w.u32(client.0);
             }
+            NoobMsg::SyncReq { from } => {
+                w.u8(TAG_SYNC_REQ);
+                w.u32(from.0);
+            }
+            NoobMsg::SyncResp { items } => {
+                w.u8(TAG_SYNC_RESP);
+                w.u32(items.len() as u32);
+                for (key, value, ts) in items {
+                    w.str(key);
+                    put_value(&mut w, value);
+                    put_ts(&mut w, ts);
+                }
+            }
         }
         Some(w.into_vec())
     }
@@ -225,6 +244,23 @@ impl WireCodec for NoobCodec {
                     remaining,
                     client,
                 }
+            }
+            TAG_SYNC_REQ => NoobMsg::SyncReq {
+                from: NodeIdx(r.u32()?),
+            },
+            TAG_SYNC_RESP => {
+                let n = r.u32()?;
+                if n > MAX_SYNC_ITEMS {
+                    return None; // corruption: no store is that large
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let key = r.str()?;
+                    let value = get_value(&mut r)?;
+                    let ts = get_ts(&mut r)?;
+                    items.push((key, value, ts));
+                }
+                NoobMsg::SyncResp { items }
             }
             _ => return None,
         };
@@ -332,5 +368,44 @@ mod tests {
         assert!(NoobCodec.decode(&[]).is_none());
         assert!(NoobCodec.decode(&[77]).is_none());
         assert!(NoobCodec.decode(&[TAG_PUT, 0, 0]).is_none());
+        // A SyncResp claiming more items than any store holds is corruption.
+        let mut w = node_rt::ByteWriter::new();
+        w.u8(TAG_SYNC_RESP);
+        w.u32(MAX_SYNC_ITEMS + 1);
+        assert!(NoobCodec.decode(&w.into_vec()).is_none());
+    }
+
+    #[test]
+    fn sync_messages_roundtrip() {
+        match roundtrip(&NoobMsg::SyncReq { from: NodeIdx(3) }) {
+            NoobMsg::SyncReq { from } => assert_eq!(from, NodeIdx(3)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let ts = Timestamp {
+            primary_seq: 4,
+            primary: Ipv4::new(10, 0, 0, 11),
+            client_seq: 1,
+            client: Ipv4::new(10, 0, 1, 1),
+        };
+        let resp = NoobMsg::SyncResp {
+            items: vec![
+                ("a".into(), Value::from_bytes(vec![1, 2]), ts),
+                ("b".into(), Value::synthetic(64), ts),
+            ],
+        };
+        match roundtrip(&resp) {
+            NoobMsg::SyncResp { items } => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].0, "a");
+                assert_eq!(items[0].1.bytes.as_slice(), &[1, 2]);
+                assert_eq!(items[0].2, ts);
+                assert_eq!(items[1].1.size(), 64);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match roundtrip(&NoobMsg::SyncResp { items: vec![] }) {
+            NoobMsg::SyncResp { items } => assert!(items.is_empty()),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -65,14 +65,19 @@ impl PhysicalRing {
         let n = self.nodes.len();
         self.replica_sets = (0..p)
             .map(|part| {
+                // Walk the ring once from the partition's home position,
+                // collecting distinct nodes until the set is full.
                 let mut set = Vec::with_capacity(self.replication);
-                let mut i = part % n;
-                while set.len() < self.replication {
-                    let cand = self.nodes[i];
-                    if !set.contains(&cand) {
-                        set.push(cand);
+                let start = part % n;
+                for off in 0..n {
+                    if set.len() >= self.replication {
+                        break;
                     }
-                    i = (i + 1) % n;
+                    if let Some(&cand) = self.nodes.get((start + off) % n) {
+                        if !set.contains(&cand) {
+                            set.push(cand);
+                        }
+                    }
                 }
                 set
             })
@@ -115,15 +120,20 @@ impl PhysicalRing {
     }
 
     /// The replica set of `p`: primary first, then `R-1` secondaries.
+    /// Empty for a partition id outside the ring (callers treat that as
+    /// "no replicas" instead of panicking on a request path).
     #[inline]
     pub fn replica_set(&self, p: PartitionId) -> &[NodeIdx] {
-        &self.replica_sets[p.0 as usize]
+        self.replica_sets
+            .get(p.0 as usize)
+            .map_or(&[][..], Vec::as_slice)
     }
 
-    /// The primary replica of `p`.
+    /// The primary replica of `p` (the ring's first node if `p` is
+    /// somehow outside the ring — degraded routing, not a panic).
     #[inline]
     pub fn primary(&self, p: PartitionId) -> NodeIdx {
-        self.replica_sets[p.0 as usize][0]
+        self.replica_set(p).first().copied().unwrap_or(NodeIdx(0))
     }
 
     /// Is `node` a member of `p`'s replica set?
@@ -148,7 +158,9 @@ impl PhysicalRing {
         let n = self.nodes.len();
         let start = p.0 as usize % n;
         for off in 0..n {
-            let cand = self.nodes[(start + off) % n];
+            let Some(&cand) = self.nodes.get((start + off) % n) else {
+                continue;
+            };
             if !self.is_replica(p, cand) && !exclude.contains(&cand) {
                 return Some(cand);
             }

@@ -36,7 +36,12 @@
 //! 9. **dead_effect** — every `Effect` enum variant must be matched by
 //!    some host adapter outside its defining file; an effect nobody
 //!    interprets is a silently dropped side effect.
-//! 10. **stale_allow** — a waiver that no longer suppresses a finding
+//! 10. **fsync_discipline** — a durability acknowledgement
+//!     (`Effect::Ack1`/`Ack2`/`Commit`) must be preceded by a
+//!     `wal_barrier()`/`wal_sync()` call in the same function:
+//!     fsync-before-ack, or a crash after the send loses an
+//!     acknowledged write.
+//! 11. **stale_allow** — a waiver that no longer suppresses a finding
 //!     is itself a finding.
 //!
 //! Findings are compared against the committed `lint_baseline.json`
@@ -105,6 +110,7 @@ pub fn collect_findings(root: &Path) -> Vec<Finding> {
     rules::effect_purity::run(&ctx, &mut pre);
     rules::determinism_taint::run(&ctx, &mut pre);
     rules::dead_effect::run(&ctx, &mut pre);
+    rules::fsync_discipline::run(&ctx, &mut pre);
 
     // Waiver pass: rules emit unconditionally; `lint:allow` markers are
     // applied here so stale_allow can see the pre-waiver set.

@@ -1,0 +1,70 @@
+//! `fsync_discipline`: durability acknowledgements must not leave the
+//! engine before the WAL is forced. The crash-safety contract (DESIGN.md
+//! §11) is fsync-before-ack: once a client or a coordinator sees `Ack1`,
+//! `Ack2`, or `Commit`, the records behind it must already be on stable
+//! storage, or a crash immediately after the send loses an acknowledged
+//! write.
+//!
+//! Enforced structurally: every `push(Effect::Ack1/Ack2/Commit …)` in a
+//! production function must be preceded — earlier in the same function
+//! body — by a `wal_barrier(` or `wal_sync(` call. The rule is
+//! deliberately same-function: hoisting the barrier into a caller hides
+//! the pairing the next reader must verify, so the fix for a false
+//! positive is to move the barrier next to the push (or waive with a
+//! reason), not to weaken the rule.
+
+use crate::rules::{finding, RuleCtx};
+use crate::source::contains_token;
+use crate::Finding;
+
+/// Effect pushes that acknowledge durability to another node.
+const ACK_PUSHES: &[(&str, &str)] = &[
+    ("push(Effect::Ack1", "Effect::Ack1"),
+    ("push(Effect::Ack2", "Effect::Ack2"),
+    ("push(Effect::Commit", "Effect::Commit"),
+];
+
+/// Calls that force the WAL to stable storage.
+const BARRIERS: &[&str] = &["wal_barrier(", "wal_sync("];
+
+/// Run the rule: scan every production fn body; each ack push must see
+/// a barrier on an earlier (or the same) line of the same function.
+pub fn run(ctx: &RuleCtx, out: &mut Vec<Finding>) {
+    let g = &ctx.graph;
+    for i in g.production() {
+        let f = &g.fns[i];
+        let Some(sf) = ctx.files.get(&f.file) else {
+            continue;
+        };
+        let mut barrier_seen = false;
+        for ln in f.line..=f.end_line.min(sf.code.len()) {
+            let line = &sf.code[ln - 1];
+            if sf.in_test[ln - 1] {
+                continue;
+            }
+            if BARRIERS.iter().any(|b| contains_token(line, b)) {
+                barrier_seen = true;
+            }
+            for (tok, what) in ACK_PUSHES {
+                if contains_token(line, tok) && !barrier_seen {
+                    finding(
+                        out,
+                        "fsync_discipline",
+                        &f.file,
+                        ln,
+                        &f.qualname(),
+                        what,
+                        format!(
+                            "`{what}` pushed in {} with no preceding \
+                             `wal_barrier()`/`wal_sync()` in the same function — \
+                             an acknowledgement must not leave the node before \
+                             its WAL records reach stable storage \
+                             (fsync-before-ack)",
+                            f.qualname()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

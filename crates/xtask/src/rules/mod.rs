@@ -18,6 +18,7 @@
 pub mod dead_effect;
 pub mod determinism_taint;
 pub mod effect_purity;
+pub mod fsync_discipline;
 pub mod panic_path;
 pub mod stale_allow;
 pub mod textual;
@@ -40,6 +41,7 @@ pub const ALL_RULES: &[&str] = &[
     "effect_purity",
     "determinism_taint",
     "dead_effect",
+    "fsync_discipline",
     "stale_allow",
 ];
 

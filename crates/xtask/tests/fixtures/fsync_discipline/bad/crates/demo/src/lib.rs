@@ -1,0 +1,32 @@
+//! BAD: an Ack1 is pushed with no WAL barrier anywhere before it —
+//! a crash right after the send loses the acknowledged write.
+
+pub enum Effect {
+    Ack1 { key: String },
+    Commit { key: String },
+}
+
+pub struct Engine {
+    synced: bool,
+}
+
+impl Engine {
+    fn wal_barrier(&mut self) {
+        self.synced = true;
+    }
+
+    pub fn on_write_done(&mut self, key: String) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        fx.push(Effect::Ack1 { key });
+        fx
+    }
+
+    pub fn on_ack2(&mut self, key: String) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        // The barrier exists in this type but runs AFTER the push:
+        // ordering is the whole point of the discipline.
+        fx.push(Effect::Commit { key });
+        self.wal_barrier();
+        fx
+    }
+}

@@ -1,0 +1,40 @@
+//! GOOD: every durability acknowledgement is behind a WAL force in the
+//! same function — fsync-before-ack.
+
+pub enum Effect {
+    Ack1 { key: String },
+    Commit { key: String },
+    WriteDone { key: String },
+}
+
+pub struct Engine {
+    synced: bool,
+}
+
+impl Engine {
+    fn wal_barrier(&mut self) {
+        self.synced = true;
+    }
+
+    pub fn on_write_done(&mut self, key: String) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        self.wal_barrier();
+        fx.push(Effect::Ack1 { key });
+        fx
+    }
+
+    pub fn on_ack2(&mut self, key: String) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        self.wal_barrier();
+        fx.push(Effect::Commit { key });
+        fx
+    }
+
+    pub fn on_local_write(&mut self, key: String) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        // WriteDone is node-internal (no durability promise): no
+        // barrier required.
+        fx.push(Effect::WriteDone { key });
+        fx
+    }
+}

@@ -197,6 +197,28 @@ fn dead_effect_silent_on_good() {
 }
 
 #[test]
+fn fsync_discipline_fires_on_bad() {
+    let hits = assert_fires("fsync_discipline");
+    // Both bad shapes: no barrier at all, and barrier after the push.
+    assert_eq!(hits.len(), 2, "expected both ack sites flagged: {hits:?}");
+    assert!(
+        hits.iter().any(|f| f.detail == "Effect::Ack1")
+            && hits.iter().any(|f| f.detail == "Effect::Commit"),
+        "expected one Ack1 and one Commit finding: {hits:?}"
+    );
+    assert!(
+        hits[0].msg.contains("fsync-before-ack"),
+        "got: {}",
+        hits[0].msg
+    );
+}
+
+#[test]
+fn fsync_discipline_silent_on_good() {
+    assert_silent("fsync_discipline");
+}
+
+#[test]
 fn stale_allow_fires_on_bad() {
     let hits = assert_fires("stale_allow");
     assert!(hits[0].msg.contains("determinism"), "got: {}", hits[0].msg);

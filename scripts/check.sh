@@ -11,7 +11,7 @@
 # interleaving checker, the fault-injection sweeps, and the failure
 # tests) as optimized builds; run_all_figures.sh uses this mode so
 # figures are never regenerated from a tree whose failure paths regress.
-set -e
+set -e -o pipefail
 cd "$(dirname "$0")/.."
 
 RELEASE=0
@@ -63,6 +63,19 @@ echo "=== runtime-smoke (real loopback UDP) ==="
 # every history goes through the per-key linearizability checker
 # (DESIGN.md §11). Release-built: wall-clock retries make debug too slow.
 timeout 300 cargo test -q --offline --release --test real_cluster
+
+echo "=== runtime-chaos (seeded storm on real sockets) ==="
+# The crash–restart survivability gate (DESIGN.md §11): a WAL-backed
+# 5-node cluster takes three seeded crash/restart hits under socket-
+# level loss/duplication/delay; zero acknowledged writes may be lost and
+# the combined history must linearize per key. CHAOS_SEED=<n> replays
+# one schedule exactly. The nemesis fault counters and per-node recovery
+# stats land next to the lint report for tooling.
+timeout 600 cargo test --offline --release --test runtime_chaos -- --nocapture \
+  2>&1 | tee target/runtime_chaos.log
+grep -E '^(nemesis |plan seed=|crash node=|schedule )' target/runtime_chaos.log \
+  > target/runtime_chaos_stats.txt || true
+echo "runtime-chaos: stats archived in target/runtime_chaos_stats.txt"
 
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="

@@ -110,6 +110,11 @@ fn loopback_noob_cluster_kill_one_node_mid_put() {
         mode: NoobMode::Quorum { k: 1 },
         gateway: Some(GatewayPolicy::Primary),
         retry: RetryPolicy::fixed(Time::from_ms(200)),
+        // Total per-op budget: the doomed put gives up after 3 s of
+        // wall-clock instead of grinding through the whole 25-attempt
+        // budget — the drain below is bounded by the deadline, not by
+        // attempts × period (the old flake under scheduler jitter).
+        op_deadline: Some(Time::from_secs(3)),
         ..RealNoobCfg::new(3, 2, vec![Vec::new()])
     };
     let mut cluster = RealNoobCluster::build(cfg);
