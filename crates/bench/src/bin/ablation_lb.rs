@@ -58,17 +58,16 @@ fn main() {
         spec.skip = *loads.iter().max().unwrap();
         spec.seed = args.seed;
         spec.retry_not_found = true;
-        let mut c = nice_kv::ClusterBuilder::new()
-            .nodes(spec.storage_nodes)
-            .replication(spec.replication)
-            .clients(spec.client_ops.clone())
-            .seed(spec.seed)
-            .retry_not_found()
-            .kv(|kv| {
-                kv.load_balancing = mode > 0;
-                kv.adaptive_lb = mode == 2;
-            })
-            .build();
+        let mut cfg = nice_kv::ClusterCfg::new(
+            spec.storage_nodes,
+            spec.replication,
+            spec.client_ops.clone(),
+        );
+        cfg.spec.seed = spec.seed;
+        cfg.spec.retry_not_found = true;
+        cfg.kv.load_balancing = mode > 0;
+        cfg.kv.adaptive_lb = mode == 2;
+        let mut c = nice_kv::NiceCluster::build(cfg);
         let done = c.run_until_done(Time::from_secs(3600));
         assert!(done, "mode={mode} clients={clients}");
         let mut lats = Vec::new();

@@ -10,7 +10,7 @@
 //! packets the injector actually dropped, and whether the run drained
 //! before the deadline.
 
-use nice_bench::harness::{par_map, percentile, ArgSpec, CsvOut, Stats};
+use nice_bench::harness::{par_map, ArgSpec, CsvOut};
 use nice_bench::systems::run;
 use nice_bench::{RunSpec, System};
 use nice_kv::{ClientOp, Value};
@@ -22,6 +22,26 @@ const RECORDS: u64 = 100;
 const CLIENTS: usize = 3;
 const OBJ: u32 = 1024;
 const LOSS: [f64; 5] = [0.0, 0.002, 0.005, 0.01, 0.02];
+
+/// Which scalar to pull out of a histogram.
+enum Hx {
+    Mean,
+    P99,
+    P999,
+}
+
+/// A histogram statistic in microseconds (0 when the histogram is
+/// missing or empty).
+fn hist_us(m: &nice_kv::MetricsRegistry, name: &str, which: Hx) -> f64 {
+    m.hist(name).map_or(0.0, |h| {
+        let t = match which {
+            Hx::Mean => h.mean(),
+            Hx::P99 => h.quantile(99, 100),
+            Hx::P999 => h.quantile(999, 1000),
+        };
+        t.as_ns() as f64 / 1e3
+    })
+}
 
 fn main() {
     let args = ArgSpec::parse(400, 20);
@@ -37,6 +57,7 @@ fn main() {
         "ops_failed",
         "get_mean_us",
         "get_p99_us",
+        "get_p999_us",
         "put_mean_us",
         "pkts_lost",
         "done",
@@ -98,9 +119,14 @@ fn main() {
             format!("{avail:.4}"),
             ok.to_string(),
             r.failures.to_string(),
-            format!("{:.1}", Stats::of(&r.get_lat).mean_us),
-            format!("{:.1}", percentile(&r.get_lat, 99.0).as_ns() as f64 / 1e3),
-            format!("{:.1}", Stats::of(&r.put_lat).mean_us),
+            // Latency columns come from the telemetry histograms — the
+            // same distribution `metrics()` reports — so the CSV and the
+            // registry cannot disagree. (They cover every op the clients
+            // issued, preload included.)
+            format!("{:.1}", hist_us(&r.metrics, "client.get_e2e", Hx::Mean)),
+            format!("{:.1}", hist_us(&r.metrics, "client.get_e2e", Hx::P99)),
+            format!("{:.1}", hist_us(&r.metrics, "client.get_e2e", Hx::P999)),
+            format!("{:.1}", hist_us(&r.metrics, "client.put_e2e", Hx::Mean)),
             r.fault.map_or(0, |s| s.lost).to_string(),
             r.done.to_string(),
         ]);

@@ -44,7 +44,9 @@ fn main() {
         "fig05_replication",
         "Figure 5: mean put latency (us) vs object size, one client, R=3",
     );
-    out.header(&["system", "size", "mean_us", "std_us", "n"]);
+    out.header(&[
+        "system", "size", "mean_us", "std_us", "p50_us", "p99_us", "p999_us", "n",
+    ]);
 
     let mut jobs = Vec::new();
     for sys in systems() {
@@ -63,14 +65,25 @@ fn main() {
         spec.seed = args.seed;
         let r = run(&spec);
         assert!(r.done, "{} size {size} did not finish", sys.label());
-        (sys, size, Stats::of(&r.put_lat))
+        // Tails come from the telemetry histogram — the same
+        // distribution `metrics()` reports.
+        let hist = r
+            .metrics
+            .hist("client.put_e2e")
+            .cloned()
+            .unwrap_or_default();
+        (sys, size, Stats::of(&r.put_lat), hist)
     });
-    for (sys, size, st) in results {
+    for (sys, size, st, hist) in results {
+        let q_us = |num, den| hist.quantile(num, den).as_ns() as f64 / 1e3;
         out.row(&[
             sys.label(),
             size_label(size),
             format!("{:.1}", st.mean_us),
             format!("{:.1}", st.std_us),
+            format!("{:.1}", q_us(1, 2)),
+            format!("{:.1}", q_us(99, 100)),
+            format!("{:.1}", q_us(999, 1000)),
             st.n.to_string(),
         ]);
     }

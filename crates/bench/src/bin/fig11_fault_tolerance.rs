@@ -8,7 +8,9 @@
 //! back, and starts retrieving the objects it missed."
 //!
 //! Output: one row per second — puts/sec, gets/sec, gets forwarded by the
-//! handoff so far, and the recovered node's object count.
+//! handoff so far, the recovered node's object count, and the
+//! cumulative put/get p99 pulled from the cluster's telemetry
+//! histograms (so the CSV and `metrics()` cannot disagree).
 
 use nice_bench::harness::{ArgSpec, CsvOut};
 use nice_bench::systems::nice_cluster;
@@ -35,6 +37,8 @@ fn main() {
         "gets_per_sec",
         "handoff_forwarded",
         "victim_objects",
+        "put_p99_us_cum",
+        "get_p99_us_cum",
     ]);
 
     // Pin everything to one partition; identify the victim secondary.
@@ -101,15 +105,24 @@ fn main() {
             }
         }
         let handoff_fwd: u64 = (0..c.servers.len())
-            .map(|i| c.server(i).counters().forwarded)
+            .map(|i| c.server(i).metrics().counter("engine.forwarded"))
             .sum();
         let victim_objects = c.server(victim).store().len();
+        // Cumulative-so-far tails from the merged client histograms:
+        // the same distribution a `metrics()` caller would see.
+        let m = c.metrics();
+        let p99_us = |name: &str| {
+            m.hist(name)
+                .map_or(0.0, |h| h.quantile(99, 100).as_ns() as f64 / 1e3)
+        };
         out.row(&[
             sec.to_string(),
             (puts - prev_puts).to_string(),
             (gets - prev_gets).to_string(),
             handoff_fwd.to_string(),
             victim_objects.to_string(),
+            format!("{:.1}", p99_us("client.put_e2e")),
+            format!("{:.1}", p99_us("client.get_e2e")),
         ]);
         prev_puts = puts;
         prev_gets = gets;

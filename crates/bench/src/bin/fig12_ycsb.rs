@@ -78,6 +78,9 @@ fn main() {
         "throughput_ops_s",
         "mean_us",
         "std_us",
+        "p50_us",
+        "p99_us",
+        "p999_us",
         "ops_measured",
     ]);
 
@@ -102,15 +105,29 @@ fn main() {
         assert!(r.done, "{} {wl_name} did not finish", sys.label());
         let mut lats = r.put_lat.clone();
         lats.extend(r.get_lat.iter().copied());
-        (sys, wl_name, r.throughput(), Stats::of(&lats))
+        // Tails come from the telemetry histograms (puts and gets
+        // merged) — the same distribution `metrics()` reports.
+        let mut hist = r
+            .metrics
+            .hist("client.put_e2e")
+            .cloned()
+            .unwrap_or_default();
+        if let Some(gets) = r.metrics.hist("client.get_e2e") {
+            hist.merge(gets);
+        }
+        (sys, wl_name, r.throughput(), Stats::of(&lats), hist)
     });
-    for (sys, wl, tput, st) in results {
+    for (sys, wl, tput, st, hist) in results {
+        let q_us = |num, den| hist.quantile(num, den).as_ns() as f64 / 1e3;
         out.row(&[
             sys.label(),
             wl.to_string(),
             format!("{tput:.0}"),
             format!("{:.1}", st.mean_us),
             format!("{:.1}", st.std_us),
+            format!("{:.1}", q_us(1, 2)),
+            format!("{:.1}", q_us(99, 100)),
+            format!("{:.1}", q_us(999, 1000)),
             st.n.to_string(),
         ]);
     }

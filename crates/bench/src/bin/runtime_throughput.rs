@@ -1,0 +1,174 @@
+//! **Real-runtime throughput and tail latency.**
+//!
+//! Boots the loopback UDP NOOB cluster (real OS threads, real
+//! datagrams, fsync-gated WAL) twice — once clean, once under the
+//! socket-level nemesis — drives the same seeded put/get workload
+//! through it, and reports wall-clock throughput plus the p50/p99/p99.9
+//! end-to-end latency distribution harvested from the cluster's merged
+//! telemetry registry. Output lands in
+//! `bench_results/runtime_throughput.json`, one row per configuration.
+//!
+//! Unlike the simulator figures, these numbers are wall-clock: they
+//! include scheduler jitter, socket syscalls, and real fsyncs, so they
+//! are the repo's closest stand-in for the paper's hardware runs.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use nice_bench::harness::ArgSpec;
+use nice_kv::MetricsRegistry;
+use nice_noob::{NoobMode, RealNoobCfg, RealNoobCluster, RealOp};
+use nice_sim::Time;
+use nice_workload::{Rng, XorShiftRng};
+use node_rt::FaultPlan;
+
+const SERVERS: usize = 3;
+const CLIENTS: usize = 3;
+const RECORDS: u64 = 60;
+const OBJ: usize = 1024;
+
+/// The seeded 20/80 put/get stream every configuration replays.
+fn workload(ops_per_client: usize, seed: u64) -> Vec<Vec<RealOp>> {
+    let mut per_client: Vec<Vec<RealOp>> = vec![Vec::new(); CLIENTS];
+    // Preload striped across clients so every later get can hit.
+    for i in 0..RECORDS {
+        per_client[(i % CLIENTS as u64) as usize].push(RealOp::Put {
+            key: format!("rt{i}"),
+            bytes: vec![0xA5; OBJ],
+        });
+    }
+    for (j, ops) in per_client.iter_mut().enumerate() {
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ (j as u64 + 1));
+        for _ in 0..ops_per_client {
+            let key = format!("rt{}", rng.random_range(0..RECORDS));
+            if rng.random_f64() < 0.2 {
+                ops.push(RealOp::Put {
+                    key,
+                    bytes: vec![0x5A; OBJ],
+                });
+            } else {
+                ops.push(RealOp::Get { key });
+            }
+        }
+    }
+    per_client
+}
+
+/// One measured configuration: label + whether the nemesis is armed.
+struct Row {
+    label: &'static str,
+    ops: usize,
+    elapsed: Duration,
+    metrics: MetricsRegistry,
+}
+
+fn run(label: &'static str, args: ArgSpec, nemesis: Option<FaultPlan>) -> Row {
+    let wal_root = std::env::temp_dir().join(format!("nice-rt-tput-{label}-{}", args.seed));
+    let _ = fs::remove_dir_all(&wal_root);
+    let mut cfg = RealNoobCfg::new(SERVERS, 2, workload(args.ops, args.seed));
+    cfg.spec.seed = args.seed;
+    cfg.mode = NoobMode::Quorum { k: 1 };
+    cfg.spec.op_deadline = Some(Time::from_secs(5));
+    cfg.host.wal_root = Some(wal_root.clone());
+    cfg.host.nemesis = nemesis;
+    let total_ops: usize = RECORDS as usize + args.ops * CLIENTS;
+
+    let start = Instant::now();
+    let cluster = RealNoobCluster::build(cfg);
+    let deadline = Instant::now() + Duration::from_secs(240);
+    while !cluster.all_done() {
+        assert!(Instant::now() < deadline, "{label}: workload did not drain");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let elapsed = start.elapsed();
+    let metrics = cluster.metrics();
+    drop(cluster);
+    let _ = fs::remove_dir_all(&wal_root);
+    Row {
+        label,
+        ops: total_ops,
+        elapsed,
+        metrics,
+    }
+}
+
+/// `"p50": ..., "p99": ..., "p999": ...` (µs) for one histogram, or
+/// zeros when it recorded nothing.
+fn quantiles_us(m: &MetricsRegistry, hist: &str) -> (f64, f64, f64) {
+    let us = |t: Time| t.as_ns() as f64 / 1e3;
+    match m.hist(hist) {
+        Some(h) if h.count() > 0 => (
+            us(h.quantile(1, 2)),
+            us(h.quantile(99, 100)),
+            us(h.quantile(999, 1000)),
+        ),
+        _ => (0.0, 0.0, 0.0),
+    }
+}
+
+fn json_row(r: &Row) -> String {
+    let (put_p50, put_p99, put_p999) = quantiles_us(&r.metrics, "client.put_e2e");
+    let (get_p50, get_p99, get_p999) = quantiles_us(&r.metrics, "client.get_e2e");
+    let secs = r.elapsed.as_secs_f64();
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"servers\": {}, \"clients\": {}, ",
+            "\"ops\": {}, \"elapsed_s\": {:.3}, \"ops_per_s\": {:.1}, ",
+            "\"put_p50_us\": {:.1}, \"put_p99_us\": {:.1}, \"put_p999_us\": {:.1}, ",
+            "\"get_p50_us\": {:.1}, \"get_p99_us\": {:.1}, \"get_p999_us\": {:.1}, ",
+            "\"retries\": {}, \"failures\": {}, \"wal_syncs\": {}}}"
+        ),
+        r.label,
+        SERVERS,
+        CLIENTS,
+        r.ops,
+        secs,
+        r.ops as f64 / secs.max(1e-9),
+        put_p50,
+        put_p99,
+        put_p999,
+        get_p50,
+        get_p99,
+        get_p999,
+        r.metrics.counter("client.retries"),
+        r.metrics.counter("client.failures"),
+        r.metrics.counter("wal.syncs"),
+    )
+}
+
+fn main() {
+    let args = ArgSpec::parse(200, 10);
+    println!("# Real-runtime throughput: loopback UDP cluster, wall-clock, fsync-gated WAL");
+
+    let clean = run("clean", args, None);
+    let nemesis = run(
+        "nemesis",
+        args,
+        Some(FaultPlan {
+            seed: args.seed,
+            loss_ppm: 5_000,
+            dup_ppm: 2_000,
+            delay_ppm: 10_000,
+            delay_max: Time::from_ms(2),
+            active_from: Time::ZERO,
+            active_until: Time::from_secs(3600),
+            partitions: Vec::new(),
+        }),
+    );
+
+    let rows: Vec<String> = [&clean, &nemesis].iter().map(|r| json_row(r)).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    print!("{doc}");
+
+    let dir = PathBuf::from("bench_results");
+    if fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = fs::File::create(dir.join("runtime_throughput.json")) {
+            let _ = f.write_all(doc.as_bytes());
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Drivers that run one experiment configuration on either system and
 //! collect the measurements every figure needs.
 
-use nice_kv::{ClientOp, ClusterBuilder, NiceCluster, PutMode};
+use nice_kv::{ClientOp, ClusterCfg, MetricsRegistry, NiceCluster, PutMode};
 use nice_noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice_sim::{FaultPlan, FaultStats, HostStats, Time};
 
@@ -97,21 +97,18 @@ impl RunSpec {
         }
     }
 
-    /// The shared cluster builder this spec describes (system-specific
+    /// The shared layered config this spec describes (system-specific
     /// knobs are layered on top by `nice_cluster` / `noob_cluster`).
-    fn builder(&self) -> ClusterBuilder {
-        let mut b = ClusterBuilder::new()
-            .nodes(self.storage_nodes)
-            .replication(self.replication)
-            .clients(self.client_ops.clone())
-            .seed(self.seed);
-        if self.retry_not_found {
-            b = b.retry_not_found();
-        }
-        if let Some(plan) = self.fault_plan.clone() {
-            b = b.fault_plan(plan);
-        }
-        b
+    fn cluster_cfg(&self) -> ClusterCfg {
+        let mut cfg = ClusterCfg::new(
+            self.storage_nodes,
+            self.replication,
+            self.client_ops.clone(),
+        );
+        cfg.spec.seed = self.seed;
+        cfg.spec.retry_not_found = self.retry_not_found;
+        cfg.host.fault_plan = self.fault_plan.clone();
+        cfg
     }
 }
 
@@ -137,6 +134,9 @@ pub struct ExpResult {
     pub done: bool,
     /// Injector counters when the spec carried a fault plan.
     pub fault: Option<FaultStats>,
+    /// Cluster-wide telemetry snapshot (merged server + client
+    /// registries), harvested after the run.
+    pub metrics: MetricsRegistry,
 }
 
 impl ExpResult {
@@ -160,12 +160,10 @@ pub fn nice_cluster(spec: &RunSpec) -> NiceCluster {
         System::NiceQuorum { k } => (PutMode::Quorum { k }, false),
         System::Noob { .. } => panic!("use noob_cluster for NOOB systems"),
     };
-    spec.builder()
-        .kv(|kv| {
-            kv.put_mode = put_mode;
-            kv.load_balancing = lb;
-        })
-        .build()
+    let mut cfg = spec.cluster_cfg();
+    cfg.kv.put_mode = put_mode;
+    cfg.kv.load_balancing = lb;
+    NiceCluster::build(cfg)
 }
 
 /// Build a NOOB cluster for a spec.
@@ -178,7 +176,7 @@ pub fn noob_cluster(spec: &RunSpec) -> NoobCluster {
     else {
         panic!("use nice_cluster for NICE systems");
     };
-    let mut cfg = NoobClusterCfg::from_builder(spec.builder(), access, mode);
+    let mut cfg = NoobClusterCfg::from_nice(&spec.cluster_cfg(), access, mode);
     cfg.lb_gets = lb_gets;
     NoobCluster::build(cfg)
 }
@@ -230,7 +228,7 @@ pub fn run_nice(spec: &RunSpec) -> ExpResult {
         total_link_bytes: c.sim.total_link_bytes(),
         server_stats: c.servers.iter().map(|&h| c.sim.host_stats(h)).collect(),
         server_gets: (0..c.servers.len())
-            .map(|i| c.server(i).counters().gets_served)
+            .map(|i| c.server(i).metrics().counter("engine.gets_served"))
             .collect(),
         start: if start == Time::MAX {
             Time::ZERO
@@ -240,6 +238,7 @@ pub fn run_nice(spec: &RunSpec) -> ExpResult {
         finish,
         done,
         fault: c.sim.fault_stats(),
+        metrics: c.metrics(),
     }
 }
 
@@ -269,7 +268,7 @@ pub fn run_noob(spec: &RunSpec) -> ExpResult {
         total_link_bytes: c.sim.total_link_bytes(),
         server_stats: c.servers.iter().map(|&h| c.sim.host_stats(h)).collect(),
         server_gets: (0..c.servers.len())
-            .map(|i| c.server(i).counters().gets_served)
+            .map(|i| c.server(i).metrics().counter("engine.gets_served"))
             .collect(),
         start: if start == Time::MAX {
             Time::ZERO
@@ -279,6 +278,7 @@ pub fn run_noob(spec: &RunSpec) -> ExpResult {
         finish,
         done,
         fault: c.sim.fault_stats(),
+        metrics: c.metrics(),
     }
 }
 

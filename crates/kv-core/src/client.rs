@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use node_rt::{Ipv4, Time};
 
 use crate::error::KvError;
+use crate::telemetry::{MetricsRegistry, Phase, Telemetry};
 use crate::types::{OpId, Value};
 
 /// Timer token for the start/idle-poll timer.
@@ -249,6 +250,11 @@ pub struct ClientCore {
     pub records: Vec<OpRecord>,
     /// Set once the queue drains.
     pub done_at: Option<Time>,
+    /// Telemetry bundle: end-to-end and retry-wait histograms plus the
+    /// issue/retry/complete trace ring. Shaped by
+    /// [`TelemetryCfg`](crate::TelemetryCfg) through the cluster spec;
+    /// defaults to enabled.
+    pub tel: Telemetry,
 }
 
 impl ClientCore {
@@ -267,7 +273,19 @@ impl ClientCore {
             op_deadline: None,
             records: Vec::new(),
             done_at: None,
+            tel: Telemetry::default(),
         }
+    }
+
+    /// The metrics snapshot: the end-to-end/retry histograms plus
+    /// completion counters derived from the records.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.tel.reg.clone();
+        let ok = self.records.iter().filter(|r| r.ok()).count() as u64;
+        m.add("client.completed", self.records.len() as u64);
+        m.add("client.ok", ok);
+        m.add("client.failed", self.records.len() as u64 - ok);
+        m
     }
 
     /// Queue more operations (the driver may extend work mid-run); the
@@ -344,6 +362,7 @@ impl ClientCore {
             start: now,
             attempts: 1,
         });
+        self.tel.event(now, id, Phase::Issue, 1);
         Issue::Attempt(Attempt {
             op,
             id,
@@ -381,6 +400,21 @@ impl ClientCore {
             ClientOp::Put { value, .. } => Some(value.bytes.as_ref().clone()),
             ClientOp::Get { .. } => bytes,
         };
+        let is_put = matches!(inf.op, ClientOp::Put { .. });
+        let e2e = now.saturating_sub(inf.start);
+        if result.is_ok() {
+            let h = if is_put {
+                "client.put_e2e"
+            } else {
+                "client.get_e2e"
+            };
+            self.tel.record(h, e2e);
+        } else {
+            self.tel.record("client.failed_e2e", e2e);
+            self.tel.add("client.failures", 1);
+        }
+        self.tel
+            .event(now, inf.id, Phase::Complete, u64::from(result.is_ok()));
         self.records.push(OpRecord {
             is_put: matches!(inf.op, ClientOp::Put { .. }),
             key: inf.op.key().to_owned(),
@@ -472,11 +506,17 @@ impl ClientCore {
             return RetryAction::GaveUp;
         }
         inf.attempts += 1;
-        RetryAction::Resend(Attempt {
+        let (id, attempts, start) = (inf.id, inf.attempts, inf.start);
+        let resend = Attempt {
             op: inf.op.clone(),
-            id: inf.id,
-            attempts: inf.attempts,
-        })
+            id,
+            attempts,
+        };
+        self.tel
+            .record("client.retry_wait", now.saturating_sub(start));
+        self.tel.add("client.retries", 1);
+        self.tel.event(now, id, Phase::Retry, u64::from(attempts));
+        RetryAction::Resend(resend)
     }
 
     /// Crash: the in-flight op (and its pending timers' meaning) dies
@@ -525,6 +565,13 @@ pub trait KvClient {
     /// True once the op queue drained with nothing in flight.
     fn is_done(&self) -> bool {
         self.core().done_at.is_some()
+    }
+
+    /// The client-side metrics snapshot (end-to-end latency histograms,
+    /// retry counters) — the uniform surface harnesses and benches
+    /// harvest instead of reaching into per-system internals.
+    fn metrics(&self) -> MetricsRegistry {
+        self.core().metrics()
     }
 }
 

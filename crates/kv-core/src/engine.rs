@@ -21,6 +21,7 @@ use node_rt::{Ipv4, Time};
 
 use crate::error::KvError;
 use crate::store::{ObjectStore, StorageCfg};
+use crate::telemetry::{MetricsRegistry, Phase, Telemetry, TelemetryCfg};
 use crate::types::{NodeIdx, OpId, Timestamp, Value};
 
 /// Unified observable counters for both systems' storage nodes.
@@ -52,6 +53,22 @@ pub struct Counters {
     pub internal_errors: u64,
 }
 
+impl Counters {
+    /// Fold these counters into a metrics registry under `engine.*` —
+    /// the uniform snapshot surface, so harnesses need not harvest
+    /// [`Counters`] structs per system.
+    pub fn fold_into(&self, m: &mut MetricsRegistry) {
+        m.add("engine.gets_served", self.gets_served);
+        m.add("engine.forwarded", self.forwarded);
+        m.add("engine.puts_committed", self.puts_committed);
+        m.add("engine.puts_aborted", self.puts_aborted);
+        m.add("engine.puts_coordinated", self.puts_coordinated);
+        m.add("engine.replica_writes", self.replica_writes);
+        m.add("engine.failure_reports", self.failure_reports);
+        m.add("engine.internal_errors", self.internal_errors);
+    }
+}
+
 /// Policy knobs fixed per system at construction time.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineCfg {
@@ -75,6 +92,10 @@ pub struct EngineCfg {
     /// §4.4 lock resolution. The NOOB baseline keeps tentative values in
     /// memory only.
     pub durable_pending: bool,
+    /// Telemetry shape for this engine's [`Telemetry`] bundle
+    /// (histograms of 2PC phase timings, WAL-sync cost, and the
+    /// structured trace ring).
+    pub telemetry: TelemetryCfg,
     /// Break a conflicting lock whose holder has been silent this long.
     /// NICE runs `None`: its deadline + failure-detector machinery (§4.4)
     /// cleans up orphaned locks. The NOOB baseline has neither, so a lock
@@ -411,6 +432,15 @@ pub struct TwoPcEngine {
     client_floors: BTreeMap<Ipv4, u64>,
     counters: Counters,
     last_internal_error: Option<KvError>,
+    /// Telemetry bundle (phase histograms + trace ring).
+    tel: Telemetry,
+    /// Lock time of each live round, for phase-duration histograms.
+    started: BTreeMap<(String, OpId), Time>,
+    /// Latest `now` any transition saw — the timestamp source for the
+    /// transitions that carry no clock (`on_ack2`, `on_commit`,
+    /// `check_commit`). Deterministic: it only ever holds values the
+    /// host clock handed in.
+    clock: Time,
 }
 
 impl TwoPcEngine {
@@ -457,6 +487,9 @@ impl TwoPcEngine {
             client_floors: BTreeMap::new(),
             counters: Counters::default(),
             last_internal_error: None,
+            tel: Telemetry::new(&cfg.telemetry),
+            started: BTreeMap::new(),
+            clock: Time::ZERO,
         };
         e.rebuild_floors();
         e
@@ -480,13 +513,27 @@ impl TwoPcEngine {
     /// Force the WAL before an acknowledgement leaves the node; a
     /// failed sync is an internal error (the ack still goes out — the
     /// protocol must progress — but the node records that it is no
-    /// longer crash-safe).
-    fn wal_barrier(&mut self, key: &str) {
+    /// longer crash-safe). Records the modeled device sync cost into
+    /// the `wal.sync` histogram and — when the barrier belongs to a
+    /// specific round — a [`Phase::WalSync`] trace event.
+    fn wal_barrier(&mut self, key: &str, op: Option<OpId>) {
+        let cost = self.store.sync_cost();
+        self.tel.record("wal.sync", cost);
+        if let Some(op) = op {
+            let at = self.clock;
+            self.tel.event(at, op, Phase::WalSync, cost.as_ns());
+        }
         if !self.store.wal_sync() {
+            self.tel.add("wal.sync_failed", 1);
             self.note_internal(KvError::WalFailed {
                 key: key.to_owned(),
             });
         }
+    }
+
+    /// Advance the engine's view of the host clock (monotone).
+    fn touch(&mut self, now: Time) {
+        self.clock = self.clock.max(now);
     }
 
     /// The local object store (read-only inspection; mutation goes
@@ -510,6 +557,29 @@ impl TwoPcEngine {
     /// adapter owns (`gets_served`, `forwarded`, …).
     pub fn counters_mut(&mut self) -> &mut Counters {
         &mut self.counters
+    }
+
+    /// This engine's telemetry bundle (phase histograms + trace ring).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Mutable telemetry access for the adapter-owned instrumentation
+    /// points (transport retransmits, routing decisions).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.tel
+    }
+
+    /// The metrics snapshot: the live registry plus store/WAL facts
+    /// (appends, syncs, object writes, bytes) folded in as counters so
+    /// per-node snapshots merge into cluster totals by plain addition.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.tel.reg.clone();
+        m.add("wal.appends", self.store.wal().appends());
+        m.add("wal.syncs", self.store.wal().syncs());
+        m.add("store.writes", self.store.writes());
+        m.add("store.bytes_written", self.store.bytes_written());
+        m
     }
 
     /// Most recent internal invariant violation, if any (a correct run
@@ -586,7 +656,10 @@ impl TwoPcEngine {
             let old = p.op;
             self.store.abort(key, old, Time::MAX);
             self.coords.remove(&(key.to_owned(), old));
+            self.started.remove(&(key.to_owned(), old));
             self.counters.puts_aborted += 1;
+            self.tel.add("engine.stale_locks_broken", 1);
+            self.tel.event(now, old, Phase::Abort, 0);
         }
     }
 
@@ -651,7 +724,13 @@ impl TwoPcEngine {
             self.counters.puts_committed += 1;
         }
         self.note_commit_ts(ts);
-        self.wal_barrier(key);
+        self.wal_barrier(key, Some(op));
+        let at = self.clock;
+        if let Some(t0) = self.started.remove(&k) {
+            self.tel
+                .record("engine.lock_to_commit", at.saturating_sub(t0));
+        }
+        self.tel.event(at, op, Phase::Commit, ts.primary_seq);
         fx.push(Effect::Commit {
             key: key.to_owned(),
             op,
@@ -673,7 +752,10 @@ impl TwoPcEngine {
         }
         let (client, replied) = (c.client, c.replied);
         self.coords.remove(&k);
+        self.started.remove(&k);
         if !replied {
+            let at = self.clock;
+            self.tel.event(at, op, Phase::Reply, 1);
             fx.push(Effect::Reply {
                 client,
                 op,
@@ -708,7 +790,13 @@ impl TwoPcEngine {
             let client = c.client;
             // The client-visible ack of the direct path: the local copy
             // it counts on must be on stable storage first.
-            self.wal_barrier(key);
+            self.wal_barrier(key, Some(op));
+            let at = self.clock;
+            if let Some(&t0) = self.started.get(&k) {
+                self.tel
+                    .record("engine.lock_to_commit", at.saturating_sub(t0));
+            }
+            self.tel.event(at, op, Phase::Reply, 1);
             fx.push(Effect::Reply {
                 client,
                 op,
@@ -718,6 +806,7 @@ impl TwoPcEngine {
         if let Some(c) = self.coords.get(&k) {
             if c.acks1.len() >= g.peers.len() {
                 self.coords.remove(&k);
+                self.started.remove(&k);
             }
         }
     }
@@ -752,6 +841,7 @@ impl ReplicationEngine for TwoPcEngine {
         now: Time,
         fx: &mut Vec<Effect>,
     ) -> bool {
+        self.touch(now);
         self.break_stale_lock(key, op, now);
         if !self.store.lock(key, op, value.clone(), now) {
             // Locked by another op: queue behind it.
@@ -759,12 +849,16 @@ impl ReplicationEngine for TwoPcEngine {
             if !q.iter().any(|(o, _)| *o == op) {
                 q.push((op, value));
             }
+            self.tel.add("engine.queued", 1);
+            self.tel.event(now, op, Phase::Queued, 0);
             return false;
         }
         // +L (forced) then W: both on the storage device.
         let size = self.store.pending(key).map_or(0, |p| p.value.size());
         self.store.write_delay(now, 100, true);
         let done = self.store.write_delay(now, size, false);
+        self.started.entry((key.to_owned(), op)).or_insert(now);
+        self.tel.event(now, op, Phase::Lock, u64::from(size));
         fx.push(Effect::WriteDone {
             at: done,
             key: key.to_owned(),
@@ -778,10 +872,14 @@ impl ReplicationEngine for TwoPcEngine {
         // resolve (the coordinator's timestamp decides), but a provably
         // stale holder is broken first so an abandoned attempt cannot
         // wedge the replica.
+        self.touch(now);
         self.break_stale_lock(key, op, now);
         self.store.lock(key, op, value.clone(), now);
         self.store.write_delay(now, 100, true);
         let done = self.store.write_delay(now, value.size(), false);
+        self.started.entry((key.to_owned(), op)).or_insert(now);
+        self.tel
+            .event(now, op, Phase::Lock, u64::from(value.size()));
         fx.push(Effect::WriteDone {
             at: done,
             key: key.to_owned(),
@@ -809,6 +907,12 @@ impl ReplicationEngine for TwoPcEngine {
         now: Time,
         fx: &mut Vec<Effect>,
     ) {
+        self.touch(now);
+        if let Some(&t0) = self.started.get(&(key.to_owned(), op)) {
+            self.tel
+                .record("engine.lock_to_write", now.saturating_sub(t0));
+        }
+        self.tel.event(now, op, Phase::Write, 0);
         let durable = self.cfg.durable_pending;
         match self.store.pending_mut(key) {
             Some(p) if p.op == op => {
@@ -859,7 +963,7 @@ impl ReplicationEngine for TwoPcEngine {
             EngineRole::Peer => {
                 // The ack vouches for the +L lock record: force it down
                 // before telling the coordinator this replica holds it.
-                self.wal_barrier(key);
+                self.wal_barrier(key, Some(op));
                 fx.push(Effect::Ack1 {
                     key: key.to_owned(),
                     op,
@@ -878,6 +982,12 @@ impl ReplicationEngine for TwoPcEngine {
         now: Time,
         fx: &mut Vec<Effect>,
     ) {
+        self.touch(now);
+        if let Some(&t0) = self.started.get(&(key.to_owned(), op)) {
+            self.tel
+                .record("engine.lock_to_ack1", now.saturating_sub(t0));
+        }
+        self.tel.event(now, op, Phase::Ack1, u64::from(from.0));
         let k = (key.to_owned(), op);
         if !self.coords.contains_key(&k) {
             // An ack can outrun the primary's own write completion: a
@@ -911,6 +1021,8 @@ impl ReplicationEngine for TwoPcEngine {
         g: Option<&Group>,
         fx: &mut Vec<Effect>,
     ) {
+        let at = self.clock;
+        self.tel.event(at, op, Phase::Ack2, u64::from(from.0));
         if let Some(c) = self.coords.get_mut(&(key.to_owned(), op)) {
             c.acks2.insert(from);
         }
@@ -934,12 +1046,18 @@ impl ReplicationEngine for TwoPcEngine {
         // Track the failover sequence floor and the per-client settled
         // floor: the timestamp is a globally decided commit.
         self.note_commit_ts(ts);
+        let at = self.clock;
+        if let Some(t0) = self.started.remove(&(key.to_owned(), op)) {
+            self.tel
+                .record("engine.lock_to_commit", at.saturating_sub(t0));
+        }
+        self.tel.event(at, op, Phase::Commit, ts.primary_seq);
         match role {
             EngineRole::Primary(g) => self.check_done(key, op, g, fx),
             EngineRole::Peer => {
                 // The ack vouches for the commit record: force it down
                 // before the coordinator counts this replica committed.
-                self.wal_barrier(key);
+                self.wal_barrier(key, Some(op));
                 fx.push(Effect::Ack2 {
                     key: key.to_owned(),
                     op,
@@ -955,6 +1073,9 @@ impl ReplicationEngine for TwoPcEngine {
         let applied = self.store.abort(key, op, issued);
         if applied {
             self.counters.puts_aborted += 1;
+            self.started.remove(&(key.to_owned(), op));
+            let at = self.clock;
+            self.tel.event(at, op, Phase::Abort, 0);
         }
         self.drain(key, fx);
         applied
@@ -968,12 +1089,16 @@ impl ReplicationEngine for TwoPcEngine {
         now: Time,
         fx: &mut Vec<Effect>,
     ) {
+        self.touch(now);
         let k = (key.to_owned(), op);
         {
             let Some(c) = self.coords.get_mut(&k) else {
                 return; // completed
             };
             c.timeouts += 1;
+            self.tel.add("engine.deadlines", 1);
+            self.tel
+                .event(now, op, Phase::Deadline, u64::from(c.timeouts));
             if c.timeouts < 2 {
                 if let Some(t) = self.cfg.op_timeout {
                     fx.push(Effect::Deadline {
@@ -1006,6 +1131,9 @@ impl ReplicationEngine for TwoPcEngine {
         if !c.committed {
             self.store.abort(key, op, Time::MAX);
             self.counters.puts_aborted += 1;
+            self.started.remove(&(key.to_owned(), op));
+            self.tel.add("engine.deadline_aborts", 1);
+            self.tel.event(now, op, Phase::Abort, 0);
             fx.push(Effect::Abort {
                 key: key.to_owned(),
                 op,
@@ -1031,17 +1159,24 @@ impl ReplicationEngine for TwoPcEngine {
     }
 
     fn apply_copy(&mut self, key: &str, value: Value, ts: Timestamp, now: Time) -> Time {
+        self.touch(now);
         let done = self.store.write_delay(now, value.size(), true);
         self.store.commit_direct(key, value, ts);
         self.note_commit_ts(ts);
         self.counters.puts_committed += 1;
         // A directly applied copy is acked (or served) the moment this
         // returns: force it down now.
-        self.wal_barrier(key);
+        let op = OpId {
+            client: ts.client,
+            client_seq: ts.client_seq,
+        };
+        self.wal_barrier(key, Some(op));
+        self.tel.event(now, op, Phase::Commit, ts.primary_seq);
         done
     }
 
     fn stage_write(&mut self, now: Time, size: u32) -> Time {
+        self.touch(now);
         self.store.write_delay(now, 100, true);
         self.store.write_delay(now, size, false)
     }
@@ -1056,6 +1191,7 @@ impl ReplicationEngine for TwoPcEngine {
     }
 
     fn ingest(&mut self, now: Time, objects: Vec<(String, Value, Timestamp)>) {
+        self.touch(now);
         let total: u32 = objects.iter().map(|(_, v, _)| v.size()).sum();
         self.store.write_delay(now, total, true);
         for (k, v, ts) in objects {
@@ -1068,7 +1204,7 @@ impl ReplicationEngine for TwoPcEngine {
             self.note_commit_ts(ts);
         }
         // One barrier for the whole drained batch.
-        self.wal_barrier("<ingest>");
+        self.wal_barrier("<ingest>", None);
     }
 
     fn forget(&mut self, key: &str) {
@@ -1109,6 +1245,10 @@ impl ReplicationEngine for TwoPcEngine {
         self.store.on_crash();
         self.coords.clear();
         self.waiting.clear();
+        // Rounds die with the process; their phase timers mean nothing
+        // after a restart. The telemetry itself survives like the
+        // counters do — a recovered node keeps its history.
+        self.started.clear();
         // The settled floors are derived state: rebuild them from the
         // committed objects that survived the crash. Keeping stale
         // in-memory floors would let a restarted node answer `ok` for an
@@ -1207,6 +1347,7 @@ mod tests {
             op_timeout: Some(Time::from_ms(500)),
             inline_commit: false,
             durable_pending: true,
+            telemetry: TelemetryCfg::default(),
             stale_lock_ttl: None,
         }
     }
@@ -1217,6 +1358,7 @@ mod tests {
             op_timeout: None,
             inline_commit: true,
             durable_pending: false,
+            telemetry: TelemetryCfg::default(),
             stale_lock_ttl: Some(Time::from_secs(3)),
         }
     }

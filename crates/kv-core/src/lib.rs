@@ -33,7 +33,9 @@ mod engine;
 mod error;
 pub mod explore;
 mod history;
+mod spec;
 mod store;
+mod telemetry;
 mod types;
 mod wal;
 
@@ -51,7 +53,11 @@ pub use explore::{
     Model, Schedule, Visit,
 };
 pub use history::{History, HistoryOp, Outcome, Violation, ViolationKind, MAX_OPS_PER_KEY};
+pub use spec::ClusterSpec;
 pub use store::{Committed, LogEntry, ObjectStore, Pending, StorageCfg};
+pub use telemetry::{
+    LatencyHistogram, MetricsRegistry, Phase, Telemetry, TelemetryCfg, TraceEvent, TraceSink,
+};
 pub use types::{
     NodeIdx, OpId, PartitionId, Timestamp, Value, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,
     DATA_SEND_THRESHOLD, REQ_COST,

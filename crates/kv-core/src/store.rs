@@ -160,6 +160,15 @@ impl ObjectStore {
         self.wal.as_ref()
     }
 
+    /// The modeled cost of one forced sync on this device (the
+    /// `op_latency` of the cost model). Telemetry charges this per WAL
+    /// barrier so the `wal.sync` histogram is identical across hosts —
+    /// the real runtime's actual fsync stalls still surface in the
+    /// wall-clock phase and end-to-end histograms.
+    pub fn sync_cost(&self) -> Time {
+        self.cfg.op_latency
+    }
+
     /// Rebuild store state from recovered WAL `records`, in order,
     /// without re-appending them. Recovered pending locks are marked
     /// `written` — their +L reached stable storage by definition — so

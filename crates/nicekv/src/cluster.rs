@@ -16,192 +16,76 @@ use crate::client::{ClientApp, ClientOp};
 use crate::config::KvConfig;
 use crate::metadata::{MetadataApp, SwitchHandle};
 use crate::server::ServerApp;
-use kv_core::StorageCfg;
+use kv_core::{ClusterSpec, KvClient, MetricsRegistry, Telemetry};
 
-/// Everything needed to build a cluster.
+/// Simulator host-layer configuration — the `SimHostCfg` half of the
+/// layered cluster config ([`ClusterSpec`] + host config + system
+/// config). Shared by the NICE and NOOB simulated deployments; the real
+/// UDP runtime's counterpart is `node_rt::UdpHostCfg`.
 #[derive(Clone)]
-pub struct ClusterCfg {
-    /// Determinism seed.
-    pub seed: u64,
-    /// Storage node count (the paper deploys 15 + 1 mapping node).
-    pub storage_nodes: usize,
-    /// Extra provisioned-but-idle nodes available for admin ring
-    /// reconfiguration (§4.4): they run and heartbeat but start outside
-    /// the ring.
-    pub spare_nodes: usize,
-    /// Deploy a hot-standby metadata replica (§4.1): it shadows the
-    /// active service's state and takes over if it fails.
-    pub metadata_standby: bool,
-    /// Replication level R.
-    pub replication: usize,
-    /// Partition count; defaults to the node count rounded up to a power
-    /// of two (min 16).
-    pub partitions: Option<u32>,
-    /// KV-level knobs (put mode, load balancing, timeouts); ring fields
-    /// are overwritten by the builder.
-    pub kv: KvConfig,
-    /// Storage device model.
-    pub storage: StorageCfg,
+pub struct SimHostCfg {
     /// Link configuration (rate applies to every host).
     pub link: ChannelCfg,
     /// Switch parameters.
     pub switch: SwitchCfg,
     /// When clients start issuing operations (rules must be in place).
     pub client_start: Time,
-    /// The operation list of each client (one entry per client host).
-    pub client_ops: Vec<Vec<ClientOp>>,
-    /// Clients retry NotFound gets with a short backoff (hot-object
-    /// benchmarks where readers race the first write).
-    pub retry_not_found: bool,
     /// Deterministic fault plan, applied at the simulator's packet
     /// delivery choke point. Outage indices address storage nodes.
     pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for SimHostCfg {
+    fn default() -> SimHostCfg {
+        SimHostCfg {
+            link: ChannelCfg::gigabit(),
+            switch: SwitchCfg::default(),
+            client_start: Time::from_ms(50),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Everything needed to build a NICE cluster, in the workspace's layered
+/// config shape: the system-agnostic [`ClusterSpec`], the simulator's
+/// [`SimHostCfg`], and NICE's own [`KvConfig`]. An A/B experiment against
+/// NOOB hands the *same* finished `ClusterCfg` to
+/// `NoobClusterCfg::from_nice`, so the two systems differ only in the
+/// access mechanism and consistency mode.
+#[derive(Clone)]
+pub struct ClusterCfg {
+    /// System-agnostic deployment shape (nodes, replication, storage,
+    /// retry/deadline behaviour, telemetry).
+    pub spec: ClusterSpec,
+    /// Simulator host layer (links, switch, fault plan, client start).
+    pub host: SimHostCfg,
+    /// Deploy a hot-standby metadata replica (§4.1): it shadows the
+    /// active service's state and takes over if it fails.
+    pub metadata_standby: bool,
+    /// KV-level knobs (put mode, load balancing, timeouts); ring fields
+    /// are overwritten at build time from `spec`.
+    pub kv: KvConfig,
+    /// The operation list of each client (one entry per client host).
+    pub client_ops: Vec<Vec<ClientOp>>,
 }
 
 impl ClusterCfg {
     /// The paper's deployment shape: `storage_nodes` servers, replication
     /// `r`, and the given per-client op lists.
     pub fn new(storage_nodes: usize, r: usize, client_ops: Vec<Vec<ClientOp>>) -> ClusterCfg {
+        ClusterCfg::from_spec(ClusterSpec::new(storage_nodes, r), client_ops)
+    }
+
+    /// A cluster from an explicit [`ClusterSpec`] (the entry point for
+    /// A/B experiments that feed the same spec to both systems).
+    pub fn from_spec(spec: ClusterSpec, client_ops: Vec<Vec<ClientOp>>) -> ClusterCfg {
         ClusterCfg {
-            seed: 42,
-            storage_nodes,
-            spare_nodes: 0,
+            kv: KvConfig::new(spec.partition_count(), spec.replication),
+            spec,
+            host: SimHostCfg::default(),
             metadata_standby: false,
-            replication: r,
-            partitions: None,
-            kv: KvConfig::new(16, r),
-            storage: StorageCfg::default(),
-            link: ChannelCfg::gigabit(),
-            switch: SwitchCfg::default(),
-            client_start: Time::from_ms(50),
             client_ops,
-            retry_not_found: false,
-            fault_plan: None,
         }
-    }
-}
-
-/// Fluent cluster construction — the one setup API the NICE and NOOB
-/// harnesses share. NICE callers finish with [`ClusterBuilder::build`];
-/// NOOB callers hand the same builder to `NoobClusterCfg::from_builder`,
-/// so an A/B experiment configures both systems identically and differs
-/// only in access mechanism:
-///
-/// ```
-/// use nice_kv::ClusterBuilder;
-/// let c = ClusterBuilder::new().nodes(5).replication(3).build();
-/// assert_eq!(c.servers.len(), 5);
-/// ```
-#[derive(Clone)]
-pub struct ClusterBuilder {
-    cfg: ClusterCfg,
-}
-
-impl Default for ClusterBuilder {
-    fn default() -> ClusterBuilder {
-        ClusterBuilder::new()
-    }
-}
-
-impl ClusterBuilder {
-    /// The default deployment shape: 8 storage nodes, R = 3, no clients.
-    pub fn new() -> ClusterBuilder {
-        ClusterBuilder {
-            cfg: ClusterCfg::new(8, 3, Vec::new()),
-        }
-    }
-
-    /// Storage node count.
-    pub fn nodes(mut self, n: usize) -> ClusterBuilder {
-        self.cfg.storage_nodes = n;
-        self
-    }
-
-    /// Provisioned-but-idle spare nodes (§4.4 ring reconfiguration).
-    pub fn spares(mut self, n: usize) -> ClusterBuilder {
-        self.cfg.spare_nodes = n;
-        self
-    }
-
-    /// Replication level R.
-    pub fn replication(mut self, r: usize) -> ClusterBuilder {
-        self.cfg.replication = r;
-        self.cfg.kv.replication = r;
-        self
-    }
-
-    /// Determinism seed.
-    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
-        self.cfg.seed = seed;
-        self
-    }
-
-    /// Partition count override (default: nodes rounded up to a power of
-    /// two, min 16).
-    pub fn partitions(mut self, parts: u32) -> ClusterBuilder {
-        self.cfg.partitions = Some(parts);
-        self
-    }
-
-    /// Deploy a hot-standby metadata replica (§4.1).
-    pub fn metadata_standby(mut self) -> ClusterBuilder {
-        self.cfg.metadata_standby = true;
-        self
-    }
-
-    /// Inject faults from `plan`: loss, duplication, extra delay,
-    /// partitions, and node outages, all applied deterministically at the
-    /// packet-delivery choke point. Outage indices address storage nodes.
-    pub fn fault_plan(mut self, plan: FaultPlan) -> ClusterBuilder {
-        self.cfg.fault_plan = Some(plan);
-        self
-    }
-
-    /// Adjust KV-level knobs in place (timeouts, put mode, LB).
-    pub fn kv(mut self, f: impl FnOnce(&mut KvConfig)) -> ClusterBuilder {
-        f(&mut self.cfg.kv);
-        self
-    }
-
-    /// Storage device model.
-    pub fn storage(mut self, storage: StorageCfg) -> ClusterBuilder {
-        self.cfg.storage = storage;
-        self
-    }
-
-    /// When clients start issuing operations.
-    pub fn client_start(mut self, at: Time) -> ClusterBuilder {
-        self.cfg.client_start = at;
-        self
-    }
-
-    /// Replace the per-client op lists (one entry per client host).
-    pub fn clients(mut self, ops: Vec<Vec<ClientOp>>) -> ClusterBuilder {
-        self.cfg.client_ops = ops;
-        self
-    }
-
-    /// Append one more client running `ops`.
-    pub fn client(mut self, ops: Vec<ClientOp>) -> ClusterBuilder {
-        self.cfg.client_ops.push(ops);
-        self
-    }
-
-    /// Retry NotFound gets with a short backoff.
-    pub fn retry_not_found(mut self) -> ClusterBuilder {
-        self.cfg.retry_not_found = true;
-        self
-    }
-
-    /// The assembled configuration (NOOB conversion, or field-level
-    /// tweaks the fluent surface does not cover).
-    pub fn into_cfg(self) -> ClusterCfg {
-        self.cfg
-    }
-
-    /// Build and wire the NICE deployment.
-    pub fn build(self) -> NiceCluster {
-        NiceCluster::build(self.cfg)
     }
 }
 
@@ -234,33 +118,36 @@ pub struct NiceCluster {
 impl NiceCluster {
     /// Build and wire a cluster.
     pub fn build(cfg: ClusterCfg) -> NiceCluster {
-        let parts = cfg
-            .partitions
-            .unwrap_or_else(|| (cfg.storage_nodes.next_power_of_two() as u32).max(16));
+        let spec = cfg.spec;
+        let parts = spec.partition_count();
         let mut kv = cfg.kv;
         kv.partitions = parts;
-        kv.replication = cfg.replication;
+        kv.replication = spec.replication;
         kv.unicast = nice_ring::VRing::unicast(parts);
         kv.multicast = nice_ring::VRing::multicast(parts);
+        kv.telemetry = spec.telemetry;
 
-        let mut sim = Simulation::new(cfg.seed);
+        let mut sim = Simulation::new(spec.seed);
         let table = Rc::new(RefCell::new(FlowTable::new()));
-        let switch = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), cfg.switch);
+        let switch = sim.add_switch(
+            Box::new(FlowSwitch::new(Rc::clone(&table))),
+            cfg.host.switch,
+        );
 
         let meta_ip = Ipv4::new(10, 0, 0, 1);
         let meta_mac = Mac(0x100);
         let mut ports: BTreeMap<Ipv4, nice_sim::Port> = BTreeMap::new();
 
         // Storage nodes (including spares, which start outside the ring).
-        let total_nodes = cfg.storage_nodes + cfg.spare_nodes;
+        let total_nodes = spec.nodes + spec.spares;
         let mut servers = Vec::new();
         let mut server_ips = Vec::new();
         for i in 0..total_nodes {
             let ip = Ipv4::new(10, 0, 0, 10 + i as u8);
             let mac = Mac(0x200 + i as u64);
-            let app = ServerApp::new(kv, NodeIdx(i as u32), meta_ip, cfg.storage);
+            let app = ServerApp::new(kv, NodeIdx(i as u32), meta_ip, spec.storage);
             let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             ports.insert(ip, port);
             servers.push(h);
             server_ips.push(ip);
@@ -269,7 +156,7 @@ impl NiceCluster {
         // Clients: addresses inside kv.client_space, spread so that
         // consecutive clients land in *different* LB divisions (§4.5) —
         // client j sits in division j mod D.
-        let divisions = (cfg.replication as u32).next_power_of_two().min(16);
+        let divisions = (spec.replication as u32).next_power_of_two().min(16);
         let space_size = 1u32 << (32 - kv.client_space.1);
         let stride = space_size / divisions;
         let mut clients = Vec::new();
@@ -279,11 +166,16 @@ impl NiceCluster {
             let ip =
                 Ipv4(kv.client_space.0 .0 + (j32 % divisions) * stride + (j32 / divisions) + 1);
             let mac = Mac(0x300 + j as u64);
-            let start = cfg.client_start + Time::from_us(97) * j as u64;
+            let start = cfg.host.client_start + Time::from_us(97) * j as u64;
             let mut app = ClientApp::new(kv, ops.clone(), start);
-            app.retry_not_found = cfg.retry_not_found;
+            app.retry_not_found = spec.retry_not_found;
+            if let Some(retry) = spec.retry {
+                app.retry = retry;
+            }
+            app.op_deadline = spec.op_deadline;
+            app.tel = Telemetry::new(&spec.telemetry);
             let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             ports.insert(ip, port);
             clients.push(h);
             client_ips.push(ip);
@@ -313,8 +205,8 @@ impl NiceCluster {
         // The metadata service + controller.
         let ring = PhysicalRing::new(
             parts,
-            (0..cfg.storage_nodes as u32).map(NodeIdx).collect(),
-            cfg.replication,
+            (0..spec.nodes as u32).map(NodeIdx).collect(),
+            spec.replication,
         );
         let node_addrs: Vec<(Ipv4, Mac)> = server_ips
             .iter()
@@ -324,7 +216,7 @@ impl NiceCluster {
         let handle = SwitchHandle {
             id: switch,
             table: Rc::clone(&table),
-            ctrl_latency: cfg.switch.ctrl_latency,
+            ctrl_latency: cfg.host.switch.ctrl_latency,
             ports: ports.clone(),
         };
         let standby_ip = Ipv4::new(10, 0, 0, 2);
@@ -339,7 +231,7 @@ impl NiceCluster {
             meta_app = meta_app.with_standby(standby_ip);
         }
         let meta = sim.add_host(Box::new(meta_app), HostCfg::new(meta_ip, meta_mac));
-        let meta_port = sim.connect_asym(meta, switch, cfg.link.host_uplink(), cfg.link);
+        let meta_port = sim.connect_asym(meta, switch, cfg.host.link.host_uplink(), cfg.host.link);
         table.borrow_mut().install(
             FlowRule::new(
                 prio::PHYS,
@@ -355,14 +247,14 @@ impl NiceCluster {
             let handle = SwitchHandle {
                 id: switch,
                 table: Rc::clone(&table),
-                ctrl_latency: cfg.switch.ctrl_latency,
+                ctrl_latency: cfg.host.switch.ctrl_latency,
                 ports,
             };
             let app =
                 MetadataApp::new(kv, ring.clone(), node_addrs, vec![handle], L3Learner::new())
                     .into_standby(meta_ip);
             let h = sim.add_host(Box::new(app), HostCfg::new(standby_ip, standby_mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             table.borrow_mut().install(
                 FlowRule::new(
                     prio::PHYS,
@@ -378,7 +270,7 @@ impl NiceCluster {
 
         // Fault injection: one plan at the delivery choke point; outage
         // indices map onto the storage-node slice.
-        if let Some(plan) = cfg.fault_plan {
+        if let Some(plan) = cfg.host.fault_plan {
             sim.install_fault_plan(plan, &servers);
         }
 
@@ -451,6 +343,22 @@ impl NiceCluster {
         self.sim.app_mut::<MetadataApp>(self.meta).queue_admin(op);
     }
 
+    /// Cluster-wide telemetry snapshot: every server's registry (engine
+    /// counters, WAL/store totals, transport repair stats, phase
+    /// histograms) merged with every client's (end-to-end latency,
+    /// retries). Deterministic under a fixed seed — the simulator clock
+    /// feeds every instrumentation point.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::default();
+        for i in 0..self.servers.len() {
+            m.merge(&self.server(i).metrics());
+        }
+        for i in 0..self.clients.len() {
+            m.merge(&self.client(i).metrics());
+        }
+        m
+    }
+
     /// Generate `count` distinct keys that all hash into partition `p` —
     /// how experiments pin "all objects in the same partition" (§6.6).
     pub fn keys_in_partition(&self, p: PartitionId, count: usize) -> Vec<String> {
@@ -484,14 +392,11 @@ mod tests {
     }
 
     #[test]
-    fn fluent_builder_matches_cfg_and_installs_faults() {
-        let c = ClusterBuilder::new()
-            .nodes(6)
-            .replication(3)
-            .seed(7)
-            .client(vec![])
-            .fault_plan(FaultPlan::new(7).loss(0.5))
-            .build();
+    fn layered_cfg_matches_spec_and_installs_faults() {
+        let mut cfg = ClusterCfg::new(6, 3, vec![vec![]]);
+        cfg.spec.seed = 7;
+        cfg.host.fault_plan = Some(FaultPlan::new(7).loss(0.5));
+        let c = NiceCluster::build(cfg);
         assert_eq!(c.servers.len(), 6);
         assert_eq!(c.clients.len(), 1);
         assert!(

@@ -1,7 +1,7 @@
 //! System-wide configuration shared by clients, storage nodes, and the
 //! metadata service.
 
-use kv_core::RetryPolicy;
+use kv_core::{RetryPolicy, TelemetryCfg};
 use nice_ring::VRing;
 use node_rt::{Ipv4, Time};
 
@@ -73,6 +73,8 @@ pub struct KvConfig {
     pub adaptive_lb: bool,
     /// The client source-address space the load balancer divides.
     pub client_space: (Ipv4, u8),
+    /// Telemetry configuration handed to every server engine.
+    pub telemetry: TelemetryCfg,
 }
 
 impl KvConfig {
@@ -94,6 +96,7 @@ impl KvConfig {
             load_balancing: true,
             adaptive_lb: false,
             client_space: (Ipv4::new(10, 0, 1, 0), 24),
+            telemetry: TelemetryCfg::default(),
         }
     }
 

@@ -33,9 +33,10 @@ pub mod msg;
 pub mod server;
 
 pub use client::{ClientApp, ClientOp, OpRecord};
-pub use cluster::{ClusterBuilder, ClusterCfg, NiceCluster};
+pub use cluster::{ClusterCfg, NiceCluster, SimHostCfg};
 pub use config::{KvConfig, PutMode, RetryBackoff};
-pub use kv_core::{Counters, KvClient, KvError, ObjectStore, StorageCfg};
+pub use kv_core::ClusterSpec;
+pub use kv_core::{Counters, KvClient, KvError, MetricsRegistry, ObjectStore, StorageCfg};
 pub use metadata::{AdminOp, MetaEvent, MetaRole, MetadataApp, SwitchHandle};
 pub use msg::{HandoffRecord, NodeState};
 pub use msg::{KvMsg, LoadStats, OpId, PartitionView, Role, Timestamp, Value};

@@ -25,9 +25,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use kv_core::{
-    Counters, Effect, EngineCfg, EngineRole, Group, KvError, LockResolution, ObjectStore,
-    ReplicationEngine, StorageCfg, TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST,
-    DATA_SEND_THRESHOLD, REQ_COST,
+    Counters, Effect, EngineCfg, EngineRole, Group, KvError, LockResolution, MetricsRegistry,
+    ObjectStore, ReplicationEngine, StorageCfg, TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES,
+    DATA_SEND_COST, DATA_SEND_THRESHOLD, REQ_COST,
 };
 use nice_ring::{hash_str, NodeIdx, PartitionId};
 use nice_transport::{Msg, Transport, TransportEvent, TRANSPORT_TICK};
@@ -97,6 +97,7 @@ impl ServerApp {
                 op_timeout: Some(cfg.op_timeout),
                 inline_commit: false,
                 durable_pending: true,
+                telemetry: cfg.telemetry,
                 // No TTL: the §4.4 deadline machinery plus the stale-lock
                 // sweep clean up orphaned locks.
                 stale_lock_ttl: None,
@@ -138,6 +139,21 @@ impl ServerApp {
     /// Observable counters.
     pub fn counters(&self) -> Counters {
         self.engine.counters()
+    }
+
+    /// The node's full metrics snapshot: engine phase histograms and
+    /// WAL facts, protocol counters under `engine.*`, and transport
+    /// reliability effort under `transport.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.engine.metrics();
+        self.engine.counters().fold_into(&mut m);
+        let tp = self.tp.stats();
+        m.add("transport.probes", tp.probes);
+        m.add("transport.nacks_sent", tp.nacks_sent);
+        m.add("transport.nacks_received", tp.nacks_received);
+        m.add("transport.repairs", tp.repairs);
+        m.add("transport.syn_retries", tp.syn_retries);
+        m
     }
 
     /// Current partition views (inspection).

@@ -166,7 +166,7 @@ fn load_balancing_spreads_gets_across_replicas() {
     cfg.kv.load_balancing = true;
     // Clients must start after the seed put; stagger via op dependency:
     // run the seeding client first by giving the getters a later start.
-    cfg.client_start = Time::from_ms(50);
+    cfg.host.client_start = Time::from_ms(50);
     let mut c = NiceCluster::build(cfg);
     // Let the seed put land before the readers start hammering: client 0
     // starts first (staggered starts), and retries cover the rest.
@@ -270,7 +270,7 @@ fn secondary_failure_handoff_and_recovery() {
     cfg.kv.hb_interval = Time::from_ms(100); // speed the test up
     cfg.kv.op_timeout = Time::from_ms(100);
     cfg.kv.client_retry = Time::from_ms(400);
-    cfg.client_start = Time::from_ms(100);
+    cfg.host.client_start = Time::from_ms(100);
     let mut c = NiceCluster::build(cfg);
 
     // Crash before the workload starts so the failure window overlaps it.
@@ -396,7 +396,7 @@ fn primary_failure_promotes_secondary_and_work_continues() {
     cfg.kv.hb_interval = Time::from_ms(100);
     cfg.kv.op_timeout = Time::from_ms(100);
     cfg.kv.client_retry = Time::from_ms(400);
-    cfg.client_start = Time::from_ms(100);
+    cfg.host.client_start = Time::from_ms(100);
     let mut c = NiceCluster::build(cfg);
 
     // Crash the primary before the first put lands.
@@ -438,7 +438,7 @@ fn writes_during_failure_reach_rejoined_node() {
     cfg.kv.hb_interval = Time::from_ms(100);
     cfg.kv.op_timeout = Time::from_ms(100);
     cfg.kv.client_retry = Time::from_ms(300);
-    cfg.client_start = Time::from_secs(2); // after failure handling settles
+    cfg.host.client_start = Time::from_secs(2); // after failure handling settles
     let mut c = NiceCluster::build(cfg);
     c.sim
         .schedule_crash(Time::from_ms(200), c.servers[victim as usize]);
@@ -465,7 +465,7 @@ fn flow_table_occupancy_matches_section_4_6() {
     // table since divisions round up to powers of two).
     let mut cfg = ClusterCfg::new(8, 3, vec![]);
     cfg.kv.load_balancing = false;
-    cfg.partitions = Some(16);
+    cfg.spec.partitions = Some(16);
     let mut c = NiceCluster::build(cfg);
     c.sim.run_for(Time::from_ms(100));
     let (entries, groups) = c.meta_app().table_occupancy(c.sim.now());
@@ -509,7 +509,7 @@ fn adaptive_lb_rebalances_skewed_divisions() {
         cfg.kv.hb_interval = Time::from_ms(100);
         cfg.kv.load_balancing = true;
         cfg.kv.adaptive_lb = adaptive;
-        cfg.retry_not_found = true;
+        cfg.spec.retry_not_found = true;
         let mut c = NiceCluster::build(cfg);
         assert!(
             c.run_until_done(Time::from_secs(120)),

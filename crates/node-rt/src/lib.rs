@@ -38,5 +38,5 @@ pub use io::{NodeApp, NodeIo};
 pub use nemesis::{FaultPlan, FaultStats, NemesisUdp, PartitionWindow, Verdict};
 pub use net::{ArpOp, Ipv4, Mac, Packet, Payload, Proto, ARP_WIRE_SIZE, HDR_TCP, HDR_UDP, MTU};
 pub use nice_workload::{Rng, XorShiftRng};
-pub use runtime::{RuntimeBuilder, UdpRuntime};
+pub use runtime::{NodeSpec, RuntimeCfg, UdpHostCfg, UdpRuntime};
 pub use time::Time;

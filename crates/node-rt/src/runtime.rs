@@ -10,13 +10,18 @@
 //!
 //! Scope (DESIGN.md § Runtimes): this host serves NOOB's gateway routing
 //! and NICE's *direct* (non-SDN) routing. Virtual addresses are resolved
-//! sender-side from a static route table ([`RuntimeBuilder::alias`] for
-//! unicast vnode subgroups, [`RuntimeBuilder::group`] for multicast
+//! sender-side from a static route table ([`RuntimeCfg::aliases`] for
+//! unicast vnode subgroups, [`RuntimeCfg::groups`] for multicast
 //! fan-out); the in-switch anycast/failover path needs a programmable
 //! switch and stays sim-only.
+//!
+//! Booting is config-driven: describe the host layer with a
+//! [`RuntimeCfg`] (+ [`UdpHostCfg`]), list the nodes as [`NodeSpec`]s,
+//! and call [`UdpRuntime::spawn`].
 
 use std::collections::{BTreeMap, BinaryHeap};
 use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -69,124 +74,70 @@ struct Routes {
     groups: BTreeMap<Ipv4, Vec<(Ipv4, SocketAddr)>>,
 }
 
-/// Declarative cluster description; [`RuntimeBuilder::spawn`] boots it.
-pub struct RuntimeBuilder {
-    seed: u64,
-    codec: Arc<dyn WireCodec>,
-    nodes: Vec<(Ipv4, AppFactory)>,
-    aliases: Vec<(Ipv4, Ipv4)>,
-    groups: Vec<(Ipv4, Vec<Ipv4>)>,
-    nemesis: Option<Arc<FaultPlan>>,
+/// Host-layer knobs of the real UDP runtime — the `UdpHostCfg` half of
+/// the layered cluster configuration (`ClusterSpec` + host config +
+/// system config). The simulator's counterpart is `SimHostCfg`.
+#[derive(Clone, Default)]
+pub struct UdpHostCfg {
+    /// Root directory for durable per-node state. The runtime does not
+    /// interpret it; cluster adapters pass it into their app factories
+    /// (e.g. a file WAL under `<wal_root>/node-<i>.wal`). `None` =
+    /// memory-only nodes.
+    pub wal_root: Option<PathBuf>,
+    /// Seeded socket-level fault injection applied to every send (loss,
+    /// duplication, delay, partitions). `None` = clean loopback.
+    pub nemesis: Option<FaultPlan>,
 }
 
-impl RuntimeBuilder {
+/// Host-layer configuration for a threaded UDP cluster;
+/// [`UdpRuntime::spawn`] boots it against a list of [`NodeSpec`]s.
+pub struct RuntimeCfg {
+    /// Determinism seed; each node derives its RNG stream from it.
+    pub seed: u64,
+    /// Wire codec every node frames packets with.
+    pub codec: Arc<dyn WireCodec>,
+    /// Host-specific knobs (durable state root, socket nemesis).
+    pub host: UdpHostCfg,
+    /// Extra unicast routes `(addr, node)` — e.g. a vnode subgroup
+    /// address resolved sender-side, the real-runtime stand-in for a
+    /// switch rewrite rule.
+    pub aliases: Vec<(Ipv4, Ipv4)>,
+    /// Multicast groups `(addr, members)`: a packet sent to `addr` fans
+    /// out to every member (sender-side replication, standing in for
+    /// in-switch multicast).
+    pub groups: Vec<(Ipv4, Vec<Ipv4>)>,
+}
+
+impl RuntimeCfg {
     /// A cluster using `codec` for the wire, deterministically seeded
-    /// per node from `seed`.
-    pub fn new(seed: u64, codec: Arc<dyn WireCodec>) -> RuntimeBuilder {
-        RuntimeBuilder {
+    /// per node from `seed`, with a clean default host layer.
+    pub fn new(seed: u64, codec: Arc<dyn WireCodec>) -> RuntimeCfg {
+        RuntimeCfg {
             seed,
             codec,
-            nodes: Vec::new(),
+            host: UdpHostCfg::default(),
             aliases: Vec::new(),
             groups: Vec::new(),
-            nemesis: None,
         }
     }
+}
 
-    /// Add a node with logical address `ip`; `factory` builds its app
-    /// inside the node thread — and rebuilds it there on
-    /// [`UdpRuntime::restart`].
-    pub fn node(
-        &mut self,
-        ip: Ipv4,
-        factory: impl Fn() -> Box<dyn NodeApp> + Send + 'static,
-    ) -> &mut RuntimeBuilder {
-        self.nodes.push((ip, Box::new(factory)));
-        self
-    }
+/// One node of a threaded cluster: a logical address plus the factory
+/// that builds (and on [`UdpRuntime::restart`], rebuilds) its app
+/// inside the node thread.
+pub struct NodeSpec {
+    ip: Ipv4,
+    factory: AppFactory,
+}
 
-    /// Inject faults on every send according to `plan` (see
-    /// [`FaultPlan`]); without this call the sockets are clean.
-    pub fn nemesis(&mut self, plan: FaultPlan) -> &mut RuntimeBuilder {
-        self.nemesis = Some(Arc::new(plan));
-        self
-    }
-
-    /// Route the extra address `addr` (e.g. a unicast vnode subgroup
-    /// address) to `node` — the real-runtime stand-in for a switch
-    /// rewrite rule.
-    pub fn alias(&mut self, addr: Ipv4, node: Ipv4) -> &mut RuntimeBuilder {
-        self.aliases.push((addr, node));
-        self
-    }
-
-    /// Register a multicast group: a packet sent to `addr` is fanned out
-    /// to every member (sender-side replication, standing in for
-    /// in-switch multicast).
-    pub fn group(&mut self, addr: Ipv4, members: Vec<Ipv4>) -> &mut RuntimeBuilder {
-        self.groups.push((addr, members));
-        self
-    }
-
-    /// Bind every socket, build the route table, and start one event
-    /// loop thread per node. Apps receive `on_start` inside their
-    /// threads before the first packet.
-    ///
-    /// # Panics
-    /// If a loopback socket cannot be bound or an alias/group references
-    /// an unknown node.
-    pub fn spawn(self) -> UdpRuntime {
-        let epoch = Instant::now();
-        let mut bound: Vec<(Ipv4, UdpSocket, AppFactory)> = Vec::new();
-        let mut unicast: BTreeMap<Ipv4, SocketAddr> = BTreeMap::new();
-        for (ip, factory) in self.nodes {
-            let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback UDP socket");
-            let addr = socket.local_addr().expect("bound socket has an address");
-            unicast.insert(ip, addr);
-            bound.push((ip, socket, factory));
+impl NodeSpec {
+    /// A node with logical address `ip` hosting the app `factory`
+    /// builds.
+    pub fn new(ip: Ipv4, factory: impl Fn() -> Box<dyn NodeApp> + Send + 'static) -> NodeSpec {
+        NodeSpec {
+            ip,
+            factory: Box::new(factory),
         }
-        for (alias, node) in self.aliases {
-            let addr = *unicast.get(&node).expect("alias target must be a node");
-            unicast.insert(alias, addr);
-        }
-        let mut groups: BTreeMap<Ipv4, Vec<(Ipv4, SocketAddr)>> = BTreeMap::new();
-        for (addr, members) in self.groups {
-            let fan: Vec<(Ipv4, SocketAddr)> = members
-                .iter()
-                .map(|m| (*m, *unicast.get(m).expect("group member must be a node")))
-                .collect();
-            groups.insert(addr, fan);
-        }
-        let routes = Arc::new(Routes { unicast, groups });
-        let stats = Arc::new(FaultStats::default());
-
-        let mut nodes = BTreeMap::new();
-        for (i, (ip, socket, factory)) in bound.into_iter().enumerate() {
-            let (ctl_tx, ctl_rx) = mpsc::channel();
-            let io = HostIo {
-                ip,
-                mac: Mac(0x1000 + i as u64),
-                socket: NemesisUdp::new(socket, self.nemesis.clone(), Arc::clone(&stats)),
-                routes: Arc::clone(&routes),
-                codec: Arc::clone(&self.codec),
-                epoch,
-                rng: XorShiftRng::seed_from_u64(node_seed(self.seed, ip)),
-                timers: BinaryHeap::new(),
-                timer_seq: 0,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("node-{ip}"))
-                .spawn(move || run_node(io, factory, &ctl_rx))
-                .expect("spawn node thread");
-            nodes.insert(
-                ip,
-                NodeHandle {
-                    ctl: ctl_tx,
-                    join: Some(handle),
-                },
-            );
-        }
-        UdpRuntime { nodes, stats }
     }
 }
 
@@ -208,6 +159,68 @@ pub struct UdpRuntime {
 }
 
 impl UdpRuntime {
+    /// Bind every socket, build the route table, and start one event
+    /// loop thread per node. Apps receive `on_start` inside their
+    /// threads before the first packet.
+    ///
+    /// # Panics
+    /// If a loopback socket cannot be bound or an alias/group references
+    /// an unknown node.
+    pub fn spawn(cfg: RuntimeCfg, specs: Vec<NodeSpec>) -> UdpRuntime {
+        let epoch = Instant::now();
+        let nemesis = cfg.host.nemesis.map(Arc::new);
+        let mut bound: Vec<(Ipv4, UdpSocket, AppFactory)> = Vec::new();
+        let mut unicast: BTreeMap<Ipv4, SocketAddr> = BTreeMap::new();
+        for spec in specs {
+            let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback UDP socket");
+            let addr = socket.local_addr().expect("bound socket has an address");
+            unicast.insert(spec.ip, addr);
+            bound.push((spec.ip, socket, spec.factory));
+        }
+        for (alias, node) in cfg.aliases {
+            let addr = *unicast.get(&node).expect("alias target must be a node");
+            unicast.insert(alias, addr);
+        }
+        let mut groups: BTreeMap<Ipv4, Vec<(Ipv4, SocketAddr)>> = BTreeMap::new();
+        for (addr, members) in cfg.groups {
+            let fan: Vec<(Ipv4, SocketAddr)> = members
+                .iter()
+                .map(|m| (*m, *unicast.get(m).expect("group member must be a node")))
+                .collect();
+            groups.insert(addr, fan);
+        }
+        let routes = Arc::new(Routes { unicast, groups });
+        let stats = Arc::new(FaultStats::default());
+
+        let mut nodes = BTreeMap::new();
+        for (i, (ip, socket, factory)) in bound.into_iter().enumerate() {
+            let (ctl_tx, ctl_rx) = mpsc::channel();
+            let io = HostIo {
+                ip,
+                mac: Mac(0x1000 + i as u64),
+                socket: NemesisUdp::new(socket, nemesis.clone(), Arc::clone(&stats)),
+                routes: Arc::clone(&routes),
+                codec: Arc::clone(&cfg.codec),
+                epoch,
+                rng: XorShiftRng::seed_from_u64(node_seed(cfg.seed, ip)),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("node-{ip}"))
+                .spawn(move || run_node(io, factory, &ctl_rx))
+                .expect("spawn node thread");
+            nodes.insert(
+                ip,
+                NodeHandle {
+                    ctl: ctl_tx,
+                    join: Some(handle),
+                },
+            );
+        }
+        UdpRuntime { nodes, stats }
+    }
+
     /// The logical addresses of all nodes ever spawned.
     pub fn node_addrs(&self) -> Vec<Ipv4> {
         self.nodes.keys().copied().collect()
@@ -584,15 +597,18 @@ mod tests {
     fn packets_flow_between_node_threads() {
         let a = Ipv4::new(10, 0, 0, 1);
         let b = Ipv4::new(10, 0, 0, 2);
-        let mut rb = RuntimeBuilder::new(1, Arc::new(U64Codec));
-        rb.node(a, || Box::new(Echo));
-        rb.node(b, move || {
-            Box::new(Pinger {
-                peer: a,
-                got: vec![],
-            })
-        });
-        let rt = rb.spawn();
+        let rt = UdpRuntime::spawn(
+            RuntimeCfg::new(1, Arc::new(U64Codec)),
+            vec![
+                NodeSpec::new(a, || Box::new(Echo)),
+                NodeSpec::new(b, move || {
+                    Box::new(Pinger {
+                        peer: a,
+                        got: vec![],
+                    })
+                }),
+            ],
+        );
         wait_until(|| {
             rt.with(b, |app| {
                 let any: &mut dyn Any = app;
@@ -632,13 +648,14 @@ mod tests {
                 io.send(Packet::udp(me, mac, self.group, 1, 1, 8, Rc::new(5u64)));
             }
         }
-        let mut rb = RuntimeBuilder::new(2, Arc::new(U64Codec));
-        for m in members {
-            rb.node(m, || Box::new(Collect { got: vec![] }));
-        }
-        rb.node(sender, move || Box::new(SendOnce { group }));
-        rb.group(group, members.to_vec());
-        let rt = rb.spawn();
+        let mut cfg = RuntimeCfg::new(2, Arc::new(U64Codec));
+        cfg.groups.push((group, members.to_vec()));
+        let mut specs: Vec<NodeSpec> = members
+            .iter()
+            .map(|&m| NodeSpec::new(m, || Box::new(Collect { got: vec![] })))
+            .collect();
+        specs.push(NodeSpec::new(sender, move || Box::new(SendOnce { group })));
+        let rt = UdpRuntime::spawn(cfg, specs);
         for m in members {
             wait_until(|| {
                 rt.with(m, |app| {
@@ -653,9 +670,10 @@ mod tests {
     #[test]
     fn timers_and_deferred_work_fire_in_order() {
         let a = Ipv4::new(10, 0, 0, 1);
-        let mut rb = RuntimeBuilder::new(3, Arc::new(U64Codec));
-        rb.node(a, || Box::new(Ticker { fired: vec![] }));
-        let rt = rb.spawn();
+        let rt = UdpRuntime::spawn(
+            RuntimeCfg::new(3, Arc::new(U64Codec)),
+            vec![NodeSpec::new(a, || Box::new(Ticker { fired: vec![] }))],
+        );
         wait_until(|| {
             rt.with(a, |app| {
                 let any: &mut dyn Any = app;
@@ -690,15 +708,18 @@ mod tests {
         }
         let crashes = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let crashes_in_app = Arc::clone(&crashes);
-        let mut rb = RuntimeBuilder::new(5, Arc::new(U64Codec));
-        rb.node(a, move || {
-            Box::new(Reborn {
-                restarted: false,
-                crashes_seen: Arc::clone(&crashes_in_app),
-            })
-        });
-        rb.node(b, || Box::new(Echo));
-        let rt = rb.spawn();
+        let rt = UdpRuntime::spawn(
+            RuntimeCfg::new(5, Arc::new(U64Codec)),
+            vec![
+                NodeSpec::new(a, move || {
+                    Box::new(Reborn {
+                        restarted: false,
+                        crashes_seen: Arc::clone(&crashes_in_app),
+                    })
+                }),
+                NodeSpec::new(b, || Box::new(Echo)),
+            ],
+        );
         assert_eq!(
             rt.try_with(a, |app| {
                 let any: &mut dyn Any = app;
@@ -752,16 +773,20 @@ mod tests {
                 io.set_timer(Time::from_us(100), 1);
             }
         }
-        let mut rb = RuntimeBuilder::new(6, Arc::new(U64Codec));
-        rb.node(a, || Box::new(Echo));
-        rb.node(b, move || Box::new(Burst { peer: a, left: 400 }));
-        rb.nemesis(crate::nemesis::FaultPlan {
+        let mut cfg = RuntimeCfg::new(6, Arc::new(U64Codec));
+        cfg.host.nemesis = Some(crate::nemesis::FaultPlan {
             seed: 99,
             loss_ppm: 300_000,
             active_until: Time::from_secs(3600),
             ..crate::nemesis::FaultPlan::default()
         });
-        let rt = rb.spawn();
+        let rt = UdpRuntime::spawn(
+            cfg,
+            vec![
+                NodeSpec::new(a, || Box::new(Echo)),
+                NodeSpec::new(b, move || Box::new(Burst { peer: a, left: 400 })),
+            ],
+        );
         wait_until(|| {
             rt.with(b, |app| {
                 let any: &mut dyn Any = app;
@@ -780,15 +805,18 @@ mod tests {
     fn killed_nodes_stop_answering() {
         let a = Ipv4::new(10, 0, 0, 1);
         let b = Ipv4::new(10, 0, 0, 2);
-        let mut rb = RuntimeBuilder::new(4, Arc::new(U64Codec));
-        rb.node(a, || Box::new(Echo));
-        rb.node(b, move || {
-            Box::new(Pinger {
-                peer: a,
-                got: vec![],
-            })
-        });
-        let mut rt = rb.spawn();
+        let mut rt = UdpRuntime::spawn(
+            RuntimeCfg::new(4, Arc::new(U64Codec)),
+            vec![
+                NodeSpec::new(a, || Box::new(Echo)),
+                NodeSpec::new(b, move || {
+                    Box::new(Pinger {
+                        peer: a,
+                        got: vec![],
+                    })
+                }),
+            ],
+        );
         wait_until(|| {
             rt.with(b, |app| {
                 let any: &mut dyn Any = app;

@@ -7,28 +7,31 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use nice_flow::{prio, Action, FlowMatch, FlowRule, FlowSwitch, FlowTable};
-use nice_kv::{ClientOp, StorageCfg};
+use nice_kv::{ClientOp, ClusterSpec, SimHostCfg};
 use nice_ring::{NodeIdx, PhysicalRing};
-use nice_sim::{
-    ChannelCfg, FaultPlan, HostCfg, HostId, Ipv4, Mac, Simulation, SwitchCfg, SwitchId, Time,
-};
+use nice_sim::{HostCfg, HostId, Ipv4, Mac, Simulation, SwitchId, Time};
+
+use kv_core::{KvClient, MetricsRegistry, RetryPolicy, Telemetry};
 
 use crate::client::{ClientRoute, NoobClientApp};
 use crate::gateway::{GatewayApp, GatewayPolicy};
 use crate::msg::{Access, NoobMode};
 use crate::server::{NoobRing, NoobServerApp};
 
-/// NOOB deployment configuration.
+/// NOOB deployment configuration, in the workspace's layered config
+/// shape: the system-agnostic [`ClusterSpec`], the simulator's
+/// [`SimHostCfg`], and NOOB's own access/consistency knobs.
+///
+/// `spec.retry = None` keeps NOOB's default fixed 2 s retry schedule
+/// (like NICE's §6.6 clients); the chaos harness installs backoff +
+/// jitter through the spec.
 #[derive(Clone)]
 pub struct NoobClusterCfg {
-    /// Determinism seed.
-    pub seed: u64,
-    /// Storage node count.
-    pub storage_nodes: usize,
-    /// Replication level.
-    pub replication: usize,
-    /// Partition count (default: node count rounded up, min 16).
-    pub partitions: Option<u32>,
+    /// System-agnostic deployment shape (nodes, replication, storage,
+    /// retry/deadline behaviour, telemetry).
+    pub spec: ClusterSpec,
+    /// Simulator host layer (links, switch, fault plan, client start).
+    pub host: SimHostCfg,
     /// Replication/consistency mode.
     pub mode: NoobMode,
     /// Access mechanism.
@@ -41,24 +44,8 @@ pub struct NoobClusterCfg {
     pub caching_rac: bool,
     /// Number of gateway machines (ignored for RAC).
     pub gateways: usize,
-    /// Storage device model.
-    pub storage: StorageCfg,
-    /// Link configuration.
-    pub link: ChannelCfg,
-    /// Switch parameters.
-    pub switch: SwitchCfg,
-    /// When clients start.
-    pub client_start: Time,
     /// Per-client operation lists.
     pub client_ops: Vec<Vec<ClientOp>>,
-    /// Clients retry NotFound gets with a short backoff.
-    pub retry_not_found: bool,
-    /// Client retry schedule (fixed 2 s by default, like NICE's §6.6
-    /// clients; the chaos harness swaps in backoff + jitter).
-    pub retry: kv_core::RetryPolicy,
-    /// Deterministic fault plan, applied at the simulator's packet
-    /// delivery choke point. Outage indices address storage nodes.
-    pub fault_plan: Option<FaultPlan>,
 }
 
 impl NoobClusterCfg {
@@ -70,53 +57,40 @@ impl NoobClusterCfg {
         mode: NoobMode,
         client_ops: Vec<Vec<ClientOp>>,
     ) -> NoobClusterCfg {
+        NoobClusterCfg::from_spec(ClusterSpec::new(storage_nodes, r), access, mode, client_ops)
+    }
+
+    /// A NOOB deployment from an explicit [`ClusterSpec`].
+    pub fn from_spec(
+        spec: ClusterSpec,
+        access: Access,
+        mode: NoobMode,
+        client_ops: Vec<Vec<ClientOp>>,
+    ) -> NoobClusterCfg {
         NoobClusterCfg {
-            seed: 42,
-            storage_nodes,
-            replication: r,
-            partitions: None,
+            spec,
+            host: SimHostCfg::default(),
             mode,
             access,
             lb_gets: false,
             caching_rac: false,
             gateways: if access == Access::Rac { 0 } else { 1 },
-            storage: StorageCfg::default(),
-            link: ChannelCfg::gigabit(),
-            switch: SwitchCfg::default(),
-            client_start: Time::from_ms(50),
             client_ops,
-            retry_not_found: false,
-            retry: kv_core::RetryPolicy::fixed(Time::from_secs(2)),
-            fault_plan: None,
         }
     }
 
-    /// Derive a NOOB deployment from the shared [`nice_kv::ClusterBuilder`]:
-    /// nodes, replication, seed, clients, and the fault plan carry over
-    /// unchanged, so an A/B experiment against NICE differs only in the
-    /// access mechanism and consistency mode chosen here.
-    pub fn from_builder(
-        b: nice_kv::ClusterBuilder,
-        access: Access,
-        mode: NoobMode,
-    ) -> NoobClusterCfg {
-        let shared = b.into_cfg();
-        let mut cfg = NoobClusterCfg::new(
-            shared.storage_nodes,
-            shared.replication,
-            access,
-            mode,
-            shared.client_ops,
-        );
-        cfg.seed = shared.seed;
-        cfg.partitions = shared.partitions;
-        cfg.storage = shared.storage;
-        cfg.link = shared.link;
-        cfg.switch = shared.switch;
-        cfg.client_start = shared.client_start;
-        cfg.retry_not_found = shared.retry_not_found;
-        cfg.retry = shared.kv.retry_policy();
-        cfg.fault_plan = shared.fault_plan;
+    /// Derive a NOOB deployment from a finished NICE
+    /// [`nice_kv::ClusterCfg`]: spec, host layer, and clients carry over
+    /// unchanged (including NICE's effective retry schedule), so an A/B
+    /// experiment differs only in the access mechanism and consistency
+    /// mode chosen here.
+    pub fn from_nice(nice: &nice_kv::ClusterCfg, access: Access, mode: NoobMode) -> NoobClusterCfg {
+        let mut spec = nice.spec;
+        if spec.retry.is_none() {
+            spec.retry = Some(nice.kv.retry_policy());
+        }
+        let mut cfg = NoobClusterCfg::from_spec(spec, access, mode, nice.client_ops.clone());
+        cfg.host = nice.host.clone();
         cfg
     }
 }
@@ -140,23 +114,25 @@ pub struct NoobCluster {
 impl NoobCluster {
     /// Build and wire the deployment.
     pub fn build(cfg: NoobClusterCfg) -> NoobCluster {
-        let parts = cfg
-            .partitions
-            .unwrap_or_else(|| (cfg.storage_nodes.next_power_of_two() as u32).max(16));
+        let spec = cfg.spec;
+        let parts = spec.partition_count();
         let phys = PhysicalRing::new(
             parts,
-            (0..cfg.storage_nodes as u32).map(NodeIdx).collect(),
-            cfg.replication,
+            (0..spec.nodes as u32).map(NodeIdx).collect(),
+            spec.replication,
         );
 
-        let mut sim = Simulation::new(cfg.seed);
+        let mut sim = Simulation::new(spec.seed);
         let table = Rc::new(RefCell::new(FlowTable::new()));
-        let switch = sim.add_switch(Box::new(FlowSwitch::new(Rc::clone(&table))), cfg.switch);
+        let switch = sim.add_switch(
+            Box::new(FlowSwitch::new(Rc::clone(&table))),
+            cfg.host.switch,
+        );
         let mut rules: Vec<(Ipv4, Mac, nice_sim::Port)> = Vec::new();
         let mut ports: HashMap<Ipv4, nice_sim::Port> = HashMap::new();
 
         // Storage nodes.
-        let server_ips: Vec<Ipv4> = (0..cfg.storage_nodes)
+        let server_ips: Vec<Ipv4> = (0..spec.nodes)
             .map(|i| Ipv4::new(10, 0, 0, 10 + i as u8))
             .collect();
         let ring = NoobRing {
@@ -167,9 +143,15 @@ impl NoobCluster {
         let mut servers = Vec::new();
         for (i, &ip) in server_ips.iter().enumerate() {
             let mac = Mac(0x200 + i as u64);
-            let app = NoobServerApp::new(ring.clone(), NodeIdx(i as u32), cfg.mode, cfg.storage);
+            let app = NoobServerApp::new(
+                ring.clone(),
+                NodeIdx(i as u32),
+                cfg.mode,
+                spec.storage,
+                spec.telemetry,
+            );
             let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));
             servers.push(h);
@@ -193,7 +175,7 @@ impl NoobCluster {
             let mac = Mac(0x400 + g as u64);
             let app = GatewayApp::new(ring.clone(), policy);
             let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));
             gateways.push((h, ip));
@@ -211,12 +193,16 @@ impl NoobCluster {
                 },
                 _ => ClientRoute::Gateway(gateways[j % gateways.len()].1),
             };
-            let start = cfg.client_start + Time::from_us(97) * j as u64;
+            let start = cfg.host.client_start + Time::from_us(97) * j as u64;
             let mut app = NoobClientApp::new(ring.clone(), route, ops.clone(), start);
-            app.retry_not_found = cfg.retry_not_found;
-            app.retry = cfg.retry;
+            app.retry_not_found = spec.retry_not_found;
+            app.retry = spec
+                .retry
+                .unwrap_or_else(|| RetryPolicy::fixed(Time::from_secs(2)));
+            app.op_deadline = spec.op_deadline;
+            app.tel = Telemetry::new(&spec.telemetry);
             let h = sim.add_node(Box::new(app), HostCfg::new(ip, mac));
-            let port = sim.connect_asym(h, switch, cfg.link.host_uplink(), cfg.link);
+            let port = sim.connect_asym(h, switch, cfg.host.link.host_uplink(), cfg.host.link);
             ports.insert(ip, port);
             rules.push((ip, mac, port));
             clients.push(h);
@@ -236,7 +222,7 @@ impl NoobCluster {
 
         // Fault injection: one plan at the delivery choke point; outage
         // indices map onto the storage-node slice.
-        if let Some(plan) = cfg.fault_plan {
+        if let Some(plan) = cfg.host.fault_plan {
             sim.install_fault_plan(plan, &servers);
         }
 
@@ -285,5 +271,20 @@ impl NoobCluster {
             .map(|&c| self.sim.app::<NoobClientApp>(c).done_at)
             .collect::<Option<Vec<_>>>()
             .map(|v| v.into_iter().max().unwrap_or(Time::ZERO))
+    }
+
+    /// Cluster-wide telemetry snapshot: every server's registry (engine
+    /// counters, WAL/store totals, transport repair stats, phase
+    /// histograms) merged with every client's (end-to-end latency,
+    /// retries). Deterministic under a fixed seed.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::default();
+        for i in 0..self.servers.len() {
+            m.merge(&self.server(i).metrics());
+        }
+        for (i, _) in self.clients.iter().enumerate() {
+            m.merge(&self.client(i).metrics());
+        }
+        m
     }
 }

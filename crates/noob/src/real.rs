@@ -13,13 +13,15 @@
 //! simulator-only.
 
 use std::any::Any;
-use std::path::PathBuf;
 use std::sync::Arc;
 
-use kv_core::{ClientOp, History, KvClient, OpRecord, RetryPolicy, StorageCfg, Value};
+use kv_core::{
+    ClientOp, ClusterSpec, History, KvClient, MetricsRegistry, OpRecord, RetryPolicy, Telemetry,
+    Value,
+};
 use nice_ring::{NodeIdx, PhysicalRing};
 use nice_transport::TpCodec;
-use node_rt::{FaultPlan, Ipv4, RuntimeBuilder, Time, UdpRuntime};
+use node_rt::{Ipv4, NodeSpec, RuntimeCfg, Time, UdpHostCfg, UdpRuntime};
 
 use crate::client::{ClientRoute, NoobClientApp};
 use crate::gateway::{GatewayApp, GatewayPolicy};
@@ -58,17 +60,24 @@ impl RealOp {
     }
 }
 
-/// Loopback NOOB deployment configuration.
+/// Loopback NOOB deployment configuration, in the workspace's layered
+/// config shape: the system-agnostic [`ClusterSpec`], the real runtime's
+/// [`UdpHostCfg`] (WAL root, socket nemesis), and NOOB's routing knobs.
+///
+/// `spec.retry = None` keeps the real runtime's default fixed 500 ms
+/// schedule — wall-clock now, keep it short in tests. With
+/// `host.wal_root` set, every server gets a file WAL under
+/// `<wal_root>/node-<i>.wal`: acks become fsync-gated, and
+/// [`RealNoobCluster::restart_server`] recovers from the surviving file;
+/// `None` = memory-only servers (crash loses everything, like the
+/// simulator's volatile model).
 #[derive(Clone)]
 pub struct RealNoobCfg {
-    /// Determinism seed for per-node RNGs.
-    pub seed: u64,
-    /// Storage node count.
-    pub servers: usize,
-    /// Partition count (power of two, at least `servers`).
-    pub partitions: u32,
-    /// Replication level.
-    pub replication: usize,
+    /// System-agnostic deployment shape (seed, nodes, replication,
+    /// partitions, storage, retry/deadline behaviour, telemetry).
+    pub spec: ClusterSpec,
+    /// Real-runtime host layer (durable state root, socket nemesis).
+    pub host: UdpHostCfg,
     /// Replication/consistency mode.
     pub mode: NoobMode,
     /// Route via one gateway with this policy; `None` = direct
@@ -76,44 +85,23 @@ pub struct RealNoobCfg {
     pub gateway: Option<GatewayPolicy>,
     /// Direct clients balance gets over replicas.
     pub lb_gets: bool,
-    /// Storage device model (drives write-latency timers).
-    pub storage: StorageCfg,
-    /// Client retry schedule — wall-clock now, keep it short in tests.
-    pub retry: RetryPolicy,
-    /// Total per-operation deadline: a retry firing past this budget
-    /// completes the op with `KvError::Timeout` instead of burning the
-    /// whole attempt budget against a crashed node. `None` = attempts
-    /// only.
-    pub op_deadline: Option<Time>,
     /// Per-client operation lists.
     pub client_ops: Vec<Vec<RealOp>>,
-    /// Give every server a file WAL under `<wal_root>/node-<i>.wal`:
-    /// acks become fsync-gated, and [`RealNoobCluster::restart_server`]
-    /// recovers from the surviving file. `None` = memory-only servers
-    /// (crash loses everything, like the simulator's volatile model).
-    pub wal_root: Option<PathBuf>,
-    /// Seeded socket-level fault injection for every node (loss,
-    /// duplication, delay, partitions). `None` = clean loopback.
-    pub nemesis: Option<FaultPlan>,
 }
 
 impl RealNoobCfg {
     /// A small primary-only cluster serving `client_ops`.
     pub fn new(servers: usize, replication: usize, client_ops: Vec<Vec<RealOp>>) -> RealNoobCfg {
+        let mut spec = ClusterSpec::new(servers, replication);
+        spec.seed = 7;
+        spec.retry = Some(RetryPolicy::fixed(Time::from_ms(500)));
         RealNoobCfg {
-            seed: 7,
-            servers,
-            partitions: (servers as u32).next_power_of_two().max(16),
-            replication,
+            spec,
+            host: UdpHostCfg::default(),
             mode: NoobMode::PrimaryOnly,
             gateway: Some(GatewayPolicy::Primary),
             lb_gets: false,
-            storage: StorageCfg::default(),
-            retry: RetryPolicy::fixed(Time::from_ms(500)),
-            op_deadline: None,
             client_ops,
-            wal_root: None,
-            nemesis: None,
         }
     }
 }
@@ -147,34 +135,35 @@ impl RealNoobCluster {
     /// Bind sockets, spawn every node thread, and start serving. Clients
     /// begin issuing immediately.
     pub fn build(cfg: RealNoobCfg) -> RealNoobCluster {
-        let server_ips: Vec<Ipv4> = (0..cfg.servers).map(server_ip).collect();
+        let spec = cfg.spec;
+        let server_ips: Vec<Ipv4> = (0..spec.nodes).map(server_ip).collect();
         let ring = NoobRing {
             ring: PhysicalRing::new(
-                cfg.partitions,
-                (0..cfg.servers as u32).map(NodeIdx).collect(),
-                cfg.replication,
+                spec.partition_count(),
+                (0..spec.nodes as u32).map(NodeIdx).collect(),
+                spec.replication,
             ),
             addrs: server_ips.clone(),
             port: 9000,
         };
 
         let codec = Arc::new(TpCodec::new(NoobCodec));
-        let mut b = RuntimeBuilder::new(cfg.seed, codec);
-        if let Some(plan) = cfg.nemesis.clone() {
-            b.nemesis(plan);
-        }
+        let mut rt_cfg = RuntimeCfg::new(spec.seed, codec);
+        rt_cfg.host = cfg.host.clone();
+        let mut specs = Vec::new();
         for (i, &ip) in server_ips.iter().enumerate() {
             let ring = ring.clone();
-            let (mode, storage) = (cfg.mode, cfg.storage);
-            let wal_root = cfg.wal_root.clone();
+            let (mode, storage, telemetry) = (cfg.mode, spec.storage, spec.telemetry);
+            let wal_root = cfg.host.wal_root.clone();
             // The factory reruns on every restart: with a WAL root, each
             // incarnation replays what the previous one synced.
-            b.node(ip, move || match &wal_root {
+            specs.push(NodeSpec::new(ip, move || match &wal_root {
                 Some(root) => Box::new(NoobServerApp::with_wal(
                     ring.clone(),
                     NodeIdx(i as u32),
                     mode,
                     storage,
+                    telemetry,
                     root,
                 )),
                 None => Box::new(NoobServerApp::new(
@@ -182,14 +171,15 @@ impl RealNoobCluster {
                     NodeIdx(i as u32),
                     mode,
                     storage,
+                    telemetry,
                 )),
-            });
+            }));
         }
         if let Some(policy) = cfg.gateway {
             let ring = ring.clone();
-            b.node(GATEWAY_IP, move || {
+            specs.push(NodeSpec::new(GATEWAY_IP, move || {
                 Box::new(GatewayApp::new(ring.clone(), policy))
-            });
+            }));
         }
         let route = match cfg.gateway {
             Some(_) => ClientRoute::Gateway(GATEWAY_IP),
@@ -197,24 +187,28 @@ impl RealNoobCluster {
                 lb_gets: cfg.lb_gets,
             },
         };
+        let retry = spec
+            .retry
+            .unwrap_or_else(|| RetryPolicy::fixed(Time::from_ms(500)));
         let mut client_ips = Vec::new();
         for (j, ops) in cfg.client_ops.iter().cloned().enumerate() {
             let ip = client_ip(j);
             client_ips.push(ip);
             let ring = ring.clone();
-            let retry = cfg.retry;
-            let op_deadline = cfg.op_deadline;
-            b.node(ip, move || {
+            let op_deadline = spec.op_deadline;
+            let telemetry = spec.telemetry;
+            specs.push(NodeSpec::new(ip, move || {
                 let ops: Vec<ClientOp> = ops.iter().cloned().map(RealOp::materialize).collect();
                 let mut app = NoobClientApp::new(ring.clone(), route, ops, Time::from_ms(5));
                 app.retry = retry;
                 app.op_deadline = op_deadline;
+                app.tel = Telemetry::new(&telemetry);
                 Box::new(app)
-            });
+            }));
         }
 
         RealNoobCluster {
-            runtime: b.spawn(),
+            runtime: UdpRuntime::spawn(rt_cfg, specs),
             ring,
             server_ips,
             client_ips,
@@ -283,6 +277,34 @@ impl RealNoobCluster {
             history.merge(fragment);
         }
         history
+    }
+
+    /// Cluster-wide telemetry snapshot harvested from every live node
+    /// thread: server registries (engine counters, WAL/store totals,
+    /// transport repair stats, phase histograms) merged with client
+    /// registries (wall-clock end-to-end latency, retries). Nodes that
+    /// are down are skipped.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::default();
+        for i in 0..self.server_ips.len() {
+            let snap = self.runtime.try_with(server_ip(i), |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<NoobServerApp>().map(|s| s.metrics())
+            });
+            if let Some(Some(sm)) = snap {
+                m.merge(&sm);
+            }
+        }
+        for j in 0..self.client_ips.len() {
+            let snap = self.runtime.try_with(client_ip(j), |app| {
+                let any: &mut dyn Any = app;
+                any.downcast_mut::<NoobClientApp>().map(|c| c.metrics())
+            });
+            if let Some(Some(cm)) = snap {
+                m.merge(&cm);
+            }
+        }
+        m
     }
 
     /// Kill storage node `i` for good (thread exits, socket closes;

@@ -16,8 +16,9 @@ use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 
 use kv_core::{
-    Counters, Effect, EngineCfg, EngineRole, Group, ObjectStore, ReplicationEngine, StorageCfg,
-    TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES, DATA_SEND_COST, DATA_SEND_THRESHOLD, REQ_COST,
+    Counters, Effect, EngineCfg, EngineRole, Group, MetricsRegistry, ObjectStore,
+    ReplicationEngine, StorageCfg, TelemetryCfg, TwoPcEngine, CTRL_COST, CTRL_MSG_BYTES,
+    DATA_SEND_COST, DATA_SEND_THRESHOLD, REQ_COST,
 };
 use nice_kv::{OpId, Timestamp, Value};
 use nice_ring::{NodeIdx, PartitionId, PhysicalRing};
@@ -110,7 +111,7 @@ pub struct NoobServerApp {
 }
 
 impl NoobServerApp {
-    fn engine_cfg(storage: StorageCfg) -> EngineCfg {
+    fn engine_cfg(storage: StorageCfg, telemetry: TelemetryCfg) -> EngineCfg {
         EngineCfg {
             storage,
             // The baseline runs no coordinator deadlines, commits
@@ -123,6 +124,7 @@ impl NoobServerApp {
             op_timeout: None,
             inline_commit: true,
             durable_pending: false,
+            telemetry,
             stale_lock_ttl: Some(Time::from_secs(3)),
         }
     }
@@ -154,8 +156,9 @@ impl NoobServerApp {
         node: NodeIdx,
         mode: NoobMode,
         storage: StorageCfg,
+        telemetry: TelemetryCfg,
     ) -> NoobServerApp {
-        let engine = TwoPcEngine::new(Self::engine_cfg(storage));
+        let engine = TwoPcEngine::new(Self::engine_cfg(storage, telemetry));
         Self::from_engine(ring, node, mode, engine, 0)
     }
 
@@ -171,10 +174,11 @@ impl NoobServerApp {
         node: NodeIdx,
         mode: NoobMode,
         storage: StorageCfg,
+        telemetry: TelemetryCfg,
         wal_dir: &Path,
     ) -> NoobServerApp {
         let path = wal_dir.join(format!("node-{}.wal", node.0));
-        let (engine, recovered) = TwoPcEngine::recover(Self::engine_cfg(storage), &path);
+        let (engine, recovered) = TwoPcEngine::recover(Self::engine_cfg(storage, telemetry), &path);
         Self::from_engine(ring, node, mode, engine, recovered)
     }
 
@@ -196,6 +200,21 @@ impl NoobServerApp {
     /// Observable counters (tests and Figure 7's load-ratio measurements).
     pub fn counters(&self) -> Counters {
         self.engine.counters()
+    }
+
+    /// The node's full metrics snapshot: engine phase histograms and
+    /// WAL facts, protocol counters under `engine.*`, and transport
+    /// reliability effort under `transport.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.engine.metrics();
+        self.engine.counters().fold_into(&mut m);
+        let tp = self.tp.stats();
+        m.add("transport.probes", tp.probes);
+        m.add("transport.nacks_sent", tp.nacks_sent);
+        m.add("transport.nacks_received", tp.nacks_received);
+        m.add("transport.repairs", tp.repairs);
+        m.add("transport.syn_retries", tp.syn_retries);
+        m
     }
 
     fn defer(&mut self, ctx: &mut dyn NodeIo, at: Time, cont: Cont) {

@@ -186,7 +186,7 @@ fn lb_gets_spread_over_replicas_with_2pc() {
     }
     let mut cfg = NoobClusterCfg::new(8, 3, Access::Rac, NoobMode::TwoPc, all);
     cfg.lb_gets = true;
-    cfg.retry_not_found = true; // readers race the seeding put
+    cfg.spec.retry_not_found = true; // readers race the seeding put
     let mut c = NoobCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(60)));
     let replicas: Vec<usize> = c

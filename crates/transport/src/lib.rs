@@ -19,7 +19,7 @@ pub mod wire;
 
 pub use msg::{Carrier, Msg, MsgToken, TpPayload, TransportEvent};
 pub use rudp::{chunk_bytes, num_chunks, RudpCfg};
-pub use transport::{Transport, TRANSPORT_TICK};
+pub use transport::{TpStats, Transport, TRANSPORT_TICK};
 pub use wire::TpCodec;
 
 #[cfg(test)]

@@ -267,13 +267,23 @@ impl SendState {
     }
 
     /// Handle a NACK: repair the listed chunks over unicast to `from`.
-    pub fn on_nack(&mut self, ctx: &mut dyn NodeIo, src_port: u16, from: Ipv4, missing: &[u32]) {
+    /// Returns how many chunks were retransmitted (telemetry).
+    pub fn on_nack(
+        &mut self,
+        ctx: &mut dyn NodeIo,
+        src_port: u16,
+        from: Ipv4,
+        missing: &[u32],
+    ) -> u64 {
+        let mut repaired = 0;
         for &seq in missing {
             if seq < self.total {
                 let pkt = self.chunk_packet(seq, src_port, from, ctx, true);
                 ctx.send(pkt);
+                repaired += 1;
             }
         }
+        repaired
     }
 
     /// Everyone expected has completed: state can be dropped immediately.
@@ -282,12 +292,14 @@ impl SendState {
     }
 
     /// Periodic tick: stall detection, probe retransmission, lingering.
-    /// Returns the outcome plus whether the state should be dropped.
+    /// Returns the outcome plus whether the state should be dropped;
+    /// bumps `probes` when a stall probe is retransmitted (telemetry).
     pub fn on_tick(
         &mut self,
         cfg: &RudpCfg,
         ctx: &mut dyn NodeIo,
         src_port: u16,
+        probes: &mut u64,
     ) -> (SendOutcome, bool) {
         if self.done {
             if self.fully_acked() {
@@ -321,6 +333,7 @@ impl SendState {
         let probe = self.window_base().min(self.total - 1);
         let pkt = self.chunk_packet(probe, src_port, self.dst, ctx, true);
         ctx.send(pkt);
+        *probes += 1;
         (SendOutcome::Quiet, false)
     }
 }
@@ -480,12 +493,14 @@ impl RecvState {
     /// paces repair: the owning [`crate::Transport`] permits only one
     /// reassembly state to request repair per tick, bounding repair
     /// injection per receiver regardless of how many transfers lag.
+    /// Bumps `nacks` when a NACK goes out (telemetry).
     pub fn on_tick(
         &mut self,
         cfg: &RudpCfg,
         ctx: &mut dyn NodeIo,
         my_port: u16,
         may_nack: bool,
+        nacks: &mut u64,
     ) -> bool {
         if self.complete() {
             self.linger_left = self.linger_left.saturating_sub(1);
@@ -547,6 +562,7 @@ impl RecvState {
                 };
                 pkt.wire_size = wire(self.proto, CTRL_BYTES);
                 ctx.send(pkt);
+                *nacks += 1;
             }
         }
         false

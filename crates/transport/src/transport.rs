@@ -31,6 +31,23 @@ const SYN_RETRY_TICKS: u32 = 20;
 /// SYN attempts before the connection fails.
 const SYN_MAX_TRIES: u32 = 10;
 
+/// Reliability-layer counters: how hard the stack had to work to get
+/// messages through. Zero across the board on a clean network; loss,
+/// duplication, and delay show up here before they show up in latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TpStats {
+    /// Stall-probe retransmissions (sender-side RTO equivalent).
+    pub probes: u64,
+    /// NACK control messages sent by reassembly states.
+    pub nacks_sent: u64,
+    /// NACK control messages received by send states.
+    pub nacks_received: u64,
+    /// Chunks retransmitted in response to NACKs.
+    pub repairs: u64,
+    /// SYN handshake retransmissions.
+    pub syn_retries: u64,
+}
+
 struct Pending {
     token: MsgToken,
     msg: Msg,
@@ -57,6 +74,8 @@ pub struct Transport {
     tick_armed: bool,
     /// Round-robin cursor for NACK pacing across reassembly states.
     nack_rr: u64,
+    /// Reliability-layer effort counters.
+    stats: TpStats,
 }
 
 impl Transport {
@@ -76,7 +95,13 @@ impl Transport {
             conns: BTreeMap::new(),
             tick_armed: false,
             nack_rr: 0,
+            stats: TpStats::default(),
         }
+    }
+
+    /// Reliability-layer counters (probes, NACKs, repairs, SYN retries).
+    pub fn stats(&self) -> TpStats {
+        self.stats
     }
 
     /// The local transport port.
@@ -330,7 +355,8 @@ impl Transport {
             }
             TpPayload::Nack { msg_id, missing } => {
                 if let Some(s) = self.senders.get_mut(msg_id) {
-                    s.on_nack(ctx, self.port, pkt.src, missing);
+                    self.stats.nacks_received += 1;
+                    self.stats.repairs += s.on_nack(ctx, self.port, pkt.src, missing);
                 }
             }
             TpPayload::Syn => {
@@ -398,7 +424,7 @@ impl Transport {
         // Sender ticks.
         let mut drop_ids = Vec::new();
         for (&id, s) in self.senders.iter_mut() {
-            let (outcome, drop) = s.on_tick(&self.cfg, ctx, self.port);
+            let (outcome, drop) = s.on_tick(&self.cfg, ctx, self.port, &mut self.stats.probes);
             match outcome {
                 SendOutcome::Sent(acked_by) => events.push(TransportEvent::Sent {
                     token: s.token,
@@ -433,7 +459,13 @@ impl Transport {
         }
         let mut drop_keys = Vec::new();
         for (&key, r) in self.recvs.iter_mut() {
-            if r.on_tick(&self.cfg, ctx, self.port, allowed == Some(key)) {
+            if r.on_tick(
+                &self.cfg,
+                ctx,
+                self.port,
+                allowed == Some(key),
+                &mut self.stats.nacks_sent,
+            ) {
                 drop_keys.push(key);
             }
         }
@@ -460,6 +492,7 @@ impl Transport {
                     } else {
                         *tries += 1;
                         *retry_left = SYN_RETRY_TICKS;
+                        self.stats.syn_retries += 1;
                         let dst_port = pending.first().map_or(self.port, |p| p.dst_port);
                         let mut pkt = Packet::tcp(
                             ctx.ip(),

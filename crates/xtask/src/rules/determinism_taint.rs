@@ -1,8 +1,10 @@
 //! `determinism_taint`: nondeterminism sources must not flow into
 //! protocol state, message bytes, or replay output. Roots are the
-//! deterministic surfaces — every `ReplicationEngine` transition and
+//! deterministic surfaces — every `ReplicationEngine` transition,
 //! every `render`/`render_*` fn (trace/replay output that must be
-//! byte-identical across runs) — and the rule walks everything they
+//! byte-identical across runs), and every `metrics`/`snapshot` fn (the
+//! telemetry snapshot contract: two same-seed sim runs must produce
+//! byte-identical registries) — and the rule walks everything they
 //! transitively call, looking for:
 //!
 //! * wall-clock reads (`Instant::now`, `SystemTime`),
@@ -49,6 +51,8 @@ pub fn run(ctx: &RuleCtx, out: &mut Vec<Finding>) {
             let f = &g.fns[i];
             f.name == "render"
                 || f.name.starts_with("render_")
+                || f.name == "metrics"
+                || f.name == "snapshot"
                 || f.trait_name.as_deref() == Some("ReplicationEngine")
         })
         .collect();

@@ -1,5 +1,9 @@
 //! BAD: a render helper stamps entries with the wall clock — replay
-//! output differs across runs.
+//! output differs across runs — and a metrics snapshot iterates a
+//! hash container, so two same-seed runs order the registry
+//! differently.
+
+use std::collections::HashMap;
 
 pub fn render(log: &[u64]) -> String {
     let mut out = String::new();
@@ -12,4 +16,18 @@ pub fn render(log: &[u64]) -> String {
 fn stamp(e: u64) -> String {
     let t = std::time::SystemTime::now();
     format!("{e}@{t:?}")
+}
+
+pub struct Registry {
+    counters: HashMap<String, u64>,
+}
+
+impl Registry {
+    pub fn metrics(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push((k.clone(), *v));
+        }
+        out
+    }
 }

@@ -1,5 +1,8 @@
 //! GOOD: entries are stamped with their logical position — identical
-//! on every run.
+//! on every run — and the metrics snapshot iterates a `BTreeMap`, so
+//! registry order is stable across runs.
+
+use std::collections::BTreeMap;
 
 pub fn render(log: &[u64]) -> String {
     let mut out = String::new();
@@ -11,4 +14,18 @@ pub fn render(log: &[u64]) -> String {
 
 fn stamp(e: u64, i: usize) -> String {
     format!("{i}:{e}")
+}
+
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    pub fn metrics(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push((k.clone(), *v));
+        }
+        out
+    }
 }

@@ -80,6 +80,13 @@ fn determinism_taint_fires_on_bad_and_reports_the_chain() {
         msg.contains("render") && msg.contains("stamp"),
         "expected the render→stamp chain in the message, got: {msg}"
     );
+    // The telemetry snapshot surface is a root too: hash-order
+    // iteration inside a `metrics` fn must be flagged.
+    assert!(
+        hits.iter()
+            .any(|f| f.ctx.contains("metrics") && f.msg.contains("hash container")),
+        "metrics snapshot root did not catch hash-order iteration: {hits:?}"
+    );
 }
 
 #[test]

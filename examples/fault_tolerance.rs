@@ -34,7 +34,7 @@ fn main() {
     cfg.kv.hb_interval = Time::from_ms(200);
     cfg.kv.op_timeout = Time::from_ms(200);
     cfg.kv.client_retry = Time::from_ms(500);
-    cfg.client_start = Time::from_ms(100);
+    cfg.host.client_start = Time::from_ms(100);
     let mut cluster = NiceCluster::build(cfg);
 
     println!(

@@ -23,7 +23,7 @@ fn run(lb: bool) -> (Vec<u64>, f64) {
     }
     let mut cfg = ClusterCfg::new(8, 3, all);
     cfg.kv.load_balancing = lb;
-    cfg.retry_not_found = true;
+    cfg.spec.retry_not_found = true;
     let mut c = NiceCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(120)));
     let p = c.ring.partition_of_key(KEY.as_bytes());
@@ -31,7 +31,11 @@ fn run(lb: bool) -> (Vec<u64>, f64) {
         .ring
         .replica_set(p)
         .iter()
-        .map(|n| c.server(n.0 as usize).counters().gets_served)
+        .map(|n| {
+            c.server(n.0 as usize)
+                .metrics()
+                .counter("engine.gets_served")
+        })
         .collect();
     let mean_get: f64 = {
         let mut lats = Vec::new();

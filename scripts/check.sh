@@ -77,6 +77,16 @@ grep -E '^(nemesis |plan seed=|crash node=|schedule )' target/runtime_chaos.log 
   > target/runtime_chaos_stats.txt || true
 echo "runtime-chaos: stats archived in target/runtime_chaos_stats.txt"
 
+echo "=== runtime-throughput (real cluster telemetry) ==="
+# Wall-clock throughput + p50/p99/p99.9 from the loopback UDP cluster's
+# telemetry histograms, clean and under the socket nemesis. The JSON is
+# archived next to the lint report so perf PRs have a trajectory point
+# to ratchet against.
+timeout 300 cargo run -q --offline --release -p nice-bench \
+  --bin runtime_throughput -- --quick
+cp bench_results/runtime_throughput.json target/runtime_throughput.json
+echo "runtime-throughput: archived in target/runtime_throughput.json"
+
 if [ "$RELEASE" = 1 ]; then
   echo "=== slow suites (release) ==="
   # --include-ignored adds the brute-force 756,756-schedule enumeration

@@ -17,8 +17,8 @@
 //! Set `CHAOS_SEED=<n>` to replay one chosen seed through the sweep.
 
 use nice::kv::{
-    AdminOp, ClientApp, ClientOp, ClusterBuilder, KvClient, MetaRole, MetadataApp, PutMode,
-    RetryBackoff, Value,
+    AdminOp, ClientApp, ClientOp, ClusterCfg, KvClient, MetaRole, MetadataApp, NiceCluster,
+    PutMode, RetryBackoff, Value,
 };
 use nice::kv_core::{AdminEvent, ChaosPlan, ChaosSpec, History, Violation, ViolationKind};
 use nice::noob::{Access, NoobClientApp, NoobCluster, NoobClusterCfg, NoobMode};
@@ -273,24 +273,19 @@ fn fast_timers(kv: &mut nice::kv::KvConfig, seed: u64) {
 fn run_nice(seed: u64, mode: PutMode, spec: &ChaosSpec, shared: bool) -> RunOutcome {
     let plan = ChaosPlan::generate(seed, spec);
     let fp = fault_plan_of(&plan, &storage_ips(NODES));
-    let mut b = ClusterBuilder::new()
-        .nodes(NODES)
-        .replication(R)
-        .seed(seed)
-        .clients(vec![Vec::new(); CLIENTS])
-        .client_start(Time::from_ms(400))
-        .fault_plan(fp)
-        .kv(|kv| {
-            fast_timers(kv, seed);
-            kv.put_mode = mode;
-        });
+    let mut cfg = ClusterCfg::new(NODES, R, vec![Vec::new(); CLIENTS]);
+    cfg.spec.seed = seed;
+    cfg.host.client_start = Time::from_ms(400);
+    cfg.host.fault_plan = Some(fp);
+    fast_timers(&mut cfg.kv, seed);
+    cfg.kv.put_mode = mode;
     if plan.meta_crash.is_some() {
-        b = b.metadata_standby();
+        cfg.metadata_standby = true;
     }
     if !plan.admin.is_empty() {
-        b = b.spares(1);
+        cfg.spec.spares = 1;
     }
-    let mut c = b.build();
+    let mut c = NiceCluster::build(cfg);
     assert_eq!(&c.server_ips[..NODES], &storage_ips(NODES)[..]);
     if let Some(t) = plan.meta_crash {
         c.sim.schedule_crash(t, c.meta);
@@ -339,17 +334,14 @@ fn run_nice(seed: u64, mode: PutMode, spec: &ChaosSpec, shared: bool) -> RunOutc
 fn run_noob(seed: u64, mode: NoobMode, spec: &ChaosSpec, shared: bool) -> RunOutcome {
     let plan = ChaosPlan::generate(seed, spec);
     let fp = fault_plan_of(&plan, &storage_ips(NODES));
-    let b = ClusterBuilder::new()
-        .nodes(NODES)
-        .replication(R)
-        .seed(seed)
-        .clients(vec![Vec::new(); CLIENTS])
-        .client_start(Time::from_ms(400))
-        .fault_plan(fp)
-        .kv(|kv| fast_timers(kv, seed));
+    let mut nice_cfg = ClusterCfg::new(NODES, R, vec![Vec::new(); CLIENTS]);
+    nice_cfg.spec.seed = seed;
+    nice_cfg.host.client_start = Time::from_ms(400);
+    nice_cfg.host.fault_plan = Some(fp);
+    fast_timers(&mut nice_cfg.kv, seed);
     // RAC direct routing: clients know placement, no gateway middlebox —
     // the fault schedule hits the storage protocol, nothing else.
-    let cfg = NoobClusterCfg::from_builder(b, Access::Rac, mode);
+    let cfg = NoobClusterCfg::from_nice(&nice_cfg, Access::Rac, mode);
     let mut c = NoobCluster::build(cfg);
 
     let wave_ops = waves(seed, shared);
@@ -481,7 +473,7 @@ fn chaos_replay_is_byte_identical() {
 /// rejoining node stays invisible and every get is served consistently;
 /// with the deliberate mutation it serves (empty-store) gets.
 fn ring_hiding_violations(break_hiding: bool) -> Vec<Violation> {
-    let probe = ClusterBuilder::new().nodes(NODES).replication(R).build();
+    let probe = NiceCluster::build(ClusterCfg::new(NODES, R, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -514,19 +506,14 @@ fn ring_hiding_violations(break_hiding: bool) -> Vec<Violation> {
         );
     let mut clients = vec![Vec::new(); CLIENTS];
     clients[0] = puts;
-    let mut c = ClusterBuilder::new()
-        .nodes(NODES)
-        .replication(R)
-        .clients(clients)
-        .client_start(Time::from_ms(500))
-        .fault_plan(plan)
-        .kv(|kv| {
-            kv.hb_interval = Time::from_ms(100);
-            kv.op_timeout = Time::from_ms(100);
-            kv.client_retry = Time::from_ms(400);
-            kv.break_rejoin_get_hiding = break_hiding;
-        })
-        .build();
+    let mut cfg = ClusterCfg::new(NODES, R, clients);
+    cfg.host.client_start = Time::from_ms(500);
+    cfg.host.fault_plan = Some(plan);
+    cfg.kv.hb_interval = Time::from_ms(100);
+    cfg.kv.op_timeout = Time::from_ms(100);
+    cfg.kv.client_retry = Time::from_ms(400);
+    cfg.kv.break_rejoin_get_hiding = break_hiding;
+    let mut c = NiceCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(30)), "puts drain");
 
     // 4 s: the victim has rejoined the put ring but its catch-up is
@@ -570,7 +557,7 @@ fn metadata_failover_mid_put_storm_linearizes() {
     // the hot standby promotes itself and then has to orchestrate a
     // storage-node failure on its own. The clients' history must still
     // linearize end to end.
-    let probe = ClusterBuilder::new().nodes(NODES).replication(R).build();
+    let probe = NiceCluster::build(ClusterCfg::new(NODES, R, Vec::new()));
     let victim = probe.ring.replica_set(PartitionId(0))[1].0 as usize;
     drop(probe);
 
@@ -605,15 +592,12 @@ fn metadata_failover_mid_put_storm_linearizes() {
         storm.push(per_client);
     }
 
-    let mut c = ClusterBuilder::new()
-        .nodes(NODES)
-        .replication(R)
-        .seed(23)
-        .metadata_standby()
-        .clients(vec![Vec::new(); STORM_CLIENTS])
-        .client_start(Time::from_ms(400))
-        .kv(|kv| fast_timers(kv, 23))
-        .build();
+    let mut cfg = ClusterCfg::new(NODES, R, vec![Vec::new(); STORM_CLIENTS]);
+    cfg.spec.seed = 23;
+    cfg.metadata_standby = true;
+    cfg.host.client_start = Time::from_ms(400);
+    fast_timers(&mut cfg.kv, 23);
+    let mut c = NiceCluster::build(cfg);
     let standby = c.meta_standby.expect("standby deployed");
     // Meta dies early in the storm; a storage secondary dies after the
     // promotion — only the new active can install its handoff.
@@ -648,4 +632,52 @@ fn metadata_failover_mid_put_storm_linearizes() {
         "only {}/{pushed} ops succeeded",
         history.ok_count()
     );
+}
+
+/// Telemetry determinism contract: two chaos runs from the same seed —
+/// same fault plan, same workload, same config — must produce
+/// byte-identical metrics snapshots. Every histogram bucket, counter,
+/// and gauge in the merged cluster registry is derived from simulated
+/// time and seeded draws, so even one wall-clock or hash-order leak
+/// into the snapshot path shows up here as a diff.
+#[test]
+fn same_seed_chaos_runs_yield_byte_identical_telemetry() {
+    let run = || {
+        let mut ops: Vec<Vec<ClientOp>> = vec![Vec::new(); 3];
+        let mut rng = XorShiftRng::seed_from_u64(0x7E1E);
+        for (j, per_client) in ops.iter_mut().enumerate() {
+            for i in 0..40 {
+                let key = format!("t{}", rng.random_range(0u64..24));
+                if i % 4 == 0 {
+                    per_client.push(ClientOp::Put {
+                        key,
+                        value: Value::synthetic(256 + j as u32),
+                    });
+                } else {
+                    per_client.push(ClientOp::Get { key });
+                }
+            }
+        }
+        let mut cfg = ClusterCfg::new(6, 3, ops);
+        cfg.spec.seed = 0x7E1E;
+        cfg.spec.retry_not_found = true;
+        cfg.host.fault_plan = Some(FaultPlan::new(0x7E1E).loss(0.01).duplication(0.005));
+        fast_timers(&mut cfg.kv, 0x7E1E);
+        let mut c = NiceCluster::build(cfg);
+        assert!(c.run_until_done(Time::from_secs(120)), "chaos run drains");
+        c.metrics().render()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must replay to identical telemetry");
+    // The snapshot must be non-vacuous: the hot-path histograms and the
+    // engine counters all saw traffic.
+    for needle in [
+        "client.put_e2e",
+        "client.get_e2e",
+        "wal.sync",
+        "engine.puts_committed",
+    ] {
+        assert!(a.contains(needle), "snapshot is missing {needle}:\n{a}");
+    }
 }

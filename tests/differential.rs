@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use nice::kv::{ClientOp, ClusterBuilder, KvClient, NiceCluster, ObjectStore, Value};
+use nice::kv::{ClientOp, ClusterCfg, KvClient, NiceCluster, ObjectStore, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::{FaultPlan, Time};
 use nice::workload::{OpKind, Workload, WorkloadRun, XorShiftRng};
@@ -73,16 +73,11 @@ fn build_ops(wl: &Workload, seed: u64) -> Vec<Vec<ClientOp>> {
     per_client
 }
 
-fn builder(seed: u64, plan: &Option<FaultPlan>, ops: &[Vec<ClientOp>]) -> ClusterBuilder {
-    let mut b = ClusterBuilder::new()
-        .nodes(6)
-        .replication(3)
-        .seed(seed)
-        .clients(ops.to_vec());
-    if let Some(p) = plan {
-        b = b.fault_plan(p.clone());
-    }
-    b
+fn shared_cfg(seed: u64, plan: &Option<FaultPlan>, ops: &[Vec<ClientOp>]) -> ClusterCfg {
+    let mut cfg = ClusterCfg::new(6, 3, ops.to_vec());
+    cfg.spec.seed = seed;
+    cfg.host.fault_plan = plan.clone();
+    cfg
 }
 
 /// The cluster surface the differential harness needs. Both systems
@@ -196,10 +191,10 @@ fn assert_systems_agree(seed: u64, plan: Option<FaultPlan>) {
     let wl = Workload::a(RECORDS);
     let ops = build_ops(&wl, seed);
     // The paper's system: 2PC over switch multicast, vring addressing.
-    let nice_map = drive(builder(seed, &plan, &ops).build());
+    let nice_map = drive(NiceCluster::build(shared_cfg(seed, &plan, &ops)));
     // The baseline: 2PC over unicast fan-out, client-side routing (RAC).
     let cfg =
-        NoobClusterCfg::from_builder(builder(seed, &plan, &ops), Access::Rac, NoobMode::TwoPc);
+        NoobClusterCfg::from_nice(&shared_cfg(seed, &plan, &ops), Access::Rac, NoobMode::TwoPc);
     let noob_map = drive(NoobCluster::build(cfg));
     assert_eq!(
         nice_map.len(),

@@ -2,27 +2,23 @@
 //! chains, metadata-service behavior, and the consistency-aware
 //! visibility rules of §3.3/§4.4.
 
-use nice::kv::{ClientOp, ClusterBuilder, MetaEvent, NodeState, OpRecord, Value};
+use nice::kv::{ClientOp, ClusterCfg, MetaEvent, NiceCluster, NodeState, OpRecord, Value};
 use nice::ring::{NodeIdx, PartitionId};
 use nice::sim::{FaultPlan, Ipv4, Time};
 
-/// A cluster builder with failure-detection timers tightened so crash /
+/// A cluster config with failure-detection timers tightened so crash /
 /// rejoin tests converge in simulated seconds instead of minutes.
-fn fast(nodes: usize, r: usize, ops: Vec<Vec<ClientOp>>) -> ClusterBuilder {
-    ClusterBuilder::new()
-        .nodes(nodes)
-        .replication(r)
-        .clients(ops)
-        .kv(|kv| {
-            kv.hb_interval = Time::from_ms(100);
-            kv.op_timeout = Time::from_ms(100);
-            kv.client_retry = Time::from_ms(400);
-        })
+fn fast(nodes: usize, r: usize, ops: Vec<Vec<ClientOp>>) -> ClusterCfg {
+    let mut cfg = ClusterCfg::new(nodes, r, ops);
+    cfg.kv.hb_interval = Time::from_ms(100);
+    cfg.kv.op_timeout = Time::from_ms(100);
+    cfg.kv.client_retry = Time::from_ms(400);
+    cfg
 }
 
 #[test]
 fn two_secondaries_fail_and_system_survives() {
-    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 20);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -36,9 +32,11 @@ fn two_secondaries_fail_and_system_survives() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut c = fast(10, 3, vec![ops])
-        .client_start(Time::from_ms(100))
-        .build();
+    let mut c = {
+        let mut cfg = fast(10, 3, vec![ops]);
+        cfg.host.client_start = Time::from_ms(100);
+        NiceCluster::build(cfg)
+    };
     // both secondaries die before the workload starts
     c.sim
         .schedule_crash(Time::from_ms(40), c.servers[replicas[1] as usize]);
@@ -63,7 +61,7 @@ fn two_secondaries_fail_and_system_survives() {
 fn failed_node_is_invisible_to_gets_until_recovered() {
     // The consistency-aware fault tolerance core claim (§3.3): a
     // rejoining node must receive puts but never gets while inconsistent.
-    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(8, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -77,9 +75,11 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
             value: Value::from_bytes(b"x".to_vec()),
         })
         .collect();
-    let mut c = fast(8, 3, vec![ops])
-        .client_start(Time::from_secs(2))
-        .build();
+    let mut c = {
+        let mut cfg = fast(8, 3, vec![ops]);
+        cfg.host.client_start = Time::from_secs(2);
+        NiceCluster::build(cfg)
+    };
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
     c.sim
@@ -112,20 +112,25 @@ fn failed_node_is_invisible_to_gets_until_recovered() {
     );
     let _ = state_mid;
     // never served a get while inconsistent
-    assert_eq!(c.server(victim as usize).counters().gets_served, 0);
+    assert_eq!(
+        c.server(victim as usize)
+            .metrics()
+            .counter("engine.gets_served"),
+        0
+    );
 }
 
 #[test]
 fn handoff_failure_is_replaced() {
     // The handoff node itself fails: the metadata service must stand up a
     // replacement for the original failed node.
-    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 3, Vec::new()));
     let p = PartitionId(0);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
     let victim = replicas[1];
     drop(probe);
 
-    let mut c = fast(10, 3, vec![]).build();
+    let mut c = NiceCluster::build(fast(10, 3, vec![]));
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[victim as usize]);
     c.sim.run_until(Time::from_secs(1));
@@ -163,7 +168,7 @@ fn handoff_failure_is_replaced() {
 
 #[test]
 fn primary_and_secondary_fail_together() {
-    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -177,9 +182,11 @@ fn primary_and_secondary_fail_together() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut c = fast(10, 3, vec![ops])
-        .client_start(Time::from_ms(100))
-        .build();
+    let mut c = {
+        let mut cfg = fast(10, 3, vec![ops]);
+        cfg.host.client_start = Time::from_ms(100);
+        NiceCluster::build(cfg)
+    };
     c.sim
         .schedule_crash(Time::from_ms(30), c.servers[replicas[0] as usize]);
     c.sim
@@ -194,7 +201,7 @@ fn primary_and_secondary_fail_together() {
 #[test]
 fn cluster_keeps_serving_unrelated_partitions_during_failure() {
     // A failure in one partition must not disturb puts/gets elsewhere.
-    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 3, Vec::new()));
     let p_fail = PartitionId(0);
     let replicas: Vec<u32> = probe.ring.replica_set(p_fail).iter().map(|n| n.0).collect();
     // find a partition that shares no nodes with p_fail
@@ -219,9 +226,11 @@ fn cluster_keeps_serving_unrelated_partitions_during_failure() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut c = fast(10, 3, vec![ops])
-        .client_start(Time::from_ms(100))
-        .build();
+    let mut c = {
+        let mut cfg = fast(10, 3, vec![ops]);
+        cfg.host.client_start = Time::from_ms(100);
+        NiceCluster::build(cfg)
+    };
     c.sim
         .schedule_crash(Time::from_ms(120), c.servers[replicas[0] as usize]);
     assert!(c.run_until_done(Time::from_secs(30)));
@@ -246,7 +255,7 @@ fn full_cluster_crash_converges() {
     // is committed with one timestamp everywhere, or it is gone
     // everywhere — never a mix visible to gets.
     for crash_offset_us in [800u64, 1300, 1500] {
-        let probe = ClusterBuilder::new().nodes(8).replication(3).build();
+        let probe = NiceCluster::build(ClusterCfg::new(8, 3, Vec::new()));
         let p = PartitionId(0);
         let key = probe.keys_in_partition(p, 1).remove(0);
         let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -256,10 +265,12 @@ fn full_cluster_crash_converges() {
             key: key.clone(),
             value: Value::from_bytes(vec![7u8; 64 * 1024]),
         }];
-        let mut c = fast(8, 3, vec![ops])
-            .kv(|kv| kv.hb_interval = Time::from_ms(300))
-            .client_start(Time::from_ms(100))
-            .build();
+        let mut c = {
+            let mut cfg = fast(8, 3, vec![ops]);
+            cfg.kv.hb_interval = Time::from_ms(300);
+            cfg.host.client_start = Time::from_ms(100);
+            NiceCluster::build(cfg)
+        };
         let crash_at = Time::from_ms(100) + Time::from_us(crash_offset_us);
         for &s in &c.servers.clone() {
             c.sim.schedule_crash(crash_at, s);
@@ -310,7 +321,11 @@ fn admin_add_node_expands_ring_with_synced_data() {
             value: Value::from_bytes(format!("v{i}").into_bytes()),
         });
     }
-    let mut c = fast(6, 3, vec![ops]).spares(1).build();
+    let mut c = {
+        let mut cfg = fast(6, 3, vec![ops]);
+        cfg.spec.spares = 1;
+        NiceCluster::build(cfg)
+    };
     assert!(c.run_until_done(Time::from_secs(30)));
 
     let spare = NodeIdx(6);
@@ -373,7 +388,7 @@ fn admin_remove_node_keeps_data_available() {
             value: Value::from_bytes(format!("v{i}").into_bytes()),
         });
     }
-    let mut c = fast(8, 3, vec![ops]).build();
+    let mut c = NiceCluster::build(fast(8, 3, vec![ops]));
     assert!(c.run_until_done(Time::from_secs(30)));
 
     let victim = NodeIdx(2);
@@ -414,7 +429,7 @@ fn metadata_standby_takes_over() {
     // dies mid-run; the standby promotes itself, redirects node
     // reporting, and continues to handle failures (a storage node crash
     // AFTER the failover still gets a handoff).
-    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(8, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 30);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -429,10 +444,12 @@ fn metadata_standby_takes_over() {
         });
         ops.push(ClientOp::Get { key: k.clone() });
     }
-    let mut c = fast(8, 3, vec![ops])
-        .metadata_standby()
-        .client_start(Time::from_ms(100))
-        .build();
+    let mut c = {
+        let mut cfg = fast(8, 3, vec![ops]);
+        cfg.metadata_standby = true;
+        cfg.host.client_start = Time::from_ms(100);
+        NiceCluster::build(cfg)
+    };
     let standby = c.meta_standby.expect("standby deployed");
 
     // 1. kill the active metadata service early
@@ -487,7 +504,7 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
     // fails and is replaced. When f rejoins, its drain source chain was
     // broken — it must still recover every object written during its
     // outage (via the replacement handoff or the primary fallback).
-    let probe = ClusterBuilder::new().nodes(10).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 12);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -503,9 +520,11 @@ fn rejoin_after_handoff_chain_failure_recovers_all_writes() {
             value: Value::from_bytes(b"during-outage".to_vec()),
         })
         .collect();
-    let mut c = fast(10, 3, vec![ops])
-        .client_start(Time::from_secs(1)) // after f's failure is handled
-        .build();
+    let mut c = {
+        let mut cfg = fast(10, 3, vec![ops]);
+        cfg.host.client_start = Time::from_secs(1); // after f's failure is handled
+        NiceCluster::build(cfg)
+    };
     c.sim
         .schedule_crash(Time::from_ms(100), c.servers[f as usize]);
     // let the first batch of writes land on the first handoff
@@ -547,7 +566,7 @@ fn rejoining_node_with_lost_catchup_stays_off_get_ring() {
     // traffic (HandoffFetch/HandoffData never cross). The node must stay
     // in the rejoining state — on the put vring, never on the get vring —
     // and serve zero gets. The outage itself is driven by the same plan.
-    let probe = ClusterBuilder::new().nodes(8).replication(3).build();
+    let probe = NiceCluster::build(ClusterCfg::new(8, 3, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 10);
     let replicas: Vec<u32> = probe.ring.replica_set(p).iter().map(|n| n.0).collect();
@@ -579,10 +598,12 @@ fn rejoining_node_with_lost_catchup_stays_off_get_ring() {
             Time::from_secs(2),
             Time::from_secs(600),
         );
-    let mut c = fast(8, 3, vec![ops])
-        .client_start(Time::from_ms(500))
-        .fault_plan(plan)
-        .build();
+    let mut c = {
+        let mut cfg = fast(8, 3, vec![ops]);
+        cfg.host.client_start = Time::from_ms(500);
+        cfg.host.fault_plan = Some(plan);
+        NiceCluster::build(cfg)
+    };
     assert!(c.run_until_done(Time::from_secs(30)), "puts drain");
     assert!(c.client(0).records.iter().all(OpRecord::ok));
     c.sim.run_until(Time::from_secs(12));
@@ -602,6 +623,6 @@ fn rejoining_node_with_lost_catchup_stays_off_get_ring() {
         NodeState::Up,
         "victim must stay hidden from gets while inconsistent"
     );
-    assert_eq!(c.server(victim).counters().gets_served, 0);
+    assert_eq!(c.server(victim).metrics().counter("engine.gets_served"), 0);
     assert!(c.sim.fault_stats().expect("plan installed").partitioned > 0);
 }

@@ -106,17 +106,15 @@ fn loopback_noob_cluster_serves_ycsb_slice() {
 fn loopback_noob_cluster_kill_one_node_mid_put() {
     // Quorum k=1 over R=2: a put completes once the primary holds the
     // data, so a dead *secondary* must not wedge anything.
-    let cfg = RealNoobCfg {
-        mode: NoobMode::Quorum { k: 1 },
-        gateway: Some(GatewayPolicy::Primary),
-        retry: RetryPolicy::fixed(Time::from_ms(200)),
-        // Total per-op budget: the doomed put gives up after 3 s of
-        // wall-clock instead of grinding through the whole 25-attempt
-        // budget — the drain below is bounded by the deadline, not by
-        // attempts × period (the old flake under scheduler jitter).
-        op_deadline: Some(Time::from_secs(3)),
-        ..RealNoobCfg::new(3, 2, vec![Vec::new()])
-    };
+    let mut cfg = RealNoobCfg::new(3, 2, vec![Vec::new()]);
+    cfg.mode = NoobMode::Quorum { k: 1 };
+    cfg.gateway = Some(GatewayPolicy::Primary);
+    cfg.spec.retry = Some(RetryPolicy::fixed(Time::from_ms(200)));
+    // Total per-op budget: the doomed put gives up after 3 s of
+    // wall-clock instead of grinding through the whole 25-attempt
+    // budget — the drain below is bounded by the deadline, not by
+    // attempts × period (the old flake under scheduler jitter).
+    cfg.spec.op_deadline = Some(Time::from_secs(3));
     let mut cluster = RealNoobCluster::build(cfg);
 
     // Partition the keyspace by who owns it.
@@ -205,4 +203,51 @@ fn loopback_noob_cluster_kill_one_node_mid_put() {
     let history = cluster.history();
     assert_linearizable(&history);
     cluster.shutdown();
+}
+
+/// The real runtime records the same telemetry as the simulator, from
+/// the identical instrumentation points — just with wall-clock values.
+/// A WAL-backed put storm must leave a non-empty fsync-latency
+/// histogram and matching client end-to-end distributions in the
+/// cluster-wide `metrics()` snapshot.
+#[test]
+fn wal_sync_histogram_fills_under_put_storm() {
+    let wal_root = std::env::temp_dir().join(format!("nice-wal-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let puts: Vec<RealOp> = (0..64)
+        .map(|i| RealOp::Put {
+            key: format!("storm{i}"),
+            bytes: vec![0xEE; 512],
+        })
+        .collect();
+    let mut cfg = RealNoobCfg::new(3, 2, vec![puts]);
+    cfg.mode = NoobMode::Quorum { k: 1 };
+    cfg.gateway = Some(GatewayPolicy::Primary);
+    cfg.spec.retry = Some(RetryPolicy::fixed(Time::from_ms(200)));
+    cfg.spec.op_deadline = Some(Time::from_secs(3));
+    cfg.host.wal_root = Some(wal_root.clone());
+    let mut cluster = RealNoobCluster::build(cfg);
+    assert!(
+        wait_done(&cluster, Duration::from_secs(60)),
+        "put storm did not drain"
+    );
+
+    let m = cluster.metrics();
+    let wal = m.hist("wal.sync").expect("wal.sync histogram exists");
+    assert!(
+        wal.count() >= 64,
+        "expected at least one fsync per acked put, saw {}",
+        wal.count()
+    );
+    assert!(wal.max() >= wal.quantile(1, 2), "quantiles are ordered");
+    assert!(m.counter("wal.syncs") >= 64, "WAL sync counter tracks");
+    let put = m.hist("client.put_e2e").expect("client histogram exists");
+    assert_eq!(put.count(), 64, "every put latency was recorded");
+    assert!(
+        put.min() > Time::ZERO,
+        "wall-clock latencies are strictly positive"
+    );
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
 }

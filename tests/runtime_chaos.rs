@@ -127,14 +127,12 @@ fn chaos_plan_replays_byte_identical_for_same_seed() {
 fn wal_replay_survives_whole_cluster_crash() {
     let wal_root = scratch_wal_root("replay");
     let _ = std::fs::remove_dir_all(&wal_root);
-    let cfg = RealNoobCfg {
-        mode: NoobMode::Quorum { k: 1 },
-        gateway: Some(GatewayPolicy::Primary),
-        retry: RetryPolicy::fixed(Time::from_ms(200)),
-        op_deadline: Some(Time::from_secs(3)),
-        wal_root: Some(wal_root.clone()),
-        ..RealNoobCfg::new(3, 2, vec![Vec::new()])
-    };
+    let mut cfg = RealNoobCfg::new(3, 2, vec![Vec::new()]);
+    cfg.mode = NoobMode::Quorum { k: 1 };
+    cfg.gateway = Some(GatewayPolicy::Primary);
+    cfg.spec.retry = Some(RetryPolicy::fixed(Time::from_ms(200)));
+    cfg.spec.op_deadline = Some(Time::from_secs(3));
+    cfg.host.wal_root = Some(wal_root.clone());
     let mut cluster = RealNoobCluster::build(cfg);
 
     let puts: Vec<RealOp> = (0..24)
@@ -217,25 +215,23 @@ fn seeded_storm_loses_no_acknowledged_write() {
 
     let wal_root = scratch_wal_root(&format!("storm-{seed}"));
     let _ = std::fs::remove_dir_all(&wal_root);
-    let cfg = RealNoobCfg {
+    let mut cfg = RealNoobCfg::new(SERVERS, 2, vec![Vec::new(), Vec::new(), Vec::new()]);
+    cfg.spec.seed = seed;
+    cfg.mode = NoobMode::Quorum { k: 1 };
+    cfg.gateway = Some(GatewayPolicy::Primary);
+    // Exponential backoff keeps retry floods off a downed node; the
+    // total deadline bounds every op even when its primary is mid-
+    // crash, so the closed-loop queue keeps moving through the storm.
+    cfg.spec.retry = Some(RetryPolicy {
+        base: Time::from_ms(100),
+        cap: Time::from_ms(800),
+        exponential: true,
+        jitter_pct: 30,
         seed,
-        mode: NoobMode::Quorum { k: 1 },
-        gateway: Some(GatewayPolicy::Primary),
-        // Exponential backoff keeps retry floods off a downed node; the
-        // total deadline bounds every op even when its primary is mid-
-        // crash, so the closed-loop queue keeps moving through the storm.
-        retry: RetryPolicy {
-            base: Time::from_ms(100),
-            cap: Time::from_ms(800),
-            exponential: true,
-            jitter_pct: 30,
-            seed,
-        },
-        op_deadline: Some(Time::from_secs(3)),
-        wal_root: Some(wal_root.clone()),
-        nemesis: Some(to_fault_plan(&plan)),
-        ..RealNoobCfg::new(SERVERS, 2, vec![Vec::new(), Vec::new(), Vec::new()])
-    };
+    });
+    cfg.spec.op_deadline = Some(Time::from_secs(3));
+    cfg.host.wal_root = Some(wal_root.clone());
+    cfg.host.nemesis = Some(to_fault_plan(&plan));
     let mut cluster = RealNoobCluster::build(cfg);
 
     // The storm timeline: crash/restart events from the plan, plus

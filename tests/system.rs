@@ -2,7 +2,7 @@
 //! (NICE and NOOB) run the same workloads and must agree on results while
 //! differing in network behavior exactly the way the paper says they do.
 
-use nice::kv::{ClientOp, ClusterBuilder, Value};
+use nice::kv::{ClientOp, ClusterCfg, NiceCluster, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::Time;
 
@@ -34,11 +34,11 @@ fn get_results(records: &[nice::kv::OpRecord]) -> Vec<(String, Option<Vec<u8>>)>
 #[test]
 fn both_systems_return_identical_data() {
     let n = 12;
-    let shared = ClusterBuilder::new().nodes(10).replication(3);
-    let mut nice_c = shared.clone().client(workload(n)).build();
+    let shared = |ops| ClusterCfg::new(10, 3, vec![ops]);
+    let mut nice_c = NiceCluster::build(shared(workload(n)));
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
-        shared.client(workload(n)),
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_nice(
+        &shared(workload(n)),
         Access::Rac,
         NoobMode::TwoPc,
     ));
@@ -60,11 +60,11 @@ fn nice_moves_fewer_bytes_than_noob_for_replicated_puts() {
             value: Value::synthetic(size),
         })
         .collect();
-    let shared = ClusterBuilder::new().nodes(10).replication(3);
-    let mut nice_c = shared.clone().client(ops.clone()).build();
+    let shared = |ops| ClusterCfg::new(10, 3, vec![ops]);
+    let mut nice_c = NiceCluster::build(shared(ops.clone()));
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
-        shared.client(ops),
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_nice(
+        &shared(ops),
         Access::Rog,
         NoobMode::PrimaryOnly,
     ));
@@ -87,11 +87,11 @@ fn nice_puts_beat_noob_puts_at_large_sizes() {
             value: Value::synthetic(1 << 20),
         })
         .collect();
-    let shared = ClusterBuilder::new().nodes(10).replication(3);
-    let mut nice_c = shared.clone().client(ops.clone()).build();
+    let shared = |ops| ClusterCfg::new(10, 3, vec![ops]);
+    let mut nice_c = NiceCluster::build(shared(ops.clone()));
     assert!(nice_c.run_until_done(Time::from_secs(60)));
-    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_builder(
-        shared.client(ops),
+    let mut noob_c = NoobCluster::build(NoobClusterCfg::from_nice(
+        &shared(ops),
         Access::Rac,
         NoobMode::PrimaryOnly,
     ));
@@ -107,11 +107,7 @@ fn nice_puts_beat_noob_puts_at_large_sizes() {
 #[test]
 fn deterministic_across_runs() {
     let build = || {
-        let mut c = ClusterBuilder::new()
-            .nodes(8)
-            .replication(3)
-            .client(workload(8))
-            .build();
+        let mut c = NiceCluster::build(ClusterCfg::new(8, 3, vec![workload(8)]));
         assert!(c.run_until_done(Time::from_secs(60)));
         let lat: Vec<u64> = c
             .client(0)
@@ -127,12 +123,9 @@ fn deterministic_across_runs() {
 #[test]
 fn seed_changes_timings_but_not_results() {
     let run_seed = |seed| {
-        let mut c = ClusterBuilder::new()
-            .nodes(8)
-            .replication(3)
-            .client(workload(6))
-            .seed(seed)
-            .build();
+        let mut cfg = ClusterCfg::new(8, 3, vec![workload(6)]);
+        cfg.spec.seed = seed;
+        let mut c = NiceCluster::build(cfg);
         assert!(c.run_until_done(Time::from_secs(60)));
         get_results(&c.client(0).records)
     };
@@ -144,7 +137,7 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
     use nice::kv::PutMode;
     use nice::ring::PartitionId;
     // Mini Figure 8: R=5, 2 slow replicas, any-2 must beat all-5.
-    let probe = ClusterBuilder::new().nodes(10).replication(5).build();
+    let probe = NiceCluster::build(ClusterCfg::new(10, 5, Vec::new()));
     let p = PartitionId(0);
     let keys = probe.keys_in_partition(p, 5);
     let replicas: Vec<usize> = probe
@@ -163,12 +156,9 @@ fn quorum_is_faster_than_full_replication_with_slow_nodes() {
                 value: Value::synthetic(1 << 20),
             })
             .collect();
-        let mut c = ClusterBuilder::new()
-            .nodes(10)
-            .replication(5)
-            .client(ops)
-            .kv(|kv| kv.put_mode = mode)
-            .build();
+        let mut cfg = ClusterCfg::new(10, 5, vec![ops]);
+        cfg.kv.put_mode = mode;
+        let mut c = NiceCluster::build(cfg);
         for &i in &replicas[3..] {
             c.sim
                 .schedule_link_rate(Time::ZERO, c.servers[i], 50_000_000);

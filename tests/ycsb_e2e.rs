@@ -1,7 +1,7 @@
 //! YCSB workloads end-to-end through the facade: generator → clients →
 //! cluster → verified results on both systems.
 
-use nice::kv::{ClientOp, ClusterBuilder, OpRecord, Value};
+use nice::kv::{ClientOp, ClusterCfg, NiceCluster, OpRecord, Value};
 use nice::noob::{Access, NoobCluster, NoobClusterCfg, NoobMode};
 use nice::sim::Time;
 use nice::workload::XorShiftRng;
@@ -39,11 +39,7 @@ fn build_ops(wl: &Workload, clients: usize, run_ops: usize, seed: u64) -> Vec<Ve
 fn ycsb_c_on_nice_returns_valid_records() {
     let wl = Workload::c(40);
     let ops = build_ops(&wl, 4, 30, 7);
-    let mut c = ClusterBuilder::new()
-        .nodes(8)
-        .replication(3)
-        .clients(ops)
-        .build();
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
     assert!(c.run_until_done(Time::from_secs(120)));
     for cl in 0..4 {
         for r in &c.client(cl).records {
@@ -65,11 +61,7 @@ fn ycsb_c_on_nice_returns_valid_records() {
 fn ycsb_a_on_nice_mixes_reads_and_updates() {
     let wl = Workload::a(40);
     let ops = build_ops(&wl, 4, 30, 11);
-    let mut c = ClusterBuilder::new()
-        .nodes(8)
-        .replication(3)
-        .clients(ops)
-        .build();
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
     assert!(c.run_until_done(Time::from_secs(120)));
     let mut updated_seen = false;
     for cl in 0..4 {
@@ -91,11 +83,8 @@ fn ycsb_a_on_nice_mixes_reads_and_updates() {
 fn ycsb_f_on_noob_2pc_completes() {
     let wl = Workload::f(40);
     let ops = build_ops(&wl, 4, 30, 13);
-    let mut cfg = NoobClusterCfg::from_builder(
-        ClusterBuilder::new().nodes(8).replication(3).clients(ops),
-        Access::Rac,
-        NoobMode::TwoPc,
-    );
+    let mut cfg =
+        NoobClusterCfg::from_nice(&ClusterCfg::new(8, 3, ops), Access::Rac, NoobMode::TwoPc);
     cfg.lb_gets = true;
     let mut c = NoobCluster::build(cfg);
     assert!(c.run_until_done(Time::from_secs(240)));
@@ -108,11 +97,7 @@ fn ycsb_f_on_noob_2pc_completes() {
 fn ycsb_d_inserts_new_records() {
     let wl = Workload::d(20);
     let ops = build_ops(&wl, 2, 40, 17);
-    let mut c = ClusterBuilder::new()
-        .nodes(8)
-        .replication(3)
-        .clients(ops)
-        .build();
+    let mut c = NiceCluster::build(ClusterCfg::new(8, 3, ops));
     assert!(c.run_until_done(Time::from_secs(120)));
     // D inserts ~5% new keys beyond the loaded 20: at least one server
     // must hold a key user>=20.
